@@ -1,0 +1,90 @@
+//! # netsyn-altmodels
+//!
+//! Alternative fitness-function models explored in Section 5.3.1 ("Additional
+//! Models and Fitness Functions") of "Learning Fitness Functions for Machine
+//! Programming" (MLSys 2021).
+//!
+//! The paper's primary fitness functions are multiclass classifiers over the
+//! CF / LCS value and a per-function probability (FP) map; Section 5.3.1
+//! reports on four further designs the authors tried and found to be
+//! comparable or worse. This crate implements all four so that the paper's
+//! negative findings can be reproduced and measured:
+//!
+//! * [`regression`] — the CF / LCS value treated as a *regression* target
+//!   rather than a class. The paper reports that the network tends to predict
+//!   values close to the median of the training labels, degrading the GA.
+//!   [`regression::median_collapse_ratio`] quantifies exactly that failure
+//!   mode.
+//! * [`ranking`] — a pairwise ranking model trained to predict the relative
+//!   correctness *ordering* of two candidates (the quantity the Roulette
+//!   Wheel actually needs) instead of an absolute fitness value.
+//! * [`twotier`] — a two-tier fitness function: a first network decides
+//!   whether a candidate's fitness is zero, and only non-zero candidates are
+//!   passed to a second network that predicts the actual value. The paper
+//!   reports that tier-1 mispredictions eliminate good genes;
+//!   [`twotier::TwoTierEvaluation::tier1_false_zero_rate`] measures it.
+//! * [`bigram`] — a bigram model predicting which *pairs* of functions appear
+//!   adjacently in the target program. Over 99% of the 41 × 41 bigram matrix
+//!   is zero, so the label space is reduced with [`Pca`] before regression,
+//!   following the paper's use of principal component analysis.
+//!
+//! Every model exposes a [`FitnessFunction`](netsyn_fitness::FitnessFunction)
+//! adapter so it can drive the unchanged GA engine, and the [`comparison`]
+//! module computes rank correlations against the oracle fitness so the
+//! quality gap to the paper's primary CF / LCS classifiers can be reported
+//! (see the `tab5_alt_models` benchmark binary).
+//!
+//! ## Example
+//!
+//! ```
+//! use netsyn_altmodels::regression::{train_regression_model, RegressionTrainerConfig};
+//! use netsyn_altmodels::RegressionFitness;
+//! use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
+//! use netsyn_fitness::{ClosenessMetric, FitnessFunction};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut dataset = DatasetConfig::for_length(3);
+//! dataset.num_target_programs = 6;
+//! dataset.examples_per_program = 2;
+//! let samples = generate_dataset(&dataset, BalanceMetric::CommonFunctions, &mut rng)?;
+//! let config = RegressionTrainerConfig::tiny();
+//! let model = train_regression_model(ClosenessMetric::CommonFunctions, &samples, 3, &config, &mut rng);
+//! let fitness = RegressionFitness::new(model);
+//! assert!(fitness.max_score() >= 3.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bigram;
+pub mod comparison;
+mod pca;
+pub mod ranking;
+pub mod regression;
+pub mod twotier;
+
+pub use bigram::{BigramFitness, BigramMap, TrainedBigramModel};
+pub use comparison::{spearman_rank_correlation, FitnessQualityReport};
+pub use pca::Pca;
+pub use ranking::{RankingFitness, TrainedRankingModel};
+pub use regression::{RegressionFitness, TrainedRegressionModel};
+pub use twotier::{TrainedTwoTierModel, TwoTierFitness};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pca>();
+        assert_send_sync::<BigramMap>();
+        assert_send_sync::<RegressionFitness>();
+        assert_send_sync::<RankingFitness>();
+        assert_send_sync::<TwoTierFitness>();
+        assert_send_sync::<BigramFitness>();
+        assert_send_sync::<FitnessQualityReport>();
+    }
+}

@@ -1,0 +1,413 @@
+//! Principal component analysis by power iteration with deflation.
+//!
+//! The bigram fitness model of Section 5.3.1 regresses onto a 41 × 41 bigram
+//! matrix of which "over 99% ... are zeros"; the paper reduces the
+//! dimensionality of this label space with principal component analysis
+//! before training. No linear-algebra crate is in the workspace's dependency
+//! budget, so this module implements the small amount of PCA machinery needed
+//! on top of [`netsyn_nn::Matrix`]: mean-centering, covariance accumulation,
+//! dominant-eigenvector extraction by power iteration, and deflation to
+//! obtain the next components.
+//!
+//! The implementation favours clarity and determinism over speed — the label
+//! matrices it is used on are at most a few thousand rows of 1,681 columns —
+//! and is validated against hand-constructed low-rank data in the tests.
+
+use netsyn_nn::vecops;
+use serde::{Deserialize, Serialize};
+
+/// A fitted PCA transform: `k` principal components of `d`-dimensional data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pca {
+    /// Per-dimension mean of the training data (length `d`).
+    mean: Vec<f32>,
+    /// Principal components, one row per component (each of length `d`),
+    /// ordered by decreasing explained variance.
+    components: Vec<Vec<f32>>,
+    /// Variance captured by each component (the corresponding eigenvalue of
+    /// the covariance matrix).
+    explained_variance: Vec<f32>,
+    /// Total variance of the training data (trace of the covariance matrix).
+    total_variance: f32,
+}
+
+/// Number of power-iteration steps per component. The covariance matrices in
+/// this workspace are small and well-separated; 100 iterations is far more
+/// than needed for 1e-4 accuracy.
+const POWER_ITERATIONS: usize = 100;
+
+impl Pca {
+    /// Fits a PCA with `num_components` components to `data` (one sample per
+    /// row). Components beyond the data's rank come out with (near-)zero
+    /// explained variance and are retained so the output dimensionality is
+    /// always exactly `num_components`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows have inconsistent lengths, or
+    /// `num_components` is zero or exceeds the data dimensionality.
+    #[must_use]
+    pub fn fit(data: &[Vec<f32>], num_components: usize) -> Self {
+        assert!(!data.is_empty(), "PCA needs at least one sample");
+        let dim = data[0].len();
+        assert!(dim > 0, "PCA needs at least one feature");
+        assert!(
+            data.iter().all(|row| row.len() == dim),
+            "all samples must have the same dimensionality"
+        );
+        assert!(
+            num_components >= 1 && num_components <= dim,
+            "num_components must be in 1..={dim}"
+        );
+
+        let n = data.len() as f32;
+        let mut mean = vec![0.0f32; dim];
+        for row in data {
+            vecops::add_assign(&mut mean, row);
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+
+        // Centered data, kept explicitly: the covariance-vector product used
+        // by the power iteration is X^T (X v) / n, which avoids materializing
+        // the d x d covariance matrix for large d.
+        let centered: Vec<Vec<f32>> = data
+            .iter()
+            .map(|row| row.iter().zip(mean.iter()).map(|(x, m)| x - m).collect())
+            .collect();
+        let total_variance = centered
+            .iter()
+            .map(|row| vecops::dot(row, row))
+            .sum::<f32>()
+            / n;
+
+        let mut components: Vec<Vec<f32>> = Vec::with_capacity(num_components);
+        let mut explained_variance = Vec::with_capacity(num_components);
+        // Deflated copy of the centered data: after extracting a component we
+        // project it out of every sample so the next power iteration finds
+        // the next-largest direction.
+        let mut residual = centered;
+        for c in 0..num_components {
+            let (component, variance) = dominant_direction(&residual, c);
+            // Remove the found direction from the residual data.
+            for row in &mut residual {
+                let coeff = vecops::dot(row, &component);
+                for (r, comp) in row.iter_mut().zip(component.iter()) {
+                    *r -= coeff * comp;
+                }
+            }
+            components.push(component);
+            explained_variance.push(variance);
+        }
+
+        Pca {
+            mean,
+            components,
+            explained_variance,
+            total_variance,
+        }
+    }
+
+    /// Dimensionality of the original data.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of retained components.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Variance captured by each retained component, in decreasing order.
+    #[must_use]
+    pub fn explained_variance(&self) -> &[f32] {
+        &self.explained_variance
+    }
+
+    /// Fraction of the training data's total variance captured by the
+    /// retained components (in `[0, 1]`, up to floating-point error).
+    #[must_use]
+    pub fn explained_variance_ratio(&self) -> f32 {
+        if self.total_variance <= f32::EPSILON {
+            return 1.0;
+        }
+        (self.explained_variance.iter().sum::<f32>() / self.total_variance).min(1.0)
+    }
+
+    /// Projects one sample onto the retained components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's dimensionality differs from the training data.
+    #[must_use]
+    pub fn transform(&self, sample: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            sample.len(),
+            self.input_dim(),
+            "sample dimensionality mismatch"
+        );
+        let centered: Vec<f32> = sample
+            .iter()
+            .zip(self.mean.iter())
+            .map(|(x, m)| x - m)
+            .collect();
+        self.components
+            .iter()
+            .map(|component| vecops::dot(&centered, component))
+            .collect()
+    }
+
+    /// Projects a batch of samples onto the retained components.
+    #[must_use]
+    pub fn transform_batch(&self, samples: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        samples.iter().map(|s| self.transform(s)).collect()
+    }
+
+    /// Maps component coefficients back into the original space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients.len()` differs from the number of components.
+    #[must_use]
+    pub fn inverse_transform(&self, coefficients: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            coefficients.len(),
+            self.num_components(),
+            "coefficient count mismatch"
+        );
+        let mut reconstructed = self.mean.clone();
+        for (coeff, component) in coefficients.iter().zip(self.components.iter()) {
+            for (r, c) in reconstructed.iter_mut().zip(component.iter()) {
+                *r += coeff * c;
+            }
+        }
+        reconstructed
+    }
+
+    /// Mean squared reconstruction error of `sample` after a round trip
+    /// through the retained components.
+    #[must_use]
+    pub fn reconstruction_error(&self, sample: &[f32]) -> f32 {
+        let reconstructed = self.inverse_transform(&self.transform(sample));
+        let dim = sample.len() as f32;
+        sample
+            .iter()
+            .zip(reconstructed.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / dim
+    }
+}
+
+/// Extracts the dominant direction of the (implicitly represented) covariance
+/// of `centered` rows by power iteration, returning the unit direction and
+/// the variance along it. `seed_index` varies the deterministic start vector
+/// between deflation rounds so consecutive components do not start parallel.
+fn dominant_direction(centered: &[Vec<f32>], seed_index: usize) -> (Vec<f32>, f32) {
+    let dim = centered[0].len();
+    let n = centered.len() as f32;
+    // Deterministic, non-degenerate start vector.
+    let mut v: Vec<f32> = (0..dim)
+        .map(|i| {
+            let phase = (i + seed_index + 1) as f32;
+            (phase * 0.734_21).sin() + 0.01
+        })
+        .collect();
+    normalize(&mut v);
+
+    for _ in 0..POWER_ITERATIONS {
+        // w = C v = X^T (X v) / n
+        let mut w = vec![0.0f32; dim];
+        for row in centered {
+            let coeff = vecops::dot(row, &v);
+            for (wi, xi) in w.iter_mut().zip(row.iter()) {
+                *wi += coeff * xi;
+            }
+        }
+        for wi in &mut w {
+            *wi /= n;
+        }
+        let norm = normalize(&mut w);
+        if norm <= f32::EPSILON {
+            // Residual variance is (numerically) zero: return an arbitrary
+            // unit vector with zero explained variance.
+            let mut fallback = vec![0.0f32; dim];
+            fallback[seed_index % dim] = 1.0;
+            return (fallback, 0.0);
+        }
+        v = w;
+    }
+
+    // Rayleigh quotient = variance along v.
+    let variance = centered
+        .iter()
+        .map(|row| {
+            let coeff = vecops::dot(row, &v);
+            coeff * coeff
+        })
+        .sum::<f32>()
+        / n;
+    (v, variance)
+}
+
+/// Normalizes `v` in place and returns its original norm.
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = vecops::dot(v, v).sqrt();
+    if norm > f32::EPSILON {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Data lying (noiselessly) on a 2-dimensional plane in 6-dimensional
+    /// space.
+    fn rank_two_data(n: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let basis_a = [1.0, 0.0, 2.0, 0.0, -1.0, 0.5];
+        let basis_b = [0.0, 3.0, -1.0, 1.0, 0.0, 0.25];
+        (0..n)
+            .map(|_| {
+                let a: f32 = rng.gen_range(-2.0..2.0);
+                let b: f32 = rng.gen_range(-2.0..2.0);
+                basis_a
+                    .iter()
+                    .zip(basis_b.iter())
+                    .map(|(&x, &y)| 0.3 + a * x + b * y)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn explained_variance_is_decreasing() {
+        let data = rank_two_data(200, 1);
+        let pca = Pca::fit(&data, 4);
+        let ev = pca.explained_variance();
+        assert_eq!(ev.len(), 4);
+        for pair in ev.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-4, "variance not decreasing: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn two_components_explain_rank_two_data() {
+        let data = rank_two_data(300, 2);
+        let pca = Pca::fit(&data, 2);
+        assert!(
+            pca.explained_variance_ratio() > 0.999,
+            "ratio {}",
+            pca.explained_variance_ratio()
+        );
+        // Reconstruction of in-plane points is essentially exact.
+        for sample in data.iter().take(20) {
+            assert!(pca.reconstruction_error(sample) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn one_component_of_rank_two_data_loses_variance() {
+        let data = rank_two_data(300, 3);
+        let full = Pca::fit(&data, 2);
+        let truncated = Pca::fit(&data, 1);
+        assert!(truncated.explained_variance_ratio() < full.explained_variance_ratio());
+        assert!(truncated.explained_variance_ratio() > 0.1);
+    }
+
+    #[test]
+    fn transform_and_inverse_have_expected_dimensions() {
+        let data = rank_two_data(50, 4);
+        let pca = Pca::fit(&data, 3);
+        assert_eq!(pca.input_dim(), 6);
+        assert_eq!(pca.num_components(), 3);
+        let coeffs = pca.transform(&data[0]);
+        assert_eq!(coeffs.len(), 3);
+        assert_eq!(pca.inverse_transform(&coeffs).len(), 6);
+        assert_eq!(pca.transform_batch(&data[..5]).len(), 5);
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data = rank_two_data(200, 5);
+        let pca = Pca::fit(&data, 2);
+        let c0 = &pca.components[0];
+        let c1 = &pca.components[1];
+        assert!((vecops::dot(c0, c0) - 1.0).abs() < 1e-3);
+        assert!((vecops::dot(c1, c1) - 1.0).abs() < 1e-3);
+        assert!(vecops::dot(c0, c1).abs() < 1e-2, "components not orthogonal");
+    }
+
+    #[test]
+    fn constant_data_has_zero_variance_and_exact_mean_reconstruction() {
+        let data = vec![vec![2.0, -1.0, 3.0]; 10];
+        let pca = Pca::fit(&data, 2);
+        assert!(pca.explained_variance().iter().all(|&v| v.abs() < 1e-6));
+        // With zero total variance the ratio convention is 1.0.
+        assert_eq!(pca.explained_variance_ratio(), 1.0);
+        let coeffs = pca.transform(&data[0]);
+        let reconstructed = pca.inverse_transform(&coeffs);
+        for (a, b) in reconstructed.iter().zip(data[0].iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn axis_aligned_variance_is_recovered() {
+        // Variance 9 along axis 1, variance 1 along axis 0, none elsewhere.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let data: Vec<Vec<f32>> = (0..500)
+            .map(|_| {
+                vec![
+                    rng.gen_range(-1.0..1.0),
+                    3.0 * rng.gen_range(-1.0f32..1.0),
+                    0.0,
+                ]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 2);
+        // First component is (close to) the second axis.
+        let c0 = &pca.components[0];
+        assert!(c0[1].abs() > 0.99, "first component {c0:?}");
+        assert!(pca.explained_variance()[0] > pca.explained_variance()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn fit_rejects_empty_data() {
+        let _ = Pca::fit(&[], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_components")]
+    fn fit_rejects_too_many_components() {
+        let _ = Pca::fit(&[vec![1.0, 2.0]], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn transform_rejects_wrong_dimensionality() {
+        let data = rank_two_data(10, 7);
+        let pca = Pca::fit(&data, 1);
+        let _ = pca.transform(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let data = rank_two_data(30, 8);
+        let pca = Pca::fit(&data, 2);
+        let json = serde_json::to_string(&pca).unwrap();
+        let back: Pca = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pca);
+    }
+}

@@ -1,0 +1,437 @@
+//! Regression-valued fitness models (Section 5.3.1, first alternative).
+//!
+//! Instead of a `(L + 1)`-way classifier over the CF or LCS value, the value
+//! is treated as a real-valued regression target and the network is trained
+//! with mean-squared error. The paper reports that such networks "had a
+//! tendency to predict values close to the median of the values in the
+//! training set", and that the resulting higher prediction error degraded the
+//! genetic algorithm. This module reproduces that design and exposes
+//! [`median_collapse_ratio`] as a direct measurement of the reported failure
+//! mode (predicted-value spread divided by label spread; a healthy predictor
+//! is near 1, a collapsed one near 0).
+
+use crate::comparison::mean;
+use netsyn_dsl::{IoSpec, Program};
+use netsyn_fitness::dataset::FitnessSample;
+use netsyn_fitness::encoding::{encode_candidate, EncodingConfig};
+use netsyn_fitness::{ClosenessMetric, FitnessFunction, FitnessNet, FitnessNetConfig};
+use netsyn_nn::loss::mean_squared_error;
+use netsyn_nn::{Adam, Parameterized};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for training a regression fitness model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTrainerConfig {
+    /// Network hyper-parameters (the output dimension is forced to 1).
+    pub net: FitnessNetConfig,
+    /// Token-encoding configuration.
+    pub encoding: EncodingConfig,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Number of samples per gradient step.
+    pub batch_size: usize,
+    /// Global gradient-norm clip applied before each step.
+    pub grad_clip: f32,
+    /// Fraction of the corpus held out for validation.
+    pub validation_fraction: f64,
+}
+
+impl RegressionTrainerConfig {
+    /// A compact configuration that trains in seconds-to-minutes on a CPU.
+    #[must_use]
+    pub fn small() -> Self {
+        RegressionTrainerConfig {
+            net: FitnessNetConfig::small(1),
+            encoding: EncodingConfig::new(),
+            epochs: 5,
+            learning_rate: 2e-3,
+            batch_size: 16,
+            grad_clip: 5.0,
+            validation_fraction: 0.2,
+        }
+    }
+
+    /// A tiny configuration for unit tests (seconds of CPU time).
+    #[must_use]
+    pub fn tiny() -> Self {
+        RegressionTrainerConfig {
+            net: FitnessNetConfig {
+                value_embed_dim: 4,
+                encoder_hidden_dim: 6,
+                function_embed_dim: 4,
+                trace_hidden_dim: 6,
+                example_hidden_dim: 8,
+                head_hidden_dim: 8,
+                output_dim: 1,
+            },
+            epochs: 2,
+            batch_size: 8,
+            ..RegressionTrainerConfig::small()
+        }
+    }
+}
+
+impl Default for RegressionTrainerConfig {
+    fn default() -> Self {
+        RegressionTrainerConfig::small()
+    }
+}
+
+/// Statistics of one regression training epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionEpochStats {
+    /// Epoch number, starting at 1.
+    pub epoch: usize,
+    /// Mean training MSE over the epoch.
+    pub train_loss: f64,
+    /// Mean absolute error on the validation split.
+    pub validation_mae: f64,
+    /// Standard deviation of the validation predictions. A value much
+    /// smaller than the label standard deviation indicates the
+    /// predict-the-median collapse the paper describes.
+    pub prediction_std: f64,
+}
+
+/// Training history plus the final median-collapse diagnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionReport {
+    /// Per-epoch statistics.
+    pub epochs: Vec<RegressionEpochStats>,
+    /// Standard deviation of the validation labels (for comparison with
+    /// [`RegressionEpochStats::prediction_std`]).
+    pub label_std: f64,
+    /// Final prediction-spread / label-spread ratio (see
+    /// [`median_collapse_ratio`]).
+    pub collapse_ratio: f64,
+}
+
+/// A trained regression fitness model together with its metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedRegressionModel {
+    /// Which closeness metric the model regresses (CF or LCS).
+    pub metric: ClosenessMetric,
+    /// Program length the model was trained for.
+    pub program_length: usize,
+    /// The trained network (a single linear output unit).
+    pub net: FitnessNet,
+    /// Training history and collapse diagnostics.
+    pub report: RegressionReport,
+}
+
+fn label_of(metric: ClosenessMetric, sample: &FitnessSample) -> f32 {
+    match metric {
+        ClosenessMetric::CommonFunctions => sample.cf as f32,
+        ClosenessMetric::LongestCommonSubsequence => sample.lcs as f32,
+    }
+}
+
+/// The ratio between the spread of a model's predictions and the spread of
+/// the true labels.
+///
+/// A well-calibrated regressor has a ratio near 1.0; the
+/// predict-the-median failure mode reported by the paper shows up as a ratio
+/// close to 0.0. Returns 1.0 when the labels themselves have no spread.
+#[must_use]
+pub fn median_collapse_ratio(predictions: &[f64], labels: &[f64]) -> f64 {
+    let label_std = std_dev(labels);
+    if label_std <= f64::EPSILON {
+        return 1.0;
+    }
+    std_dev(predictions) / label_std
+}
+
+fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Trains a regression fitness model of the given metric on `samples`.
+///
+/// The network architecture is identical to the paper's classifier (Figure 2)
+/// except for the head, which emits a single unbounded value trained with
+/// mean-squared error against the true CF / LCS label.
+pub fn train_regression_model<R: Rng + ?Sized>(
+    metric: ClosenessMetric,
+    samples: &[FitnessSample],
+    program_length: usize,
+    config: &RegressionTrainerConfig,
+    rng: &mut R,
+) -> TrainedRegressionModel {
+    let mut net_config = config.net;
+    net_config.output_dim = 1;
+    let mut net = FitnessNet::new(net_config, config.encoding, rng);
+    let mut optimizer = Adam::new(config.learning_rate);
+
+    let mut indices: Vec<usize> = (0..samples.len()).collect();
+    indices.shuffle(rng);
+    let validation_len = ((samples.len() as f64) * config.validation_fraction).round() as usize;
+    let (validation_idx, train_idx) = indices.split_at(validation_len.min(samples.len()));
+
+    let mut epochs = Vec::with_capacity(config.epochs);
+    let mut order: Vec<usize> = train_idx.to_vec();
+    let mut last_predictions: Vec<f64> = Vec::new();
+    for epoch in 1..=config.epochs {
+        order.shuffle(rng);
+        let mut total_loss = 0.0;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            for &idx in chunk {
+                let sample = &samples[idx];
+                let encoded = encode_candidate(&config.encoding, &sample.spec, &sample.candidate);
+                let Ok((prediction, cache)) = net.forward(&encoded) else {
+                    continue;
+                };
+                let target = [label_of(metric, sample)];
+                let (loss, grad) = mean_squared_error(&prediction, &target);
+                total_loss += f64::from(loss);
+                net.backward(&cache, &grad);
+            }
+            net.clip_grad_norm(config.grad_clip);
+            optimizer.step(&mut net.params_mut());
+            net.zero_grad();
+        }
+        let train_loss = if order.is_empty() {
+            0.0
+        } else {
+            total_loss / order.len() as f64
+        };
+        let (validation_mae, predictions) =
+            validation_error(metric, &net, samples, validation_idx, &config.encoding);
+        let prediction_std = std_dev(&predictions);
+        last_predictions = predictions;
+        epochs.push(RegressionEpochStats {
+            epoch,
+            train_loss,
+            validation_mae,
+            prediction_std,
+        });
+    }
+
+    let labels: Vec<f64> = validation_idx
+        .iter()
+        .map(|&idx| f64::from(label_of(metric, &samples[idx])))
+        .collect();
+    let label_std = std_dev(&labels);
+    let collapse_ratio = median_collapse_ratio(&last_predictions, &labels);
+
+    TrainedRegressionModel {
+        metric,
+        program_length,
+        net,
+        report: RegressionReport {
+            epochs,
+            label_std,
+            collapse_ratio,
+        },
+    }
+}
+
+fn validation_error(
+    metric: ClosenessMetric,
+    net: &FitnessNet,
+    samples: &[FitnessSample],
+    indices: &[usize],
+    encoding: &EncodingConfig,
+) -> (f64, Vec<f64>) {
+    let mut total_abs = 0.0;
+    let mut predictions = Vec::with_capacity(indices.len());
+    for &idx in indices {
+        let sample = &samples[idx];
+        let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
+        if let Ok(output) = net.predict(&encoded) {
+            let prediction = f64::from(output[0]);
+            total_abs += (prediction - f64::from(label_of(metric, sample))).abs();
+            predictions.push(prediction);
+        }
+    }
+    let mae = if predictions.is_empty() {
+        0.0
+    } else {
+        total_abs / predictions.len() as f64
+    };
+    (mae, predictions)
+}
+
+/// A fitness function backed by a trained regression model.
+///
+/// The raw network output is unbounded; scores are clamped to
+/// `[0, program_length]` so they remain valid Roulette-Wheel weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionFitness {
+    model: TrainedRegressionModel,
+    name: String,
+}
+
+impl RegressionFitness {
+    /// Wraps a trained regression model.
+    #[must_use]
+    pub fn new(model: TrainedRegressionModel) -> Self {
+        let name = format!("regression-{}", model.metric);
+        RegressionFitness { model, name }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn model(&self) -> &TrainedRegressionModel {
+        &self.model
+    }
+}
+
+impl FitnessFunction for RegressionFitness {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
+        let encoded = encode_candidate(self.model.net.encoding(), spec, candidate);
+        match self.model.net.predict(&encoded) {
+            Ok(output) => f64::from(output[0]).clamp(0.0, self.max_score()),
+            Err(_) => 0.0,
+        }
+    }
+
+    fn max_score(&self) -> f64 {
+        self.model.program_length as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{Function, Generator, GeneratorConfig};
+    use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn tiny_dataset(length: usize, seed: u64) -> Vec<FitnessSample> {
+        let mut config = DatasetConfig::for_length(length);
+        config.num_target_programs = 8;
+        config.examples_per_program = 2;
+        generate_dataset(&config, BalanceMetric::CommonFunctions, &mut rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn trains_a_cf_regression_model_end_to_end() {
+        let samples = tiny_dataset(3, 1);
+        let model = train_regression_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            3,
+            &RegressionTrainerConfig::tiny(),
+            &mut rng(2),
+        );
+        assert_eq!(model.metric, ClosenessMetric::CommonFunctions);
+        assert_eq!(model.program_length, 3);
+        assert_eq!(model.report.epochs.len(), 2);
+        assert!(model.report.epochs.iter().all(|e| e.train_loss.is_finite()));
+        assert!(model.report.collapse_ratio.is_finite());
+        assert!(model.report.collapse_ratio >= 0.0);
+        assert!(model.report.label_std > 0.0);
+    }
+
+    #[test]
+    fn training_reduces_mse_over_epochs() {
+        let samples = tiny_dataset(3, 3);
+        let mut config = RegressionTrainerConfig::tiny();
+        config.epochs = 6;
+        config.learning_rate = 5e-3;
+        config.batch_size = 4;
+        let model = train_regression_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            3,
+            &config,
+            &mut rng(4),
+        );
+        let first = model.report.epochs.first().unwrap().train_loss;
+        let last = model.report.epochs.last().unwrap().train_loss;
+        assert!(last < first, "MSE should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn regression_fitness_scores_are_bounded() {
+        let samples = tiny_dataset(3, 5);
+        let model = train_regression_model(
+            ClosenessMetric::LongestCommonSubsequence,
+            &samples,
+            3,
+            &RegressionTrainerConfig::tiny(),
+            &mut rng(6),
+        );
+        let fitness = RegressionFitness::new(model);
+        assert_eq!(fitness.name(), "regression-LCS");
+        assert_eq!(fitness.max_score(), 3.0);
+        let mut r = rng(7);
+        let generator = Generator::new(GeneratorConfig::for_length(3));
+        let task = generator.task(3, &mut r).unwrap();
+        for _ in 0..10 {
+            let candidate = generator.random_program(&mut r);
+            let score = fitness.score(&candidate, &task.spec);
+            assert!((0.0..=3.0).contains(&score), "score {score} out of range");
+        }
+        assert!(fitness.probability_map(&task.spec).is_none());
+        assert!(!fitness.model().report.epochs.is_empty());
+    }
+
+    #[test]
+    fn empty_program_scores_without_panicking() {
+        let samples = tiny_dataset(2, 8);
+        let model = train_regression_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            2,
+            &RegressionTrainerConfig::tiny(),
+            &mut rng(9),
+        );
+        let fitness = RegressionFitness::new(model);
+        let spec = samples[0].spec.clone();
+        let score = fitness.score(&Program::default(), &spec);
+        assert!((0.0..=2.0).contains(&score));
+        let score = fitness.score(&Program::new(vec![Function::Sort]), &spec);
+        assert!((0.0..=2.0).contains(&score));
+    }
+
+    #[test]
+    fn collapse_ratio_measures_spread_loss() {
+        let labels = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        // A collapsed predictor: everything near the median.
+        let collapsed = vec![2.4, 2.5, 2.5, 2.6, 2.5, 2.5];
+        // A faithful predictor.
+        let faithful = vec![0.1, 1.1, 1.9, 3.2, 3.9, 5.0];
+        let r_collapsed = median_collapse_ratio(&collapsed, &labels);
+        let r_faithful = median_collapse_ratio(&faithful, &labels);
+        assert!(r_collapsed < 0.1, "collapsed ratio {r_collapsed}");
+        assert!(r_faithful > 0.8, "faithful ratio {r_faithful}");
+        // Degenerate labels are defined to give 1.0.
+        assert_eq!(median_collapse_ratio(&[1.0, 2.0], &[3.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let samples = tiny_dataset(2, 10);
+        let mut config = RegressionTrainerConfig::tiny();
+        config.epochs = 1;
+        let model = train_regression_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            2,
+            &config,
+            &mut rng(11),
+        );
+        let json = serde_json::to_string(&model).unwrap();
+        let back: TrainedRegressionModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.net, model.net);
+        assert_eq!(back.metric, model.metric);
+    }
+}

@@ -1,0 +1,73 @@
+//! Guidance models: how the neural baselines obtain their per-function
+//! probability estimates.
+//!
+//! DeepCoder, PCCoder and RobustFill all condition their search on a
+//! prediction of which DSL functions are likely to appear in the target
+//! program. In this reproduction that prediction comes from the same FP
+//! network NetSyn uses (trained with `netsyn-fitness`), from a fixed map, or
+//! from an uninformative uniform map (for ablations).
+
+use netsyn_dsl::IoSpec;
+use netsyn_fitness::{LearnedProbabilityModel, ProbabilityMap};
+
+/// Produces a per-function probability map for a specification.
+pub trait GuidanceModel: Send + Sync {
+    /// Predicts the probability of each DSL function appearing in the target.
+    fn probability_map(&self, spec: &IoSpec) -> ProbabilityMap;
+}
+
+impl GuidanceModel for LearnedProbabilityModel {
+    fn probability_map(&self, spec: &IoSpec) -> ProbabilityMap {
+        LearnedProbabilityModel::probability_map(self, spec)
+    }
+}
+
+impl GuidanceModel for ProbabilityMap {
+    fn probability_map(&self, _spec: &IoSpec) -> ProbabilityMap {
+        self.clone()
+    }
+}
+
+/// An uninformative guidance model assigning every function probability 0.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UniformGuidance;
+
+impl GuidanceModel for UniformGuidance {
+    fn probability_map(&self, _spec: &IoSpec) -> ProbabilityMap {
+        ProbabilityMap::uniform()
+    }
+}
+
+/// Blanket implementation for boxed guidance models.
+impl<G: GuidanceModel + ?Sized> GuidanceModel for Box<G> {
+    fn probability_map(&self, spec: &IoSpec) -> ProbabilityMap {
+        (**self).probability_map(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{Function, Program};
+
+    #[test]
+    fn uniform_guidance_is_uninformative() {
+        let map = UniformGuidance.probability_map(&IoSpec::default());
+        assert!(map.as_slice().iter().all(|&p| (p - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn probability_map_is_its_own_guidance() {
+        let target = Program::new(vec![Function::Sort, Function::Reverse]);
+        let fixed = ProbabilityMap::from_target(&target, 0.1);
+        let produced = fixed.probability_map(&IoSpec::default());
+        assert_eq!(produced, fixed);
+    }
+
+    #[test]
+    fn boxed_guidance_delegates() {
+        let boxed: Box<dyn GuidanceModel> = Box::new(UniformGuidance);
+        let map = boxed.probability_map(&IoSpec::default());
+        assert_eq!(map, ProbabilityMap::uniform());
+    }
+}

@@ -1,0 +1,51 @@
+//! # netsyn-baselines
+//!
+//! Baseline synthesizers the NetSyn paper compares against, re-implemented on
+//! the NetSyn DSL so that the paper's "search space used" metric (candidate
+//! programs evaluated against a shared budget) is directly comparable:
+//!
+//! * [`DeepCoder`] — probability-guided enumerative search ("sort and add");
+//! * [`PcCoder`] — stepwise beam search over partial programs with iterative
+//!   beam widening;
+//! * [`RobustFill`] — autoregressive sampling of whole programs from a
+//!   conditional token distribution;
+//! * [`PushGp`] — classical genetic programming with a hand-crafted
+//!   output-distance fitness.
+//!
+//! All baselines implement the common [`Synthesizer`] trait; the neural ones
+//! take a [`GuidanceModel`] (usually the same trained FP network NetSyn
+//! uses) for their per-function probability estimates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod deepcoder;
+mod guidance;
+mod pccoder;
+mod pushgp;
+mod robustfill;
+mod synthesizer;
+
+pub use deepcoder::DeepCoder;
+pub use guidance::{GuidanceModel, UniformGuidance};
+pub use pccoder::PcCoder;
+pub use pushgp::PushGp;
+pub use robustfill::RobustFill;
+pub use synthesizer::{SynthesisProblem, SynthesisResult, Synthesizer};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DeepCoder<UniformGuidance>>();
+        assert_send_sync::<PcCoder<UniformGuidance>>();
+        assert_send_sync::<RobustFill<UniformGuidance>>();
+        assert_send_sync::<PushGp>();
+        assert_send_sync::<SynthesisProblem>();
+        assert_send_sync::<Box<dyn Synthesizer>>();
+        assert_send_sync::<Box<dyn GuidanceModel>>();
+    }
+}

@@ -1,0 +1,158 @@
+//! The common synthesizer interface shared by NetSyn and every baseline.
+//!
+//! All approaches receive the same inputs — an input-output specification,
+//! the assumed target program length, a candidate budget and an RNG — and
+//! report the same outputs, so the paper's "search space used" metric is
+//! directly comparable across methods.
+
+use netsyn_dsl::{IoSpec, Program};
+use netsyn_ga::SearchBudget;
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A synthesis problem instance as seen by a synthesizer: the specification
+/// and the assumed length of the target program. The target program itself is
+/// never exposed to the synthesizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisProblem {
+    /// Input-output examples describing the hidden target program.
+    pub spec: IoSpec,
+    /// Length of the program to synthesize.
+    pub target_length: usize,
+}
+
+impl SynthesisProblem {
+    /// Creates a problem instance.
+    #[must_use]
+    pub fn new(spec: IoSpec, target_length: usize) -> Self {
+        SynthesisProblem {
+            spec,
+            target_length,
+        }
+    }
+}
+
+/// Result of one synthesis attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisResult {
+    /// The synthesized program, if the approach found one within budget.
+    pub solution: Option<Program>,
+    /// Number of candidate programs evaluated during the attempt.
+    pub candidates_evaluated: usize,
+    /// Number of GA generations used, for generation-based approaches.
+    pub generations: Option<usize>,
+}
+
+impl SynthesisResult {
+    /// A failed attempt that evaluated `candidates_evaluated` candidates.
+    #[must_use]
+    pub fn not_found(candidates_evaluated: usize) -> Self {
+        SynthesisResult {
+            solution: None,
+            candidates_evaluated,
+            generations: None,
+        }
+    }
+
+    /// A successful attempt.
+    #[must_use]
+    pub fn found(solution: Program, candidates_evaluated: usize) -> Self {
+        SynthesisResult {
+            solution: Some(solution),
+            candidates_evaluated,
+            generations: None,
+        }
+    }
+
+    /// Whether a solution was found.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.solution.is_some()
+    }
+}
+
+/// A program synthesizer: NetSyn, one of its ablations, or a baseline.
+pub trait Synthesizer: Send + Sync {
+    /// Short display name used in reports (e.g. `"DeepCoder"`, `"NetSyn_CF"`).
+    fn name(&self) -> &str;
+
+    /// Attempts to synthesize a program satisfying `problem.spec`, drawing
+    /// every candidate evaluation from `budget`.
+    fn synthesize(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+    ) -> SynthesisResult;
+}
+
+/// Blanket implementation for boxed synthesizers.
+impl<S: Synthesizer + ?Sized> Synthesizer for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn synthesize(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+    ) -> SynthesisResult {
+        (**self).synthesize(problem, budget, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::Function;
+
+    struct Trivial;
+
+    impl Synthesizer for Trivial {
+        fn name(&self) -> &str {
+            "trivial"
+        }
+
+        fn synthesize(
+            &self,
+            _problem: &SynthesisProblem,
+            budget: &mut SearchBudget,
+            _rng: &mut dyn RngCore,
+        ) -> SynthesisResult {
+            budget.try_consume();
+            SynthesisResult::found(Program::new(vec![Function::Sort]), 1)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_boxable() {
+        let synthesizer: Box<dyn Synthesizer> = Box::new(Trivial);
+        let problem = SynthesisProblem::new(IoSpec::default(), 1);
+        let mut budget = SearchBudget::new(10);
+        let mut rng = rand::thread_rng();
+        let result = synthesizer.synthesize(&problem, &mut budget, &mut rng);
+        assert!(result.is_success());
+        assert_eq!(result.candidates_evaluated, 1);
+        assert_eq!(synthesizer.name(), "trivial");
+        assert_eq!(budget.evaluated(), 1);
+    }
+
+    #[test]
+    fn result_constructors() {
+        let failed = SynthesisResult::not_found(42);
+        assert!(!failed.is_success());
+        assert_eq!(failed.candidates_evaluated, 42);
+        assert_eq!(failed.generations, None);
+        let found = SynthesisResult::found(Program::new(vec![Function::Head]), 7);
+        assert!(found.is_success());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let result = SynthesisResult::found(Program::new(vec![Function::Head]), 7);
+        let json = serde_json::to_string(&result).unwrap();
+        let back: SynthesisResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the fitness metrics and hand-crafted fitness
+//! functions: CF, LCS, output edit distance and the FP probability-map score.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsyn_dsl::{Generator, GeneratorConfig, IoSpec, Program, Value};
+use netsyn_fitness::metrics::{common_functions, longest_common_subsequence, output_edit_distance};
+use netsyn_fitness::{EditDistanceFitness, FitnessFunction, ProbabilityMap};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_programs(length: usize, count: usize) -> Vec<Program> {
+    let generator = Generator::new(GeneratorConfig::for_length(length));
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    (0..count)
+        .map(|_| generator.program(&mut rng).expect("generation succeeds"))
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fitness_metrics");
+    group.sample_size(20);
+    let programs = sample_programs(10, 64);
+    group.bench_function("common_functions_length_10", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = &programs[i % programs.len()];
+            let z = &programs[(i + 1) % programs.len()];
+            i += 1;
+            black_box(common_functions(a, z))
+        });
+    });
+    group.bench_function("lcs_length_10", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = &programs[i % programs.len()];
+            let z = &programs[(i + 1) % programs.len()];
+            i += 1;
+            black_box(longest_common_subsequence(a, z))
+        });
+    });
+    group.bench_function("output_edit_distance", |b| {
+        let a = Value::List((0..16).collect());
+        let z = Value::List((0..16).rev().collect());
+        b.iter(|| black_box(output_edit_distance(black_box(&a), black_box(&z))));
+    });
+
+    let programs5 = sample_programs(5, 16);
+    let spec = IoSpec::from_program(
+        &programs5[0],
+        &[
+            vec![Value::List(vec![3, -1, 7, 0, 2, 9, -5])],
+            vec![Value::List(vec![1, 2, 3, 4])],
+            vec![Value::List(vec![-9, 8, -7, 6])],
+            vec![Value::List(vec![5, 5, 5])],
+            vec![Value::List(vec![0, -1, -2, -3, 10])],
+        ],
+    );
+    group.bench_function("edit_distance_fitness_score", |b| {
+        let fitness = EditDistanceFitness::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let candidate = &programs5[i % programs5.len()];
+            i += 1;
+            black_box(fitness.score(candidate, &spec))
+        });
+    });
+    group.bench_function("probability_map_score", |b| {
+        let map = ProbabilityMap::from_target(&programs5[0], 0.05);
+        let mut i = 0usize;
+        b.iter(|| {
+            let candidate = &programs5[i % programs5.len()];
+            i += 1;
+            black_box(map.score(candidate))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the genetic-algorithm engine: one evolution round
+//! (selection + crossover + mutation + dead-code regeneration) and a short
+//! end-to-end oracle-guided synthesis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsyn_dsl::{Generator, GeneratorConfig, IoSpec};
+use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
+use netsyn_ga::{GaConfig, GeneticEngine, NeighborhoodStrategy, SearchBudget};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_spec(length: usize, seed: u64) -> (netsyn_dsl::Program, IoSpec) {
+    let generator = Generator::new(GeneratorConfig::for_length(length));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let target = generator.program(&mut rng).unwrap();
+    let spec = generator.spec_for(&target, 5, &mut rng);
+    (target, spec)
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ga_engine");
+    group.sample_size(10);
+
+    // A bounded number of generations with the hand-crafted edit-distance
+    // fitness: measures the cost of the evolutionary machinery itself.
+    group.bench_function("evolve_20_generations_pop100_len5", |b| {
+        let (_, spec) = sample_spec(5, 11);
+        let mut config = GaConfig::paper_defaults(5);
+        config.max_generations = 20;
+        config.neighborhood = NeighborhoodStrategy::Disabled;
+        let engine = GeneticEngine::new(config);
+        let fitness = EditDistanceFitness::new();
+        b.iter(|| {
+            let mut budget = SearchBudget::new(1_000_000);
+            let mut rng = ChaCha8Rng::seed_from_u64(99);
+            black_box(engine.synthesize(&spec, &fitness, &mut budget, &mut rng))
+        });
+    });
+
+    // End-to-end synthesis of a length-3 program with the oracle fitness.
+    group.bench_function("oracle_synthesis_len3", |b| {
+        let (target, spec) = sample_spec(3, 12);
+        let engine = GeneticEngine::new(GaConfig::small(3));
+        let oracle = OracleFitness::new(target, ClosenessMetric::CommonFunctions);
+        b.iter(|| {
+            let mut budget = SearchBudget::new(200_000);
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            black_box(engine.synthesize(&spec, &oracle, &mut budget, &mut rng))
+        });
+    });
+
+    group.bench_function("spec_check_batch_128_len5", |b| {
+        let (_, spec) = sample_spec(5, 13);
+        let generator = Generator::new(GeneratorConfig::for_length(5));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let candidates: Vec<_> = (0..128).map(|_| generator.random_program(&mut rng)).collect();
+        b.iter(|| {
+            let mut found = 0usize;
+            for candidate in &candidates {
+                if spec.is_satisfied_by(candidate) {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the DSL interpreter: single-program execution, trace
+//! collection, specification checking and dead-code analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsyn_dsl::dce::{effective_length, eliminate_dead_code};
+use netsyn_dsl::{Generator, GeneratorConfig, IoSpec, Program, Type, Value};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_programs(length: usize, count: usize) -> Vec<Program> {
+    let generator = Generator::new(GeneratorConfig::for_length(length));
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    (0..count)
+        .map(|_| generator.program(&mut rng).expect("generation succeeds"))
+        .collect()
+}
+
+fn sample_input() -> Vec<Value> {
+    vec![Value::List(vec![-7, 12, 3, 0, -2, 9, 5, 1, -11, 6, 4, 8])]
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interpreter");
+    group.sample_size(20);
+    let input = sample_input();
+    for length in [5usize, 10] {
+        let programs = sample_programs(length, 64);
+        group.bench_function(format!("run_length_{length}"), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let program = &programs[i % programs.len()];
+                i += 1;
+                black_box(program.run(black_box(&input)).unwrap())
+            });
+        });
+    }
+    let programs = sample_programs(5, 64);
+    let spec = IoSpec::from_program(
+        &programs[0],
+        &[sample_input(), vec![Value::List(vec![1, -2, 3, -4, 5])]],
+    );
+    group.bench_function("spec_check_length_5", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let program = &programs[i % programs.len()];
+            i += 1;
+            black_box(spec.is_satisfied_by(black_box(program)))
+        });
+    });
+    group.bench_function("dead_code_analysis_length_10", |b| {
+        let programs = sample_programs(10, 64);
+        let mut i = 0usize;
+        b.iter(|| {
+            let program = &programs[i % programs.len()];
+            i += 1;
+            black_box((
+                effective_length(program, &[Type::List]),
+                eliminate_dead_code(program, &[Type::List]).len(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreter);
+criterion_main!(benches);

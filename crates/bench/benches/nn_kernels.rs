@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the neural-network substrate and the full fitness
+//! network: matrix multiplication, LSTM forward/backward, and the NN-FF
+//! forward pass that dominates NetSyn's per-candidate cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsyn_dsl::{Generator, GeneratorConfig};
+use netsyn_fitness::encoding::encode_candidate;
+use netsyn_fitness::{EncodingConfig, FitnessNet, FitnessNetConfig};
+use netsyn_nn::{Lstm, Matrix, Parameterized};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_kernels");
+    group.sample_size(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+
+    let a = Matrix::xavier(64, 64, &mut rng);
+    let b = Matrix::xavier(64, 64, &mut rng);
+    group.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(black_box(&b))));
+    });
+
+    let mut lstm = Lstm::new(16, 32, &mut rng);
+    let sequence: Vec<Vec<f32>> = (0..12)
+        .map(|t| (0..16).map(|d| ((t * 16 + d) as f32 * 0.01).sin()).collect())
+        .collect();
+    group.bench_function("lstm_forward_12x16_h32", |bench| {
+        bench.iter(|| black_box(lstm.forward(black_box(&sequence))));
+    });
+    group.bench_function("lstm_forward_backward_12x16_h32", |bench| {
+        bench.iter(|| {
+            let (h, cache) = lstm.forward(black_box(&sequence));
+            let grads = lstm.backward(&cache, &h);
+            lstm.zero_grad();
+            black_box(grads)
+        });
+    });
+
+    // The dominant cost inside NetSyn: one NN-FF forward pass per candidate.
+    let net = FitnessNet::new(FitnessNetConfig::small(6), EncodingConfig::new(), &mut rng);
+    let generator = Generator::new(GeneratorConfig::for_length(5));
+    let target = generator.program(&mut rng).unwrap();
+    let spec = generator.spec_for(&target, 5, &mut rng);
+    let candidate = generator.random_program(&mut rng);
+    let encoded = encode_candidate(net.encoding(), &spec, &candidate);
+    group.bench_function("fitness_net_forward_len5_m5", |bench| {
+        bench.iter(|| black_box(net.predict(black_box(&encoded)).unwrap()));
+    });
+    group.bench_function("encode_candidate_len5_m5", |bench| {
+        bench.iter(|| black_box(encode_candidate(net.encoding(), &spec, &candidate)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

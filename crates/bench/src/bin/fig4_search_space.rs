@@ -1,0 +1,51 @@
+//! Figure 4(a)–(c) and Table 4: search space used (as a percentage of the
+//! candidate cap) versus the percentage of test programs synthesized, for
+//! every method and program length.
+
+use netsyn_bench::{build_methods, decile_headers, generate_suite, load_bundle, HarnessConfig, MethodSet};
+use netsyn_core::prelude::*;
+use netsyn_core::report::format_percentage;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    for &length in &config.lengths {
+        let suite = generate_suite(&config, length);
+        let bundle = load_bundle(length, config.full, config.seed);
+        let methods = build_methods(MethodSet::All, length, &bundle);
+        let mut table = Table::new(
+            format!(
+                "Table 4 / Figure 4(a-c): search space used to synthesize (length {length}, cap {} candidates, {} programs, {} runs each)",
+                config.budget_cap,
+                suite.len(),
+                config.runs_per_task
+            ),
+            &decile_headers(),
+        );
+        let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
+        for method in &methods {
+            eprintln!("[fig4_search_space] length {length}: running {}", method.name);
+            let evaluation =
+                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            let deciles = evaluation.search_space_deciles();
+            let mut row = vec![evaluation.method.clone()];
+            row.extend(deciles.iter().map(|d| format_percentage(*d)));
+            table.push_row(row);
+            curves.push((
+                evaluation.method.clone(),
+                evaluation.sorted_cost_curve(&evaluation.per_task_search_fraction()),
+            ));
+        }
+        println!("{table}");
+        if !config.table {
+            println!("# Figure 4 curve series (x = % of programs synthesized, y = % of search space)");
+            println!("method,percent_synthesized,search_space_percent");
+            for (method, curve) in &curves {
+                for (i, fraction) in curve.iter().enumerate() {
+                    let percent = (i + 1) as f64 / suite.len() as f64 * 100.0;
+                    println!("{method},{percent:.1},{:.3}", fraction * 100.0);
+                }
+            }
+        }
+        println!();
+    }
+}

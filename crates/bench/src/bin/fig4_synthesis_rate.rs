@@ -1,0 +1,54 @@
+//! Figure 4(d)–(f): the distribution of per-program synthesis rates (what
+//! percentage of the K repetitions synthesize each program), the data behind
+//! the paper's violin plots.
+
+use netsyn_bench::{build_methods, generate_suite, load_bundle, HarnessConfig, MethodSet};
+use netsyn_core::prelude::*;
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    for &length in &config.lengths {
+        let suite = generate_suite(&config, length);
+        let bundle = load_bundle(length, config.full, config.seed);
+        let methods = build_methods(MethodSet::All, length, &bundle);
+        let mut table = Table::new(
+            format!(
+                "Figure 4(d-f): per-program synthesis-rate distribution (length {length}, {} runs per program)",
+                config.runs_per_task
+            ),
+            &["method", "min", "q25", "median", "q75", "max", "mean"],
+        );
+        println!("# raw violin data: method,task_index,synthesis_rate_percent");
+        for method in &methods {
+            eprintln!("[fig4_synthesis_rate] length {length}: running {}", method.name);
+            let evaluation =
+                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            let mut rates = evaluation.per_task_synthesis_rate();
+            for (task, rate) in rates.iter().enumerate() {
+                println!("{},{task},{:.0}", evaluation.method, rate * 100.0);
+            }
+            rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            let mean = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
+            table.push_row(vec![
+                evaluation.method.clone(),
+                format!("{:.0}%", quantile(&rates, 0.0) * 100.0),
+                format!("{:.0}%", quantile(&rates, 0.25) * 100.0),
+                format!("{:.0}%", quantile(&rates, 0.5) * 100.0),
+                format!("{:.0}%", quantile(&rates, 0.75) * 100.0),
+                format!("{:.0}%", quantile(&rates, 1.0) * 100.0),
+                format!("{:.0}%", mean * 100.0),
+            ]);
+        }
+        println!();
+        println!("{table}");
+        println!();
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 4(g)–(i) and Table 3: wall-clock synthesis time needed to
+//! synthesize a growing percentage of the test programs, for every method and
+//! program length.
+//!
+//! Absolute times are implementation- and machine-specific (the paper's
+//! numbers come from a Python/TensorFlow stack); the reproduced quantity is
+//! the *shape*: which methods reach which percentile within budget and how
+//! times grow with program length.
+
+use netsyn_bench::{build_methods, decile_headers, generate_suite, load_bundle, HarnessConfig, MethodSet};
+use netsyn_core::prelude::*;
+use netsyn_core::report::format_seconds;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    for &length in &config.lengths {
+        let suite = generate_suite(&config, length);
+        let bundle = load_bundle(length, config.full, config.seed);
+        let methods = build_methods(MethodSet::All, length, &bundle);
+        let mut headers = vec!["method", "synthesized"];
+        headers.extend(decile_headers().into_iter().skip(1));
+        let mut table = Table::new(
+            format!(
+                "Table 3 / Figure 4(g-i): synthesis time (length {length}, cap {} candidates)",
+                config.budget_cap
+            ),
+            &headers,
+        );
+        for method in &methods {
+            eprintln!("[fig4_synthesis_time] length {length}: running {}", method.name);
+            let evaluation =
+                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            let mut row = vec![
+                evaluation.method.clone(),
+                format!("{:.0}%", evaluation.percent_synthesized() * 100.0),
+            ];
+            row.extend(evaluation.time_deciles().iter().map(|d| format_seconds(*d)));
+            table.push_row(row);
+        }
+        println!("{table}");
+        println!();
+    }
+}

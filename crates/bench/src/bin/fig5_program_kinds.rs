@@ -1,0 +1,45 @@
+//! Figure 5: NetSyn's synthesis ability split by fitness function and by
+//! program kind (singleton-integer output vs list output). Singleton programs
+//! are harder to synthesize for all three NetSyn variants.
+
+use netsyn_bench::{build_methods, generate_suite, load_bundle, HarnessConfig, MethodSet};
+use netsyn_core::prelude::*;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    for &length in &config.lengths {
+        let suite = generate_suite(&config, length);
+        let bundle = load_bundle(length, config.full, config.seed);
+        let methods = build_methods(MethodSet::NetSynOnly, length, &bundle);
+        let mut table = Table::new(
+            format!(
+                "Figure 5: synthesis rate by program kind (length {length}, {} singleton + {} list programs)",
+                config.tasks_per_kind, config.tasks_per_kind
+            ),
+            &["fitness", "singleton programs", "list programs"],
+        );
+        println!("# raw per-program data: fitness,task_index,kind,synthesis_rate_percent");
+        for method in &methods {
+            eprintln!("[fig5_program_kinds] length {length}: running {}", method.name);
+            let evaluation =
+                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            let rates = evaluation.per_task_synthesis_rate();
+            for (index, (task, rate)) in suite.tasks.iter().zip(rates.iter()).enumerate() {
+                let kind = task
+                    .kind()
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "unknown".to_string());
+                println!("{},{index},{kind},{:.0}", evaluation.method, rate * 100.0);
+            }
+            let (singleton, list) = evaluation.rate_by_kind(&suite);
+            table.push_row(vec![
+                evaluation.method.clone(),
+                format!("{:.0}%", singleton * 100.0),
+                format!("{:.0}%", list * 100.0),
+            ]);
+        }
+        println!();
+        println!("{table}");
+        println!();
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 6: synthesis rate broken down by DSL function, for the CF-based and
+//! FP-based fitness functions. Functions 1–11 produce a singleton integer and
+//! drag down the synthesis rate of any program containing them.
+
+use netsyn_bench::{build_methods, generate_suite, load_bundle, HarnessConfig, MethodSet};
+use netsyn_core::prelude::*;
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    for &length in &config.lengths {
+        let suite = generate_suite(&config, length);
+        let bundle = load_bundle(length, config.full, config.seed);
+        let methods: Vec<_> = build_methods(MethodSet::NetSynOnly, length, &bundle)
+            .into_iter()
+            .filter(|m| m.name == "NetSyn_CF" || m.name == "NetSyn_FP")
+            .collect();
+        let mut table = Table::new(
+            format!("Figure 6: synthesis rate per DSL function (length {length})"),
+            &["function id", "function", "NetSyn_CF", "NetSyn_FP", "returns int"],
+        );
+        let mut per_method: Vec<(String, Vec<(Function, Option<f64>)>)> = Vec::new();
+        for method in &methods {
+            eprintln!("[fig6_per_function] length {length}: running {}", method.name);
+            let evaluation =
+                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            per_method.push((evaluation.method.clone(), evaluation.rate_by_function(&suite)));
+        }
+        let format_rate = |value: &Option<f64>| match value {
+            None => "n/a".to_string(),
+            Some(rate) => format!("{:.0}%", rate * 100.0),
+        };
+        for (index, function) in Function::ALL.iter().enumerate() {
+            let cf = per_method
+                .iter()
+                .find(|(name, _)| name == "NetSyn_CF")
+                .map(|(_, rates)| format_rate(&rates[index].1))
+                .unwrap_or_else(|| "n/a".to_string());
+            let fp = per_method
+                .iter()
+                .find(|(name, _)| name == "NetSyn_FP")
+                .map(|(_, rates)| format_rate(&rates[index].1))
+                .unwrap_or_else(|| "n/a".to_string());
+            table.push_row(vec![
+                function.id().to_string(),
+                function.to_string(),
+                cf,
+                fp,
+                if function.returns_int() { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        println!("{table}");
+        println!();
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 7: quality of the learned fitness functions themselves —
+//! (a) confusion matrix of the CF classifier, (b) confusion matrix of the LCS
+//! classifier, (c) validation accuracy of the FP model over training epochs.
+
+use netsyn_bench::HarnessConfig;
+use netsyn_core::prelude::*;
+use netsyn_core::Table;
+use netsyn_fitness::dataset::{generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig};
+use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn confusion_table(title: &str, model: &netsyn_fitness::TrainedFitnessModel) -> Table {
+    let confusion = model
+        .report
+        .confusion
+        .as_ref()
+        .expect("classification models always produce a confusion matrix");
+    let classes = confusion.classes();
+    let mut headers: Vec<String> = vec!["actual \\ predicted".to_string()];
+    headers.extend((0..classes).map(|c| c.to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        format!("{title} (validation accuracy {:.2})", confusion.accuracy()),
+        &header_refs,
+    );
+    for (actual, row) in confusion.row_normalized().iter().enumerate() {
+        let mut cells = vec![actual.to_string()];
+        cells.extend(row.iter().map(|p| format!("{p:.2}")));
+        table.push_row(cells);
+    }
+    table
+}
+
+fn main() {
+    let config = HarnessConfig::from_args();
+    let length = config.lengths.first().copied().unwrap_or(5);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xF17);
+
+    let mut dataset_config = DatasetConfig::for_length(length);
+    let mut trainer_config = TrainerConfig::small();
+    if config.full {
+        dataset_config.num_target_programs = 5_000;
+        trainer_config.epochs = 40;
+    } else {
+        dataset_config.num_target_programs = 120;
+        trainer_config.epochs = 6;
+    }
+
+    eprintln!("[fig7] training CF model ({} targets)", dataset_config.num_target_programs);
+    let cf_samples =
+        generate_dataset(&dataset_config, BalanceMetric::CommonFunctions, &mut rng).unwrap();
+    let cf_model = train_fitness_model(
+        FitnessModelKind::CommonFunctions,
+        &cf_samples,
+        length,
+        &trainer_config,
+        &mut rng,
+    );
+    println!("{}", confusion_table("Figure 7(a): f_CF confusion matrix", &cf_model));
+    println!();
+
+    eprintln!("[fig7] training LCS model");
+    let lcs_samples = generate_dataset(
+        &dataset_config,
+        BalanceMetric::LongestCommonSubsequence,
+        &mut rng,
+    )
+    .unwrap();
+    let lcs_model = train_fitness_model(
+        FitnessModelKind::LongestCommonSubsequence,
+        &lcs_samples,
+        length,
+        &trainer_config,
+        &mut rng,
+    );
+    println!("{}", confusion_table("Figure 7(b): f_LCS confusion matrix", &lcs_model));
+    println!();
+
+    eprintln!("[fig7] training FP model");
+    let mut fp_dataset = dataset_config.clone();
+    fp_dataset.num_target_programs *= length + 1;
+    let fp_samples = generate_fp_dataset(&fp_dataset, &mut rng).unwrap();
+    let fp_model = train_fitness_model(
+        FitnessModelKind::FunctionProbability,
+        &fp_samples,
+        length,
+        &trainer_config,
+        &mut rng,
+    );
+    let mut table = Table::new(
+        "Figure 7(c): f_FP validation accuracy over training epochs",
+        &["epoch", "train loss", "validation accuracy"],
+    );
+    for epoch in &fp_model.report.epochs {
+        table.push_row(vec![
+            epoch.epoch.to_string(),
+            format!("{:.4}", epoch.train_loss),
+            format!("{:.3}", epoch.validation_accuracy),
+        ]);
+    }
+    println!("{table}");
+
+    let _ = SuiteConfig::paper(length);
+}

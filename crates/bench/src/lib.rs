@@ -1,0 +1,253 @@
+//! Shared harness for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary accepts the same command-line flags:
+//!
+//! * `--full` — move parameters toward paper scale (larger suites, more runs,
+//!   larger budgets, bigger training corpora); the defaults finish in minutes
+//!   on a laptop CPU.
+//! * `--length <L>` — restrict the experiment to one program length.
+//! * `--table` — print the numeric table form (Tables 3/4) instead of the
+//!   per-program curve series.
+//!
+//! Trained model bundles are cached under `target/netsyn-models/` so repeated
+//! experiment runs do not retrain the fitness networks.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use netsyn_core::prelude::*;
+use netsyn_dsl::SynthesisTask;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Command-line configuration shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessConfig {
+    /// Program lengths to evaluate.
+    pub lengths: Vec<usize>,
+    /// Test programs per output kind (singleton / list) per length.
+    pub tasks_per_kind: usize,
+    /// Repetitions per task (`K` in the paper, 10).
+    pub runs_per_task: usize,
+    /// Candidate-budget cap per attempt (3,000,000 in the paper).
+    pub budget_cap: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Whether `--full` was passed.
+    pub full: bool,
+    /// Whether `--table` was passed.
+    pub table: bool,
+}
+
+impl HarnessConfig {
+    /// Parses the standard flags from `std::env::args`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let table = args.iter().any(|a| a == "--table");
+        let length = args
+            .iter()
+            .position(|a| a == "--length")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok());
+        let mut config = if full {
+            HarnessConfig {
+                lengths: vec![5, 7, 10],
+                tasks_per_kind: 50,
+                runs_per_task: 10,
+                budget_cap: 3_000_000,
+                seed: 2021,
+                full,
+                table,
+            }
+        } else {
+            HarnessConfig {
+                lengths: vec![5],
+                tasks_per_kind: 5,
+                runs_per_task: 2,
+                budget_cap: 4_000,
+                seed: 2021,
+                full,
+                table,
+            }
+        };
+        if let Some(length) = length {
+            config.lengths = vec![length];
+        }
+        config
+    }
+
+    /// A fixed small configuration used by the harness's own tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        HarnessConfig {
+            lengths: vec![2],
+            tasks_per_kind: 2,
+            runs_per_task: 1,
+            budget_cap: 2_000,
+            seed: 7,
+            full: false,
+            table: false,
+        }
+    }
+}
+
+/// Where trained model bundles are cached.
+#[must_use]
+pub fn model_cache_path(program_length: usize, full: bool) -> PathBuf {
+    let scale = if full { "full" } else { "small" };
+    PathBuf::from("target")
+        .join("netsyn-models")
+        .join(format!("bundle_len{program_length}_{scale}.json"))
+}
+
+/// Loads (or trains and caches) the fitness-model bundle for a length.
+///
+/// # Panics
+///
+/// Panics if training or file IO fails — experiment binaries cannot proceed
+/// without models.
+#[must_use]
+pub fn load_bundle(program_length: usize, full: bool, seed: u64) -> Arc<ModelBundle> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xB0BA);
+    let config = if full {
+        let mut config = BundleTrainingConfig::small(program_length);
+        config.dataset.num_target_programs = 2_000;
+        config.trainer.epochs = 10;
+        config
+    } else {
+        let mut config = BundleTrainingConfig::small(program_length);
+        config.dataset.num_target_programs = 60;
+        config.trainer.epochs = 2;
+        config
+    };
+    let path = model_cache_path(program_length, full);
+    let bundle = ModelBundle::load_or_train(&path, &config, &mut rng)
+        .expect("training or loading the fitness-model bundle failed");
+    Arc::new(bundle)
+}
+
+/// Generates the evaluation suite for one program length.
+///
+/// # Panics
+///
+/// Panics if suite generation fails (the generator constraints are standard).
+#[must_use]
+pub fn generate_suite(config: &HarnessConfig, program_length: usize) -> TestSuite {
+    let suite_config = SuiteConfig::small(program_length, config.tasks_per_kind);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ ((program_length as u64) << 8));
+    TestSuite::generate(&suite_config, &mut rng).expect("suite generation failed")
+}
+
+/// Which methods an experiment evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodSet {
+    /// Every method of Figure 4 / Tables 3-4: baselines, NetSyn variants and
+    /// the oracle.
+    All,
+    /// Only the three NetSyn variants (Figures 5 and 6).
+    NetSynOnly,
+}
+
+/// Builds the method specifications for one program length.
+#[must_use]
+pub fn build_methods<'a>(
+    set: MethodSet,
+    program_length: usize,
+    bundle: &'a Arc<ModelBundle>,
+) -> Vec<MethodSpec<'a>> {
+    let mut methods: Vec<MethodSpec<'a>> = Vec::new();
+    let netsyn_method = move |choice: FitnessChoice, bundle: &'a Arc<ModelBundle>| {
+        MethodSpec::new(choice.label(), move |_task: &SynthesisTask| {
+            let config = NetSynConfig::paper_defaults(choice, program_length);
+            Box::new(NetSyn::new(config, Some(Arc::clone(bundle)))) as Box<dyn Synthesizer>
+        })
+    };
+    if set == MethodSet::All {
+        methods.push(MethodSpec::new("PushGP", move |_task: &SynthesisTask| {
+            Box::new(PushGp::new()) as Box<dyn Synthesizer>
+        }));
+        methods.push(MethodSpec::new("Edit", move |_task: &SynthesisTask| {
+            let mut config =
+                NetSynConfig::paper_defaults(FitnessChoice::EditDistance, program_length);
+            config.ga.mutation_mode = MutationMode::UniformRandom;
+            Box::new(NetSyn::new(config, None)) as Box<dyn Synthesizer>
+        }));
+        methods.push(MethodSpec::new("DeepCoder", {
+            let bundle = Arc::clone(bundle);
+            move |_task: &SynthesisTask| {
+                let guidance = LearnedProbabilityModel::new(bundle.fp.clone());
+                Box::new(DeepCoder::new(guidance)) as Box<dyn Synthesizer>
+            }
+        }));
+        methods.push(MethodSpec::new("PCCoder", {
+            let bundle = Arc::clone(bundle);
+            move |_task: &SynthesisTask| {
+                let guidance = LearnedProbabilityModel::new(bundle.fp.clone());
+                Box::new(PcCoder::new(guidance)) as Box<dyn Synthesizer>
+            }
+        }));
+        methods.push(MethodSpec::new("RobustFill", {
+            let bundle = Arc::clone(bundle);
+            move |_task: &SynthesisTask| {
+                let guidance = LearnedProbabilityModel::new(bundle.fp.clone());
+                Box::new(RobustFill::new(guidance)) as Box<dyn Synthesizer>
+            }
+        }));
+    }
+    methods.push(netsyn_method(FitnessChoice::NeuralFunctionProbability, bundle));
+    methods.push(netsyn_method(FitnessChoice::NeuralLongestCommonSubsequence, bundle));
+    methods.push(netsyn_method(FitnessChoice::NeuralCommonFunctions, bundle));
+    if set == MethodSet::All {
+        methods.push(MethodSpec::new("Oracle_LCS|CF", move |task: &SynthesisTask| {
+            let config = NetSynConfig::paper_defaults(
+                FitnessChoice::OracleCommonFunctions,
+                program_length,
+            );
+            Box::new(NetSyn::new(config, None).with_oracle_target(task.target.clone()))
+                as Box<dyn Synthesizer>
+        }));
+    }
+    methods
+}
+
+/// The decile column headers used by Tables 3 and 4.
+#[must_use]
+pub fn decile_headers() -> Vec<&'static str> {
+    vec![
+        "method", "10%", "20%", "30%", "40%", "50%", "60%", "70%", "80%", "90%", "100%",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load_bundle_for_tests() -> Arc<ModelBundle> {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        Arc::new(ModelBundle::train(&BundleTrainingConfig::tiny(2), &mut rng).unwrap())
+    }
+
+    #[test]
+    fn tiny_config_builds_suite_and_methods() {
+        let config = HarnessConfig::tiny();
+        let suite = generate_suite(&config, 2);
+        assert_eq!(suite.len(), 4);
+        let bundle = load_bundle_for_tests();
+        let all = build_methods(MethodSet::All, 2, &bundle);
+        assert!(all.len() >= 9);
+        let netsyn_only = build_methods(MethodSet::NetSynOnly, 2, &bundle);
+        assert_eq!(netsyn_only.len(), 3);
+        assert_eq!(decile_headers().len(), 11);
+    }
+
+    #[test]
+    fn model_cache_path_distinguishes_scales() {
+        assert_ne!(model_cache_path(5, true), model_cache_path(5, false));
+        assert_ne!(model_cache_path(5, false), model_cache_path(7, false));
+    }
+}

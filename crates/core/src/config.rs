@@ -1,0 +1,139 @@
+//! NetSyn configuration: which fitness function drives the genetic
+//! algorithm, and the GA hyper-parameters.
+
+use netsyn_ga::GaConfig;
+use serde::{Deserialize, Serialize};
+
+/// The fitness function a NetSyn instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FitnessChoice {
+    /// Learned neural predictor of the number of common functions
+    /// (`NetSyn_CF`).
+    NeuralCommonFunctions,
+    /// Learned neural predictor of the longest common subsequence
+    /// (`NetSyn_LCS`).
+    NeuralLongestCommonSubsequence,
+    /// Learned per-function probability map (`NetSyn_FP`).
+    NeuralFunctionProbability,
+    /// Hand-crafted output edit-distance fitness (`f_Edit`).
+    EditDistance,
+    /// Oracle CF fitness (requires the hidden target program).
+    OracleCommonFunctions,
+    /// Oracle LCS fitness (requires the hidden target program).
+    OracleLongestCommonSubsequence,
+}
+
+impl FitnessChoice {
+    /// Display label used in reports, matching the paper's naming.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FitnessChoice::NeuralCommonFunctions => "NetSyn_CF",
+            FitnessChoice::NeuralLongestCommonSubsequence => "NetSyn_LCS",
+            FitnessChoice::NeuralFunctionProbability => "NetSyn_FP",
+            FitnessChoice::EditDistance => "Edit",
+            FitnessChoice::OracleCommonFunctions => "Oracle_CF",
+            FitnessChoice::OracleLongestCommonSubsequence => "Oracle_LCS",
+        }
+    }
+
+    /// Whether this choice requires a trained neural model.
+    #[must_use]
+    pub fn needs_model(self) -> bool {
+        matches!(
+            self,
+            FitnessChoice::NeuralCommonFunctions
+                | FitnessChoice::NeuralLongestCommonSubsequence
+                | FitnessChoice::NeuralFunctionProbability
+        )
+    }
+
+    /// Whether this choice requires knowledge of the hidden target program.
+    #[must_use]
+    pub fn needs_oracle_target(self) -> bool {
+        matches!(
+            self,
+            FitnessChoice::OracleCommonFunctions | FitnessChoice::OracleLongestCommonSubsequence
+        )
+    }
+}
+
+impl std::fmt::Display for FitnessChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Full configuration of a NetSyn synthesizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetSynConfig {
+    /// Which fitness function drives the search.
+    pub fitness: FitnessChoice,
+    /// Genetic-algorithm hyper-parameters (population, rates, neighborhood
+    /// search, mutation mode, generation cap).
+    pub ga: GaConfig,
+}
+
+impl NetSynConfig {
+    /// The paper's default NetSyn configuration for a given fitness choice
+    /// and program length: GA defaults from Appendix B, BFS neighborhood
+    /// search and FP-guided mutation.
+    #[must_use]
+    pub fn paper_defaults(fitness: FitnessChoice, program_length: usize) -> Self {
+        let mut ga = GaConfig::paper_defaults(program_length);
+        ga.mutation_mode = netsyn_ga::MutationMode::ProbabilityGuided;
+        NetSynConfig { fitness, ga }
+    }
+
+    /// A scaled-down configuration for tests and examples.
+    #[must_use]
+    pub fn small(fitness: FitnessChoice, program_length: usize) -> Self {
+        NetSynConfig {
+            fitness,
+            ga: GaConfig::small(program_length),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(FitnessChoice::NeuralCommonFunctions.label(), "NetSyn_CF");
+        assert_eq!(
+            FitnessChoice::NeuralLongestCommonSubsequence.to_string(),
+            "NetSyn_LCS"
+        );
+        assert_eq!(FitnessChoice::NeuralFunctionProbability.label(), "NetSyn_FP");
+        assert_eq!(FitnessChoice::EditDistance.label(), "Edit");
+        assert_eq!(FitnessChoice::OracleCommonFunctions.label(), "Oracle_CF");
+    }
+
+    #[test]
+    fn model_and_oracle_requirements() {
+        assert!(FitnessChoice::NeuralCommonFunctions.needs_model());
+        assert!(FitnessChoice::NeuralFunctionProbability.needs_model());
+        assert!(!FitnessChoice::EditDistance.needs_model());
+        assert!(!FitnessChoice::OracleCommonFunctions.needs_model());
+        assert!(FitnessChoice::OracleLongestCommonSubsequence.needs_oracle_target());
+        assert!(!FitnessChoice::NeuralCommonFunctions.needs_oracle_target());
+    }
+
+    #[test]
+    fn paper_defaults_use_guided_mutation_and_bfs() {
+        let config = NetSynConfig::paper_defaults(FitnessChoice::NeuralCommonFunctions, 5);
+        assert_eq!(config.ga.mutation_mode, netsyn_ga::MutationMode::ProbabilityGuided);
+        assert_eq!(config.ga.neighborhood, netsyn_ga::NeighborhoodStrategy::Bfs);
+        assert_eq!(config.ga.population_size, 100);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = NetSynConfig::small(FitnessChoice::EditDistance, 7);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: NetSynConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+}

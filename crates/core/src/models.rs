@@ -1,0 +1,204 @@
+//! Bundles of trained fitness models (CF, LCS, FP) for a program length,
+//! with training and disk caching helpers.
+
+use netsyn_fitness::dataset::{
+    generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig,
+};
+use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
+use netsyn_fitness::TrainedFitnessModel;
+use netsyn_dsl::DslError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The three trained fitness networks NetSyn can use for one program length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Program length the bundle was trained for.
+    pub program_length: usize,
+    /// Common-functions classifier.
+    pub cf: TrainedFitnessModel,
+    /// Longest-common-subsequence classifier.
+    pub lcs: TrainedFitnessModel,
+    /// Function-probability (FP) model.
+    pub fp: TrainedFitnessModel,
+}
+
+/// Configuration of bundle training: corpus size and trainer settings shared
+/// by the three models.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BundleTrainingConfig {
+    /// Corpus generation parameters.
+    pub dataset: DatasetConfig,
+    /// Training-loop parameters.
+    pub trainer: TrainerConfig,
+}
+
+impl BundleTrainingConfig {
+    /// A small configuration that trains a usable bundle in roughly a minute
+    /// of CPU time for length-5 programs. The paper uses 4.2 million training
+    /// programs; see EXPERIMENTS.md for the scaling discussion.
+    #[must_use]
+    pub fn small(program_length: usize) -> Self {
+        let mut dataset = DatasetConfig::for_length(program_length);
+        dataset.num_target_programs = 150;
+        dataset.examples_per_program = 5;
+        let mut trainer = TrainerConfig::small();
+        trainer.epochs = 4;
+        BundleTrainingConfig { dataset, trainer }
+    }
+
+    /// A tiny configuration for unit tests (seconds of CPU time).
+    #[must_use]
+    pub fn tiny(program_length: usize) -> Self {
+        let mut config = BundleTrainingConfig::small(program_length);
+        config.dataset.num_target_programs = 10;
+        config.dataset.examples_per_program = 2;
+        config.trainer.epochs = 1;
+        config.trainer.net = netsyn_fitness::FitnessNetConfig {
+            value_embed_dim: 4,
+            encoder_hidden_dim: 6,
+            function_embed_dim: 4,
+            trace_hidden_dim: 6,
+            example_hidden_dim: 8,
+            head_hidden_dim: 8,
+            output_dim: 1,
+        };
+        config
+    }
+}
+
+impl ModelBundle {
+    /// Trains CF, LCS and FP models from freshly generated corpora.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::GenerationExhausted`] if corpus generation fails.
+    pub fn train<R: Rng + ?Sized>(
+        config: &BundleTrainingConfig,
+        rng: &mut R,
+    ) -> Result<Self, DslError> {
+        let length = config.dataset.program_length;
+        let cf_samples = generate_dataset(&config.dataset, BalanceMetric::CommonFunctions, rng)?;
+        let cf = train_fitness_model(
+            FitnessModelKind::CommonFunctions,
+            &cf_samples,
+            length,
+            &config.trainer,
+            rng,
+        );
+        let lcs_samples =
+            generate_dataset(&config.dataset, BalanceMetric::LongestCommonSubsequence, rng)?;
+        let lcs = train_fitness_model(
+            FitnessModelKind::LongestCommonSubsequence,
+            &lcs_samples,
+            length,
+            &config.trainer,
+            rng,
+        );
+        let mut fp_dataset = config.dataset.clone();
+        // The FP corpus needs only one sample per target; reuse the same
+        // number of targets as the classifiers for comparable coverage.
+        fp_dataset.num_target_programs = config.dataset.num_target_programs
+            * (config.dataset.program_length + 1)
+            * config.dataset.candidates_per_value;
+        let fp_samples = generate_fp_dataset(&fp_dataset, rng)?;
+        let fp = train_fitness_model(
+            FitnessModelKind::FunctionProbability,
+            &fp_samples,
+            length,
+            &config.trainer,
+            rng,
+        );
+        Ok(ModelBundle {
+            program_length: length,
+            cf,
+            lcs,
+            fp,
+        })
+    }
+
+    /// Serializes the bundle to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a bundle previously written with [`ModelBundle::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load_json<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+
+    /// Loads the bundle from `path` if it exists, otherwise trains a new one
+    /// with `config` and saves it to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if training or file IO fails.
+    pub fn load_or_train<P: AsRef<Path>, R: Rng + ?Sized>(
+        path: P,
+        config: &BundleTrainingConfig,
+        rng: &mut R,
+    ) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        if path.exists() {
+            return Self::load_json(path);
+        }
+        let bundle = Self::train(config, rng).map_err(std::io::Error::other)?;
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        bundle.save_json(path)?;
+        Ok(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn trains_a_tiny_bundle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let bundle = ModelBundle::train(&BundleTrainingConfig::tiny(3), &mut rng).unwrap();
+        assert_eq!(bundle.program_length, 3);
+        assert_eq!(bundle.cf.kind, FitnessModelKind::CommonFunctions);
+        assert_eq!(bundle.lcs.kind, FitnessModelKind::LongestCommonSubsequence);
+        assert_eq!(bundle.fp.kind, FitnessModelKind::FunctionProbability);
+        assert_eq!(bundle.cf.net.output_dim(), 4);
+        assert_eq!(bundle.fp.net.output_dim(), 41);
+    }
+
+    #[test]
+    fn load_or_train_round_trips_through_disk() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let dir = std::env::temp_dir().join("netsyn_core_bundle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle_len3.json");
+        std::fs::remove_file(&path).ok();
+        let config = BundleTrainingConfig::tiny(3);
+        let trained = ModelBundle::load_or_train(&path, &config, &mut rng).unwrap();
+        assert!(path.exists());
+        let loaded = ModelBundle::load_or_train(&path, &config, &mut rng).unwrap();
+        // Network weights are f32 and round-trip exactly through JSON; the
+        // f64 training-history statistics may lose their last digit, so the
+        // comparison is on the models themselves.
+        assert_eq!(trained.program_length, loaded.program_length);
+        assert_eq!(trained.cf.net, loaded.cf.net);
+        assert_eq!(trained.lcs.net, loaded.lcs.net);
+        assert_eq!(trained.fp.net, loaded.fp.net);
+        assert_eq!(trained.fp.kind, loaded.fp.kind);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! Plain-text / CSV table rendering for experiment reports.
+//!
+//! The benchmark binaries print the same rows and columns the paper's tables
+//! and figures report, using this small formatter.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple rectangular table with a title, column headers and string cells.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Table 4: search space used (length 5)"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length does not match the header count.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row length must match header count"
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as CSV (headers first).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(widths.iter())
+                .map(|(cell, width)| format!("{cell:>width$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", render_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for row in &self.rows {
+            writeln!(f, "{}", render_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an optional cost value as a percentage string (`"37%"`), a
+/// sub-percent marker (`"<1%"`) or a dash for `None` — the convention used by
+/// Table 4 of the paper.
+#[must_use]
+pub fn format_percentage(value: Option<f64>) -> String {
+    match value {
+        None => "-".to_string(),
+        Some(v) if v < 0.01 => "<1%".to_string(),
+        Some(v) => format!("{:.0}%", v * 100.0),
+    }
+}
+
+/// Formats an optional duration in seconds as the paper's Table 3 does
+/// (`"<1s"`, `"13s"`, or a dash).
+#[must_use]
+pub fn format_seconds(value: Option<f64>) -> String {
+    match value {
+        None => "-".to_string(),
+        Some(v) if v < 1.0 => "<1s".to_string(),
+        Some(v) => format!("{v:.0}s"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_title_headers_and_rows() {
+        let mut table = Table::new("Demo", &["method", "10%", "20%"]);
+        table.push_row(vec!["NetSyn_CF".to_string(), "<1%".to_string(), "2%".to_string()]);
+        let rendered = table.to_string();
+        assert!(rendered.contains("Demo"));
+        assert!(rendered.contains("method"));
+        assert!(rendered.contains("NetSyn_CF"));
+        assert!(rendered.contains("<1%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn mismatched_row_length_panics() {
+        let mut table = Table::new("Demo", &["a", "b"]);
+        table.push_row(vec!["only one".to_string()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut table = Table::new("Demo", &["name", "value"]);
+        table.push_row(vec!["a,b".to_string(), "say \"hi\"".to_string()]);
+        let csv = table.to_csv();
+        assert!(csv.starts_with("name,value\n"));
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn percentage_formatting_matches_paper_conventions() {
+        assert_eq!(format_percentage(None), "-");
+        assert_eq!(format_percentage(Some(0.005)), "<1%");
+        assert_eq!(format_percentage(Some(0.37)), "37%");
+        assert_eq!(format_percentage(Some(1.0)), "100%");
+    }
+
+    #[test]
+    fn seconds_formatting_matches_paper_conventions() {
+        assert_eq!(format_seconds(None), "-");
+        assert_eq!(format_seconds(Some(0.2)), "<1s");
+        assert_eq!(format_seconds(Some(13.4)), "13s");
+    }
+}

@@ -1,0 +1,149 @@
+//! Evaluation-suite generation.
+//!
+//! The paper evaluates on 100 randomly generated programs per length (5, 7
+//! and 10): 50 producing a singleton integer and 50 producing a list, each
+//! with `m = 5` input-output examples.
+
+use netsyn_dsl::{DslError, Generator, GeneratorConfig, ProgramKind, SynthesisTask};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of evaluation-suite generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteConfig {
+    /// Program length of every task in the suite.
+    pub program_length: usize,
+    /// Number of singleton-output tasks.
+    pub singleton_tasks: usize,
+    /// Number of list-output tasks.
+    pub list_tasks: usize,
+    /// Input-output examples per task (`m`).
+    pub examples_per_task: usize,
+    /// Random generation parameters.
+    pub generator: GeneratorConfig,
+}
+
+impl SuiteConfig {
+    /// The paper's suite for a given length: 50 singleton + 50 list programs,
+    /// 5 examples each.
+    #[must_use]
+    pub fn paper(program_length: usize) -> Self {
+        SuiteConfig {
+            program_length,
+            singleton_tasks: 50,
+            list_tasks: 50,
+            examples_per_task: 5,
+            generator: GeneratorConfig::for_length(program_length),
+        }
+    }
+
+    /// A scaled-down suite for quick experiments.
+    #[must_use]
+    pub fn small(program_length: usize, tasks_per_kind: usize) -> Self {
+        SuiteConfig {
+            singleton_tasks: tasks_per_kind,
+            list_tasks: tasks_per_kind,
+            ..SuiteConfig::paper(program_length)
+        }
+    }
+}
+
+/// An evaluation suite: a list of synthesis tasks with known hidden targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestSuite {
+    /// Program length shared by all tasks.
+    pub program_length: usize,
+    /// The tasks, singleton-output tasks first.
+    pub tasks: Vec<SynthesisTask>,
+}
+
+impl TestSuite {
+    /// Generates a suite according to `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::GenerationExhausted`] if program generation cannot
+    /// satisfy the constraints.
+    pub fn generate<R: Rng + ?Sized>(
+        config: &SuiteConfig,
+        rng: &mut R,
+    ) -> Result<Self, DslError> {
+        let mut tasks = Vec::with_capacity(config.singleton_tasks + config.list_tasks);
+        for (kind, count) in [
+            (ProgramKind::Singleton, config.singleton_tasks),
+            (ProgramKind::List, config.list_tasks),
+        ] {
+            let mut generator_config = config.generator.clone();
+            generator_config.program_length = config.program_length;
+            generator_config.required_kind = Some(kind);
+            let generator = Generator::new(generator_config);
+            for _ in 0..count {
+                tasks.push(generator.task(config.examples_per_task, rng)?);
+            }
+        }
+        Ok(TestSuite {
+            program_length: config.program_length,
+            tasks,
+        })
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the suite is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Tasks of the given output kind.
+    #[must_use]
+    pub fn tasks_of_kind(&self, kind: ProgramKind) -> Vec<&SynthesisTask> {
+        self.tasks
+            .iter()
+            .filter(|t| t.kind() == Some(kind))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn generates_the_requested_split() {
+        let config = SuiteConfig::small(4, 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let suite = TestSuite::generate(&config, &mut rng).unwrap();
+        assert_eq!(suite.len(), 6);
+        assert!(!suite.is_empty());
+        assert_eq!(suite.tasks_of_kind(ProgramKind::Singleton).len(), 3);
+        assert_eq!(suite.tasks_of_kind(ProgramKind::List).len(), 3);
+        for task in &suite.tasks {
+            assert_eq!(task.target_length(), 4);
+            assert_eq!(task.spec.len(), 5);
+            assert!(task.spec.is_satisfied_by(&task.target));
+        }
+    }
+
+    #[test]
+    fn paper_config_sizes() {
+        let config = SuiteConfig::paper(5);
+        assert_eq!(config.singleton_tasks, 50);
+        assert_eq!(config.list_tasks, 50);
+        assert_eq!(config.examples_per_task, 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = SuiteConfig::small(5, 2);
+        let a = TestSuite::generate(&config, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        let b = TestSuite::generate(&config, &mut ChaCha8Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+}

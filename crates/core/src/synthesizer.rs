@@ -1,0 +1,250 @@
+//! The NetSyn synthesizer: a genetic algorithm driven by a learned (or
+//! oracle / hand-crafted) fitness function, with FP-guided mutation and
+//! restricted local neighborhood search.
+
+use crate::config::{FitnessChoice, NetSynConfig};
+use crate::models::ModelBundle;
+use netsyn_baselines::{SynthesisProblem, SynthesisResult, Synthesizer};
+use netsyn_dsl::{IoSpec, Program};
+use netsyn_fitness::{
+    ClosenessMetric, EditDistanceFitness, FitnessFunction, LearnedFitness,
+    LearnedProbabilityModel, OracleFitness, ProbabilityFitness,
+};
+use netsyn_ga::{GeneticEngine, MutationMode, SearchBudget};
+use rand::RngCore;
+use std::sync::Arc;
+
+/// The NetSyn program synthesizer.
+///
+/// A `NetSyn` value is configured with a fitness choice (learned CF / LCS /
+/// FP, edit distance, or oracle) and GA hyper-parameters, plus an optional
+/// [`ModelBundle`] of trained networks (required for the learned choices) and
+/// an optional oracle target (required for the oracle choices).
+pub struct NetSyn {
+    config: NetSynConfig,
+    models: Option<Arc<ModelBundle>>,
+    oracle_target: Option<Program>,
+    name: String,
+}
+
+impl NetSyn {
+    /// Creates a NetSyn instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fitness choice needs a trained model bundle and none is
+    /// provided.
+    #[must_use]
+    pub fn new(config: NetSynConfig, models: Option<Arc<ModelBundle>>) -> Self {
+        assert!(
+            !config.fitness.needs_model() || models.is_some(),
+            "fitness choice {} requires a trained model bundle",
+            config.fitness
+        );
+        let name = config.fitness.label().to_string();
+        NetSyn {
+            config,
+            models,
+            oracle_target: None,
+            name,
+        }
+    }
+
+    /// Sets the hidden target program used by the oracle fitness choices.
+    #[must_use]
+    pub fn with_oracle_target(mut self, target: Program) -> Self {
+        self.oracle_target = Some(target);
+        self
+    }
+
+    /// Overrides the display name (useful for ablation rows such as
+    /// `GA+fCF+NS_BFS`).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &NetSynConfig {
+        &self.config
+    }
+
+    /// Builds the fitness function for one synthesis problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an oracle fitness is requested without an oracle target.
+    fn build_fitness(&self, spec: &IoSpec) -> Box<dyn FitnessFunction> {
+        let program_length = self.config.ga.program_length;
+        let mutation_map = if self.config.ga.mutation_mode == MutationMode::ProbabilityGuided {
+            self.models
+                .as_ref()
+                .map(|m| LearnedProbabilityModel::new(m.fp.clone()).probability_map(spec))
+        } else {
+            None
+        };
+        match self.config.fitness {
+            FitnessChoice::NeuralCommonFunctions => {
+                let bundle = self.models.as_ref().expect("model bundle present");
+                let mut fitness = LearnedFitness::new(bundle.cf.clone());
+                if let Some(map) = mutation_map {
+                    fitness = fitness.with_mutation_map(map);
+                }
+                Box::new(fitness)
+            }
+            FitnessChoice::NeuralLongestCommonSubsequence => {
+                let bundle = self.models.as_ref().expect("model bundle present");
+                let mut fitness = LearnedFitness::new(bundle.lcs.clone());
+                if let Some(map) = mutation_map {
+                    fitness = fitness.with_mutation_map(map);
+                }
+                Box::new(fitness)
+            }
+            FitnessChoice::NeuralFunctionProbability => {
+                let bundle = self.models.as_ref().expect("model bundle present");
+                let map = LearnedProbabilityModel::new(bundle.fp.clone()).probability_map(spec);
+                Box::new(ProbabilityFitness::new(map, program_length))
+            }
+            FitnessChoice::EditDistance => Box::new(EditDistanceFitness::new()),
+            FitnessChoice::OracleCommonFunctions => Box::new(OracleFitness::new(
+                self.oracle_target
+                    .clone()
+                    .expect("oracle fitness requires a target program"),
+                ClosenessMetric::CommonFunctions,
+            )),
+            FitnessChoice::OracleLongestCommonSubsequence => Box::new(OracleFitness::new(
+                self.oracle_target
+                    .clone()
+                    .expect("oracle fitness requires a target program"),
+                ClosenessMetric::LongestCommonSubsequence,
+            )),
+        }
+    }
+}
+
+impl Synthesizer for NetSyn {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn synthesize(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+    ) -> SynthesisResult {
+        let mut ga_config = self.config.ga.clone();
+        ga_config.program_length = problem.target_length;
+        let engine = GeneticEngine::new(ga_config);
+        let fitness = self.build_fitness(&problem.spec);
+        let outcome = engine.synthesize(&problem.spec, fitness.as_ref(), budget, rng);
+        SynthesisResult {
+            solution: outcome.solution,
+            candidates_evaluated: outcome.candidates_evaluated,
+            generations: Some(outcome.generations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::BundleTrainingConfig;
+    use netsyn_dsl::{Function, IntPredicate, Value};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Sort,
+        ])
+    }
+
+    fn spec() -> IoSpec {
+        IoSpec::from_program(
+            &target(),
+            &[
+                vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+                vec![Value::List(vec![1, -5, 7, 2])],
+                vec![Value::List(vec![4, 4, -1, 0, 9])],
+                vec![Value::List(vec![0, -1, 6])],
+            ],
+        )
+    }
+
+    #[test]
+    fn oracle_netsyn_synthesizes_a_short_program() {
+        let config = NetSynConfig::small(FitnessChoice::OracleCommonFunctions, 2);
+        let netsyn = NetSyn::new(config, None).with_oracle_target(target());
+        let problem = SynthesisProblem::new(spec(), 2);
+        let mut budget = SearchBudget::new(100_000);
+        let result = netsyn.synthesize(&problem, &mut budget, &mut rng(1));
+        assert!(result.is_success());
+        assert!(spec().is_satisfied_by(&result.solution.unwrap()));
+        assert!(result.generations.is_some());
+        assert_eq!(netsyn.name(), "Oracle_CF");
+    }
+
+    #[test]
+    fn edit_distance_netsyn_synthesizes_a_short_program() {
+        let mut config = NetSynConfig::small(FitnessChoice::EditDistance, 2);
+        config.ga.mutation_mode = MutationMode::UniformRandom;
+        let netsyn = NetSyn::new(config, None).with_name("Edit");
+        let problem = SynthesisProblem::new(spec(), 2);
+        let mut budget = SearchBudget::new(100_000);
+        let result = netsyn.synthesize(&problem, &mut budget, &mut rng(2));
+        assert!(result.is_success());
+        assert_eq!(netsyn.name(), "Edit");
+    }
+
+    #[test]
+    fn learned_netsyn_runs_with_a_tiny_bundle() {
+        let mut r = rng(3);
+        let bundle = Arc::new(ModelBundle::train(&BundleTrainingConfig::tiny(2), &mut r).unwrap());
+        for fitness in [
+            FitnessChoice::NeuralCommonFunctions,
+            FitnessChoice::NeuralLongestCommonSubsequence,
+            FitnessChoice::NeuralFunctionProbability,
+        ] {
+            let mut config = NetSynConfig::small(fitness, 2);
+            config.ga.population_size = 10;
+            config.ga.max_generations = 5;
+            let netsyn = NetSyn::new(config, Some(Arc::clone(&bundle)));
+            let problem = SynthesisProblem::new(spec(), 2);
+            // A small budget: we only check that the search runs and respects
+            // accounting, not that the barely-trained model succeeds.
+            let mut budget = SearchBudget::new(500);
+            let result = netsyn.synthesize(&problem, &mut budget, &mut r);
+            assert_eq!(result.candidates_evaluated, budget.evaluated());
+            if let Some(solution) = &result.solution {
+                assert!(spec().is_satisfied_by(solution));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a trained model bundle")]
+    fn learned_choice_without_models_panics() {
+        let _ = NetSyn::new(
+            NetSynConfig::small(FitnessChoice::NeuralCommonFunctions, 3),
+            None,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a target program")]
+    fn oracle_choice_without_target_panics() {
+        let config = NetSynConfig::small(FitnessChoice::OracleCommonFunctions, 2);
+        let netsyn = NetSyn::new(config, None);
+        let problem = SynthesisProblem::new(spec(), 2);
+        let mut budget = SearchBudget::new(10);
+        let _ = netsyn.synthesize(&problem, &mut budget, &mut rng(4));
+    }
+}

@@ -1,0 +1,225 @@
+//! Dead-code analysis and elimination.
+//!
+//! A statement is *dead* when its output is never consumed by a later
+//! statement (directly or transitively) and it is not the final statement.
+//! Because argument resolution is purely type-driven (see
+//! [`crate::interp::resolve_arg_sources`]), liveness can be computed
+//! statically, and removing dead statements never changes the program's
+//! output: nothing ever resolved to them.
+//!
+//! The paper uses DCE during candidate generation and crossover/mutation to
+//! guarantee that the *effective* length of candidate programs equals the
+//! target length.
+
+use crate::interp::ArgSource;
+use crate::program::Program;
+use crate::value::Type;
+
+/// Liveness of every statement of a program, for a given set of input types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Liveness {
+    live: Vec<bool>,
+}
+
+impl Liveness {
+    /// Whether the statement at `index` is live.
+    #[must_use]
+    pub fn is_live(&self, index: usize) -> bool {
+        self.live.get(index).copied().unwrap_or(false)
+    }
+
+    /// Number of live statements.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Per-statement liveness flags in program order.
+    #[must_use]
+    pub fn flags(&self) -> &[bool] {
+        &self.live
+    }
+}
+
+/// Computes the liveness of every statement of `program`, assuming the
+/// program receives inputs of the given types.
+#[must_use]
+pub fn analyze_liveness(program: &Program, input_types: &[Type]) -> Liveness {
+    let n = program.len();
+    let mut live = vec![false; n];
+    if n == 0 {
+        return Liveness { live };
+    }
+    let flow = program.data_flow(input_types);
+    // The final statement produces the program output and is always live.
+    live[n - 1] = true;
+    // Statements are only ever consumed by *later* statements, so one
+    // backward sweep reaches a fixed point.
+    for i in (0..n).rev() {
+        if !live[i] {
+            continue;
+        }
+        for src in &flow[i] {
+            if let ArgSource::Statement(j) = *src {
+                live[j] = true;
+            }
+        }
+    }
+    Liveness { live }
+}
+
+/// Returns a copy of `program` with all dead statements removed.
+///
+/// The returned program is semantically equivalent to the input for the given
+/// input types.
+#[must_use]
+pub fn eliminate_dead_code(program: &Program, input_types: &[Type]) -> Program {
+    let liveness = analyze_liveness(program, input_types);
+    program
+        .functions()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| liveness.is_live(*i))
+        .map(|(_, &f)| f)
+        .collect()
+}
+
+/// Number of live statements of `program` — the paper's "effective length".
+#[must_use]
+pub fn effective_length(program: &Program, input_types: &[Type]) -> usize {
+    analyze_liveness(program, input_types).live_count()
+}
+
+/// Whether `program` contains any dead statement.
+#[must_use]
+pub fn has_dead_code(program: &Program, input_types: &[Type]) -> bool {
+    effective_length(program, input_types) < program.len()
+}
+
+/// The default input signature used throughout the reproduction: a single
+/// list-of-integers input, like the paper's Table 1 example.
+pub const DEFAULT_INPUT_TYPES: &[Type] = &[Type::List];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Function, IntPredicate, MapOp};
+    use crate::value::Value;
+
+    fn list_input() -> Vec<Value> {
+        vec![Value::List(vec![5, -3, 8, 2, -1])]
+    }
+
+    #[test]
+    fn straight_pipeline_has_no_dead_code() {
+        let p = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+        ]);
+        assert!(!has_dead_code(&p, DEFAULT_INPUT_TYPES));
+        assert_eq!(effective_length(&p, DEFAULT_INPUT_TYPES), 3);
+        assert_eq!(eliminate_dead_code(&p, DEFAULT_INPUT_TYPES), p);
+    }
+
+    #[test]
+    fn unconsumed_int_producer_is_dead() {
+        // SUM's integer output is never consumed: SORT and REVERSE only take
+        // lists, and the final output is the REVERSE result.
+        let p = Program::new(vec![
+            Function::Sum,
+            Function::Sort,
+            Function::Reverse,
+        ]);
+        let liveness = analyze_liveness(&p, DEFAULT_INPUT_TYPES);
+        assert!(!liveness.is_live(0));
+        assert!(liveness.is_live(1));
+        assert!(liveness.is_live(2));
+        assert_eq!(effective_length(&p, DEFAULT_INPUT_TYPES), 2);
+    }
+
+    #[test]
+    fn consumed_int_producer_is_live() {
+        // COUNT feeds TAKE, so it is live.
+        let p = Program::new(vec![
+            Function::Count(IntPredicate::Even),
+            Function::Take,
+        ]);
+        let liveness = analyze_liveness(&p, DEFAULT_INPUT_TYPES);
+        assert!(liveness.flags().iter().all(|&l| l));
+    }
+
+    #[test]
+    fn shadowed_list_producer_is_dead() {
+        // The first MAP's output is immediately superseded: SORT consumes the
+        // second MAP (most recent list), and nothing else consumes the first.
+        let p = Program::new(vec![
+            Function::Map(MapOp::AddOne),
+            Function::Filter(IntPredicate::Positive),
+            Function::Sort,
+        ]);
+        // FILTER consumes MAP's output (most recent list), SORT consumes
+        // FILTER: everything is live here.
+        assert_eq!(effective_length(&p, DEFAULT_INPUT_TYPES), 3);
+
+        // But a list producer sandwiched between two others that is never the
+        // "most recent" source for anyone is dead:
+        let q = Program::new(vec![
+            Function::Map(MapOp::AddOne), // consumed by stmt 1
+            Function::Sum,                // int, never consumed
+            Function::Map(MapOp::Mul2),   // consumed by stmt 3 — wait, stmt1 is SUM
+            Function::Sort,
+        ]);
+        // stmt0 (list) feeds stmt1? SUM takes the most recent list = stmt0, so
+        // stmt0 is live only if stmt1 is live; SUM's int output is unused so
+        // stmt1 is dead, and stmt2 reads stmt0 instead.
+        let liveness = analyze_liveness(&q, DEFAULT_INPUT_TYPES);
+        assert!(liveness.is_live(0));
+        assert!(!liveness.is_live(1));
+        assert!(liveness.is_live(2));
+        assert!(liveness.is_live(3));
+    }
+
+    #[test]
+    fn elimination_preserves_semantics() {
+        let programs = vec![
+            Program::new(vec![Function::Sum, Function::Sort, Function::Reverse]),
+            Program::new(vec![
+                Function::Map(MapOp::AddOne),
+                Function::Sum,
+                Function::Map(MapOp::Mul2),
+                Function::Sort,
+            ]),
+            Program::new(vec![
+                Function::Head,
+                Function::Filter(IntPredicate::Odd),
+                Function::Take,
+            ]),
+        ];
+        for p in programs {
+            let q = eliminate_dead_code(&p, DEFAULT_INPUT_TYPES);
+            assert!(q.len() <= p.len());
+            assert_eq!(
+                p.output(&list_input()).unwrap(),
+                q.output(&list_input()).unwrap(),
+                "DCE changed the output of {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn last_statement_is_always_live() {
+        for f in Function::ALL {
+            let p = Program::new(vec![f]);
+            assert_eq!(effective_length(&p, DEFAULT_INPUT_TYPES), 1);
+        }
+    }
+
+    #[test]
+    fn empty_program_has_zero_effective_length() {
+        let p = Program::default();
+        assert_eq!(effective_length(&p, DEFAULT_INPUT_TYPES), 0);
+        assert!(!has_dead_code(&p, DEFAULT_INPUT_TYPES));
+        assert_eq!(eliminate_dead_code(&p, DEFAULT_INPUT_TYPES), p);
+    }
+}

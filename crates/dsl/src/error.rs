@@ -1,0 +1,87 @@
+//! Error types for the DSL crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, parsing or executing DSL programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DslError {
+    /// A program with zero statements was executed or analyzed.
+    EmptyProgram,
+    /// A function identifier outside `1..=41` was used.
+    UnknownFunctionId(u8),
+    /// A function name could not be parsed.
+    UnknownFunctionName(String),
+    /// A program string could not be parsed.
+    ParseProgram(String),
+    /// Program generation failed to satisfy the requested constraints
+    /// within the configured number of attempts.
+    GenerationExhausted {
+        /// Constraint description for diagnostics.
+        constraint: String,
+        /// Number of attempts made.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::EmptyProgram => write!(f, "program has no statements"),
+            DslError::UnknownFunctionId(id) => {
+                write!(f, "unknown DSL function id {id}, expected 1..=41")
+            }
+            DslError::UnknownFunctionName(name) => {
+                write!(f, "unknown DSL function name `{name}`")
+            }
+            DslError::ParseProgram(msg) => write!(f, "could not parse program: {msg}"),
+            DslError::GenerationExhausted {
+                constraint,
+                attempts,
+            } => write!(
+                f,
+                "program generation could not satisfy `{constraint}` after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            DslError::EmptyProgram,
+            DslError::UnknownFunctionId(77),
+            DslError::UnknownFunctionName("FOO".to_string()),
+            DslError::ParseProgram("bad token".to_string()),
+            DslError::GenerationExhausted {
+                constraint: "no dead code".to_string(),
+                attempts: 10,
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error>() {}
+        assert_error::<DslError>();
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DslError>();
+    }
+}

@@ -1,0 +1,804 @@
+//! The 41 functions of the NetSyn DSL (Appendix A of the paper).
+//!
+//! Every function takes one or two arguments of type `int` or `[int]` and
+//! returns exactly one value. Arithmetic is saturating so that programs can
+//! never panic or overflow, which keeps the whole program space valid by
+//! construction — the property the paper relies on for its genetic operators.
+
+use crate::error::DslError;
+use crate::value::{Type, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Predicates used by the `COUNT` and `FILTER` families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum IntPredicate {
+    /// `> 0`
+    Positive,
+    /// `< 0`
+    Negative,
+    /// odd values (`|x| % 2 == 1`)
+    Odd,
+    /// even values (`x % 2 == 0`)
+    Even,
+}
+
+impl IntPredicate {
+    /// All predicates in their paper order (`>0`, `<0`, `odd`, `even`).
+    pub const ALL: [IntPredicate; 4] = [
+        IntPredicate::Positive,
+        IntPredicate::Negative,
+        IntPredicate::Odd,
+        IntPredicate::Even,
+    ];
+
+    /// Evaluates the predicate on `x`.
+    #[must_use]
+    pub fn eval(self, x: i64) -> bool {
+        match self {
+            IntPredicate::Positive => x > 0,
+            IntPredicate::Negative => x < 0,
+            IntPredicate::Odd => x.rem_euclid(2) == 1,
+            IntPredicate::Even => x.rem_euclid(2) == 0,
+        }
+    }
+
+    /// Human-readable lambda syntax used by [`Function`]'s `Display` impl.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            IntPredicate::Positive => ">0",
+            IntPredicate::Negative => "<0",
+            IntPredicate::Odd => "odd",
+            IntPredicate::Even => "even",
+        }
+    }
+}
+
+/// Unary arithmetic lambdas used by the `MAP` family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MapOp {
+    /// `x + 1`
+    AddOne,
+    /// `x - 1`
+    SubOne,
+    /// `x * 2`
+    Mul2,
+    /// `x * 3`
+    Mul3,
+    /// `x * 4`
+    Mul4,
+    /// `x / 2` (truncating)
+    Div2,
+    /// `x / 3` (truncating)
+    Div3,
+    /// `x / 4` (truncating)
+    Div4,
+    /// `-x`
+    Negate,
+    /// `x * x`
+    Square,
+}
+
+impl MapOp {
+    /// All map lambdas in their paper order (`+1,-1,*2,*3,*4,/2,/3,/4,*(-1),^2`).
+    pub const ALL: [MapOp; 10] = [
+        MapOp::AddOne,
+        MapOp::SubOne,
+        MapOp::Mul2,
+        MapOp::Mul3,
+        MapOp::Mul4,
+        MapOp::Div2,
+        MapOp::Div3,
+        MapOp::Div4,
+        MapOp::Negate,
+        MapOp::Square,
+    ];
+
+    /// Applies the lambda to `x` with saturating arithmetic.
+    #[must_use]
+    pub fn eval(self, x: i64) -> i64 {
+        match self {
+            MapOp::AddOne => x.saturating_add(1),
+            MapOp::SubOne => x.saturating_sub(1),
+            MapOp::Mul2 => x.saturating_mul(2),
+            MapOp::Mul3 => x.saturating_mul(3),
+            MapOp::Mul4 => x.saturating_mul(4),
+            MapOp::Div2 => x / 2,
+            MapOp::Div3 => x / 3,
+            MapOp::Div4 => x / 4,
+            MapOp::Negate => x.saturating_neg(),
+            MapOp::Square => x.saturating_mul(x),
+        }
+    }
+
+    /// Human-readable lambda syntax used by [`Function`]'s `Display` impl.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            MapOp::AddOne => "+1",
+            MapOp::SubOne => "-1",
+            MapOp::Mul2 => "*2",
+            MapOp::Mul3 => "*3",
+            MapOp::Mul4 => "*4",
+            MapOp::Div2 => "/2",
+            MapOp::Div3 => "/3",
+            MapOp::Div4 => "/4",
+            MapOp::Negate => "*(-1)",
+            MapOp::Square => "^2",
+        }
+    }
+}
+
+/// Binary lambdas shared by the `SCANL1` and `ZIPWITH` families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `min(a, b)`
+    Min,
+    /// `max(a, b)`
+    Max,
+}
+
+impl BinOp {
+    /// All binary lambdas in their paper order (`+`, `-`, `*`, `min`, `max`).
+    pub const ALL: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max];
+
+    /// Applies the lambda to `(a, b)` with saturating arithmetic.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.saturating_add(b),
+            BinOp::Sub => a.saturating_sub(b),
+            BinOp::Mul => a.saturating_mul(b),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// Human-readable lambda syntax used by [`Function`]'s `Display` impl.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+/// The type signature of a DSL function: argument types and return type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    /// Argument types in positional order (1 or 2 entries).
+    pub inputs: Vec<Type>,
+    /// Return type.
+    pub output: Type,
+}
+
+/// One of the 41 functions of the NetSyn DSL.
+///
+/// The numbering used by [`Function::id`] matches the "(Function N)" labels
+/// of Appendix A, so Figure 6's x-axis can be reproduced directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Function {
+    /// Function 1: `ACCESS n xs` — the `n`-th element of `xs`, or 0 when out of range.
+    Access,
+    /// Functions 2–5: `COUNT p xs` — number of elements satisfying predicate `p`.
+    Count(IntPredicate),
+    /// Function 6: `HEAD xs` — first element or 0.
+    Head,
+    /// Function 7: `LAST xs` — last element or 0.
+    Last,
+    /// Function 8: `MINIMUM xs` — smallest element or 0.
+    Minimum,
+    /// Function 9: `MAXIMUM xs` — largest element or 0.
+    Maximum,
+    /// Function 10: `SEARCH x xs` — first index of `x` in `xs`, or -1.
+    Search,
+    /// Function 11: `SUM xs` — sum of the elements (saturating), or 0.
+    Sum,
+    /// Function 12: `DELETE x xs` — `xs` with every occurrence of `x` removed.
+    Delete,
+    /// Function 13: `DROP n xs` — `xs` without its first `n` elements.
+    Drop,
+    /// Functions 14–17: `FILTER p xs` — elements of `xs` satisfying predicate `p`.
+    Filter(IntPredicate),
+    /// Function 18: `INSERT x xs` — `xs` with `x` appended at the end.
+    Insert,
+    /// Functions 19–28: `MAP f xs` — `f` applied to every element.
+    Map(MapOp),
+    /// Function 29: `REVERSE xs`.
+    Reverse,
+    /// Functions 30–34: `SCANL1 op xs` — prefix scan with `op`.
+    Scanl1(BinOp),
+    /// Function 35: `SORT xs` — ascending sort.
+    Sort,
+    /// Function 36: `TAKE n xs` — the first `min(n, len)` elements.
+    Take,
+    /// Functions 37–41: `ZIPWITH op xs ys` — element-wise combination.
+    ZipWith(BinOp),
+}
+
+impl Function {
+    /// The number of functions in the DSL.
+    pub const COUNT: usize = 41;
+
+    /// All 41 DSL functions ordered by their paper id (1..=41).
+    pub const ALL: [Function; Function::COUNT] = [
+        Function::Access,
+        Function::Count(IntPredicate::Positive),
+        Function::Count(IntPredicate::Negative),
+        Function::Count(IntPredicate::Odd),
+        Function::Count(IntPredicate::Even),
+        Function::Head,
+        Function::Last,
+        Function::Minimum,
+        Function::Maximum,
+        Function::Search,
+        Function::Sum,
+        Function::Delete,
+        Function::Drop,
+        Function::Filter(IntPredicate::Positive),
+        Function::Filter(IntPredicate::Negative),
+        Function::Filter(IntPredicate::Odd),
+        Function::Filter(IntPredicate::Even),
+        Function::Insert,
+        Function::Map(MapOp::AddOne),
+        Function::Map(MapOp::SubOne),
+        Function::Map(MapOp::Mul2),
+        Function::Map(MapOp::Mul3),
+        Function::Map(MapOp::Mul4),
+        Function::Map(MapOp::Div2),
+        Function::Map(MapOp::Div3),
+        Function::Map(MapOp::Div4),
+        Function::Map(MapOp::Negate),
+        Function::Map(MapOp::Square),
+        Function::Reverse,
+        Function::Scanl1(BinOp::Add),
+        Function::Scanl1(BinOp::Sub),
+        Function::Scanl1(BinOp::Mul),
+        Function::Scanl1(BinOp::Min),
+        Function::Scanl1(BinOp::Max),
+        Function::Sort,
+        Function::Take,
+        Function::ZipWith(BinOp::Add),
+        Function::ZipWith(BinOp::Sub),
+        Function::ZipWith(BinOp::Mul),
+        Function::ZipWith(BinOp::Min),
+        Function::ZipWith(BinOp::Max),
+    ];
+
+    /// Paper id of this function (1..=41).
+    #[must_use]
+    pub fn id(self) -> u8 {
+        // Position in ALL + 1; a linear scan over 41 entries is cheap and
+        // keeps ALL the single source of truth for the numbering.
+        Function::ALL
+            .iter()
+            .position(|f| *f == self)
+            .map(|i| (i + 1) as u8)
+            .expect("every Function variant is present in Function::ALL")
+    }
+
+    /// Looks a function up by its paper id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::UnknownFunctionId`] if `id` is not in `1..=41`.
+    pub fn from_id(id: u8) -> Result<Function, DslError> {
+        if id == 0 || id as usize > Function::COUNT {
+            return Err(DslError::UnknownFunctionId(id));
+        }
+        Ok(Function::ALL[id as usize - 1])
+    }
+
+    /// Zero-based index of this function (`id() - 1`), handy for one-hot
+    /// encodings and probability maps.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.id() as usize - 1
+    }
+
+    /// The function's type signature.
+    #[must_use]
+    pub fn signature(self) -> Signature {
+        use Type::{Int, List};
+        let (inputs, output) = match self {
+            Function::Head
+            | Function::Last
+            | Function::Minimum
+            | Function::Maximum
+            | Function::Sum
+            | Function::Count(_) => (vec![List], Int),
+            Function::Access | Function::Search => (vec![Int, List], Int),
+            Function::Reverse
+            | Function::Sort
+            | Function::Map(_)
+            | Function::Filter(_)
+            | Function::Scanl1(_) => (vec![List], List),
+            Function::Take | Function::Drop | Function::Delete | Function::Insert => {
+                (vec![Int, List], List)
+            }
+            Function::ZipWith(_) => (vec![List, List], List),
+        };
+        Signature { inputs, output }
+    }
+
+    /// Return type of the function.
+    #[must_use]
+    pub fn output_type(self) -> Type {
+        self.signature().output
+    }
+
+    /// Whether the function produces a single integer ("singleton" output).
+    #[must_use]
+    pub fn returns_int(self) -> bool {
+        self.output_type() == Type::Int
+    }
+
+    /// Number of arguments (1 or 2).
+    #[must_use]
+    pub fn arity(self) -> usize {
+        self.signature().inputs.len()
+    }
+
+    /// Evaluates the function. Arguments are matched by position against the
+    /// signature; values of the wrong type are coerced to the type's default
+    /// (0 / empty list) as specified in Appendix A.
+    #[must_use]
+    pub fn apply(self, args: &[Value]) -> Value {
+        let int_arg = |i: usize| args.get(i).map_or(0, Value::int_or_default);
+        let list_arg = |i: usize| args.get(i).map_or_else(Vec::new, Value::list_or_default);
+        match self {
+            Function::Head => {
+                let xs = list_arg(0);
+                Value::Int(xs.first().copied().unwrap_or(0))
+            }
+            Function::Last => {
+                let xs = list_arg(0);
+                Value::Int(xs.last().copied().unwrap_or(0))
+            }
+            Function::Minimum => {
+                let xs = list_arg(0);
+                Value::Int(xs.iter().copied().min().unwrap_or(0))
+            }
+            Function::Maximum => {
+                let xs = list_arg(0);
+                Value::Int(xs.iter().copied().max().unwrap_or(0))
+            }
+            Function::Sum => {
+                let xs = list_arg(0);
+                Value::Int(xs.iter().fold(0_i64, |acc, &x| acc.saturating_add(x)))
+            }
+            Function::Count(p) => {
+                let xs = list_arg(0);
+                Value::Int(xs.iter().filter(|&&x| p.eval(x)).count() as i64)
+            }
+            Function::Access => {
+                let n = int_arg(0);
+                let xs = list_arg(1);
+                if n >= 0 && (n as usize) < xs.len() {
+                    Value::Int(xs[n as usize])
+                } else {
+                    Value::Int(0)
+                }
+            }
+            Function::Search => {
+                let x = int_arg(0);
+                let xs = list_arg(1);
+                Value::Int(
+                    xs.iter()
+                        .position(|&v| v == x)
+                        .map_or(-1, |idx| idx as i64),
+                )
+            }
+            Function::Reverse => {
+                let mut xs = list_arg(0);
+                xs.reverse();
+                Value::List(xs)
+            }
+            Function::Sort => {
+                let mut xs = list_arg(0);
+                xs.sort_unstable();
+                Value::List(xs)
+            }
+            Function::Map(op) => {
+                let xs = list_arg(0);
+                Value::List(xs.into_iter().map(|x| op.eval(x)).collect())
+            }
+            Function::Filter(p) => {
+                let xs = list_arg(0);
+                Value::List(xs.into_iter().filter(|&x| p.eval(x)).collect())
+            }
+            Function::Scanl1(op) => {
+                let xs = list_arg(0);
+                let mut out = Vec::with_capacity(xs.len());
+                for (i, &x) in xs.iter().enumerate() {
+                    if i == 0 {
+                        out.push(x);
+                    } else {
+                        let prev = out[i - 1];
+                        out.push(op.eval(x, prev));
+                    }
+                }
+                Value::List(out)
+            }
+            Function::Take => {
+                let n = int_arg(0);
+                let xs = list_arg(1);
+                let n = n.clamp(0, xs.len() as i64) as usize;
+                Value::List(xs[..n].to_vec())
+            }
+            Function::Drop => {
+                let n = int_arg(0);
+                let xs = list_arg(1);
+                let n = n.clamp(0, xs.len() as i64) as usize;
+                Value::List(xs[n..].to_vec())
+            }
+            Function::Delete => {
+                let x = int_arg(0);
+                let xs = list_arg(1);
+                Value::List(xs.into_iter().filter(|&v| v != x).collect())
+            }
+            Function::Insert => {
+                let x = int_arg(0);
+                let mut xs = list_arg(1);
+                xs.push(x);
+                Value::List(xs)
+            }
+            Function::ZipWith(op) => {
+                let xs = list_arg(0);
+                let ys = list_arg(1);
+                Value::List(
+                    xs.iter()
+                        .zip(ys.iter())
+                        .map(|(&a, &b)| op.eval(a, b))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Canonical name, e.g. `FILTER(>0)`, `MAP(*2)`, `ZIPWITH(max)`.
+    #[must_use]
+    pub fn name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Function::Access => write!(f, "ACCESS"),
+            Function::Count(p) => write!(f, "COUNT({})", p.symbol()),
+            Function::Head => write!(f, "HEAD"),
+            Function::Last => write!(f, "LAST"),
+            Function::Minimum => write!(f, "MINIMUM"),
+            Function::Maximum => write!(f, "MAXIMUM"),
+            Function::Search => write!(f, "SEARCH"),
+            Function::Sum => write!(f, "SUM"),
+            Function::Delete => write!(f, "DELETE"),
+            Function::Drop => write!(f, "DROP"),
+            Function::Filter(p) => write!(f, "FILTER({})", p.symbol()),
+            Function::Insert => write!(f, "INSERT"),
+            Function::Map(op) => write!(f, "MAP({})", op.symbol()),
+            Function::Reverse => write!(f, "REVERSE"),
+            Function::Scanl1(op) => write!(f, "SCANL1({})", op.symbol()),
+            Function::Sort => write!(f, "SORT"),
+            Function::Take => write!(f, "TAKE"),
+            Function::ZipWith(op) => write!(f, "ZIPWITH({})", op.symbol()),
+        }
+    }
+}
+
+impl FromStr for Function {
+    type Err = DslError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let normalized = s.trim().to_uppercase().replace(' ', "");
+        for func in Function::ALL {
+            if func.to_string().to_uppercase().replace(' ', "") == normalized {
+                return Ok(func);
+            }
+        }
+        // Accept lambda symbols in their original case (e.g. "min") too.
+        let lower_keep = s.trim().replace(' ', "");
+        for func in Function::ALL {
+            if func.to_string().replace(' ', "").eq_ignore_ascii_case(&lower_keep) {
+                return Ok(func);
+            }
+        }
+        Err(DslError::UnknownFunctionName(s.trim().to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_41_unique_functions() {
+        assert_eq!(Function::ALL.len(), 41);
+        let mut seen = std::collections::HashSet::new();
+        for f in Function::ALL {
+            assert!(seen.insert(f), "duplicate function {f}");
+        }
+    }
+
+    #[test]
+    fn id_round_trip() {
+        for (i, f) in Function::ALL.iter().enumerate() {
+            assert_eq!(f.id() as usize, i + 1);
+            assert_eq!(Function::from_id(f.id()).unwrap(), *f);
+            assert_eq!(f.index(), i);
+        }
+        assert!(Function::from_id(0).is_err());
+        assert!(Function::from_id(42).is_err());
+    }
+
+    #[test]
+    fn paper_numbering_spot_checks() {
+        assert_eq!(Function::from_id(1).unwrap(), Function::Access);
+        assert_eq!(Function::from_id(6).unwrap(), Function::Head);
+        assert_eq!(Function::from_id(11).unwrap(), Function::Sum);
+        assert_eq!(Function::from_id(12).unwrap(), Function::Delete);
+        assert_eq!(Function::from_id(13).unwrap(), Function::Drop);
+        assert_eq!(Function::from_id(18).unwrap(), Function::Insert);
+        assert_eq!(Function::from_id(19).unwrap(), Function::Map(MapOp::AddOne));
+        assert_eq!(Function::from_id(29).unwrap(), Function::Reverse);
+        assert_eq!(Function::from_id(30).unwrap(), Function::Scanl1(BinOp::Add));
+        assert_eq!(Function::from_id(35).unwrap(), Function::Sort);
+        assert_eq!(Function::from_id(36).unwrap(), Function::Take);
+        assert_eq!(Function::from_id(37).unwrap(), Function::ZipWith(BinOp::Add));
+        assert_eq!(Function::from_id(41).unwrap(), Function::ZipWith(BinOp::Max));
+    }
+
+    #[test]
+    fn singleton_functions_are_one_through_eleven() {
+        for f in Function::ALL {
+            if f.id() <= 11 {
+                assert!(f.returns_int(), "{f} should return int");
+            } else {
+                assert!(!f.returns_int(), "{f} should return a list");
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_have_valid_arity() {
+        for f in Function::ALL {
+            let sig = f.signature();
+            assert!(!sig.inputs.is_empty() && sig.inputs.len() <= 2);
+            assert_eq!(f.arity(), sig.inputs.len());
+        }
+    }
+
+    #[test]
+    fn head_last_min_max_sum() {
+        let xs = Value::List(vec![3, -1, 7, 2]);
+        assert_eq!(Function::Head.apply(&[xs.clone()]), Value::Int(3));
+        assert_eq!(Function::Last.apply(&[xs.clone()]), Value::Int(2));
+        assert_eq!(Function::Minimum.apply(&[xs.clone()]), Value::Int(-1));
+        assert_eq!(Function::Maximum.apply(&[xs.clone()]), Value::Int(7));
+        assert_eq!(Function::Sum.apply(&[xs]), Value::Int(11));
+    }
+
+    #[test]
+    fn empty_list_reductions_return_zero() {
+        let empty = Value::List(vec![]);
+        for f in [
+            Function::Head,
+            Function::Last,
+            Function::Minimum,
+            Function::Maximum,
+            Function::Sum,
+        ] {
+            assert_eq!(f.apply(&[empty.clone()]), Value::Int(0));
+        }
+    }
+
+    #[test]
+    fn count_and_filter_predicates() {
+        let xs = Value::List(vec![-2, -1, 0, 1, 2, 3]);
+        assert_eq!(
+            Function::Count(IntPredicate::Positive).apply(&[xs.clone()]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Function::Count(IntPredicate::Negative).apply(&[xs.clone()]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            Function::Count(IntPredicate::Odd).apply(&[xs.clone()]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Function::Count(IntPredicate::Even).apply(&[xs.clone()]),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Function::Filter(IntPredicate::Positive).apply(&[xs.clone()]),
+            Value::List(vec![1, 2, 3])
+        );
+        assert_eq!(
+            Function::Filter(IntPredicate::Odd).apply(&[xs]),
+            Value::List(vec![-1, 1, 3])
+        );
+    }
+
+    #[test]
+    fn odd_even_handle_negatives() {
+        assert!(IntPredicate::Odd.eval(-3));
+        assert!(!IntPredicate::Odd.eval(-4));
+        assert!(IntPredicate::Even.eval(-4));
+        assert!(!IntPredicate::Even.eval(-3));
+    }
+
+    #[test]
+    fn access_and_search() {
+        let xs = Value::List(vec![5, 6, 7]);
+        assert_eq!(
+            Function::Access.apply(&[Value::Int(1), xs.clone()]),
+            Value::Int(6)
+        );
+        assert_eq!(
+            Function::Access.apply(&[Value::Int(-1), xs.clone()]),
+            Value::Int(0)
+        );
+        assert_eq!(
+            Function::Access.apply(&[Value::Int(3), xs.clone()]),
+            Value::Int(0)
+        );
+        assert_eq!(
+            Function::Search.apply(&[Value::Int(7), xs.clone()]),
+            Value::Int(2)
+        );
+        assert_eq!(
+            Function::Search.apply(&[Value::Int(9), xs]),
+            Value::Int(-1)
+        );
+    }
+
+    #[test]
+    fn take_drop_delete_insert() {
+        let xs = Value::List(vec![1, 2, 3, 2]);
+        assert_eq!(
+            Function::Take.apply(&[Value::Int(2), xs.clone()]),
+            Value::List(vec![1, 2])
+        );
+        assert_eq!(
+            Function::Take.apply(&[Value::Int(99), xs.clone()]),
+            Value::List(vec![1, 2, 3, 2])
+        );
+        assert_eq!(
+            Function::Take.apply(&[Value::Int(-1), xs.clone()]),
+            Value::List(vec![])
+        );
+        assert_eq!(
+            Function::Drop.apply(&[Value::Int(2), xs.clone()]),
+            Value::List(vec![3, 2])
+        );
+        assert_eq!(
+            Function::Drop.apply(&[Value::Int(99), xs.clone()]),
+            Value::List(vec![])
+        );
+        assert_eq!(
+            Function::Delete.apply(&[Value::Int(2), xs.clone()]),
+            Value::List(vec![1, 3])
+        );
+        assert_eq!(
+            Function::Insert.apply(&[Value::Int(9), xs]),
+            Value::List(vec![1, 2, 3, 2, 9])
+        );
+    }
+
+    #[test]
+    fn map_sort_reverse_scan_zip() {
+        let xs = Value::List(vec![3, 1, 2]);
+        assert_eq!(
+            Function::Map(MapOp::Mul2).apply(&[xs.clone()]),
+            Value::List(vec![6, 2, 4])
+        );
+        assert_eq!(
+            Function::Sort.apply(&[xs.clone()]),
+            Value::List(vec![1, 2, 3])
+        );
+        assert_eq!(
+            Function::Reverse.apply(&[xs.clone()]),
+            Value::List(vec![2, 1, 3])
+        );
+        assert_eq!(
+            Function::Scanl1(BinOp::Add).apply(&[xs.clone()]),
+            Value::List(vec![3, 4, 6])
+        );
+        assert_eq!(
+            Function::Scanl1(BinOp::Max).apply(&[Value::List(vec![1, 5, 2, 7])]),
+            Value::List(vec![1, 5, 5, 7])
+        );
+        let ys = Value::List(vec![10, 20]);
+        assert_eq!(
+            Function::ZipWith(BinOp::Add).apply(&[xs, ys]),
+            Value::List(vec![13, 21])
+        );
+    }
+
+    #[test]
+    fn scanl1_matches_paper_semantics() {
+        // O_n = lambda(I_n, O_{n-1}) for n > 0.
+        let xs = Value::List(vec![5, 2, 8]);
+        assert_eq!(
+            Function::Scanl1(BinOp::Sub).apply(&[xs]),
+            // O_0 = 5, O_1 = 2 - 5 = -3, O_2 = 8 - (-3) = 11
+            Value::List(vec![5, -3, 11])
+        );
+    }
+
+    #[test]
+    fn saturating_arithmetic_never_panics() {
+        let huge = Value::List(vec![i64::MAX, i64::MIN, 2]);
+        for f in [
+            Function::Map(MapOp::Square),
+            Function::Map(MapOp::Mul4),
+            Function::Map(MapOp::Negate),
+            Function::Scanl1(BinOp::Mul),
+            Function::Sum,
+        ] {
+            let _ = f.apply(&[huge.clone()]);
+        }
+        let _ = Function::ZipWith(BinOp::Mul).apply(&[huge.clone(), huge]);
+    }
+
+    #[test]
+    fn type_mismatch_falls_back_to_defaults() {
+        // Passing an Int where a list is expected behaves like the empty list.
+        assert_eq!(Function::Sum.apply(&[Value::Int(5)]), Value::Int(0));
+        // Passing a List where an int is expected behaves like 0.
+        assert_eq!(
+            Function::Take.apply(&[Value::List(vec![1]), Value::List(vec![7, 8])]),
+            Value::List(vec![])
+        );
+        // Missing arguments behave like defaults.
+        assert_eq!(Function::Head.apply(&[]), Value::Int(0));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        for f in Function::ALL {
+            let s = f.to_string();
+            let parsed: Function = s.parse().unwrap();
+            assert_eq!(parsed, f, "round-trip failed for {s}");
+        }
+        assert!("NOPE".parse::<Function>().is_err());
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(" head ".parse::<Function>().unwrap(), Function::Head);
+        assert_eq!(
+            "filter(>0)".parse::<Function>().unwrap(),
+            Function::Filter(IntPredicate::Positive)
+        );
+        assert_eq!(
+            "zipwith(MAX)".parse::<Function>().unwrap(),
+            Function::ZipWith(BinOp::Max)
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for f in Function::ALL {
+            let json = serde_json::to_string(&f).unwrap();
+            let back: Function = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, f);
+        }
+    }
+}

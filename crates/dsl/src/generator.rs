@@ -1,0 +1,369 @@
+//! Random generation of programs, inputs and specifications.
+//!
+//! Used both to create the NN-FF training corpus and to create the evaluation
+//! suite (100 random test programs per length, half producing a singleton
+//! integer and half producing a list).
+
+use crate::dce::{effective_length, has_dead_code};
+use crate::error::DslError;
+use crate::function::Function;
+use crate::program::{Program, ProgramKind};
+use crate::spec::IoSpec;
+use crate::value::{Type, Value};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for random program / input / specification generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Length (number of statements) of generated programs.
+    pub program_length: usize,
+    /// Inclusive range of generated input-list lengths.
+    pub list_len_range: (usize, usize),
+    /// Inclusive range of generated integer values.
+    pub int_range: (i64, i64),
+    /// Types of the program inputs. Defaults to a single list input.
+    pub input_types: Vec<Type>,
+    /// Reject candidate programs that contain dead code.
+    pub require_no_dead_code: bool,
+    /// Only accept programs of this output kind, when set.
+    pub required_kind: Option<ProgramKind>,
+    /// Reject programs whose outputs are identical across sample inputs
+    /// (their specification would under-constrain the search).
+    pub require_varying_output: bool,
+    /// Maximum number of rejection-sampling attempts before giving up.
+    pub max_attempts: usize,
+}
+
+impl GeneratorConfig {
+    /// A configuration for programs of the given length with the defaults
+    /// used throughout the paper reproduction.
+    #[must_use]
+    pub fn for_length(program_length: usize) -> Self {
+        GeneratorConfig {
+            program_length,
+            list_len_range: (4, 12),
+            int_range: (-64, 64),
+            input_types: vec![Type::List],
+            require_no_dead_code: true,
+            required_kind: None,
+            require_varying_output: true,
+            max_attempts: 20_000,
+        }
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig::for_length(5)
+    }
+}
+
+/// Random generator for programs, inputs and input-output specifications.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Generator {
+    config: GeneratorConfig,
+}
+
+impl Generator {
+    /// Creates a generator from a configuration.
+    #[must_use]
+    pub fn new(config: GeneratorConfig) -> Self {
+        Generator { config }
+    }
+
+    /// The generator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Samples a uniformly random DSL function.
+    pub fn random_function<R: Rng + ?Sized>(&self, rng: &mut R) -> Function {
+        Function::ALL[rng.gen_range(0..Function::COUNT)]
+    }
+
+    /// Samples an unconstrained random program of the configured length.
+    pub fn random_program<R: Rng + ?Sized>(&self, rng: &mut R) -> Program {
+        (0..self.config.program_length)
+            .map(|_| self.random_function(rng))
+            .collect()
+    }
+
+    /// Samples a random integer within the configured range.
+    pub fn random_int<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let (lo, hi) = self.config.int_range;
+        rng.gen_range(lo..=hi)
+    }
+
+    /// Samples a random list of integers within the configured ranges.
+    pub fn random_list<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<i64> {
+        let (lo, hi) = self.config.list_len_range;
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| self.random_int(rng)).collect()
+    }
+
+    /// Samples one set of program inputs matching the configured input types.
+    pub fn random_inputs<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Value> {
+        self.config
+            .input_types
+            .iter()
+            .map(|ty| match ty {
+                Type::Int => Value::Int(self.random_int(rng)),
+                Type::List => Value::List(self.random_list(rng)),
+            })
+            .collect()
+    }
+
+    /// Samples a program satisfying all configured constraints
+    /// (no dead code, output kind, varying output), by rejection sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::GenerationExhausted`] if no program satisfying the
+    /// constraints is found within `max_attempts` attempts.
+    pub fn program<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Program, DslError> {
+        for _ in 0..self.config.max_attempts {
+            let candidate = self.random_program(rng);
+            if self.accepts(&candidate, rng) {
+                return Ok(candidate);
+            }
+        }
+        Err(DslError::GenerationExhausted {
+            constraint: format!(
+                "length={}, no_dead_code={}, kind={:?}, varying_output={}",
+                self.config.program_length,
+                self.config.require_no_dead_code,
+                self.config.required_kind,
+                self.config.require_varying_output
+            ),
+            attempts: self.config.max_attempts,
+        })
+    }
+
+    /// Whether `candidate` satisfies the configured structural and
+    /// behavioural constraints.
+    pub fn accepts<R: Rng + ?Sized>(&self, candidate: &Program, rng: &mut R) -> bool {
+        if candidate.is_empty() {
+            return false;
+        }
+        if let Some(kind) = self.config.required_kind {
+            if candidate.kind() != Some(kind) {
+                return false;
+            }
+        }
+        if self.config.require_no_dead_code
+            && has_dead_code(candidate, &self.config.input_types)
+        {
+            return false;
+        }
+        if self.config.require_varying_output {
+            let outputs: Vec<Value> = (0..4)
+                .filter_map(|_| candidate.output(&self.random_inputs(rng)).ok())
+                .collect();
+            if outputs.is_empty() {
+                return false;
+            }
+            let first = &outputs[0];
+            if outputs.iter().all(|o| o == first) {
+                return false;
+            }
+            // Reject programs whose output is always the default value —
+            // their specification carries no signal.
+            if outputs.iter().all(Value::is_default) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Generates a specification of `m` input-output examples for `program`.
+    pub fn spec_for<R: Rng + ?Sized>(
+        &self,
+        program: &Program,
+        m: usize,
+        rng: &mut R,
+    ) -> IoSpec {
+        let inputs: Vec<Vec<Value>> = (0..m).map(|_| self.random_inputs(rng)).collect();
+        IoSpec::from_program(program, &inputs)
+    }
+
+    /// Generates a synthesis task: a hidden target program together with a
+    /// specification of `m` examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::GenerationExhausted`] if no acceptable program is
+    /// found within the configured attempt budget.
+    pub fn task<R: Rng + ?Sized>(
+        &self,
+        m: usize,
+        rng: &mut R,
+    ) -> Result<SynthesisTask, DslError> {
+        let target = self.program(rng)?;
+        let spec = self.spec_for(&target, m, rng);
+        Ok(SynthesisTask { target, spec })
+    }
+}
+
+impl Default for Generator {
+    fn default() -> Self {
+        Generator::new(GeneratorConfig::default())
+    }
+}
+
+/// A synthesis problem instance: the hidden target program and the
+/// specification visible to the synthesizer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisTask {
+    /// The hidden target program (used only for oracle fitness and
+    /// evaluation bookkeeping, never shown to the synthesizers).
+    pub target: Program,
+    /// The input-output examples given to the synthesizers.
+    pub spec: IoSpec,
+}
+
+impl SynthesisTask {
+    /// The target program's length.
+    #[must_use]
+    pub fn target_length(&self) -> usize {
+        self.target.len()
+    }
+
+    /// The target program's effective (dead-code-free) length.
+    #[must_use]
+    pub fn effective_target_length(&self) -> usize {
+        effective_length(&self.target, &self.spec.input_types())
+    }
+
+    /// Whether the target is a singleton or list program.
+    #[must_use]
+    pub fn kind(&self) -> Option<ProgramKind> {
+        self.target.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_program_has_requested_length() {
+        let gen = Generator::new(GeneratorConfig::for_length(7));
+        let mut r = rng(1);
+        for _ in 0..20 {
+            assert_eq!(gen.random_program(&mut r).len(), 7);
+        }
+    }
+
+    #[test]
+    fn random_inputs_respect_ranges_and_types() {
+        let mut config = GeneratorConfig::for_length(5);
+        config.list_len_range = (2, 4);
+        config.int_range = (-5, 5);
+        config.input_types = vec![Type::List, Type::Int];
+        let gen = Generator::new(config);
+        let mut r = rng(2);
+        for _ in 0..50 {
+            let inputs = gen.random_inputs(&mut r);
+            assert_eq!(inputs.len(), 2);
+            match &inputs[0] {
+                Value::List(xs) => {
+                    assert!(xs.len() >= 2 && xs.len() <= 4);
+                    assert!(xs.iter().all(|&x| (-5..=5).contains(&x)));
+                }
+                Value::Int(_) => panic!("first input should be a list"),
+            }
+            assert!(matches!(inputs[1], Value::Int(v) if (-5..=5).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn constrained_program_has_no_dead_code() {
+        let gen = Generator::new(GeneratorConfig::for_length(5));
+        let mut r = rng(3);
+        for _ in 0..10 {
+            let p = gen.program(&mut r).unwrap();
+            assert_eq!(p.len(), 5);
+            assert!(!has_dead_code(&p, &[Type::List]));
+        }
+    }
+
+    #[test]
+    fn required_kind_is_respected() {
+        for kind in [ProgramKind::Singleton, ProgramKind::List] {
+            let mut config = GeneratorConfig::for_length(5);
+            config.required_kind = Some(kind);
+            let gen = Generator::new(config);
+            let mut r = rng(4);
+            for _ in 0..5 {
+                let p = gen.program(&mut r).unwrap();
+                assert_eq!(p.kind(), Some(kind));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_exhaustion_is_reported() {
+        let mut config = GeneratorConfig::for_length(1);
+        // A single-statement program can never have length-1 dead code, but
+        // demanding varying output with a constant-int range of one value and
+        // only 1 attempt will fail quickly for most draws; force failure by
+        // zero attempts instead.
+        config.max_attempts = 0;
+        let gen = Generator::new(config);
+        let mut r = rng(5);
+        assert!(matches!(
+            gen.program(&mut r),
+            Err(DslError::GenerationExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn spec_for_produces_m_consistent_examples() {
+        let gen = Generator::new(GeneratorConfig::for_length(5));
+        let mut r = rng(6);
+        let p = gen.program(&mut r).unwrap();
+        let spec = gen.spec_for(&p, 5, &mut r);
+        assert_eq!(spec.len(), 5);
+        assert!(spec.is_satisfied_by(&p));
+    }
+
+    #[test]
+    fn task_bundles_target_and_spec() {
+        let gen = Generator::new(GeneratorConfig::for_length(5));
+        let mut r = rng(7);
+        let task = gen.task(5, &mut r).unwrap();
+        assert_eq!(task.target_length(), 5);
+        assert_eq!(task.effective_target_length(), 5);
+        assert!(task.spec.is_satisfied_by(&task.target));
+        assert!(task.kind().is_some());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = Generator::new(GeneratorConfig::for_length(5));
+        let p1 = gen.program(&mut rng(42)).unwrap();
+        let p2 = gen.program(&mut rng(42)).unwrap();
+        let p3 = gen.program(&mut rng(43)).unwrap();
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3, "different seeds should virtually always differ");
+    }
+
+    #[test]
+    fn accepts_rejects_empty_and_constant_programs() {
+        let gen = Generator::new(GeneratorConfig::for_length(5));
+        let mut r = rng(8);
+        assert!(!gen.accepts(&Program::default(), &mut r));
+        // A program whose output ignores the input entirely: HEAD of an empty
+        // intermediate (TAKE 0) is always 0.
+        let constant = Program::new(vec![Function::Take, Function::Head]);
+        assert!(!gen.accepts(&constant, &mut r));
+    }
+}

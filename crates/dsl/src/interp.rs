@@ -1,0 +1,301 @@
+//! Interpreter for the NetSyn DSL, including execution traces.
+//!
+//! Argument resolution follows Appendix A: each argument of a statement is
+//! bound to the output of the most recently executed prior statement of the
+//! required type; if no such statement exists, the program's own inputs are
+//! consulted; if that also fails, the type's default value (0 / empty list)
+//! is used. When a statement needs two arguments of the same type (only
+//! `ZIPWITH`), the two most recent distinct producers are used.
+
+use crate::error::DslError;
+use crate::function::Function;
+use crate::program::Program;
+use crate::value::{Type, Value};
+use serde::{Deserialize, Serialize};
+
+/// Where an argument's value comes from during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArgSource {
+    /// The output of the statement at this 0-based index.
+    Statement(usize),
+    /// The program input at this 0-based index.
+    Input(usize),
+    /// The type's default value (no producer was available).
+    Default(Type),
+}
+
+/// Resolves the argument sources for the statement at `stmt_index`.
+///
+/// `stmt_output_types` are the output types of the statements *before*
+/// `stmt_index` (i.e. its length must be at least `stmt_index`); only the
+/// first `stmt_index` entries are inspected. `input_types` are the types of
+/// the program inputs in order.
+///
+/// Resolution is purely type-driven and therefore static: the interpreter and
+/// the dead-code analysis share this single implementation.
+#[must_use]
+pub fn resolve_arg_sources(
+    stmt_index: usize,
+    function: Function,
+    stmt_output_types: &[Type],
+    input_types: &[Type],
+) -> Vec<ArgSource> {
+    let wanted = function.signature().inputs;
+    let mut used_statements = Vec::new();
+    let mut used_inputs = Vec::new();
+    let mut sources = Vec::with_capacity(wanted.len());
+    for ty in wanted {
+        let from_stmt = (0..stmt_index)
+            .rev()
+            .find(|&j| stmt_output_types[j] == ty && !used_statements.contains(&j));
+        if let Some(j) = from_stmt {
+            used_statements.push(j);
+            sources.push(ArgSource::Statement(j));
+            continue;
+        }
+        let from_input = (0..input_types.len())
+            .rev()
+            .find(|&k| input_types[k] == ty && !used_inputs.contains(&k));
+        if let Some(k) = from_input {
+            used_inputs.push(k);
+            sources.push(ArgSource::Input(k));
+            continue;
+        }
+        sources.push(ArgSource::Default(ty));
+    }
+    sources
+}
+
+/// The result of running a program: the per-statement trace and final output.
+///
+/// `steps[i]` is the output of statement `i`; the final output is the output
+/// of the last statement. This is exactly the execution trace the paper feeds
+/// into its neural fitness functions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Execution {
+    /// Output value of each statement, in execution order.
+    pub steps: Vec<Value>,
+    /// Output of the final statement.
+    pub output: Value,
+}
+
+impl Execution {
+    /// The trace paired with the function that produced each step.
+    #[must_use]
+    pub fn annotated<'a>(&'a self, program: &'a Program) -> Vec<(Function, &'a Value)> {
+        program
+            .functions()
+            .iter()
+            .copied()
+            .zip(self.steps.iter())
+            .collect()
+    }
+}
+
+impl Program {
+    /// Runs the program on `inputs`, returning the full execution trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::EmptyProgram`] if the program has no statements.
+    pub fn run(&self, inputs: &[Value]) -> Result<Execution, DslError> {
+        if self.is_empty() {
+            return Err(DslError::EmptyProgram);
+        }
+        let input_types: Vec<Type> = inputs.iter().map(Value::ty).collect();
+        let mut step_types: Vec<Type> = Vec::with_capacity(self.len());
+        let mut steps: Vec<Value> = Vec::with_capacity(self.len());
+        for (i, &func) in self.functions().iter().enumerate() {
+            let sources = resolve_arg_sources(i, func, &step_types, &input_types);
+            let args: Vec<Value> = sources
+                .iter()
+                .map(|src| match *src {
+                    ArgSource::Statement(j) => steps[j].clone(),
+                    ArgSource::Input(k) => inputs[k].clone(),
+                    ArgSource::Default(ty) => ty.default_value(),
+                })
+                .collect();
+            let out = func.apply(&args);
+            step_types.push(out.ty());
+            steps.push(out);
+        }
+        let output = steps.last().cloned().expect("program is non-empty");
+        Ok(Execution { steps, output })
+    }
+
+    /// Runs the program and returns only its final output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::EmptyProgram`] if the program has no statements.
+    pub fn output(&self, inputs: &[Value]) -> Result<Value, DslError> {
+        self.run(inputs).map(|e| e.output)
+    }
+
+    /// The argument sources of every statement (type-level data-flow graph).
+    #[must_use]
+    pub fn data_flow(&self, input_types: &[Type]) -> Vec<Vec<ArgSource>> {
+        let mut step_types: Vec<Type> = Vec::with_capacity(self.len());
+        let mut flow = Vec::with_capacity(self.len());
+        for (i, &func) in self.functions().iter().enumerate() {
+            let sources = resolve_arg_sources(i, func, &step_types, input_types);
+            step_types.push(func.output_type());
+            flow.push(sources);
+        }
+        flow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{BinOp, IntPredicate, MapOp};
+
+    fn list(v: &[i64]) -> Value {
+        Value::List(v.to_vec())
+    }
+
+    #[test]
+    fn table1_example_runs_as_in_the_paper() {
+        let program = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ]);
+        let exec = program.run(&[list(&[-2, 10, 3, -4, 5, 2])]).unwrap();
+        assert_eq!(exec.output, list(&[20, 10, 6, 4]));
+        assert_eq!(
+            exec.steps,
+            vec![
+                list(&[10, 3, 5, 2]),
+                list(&[20, 6, 10, 4]),
+                list(&[4, 6, 10, 20]),
+                list(&[20, 10, 6, 4]),
+            ]
+        );
+    }
+
+    #[test]
+    fn section4_trace_example_matches() {
+        // { FILTER(>0), MAP(*2), REVERSE, DROP } on [-2, 10, 3, -4, 5, 2].
+        // The paper's example uses DROP(2); in our DSL the integer argument of
+        // DROP resolves to the most recent integer producer, which does not
+        // exist here, so 0 is used and DROP keeps the list intact. We therefore
+        // check the first three trace entries against the paper.
+        let program = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Reverse,
+            Function::Drop,
+        ]);
+        let exec = program.run(&[list(&[-2, 10, 3, -4, 5, 2])]).unwrap();
+        assert_eq!(exec.steps[0], list(&[10, 3, 5, 2]));
+        assert_eq!(exec.steps[1], list(&[20, 6, 10, 4]));
+        assert_eq!(exec.steps[2], list(&[4, 10, 6, 20]));
+        assert_eq!(exec.steps[3], list(&[4, 10, 6, 20]));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let p = Program::default();
+        assert_eq!(p.run(&[list(&[1])]), Err(DslError::EmptyProgram));
+        assert_eq!(p.output(&[list(&[1])]), Err(DslError::EmptyProgram));
+    }
+
+    #[test]
+    fn missing_inputs_use_defaults() {
+        let p = Program::new(vec![Function::Sum]);
+        // No list input at all: SUM sees the empty list.
+        assert_eq!(p.output(&[]).unwrap(), Value::Int(0));
+        // An int input does not satisfy a list argument.
+        assert_eq!(p.output(&[Value::Int(5)]).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn int_argument_resolves_to_most_recent_int_producer() {
+        // SUM produces an int which TAKE should consume as its count.
+        let p = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Count(IntPredicate::Even),
+            Function::Take,
+        ]);
+        // positives = [4, 3, 2, 7]; even count = 2; TAKE 2 of most recent
+        // list producer (the FILTER output).
+        let out = p.output(&[list(&[4, -1, 3, 2, 7])]).unwrap();
+        assert_eq!(out, list(&[4, 3]));
+    }
+
+    #[test]
+    fn int_input_is_used_when_no_int_statement_exists() {
+        let p = Program::new(vec![Function::Take]);
+        let out = p.output(&[Value::Int(2), list(&[9, 8, 7])]).unwrap();
+        assert_eq!(out, list(&[9, 8]));
+    }
+
+    #[test]
+    fn zipwith_uses_two_most_recent_distinct_lists() {
+        let p = Program::new(vec![
+            Function::Map(MapOp::AddOne),
+            Function::Map(MapOp::Mul2),
+            Function::ZipWith(BinOp::Sub),
+        ]);
+        // step0 = xs + 1 = [2, 3]; step1 = step0 * 2 = [4, 6];
+        // zipwith(-) combines step1 (first arg) and step0 (second arg).
+        let out = p.output(&[list(&[1, 2])]).unwrap();
+        assert_eq!(out, list(&[2, 3]));
+    }
+
+    #[test]
+    fn zipwith_with_single_producer_falls_back_to_program_input() {
+        let p = Program::new(vec![Function::Map(MapOp::Mul2), Function::ZipWith(BinOp::Add)]);
+        // step0 = [2, 4, 6]; second list argument falls back to the program
+        // input [1, 2, 3]; sum = [3, 6, 9].
+        let out = p.output(&[list(&[1, 2, 3])]).unwrap();
+        assert_eq!(out, list(&[3, 6, 9]));
+    }
+
+    #[test]
+    fn resolve_arg_sources_reports_defaults() {
+        let sources = resolve_arg_sources(0, Function::Take, &[], &[]);
+        assert_eq!(
+            sources,
+            vec![ArgSource::Default(Type::Int), ArgSource::Default(Type::List)]
+        );
+    }
+
+    #[test]
+    fn data_flow_matches_execution_semantics() {
+        let p = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Count(IntPredicate::Even),
+            Function::Take,
+        ]);
+        let flow = p.data_flow(&[Type::List]);
+        assert_eq!(flow.len(), 3);
+        assert_eq!(flow[0], vec![ArgSource::Input(0)]);
+        assert_eq!(flow[1], vec![ArgSource::Statement(0)]);
+        assert_eq!(
+            flow[2],
+            vec![ArgSource::Statement(1), ArgSource::Statement(0)]
+        );
+    }
+
+    #[test]
+    fn every_function_sequence_executes_without_panicking() {
+        // Smoke test: all 41 functions in one program, arbitrary input.
+        let p = Program::new(Function::ALL.to_vec());
+        let exec = p.run(&[list(&[3, -7, 0, 12, 5])]).unwrap();
+        assert_eq!(exec.steps.len(), 41);
+    }
+
+    #[test]
+    fn trace_annotation_pairs_functions_and_steps() {
+        let p = Program::new(vec![Function::Sort, Function::Sum]);
+        let exec = p.run(&[list(&[2, 1])]).unwrap();
+        let annotated = exec.annotated(&p);
+        assert_eq!(annotated.len(), 2);
+        assert_eq!(annotated[0].0, Function::Sort);
+        assert_eq!(*annotated[1].1, Value::Int(3));
+    }
+}

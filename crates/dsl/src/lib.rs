@@ -1,0 +1,78 @@
+//! # netsyn-dsl
+//!
+//! The list-manipulation domain-specific language used by the NetSyn
+//! reproduction ("Learning Fitness Functions for Machine Programming",
+//! MLSys 2021).
+//!
+//! The DSL follows DeepCoder's: the only data types are integers and lists of
+//! integers, and a program is a straight-line sequence of calls to one of 41
+//! built-in functions. There are no named variables: each argument binds to
+//! the output of the most recent prior statement of the matching type,
+//! falling back to the program inputs and finally to a default value. Every
+//! function sequence is a valid program, every program terminates, and
+//! crossover/mutation of programs always yields valid programs — the
+//! properties the genetic algorithm relies on.
+//!
+//! The crate provides:
+//!
+//! * [`Function`], [`Program`], [`Value`] — the language itself;
+//! * [`Program::run`] / [`Execution`] — an interpreter that also records the
+//!   per-statement execution trace used by the learned fitness functions;
+//! * [`dce`] — dead-code analysis ("effective length") and elimination;
+//! * [`IoSpec`] — input-output specifications and program equivalence;
+//! * [`Generator`] — random generation of programs, inputs and synthesis
+//!   tasks for training corpora and evaluation suites.
+//!
+//! ## Example
+//!
+//! ```
+//! use netsyn_dsl::{Function, Generator, GeneratorConfig, IntPredicate, MapOp, Program, Value};
+//!
+//! // The length-4 program from Table 1 of the paper.
+//! let program: Program = "FILTER(>0), MAP(*2), SORT, REVERSE".parse()?;
+//! let execution = program.run(&[Value::List(vec![-2, 10, 3, -4, 5, 2])])?;
+//! assert_eq!(execution.output, Value::List(vec![20, 10, 6, 4]));
+//!
+//! // Random synthesis tasks for evaluation.
+//! let generator = Generator::new(GeneratorConfig::for_length(5));
+//! let mut rng = rand::thread_rng();
+//! let task = generator.task(5, &mut rng)?;
+//! assert!(task.spec.is_satisfied_by(&task.target));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dce;
+mod error;
+mod function;
+mod generator;
+mod interp;
+mod program;
+mod spec;
+mod value;
+
+pub use error::DslError;
+pub use function::{BinOp, Function, IntPredicate, MapOp, Signature};
+pub use generator::{Generator, GeneratorConfig, SynthesisTask};
+pub use interp::{resolve_arg_sources, ArgSource, Execution};
+pub use program::{Program, ProgramKind};
+pub use spec::{IoExample, IoSpec};
+pub use value::{Type, Value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Function>();
+        assert_send_sync::<Program>();
+        assert_send_sync::<Value>();
+        assert_send_sync::<IoSpec>();
+        assert_send_sync::<Generator>();
+        assert_send_sync::<SynthesisTask>();
+    }
+}

@@ -1,0 +1,313 @@
+//! Programs: straight-line sequences of DSL functions.
+
+use crate::error::DslError;
+use crate::function::Function;
+use crate::value::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Whether a program produces a single integer or a list of integers.
+///
+/// The paper's evaluation splits its test suite into 50 "singleton" programs
+/// (integer output) and 50 "list" programs per length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProgramKind {
+    /// The program's final statement returns an integer.
+    Singleton,
+    /// The program's final statement returns a list of integers.
+    List,
+}
+
+impl fmt::Display for ProgramKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramKind::Singleton => write!(f, "singleton"),
+            ProgramKind::List => write!(f, "list"),
+        }
+    }
+}
+
+/// A straight-line DSL program: an ordered sequence of function calls.
+///
+/// Programs are "valid by construction": any sequence of DSL functions is a
+/// runnable program, which is what makes genetic crossover and mutation safe
+/// without pruning.
+///
+/// # Examples
+///
+/// ```
+/// use netsyn_dsl::{Function, IntPredicate, MapOp, Program, Value};
+///
+/// // The length-4 example from Table 1 of the paper.
+/// let program = Program::new(vec![
+///     Function::Filter(IntPredicate::Positive),
+///     Function::Map(MapOp::Mul2),
+///     Function::Sort,
+///     Function::Reverse,
+/// ]);
+/// let out = program
+///     .output(&[Value::List(vec![-2, 10, 3, -4, 5, 2])])
+///     .expect("non-empty program");
+/// assert_eq!(out, Value::List(vec![20, 10, 6, 4]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Program {
+    functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates a program from a sequence of functions.
+    #[must_use]
+    pub fn new(functions: Vec<Function>) -> Self {
+        Program { functions }
+    }
+
+    /// Creates a program from the paper's 1-based function ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::UnknownFunctionId`] if any id is outside `1..=41`.
+    pub fn from_ids(ids: &[u8]) -> Result<Self, DslError> {
+        let functions = ids
+            .iter()
+            .map(|&id| Function::from_id(id))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program::new(functions))
+    }
+
+    /// The paper's 1-based function ids of this program.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u8> {
+        self.functions.iter().map(|f| f.id()).collect()
+    }
+
+    /// Number of statements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the program has no statements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// The functions of the program in execution order.
+    #[must_use]
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// Consumes the program and returns its functions.
+    #[must_use]
+    pub fn into_functions(self) -> Vec<Function> {
+        self.functions
+    }
+
+    /// The function at position `index`, if any.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<Function> {
+        self.functions.get(index).copied()
+    }
+
+    /// Returns a copy of the program with the function at `index` replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn with_replaced(&self, index: usize, function: Function) -> Program {
+        assert!(index < self.len(), "index {index} out of bounds");
+        let mut functions = self.functions.clone();
+        functions[index] = function;
+        Program::new(functions)
+    }
+
+    /// Appends a function at the end of the program.
+    pub fn push(&mut self, function: Function) {
+        self.functions.push(function);
+    }
+
+    /// The output type of the final statement, if the program is non-empty.
+    #[must_use]
+    pub fn output_type(&self) -> Option<Type> {
+        self.functions.last().map(|f| f.output_type())
+    }
+
+    /// Whether this is a singleton-output or list-output program.
+    ///
+    /// Returns `None` for the empty program.
+    #[must_use]
+    pub fn kind(&self) -> Option<ProgramKind> {
+        self.output_type().map(|t| match t {
+            Type::Int => ProgramKind::Singleton,
+            Type::List => ProgramKind::List,
+        })
+    }
+
+    /// Iterates over the functions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Function> {
+        self.functions.iter()
+    }
+}
+
+impl From<Vec<Function>> for Program {
+    fn from(functions: Vec<Function>) -> Self {
+        Program::new(functions)
+    }
+}
+
+impl FromIterator<Function> for Program {
+    fn from_iter<T: IntoIterator<Item = Function>>(iter: T) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = Function;
+    type IntoIter = std::vec::IntoIter<Function>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.functions.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Function;
+    type IntoIter = std::slice::Iter<'a, Function>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.functions.iter()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, func) in self.functions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Program {
+    type Err = DslError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let functions = s
+            .split(|c| c == ',' || c == ';' || c == '\n' || c == '|')
+            .map(str::trim)
+            .filter(|tok| !tok.is_empty())
+            .map(Function::from_str)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| DslError::ParseProgram(e.to_string()))?;
+        if functions.is_empty() {
+            return Err(DslError::ParseProgram("no functions found".to_string()));
+        }
+        Ok(Program::new(functions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{IntPredicate, MapOp};
+
+    fn table1_program() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = table1_program();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.get(0), Some(Function::Filter(IntPredicate::Positive)));
+        assert_eq!(p.get(4), None);
+        assert_eq!(p.kind(), Some(ProgramKind::List));
+        assert_eq!(p.output_type(), Some(Type::List));
+    }
+
+    #[test]
+    fn empty_program_has_no_kind() {
+        let p = Program::default();
+        assert!(p.is_empty());
+        assert_eq!(p.kind(), None);
+        assert_eq!(p.output_type(), None);
+    }
+
+    #[test]
+    fn singleton_kind_detection() {
+        let p = Program::new(vec![Function::Sort, Function::Sum]);
+        assert_eq!(p.kind(), Some(ProgramKind::Singleton));
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let p = table1_program();
+        let ids = p.ids();
+        let back = Program::from_ids(&ids).unwrap();
+        assert_eq!(back, p);
+        assert!(Program::from_ids(&[1, 99]).is_err());
+    }
+
+    #[test]
+    fn with_replaced_creates_modified_copy() {
+        let p = table1_program();
+        let q = p.with_replaced(3, Function::Sum);
+        assert_eq!(q.get(3), Some(Function::Sum));
+        assert_eq!(p.get(3), Some(Function::Reverse));
+        assert_eq!(q.kind(), Some(ProgramKind::Singleton));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn with_replaced_panics_out_of_bounds() {
+        let _ = table1_program().with_replaced(10, Function::Sum);
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let p = table1_program();
+        let s = p.to_string();
+        assert_eq!(s, "FILTER(>0), MAP(*2), SORT, REVERSE");
+        let parsed: Program = s.parse().unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn parse_accepts_newlines_and_pipes() {
+        let p: Program = "FILTER(>0)\nMAP(*2) | SORT; REVERSE".parse().unwrap();
+        assert_eq!(p, table1_program());
+        assert!("".parse::<Program>().is_err());
+        assert!("FILTER(>0), BOGUS".parse::<Program>().is_err());
+    }
+
+    #[test]
+    fn iteration_and_collection() {
+        let p = table1_program();
+        let collected: Program = p.iter().copied().collect();
+        assert_eq!(collected, p);
+        let v: Vec<Function> = p.clone().into_iter().collect();
+        assert_eq!(v.len(), 4);
+        assert_eq!(p.clone().into_functions(), v);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = table1_program();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

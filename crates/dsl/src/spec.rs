@@ -1,0 +1,284 @@
+//! Input-output specifications.
+//!
+//! A specification is the set `S_t = {(I_j, O_j)}` of input-output examples
+//! that describes the behaviour of the hidden target program. Program
+//! equivalence (Definition 3.1 of the paper) is defined with respect to such
+//! a specification.
+
+use crate::program::Program;
+use crate::value::{Type, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single input-output example.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoExample {
+    /// Program inputs (usually a single list of integers).
+    pub inputs: Vec<Value>,
+    /// Expected output.
+    pub output: Value,
+}
+
+impl IoExample {
+    /// Creates a new example.
+    #[must_use]
+    pub fn new(inputs: Vec<Value>, output: Value) -> Self {
+        IoExample { inputs, output }
+    }
+
+    /// Whether `program` maps this example's inputs to its output.
+    #[must_use]
+    pub fn is_satisfied_by(&self, program: &Program) -> bool {
+        program
+            .output(&self.inputs)
+            .map(|out| out == self.output)
+            .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for IoExample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, input) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{input}")?;
+        }
+        write!(f, ") -> {}", self.output)
+    }
+}
+
+/// A set of input-output examples describing the target program.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IoSpec {
+    examples: Vec<IoExample>,
+}
+
+impl IoSpec {
+    /// Creates a specification from a list of examples.
+    #[must_use]
+    pub fn new(examples: Vec<IoExample>) -> Self {
+        IoSpec { examples }
+    }
+
+    /// Builds the specification `{(I_j, P(I_j))}` by running `program` on
+    /// each input set. Inputs on which the program fails to run (empty
+    /// program) are skipped.
+    #[must_use]
+    pub fn from_program(program: &Program, inputs: &[Vec<Value>]) -> Self {
+        let examples = inputs
+            .iter()
+            .filter_map(|ins| {
+                program
+                    .output(ins)
+                    .ok()
+                    .map(|out| IoExample::new(ins.clone(), out))
+            })
+            .collect();
+        IoSpec { examples }
+    }
+
+    /// The examples of the specification.
+    #[must_use]
+    pub fn examples(&self) -> &[IoExample] {
+        &self.examples
+    }
+
+    /// Number of examples (`m` in the paper).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the specification has no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Iterates over the examples.
+    pub fn iter(&self) -> std::slice::Iter<'_, IoExample> {
+        self.examples.iter()
+    }
+
+    /// Adds an example.
+    pub fn push(&mut self, example: IoExample) {
+        self.examples.push(example);
+    }
+
+    /// Whether `program` is equivalent to the target program under this
+    /// specification, i.e. satisfies every example (Definition 3.1).
+    #[must_use]
+    pub fn is_satisfied_by(&self, program: &Program) -> bool {
+        !self.is_empty() && self.examples.iter().all(|ex| ex.is_satisfied_by(program))
+    }
+
+    /// Number of examples `program` satisfies.
+    #[must_use]
+    pub fn satisfied_count(&self, program: &Program) -> usize {
+        self.examples
+            .iter()
+            .filter(|ex| ex.is_satisfied_by(program))
+            .count()
+    }
+
+    /// The types of the program inputs, taken from the first example.
+    #[must_use]
+    pub fn input_types(&self) -> Vec<Type> {
+        self.examples
+            .first()
+            .map(|ex| ex.inputs.iter().map(Value::ty).collect())
+            .unwrap_or_default()
+    }
+
+    /// The output type implied by the examples, if they agree.
+    #[must_use]
+    pub fn output_type(&self) -> Option<Type> {
+        let first = self.examples.first()?.output.ty();
+        if self.examples.iter().all(|ex| ex.output.ty() == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+}
+
+impl FromIterator<IoExample> for IoSpec {
+    fn from_iter<T: IntoIterator<Item = IoExample>>(iter: T) -> Self {
+        IoSpec::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a IoSpec {
+    type Item = &'a IoExample;
+    type IntoIter = std::slice::Iter<'a, IoExample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.examples.iter()
+    }
+}
+
+impl fmt::Display for IoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ex) in self.examples.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{ex}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{Function, IntPredicate, MapOp};
+
+    fn table1_program() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    fn sample_inputs() -> Vec<Vec<Value>> {
+        vec![
+            vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+            vec![Value::List(vec![1, 2, 3])],
+            vec![Value::List(vec![-1, -2])],
+        ]
+    }
+
+    #[test]
+    fn from_program_builds_consistent_spec() {
+        let p = table1_program();
+        let spec = IoSpec::from_program(&p, &sample_inputs());
+        assert_eq!(spec.len(), 3);
+        assert!(spec.is_satisfied_by(&p));
+        assert_eq!(spec.satisfied_count(&p), 3);
+        assert_eq!(spec.output_type(), Some(Type::List));
+        assert_eq!(spec.input_types(), vec![Type::List]);
+    }
+
+    #[test]
+    fn non_equivalent_program_fails_spec() {
+        let p = table1_program();
+        let spec = IoSpec::from_program(&p, &sample_inputs());
+        let wrong = Program::new(vec![Function::Sort]);
+        assert!(!spec.is_satisfied_by(&wrong));
+        assert!(spec.satisfied_count(&wrong) < spec.len());
+    }
+
+    #[test]
+    fn semantically_equivalent_program_satisfies_spec() {
+        // SORT then REVERSE equals REVERSE of SORT of the same list; a
+        // different function sequence computing the same outputs satisfies
+        // the spec (Definition 3.1 is extensional).
+        let p = Program::new(vec![Function::Sort, Function::Reverse]);
+        let q = Program::new(vec![
+            Function::Map(MapOp::Negate),
+            Function::Sort,
+            Function::Map(MapOp::Negate),
+        ]);
+        let spec = IoSpec::from_program(&p, &sample_inputs());
+        assert!(spec.is_satisfied_by(&q));
+    }
+
+    #[test]
+    fn empty_spec_is_never_satisfied() {
+        let spec = IoSpec::default();
+        assert!(spec.is_empty());
+        assert!(!spec.is_satisfied_by(&table1_program()));
+        assert_eq!(spec.output_type(), None);
+        assert!(spec.input_types().is_empty());
+    }
+
+    #[test]
+    fn empty_candidate_never_satisfies() {
+        let spec = IoSpec::from_program(&table1_program(), &sample_inputs());
+        assert!(!spec.is_satisfied_by(&Program::default()));
+    }
+
+    #[test]
+    fn mixed_output_types_are_reported_as_none() {
+        let spec = IoSpec::new(vec![
+            IoExample::new(vec![Value::List(vec![1])], Value::Int(1)),
+            IoExample::new(vec![Value::List(vec![2])], Value::List(vec![2])),
+        ]);
+        assert_eq!(spec.output_type(), None);
+    }
+
+    #[test]
+    fn display_shows_examples() {
+        let spec = IoSpec::new(vec![IoExample::new(
+            vec![Value::List(vec![1, 2])],
+            Value::Int(3),
+        )]);
+        assert_eq!(spec.to_string(), "([1, 2]) -> 3");
+    }
+
+    #[test]
+    fn collect_and_push() {
+        let mut spec: IoSpec = sample_inputs()
+            .into_iter()
+            .map(|ins| IoExample::new(ins, Value::Int(0)))
+            .collect();
+        assert_eq!(spec.len(), 3);
+        spec.push(IoExample::new(vec![Value::Int(1)], Value::Int(1)));
+        assert_eq!(spec.len(), 4);
+        assert_eq!(spec.iter().count(), 4);
+        assert_eq!((&spec).into_iter().count(), 4);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = IoSpec::from_program(&table1_program(), &sample_inputs());
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: IoSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -1,0 +1,226 @@
+//! Runtime values and types of the NetSyn DSL.
+//!
+//! The DSL has exactly two data types: 64-bit signed integers and lists of
+//! 64-bit signed integers. Missing inputs default to `0` and the empty list
+//! respectively, mirroring the semantics described in Appendix A of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two value types of the DSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Type {
+    /// A single 64-bit signed integer.
+    Int,
+    /// A list of 64-bit signed integers.
+    List,
+}
+
+impl Type {
+    /// Returns the default value used by the runtime when no value of this
+    /// type is available (0 for integers, the empty list for lists).
+    #[must_use]
+    pub fn default_value(self) -> Value {
+        match self {
+            Type::Int => Value::Int(0),
+            Type::List => Value::List(Vec::new()),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::List => write!(f, "[int]"),
+        }
+    }
+}
+
+/// A runtime value: either an integer or a list of integers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A list-of-integers value.
+    List(Vec<i64>),
+}
+
+impl Value {
+    /// The type of this value.
+    #[must_use]
+    pub fn ty(&self) -> Type {
+        match self {
+            Value::Int(_) => Type::Int,
+            Value::List(_) => Type::List,
+        }
+    }
+
+    /// Returns the integer if this value is an [`Value::Int`].
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::List(_) => None,
+        }
+    }
+
+    /// Returns a slice view of the list if this value is a [`Value::List`].
+    #[must_use]
+    pub fn as_list(&self) -> Option<&[i64]> {
+        match self {
+            Value::Int(_) => None,
+            Value::List(v) => Some(v),
+        }
+    }
+
+    /// Extracts the integer, substituting the type's default (`0`) when the
+    /// value is a list. This mirrors the runtime's behaviour of falling back
+    /// to a default value on a type mismatch.
+    #[must_use]
+    pub fn int_or_default(&self) -> i64 {
+        self.as_int().unwrap_or(0)
+    }
+
+    /// Extracts the list, substituting the empty list when the value is an
+    /// integer.
+    #[must_use]
+    pub fn list_or_default(&self) -> Vec<i64> {
+        match self {
+            Value::Int(_) => Vec::new(),
+            Value::List(v) => v.clone(),
+        }
+    }
+
+    /// Returns `true` if this is the default value of its own type
+    /// (`0` or the empty list).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        match self {
+            Value::Int(v) => *v == 0,
+            Value::List(v) => v.is_empty(),
+        }
+    }
+
+    /// Flattens the value into a token sequence suitable for feature
+    /// encoding: an integer becomes a one-element slice, a list becomes its
+    /// elements.
+    #[must_use]
+    pub fn to_tokens(&self) -> Vec<i64> {
+        match self {
+            Value::Int(v) => vec![*v],
+            Value::List(v) => v.clone(),
+        }
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Int(0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(v: Vec<i64>) -> Self {
+        Value::List(v)
+    }
+}
+
+impl From<&[i64]> for Value {
+    fn from(v: &[i64]) -> Self {
+        Value::List(v.to_vec())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::List(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_default_values() {
+        assert_eq!(Type::Int.default_value(), Value::Int(0));
+        assert_eq!(Type::List.default_value(), Value::List(vec![]));
+    }
+
+    #[test]
+    fn value_type_queries() {
+        let i = Value::Int(7);
+        let l = Value::List(vec![1, 2, 3]);
+        assert_eq!(i.ty(), Type::Int);
+        assert_eq!(l.ty(), Type::List);
+        assert_eq!(i.as_int(), Some(7));
+        assert_eq!(l.as_int(), None);
+        assert_eq!(i.as_list(), None);
+        assert_eq!(l.as_list(), Some(&[1, 2, 3][..]));
+    }
+
+    #[test]
+    fn defaults_on_mismatch() {
+        assert_eq!(Value::List(vec![1]).int_or_default(), 0);
+        assert_eq!(Value::Int(9).list_or_default(), Vec::<i64>::new());
+        assert_eq!(Value::Int(3).int_or_default(), 3);
+        assert_eq!(Value::List(vec![4, 5]).list_or_default(), vec![4, 5]);
+    }
+
+    #[test]
+    fn is_default_detection() {
+        assert!(Value::Int(0).is_default());
+        assert!(Value::List(vec![]).is_default());
+        assert!(!Value::Int(1).is_default());
+        assert!(!Value::List(vec![0]).is_default());
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(5_i64), Value::Int(5));
+        assert_eq!(Value::from(vec![1, 2]), Value::List(vec![1, 2]));
+        assert_eq!(Value::from(&[3_i64, 4][..]), Value::List(vec![3, 4]));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::List(vec![1, 2, 3]).to_string(), "[1, 2, 3]");
+        assert_eq!(Value::List(vec![]).to_string(), "[]");
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::List.to_string(), "[int]");
+    }
+
+    #[test]
+    fn tokens_flattening() {
+        assert_eq!(Value::Int(9).to_tokens(), vec![9]);
+        assert_eq!(Value::List(vec![1, 2]).to_tokens(), vec![1, 2]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::List(vec![1, -2, 3]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the DSL: validity-by-construction, interpreter
+//! totality, dead-code elimination soundness and parser round-trips.
+
+use netsyn_dsl::dce::{effective_length, eliminate_dead_code, has_dead_code};
+use netsyn_dsl::{Function, IoSpec, Program, Type, Value};
+use proptest::prelude::*;
+
+fn arb_function() -> impl Strategy<Value = Function> {
+    (0..Function::COUNT).prop_map(|i| Function::ALL[i])
+}
+
+fn arb_program(max_len: usize) -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_function(), 1..=max_len).prop_map(Program::new)
+}
+
+fn arb_list() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-100_i64..=100, 0..=12)
+}
+
+fn arb_inputs() -> impl Strategy<Value = Vec<Value>> {
+    arb_list().prop_map(|xs| vec![Value::List(xs)])
+}
+
+proptest! {
+    /// Every function sequence is a valid program that executes without
+    /// panicking and produces one trace entry per statement.
+    #[test]
+    fn interpreter_is_total(program in arb_program(10), inputs in arb_inputs()) {
+        let exec = program.run(&inputs).expect("non-empty programs always run");
+        prop_assert_eq!(exec.steps.len(), program.len());
+        prop_assert_eq!(exec.steps.last().cloned().unwrap(), exec.output);
+    }
+
+    /// The interpreter is deterministic.
+    #[test]
+    fn interpreter_is_deterministic(program in arb_program(8), inputs in arb_inputs()) {
+        let a = program.run(&inputs).unwrap();
+        let b = program.run(&inputs).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Each step's value type equals the statement's declared output type.
+    #[test]
+    fn trace_types_match_signatures(program in arb_program(8), inputs in arb_inputs()) {
+        let exec = program.run(&inputs).unwrap();
+        for (func, step) in program.functions().iter().zip(exec.steps.iter()) {
+            prop_assert_eq!(step.ty(), func.output_type());
+        }
+    }
+
+    /// Dead-code elimination never changes the program's output and never
+    /// removes the final statement.
+    #[test]
+    fn dce_preserves_semantics(program in arb_program(10), inputs in arb_inputs()) {
+        let optimized = eliminate_dead_code(&program, &[Type::List]);
+        prop_assert!(!optimized.is_empty());
+        prop_assert_eq!(optimized.functions().last(), program.functions().last());
+        prop_assert_eq!(
+            program.output(&inputs).unwrap(),
+            optimized.output(&inputs).unwrap()
+        );
+    }
+
+    /// After dead-code elimination there is no dead code left, and the
+    /// effective length equals the optimized program's length.
+    #[test]
+    fn dce_is_idempotent(program in arb_program(10)) {
+        let optimized = eliminate_dead_code(&program, &[Type::List]);
+        prop_assert!(!has_dead_code(&optimized, &[Type::List]));
+        prop_assert_eq!(optimized.len(), effective_length(&program, &[Type::List]));
+        let twice = eliminate_dead_code(&optimized, &[Type::List]);
+        prop_assert_eq!(twice, optimized);
+    }
+
+    /// Program text round-trips through Display and FromStr.
+    #[test]
+    fn program_text_round_trips(program in arb_program(10)) {
+        let text = program.to_string();
+        let parsed: Program = text.parse().unwrap();
+        prop_assert_eq!(parsed, program);
+    }
+
+    /// Function ids round-trip and stay in range.
+    #[test]
+    fn function_ids_round_trip(program in arb_program(10)) {
+        let ids = program.ids();
+        prop_assert!(ids.iter().all(|&id| (1..=41).contains(&id)));
+        prop_assert_eq!(Program::from_ids(&ids).unwrap(), program);
+    }
+
+    /// A specification generated from a program is always satisfied by that
+    /// program (self-consistency of the equivalence check).
+    #[test]
+    fn spec_from_program_is_satisfied(program in arb_program(8), lists in prop::collection::vec(arb_list(), 1..5)) {
+        let inputs: Vec<Vec<Value>> = lists.into_iter().map(|l| vec![Value::List(l)]).collect();
+        let spec = IoSpec::from_program(&program, &inputs);
+        prop_assert!(spec.is_satisfied_by(&program));
+        prop_assert_eq!(spec.satisfied_count(&program), spec.len());
+    }
+
+    /// Replacing a statement keeps the program valid and the same length
+    /// (the neighborhood-search building block).
+    #[test]
+    fn single_replacement_stays_valid(
+        program in arb_program(8),
+        idx in 0usize..8,
+        func in arb_function(),
+        inputs in arb_inputs()
+    ) {
+        let idx = idx % program.len();
+        let mutated = program.with_replaced(idx, func);
+        prop_assert_eq!(mutated.len(), program.len());
+        prop_assert!(mutated.run(&inputs).is_ok());
+    }
+
+    /// List outputs only ever contain values derived from saturating i64
+    /// arithmetic — no panics for extreme inputs.
+    #[test]
+    fn extreme_inputs_do_not_panic(program in arb_program(10)) {
+        let inputs = vec![Value::List(vec![i64::MAX, i64::MIN, 0, 1, -1])];
+        let _ = program.run(&inputs).unwrap();
+    }
+}

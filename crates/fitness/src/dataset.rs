@@ -1,0 +1,336 @@
+//! Training-corpus generation for the learned fitness functions.
+//!
+//! Following Section 5 of the paper, example target programs are generated at
+//! random together with `m` input-output examples each; candidate programs
+//! are generated so that every possible CF (or LCS) value `0..=L` is equally
+//! represented, which balances the classifier's training labels.
+
+use crate::metrics::{common_functions, longest_common_subsequence};
+use netsyn_dsl::{DslError, Function, Generator, GeneratorConfig, IoSpec, Program};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which label the candidate-generation process balances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BalanceMetric {
+    /// Balance the common-functions value.
+    CommonFunctions,
+    /// Balance the longest-common-subsequence value.
+    LongestCommonSubsequence,
+}
+
+/// One training example for the fitness networks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitnessSample {
+    /// Input-output examples of the (hidden) target program.
+    pub spec: IoSpec,
+    /// The hidden target program the spec was generated from.
+    pub target: Program,
+    /// The candidate program whose fitness is being labelled.
+    pub candidate: Program,
+    /// Ground-truth number of common functions between candidate and target.
+    pub cf: usize,
+    /// Ground-truth longest common subsequence between candidate and target.
+    pub lcs: usize,
+    /// Per-function indicator of membership in the target (the FP label).
+    pub fp_target: Vec<f32>,
+}
+
+/// Configuration of corpus generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Length of the target (and candidate) programs.
+    pub program_length: usize,
+    /// Number of distinct target programs to generate.
+    pub num_target_programs: usize,
+    /// Number of input-output examples per target (`m` in the paper, 5).
+    pub examples_per_program: usize,
+    /// How many candidates to generate per (target, label value) pair.
+    pub candidates_per_value: usize,
+    /// Random program / input generation parameters.
+    pub generator: GeneratorConfig,
+}
+
+impl DatasetConfig {
+    /// A small default corpus configuration for the given program length.
+    #[must_use]
+    pub fn for_length(program_length: usize) -> Self {
+        DatasetConfig {
+            program_length,
+            num_target_programs: 200,
+            examples_per_program: 5,
+            candidates_per_value: 1,
+            generator: GeneratorConfig::for_length(program_length),
+        }
+    }
+}
+
+/// The FP label for a target program: a 41-dimensional indicator vector.
+#[must_use]
+pub fn fp_label(target: &Program) -> Vec<f32> {
+    let mut label = vec![0.0; Function::COUNT];
+    for f in target.functions() {
+        label[f.index()] = 1.0;
+    }
+    label
+}
+
+/// Constructs a candidate of the same length as `target` with exactly `cf`
+/// common functions (multiset intersection) with it.
+///
+/// # Panics
+///
+/// Panics if `cf > target.len()` or `target` is empty.
+#[must_use]
+pub fn candidate_with_cf<R: Rng + ?Sized>(target: &Program, cf: usize, rng: &mut R) -> Program {
+    assert!(!target.is_empty(), "target must be non-empty");
+    assert!(cf <= target.len(), "cf cannot exceed the target length");
+    let length = target.len();
+    let mut positions: Vec<usize> = (0..length).collect();
+    positions.shuffle(rng);
+    let mut functions: Vec<Function> = positions[..cf]
+        .iter()
+        .map(|&i| target.get(i).expect("index in range"))
+        .collect();
+    let outside = functions_outside(target);
+    for _ in cf..length {
+        functions.push(*outside.choose(rng).expect("the DSL has 41 functions"));
+    }
+    functions.shuffle(rng);
+    Program::new(functions)
+}
+
+/// Constructs a candidate of the same length as `target` whose longest common
+/// subsequence with it is exactly `lcs`.
+///
+/// # Panics
+///
+/// Panics if `lcs > target.len()` or `target` is empty.
+#[must_use]
+pub fn candidate_with_lcs<R: Rng + ?Sized>(target: &Program, lcs: usize, rng: &mut R) -> Program {
+    assert!(!target.is_empty(), "target must be non-empty");
+    assert!(lcs <= target.len(), "lcs cannot exceed the target length");
+    let length = target.len();
+    // Pick the target positions forming the common subsequence, in order.
+    let mut source_positions: Vec<usize> = (0..length).collect();
+    source_positions.shuffle(rng);
+    let mut chosen: Vec<usize> = source_positions[..lcs].to_vec();
+    chosen.sort_unstable();
+    // Pick where those functions land in the candidate, also in order.
+    let mut destination_positions: Vec<usize> = (0..length).collect();
+    destination_positions.shuffle(rng);
+    let mut slots: Vec<usize> = destination_positions[..lcs].to_vec();
+    slots.sort_unstable();
+
+    let outside = functions_outside(target);
+    let mut functions: Vec<Function> = (0..length)
+        .map(|_| *outside.choose(rng).expect("the DSL has 41 functions"))
+        .collect();
+    for (slot, src) in slots.iter().zip(chosen.iter()) {
+        functions[*slot] = target.get(*src).expect("index in range");
+    }
+    Program::new(functions)
+}
+
+fn functions_outside(target: &Program) -> Vec<Function> {
+    let outside: Vec<Function> = Function::ALL
+        .iter()
+        .copied()
+        .filter(|f| !target.functions().contains(f))
+        .collect();
+    if outside.is_empty() {
+        // Degenerate (target uses all 41 functions); fall back to the full set.
+        Function::ALL.to_vec()
+    } else {
+        outside
+    }
+}
+
+/// Generates a labelled corpus for the CF or LCS classifier, balanced so that
+/// every label value `0..=L` appears equally often.
+///
+/// # Errors
+///
+/// Returns [`DslError::GenerationExhausted`] if target-program generation
+/// fails under the configured constraints.
+pub fn generate_dataset<R: Rng + ?Sized>(
+    config: &DatasetConfig,
+    balance: BalanceMetric,
+    rng: &mut R,
+) -> Result<Vec<FitnessSample>, DslError> {
+    let generator = Generator::new(config.generator.clone());
+    let mut samples = Vec::new();
+    for _ in 0..config.num_target_programs {
+        let task = generator.task(config.examples_per_program, rng)?;
+        let label = fp_label(&task.target);
+        for value in 0..=config.program_length {
+            for _ in 0..config.candidates_per_value {
+                let candidate = match balance {
+                    BalanceMetric::CommonFunctions => {
+                        candidate_with_cf(&task.target, value, rng)
+                    }
+                    BalanceMetric::LongestCommonSubsequence => {
+                        candidate_with_lcs(&task.target, value, rng)
+                    }
+                };
+                samples.push(FitnessSample {
+                    spec: task.spec.clone(),
+                    cf: common_functions(&candidate, &task.target),
+                    lcs: longest_common_subsequence(&candidate, &task.target),
+                    fp_target: label.clone(),
+                    target: task.target.clone(),
+                    candidate,
+                });
+            }
+        }
+    }
+    samples.shuffle(rng);
+    Ok(samples)
+}
+
+/// Generates a corpus for the FP model: one sample per target program, with a
+/// uniformly random candidate (the FP model ignores the candidate).
+///
+/// # Errors
+///
+/// Returns [`DslError::GenerationExhausted`] if target-program generation
+/// fails under the configured constraints.
+pub fn generate_fp_dataset<R: Rng + ?Sized>(
+    config: &DatasetConfig,
+    rng: &mut R,
+) -> Result<Vec<FitnessSample>, DslError> {
+    let generator = Generator::new(config.generator.clone());
+    let mut samples = Vec::with_capacity(config.num_target_programs);
+    for _ in 0..config.num_target_programs {
+        let task = generator.task(config.examples_per_program, rng)?;
+        let candidate = generator.random_program(rng);
+        samples.push(FitnessSample {
+            fp_target: fp_label(&task.target),
+            cf: common_functions(&candidate, &task.target),
+            lcs: longest_common_subsequence(&candidate, &task.target),
+            spec: task.spec.clone(),
+            target: task.target,
+            candidate,
+        });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{IntPredicate, MapOp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+            Function::Sum,
+        ])
+    }
+
+    #[test]
+    fn candidate_with_cf_hits_every_value() {
+        let t = target();
+        let mut r = rng(1);
+        for cf in 0..=t.len() {
+            for _ in 0..10 {
+                let c = candidate_with_cf(&t, cf, &mut r);
+                assert_eq!(c.len(), t.len());
+                assert_eq!(
+                    common_functions(&c, &t),
+                    cf,
+                    "candidate {c} should share exactly {cf} functions with {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_with_lcs_hits_every_value() {
+        let t = target();
+        let mut r = rng(2);
+        for lcs in 0..=t.len() {
+            for _ in 0..10 {
+                let c = candidate_with_lcs(&t, lcs, &mut r);
+                assert_eq!(c.len(), t.len());
+                assert_eq!(
+                    longest_common_subsequence(&c, &t),
+                    lcs,
+                    "candidate {c} should have LCS {lcs} with {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fp_label_marks_target_functions() {
+        let label = fp_label(&target());
+        assert_eq!(label.len(), 41);
+        assert_eq!(label.iter().filter(|&&x| x == 1.0).count(), 5);
+        assert_eq!(label[Function::Sort.index()], 1.0);
+        assert_eq!(label[Function::Head.index()], 0.0);
+    }
+
+    #[test]
+    fn generated_dataset_is_balanced_and_consistent() {
+        let mut config = DatasetConfig::for_length(5);
+        config.num_target_programs = 6;
+        let mut r = rng(3);
+        let samples = generate_dataset(&config, BalanceMetric::CommonFunctions, &mut r).unwrap();
+        assert_eq!(samples.len(), 6 * 6);
+        // Labels are consistent with the stored programs.
+        for s in &samples {
+            assert_eq!(common_functions(&s.candidate, &s.target), s.cf);
+            assert_eq!(longest_common_subsequence(&s.candidate, &s.target), s.lcs);
+            assert_eq!(s.spec.len(), 5);
+            assert!(s.spec.is_satisfied_by(&s.target));
+            assert_eq!(s.fp_target, fp_label(&s.target));
+        }
+        // Every CF value 0..=5 appears the same number of times.
+        for value in 0..=5usize {
+            let count = samples.iter().filter(|s| s.cf == value).count();
+            assert_eq!(count, 6, "cf value {value} appears {count} times");
+        }
+    }
+
+    #[test]
+    fn lcs_balanced_dataset_covers_all_values() {
+        let mut config = DatasetConfig::for_length(5);
+        config.num_target_programs = 4;
+        let mut r = rng(4);
+        let samples =
+            generate_dataset(&config, BalanceMetric::LongestCommonSubsequence, &mut r).unwrap();
+        for value in 0..=5usize {
+            assert_eq!(samples.iter().filter(|s| s.lcs == value).count(), 4);
+        }
+    }
+
+    #[test]
+    fn fp_dataset_has_one_sample_per_target() {
+        let mut config = DatasetConfig::for_length(5);
+        config.num_target_programs = 8;
+        let mut r = rng(5);
+        let samples = generate_fp_dataset(&config, &mut r).unwrap();
+        assert_eq!(samples.len(), 8);
+        for s in &samples {
+            assert_eq!(s.fp_target.iter().filter(|&&x| x == 1.0).count(), {
+                // Distinct functions of the target (duplicates collapse).
+                let mut set = std::collections::HashSet::new();
+                s.target.functions().iter().for_each(|f| {
+                    set.insert(*f);
+                });
+                set.len()
+            });
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! The hand-crafted output edit-distance fitness — the baseline the paper
+//! argues against ("Edit" rows in Tables 3 and 4 and the `f_Edit` curves of
+//! Figure 4).
+
+use crate::metrics::output_similarity;
+use crate::traits::FitnessFunction;
+use netsyn_dsl::{IoSpec, Program};
+
+/// Grades a candidate by how similar its outputs are to the expected outputs,
+/// using a normalized Levenshtein similarity averaged over the examples.
+///
+/// The score is in `[0, 1]`, with 1.0 meaning the candidate reproduces every
+/// example output exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EditDistanceFitness;
+
+impl EditDistanceFitness {
+    /// Creates the edit-distance fitness function.
+    #[must_use]
+    pub fn new() -> Self {
+        EditDistanceFitness
+    }
+}
+
+impl FitnessFunction for EditDistanceFitness {
+    fn name(&self) -> &str {
+        "edit-distance"
+    }
+
+    fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
+        if spec.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = spec
+            .iter()
+            .map(|ex| {
+                candidate
+                    .output(&ex.inputs)
+                    .map(|out| output_similarity(&out, &ex.output))
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        total / spec.len() as f64
+    }
+
+    fn max_score(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{Function, IntPredicate, MapOp, Value};
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    fn spec() -> IoSpec {
+        let inputs = vec![
+            vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+            vec![Value::List(vec![1, -1, 2, -2, 3])],
+            vec![Value::List(vec![7, 8, 9])],
+        ];
+        IoSpec::from_program(&target(), &inputs)
+    }
+
+    #[test]
+    fn perfect_candidate_scores_one() {
+        let fitness = EditDistanceFitness::new();
+        assert_eq!(fitness.score(&target(), &spec()), 1.0);
+        assert_eq!(fitness.max_score(), 1.0);
+        assert_eq!(fitness.name(), "edit-distance");
+    }
+
+    #[test]
+    fn closer_outputs_score_higher() {
+        let fitness = EditDistanceFitness::new();
+        let spec = spec();
+        // Missing the final REVERSE: output is sorted ascending instead of
+        // descending — many elements still match positionally? Not exactly,
+        // but the score should be strictly between a perfect and an unrelated
+        // candidate.
+        let almost = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+        ]);
+        let unrelated = Program::new(vec![Function::Sum]);
+        let s_perfect = fitness.score(&target(), &spec);
+        let s_almost = fitness.score(&almost, &spec);
+        let s_unrelated = fitness.score(&unrelated, &spec);
+        assert!(s_perfect > s_almost);
+        assert!(s_almost > s_unrelated);
+        assert!(s_unrelated >= 0.0);
+    }
+
+    #[test]
+    fn empty_spec_scores_zero() {
+        let fitness = EditDistanceFitness::new();
+        assert_eq!(fitness.score(&target(), &IoSpec::default()), 0.0);
+    }
+
+    #[test]
+    fn empty_candidate_scores_zero() {
+        let fitness = EditDistanceFitness::new();
+        assert_eq!(fitness.score(&Program::default(), &spec()), 0.0);
+    }
+
+    #[test]
+    fn score_demonstrates_the_papers_criticism() {
+        // The paper's motivation: a single mistaken function can produce an
+        // output that looks nothing like the correct one, so edit distance can
+        // grade a close-in-program-space candidate very poorly. Flipping the
+        // filter predicate keeps 3 of 4 functions correct but changes every
+        // output element.
+        let fitness = EditDistanceFitness::new();
+        let spec = spec();
+        let one_mistake = Program::new(vec![
+            Function::Filter(IntPredicate::Negative),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ]);
+        let score = fitness.score(&one_mistake, &spec);
+        assert!(
+            score < 0.4,
+            "a single wrong function already destroys the edit-distance signal (score {score})"
+        );
+    }
+}

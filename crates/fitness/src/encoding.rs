@@ -1,0 +1,291 @@
+//! Feature encoding: turning specifications, candidate programs and
+//! execution traces into the token sequences consumed by the neural fitness
+//! model.
+//!
+//! Integers are clamped to a symmetric range and shifted into a dense token
+//! vocabulary; a separator token marks the boundary between a program input
+//! and its output. DSL functions are encoded by their zero-based index
+//! (`Function::index()`), exactly one token per statement.
+
+use netsyn_dsl::{Execution, Function, IoExample, IoSpec, Program, Value};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the token encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodingConfig {
+    /// Integers are clamped to `[-max_abs_value, max_abs_value]`.
+    pub max_abs_value: i64,
+    /// Lists are truncated to at most this many tokens.
+    pub max_list_tokens: usize,
+}
+
+impl EncodingConfig {
+    /// Default configuration: values in `[-128, 128]`, lists up to 16 tokens.
+    #[must_use]
+    pub fn new() -> Self {
+        EncodingConfig {
+            max_abs_value: 128,
+            max_list_tokens: 16,
+        }
+    }
+
+    /// Size of the value-token vocabulary (all clamped integers plus the
+    /// separator token).
+    #[must_use]
+    pub fn value_vocab_size(&self) -> usize {
+        (2 * self.max_abs_value + 2) as usize
+    }
+
+    /// The separator token id.
+    #[must_use]
+    pub fn separator_token(&self) -> usize {
+        (2 * self.max_abs_value + 1) as usize
+    }
+
+    /// Encodes a single integer as a token id.
+    #[must_use]
+    pub fn encode_int(&self, v: i64) -> usize {
+        let clamped = v.clamp(-self.max_abs_value, self.max_abs_value);
+        (clamped + self.max_abs_value) as usize
+    }
+
+    /// Encodes a DSL value as a token sequence (lists are truncated).
+    #[must_use]
+    pub fn encode_value(&self, value: &Value) -> Vec<usize> {
+        value
+            .to_tokens()
+            .iter()
+            .take(self.max_list_tokens)
+            .map(|&v| self.encode_int(v))
+            .collect()
+    }
+
+    /// Encodes an input-output example as `input tokens, SEP, output tokens`.
+    #[must_use]
+    pub fn encode_example(&self, example: &IoExample) -> Vec<usize> {
+        let mut tokens = Vec::new();
+        for input in &example.inputs {
+            tokens.extend(self.encode_value(input));
+            tokens.push(self.separator_token());
+        }
+        tokens.extend(self.encode_value(&example.output));
+        tokens
+    }
+}
+
+impl Default for EncodingConfig {
+    fn default() -> Self {
+        EncodingConfig::new()
+    }
+}
+
+/// One encoded trace step: the statement's function index and the tokens of
+/// the value it produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedStep {
+    /// `Function::index()` of the statement (0..41).
+    pub function: usize,
+    /// Tokens of the statement's output value.
+    pub value_tokens: Vec<usize>,
+}
+
+/// One encoded input-output example together with the candidate's execution
+/// trace on that example's inputs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedExample {
+    /// Tokens of the example (`input, SEP, output`).
+    pub io_tokens: Vec<usize>,
+    /// Per-statement trace of the candidate on this example's inputs. Empty
+    /// when the model is used without a candidate (the FP head).
+    pub steps: Vec<EncodedStep>,
+}
+
+/// A fully encoded model input: one entry per input-output example.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncodedSample {
+    /// Per-example encodings.
+    pub examples: Vec<EncodedExample>,
+}
+
+impl EncodedSample {
+    /// Number of input-output examples in the sample.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the sample has no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+/// Encodes a specification together with a candidate program and its
+/// execution traces, as consumed by the CF and LCS fitness networks.
+///
+/// The candidate is run on every example's inputs to obtain the traces; if it
+/// cannot run (empty program) the trace is left empty.
+#[must_use]
+pub fn encode_candidate(
+    config: &EncodingConfig,
+    spec: &IoSpec,
+    candidate: &Program,
+) -> EncodedSample {
+    let examples = spec
+        .iter()
+        .map(|example| {
+            let steps = candidate
+                .run(&example.inputs)
+                .map(|execution| encode_trace(config, candidate, &execution))
+                .unwrap_or_default();
+            EncodedExample {
+                io_tokens: config.encode_example(example),
+                steps,
+            }
+        })
+        .collect();
+    EncodedSample { examples }
+}
+
+/// Encodes a specification alone (no candidate, no trace), as consumed by the
+/// FP (function-probability) network.
+#[must_use]
+pub fn encode_spec(config: &EncodingConfig, spec: &IoSpec) -> EncodedSample {
+    let examples = spec
+        .iter()
+        .map(|example| EncodedExample {
+            io_tokens: config.encode_example(example),
+            steps: Vec::new(),
+        })
+        .collect();
+    EncodedSample { examples }
+}
+
+fn encode_trace(
+    config: &EncodingConfig,
+    candidate: &Program,
+    execution: &Execution,
+) -> Vec<EncodedStep> {
+    candidate
+        .functions()
+        .iter()
+        .zip(execution.steps.iter())
+        .map(|(func, value)| EncodedStep {
+            function: func.index(),
+            value_tokens: config.encode_value(value),
+        })
+        .collect()
+}
+
+/// The size of the function vocabulary (one token per DSL function).
+#[must_use]
+pub fn function_vocab_size() -> usize {
+    Function::COUNT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{IntPredicate, MapOp};
+
+    fn config() -> EncodingConfig {
+        EncodingConfig::new()
+    }
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    fn spec() -> IoSpec {
+        IoSpec::from_program(
+            &target(),
+            &[
+                vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+                vec![Value::List(vec![1, 2, 3])],
+            ],
+        )
+    }
+
+    #[test]
+    fn int_encoding_clamps_and_shifts() {
+        let c = config();
+        assert_eq!(c.encode_int(0), 128);
+        assert_eq!(c.encode_int(-128), 0);
+        assert_eq!(c.encode_int(128), 256);
+        assert_eq!(c.encode_int(1_000_000), 256);
+        assert_eq!(c.encode_int(-1_000_000), 0);
+        assert_eq!(c.separator_token(), 257);
+        assert_eq!(c.value_vocab_size(), 258);
+        // Every encoded token fits the vocabulary.
+        for v in [-200, -128, -1, 0, 1, 127, 128, 200] {
+            assert!(c.encode_int(v) < c.value_vocab_size());
+        }
+    }
+
+    #[test]
+    fn value_encoding_truncates_long_lists() {
+        let mut c = config();
+        c.max_list_tokens = 4;
+        let long = Value::List((0..20).collect());
+        assert_eq!(c.encode_value(&long).len(), 4);
+        assert_eq!(c.encode_value(&Value::Int(5)), vec![133]);
+    }
+
+    #[test]
+    fn example_encoding_contains_separator() {
+        let c = config();
+        let example = IoExample::new(vec![Value::List(vec![1, 2])], Value::Int(3));
+        let tokens = c.encode_example(&example);
+        assert_eq!(tokens, vec![129, 130, c.separator_token(), 131]);
+    }
+
+    #[test]
+    fn encode_candidate_produces_one_step_per_statement() {
+        let c = config();
+        let sample = encode_candidate(&c, &spec(), &target());
+        assert_eq!(sample.len(), 2);
+        assert!(!sample.is_empty());
+        for example in &sample.examples {
+            assert_eq!(example.steps.len(), 4);
+            assert!(example
+                .steps
+                .iter()
+                .all(|s| s.function < function_vocab_size()));
+            assert!(!example.io_tokens.is_empty());
+        }
+        // The first step of the first example is FILTER(>0) and its trace
+        // value is the filtered list [10, 3, 5, 2].
+        let first = &sample.examples[0].steps[0];
+        assert_eq!(first.function, Function::Filter(IntPredicate::Positive).index());
+        assert_eq!(first.value_tokens, vec![138, 131, 133, 130]);
+    }
+
+    #[test]
+    fn encode_spec_has_no_steps() {
+        let c = config();
+        let sample = encode_spec(&c, &spec());
+        assert_eq!(sample.len(), 2);
+        assert!(sample.examples.iter().all(|e| e.steps.is_empty()));
+    }
+
+    #[test]
+    fn empty_candidate_yields_empty_traces() {
+        let c = config();
+        let sample = encode_candidate(&c, &spec(), &Program::default());
+        assert!(sample.examples.iter().all(|e| e.steps.is_empty()));
+    }
+
+    #[test]
+    fn all_function_indices_fit_the_function_vocab() {
+        assert_eq!(function_vocab_size(), 41);
+        for f in Function::ALL {
+            assert!(f.index() < function_vocab_size());
+        }
+    }
+}

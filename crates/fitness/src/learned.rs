@@ -1,0 +1,316 @@
+//! Fitness functions backed by trained neural models.
+//!
+//! * [`LearnedFitness`] wraps a trained CF or LCS classifier: the fitness of a
+//!   candidate is the *expected* class value under the predicted softmax
+//!   distribution, which gives the genetic algorithm a smooth, non-negative
+//!   ranking signal while remaining anchored to the paper's integer-valued
+//!   ideal fitness.
+//! * [`LearnedProbabilityModel`] wraps a trained FP model and produces a
+//!   [`ProbabilityMap`] for a specification; [`ProbabilityFitness`] turns such
+//!   a map into the `f_FP` fitness (`Σ p_k` over the candidate's functions)
+//!   and also exposes it for FP-guided mutation.
+
+use crate::encoding::encode_candidate;
+use crate::encoding::encode_spec;
+use crate::probability::ProbabilityMap;
+use crate::traits::FitnessFunction;
+use crate::trainer::{FitnessModelKind, TrainedFitnessModel};
+use netsyn_dsl::{IoSpec, Program};
+use netsyn_nn::activation::{sigmoid, softmax};
+use serde::{Deserialize, Serialize};
+
+/// A fitness function backed by a trained CF or LCS classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnedFitness {
+    model: TrainedFitnessModel,
+    name: String,
+    /// Optional probability map attached for FP-guided mutation.
+    mutation_map: Option<ProbabilityMap>,
+}
+
+impl LearnedFitness {
+    /// Wraps a trained CF or LCS model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is an FP model (use [`LearnedProbabilityModel`]
+    /// and [`ProbabilityFitness`] for that).
+    #[must_use]
+    pub fn new(model: TrainedFitnessModel) -> Self {
+        assert!(
+            model.kind != FitnessModelKind::FunctionProbability,
+            "use ProbabilityFitness for FP models"
+        );
+        let name = format!("nn-{}", model.kind);
+        LearnedFitness {
+            model,
+            name,
+            mutation_map: None,
+        }
+    }
+
+    /// Attaches a probability map (usually produced by a
+    /// [`LearnedProbabilityModel`]) so that [`FitnessFunction::probability_map`]
+    /// can guide the mutation operator.
+    #[must_use]
+    pub fn with_mutation_map(mut self, map: ProbabilityMap) -> Self {
+        self.mutation_map = Some(map);
+        self
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn model(&self) -> &TrainedFitnessModel {
+        &self.model
+    }
+}
+
+impl FitnessFunction for LearnedFitness {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
+        let encoded = encode_candidate(self.model.net.encoding(), spec, candidate);
+        match self.model.net.predict(&encoded) {
+            Ok(logits) => {
+                let probs = softmax(&logits);
+                probs
+                    .iter()
+                    .enumerate()
+                    .map(|(class, &p)| class as f64 * f64::from(p))
+                    .sum()
+            }
+            Err(_) => 0.0,
+        }
+    }
+
+    fn max_score(&self) -> f64 {
+        self.model.program_length as f64
+    }
+
+    fn probability_map(&self, _spec: &IoSpec) -> Option<ProbabilityMap> {
+        self.mutation_map.clone()
+    }
+}
+
+/// A trained FP model: predicts a per-function probability map from a
+/// specification (no candidate required).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnedProbabilityModel {
+    model: TrainedFitnessModel,
+}
+
+impl LearnedProbabilityModel {
+    /// Wraps a trained FP model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is not an FP model.
+    #[must_use]
+    pub fn new(model: TrainedFitnessModel) -> Self {
+        assert!(
+            model.kind == FitnessModelKind::FunctionProbability,
+            "LearnedProbabilityModel requires an FP model"
+        );
+        LearnedProbabilityModel { model }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn model(&self) -> &TrainedFitnessModel {
+        &self.model
+    }
+
+    /// Predicts the probability map for a specification.
+    #[must_use]
+    pub fn probability_map(&self, spec: &IoSpec) -> ProbabilityMap {
+        let encoded = encode_spec(self.model.net.encoding(), spec);
+        match self.model.net.predict(&encoded) {
+            Ok(logits) => {
+                let probs: Vec<f64> = logits.iter().map(|&z| f64::from(sigmoid(z))).collect();
+                ProbabilityMap::new(probs)
+            }
+            Err(_) => ProbabilityMap::uniform(),
+        }
+    }
+}
+
+/// The `f_FP` fitness function: scores a candidate by the summed predicted
+/// probability of its functions under a fixed probability map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityFitness {
+    map: ProbabilityMap,
+    program_length: usize,
+    name: String,
+}
+
+impl ProbabilityFitness {
+    /// Creates the fitness from a probability map and the target program
+    /// length (used only for `max_score`).
+    #[must_use]
+    pub fn new(map: ProbabilityMap, program_length: usize) -> Self {
+        ProbabilityFitness {
+            map,
+            program_length,
+            name: "nn-FP".to_string(),
+        }
+    }
+
+    /// The underlying probability map.
+    #[must_use]
+    pub fn map(&self) -> &ProbabilityMap {
+        &self.map
+    }
+}
+
+impl FitnessFunction for ProbabilityFitness {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, candidate: &Program, _spec: &IoSpec) -> f64 {
+        self.map.score(candidate)
+    }
+
+    fn max_score(&self) -> f64 {
+        self.program_length as f64
+    }
+
+    fn probability_map(&self, _spec: &IoSpec) -> Option<ProbabilityMap> {
+        Some(self.map.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig};
+    use crate::model::FitnessNetConfig;
+    use crate::trainer::{train_fitness_model, TrainerConfig};
+    use netsyn_dsl::{Function, Generator, GeneratorConfig, IntPredicate, MapOp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn tiny_trainer_config() -> TrainerConfig {
+        let mut config = TrainerConfig::small();
+        config.net = FitnessNetConfig {
+            value_embed_dim: 4,
+            encoder_hidden_dim: 6,
+            function_embed_dim: 4,
+            trace_hidden_dim: 6,
+            example_hidden_dim: 8,
+            head_hidden_dim: 8,
+            output_dim: 1,
+        };
+        config.epochs = 1;
+        config.batch_size = 8;
+        config
+    }
+
+    fn tiny_dataset_config(length: usize) -> DatasetConfig {
+        let mut config = DatasetConfig::for_length(length);
+        config.num_target_programs = 6;
+        config.examples_per_program = 2;
+        config
+    }
+
+    fn trained_cf_model(length: usize, seed: u64) -> TrainedFitnessModel {
+        let mut r = rng(seed);
+        let samples = generate_dataset(
+            &tiny_dataset_config(length),
+            BalanceMetric::CommonFunctions,
+            &mut r,
+        )
+        .unwrap();
+        train_fitness_model(
+            FitnessModelKind::CommonFunctions,
+            &samples,
+            length,
+            &tiny_trainer_config(),
+            &mut r,
+        )
+    }
+
+    fn trained_fp_model(length: usize, seed: u64) -> TrainedFitnessModel {
+        let mut r = rng(seed);
+        let samples = generate_fp_dataset(&tiny_dataset_config(length), &mut r).unwrap();
+        train_fitness_model(
+            FitnessModelKind::FunctionProbability,
+            &samples,
+            length,
+            &tiny_trainer_config(),
+            &mut r,
+        )
+    }
+
+    #[test]
+    fn learned_fitness_scores_are_in_range() {
+        let model = trained_cf_model(3, 1);
+        let fitness = LearnedFitness::new(model);
+        assert_eq!(fitness.name(), "nn-CF");
+        assert_eq!(fitness.max_score(), 3.0);
+        let mut r = rng(2);
+        let generator = Generator::new(GeneratorConfig::for_length(3));
+        let task = generator.task(3, &mut r).unwrap();
+        let candidate = generator.random_program(&mut r);
+        let score = fitness.score(&candidate, &task.spec);
+        assert!(score >= 0.0 && score <= fitness.max_score());
+        assert!(fitness.probability_map(&task.spec).is_none());
+    }
+
+    #[test]
+    fn learned_fitness_with_mutation_map_exposes_it() {
+        let model = trained_cf_model(3, 3);
+        let map = ProbabilityMap::uniform();
+        let fitness = LearnedFitness::new(model).with_mutation_map(map.clone());
+        assert_eq!(fitness.probability_map(&IoSpec::default()), Some(map));
+    }
+
+    #[test]
+    #[should_panic(expected = "ProbabilityFitness")]
+    fn learned_fitness_rejects_fp_models() {
+        let model = trained_fp_model(3, 4);
+        let _ = LearnedFitness::new(model);
+    }
+
+    #[test]
+    fn probability_model_produces_valid_maps() {
+        let model = trained_fp_model(3, 5);
+        let prob_model = LearnedProbabilityModel::new(model);
+        let mut r = rng(6);
+        let generator = Generator::new(GeneratorConfig::for_length(3));
+        let task = generator.task(3, &mut r).unwrap();
+        let map = prob_model.probability_map(&task.spec);
+        assert!(map.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_eq!(map.as_slice().len(), 41);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an FP model")]
+    fn probability_model_rejects_cf_models() {
+        let model = trained_cf_model(3, 7);
+        let _ = LearnedProbabilityModel::new(model);
+    }
+
+    #[test]
+    fn probability_fitness_scores_and_exposes_map() {
+        let target = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+        ]);
+        let map = ProbabilityMap::from_target(&target, 0.05);
+        let fitness = ProbabilityFitness::new(map.clone(), 3);
+        assert_eq!(fitness.name(), "nn-FP");
+        assert_eq!(fitness.max_score(), 3.0);
+        let spec = IoSpec::default();
+        assert!(fitness.score(&target, &spec) > fitness.score(&Program::new(vec![Function::Head]), &spec));
+        assert_eq!(fitness.probability_map(&spec), Some(map.clone()));
+        assert_eq!(fitness.map(), &map);
+    }
+}

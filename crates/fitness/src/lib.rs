@@ -1,0 +1,64 @@
+//! # netsyn-fitness
+//!
+//! Fitness functions for genetic-algorithm program synthesis, reproducing the
+//! central contribution of "Learning Fitness Functions for Machine
+//! Programming" (MLSys 2021):
+//!
+//! * **Ideal / oracle fitness** ([`OracleFitness`]) — grades candidates with
+//!   the exact number of common functions (CF) or the longest common
+//!   subsequence (LCS) against the hidden target program;
+//! * **Hand-crafted fitness** ([`EditDistanceFitness`]) — the output
+//!   edit-distance heuristic the paper argues is brittle;
+//! * **Learned fitness (NN-FF)** — an LSTM-based model ([`FitnessNet`]) that
+//!   predicts CF / LCS values from the specification and the candidate's
+//!   execution trace ([`LearnedFitness`]), or a per-function probability map
+//!   from the specification alone ([`LearnedProbabilityModel`],
+//!   [`ProbabilityFitness`]);
+//! * **Corpus generation and training** ([`dataset`], [`trainer`]) — balanced
+//!   training-data generation and training loops producing the confusion
+//!   matrices and accuracy curves of Figure 7.
+//!
+//! All fitness functions implement the common [`FitnessFunction`] trait used
+//! by the GA engine and the baselines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+mod edit;
+pub mod encoding;
+mod learned;
+pub mod metrics;
+mod model;
+mod oracle;
+mod probability;
+mod traits;
+pub mod trainer;
+
+pub use edit::EditDistanceFitness;
+pub use encoding::{EncodedExample, EncodedSample, EncodedStep, EncodingConfig};
+pub use learned::{LearnedFitness, LearnedProbabilityModel, ProbabilityFitness};
+pub use model::{FitnessNet, FitnessNetCache, FitnessNetConfig};
+pub use oracle::OracleFitness;
+pub use probability::ProbabilityMap;
+pub use traits::{ClosenessMetric, FitnessFunction};
+pub use trainer::{
+    EpochStats, FitnessModelKind, TrainedFitnessModel, TrainerConfig, TrainingReport,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EditDistanceFitness>();
+        assert_send_sync::<OracleFitness>();
+        assert_send_sync::<ProbabilityMap>();
+        assert_send_sync::<FitnessNet>();
+        assert_send_sync::<LearnedFitness>();
+        assert_send_sync::<ProbabilityFitness>();
+        assert_send_sync::<Box<dyn FitnessFunction>>();
+    }
+}

@@ -1,0 +1,208 @@
+//! Program-closeness metrics and output distances.
+//!
+//! These are the "ideal" quantities the learned fitness functions are trained
+//! to predict (Section 4.2.1 of the paper): the number of common functions
+//! (CF), the longest common subsequence (LCS), and — for the hand-crafted
+//! baseline — the edit distance between candidate and target outputs.
+
+use netsyn_dsl::{Function, Program, Value};
+
+/// Number of common functions between two programs
+/// (`|elems(Pa) ∩ elems(Pb)|`, multiset semantics).
+///
+/// For the paper's running example (Section 4.2.1) the target
+/// `{FILTER(>0), MAP(*2), SORT, REVERSE}` and the candidate
+/// `{FILTER(>0), MAP(*2), REVERSE, DROP}` share 3 functions.
+#[must_use]
+pub fn common_functions(a: &Program, b: &Program) -> usize {
+    let mut remaining: Vec<Function> = b.functions().to_vec();
+    let mut count = 0;
+    for f in a.functions() {
+        if let Some(pos) = remaining.iter().position(|g| g == f) {
+            remaining.swap_remove(pos);
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Length of the longest common subsequence of the two programs' function
+/// sequences.
+#[must_use]
+pub fn longest_common_subsequence(a: &Program, b: &Program) -> usize {
+    lcs_len(a.functions(), b.functions())
+}
+
+fn lcs_len<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut curr = vec![0usize; b.len() + 1];
+    for ai in a {
+        for (j, bj) in b.iter().enumerate() {
+            curr[j + 1] = if ai == bj {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(curr[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein edit distance between two integer sequences.
+#[must_use]
+pub fn levenshtein(a: &[i64], b: &[i64]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ai) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, bj) in b.iter().enumerate() {
+            let cost = usize::from(ai != bj);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Edit distance between two DSL values, treating integers as one-element
+/// sequences.
+#[must_use]
+pub fn output_edit_distance(a: &Value, b: &Value) -> usize {
+    levenshtein(&a.to_tokens(), &b.to_tokens())
+}
+
+/// Normalized output similarity in `[0, 1]`: 1.0 for identical outputs,
+/// approaching 0.0 as the edit distance approaches the longer length.
+#[must_use]
+pub fn output_similarity(a: &Value, b: &Value) -> f64 {
+    let ta = a.to_tokens();
+    let tb = b.to_tokens();
+    let max_len = ta.len().max(tb.len());
+    if max_len == 0 {
+        return 1.0;
+    }
+    let d = levenshtein(&ta, &tb) as f64;
+    (1.0 - d / max_len as f64).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{Function, IntPredicate, MapOp};
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    fn candidate() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Reverse,
+            Function::Drop,
+        ])
+    }
+
+    #[test]
+    fn paper_example_cf_is_three() {
+        assert_eq!(common_functions(&target(), &candidate()), 3);
+        assert_eq!(common_functions(&candidate(), &target()), 3);
+    }
+
+    #[test]
+    fn paper_example_lcs_is_two_or_three() {
+        // The paper quotes LCS = 2 for its 5-statement variant that includes
+        // the initial [int] marker; on the bare function sequences the LCS of
+        // {FILTER, MAP, SORT, REVERSE} and {FILTER, MAP, REVERSE, DROP} is 3.
+        assert_eq!(longest_common_subsequence(&target(), &candidate()), 3);
+    }
+
+    #[test]
+    fn cf_uses_multiset_semantics() {
+        let a = Program::new(vec![Function::Sort, Function::Sort, Function::Reverse]);
+        let b = Program::new(vec![Function::Sort, Function::Head, Function::Sort]);
+        // Two SORTs shared, not four.
+        assert_eq!(common_functions(&a, &b), 2);
+    }
+
+    #[test]
+    fn cf_bounds() {
+        let t = target();
+        assert_eq!(common_functions(&t, &t), t.len());
+        let disjoint = Program::new(vec![Function::Head, Function::Sum, Function::Last]);
+        assert_eq!(common_functions(&t, &disjoint), 0);
+        assert_eq!(common_functions(&t, &Program::default()), 0);
+    }
+
+    #[test]
+    fn lcs_respects_order() {
+        let a = Program::new(vec![Function::Sort, Function::Reverse, Function::Sum]);
+        let b = Program::new(vec![Function::Sum, Function::Reverse, Function::Sort]);
+        // Only length-1 subsequences are common in order.
+        assert_eq!(longest_common_subsequence(&a, &b), 1);
+        assert_eq!(longest_common_subsequence(&a, &a), 3);
+        assert_eq!(longest_common_subsequence(&a, &Program::default()), 0);
+    }
+
+    #[test]
+    fn lcs_never_exceeds_cf() {
+        // LCS is an ordered refinement of CF: every common subsequence uses
+        // common functions.
+        let programs = [target(), candidate(), Program::new(vec![Function::Sort])];
+        for a in &programs {
+            for b in &programs {
+                assert!(longest_common_subsequence(a, b) <= common_functions(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(&[], &[]), 0);
+        assert_eq!(levenshtein(&[1, 2, 3], &[]), 3);
+        assert_eq!(levenshtein(&[], &[1]), 1);
+        assert_eq!(levenshtein(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(levenshtein(&[1, 2, 3], &[1, 3]), 1);
+        assert_eq!(levenshtein(&[1, 2, 3], &[4, 5, 6]), 3);
+        assert_eq!(levenshtein(&[1, 2, 3], &[2, 3, 4]), 2);
+    }
+
+    #[test]
+    fn output_edit_distance_handles_mixed_types() {
+        assert_eq!(
+            output_edit_distance(&Value::Int(5), &Value::List(vec![5])),
+            0
+        );
+        assert_eq!(
+            output_edit_distance(&Value::Int(5), &Value::List(vec![1, 2, 3])),
+            3
+        );
+    }
+
+    #[test]
+    fn output_similarity_range() {
+        let a = Value::List(vec![1, 2, 3, 4]);
+        assert_eq!(output_similarity(&a, &a), 1.0);
+        let empty = Value::List(vec![]);
+        assert_eq!(output_similarity(&empty, &empty), 1.0);
+        let b = Value::List(vec![9, 9, 9, 9]);
+        assert_eq!(output_similarity(&a, &b), 0.0);
+        let c = Value::List(vec![1, 2, 3, 9]);
+        assert!((output_similarity(&a, &c) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,419 @@
+//! The neural fitness-function model (NN-FF), following Figure 2 of the
+//! paper.
+//!
+//! For every input-output example, an LSTM encoder summarizes the example's
+//! `input, SEP, output` token sequence, a second LSTM encoder summarizes each
+//! execution-trace value, the per-statement (function embedding ‖ trace
+//! encoding) vectors are combined by a trace LSTM, and the per-example
+//! vectors are combined by an example-level LSTM whose final hidden state is
+//! classified by a fully connected head.
+//!
+//! The same architecture serves all three fitness heads:
+//! * CF / LCS — a softmax classifier over `0..=L` (program length `L`);
+//! * FP — 41 sigmoid outputs, one per DSL function (the trace inputs are
+//!   simply absent).
+
+use crate::encoding::{function_vocab_size, EncodedSample, EncodingConfig};
+use netsyn_nn::{
+    Activation, Embedding, Lstm, LstmCache, Mlp, MlpCache, NnError, Param, Parameterized,
+    SequenceEncoder, SequenceEncoderCache,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the fitness network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FitnessNetConfig {
+    /// Token-embedding dimension for value tokens.
+    pub value_embed_dim: usize,
+    /// Hidden dimension of the IO and trace-step encoders.
+    pub encoder_hidden_dim: usize,
+    /// Embedding dimension for DSL-function tokens.
+    pub function_embed_dim: usize,
+    /// Hidden dimension of the trace-level LSTM.
+    pub trace_hidden_dim: usize,
+    /// Hidden dimension of the example-level LSTM.
+    pub example_hidden_dim: usize,
+    /// Hidden width of the fully connected head.
+    pub head_hidden_dim: usize,
+    /// Number of network outputs (classes or sigmoid units).
+    pub output_dim: usize,
+}
+
+impl FitnessNetConfig {
+    /// A compact configuration suitable for CPU training, with the given
+    /// number of outputs.
+    #[must_use]
+    pub fn small(output_dim: usize) -> Self {
+        FitnessNetConfig {
+            value_embed_dim: 16,
+            encoder_hidden_dim: 24,
+            function_embed_dim: 12,
+            trace_hidden_dim: 24,
+            example_hidden_dim: 32,
+            head_hidden_dim: 32,
+            output_dim,
+        }
+    }
+}
+
+/// The neural fitness-function model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitnessNet {
+    config: FitnessNetConfig,
+    encoding: EncodingConfig,
+    io_encoder: SequenceEncoder,
+    step_encoder: SequenceEncoder,
+    function_embedding: Embedding,
+    trace_lstm: Lstm,
+    example_lstm: Lstm,
+    head: Mlp,
+}
+
+/// Cache of one [`FitnessNet::forward`] pass, required by
+/// [`FitnessNet::backward`].
+#[derive(Debug, Clone)]
+pub struct FitnessNetCache {
+    example_caches: Vec<ExampleCache>,
+    example_lstm_cache: LstmCache,
+    head_cache: MlpCache,
+}
+
+#[derive(Debug, Clone)]
+struct ExampleCache {
+    io_cache: SequenceEncoderCache,
+    step_caches: Vec<SequenceEncoderCache>,
+    step_functions: Vec<usize>,
+    trace_cache: LstmCache,
+}
+
+impl FitnessNet {
+    /// Creates a randomly initialized fitness network.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        config: FitnessNetConfig,
+        encoding: EncodingConfig,
+        rng: &mut R,
+    ) -> Self {
+        let io_encoder = SequenceEncoder::new(
+            encoding.value_vocab_size(),
+            config.value_embed_dim,
+            config.encoder_hidden_dim,
+            rng,
+        );
+        let step_encoder = SequenceEncoder::new(
+            encoding.value_vocab_size(),
+            config.value_embed_dim,
+            config.encoder_hidden_dim,
+            rng,
+        );
+        let function_embedding =
+            Embedding::new(function_vocab_size(), config.function_embed_dim, rng);
+        let trace_lstm = Lstm::new(
+            config.function_embed_dim + config.encoder_hidden_dim,
+            config.trace_hidden_dim,
+            rng,
+        );
+        let example_lstm = Lstm::new(
+            config.encoder_hidden_dim + config.trace_hidden_dim,
+            config.example_hidden_dim,
+            rng,
+        );
+        let head = Mlp::new(
+            &[
+                config.example_hidden_dim,
+                config.head_hidden_dim,
+                config.output_dim,
+            ],
+            Activation::Relu,
+            rng,
+        );
+        FitnessNet {
+            config,
+            encoding,
+            io_encoder,
+            step_encoder,
+            function_embedding,
+            trace_lstm,
+            example_lstm,
+            head,
+        }
+    }
+
+    /// The network's hyper-parameters.
+    #[must_use]
+    pub fn config(&self) -> &FitnessNetConfig {
+        &self.config
+    }
+
+    /// The token-encoding configuration the network was built for.
+    #[must_use]
+    pub fn encoding(&self) -> &EncodingConfig {
+        &self.encoding
+    }
+
+    /// Number of outputs (classes or sigmoid units).
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.config.output_dim
+    }
+
+    /// Forward pass over an encoded sample, returning the raw output logits
+    /// and the cache needed for [`FitnessNet::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if any token exceeds the
+    /// configured vocabularies (this indicates an encoding/config mismatch).
+    pub fn forward(
+        &self,
+        sample: &EncodedSample,
+    ) -> Result<(Vec<f32>, FitnessNetCache), NnError> {
+        let mut example_vectors = Vec::with_capacity(sample.examples.len());
+        let mut example_caches = Vec::with_capacity(sample.examples.len());
+        for example in &sample.examples {
+            let (io_hidden, io_cache) = self.io_encoder.forward(&example.io_tokens)?;
+            let mut step_inputs = Vec::with_capacity(example.steps.len());
+            let mut step_caches = Vec::with_capacity(example.steps.len());
+            let mut step_functions = Vec::with_capacity(example.steps.len());
+            for step in &example.steps {
+                let (step_hidden, step_cache) =
+                    self.step_encoder.forward(&step.value_tokens)?;
+                let function_vec = self.function_embedding.lookup(step.function)?;
+                let mut combined = function_vec;
+                combined.extend_from_slice(&step_hidden);
+                step_inputs.push(combined);
+                step_caches.push(step_cache);
+                step_functions.push(step.function);
+            }
+            let (trace_hidden, trace_cache) = self.trace_lstm.forward(&step_inputs);
+            let mut example_vec = io_hidden;
+            example_vec.extend_from_slice(&trace_hidden);
+            example_vectors.push(example_vec);
+            example_caches.push(ExampleCache {
+                io_cache,
+                step_caches,
+                step_functions,
+                trace_cache,
+            });
+        }
+        let (summary, example_lstm_cache) = self.example_lstm.forward(&example_vectors);
+        let (logits, head_cache) = self.head.forward(&summary);
+        Ok((
+            logits,
+            FitnessNetCache {
+                example_caches,
+                example_lstm_cache,
+                head_cache,
+            },
+        ))
+    }
+
+    /// Convenience forward pass that discards the cache.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FitnessNet::forward`].
+    pub fn predict(&self, sample: &EncodedSample) -> Result<Vec<f32>, NnError> {
+        self.forward(sample).map(|(logits, _)| logits)
+    }
+
+    /// Backward pass: accumulates gradients in every component given the
+    /// gradient of the loss with respect to the output logits.
+    pub fn backward(&mut self, cache: &FitnessNetCache, grad_logits: &[f32]) {
+        let grad_summary = self.head.backward(&cache.head_cache, grad_logits);
+        let example_grads = self
+            .example_lstm
+            .backward(&cache.example_lstm_cache, &grad_summary);
+        let io_dim = self.config.encoder_hidden_dim;
+        let func_dim = self.config.function_embed_dim;
+        for (example_cache, example_grad) in
+            cache.example_caches.iter().zip(example_grads.iter())
+        {
+            let (grad_io, grad_trace) = example_grad.split_at(io_dim);
+            self.io_encoder.backward(&example_cache.io_cache, grad_io);
+            let step_grads = self
+                .trace_lstm
+                .backward(&example_cache.trace_cache, grad_trace);
+            for ((step_cache, &function), step_grad) in example_cache
+                .step_caches
+                .iter()
+                .zip(example_cache.step_functions.iter())
+                .zip(step_grads.iter())
+            {
+                let (grad_function, grad_step_hidden) = step_grad.split_at(func_dim);
+                self.function_embedding
+                    .backward(&[function], &[grad_function.to_vec()]);
+                self.step_encoder.backward(step_cache, grad_step_hidden);
+            }
+        }
+    }
+}
+
+impl Parameterized for FitnessNet {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.io_encoder.params_mut();
+        params.extend(self.step_encoder.params_mut());
+        params.extend(self.function_embedding.params_mut());
+        params.extend(self.trace_lstm.params_mut());
+        params.extend(self.example_lstm.params_mut());
+        params.extend(self.head.params_mut());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{encode_candidate, encode_spec};
+    use netsyn_dsl::{Function, IntPredicate, IoSpec, MapOp, Program, Value};
+    use netsyn_nn::loss::softmax_cross_entropy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(17)
+    }
+
+    fn tiny_config(output_dim: usize) -> FitnessNetConfig {
+        FitnessNetConfig {
+            value_embed_dim: 4,
+            encoder_hidden_dim: 5,
+            function_embed_dim: 3,
+            trace_hidden_dim: 5,
+            example_hidden_dim: 6,
+            head_hidden_dim: 8,
+            output_dim,
+        }
+    }
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    fn spec() -> IoSpec {
+        IoSpec::from_program(
+            &target(),
+            &[
+                vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+                vec![Value::List(vec![1, 2, 3])],
+            ],
+        )
+    }
+
+    #[test]
+    fn forward_produces_requested_output_dim() {
+        let net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        assert_eq!(net.output_dim(), 6);
+        let sample = encode_candidate(net.encoding(), &spec(), &target());
+        let logits = net.predict(&sample).unwrap();
+        assert_eq!(logits.len(), 6);
+        assert!(logits.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn forward_works_without_traces() {
+        // The FP head encodes only the specification.
+        let net = FitnessNet::new(tiny_config(41), EncodingConfig::new(), &mut rng());
+        let sample = encode_spec(net.encoding(), &spec());
+        let logits = net.predict(&sample).unwrap();
+        assert_eq!(logits.len(), 41);
+    }
+
+    #[test]
+    fn different_candidates_get_different_logits() {
+        let net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        let a = encode_candidate(net.encoding(), &spec(), &target());
+        let other = Program::new(vec![Function::Head, Function::Sum, Function::Last]);
+        let b = encode_candidate(net.encoding(), &spec(), &other);
+        assert_ne!(net.predict(&a).unwrap(), net.predict(&b).unwrap());
+    }
+
+    #[test]
+    fn backward_accumulates_gradients_everywhere() {
+        let mut net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        let sample = encode_candidate(net.encoding(), &spec(), &target());
+        let (logits, cache) = net.forward(&sample).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, 3);
+        net.zero_grad();
+        net.backward(&cache, &grad);
+        assert!(net.grad_norm() > 0.0);
+    }
+
+    /// Numerical gradient check through the whole architecture on a tiny
+    /// configuration.
+    #[test]
+    fn numerical_gradient_check_end_to_end() {
+        let mut net = FitnessNet::new(tiny_config(3), EncodingConfig::new(), &mut rng());
+        let sample = encode_candidate(net.encoding(), &spec(), &target());
+        let target_class = 1usize;
+        let loss_of = |net: &FitnessNet, sample: &EncodedSample| -> f32 {
+            let logits = net.predict(sample).unwrap();
+            softmax_cross_entropy(&logits, target_class).0
+        };
+        let (logits, cache) = net.forward(&sample).unwrap();
+        let (_, grad_logits) = softmax_cross_entropy(&logits, target_class);
+        net.zero_grad();
+        net.backward(&cache, &grad_logits);
+
+        let eps = 2e-2_f32;
+        // Probe one entry of every non-head parameter (encoders, embeddings,
+        // trace and example LSTMs). The ReLU head is excluded here because
+        // finite differences are unreliable near its kinks; it has its own
+        // numerical gradient check in netsyn-nn's MLP tests.
+        let n_params = net.params_mut().len() - 4;
+        let probes: Vec<(usize, usize, usize)> = (0..n_params)
+            .map(|which| (which, 0usize, 0usize))
+            .collect();
+        for (which, r, c) in probes {
+            let orig = net.params_mut()[which].value.get(r, c);
+            net.params_mut()[which].value.set(r, c, orig + eps);
+            let lp = loss_of(&net, &sample);
+            net.params_mut()[which].value.set(r, c, orig - eps);
+            let lm = loss_of(&net, &sample);
+            net.params_mut()[which].value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = net.params_mut()[which].grad.get(r, c);
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "param {which} [{r},{c}]: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_fixed_sample() {
+        use netsyn_nn::Adam;
+        let mut net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        let sample = encode_candidate(net.encoding(), &spec(), &target());
+        let mut optimizer = Adam::new(5e-3);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..60 {
+            let (logits, cache) = net.forward(&sample).unwrap();
+            let (loss, grad) = softmax_cross_entropy(&logits, 4);
+            net.backward(&cache, &grad);
+            optimizer.step(&mut net.params_mut());
+            net.zero_grad();
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(
+            last_loss < first_loss.unwrap() * 0.5,
+            "loss did not decrease: {first_loss:?} -> {last_loss}"
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = FitnessNet::new(tiny_config(4), EncodingConfig::new(), &mut rng());
+        let json = serde_json::to_string(&net).unwrap();
+        let back: FitnessNet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, net);
+    }
+}

@@ -1,0 +1,124 @@
+//! The oracle fitness function.
+//!
+//! The oracle knows the hidden target program and grades candidates with the
+//! exact CF or LCS value. It is impossible in practice (the target is
+//! unknown) but serves as the upper bound the learned fitness functions are
+//! trained to approximate (`Oracle_LCS|CF` rows of Tables 3 and 4).
+
+use crate::metrics::{common_functions, longest_common_subsequence};
+use crate::probability::ProbabilityMap;
+use crate::traits::{ClosenessMetric, FitnessFunction};
+use netsyn_dsl::{IoSpec, Program};
+
+/// Fitness function with perfect knowledge of the target program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleFitness {
+    target: Program,
+    metric: ClosenessMetric,
+    name: String,
+}
+
+impl OracleFitness {
+    /// Creates an oracle for `target` using the given closeness metric.
+    #[must_use]
+    pub fn new(target: Program, metric: ClosenessMetric) -> Self {
+        let name = format!("oracle-{metric}");
+        OracleFitness {
+            target,
+            metric,
+            name,
+        }
+    }
+
+    /// The metric this oracle grades with.
+    #[must_use]
+    pub fn metric(&self) -> ClosenessMetric {
+        self.metric
+    }
+
+    /// The hidden target program.
+    #[must_use]
+    pub fn target(&self) -> &Program {
+        &self.target
+    }
+}
+
+impl FitnessFunction for OracleFitness {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, candidate: &Program, _spec: &IoSpec) -> f64 {
+        match self.metric {
+            ClosenessMetric::CommonFunctions => common_functions(candidate, &self.target) as f64,
+            ClosenessMetric::LongestCommonSubsequence => {
+                longest_common_subsequence(candidate, &self.target) as f64
+            }
+        }
+    }
+
+    fn max_score(&self) -> f64 {
+        self.target.len() as f64
+    }
+
+    fn probability_map(&self, _spec: &IoSpec) -> Option<ProbabilityMap> {
+        Some(ProbabilityMap::from_target(&self.target, 0.01))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{Function, IntPredicate, MapOp};
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    #[test]
+    fn oracle_cf_scores_exactly() {
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let spec = IoSpec::default();
+        assert_eq!(oracle.score(&target(), &spec), 4.0);
+        let partial = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Reverse,
+            Function::Drop,
+        ]);
+        assert_eq!(oracle.score(&partial, &spec), 3.0);
+        assert_eq!(oracle.max_score(), 4.0);
+        assert_eq!(oracle.metric(), ClosenessMetric::CommonFunctions);
+        assert_eq!(oracle.name(), "oracle-CF");
+    }
+
+    #[test]
+    fn oracle_lcs_scores_exactly() {
+        let oracle = OracleFitness::new(target(), ClosenessMetric::LongestCommonSubsequence);
+        let spec = IoSpec::default();
+        let reordered = Program::new(vec![
+            Function::Reverse,
+            Function::Sort,
+            Function::Map(MapOp::Mul2),
+            Function::Filter(IntPredicate::Positive),
+        ]);
+        // Same multiset but reversed order: LCS is 1.
+        assert_eq!(oracle.score(&reordered, &spec), 1.0);
+        assert_eq!(oracle.score(&target(), &spec), 4.0);
+        assert_eq!(oracle.name(), "oracle-LCS");
+    }
+
+    #[test]
+    fn oracle_provides_a_probability_map_biased_to_target() {
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let map = oracle.probability_map(&IoSpec::default()).unwrap();
+        assert_eq!(map.prob(Function::Sort), 1.0);
+        assert!(map.prob(Function::Head) < 0.1);
+        assert_eq!(oracle.target(), &target());
+    }
+}

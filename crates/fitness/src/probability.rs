@@ -1,0 +1,271 @@
+//! Per-function probability maps over the DSL.
+//!
+//! The FP fitness function (following DeepCoder) predicts, for every DSL
+//! function, the probability that it appears in the target program given the
+//! input-output examples. The map is used both to score candidate programs
+//! and to bias the mutation operator (`Mutation_FP` in Table 2).
+
+use netsyn_dsl::{Function, Program};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A probability (or non-negative weight) per DSL function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilityMap {
+    probs: Vec<f64>,
+}
+
+impl ProbabilityMap {
+    /// Creates a map from 41 per-function probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 41` or any entry is negative or non-finite.
+    #[must_use]
+    pub fn new(probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), Function::COUNT, "expected one entry per DSL function");
+        assert!(
+            probs.iter().all(|&p| p.is_finite() && p >= 0.0),
+            "probabilities must be non-negative and finite"
+        );
+        ProbabilityMap { probs }
+    }
+
+    /// The uniform map assigning 0.5 to every function.
+    #[must_use]
+    pub fn uniform() -> Self {
+        ProbabilityMap {
+            probs: vec![0.5; Function::COUNT],
+        }
+    }
+
+    /// The "oracle" map: probability 1.0 for functions present in `target`,
+    /// a small floor elsewhere.
+    #[must_use]
+    pub fn from_target(target: &Program, floor: f64) -> Self {
+        let mut probs = vec![floor; Function::COUNT];
+        for f in target.functions() {
+            probs[f.index()] = 1.0;
+        }
+        ProbabilityMap { probs }
+    }
+
+    /// Probability assigned to `function`.
+    #[must_use]
+    pub fn prob(&self, function: Function) -> f64 {
+        self.probs[function.index()]
+    }
+
+    /// All probabilities indexed by `Function::index()`.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// FP fitness of a candidate: the sum of the probabilities of its
+    /// functions (`f_FP` in the paper).
+    #[must_use]
+    pub fn score(&self, candidate: &Program) -> f64 {
+        candidate.functions().iter().map(|f| self.prob(*f)).sum()
+    }
+
+    /// Samples a function with probability proportional to its weight
+    /// (Roulette-Wheel over the map). Falls back to a uniform draw when the
+    /// total mass is zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Function {
+        let total: f64 = self.probs.iter().sum();
+        if total <= 0.0 {
+            return Function::ALL[rng.gen_range(0..Function::COUNT)];
+        }
+        let mut threshold = rng.gen_range(0.0..total);
+        for (i, &p) in self.probs.iter().enumerate() {
+            if threshold < p {
+                return Function::ALL[i];
+            }
+            threshold -= p;
+        }
+        Function::ALL[Function::COUNT - 1]
+    }
+
+    /// Samples a function different from `exclude` (used by the FP-guided
+    /// mutation operator, which must change the gene).
+    pub fn sample_excluding<R: Rng + ?Sized>(&self, rng: &mut R, exclude: Function) -> Function {
+        // Zero out the excluded function's mass and sample from the rest.
+        let total: f64 = self
+            .probs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != exclude.index())
+            .map(|(_, &p)| p)
+            .sum();
+        if total <= 0.0 {
+            loop {
+                let f = Function::ALL[rng.gen_range(0..Function::COUNT)];
+                if f != exclude {
+                    return f;
+                }
+            }
+        }
+        let mut threshold = rng.gen_range(0.0..total);
+        for (i, &p) in self.probs.iter().enumerate() {
+            if i == exclude.index() {
+                continue;
+            }
+            if threshold < p {
+                return Function::ALL[i];
+            }
+            threshold -= p;
+        }
+        // Floating-point fallthrough: return the last non-excluded function.
+        *Function::ALL
+            .iter()
+            .rev()
+            .find(|f| **f != exclude)
+            .expect("there is more than one DSL function")
+    }
+
+    /// The `k` functions with the highest probability, in decreasing order.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<Function> {
+        let mut indexed: Vec<(usize, f64)> =
+            self.probs.iter().copied().enumerate().collect();
+        indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        indexed
+            .into_iter()
+            .take(k)
+            .map(|(i, _)| Function::ALL[i])
+            .collect()
+    }
+}
+
+impl Default for ProbabilityMap {
+    fn default() -> Self {
+        ProbabilityMap::uniform()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{IntPredicate, MapOp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+        ])
+    }
+
+    #[test]
+    fn uniform_map_scores_by_length() {
+        let map = ProbabilityMap::uniform();
+        assert_eq!(map.score(&target()), 1.5);
+        assert_eq!(map.prob(Function::Head), 0.5);
+    }
+
+    #[test]
+    fn from_target_puts_mass_on_target_functions() {
+        let map = ProbabilityMap::from_target(&target(), 0.01);
+        assert_eq!(map.prob(Function::Sort), 1.0);
+        assert_eq!(map.prob(Function::Head), 0.01);
+        // A candidate sharing more functions with the target scores higher.
+        let close = Program::new(vec![Function::Sort, Function::Map(MapOp::Mul2)]);
+        let far = Program::new(vec![Function::Head, Function::Last]);
+        assert!(map.score(&close) > map.score(&far));
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per DSL function")]
+    fn new_validates_length() {
+        let _ = ProbabilityMap::new(vec![0.5; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn new_validates_sign() {
+        let mut probs = vec![0.5; Function::COUNT];
+        probs[0] = -0.1;
+        let _ = ProbabilityMap::new(probs);
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let mut probs = vec![0.0; Function::COUNT];
+        probs[Function::Sort.index()] = 1.0;
+        let map = ProbabilityMap::new(probs);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(map.sample(&mut rng), Function::Sort);
+        }
+    }
+
+    #[test]
+    fn sampling_with_zero_mass_is_uniform_fallback() {
+        let map = ProbabilityMap::new(vec![0.0; Function::COUNT]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(map.sample(&mut rng));
+        }
+        assert!(seen.len() > 10, "fallback should cover many functions");
+    }
+
+    #[test]
+    fn sample_excluding_never_returns_excluded() {
+        let mut probs = vec![0.0; Function::COUNT];
+        probs[Function::Sort.index()] = 1.0;
+        probs[Function::Reverse.index()] = 0.001;
+        let map = ProbabilityMap::new(probs);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            let f = map.sample_excluding(&mut rng, Function::Sort);
+            assert_ne!(f, Function::Sort);
+        }
+        // Excluding everything-with-mass still terminates.
+        let zero = ProbabilityMap::new(vec![0.0; Function::COUNT]);
+        for _ in 0..10 {
+            assert_ne!(zero.sample_excluding(&mut rng, Function::Head), Function::Head);
+        }
+    }
+
+    #[test]
+    fn top_k_orders_by_probability() {
+        let map = ProbabilityMap::from_target(&target(), 0.0);
+        let top = map.top_k(3);
+        assert_eq!(top.len(), 3);
+        for f in target().functions() {
+            assert!(top.contains(f));
+        }
+    }
+
+    #[test]
+    fn statistical_sampling_frequency_matches_weights() {
+        let mut probs = vec![0.0; Function::COUNT];
+        probs[Function::Head.index()] = 3.0;
+        probs[Function::Last.index()] = 1.0;
+        let map = ProbabilityMap::new(probs);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut head = 0;
+        let mut last = 0;
+        for _ in 0..4000 {
+            match map.sample(&mut rng) {
+                Function::Head => head += 1,
+                Function::Last => last += 1,
+                other => panic!("unexpected sample {other}"),
+            }
+        }
+        let ratio = head as f64 / last as f64;
+        assert!(ratio > 2.4 && ratio < 3.6, "ratio {ratio} not close to 3");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let map = ProbabilityMap::from_target(&target(), 0.05);
+        let json = serde_json::to_string(&map).unwrap();
+        let back: ProbabilityMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+}

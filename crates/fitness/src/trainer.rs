@@ -1,0 +1,481 @@
+//! Training loops for the neural fitness functions and their evaluation
+//! (confusion matrices for CF/LCS, accuracy-over-epochs for FP — Figure 7).
+
+use crate::dataset::FitnessSample;
+use crate::encoding::{encode_candidate, encode_spec, EncodingConfig};
+use crate::model::{FitnessNet, FitnessNetConfig};
+use netsyn_dsl::Function;
+use netsyn_nn::loss::{argmax, binary_cross_entropy_with_logits, softmax_cross_entropy};
+use netsyn_nn::metrics::thresholded_accuracy;
+use netsyn_nn::{Adam, ConfusionMatrix, Parameterized};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Which fitness quantity a model predicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FitnessModelKind {
+    /// Multiclass classifier over the number of common functions.
+    CommonFunctions,
+    /// Multiclass classifier over the longest common subsequence.
+    LongestCommonSubsequence,
+    /// Multilabel (sigmoid) predictor of the per-function probability map.
+    FunctionProbability,
+}
+
+impl std::fmt::Display for FitnessModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitnessModelKind::CommonFunctions => write!(f, "CF"),
+            FitnessModelKind::LongestCommonSubsequence => write!(f, "LCS"),
+            FitnessModelKind::FunctionProbability => write!(f, "FP"),
+        }
+    }
+}
+
+/// Hyper-parameters of the training loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Network hyper-parameters (the output dimension is overridden to match
+    /// the model kind and program length).
+    pub net: FitnessNetConfig,
+    /// Token-encoding configuration.
+    pub encoding: EncodingConfig,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Number of samples per gradient step.
+    pub batch_size: usize,
+    /// Global gradient-norm clip applied before each step.
+    pub grad_clip: f32,
+    /// Fraction of the corpus held out for validation.
+    pub validation_fraction: f64,
+}
+
+impl TrainerConfig {
+    /// A compact configuration that trains in seconds-to-minutes on a CPU.
+    #[must_use]
+    pub fn small() -> Self {
+        TrainerConfig {
+            net: FitnessNetConfig::small(1),
+            encoding: EncodingConfig::new(),
+            epochs: 5,
+            learning_rate: 2e-3,
+            batch_size: 16,
+            grad_clip: 5.0,
+            validation_fraction: 0.2,
+        }
+    }
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig::small()
+    }
+}
+
+/// Loss / accuracy statistics of one training epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Epoch number, starting at 1.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Validation accuracy at the end of the epoch (classification accuracy
+    /// for CF/LCS, thresholded multi-label accuracy for FP).
+    pub validation_accuracy: f64,
+}
+
+/// Full training history plus final validation artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Per-epoch statistics (Figure 7(c) plots `validation_accuracy`).
+    pub epochs: Vec<EpochStats>,
+    /// Final confusion matrix on the validation split (Figures 7(a)/(b)).
+    /// `None` for the FP model.
+    pub confusion: Option<ConfusionMatrix>,
+}
+
+/// A trained fitness network together with its metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedFitnessModel {
+    /// What the model predicts.
+    pub kind: FitnessModelKind,
+    /// Program length the model was trained for.
+    pub program_length: usize,
+    /// The trained network.
+    pub net: FitnessNet,
+    /// Training history and validation artifacts.
+    pub report: TrainingReport,
+}
+
+impl TrainedFitnessModel {
+    /// Serializes the model to a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be written.
+    pub fn save_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a model previously written by [`TrainedFitnessModel::save_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the file cannot be read or parsed.
+    pub fn load_json<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json).map_err(std::io::Error::other)
+    }
+}
+
+fn classification_label(kind: FitnessModelKind, sample: &FitnessSample) -> usize {
+    match kind {
+        FitnessModelKind::CommonFunctions => sample.cf,
+        FitnessModelKind::LongestCommonSubsequence => sample.lcs,
+        FitnessModelKind::FunctionProbability => 0,
+    }
+}
+
+/// Trains a fitness model of the given kind on `samples`.
+///
+/// For CF/LCS the network is a `(program_length + 1)`-way classifier over the
+/// candidate + trace encoding; for FP it is a 41-way sigmoid predictor over
+/// the specification encoding only.
+pub fn train_fitness_model<R: Rng + ?Sized>(
+    kind: FitnessModelKind,
+    samples: &[FitnessSample],
+    program_length: usize,
+    config: &TrainerConfig,
+    rng: &mut R,
+) -> TrainedFitnessModel {
+    let output_dim = match kind {
+        FitnessModelKind::FunctionProbability => Function::COUNT,
+        _ => program_length + 1,
+    };
+    let mut net_config = config.net;
+    net_config.output_dim = output_dim;
+    let mut net = FitnessNet::new(net_config, config.encoding, rng);
+    let mut optimizer = Adam::new(config.learning_rate);
+
+    let mut indices: Vec<usize> = (0..samples.len()).collect();
+    indices.shuffle(rng);
+    let validation_len = ((samples.len() as f64) * config.validation_fraction).round() as usize;
+    let (validation_idx, train_idx) = indices.split_at(validation_len.min(samples.len()));
+
+    let mut epochs = Vec::with_capacity(config.epochs);
+    let mut order: Vec<usize> = train_idx.to_vec();
+    for epoch in 1..=config.epochs {
+        order.shuffle(rng);
+        let mut total_loss = 0.0;
+        let mut batch_count = 0usize;
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            for &idx in chunk {
+                let sample = &samples[idx];
+                let encoded = match kind {
+                    FitnessModelKind::FunctionProbability => {
+                        encode_spec(&config.encoding, &sample.spec)
+                    }
+                    _ => encode_candidate(&config.encoding, &sample.spec, &sample.candidate),
+                };
+                let Ok((logits, cache)) = net.forward(&encoded) else {
+                    continue;
+                };
+                let (loss, grad) = match kind {
+                    FitnessModelKind::FunctionProbability => {
+                        binary_cross_entropy_with_logits(&logits, &sample.fp_target)
+                    }
+                    _ => softmax_cross_entropy(&logits, classification_label(kind, sample)),
+                };
+                total_loss += f64::from(loss);
+                net.backward(&cache, &grad);
+            }
+            net.clip_grad_norm(config.grad_clip);
+            optimizer.step(&mut net.params_mut());
+            net.zero_grad();
+            batch_count += 1;
+        }
+        let train_loss = if order.is_empty() {
+            0.0
+        } else {
+            total_loss / order.len() as f64
+        };
+        let validation_accuracy =
+            evaluate_accuracy(kind, &net, samples, validation_idx, &config.encoding);
+        epochs.push(EpochStats {
+            epoch,
+            train_loss,
+            validation_accuracy,
+        });
+        let _ = batch_count;
+    }
+
+    let confusion = match kind {
+        FitnessModelKind::FunctionProbability => None,
+        _ => Some(confusion_matrix(
+            kind,
+            &net,
+            samples,
+            validation_idx,
+            &config.encoding,
+            program_length,
+        )),
+    };
+
+    TrainedFitnessModel {
+        kind,
+        program_length,
+        net,
+        report: TrainingReport { epochs, confusion },
+    }
+}
+
+fn evaluate_accuracy(
+    kind: FitnessModelKind,
+    net: &FitnessNet,
+    samples: &[FitnessSample],
+    indices: &[usize],
+    encoding: &EncodingConfig,
+) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for &idx in indices {
+        let sample = &samples[idx];
+        match kind {
+            FitnessModelKind::FunctionProbability => {
+                let encoded = encode_spec(encoding, &sample.spec);
+                if let Ok(logits) = net.predict(&encoded) {
+                    let probs: Vec<f32> =
+                        logits.iter().map(|&z| netsyn_nn::activation::sigmoid(z)).collect();
+                    total += thresholded_accuracy(&probs, &sample.fp_target, 0.5);
+                    counted += 1;
+                }
+            }
+            _ => {
+                let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
+                if let Ok(logits) = net.predict(&encoded) {
+                    let predicted = argmax(&logits);
+                    let actual = classification_label(kind, sample);
+                    total += f64::from(u8::from(predicted == actual));
+                    counted += 1;
+                }
+            }
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Builds the validation confusion matrix of a trained CF/LCS model
+/// (Figure 7(a)/(b)).
+fn confusion_matrix(
+    kind: FitnessModelKind,
+    net: &FitnessNet,
+    samples: &[FitnessSample],
+    indices: &[usize],
+    encoding: &EncodingConfig,
+    program_length: usize,
+) -> ConfusionMatrix {
+    let mut matrix = ConfusionMatrix::new(program_length + 1);
+    for &idx in indices {
+        let sample = &samples[idx];
+        let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
+        if let Ok(logits) = net.predict(&encoded) {
+            let predicted = argmax(&logits).min(program_length);
+            let actual = classification_label(kind, sample).min(program_length);
+            matrix.record(actual, predicted);
+        }
+    }
+    matrix
+}
+
+/// Evaluates a trained CF/LCS model on an arbitrary set of samples, returning
+/// its confusion matrix.
+#[must_use]
+pub fn evaluate_confusion(
+    model: &TrainedFitnessModel,
+    samples: &[FitnessSample],
+    encoding: &EncodingConfig,
+) -> ConfusionMatrix {
+    let indices: Vec<usize> = (0..samples.len()).collect();
+    confusion_matrix(
+        model.kind,
+        &model.net,
+        samples,
+        &indices,
+        encoding,
+        model.program_length,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn tiny_trainer_config() -> TrainerConfig {
+        let mut config = TrainerConfig::small();
+        config.net = FitnessNetConfig {
+            value_embed_dim: 4,
+            encoder_hidden_dim: 6,
+            function_embed_dim: 4,
+            trace_hidden_dim: 6,
+            example_hidden_dim: 8,
+            head_hidden_dim: 8,
+            output_dim: 1,
+        };
+        config.epochs = 2;
+        config.batch_size = 8;
+        config
+    }
+
+    fn tiny_dataset_config(length: usize) -> DatasetConfig {
+        let mut config = DatasetConfig::for_length(length);
+        config.num_target_programs = 8;
+        config.examples_per_program = 2;
+        config
+    }
+
+    #[test]
+    fn trains_a_cf_model_end_to_end() {
+        let mut r = rng(1);
+        let samples = generate_dataset(
+            &tiny_dataset_config(3),
+            BalanceMetric::CommonFunctions,
+            &mut r,
+        )
+        .unwrap();
+        let model = train_fitness_model(
+            FitnessModelKind::CommonFunctions,
+            &samples,
+            3,
+            &tiny_trainer_config(),
+            &mut r,
+        );
+        assert_eq!(model.kind, FitnessModelKind::CommonFunctions);
+        assert_eq!(model.net.output_dim(), 4);
+        assert_eq!(model.report.epochs.len(), 2);
+        assert!(model.report.epochs.iter().all(|e| e.train_loss.is_finite()));
+        let confusion = model.report.confusion.as_ref().unwrap();
+        assert_eq!(confusion.classes(), 4);
+        assert!(confusion.total() > 0);
+    }
+
+    #[test]
+    fn trains_an_fp_model_end_to_end() {
+        let mut r = rng(2);
+        let samples = generate_fp_dataset(&tiny_dataset_config(3), &mut r).unwrap();
+        let model = train_fitness_model(
+            FitnessModelKind::FunctionProbability,
+            &samples,
+            3,
+            &tiny_trainer_config(),
+            &mut r,
+        );
+        assert_eq!(model.net.output_dim(), 41);
+        assert!(model.report.confusion.is_none());
+        assert!(model
+            .report
+            .epochs
+            .iter()
+            .all(|e| (0.0..=1.0).contains(&e.validation_accuracy)));
+        // Even after a couple of tiny epochs the model should not be worse
+        // than chance on the sparse multi-label targets.
+        let final_acc = model.report.epochs.last().unwrap().validation_accuracy;
+        assert!(final_acc > 0.4, "final FP accuracy {final_acc}");
+    }
+
+    #[test]
+    fn training_loss_decreases_over_epochs() {
+        let mut r = rng(3);
+        let samples = generate_dataset(
+            &tiny_dataset_config(3),
+            BalanceMetric::CommonFunctions,
+            &mut r,
+        )
+        .unwrap();
+        let mut config = tiny_trainer_config();
+        config.epochs = 6;
+        config.learning_rate = 1e-2;
+        config.batch_size = 4;
+        let model = train_fitness_model(
+            FitnessModelKind::CommonFunctions,
+            &samples,
+            3,
+            &config,
+            &mut r,
+        );
+        let first = model.report.epochs.first().unwrap().train_loss;
+        let last = model.report.epochs.last().unwrap().train_loss;
+        assert!(
+            last < first,
+            "training loss should decrease: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn model_save_and_load_round_trip() {
+        let mut r = rng(4);
+        let samples = generate_fp_dataset(&tiny_dataset_config(3), &mut r).unwrap();
+        let mut config = tiny_trainer_config();
+        config.epochs = 1;
+        let model = train_fitness_model(
+            FitnessModelKind::FunctionProbability,
+            &samples,
+            3,
+            &config,
+            &mut r,
+        );
+        let dir = std::env::temp_dir().join("netsyn_fitness_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fp_model.json");
+        model.save_json(&path).unwrap();
+        let loaded = TrainedFitnessModel::load_json(&path).unwrap();
+        assert_eq!(loaded, model);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn evaluate_confusion_on_fresh_samples() {
+        let mut r = rng(5);
+        let samples = generate_dataset(
+            &tiny_dataset_config(3),
+            BalanceMetric::LongestCommonSubsequence,
+            &mut r,
+        )
+        .unwrap();
+        let mut config = tiny_trainer_config();
+        config.epochs = 1;
+        let model = train_fitness_model(
+            FitnessModelKind::LongestCommonSubsequence,
+            &samples,
+            3,
+            &config,
+            &mut r,
+        );
+        let fresh = generate_dataset(
+            &tiny_dataset_config(3),
+            BalanceMetric::LongestCommonSubsequence,
+            &mut r,
+        )
+        .unwrap();
+        let confusion = evaluate_confusion(&model, &fresh, &config.encoding);
+        assert_eq!(confusion.total() as usize, fresh.len());
+    }
+}

@@ -1,0 +1,112 @@
+//! The fitness-function abstraction shared by the GA engine, NetSyn and the
+//! baselines.
+
+use crate::probability::ProbabilityMap;
+use netsyn_dsl::{IoSpec, Program};
+
+/// A fitness function grades how close a candidate program appears to be to
+/// the (unknown) target program described by an [`IoSpec`].
+///
+/// Scores are non-negative and *higher is better*; the genetic algorithm's
+/// Roulette-Wheel selection relies on both properties. `max_score` gives the
+/// value a perfect candidate would receive, which the engine uses to
+/// normalize saturation statistics; it does not have to be a tight bound.
+pub trait FitnessFunction: Send + Sync {
+    /// Short human-readable name, e.g. `"NN-CF"` or `"edit-distance"`.
+    fn name(&self) -> &str;
+
+    /// Scores a candidate program against the specification.
+    fn score(&self, candidate: &Program, spec: &IoSpec) -> f64;
+
+    /// The score a perfect candidate would receive.
+    fn max_score(&self) -> f64;
+
+    /// An optional probability map over the DSL functions, used to bias the
+    /// mutation operator (`Mutation_FP`). Fitness functions that do not
+    /// provide one return `None`.
+    fn probability_map(&self, _spec: &IoSpec) -> Option<ProbabilityMap> {
+        None
+    }
+}
+
+/// Blanket implementation so boxed fitness functions can be used directly.
+impl<F: FitnessFunction + ?Sized> FitnessFunction for Box<F> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
+        (**self).score(candidate, spec)
+    }
+
+    fn max_score(&self) -> f64 {
+        (**self).max_score()
+    }
+
+    fn probability_map(&self, spec: &IoSpec) -> Option<ProbabilityMap> {
+        (**self).probability_map(spec)
+    }
+}
+
+/// The closeness metric a fitness function is built around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ClosenessMetric {
+    /// Number of common functions between candidate and target (`f_CF`).
+    CommonFunctions,
+    /// Longest common subsequence of functions (`f_LCS`).
+    LongestCommonSubsequence,
+}
+
+impl std::fmt::Display for ClosenessMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClosenessMetric::CommonFunctions => write!(f, "CF"),
+            ClosenessMetric::LongestCommonSubsequence => write!(f, "LCS"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::Function;
+
+    struct ConstantFitness(f64);
+
+    impl FitnessFunction for ConstantFitness {
+        fn name(&self) -> &str {
+            "constant"
+        }
+
+        fn score(&self, _candidate: &Program, _spec: &IoSpec) -> f64 {
+            self.0
+        }
+
+        fn max_score(&self) -> f64 {
+            1.0
+        }
+    }
+
+    #[test]
+    fn boxed_fitness_delegates() {
+        let boxed: Box<dyn FitnessFunction> = Box::new(ConstantFitness(0.25));
+        let program = Program::new(vec![Function::Sort]);
+        let spec = IoSpec::default();
+        assert_eq!(boxed.name(), "constant");
+        assert_eq!(boxed.score(&program, &spec), 0.25);
+        assert_eq!(boxed.max_score(), 1.0);
+        assert!(boxed.probability_map(&spec).is_none());
+    }
+
+    #[test]
+    fn fitness_functions_are_object_safe() {
+        fn takes_dyn(_f: &dyn FitnessFunction) {}
+        takes_dyn(&ConstantFitness(0.0));
+    }
+
+    #[test]
+    fn closeness_metric_display() {
+        assert_eq!(ClosenessMetric::CommonFunctions.to_string(), "CF");
+        assert_eq!(ClosenessMetric::LongestCommonSubsequence.to_string(), "LCS");
+    }
+}

@@ -1,0 +1,168 @@
+//! Configuration of the genetic-algorithm engine.
+//!
+//! Default values follow Appendix B of the paper: gene pool of 100, 5 reserve
+//! (elite) genes per generation, at most 30,000 generations, 40% crossover
+//! rate and 30% mutation rate.
+
+use serde::{Deserialize, Serialize};
+
+/// How the mutation operator chooses the replacement function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MutationMode {
+    /// Replace the mutated position with a uniformly random different
+    /// function.
+    UniformRandom,
+    /// Replace the mutated position by sampling the fitness function's
+    /// probability map with the Roulette-Wheel algorithm (`Mutation_FP`).
+    ProbabilityGuided,
+}
+
+/// Which restricted local neighborhood search the engine runs when the
+/// population's fitness saturates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeighborhoodStrategy {
+    /// Never run neighborhood search.
+    Disabled,
+    /// Breadth-first flavored search (Algorithm 1).
+    Bfs,
+    /// Depth-first flavored search (Algorithm 1 with per-level commitment to
+    /// the best-scoring neighbor).
+    Dfs,
+}
+
+/// Hyper-parameters of the genetic algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Length of candidate programs (the assumed target length `L`).
+    pub program_length: usize,
+    /// Number of genes in the pool (`T`).
+    pub population_size: usize,
+    /// Number of top genes copied unchanged into the next generation.
+    pub elite_count: usize,
+    /// Probability that a new gene is produced by crossover.
+    pub crossover_rate: f64,
+    /// Probability that a new gene is produced by mutation.
+    pub mutation_rate: f64,
+    /// Hard cap on the number of generations.
+    pub max_generations: usize,
+    /// How the mutation operator picks replacement functions.
+    pub mutation_mode: MutationMode,
+    /// Neighborhood-search strategy.
+    pub neighborhood: NeighborhoodStrategy,
+    /// How many top-scoring genes the neighborhood search explores (`N`).
+    pub neighborhood_top_n: usize,
+    /// Sliding-window length `w` of the saturation detector that triggers
+    /// neighborhood search.
+    pub saturation_window: usize,
+    /// Number of attempts to regenerate a gene whose offspring contains dead
+    /// code before accepting it anyway.
+    pub dead_code_retries: usize,
+}
+
+impl GaConfig {
+    /// The paper's hyper-parameters (Appendix B) for a given program length.
+    #[must_use]
+    pub fn paper_defaults(program_length: usize) -> Self {
+        GaConfig {
+            program_length,
+            population_size: 100,
+            elite_count: 5,
+            crossover_rate: 0.4,
+            mutation_rate: 0.3,
+            max_generations: 30_000,
+            mutation_mode: MutationMode::UniformRandom,
+            neighborhood: NeighborhoodStrategy::Bfs,
+            neighborhood_top_n: 5,
+            saturation_window: 10,
+            dead_code_retries: 10,
+        }
+    }
+
+    /// A scaled-down configuration for quick tests and examples.
+    #[must_use]
+    pub fn small(program_length: usize) -> Self {
+        GaConfig {
+            population_size: 30,
+            elite_count: 3,
+            max_generations: 200,
+            ..GaConfig::paper_defaults(program_length)
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are outside `[0, 1]`, their sum exceeds 1, the elite
+    /// count exceeds the population size, or a size parameter is zero.
+    pub fn validate(&self) {
+        assert!(self.program_length > 0, "program_length must be positive");
+        assert!(self.population_size > 0, "population_size must be positive");
+        assert!(
+            self.elite_count <= self.population_size,
+            "elite_count cannot exceed population_size"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.crossover_rate)
+                && (0.0..=1.0).contains(&self.mutation_rate),
+            "rates must be probabilities"
+        );
+        assert!(
+            self.crossover_rate + self.mutation_rate <= 1.0 + f64::EPSILON,
+            "crossover_rate + mutation_rate cannot exceed 1"
+        );
+        assert!(self.saturation_window > 0, "saturation_window must be positive");
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::paper_defaults(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_appendix_b() {
+        let config = GaConfig::paper_defaults(5);
+        assert_eq!(config.population_size, 100);
+        assert_eq!(config.elite_count, 5);
+        assert_eq!(config.max_generations, 30_000);
+        assert!((config.crossover_rate - 0.4).abs() < 1e-12);
+        assert!((config.mutation_rate - 0.3).abs() < 1e-12);
+        config.validate();
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        GaConfig::small(7).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "elite_count")]
+    fn validate_rejects_excess_elites() {
+        let mut config = GaConfig::small(5);
+        config.elite_count = config.population_size + 1;
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed 1")]
+    fn validate_rejects_rate_sum_above_one() {
+        let mut config = GaConfig::small(5);
+        config.crossover_rate = 0.8;
+        config.mutation_rate = 0.5;
+        config.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let config = GaConfig::paper_defaults(10);
+        let json = serde_json::to_string(&config).unwrap();
+        let back: GaConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, config);
+    }
+}

@@ -1,0 +1,109 @@
+//! Single-point crossover of value-encoded genes.
+
+use netsyn_dsl::Program;
+use rand::Rng;
+
+/// Produces a child program by single-point crossover: the child takes the
+/// prefix of `a` up to a random cut point and the suffix of `b` from the same
+/// point. Because every function sequence is a valid program, the result
+/// never needs validation or repair.
+///
+/// # Panics
+///
+/// Panics if the parents are empty or have different lengths (the engine
+/// always evolves fixed-length genes).
+pub fn single_point<R: Rng + ?Sized>(a: &Program, b: &Program, rng: &mut R) -> Program {
+    assert!(!a.is_empty() && !b.is_empty(), "parents must be non-empty");
+    assert_eq!(a.len(), b.len(), "parents must have the same length");
+    if a.len() == 1 {
+        // No internal cut point exists; return one parent at random.
+        return if rng.gen_bool(0.5) { a.clone() } else { b.clone() };
+    }
+    let cut = rng.gen_range(1..a.len());
+    let mut functions = a.functions()[..cut].to_vec();
+    functions.extend_from_slice(&b.functions()[cut..]);
+    Program::new(functions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::Function;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn parent_a() -> Program {
+        Program::new(vec![
+            Function::Sort,
+            Function::Sort,
+            Function::Sort,
+            Function::Sort,
+        ])
+    }
+
+    fn parent_b() -> Program {
+        Program::new(vec![
+            Function::Reverse,
+            Function::Reverse,
+            Function::Reverse,
+            Function::Reverse,
+        ])
+    }
+
+    #[test]
+    fn child_has_prefix_of_a_and_suffix_of_b() {
+        let mut r = rng(1);
+        for _ in 0..50 {
+            let child = single_point(&parent_a(), &parent_b(), &mut r);
+            assert_eq!(child.len(), 4);
+            // There is exactly one switch point from SORT to REVERSE.
+            let functions = child.functions();
+            let cut = functions
+                .iter()
+                .position(|&f| f == Function::Reverse)
+                .expect("suffix always contains at least one REVERSE");
+            assert!(cut >= 1, "prefix contains at least one element of parent A");
+            assert!(functions[..cut].iter().all(|&f| f == Function::Sort));
+            assert!(functions[cut..].iter().all(|&f| f == Function::Reverse));
+        }
+    }
+
+    #[test]
+    fn all_cut_points_are_eventually_used() {
+        let mut r = rng(2);
+        let mut cut_points = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let child = single_point(&parent_a(), &parent_b(), &mut r);
+            let cut = child
+                .functions()
+                .iter()
+                .position(|&f| f == Function::Reverse)
+                .unwrap();
+            cut_points.insert(cut);
+        }
+        assert_eq!(cut_points, [1usize, 2, 3].into_iter().collect());
+    }
+
+    #[test]
+    fn single_statement_parents_return_one_parent() {
+        let a = Program::new(vec![Function::Sort]);
+        let b = Program::new(vec![Function::Reverse]);
+        let mut r = rng(3);
+        for _ in 0..20 {
+            let child = single_point(&a, &b, &mut r);
+            assert!(child == a || child == b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let a = Program::new(vec![Function::Sort]);
+        let b = parent_b();
+        let _ = single_point(&a, &b, &mut rng(4));
+    }
+}

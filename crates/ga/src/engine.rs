@@ -1,0 +1,537 @@
+//! The genetic-algorithm engine: population initialization, fitness-ranked
+//! evolution with elitism, crossover and (optionally FP-guided) mutation,
+//! dead-code-aware offspring generation, saturation-triggered neighborhood
+//! search and search-space accounting.
+
+use crate::budget::SearchBudget;
+use crate::config::{GaConfig, NeighborhoodStrategy};
+use crate::crossover;
+use crate::gene::{Gene, Population};
+use crate::mutation;
+use crate::neighborhood;
+use crate::saturation::SaturationDetector;
+use crate::selection;
+use netsyn_dsl::dce::has_dead_code;
+use netsyn_dsl::{Function, IoSpec, Program, Type};
+use netsyn_fitness::{FitnessFunction, ProbabilityMap};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Result of one synthesis attempt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaOutcome {
+    /// The program satisfying the specification, if one was found.
+    pub solution: Option<Program>,
+    /// Number of completed generations.
+    pub generations: usize,
+    /// Number of candidate programs evaluated (the paper's search-space
+    /// metric), including initial population, offspring and neighborhood
+    /// candidates.
+    pub candidates_evaluated: usize,
+    /// Whether the solution was discovered by the neighborhood search rather
+    /// than the evolutionary loop.
+    pub found_by_neighborhood: bool,
+    /// Average population fitness per generation.
+    pub average_fitness_history: Vec<f64>,
+    /// Best population fitness per generation.
+    pub best_fitness_history: Vec<f64>,
+}
+
+impl GaOutcome {
+    /// Whether a solution was found.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.solution.is_some()
+    }
+}
+
+/// The genetic-algorithm engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneticEngine {
+    config: GaConfig,
+}
+
+impl GeneticEngine {
+    /// Creates an engine from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see [`GaConfig::validate`]).
+    #[must_use]
+    pub fn new(config: GaConfig) -> Self {
+        config.validate();
+        GeneticEngine { config }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs the evolutionary search for a program equivalent to the target
+    /// described by `spec`, using `fitness` to rank candidates and drawing
+    /// every candidate evaluation from `budget`.
+    pub fn synthesize<F, R>(
+        &self,
+        spec: &IoSpec,
+        fitness: &F,
+        budget: &mut SearchBudget,
+        rng: &mut R,
+    ) -> GaOutcome
+    where
+        F: FitnessFunction + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let input_types = if spec.is_empty() {
+            vec![Type::List]
+        } else {
+            spec.input_types()
+        };
+        let probability_map = fitness.probability_map(spec);
+        let mut detector = SaturationDetector::new(self.config.saturation_window);
+        let mut average_history = Vec::new();
+        let mut best_history = Vec::new();
+        let start_evaluated = budget.evaluated();
+
+        // Initial population of random, dead-code-free genes.
+        let mut population = Population::default();
+        for _ in 0..self.config.population_size {
+            let program = self.random_program(&input_types, rng);
+            if !budget.try_consume() {
+                return self.outcome(
+                    None,
+                    0,
+                    budget.evaluated() - start_evaluated,
+                    false,
+                    average_history,
+                    best_history,
+                );
+            }
+            if spec.is_satisfied_by(&program) {
+                return self.outcome(
+                    Some(program),
+                    0,
+                    budget.evaluated() - start_evaluated,
+                    false,
+                    average_history,
+                    best_history,
+                );
+            }
+            population.genes_mut().push(Gene::new(program));
+        }
+
+        for generation in 1..=self.config.max_generations {
+            Self::evaluate_population(&mut population, fitness, spec);
+            let average = population.average_fitness();
+            let best = population.best_fitness().unwrap_or(0.0);
+            average_history.push(average);
+            best_history.push(best);
+            detector.record(average);
+
+            // Saturation-triggered restricted local neighborhood search.
+            if detector.is_saturated()
+                && self.config.neighborhood != NeighborhoodStrategy::Disabled
+            {
+                let top: Vec<Program> = population
+                    .top_genes(self.config.neighborhood_top_n)
+                    .into_iter()
+                    .map(|g| g.program)
+                    .collect();
+                let ns = neighborhood::search(
+                    &top,
+                    spec,
+                    self.config.neighborhood,
+                    fitness,
+                    budget,
+                );
+                detector.reset();
+                if let Some(solution) = ns.solution {
+                    return self.outcome(
+                        Some(solution),
+                        generation,
+                        budget.evaluated() - start_evaluated,
+                        true,
+                        average_history,
+                        best_history,
+                    );
+                }
+                if budget.is_exhausted() {
+                    return self.outcome(
+                        None,
+                        generation,
+                        budget.evaluated() - start_evaluated,
+                        false,
+                        average_history,
+                        best_history,
+                    );
+                }
+            }
+
+            // Breed the next generation.
+            match self.breed(
+                &population,
+                spec,
+                &input_types,
+                probability_map.as_ref(),
+                budget,
+                rng,
+            ) {
+                BreedResult::Solution(program) => {
+                    return self.outcome(
+                        Some(program),
+                        generation,
+                        budget.evaluated() - start_evaluated,
+                        false,
+                        average_history,
+                        best_history,
+                    );
+                }
+                BreedResult::Exhausted => {
+                    return self.outcome(
+                        None,
+                        generation,
+                        budget.evaluated() - start_evaluated,
+                        false,
+                        average_history,
+                        best_history,
+                    );
+                }
+                BreedResult::Next(next) => population = next,
+            }
+        }
+
+        self.outcome(
+            None,
+            self.config.max_generations,
+            budget.evaluated() - start_evaluated,
+            false,
+            average_history,
+            best_history,
+        )
+    }
+
+    fn outcome(
+        &self,
+        solution: Option<Program>,
+        generations: usize,
+        candidates_evaluated: usize,
+        found_by_neighborhood: bool,
+        average_fitness_history: Vec<f64>,
+        best_fitness_history: Vec<f64>,
+    ) -> GaOutcome {
+        GaOutcome {
+            solution,
+            generations,
+            candidates_evaluated,
+            found_by_neighborhood,
+            average_fitness_history,
+            best_fitness_history,
+        }
+    }
+
+    /// Evaluates the fitness of every not-yet-scored gene, in parallel.
+    fn evaluate_population<F>(population: &mut Population, fitness: &F, spec: &IoSpec)
+    where
+        F: FitnessFunction + ?Sized,
+    {
+        population
+            .genes_mut()
+            .par_iter_mut()
+            .filter(|gene| gene.fitness.is_none())
+            .for_each(|gene| {
+                gene.fitness = Some(fitness.score(&gene.program, spec));
+            });
+    }
+
+    /// Samples a random program of the configured length without dead code
+    /// (best effort within `dead_code_retries`).
+    fn random_program<R: Rng + ?Sized>(&self, input_types: &[Type], rng: &mut R) -> Program {
+        let mut last = self.unconstrained_random_program(rng);
+        for _ in 0..self.config.dead_code_retries {
+            if !has_dead_code(&last, input_types) {
+                return last;
+            }
+            last = self.unconstrained_random_program(rng);
+        }
+        last
+    }
+
+    fn unconstrained_random_program<R: Rng + ?Sized>(&self, rng: &mut R) -> Program {
+        (0..self.config.program_length)
+            .map(|_| Function::ALL[rng.gen_range(0..Function::COUNT)])
+            .collect()
+    }
+
+    fn breed<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        spec: &IoSpec,
+        input_types: &[Type],
+        probability_map: Option<&ProbabilityMap>,
+        budget: &mut SearchBudget,
+        rng: &mut R,
+    ) -> BreedResult {
+        let weights = population.fitness_weights();
+        let mut next: Vec<Gene> = population.top_genes(self.config.elite_count);
+        while next.len() < self.config.population_size {
+            let draw: f64 = rng.gen();
+            if draw < self.config.crossover_rate {
+                let offspring =
+                    self.crossover_offspring(population, &weights, input_types, rng);
+                if !budget.try_consume() {
+                    return BreedResult::Exhausted;
+                }
+                if spec.is_satisfied_by(&offspring) {
+                    return BreedResult::Solution(offspring);
+                }
+                next.push(Gene::new(offspring));
+            } else if draw < self.config.crossover_rate + self.config.mutation_rate {
+                let offspring =
+                    self.mutation_offspring(population, &weights, input_types, probability_map, rng);
+                if !budget.try_consume() {
+                    return BreedResult::Exhausted;
+                }
+                if spec.is_satisfied_by(&offspring) {
+                    return BreedResult::Solution(offspring);
+                }
+                next.push(Gene::new(offspring));
+            } else {
+                // Reproduction: copy a selected gene unchanged (not a new
+                // candidate program, so it does not consume search budget).
+                let index = selection::roulette_wheel(&weights, rng);
+                next.push(population.genes()[index].clone());
+            }
+        }
+        BreedResult::Next(Population::new(next))
+    }
+
+    fn crossover_offspring<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        weights: &[f64],
+        input_types: &[Type],
+        rng: &mut R,
+    ) -> Program {
+        let mut last = {
+            let (a, b) = selection::roulette_wheel_pair(weights, rng);
+            crossover::single_point(
+                &population.genes()[a].program,
+                &population.genes()[b].program,
+                rng,
+            )
+        };
+        for _ in 0..self.config.dead_code_retries {
+            if !has_dead_code(&last, input_types) {
+                return last;
+            }
+            let (a, b) = selection::roulette_wheel_pair(weights, rng);
+            last = crossover::single_point(
+                &population.genes()[a].program,
+                &population.genes()[b].program,
+                rng,
+            );
+        }
+        last
+    }
+
+    fn mutation_offspring<R: Rng + ?Sized>(
+        &self,
+        population: &Population,
+        weights: &[f64],
+        input_types: &[Type],
+        probability_map: Option<&ProbabilityMap>,
+        rng: &mut R,
+    ) -> Program {
+        let index = selection::roulette_wheel(weights, rng);
+        let parent = &population.genes()[index].program;
+        let mut last = mutation::point_mutation(
+            parent,
+            self.config.mutation_mode,
+            probability_map,
+            rng,
+        );
+        for _ in 0..self.config.dead_code_retries {
+            if !has_dead_code(&last, input_types) {
+                return last;
+            }
+            last = mutation::point_mutation(
+                parent,
+                self.config.mutation_mode,
+                probability_map,
+                rng,
+            );
+        }
+        last
+    }
+}
+
+enum BreedResult {
+    Solution(Program),
+    Exhausted,
+    Next(Population),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MutationMode;
+    use netsyn_dsl::{IntPredicate, MapOp, Value};
+    use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+        ])
+    }
+
+    fn spec() -> IoSpec {
+        IoSpec::from_program(
+            &target(),
+            &[
+                vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+                vec![Value::List(vec![1, -5, 7, 2])],
+                vec![Value::List(vec![4, 4, -1, 0, 9])],
+                vec![Value::List(vec![-3, -6, 12])],
+                vec![Value::List(vec![8, 1, -2, 6, 3])],
+            ],
+        )
+    }
+
+    #[test]
+    fn oracle_guided_search_finds_a_length_three_target() {
+        let engine = GeneticEngine::new(GaConfig::small(3));
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let mut budget = SearchBudget::new(200_000);
+        let outcome = engine.synthesize(&spec(), &oracle, &mut budget, &mut rng(1));
+        assert!(outcome.is_success(), "outcome: {outcome:?}");
+        let solution = outcome.solution.unwrap();
+        assert!(spec().is_satisfied_by(&solution));
+        assert_eq!(outcome.candidates_evaluated, budget.evaluated());
+        assert!(outcome.candidates_evaluated <= 200_000);
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_fixed_seed() {
+        let engine = GeneticEngine::new(GaConfig::small(3));
+        let oracle = OracleFitness::new(target(), ClosenessMetric::LongestCommonSubsequence);
+        let mut budget_a = SearchBudget::new(100_000);
+        let mut budget_b = SearchBudget::new(100_000);
+        let a = engine.synthesize(&spec(), &oracle, &mut budget_a, &mut rng(7));
+        let b = engine.synthesize(&spec(), &oracle, &mut budget_b, &mut rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_exhaustion_terminates_the_search() {
+        let engine = GeneticEngine::new(GaConfig::small(5));
+        let fitness = EditDistanceFitness::new();
+        let mut budget = SearchBudget::new(150);
+        let outcome = engine.synthesize(&spec(), &fitness, &mut budget, &mut rng(2));
+        assert!(budget.is_exhausted() || outcome.is_success());
+        assert!(outcome.candidates_evaluated <= 150);
+    }
+
+    #[test]
+    fn zero_budget_returns_immediately() {
+        let engine = GeneticEngine::new(GaConfig::small(3));
+        let fitness = EditDistanceFitness::new();
+        let mut budget = SearchBudget::new(0);
+        let outcome = engine.synthesize(&spec(), &fitness, &mut budget, &mut rng(3));
+        assert!(!outcome.is_success());
+        assert_eq!(outcome.candidates_evaluated, 0);
+        assert_eq!(outcome.generations, 0);
+    }
+
+    #[test]
+    fn max_generations_bounds_the_search() {
+        let mut config = GaConfig::small(5);
+        config.max_generations = 3;
+        config.neighborhood = NeighborhoodStrategy::Disabled;
+        let engine = GeneticEngine::new(config);
+        let fitness = EditDistanceFitness::new();
+        let mut budget = SearchBudget::new(1_000_000);
+        let outcome = engine.synthesize(&spec(), &fitness, &mut budget, &mut rng(4));
+        assert!(outcome.generations <= 3);
+        assert_eq!(outcome.average_fitness_history.len(), outcome.generations);
+        assert_eq!(outcome.best_fitness_history.len(), outcome.generations);
+    }
+
+    #[test]
+    fn fitness_histories_are_recorded_and_bounded() {
+        let mut config = GaConfig::small(3);
+        config.max_generations = 10;
+        config.neighborhood = NeighborhoodStrategy::Disabled;
+        let engine = GeneticEngine::new(config);
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let mut budget = SearchBudget::new(100_000);
+        let outcome = engine.synthesize(&spec(), &oracle, &mut budget, &mut rng(5));
+        for (&avg, &best) in outcome
+            .average_fitness_history
+            .iter()
+            .zip(outcome.best_fitness_history.iter())
+        {
+            assert!(avg <= best + 1e-9);
+            assert!(best <= oracle.max_score() + 1e-9);
+            assert!(avg >= 0.0);
+        }
+    }
+
+    #[test]
+    fn probability_guided_mutation_uses_the_fitness_map() {
+        let mut config = GaConfig::small(3);
+        config.mutation_mode = MutationMode::ProbabilityGuided;
+        let engine = GeneticEngine::new(config);
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let mut budget = SearchBudget::new(200_000);
+        let outcome = engine.synthesize(&spec(), &oracle, &mut budget, &mut rng(6));
+        assert!(outcome.is_success());
+    }
+
+    #[test]
+    fn neighborhood_search_rescues_a_stagnant_population() {
+        // With an uninformative fitness (constant), the GA cannot make
+        // progress; the saturation detector fires and the BFS neighborhood
+        // of the top genes is searched. Use a length-1 target so that the
+        // neighborhood of *any* gene contains the solution.
+        struct Constant;
+        impl FitnessFunction for Constant {
+            fn name(&self) -> &str {
+                "constant"
+            }
+            fn score(&self, _candidate: &Program, _spec: &IoSpec) -> f64 {
+                1.0
+            }
+            fn max_score(&self) -> f64 {
+                1.0
+            }
+        }
+        let tiny_target = Program::new(vec![Function::Sort]);
+        let tiny_spec = IoSpec::from_program(
+            &tiny_target,
+            &[
+                vec![Value::List(vec![3, 1, 2])],
+                vec![Value::List(vec![9, -4, 0, 2])],
+                vec![Value::List(vec![5, 5, 1])],
+            ],
+        );
+        let mut config = GaConfig::small(1);
+        config.population_size = 5;
+        config.elite_count = 1;
+        config.saturation_window = 2;
+        config.max_generations = 50;
+        let engine = GeneticEngine::new(config);
+        let mut budget = SearchBudget::new(100_000);
+        let outcome = engine.synthesize(&tiny_spec, &Constant, &mut budget, &mut rng(8));
+        assert!(outcome.is_success());
+    }
+}

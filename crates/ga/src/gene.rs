@@ -1,0 +1,188 @@
+//! Genes and populations.
+
+use netsyn_dsl::Program;
+use serde::{Deserialize, Serialize};
+
+/// A gene: a candidate program together with its cached fitness score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gene {
+    /// The candidate program (value-encoded: one DSL function per position).
+    pub program: Program,
+    /// Cached fitness score, `None` until evaluated.
+    pub fitness: Option<f64>,
+}
+
+impl Gene {
+    /// Creates an unevaluated gene.
+    #[must_use]
+    pub fn new(program: Program) -> Self {
+        Gene {
+            program,
+            fitness: None,
+        }
+    }
+
+    /// The gene's fitness, or 0.0 if it has not been evaluated yet.
+    #[must_use]
+    pub fn fitness_or_zero(&self) -> f64 {
+        self.fitness.unwrap_or(0.0)
+    }
+}
+
+/// A population of genes.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Population {
+    genes: Vec<Gene>,
+}
+
+impl Population {
+    /// Creates a population from genes.
+    #[must_use]
+    pub fn new(genes: Vec<Gene>) -> Self {
+        Population { genes }
+    }
+
+    /// Number of genes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.genes.len()
+    }
+
+    /// Whether the population is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.genes.is_empty()
+    }
+
+    /// Read access to the genes.
+    #[must_use]
+    pub fn genes(&self) -> &[Gene] {
+        &self.genes
+    }
+
+    /// Mutable access to the genes.
+    pub fn genes_mut(&mut self) -> &mut Vec<Gene> {
+        &mut self.genes
+    }
+
+    /// Average fitness of the evaluated genes (0.0 if none are evaluated).
+    #[must_use]
+    pub fn average_fitness(&self) -> f64 {
+        let evaluated: Vec<f64> = self.genes.iter().filter_map(|g| g.fitness).collect();
+        if evaluated.is_empty() {
+            return 0.0;
+        }
+        evaluated.iter().sum::<f64>() / evaluated.len() as f64
+    }
+
+    /// Best (highest) fitness among evaluated genes.
+    #[must_use]
+    pub fn best_fitness(&self) -> Option<f64> {
+        self.genes
+            .iter()
+            .filter_map(|g| g.fitness)
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Indices of the `n` highest-fitness genes, best first.
+    #[must_use]
+    pub fn top_indices(&self, n: usize) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..self.genes.len()).collect();
+        indices.sort_by(|&a, &b| {
+            self.genes[b]
+                .fitness_or_zero()
+                .partial_cmp(&self.genes[a].fitness_or_zero())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        indices.truncate(n);
+        indices
+    }
+
+    /// The `n` highest-fitness genes, best first (cloned).
+    #[must_use]
+    pub fn top_genes(&self, n: usize) -> Vec<Gene> {
+        self.top_indices(n)
+            .into_iter()
+            .map(|i| self.genes[i].clone())
+            .collect()
+    }
+
+    /// The fitness scores of all genes in order (unevaluated genes count as
+    /// 0.0) — the weights used by Roulette-Wheel selection.
+    #[must_use]
+    pub fn fitness_weights(&self) -> Vec<f64> {
+        self.genes.iter().map(Gene::fitness_or_zero).collect()
+    }
+}
+
+impl FromIterator<Gene> for Population {
+    fn from_iter<T: IntoIterator<Item = Gene>>(iter: T) -> Self {
+        Population::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::Function;
+
+    fn gene_with_fitness(f: Function, fitness: f64) -> Gene {
+        let mut gene = Gene::new(Program::new(vec![f]));
+        gene.fitness = Some(fitness);
+        gene
+    }
+
+    #[test]
+    fn new_gene_is_unevaluated() {
+        let gene = Gene::new(Program::new(vec![Function::Sort]));
+        assert_eq!(gene.fitness, None);
+        assert_eq!(gene.fitness_or_zero(), 0.0);
+    }
+
+    #[test]
+    fn population_statistics() {
+        let population = Population::new(vec![
+            gene_with_fitness(Function::Sort, 1.0),
+            gene_with_fitness(Function::Head, 3.0),
+            gene_with_fitness(Function::Sum, 2.0),
+        ]);
+        assert_eq!(population.len(), 3);
+        assert!(!population.is_empty());
+        assert_eq!(population.average_fitness(), 2.0);
+        assert_eq!(population.best_fitness(), Some(3.0));
+        assert_eq!(population.fitness_weights(), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_population_statistics() {
+        let population = Population::default();
+        assert!(population.is_empty());
+        assert_eq!(population.average_fitness(), 0.0);
+        assert_eq!(population.best_fitness(), None);
+        assert!(population.top_indices(3).is_empty());
+    }
+
+    #[test]
+    fn top_indices_orders_by_fitness() {
+        let population = Population::new(vec![
+            gene_with_fitness(Function::Sort, 1.0),
+            gene_with_fitness(Function::Head, 3.0),
+            gene_with_fitness(Function::Sum, 2.0),
+            Gene::new(Program::new(vec![Function::Last])),
+        ]);
+        assert_eq!(population.top_indices(2), vec![1, 2]);
+        let top = population.top_genes(3);
+        assert_eq!(top[0].program, Program::new(vec![Function::Head]));
+        assert_eq!(top.len(), 3);
+        // Requesting more than available returns everything.
+        assert_eq!(population.top_indices(10).len(), 4);
+    }
+
+    #[test]
+    fn collect_into_population() {
+        let population: Population = (0..5)
+            .map(|_| Gene::new(Program::new(vec![Function::Sort])))
+            .collect();
+        assert_eq!(population.len(), 5);
+    }
+}

@@ -1,0 +1,73 @@
+//! # netsyn-ga
+//!
+//! The genetic-algorithm engine of the NetSyn reproduction ("Learning Fitness
+//! Functions for Machine Programming", MLSys 2021).
+//!
+//! Candidate programs are value-encoded genes (one DSL function per
+//! position). Each generation, genes are ranked by a pluggable
+//! [`FitnessFunction`](netsyn_fitness::FitnessFunction), the top genes are
+//! carried over unchanged, and the rest of the pool is refilled by
+//! Roulette-Wheel-selected crossover, (optionally FP-guided) point mutation
+//! and reproduction. Offspring containing dead code are regenerated so the
+//! effective program length matches the target length. When the population's
+//! average fitness saturates, the restricted local neighborhood of the top
+//! genes is searched exhaustively (BFS or DFS flavored, Algorithm 1 of the
+//! paper). Every candidate evaluation is drawn from a [`SearchBudget`] so the
+//! paper's "search space used" metric is directly measurable.
+//!
+//! ## Example
+//!
+//! ```
+//! use netsyn_dsl::{IoSpec, Program, Value};
+//! use netsyn_fitness::{ClosenessMetric, OracleFitness};
+//! use netsyn_ga::{GaConfig, GeneticEngine, SearchBudget};
+//! use rand::SeedableRng;
+//!
+//! let target: Program = "FILTER(>0), MAP(*2), SORT".parse()?;
+//! let spec = IoSpec::from_program(&target, &[
+//!     vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+//!     vec![Value::List(vec![1, -5, 7, 2])],
+//! ]);
+//! let engine = GeneticEngine::new(GaConfig::small(3));
+//! let oracle = OracleFitness::new(target, ClosenessMetric::CommonFunctions);
+//! let mut budget = SearchBudget::new(100_000);
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let outcome = engine.synthesize(&spec, &oracle, &mut budget, &mut rng);
+//! assert!(outcome.is_success());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod budget;
+mod config;
+pub mod crossover;
+mod engine;
+mod gene;
+pub mod mutation;
+pub mod neighborhood;
+mod saturation;
+pub mod selection;
+
+pub use budget::SearchBudget;
+pub use config::{GaConfig, MutationMode, NeighborhoodStrategy};
+pub use engine::{GaOutcome, GeneticEngine};
+pub use gene::{Gene, Population};
+pub use neighborhood::NeighborhoodOutcome;
+pub use saturation::SaturationDetector;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GaConfig>();
+        assert_send_sync::<GeneticEngine>();
+        assert_send_sync::<GaOutcome>();
+        assert_send_sync::<SearchBudget>();
+        assert_send_sync::<Population>();
+    }
+}

@@ -1,0 +1,189 @@
+//! Point mutation of value-encoded genes.
+//!
+//! A mutation replaces the function at one position with a *different*
+//! function. In `Mutation_FP` mode the replacement is drawn from the fitness
+//! function's probability map with the Roulette-Wheel algorithm, and the
+//! mutation point itself is biased towards positions holding functions the
+//! map considers unlikely — the least promising parts of the gene.
+
+use crate::config::MutationMode;
+use netsyn_dsl::{Function, Program};
+use netsyn_fitness::ProbabilityMap;
+use rand::Rng;
+
+/// Mutates one position of `program`, returning a new program.
+///
+/// `map` is consulted only in [`MutationMode::ProbabilityGuided`] mode; when
+/// it is `None` the mutation falls back to uniform sampling.
+///
+/// # Panics
+///
+/// Panics if `program` is empty.
+pub fn point_mutation<R: Rng + ?Sized>(
+    program: &Program,
+    mode: MutationMode,
+    map: Option<&ProbabilityMap>,
+    rng: &mut R,
+) -> Program {
+    assert!(!program.is_empty(), "cannot mutate an empty program");
+    let position = match (mode, map) {
+        (MutationMode::ProbabilityGuided, Some(map)) => pick_unlikely_position(program, map, rng),
+        _ => rng.gen_range(0..program.len()),
+    };
+    let current = program.get(position).expect("position is in range");
+    let replacement = match (mode, map) {
+        (MutationMode::ProbabilityGuided, Some(map)) => map.sample_excluding(rng, current),
+        _ => uniform_excluding(current, rng),
+    };
+    program.with_replaced(position, replacement)
+}
+
+/// Samples a uniformly random function different from `exclude`.
+fn uniform_excluding<R: Rng + ?Sized>(exclude: Function, rng: &mut R) -> Function {
+    loop {
+        let candidate = Function::ALL[rng.gen_range(0..Function::COUNT)];
+        if candidate != exclude {
+            return candidate;
+        }
+    }
+}
+
+/// Picks a mutation point with probability proportional to how *unlikely* the
+/// probability map considers the function currently at that position.
+fn pick_unlikely_position<R: Rng + ?Sized>(
+    program: &Program,
+    map: &ProbabilityMap,
+    rng: &mut R,
+) -> usize {
+    let weights: Vec<f64> = program
+        .functions()
+        .iter()
+        .map(|f| (1.0 - map.prob(*f)).max(1e-3))
+        .collect();
+    crate::selection::roulette_wheel(&weights, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{IntPredicate, MapOp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn base_program() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_position() {
+        let mut r = rng(1);
+        for _ in 0..100 {
+            let mutated = point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
+            assert_eq!(mutated.len(), 4);
+            let differences = base_program()
+                .functions()
+                .iter()
+                .zip(mutated.functions().iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            assert_eq!(differences, 1);
+        }
+    }
+
+    #[test]
+    fn every_position_is_eventually_mutated() {
+        let mut r = rng(2);
+        let mut positions = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let mutated = point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
+            let pos = base_program()
+                .functions()
+                .iter()
+                .zip(mutated.functions().iter())
+                .position(|(a, b)| a != b)
+                .unwrap();
+            positions.insert(pos);
+        }
+        assert_eq!(positions.len(), 4);
+    }
+
+    #[test]
+    fn guided_mutation_prefers_unlikely_positions_and_likely_replacements() {
+        // Map: the target's functions are likely; everything else unlikely.
+        let target = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Sum,
+        ]);
+        let map = ProbabilityMap::from_target(&target, 0.01);
+        // Candidate shares 3 of 4 functions; REVERSE (position 3) is the
+        // outlier and should be mutated most of the time, mostly into a
+        // target function.
+        let candidate = base_program();
+        let mut r = rng(3);
+        let mut outlier_mutations = 0;
+        let mut into_target = 0;
+        let trials = 300;
+        for _ in 0..trials {
+            let mutated = point_mutation(
+                &candidate,
+                MutationMode::ProbabilityGuided,
+                Some(&map),
+                &mut r,
+            );
+            let pos = candidate
+                .functions()
+                .iter()
+                .zip(mutated.functions().iter())
+                .position(|(a, b)| a != b)
+                .unwrap();
+            if pos == 3 {
+                outlier_mutations += 1;
+            }
+            if target.functions().contains(&mutated.get(pos).unwrap()) {
+                into_target += 1;
+            }
+        }
+        assert!(
+            outlier_mutations as f64 / trials as f64 > 0.8,
+            "only {outlier_mutations}/{trials} mutations hit the unlikely position"
+        );
+        assert!(
+            into_target as f64 / trials as f64 > 0.85,
+            "only {into_target}/{trials} replacements came from the probability map"
+        );
+    }
+
+    #[test]
+    fn guided_mode_without_map_falls_back_to_uniform() {
+        let mut r = rng(4);
+        let mutated = point_mutation(
+            &base_program(),
+            MutationMode::ProbabilityGuided,
+            None,
+            &mut r,
+        );
+        assert_ne!(mutated, base_program());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program")]
+    fn empty_program_panics() {
+        let _ = point_mutation(
+            &Program::default(),
+            MutationMode::UniformRandom,
+            None,
+            &mut rng(5),
+        );
+    }
+}

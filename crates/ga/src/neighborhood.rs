@@ -1,0 +1,287 @@
+//! Restricted local neighborhood search (Algorithm 1 of the paper).
+//!
+//! Given the top-N genes of the population, the neighborhood of a gene is the
+//! set of programs obtained by replacing a single statement with every other
+//! DSL function. The search checks each neighbor against the specification;
+//! its cost is `O(N · len(ζ) · |Σ_DSL|)` candidate programs, dramatically
+//! smaller than an unrestricted breadth-first search of the program space.
+
+use crate::budget::SearchBudget;
+use crate::config::NeighborhoodStrategy;
+use netsyn_dsl::{Function, IoSpec, Program};
+use netsyn_fitness::FitnessFunction;
+
+/// Outcome of one neighborhood-search invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborhoodOutcome {
+    /// The equivalent program, if one was found in the neighborhood.
+    pub solution: Option<Program>,
+    /// Number of candidate programs evaluated during the search.
+    pub candidates_evaluated: usize,
+}
+
+/// Searches the neighborhoods of `genes` for a program satisfying `spec`.
+///
+/// * [`NeighborhoodStrategy::Bfs`] checks every single-function replacement of
+///   every gene (Algorithm 1).
+/// * [`NeighborhoodStrategy::Dfs`] walks positions left to right and, after
+///   exploring a position, commits the gene to the best-scoring neighbor
+///   before moving to the next position (the paper's DFS variant).
+/// * [`NeighborhoodStrategy::Disabled`] returns immediately.
+///
+/// Every candidate checked is drawn from `budget`; the search stops early when
+/// the budget is exhausted.
+pub fn search<F: FitnessFunction + ?Sized>(
+    genes: &[Program],
+    spec: &IoSpec,
+    strategy: NeighborhoodStrategy,
+    fitness: &F,
+    budget: &mut SearchBudget,
+) -> NeighborhoodOutcome {
+    match strategy {
+        NeighborhoodStrategy::Disabled => NeighborhoodOutcome {
+            solution: None,
+            candidates_evaluated: 0,
+        },
+        NeighborhoodStrategy::Bfs => bfs_search(genes, spec, budget),
+        NeighborhoodStrategy::Dfs => dfs_search(genes, spec, fitness, budget),
+    }
+}
+
+fn bfs_search(
+    genes: &[Program],
+    spec: &IoSpec,
+    budget: &mut SearchBudget,
+) -> NeighborhoodOutcome {
+    let mut evaluated = 0usize;
+    for gene in genes {
+        for position in 0..gene.len() {
+            let current = gene.get(position).expect("position in range");
+            for replacement in Function::ALL {
+                if replacement == current {
+                    continue;
+                }
+                if !budget.try_consume() {
+                    return NeighborhoodOutcome {
+                        solution: None,
+                        candidates_evaluated: evaluated,
+                    };
+                }
+                evaluated += 1;
+                let neighbor = gene.with_replaced(position, replacement);
+                if spec.is_satisfied_by(&neighbor) {
+                    return NeighborhoodOutcome {
+                        solution: Some(neighbor),
+                        candidates_evaluated: evaluated,
+                    };
+                }
+            }
+        }
+    }
+    NeighborhoodOutcome {
+        solution: None,
+        candidates_evaluated: evaluated,
+    }
+}
+
+fn dfs_search<F: FitnessFunction + ?Sized>(
+    genes: &[Program],
+    spec: &IoSpec,
+    fitness: &F,
+    budget: &mut SearchBudget,
+) -> NeighborhoodOutcome {
+    let mut evaluated = 0usize;
+    for gene in genes {
+        let mut current_gene = gene.clone();
+        for position in 0..current_gene.len() {
+            let current = current_gene.get(position).expect("position in range");
+            let mut best_neighbor: Option<(Program, f64)> = None;
+            for replacement in Function::ALL {
+                if replacement == current {
+                    continue;
+                }
+                if !budget.try_consume() {
+                    return NeighborhoodOutcome {
+                        solution: None,
+                        candidates_evaluated: evaluated,
+                    };
+                }
+                evaluated += 1;
+                let neighbor = current_gene.with_replaced(position, replacement);
+                if spec.is_satisfied_by(&neighbor) {
+                    return NeighborhoodOutcome {
+                        solution: Some(neighbor),
+                        candidates_evaluated: evaluated,
+                    };
+                }
+                let score = fitness.score(&neighbor, spec);
+                if best_neighbor
+                    .as_ref()
+                    .map_or(true, |(_, best)| score > *best)
+                {
+                    best_neighbor = Some((neighbor, score));
+                }
+            }
+            // The paper's DFS variant replaces ζ with the best-scoring gene
+            // of the neighborhood before descending to the next position.
+            if let Some((neighbor, _)) = best_neighbor {
+                current_gene = neighbor;
+            }
+        }
+    }
+    NeighborhoodOutcome {
+        solution: None,
+        candidates_evaluated: evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{IntPredicate, MapOp, Value};
+    use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+            Function::Reverse,
+        ])
+    }
+
+    fn spec() -> IoSpec {
+        IoSpec::from_program(
+            &target(),
+            &[
+                vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+                vec![Value::List(vec![1, -5, 7, 2])],
+                vec![Value::List(vec![4, 4, -1, 0, 9])],
+            ],
+        )
+    }
+
+    fn one_off_candidate() -> Program {
+        // Differs from the target in exactly one position.
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sum,
+            Function::Reverse,
+        ])
+    }
+
+    #[test]
+    fn bfs_finds_a_solution_one_replacement_away() {
+        let mut budget = SearchBudget::new(100_000);
+        let outcome = search(
+            &[one_off_candidate()],
+            &spec(),
+            NeighborhoodStrategy::Bfs,
+            &EditDistanceFitness::new(),
+            &mut budget,
+        );
+        let solution = outcome.solution.expect("solution should be in the neighborhood");
+        assert!(spec().is_satisfied_by(&solution));
+        assert!(outcome.candidates_evaluated > 0);
+        assert_eq!(budget.evaluated(), outcome.candidates_evaluated);
+        // Complexity bound: at most len * (|Σ|-1) candidates for one gene.
+        assert!(outcome.candidates_evaluated <= 4 * 40);
+    }
+
+    #[test]
+    fn dfs_finds_a_solution_one_replacement_away() {
+        let mut budget = SearchBudget::new(100_000);
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let outcome = search(
+            &[one_off_candidate()],
+            &spec(),
+            NeighborhoodStrategy::Dfs,
+            &oracle,
+            &mut budget,
+        );
+        assert!(outcome.solution.is_some());
+        assert!(spec().is_satisfied_by(&outcome.solution.unwrap()));
+    }
+
+    #[test]
+    fn dfs_can_fix_two_mistakes_with_a_good_fitness() {
+        // Two positions are wrong; BFS over single replacements cannot find
+        // the target, but DFS commits to the best single fix and then fixes
+        // the second position.
+        let two_off = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Head,
+            Function::Sum,
+            Function::Reverse,
+        ]);
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let mut budget = SearchBudget::new(100_000);
+        let bfs = search(
+            &[two_off.clone()],
+            &spec(),
+            NeighborhoodStrategy::Bfs,
+            &oracle,
+            &mut budget,
+        );
+        assert!(bfs.solution.is_none(), "BFS cannot fix two mistakes at once");
+        let mut budget = SearchBudget::new(100_000);
+        let dfs = search(
+            &[two_off],
+            &spec(),
+            NeighborhoodStrategy::Dfs,
+            &oracle,
+            &mut budget,
+        );
+        assert!(
+            dfs.solution.is_some(),
+            "DFS with an oracle fitness should repair both mistakes"
+        );
+    }
+
+    #[test]
+    fn disabled_strategy_does_nothing() {
+        let mut budget = SearchBudget::new(10);
+        let outcome = search(
+            &[one_off_candidate()],
+            &spec(),
+            NeighborhoodStrategy::Disabled,
+            &EditDistanceFitness::new(),
+            &mut budget,
+        );
+        assert_eq!(outcome.solution, None);
+        assert_eq!(outcome.candidates_evaluated, 0);
+        assert_eq!(budget.evaluated(), 0);
+    }
+
+    #[test]
+    fn search_respects_the_budget() {
+        let mut budget = SearchBudget::new(10);
+        let outcome = search(
+            &[Program::new(vec![Function::Head; 4])],
+            &spec(),
+            NeighborhoodStrategy::Bfs,
+            &EditDistanceFitness::new(),
+            &mut budget,
+        );
+        assert_eq!(outcome.candidates_evaluated, 10);
+        assert!(budget.is_exhausted());
+        assert!(outcome.solution.is_none());
+    }
+
+    #[test]
+    fn unsolvable_neighborhood_reports_all_candidates() {
+        // A gene far from the target: the whole neighborhood is evaluated.
+        let far = Program::new(vec![Function::Head, Function::Last, Function::Sum, Function::Head]);
+        let mut budget = SearchBudget::new(100_000);
+        let outcome = search(
+            &[far],
+            &spec(),
+            NeighborhoodStrategy::Bfs,
+            &EditDistanceFitness::new(),
+            &mut budget,
+        );
+        assert!(outcome.solution.is_none());
+        assert_eq!(outcome.candidates_evaluated, 4 * 40);
+    }
+}

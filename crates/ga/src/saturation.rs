@@ -1,0 +1,146 @@
+//! Saturation detection: decides when the evolutionary process has stopped
+//! improving and local neighborhood search should be tried.
+//!
+//! Following Section 4.2.2, let `µ_{l-w+1,l}` be the average fitness of the
+//! last `w` generations and `µ_{1,l-w}` the average over all earlier
+//! generations. Neighborhood search is invoked when
+//! `µ_{l-w+1,l} <= µ_{1,l-w}` — the search has not produced improved genes for
+//! the last `w` generations.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks per-generation average fitness and reports saturation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationDetector {
+    window: usize,
+    history: Vec<f64>,
+}
+
+impl SaturationDetector {
+    /// Creates a detector with sliding window `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        SaturationDetector {
+            window,
+            history: Vec::new(),
+        }
+    }
+
+    /// Records the average fitness of the latest generation.
+    pub fn record(&mut self, average_fitness: f64) {
+        self.history.push(average_fitness);
+    }
+
+    /// Number of generations recorded so far.
+    #[must_use]
+    pub fn generations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The recorded per-generation averages.
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Whether the fitness signal has saturated: the mean of the last `w`
+    /// recorded generations is no better than the mean of all generations
+    /// before them. Returns `false` until more than `w` generations have been
+    /// recorded (there is no "before" to compare against).
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        let l = self.history.len();
+        if l <= self.window {
+            return false;
+        }
+        let split = l - self.window;
+        let older = &self.history[..split];
+        let recent = &self.history[split..];
+        let older_mean = older.iter().sum::<f64>() / older.len() as f64;
+        let recent_mean = recent.iter().sum::<f64>() / recent.len() as f64;
+        recent_mean <= older_mean
+    }
+
+    /// Clears the history. The engine calls this after a neighborhood search
+    /// so the next saturation decision starts fresh.
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_saturation_before_window_fills() {
+        let mut detector = SaturationDetector::new(3);
+        for value in [1.0, 1.0, 1.0] {
+            detector.record(value);
+        }
+        assert!(!detector.is_saturated());
+        assert_eq!(detector.generations(), 3);
+    }
+
+    #[test]
+    fn improving_fitness_is_not_saturated() {
+        let mut detector = SaturationDetector::new(3);
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            detector.record(value);
+        }
+        assert!(!detector.is_saturated());
+    }
+
+    #[test]
+    fn flat_fitness_is_saturated() {
+        let mut detector = SaturationDetector::new(3);
+        for value in [2.0, 2.0, 2.0, 2.0, 2.0] {
+            detector.record(value);
+        }
+        assert!(detector.is_saturated());
+    }
+
+    #[test]
+    fn declining_fitness_is_saturated() {
+        let mut detector = SaturationDetector::new(2);
+        for value in [3.0, 3.0, 2.5, 2.0] {
+            detector.record(value);
+        }
+        assert!(detector.is_saturated());
+    }
+
+    #[test]
+    fn recovery_after_reset() {
+        let mut detector = SaturationDetector::new(2);
+        for value in [2.0, 2.0, 2.0, 2.0] {
+            detector.record(value);
+        }
+        assert!(detector.is_saturated());
+        detector.reset();
+        assert_eq!(detector.generations(), 0);
+        assert!(!detector.is_saturated());
+        for value in [2.0, 3.0, 4.0] {
+            detector.record(value);
+        }
+        assert!(!detector.is_saturated());
+    }
+
+    #[test]
+    fn history_is_accessible() {
+        let mut detector = SaturationDetector::new(2);
+        detector.record(1.5);
+        detector.record(2.5);
+        assert_eq!(detector.history(), &[1.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = SaturationDetector::new(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Roulette-Wheel (fitness-proportionate) selection.
+
+use rand::Rng;
+
+/// Selects an index with probability proportional to its non-negative weight.
+///
+/// If every weight is zero (e.g. the first generation under an uninformative
+/// fitness), the selection falls back to a uniform draw, which matches the
+/// behaviour of a Roulette Wheel over an all-equal population.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or contains a negative or non-finite weight.
+pub fn roulette_wheel<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    assert!(!weights.is_empty(), "cannot select from an empty population");
+    assert!(
+        weights.iter().all(|&w| w.is_finite() && w >= 0.0),
+        "weights must be non-negative and finite"
+    );
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut threshold = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if threshold < w {
+            return i;
+        }
+        threshold -= w;
+    }
+    weights.len() - 1
+}
+
+/// Selects two *distinct* indices by repeated Roulette-Wheel draws (used to
+/// pick crossover parents). Falls back to returning the only index twice when
+/// the population has a single gene.
+pub fn roulette_wheel_pair<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> (usize, usize) {
+    let first = roulette_wheel(weights, rng);
+    if weights.len() == 1 {
+        return (first, first);
+    }
+    for _ in 0..32 {
+        let second = roulette_wheel(weights, rng);
+        if second != first {
+            return (first, second);
+        }
+    }
+    // Degenerate weight distributions (all mass on one gene): pick any other
+    // index uniformly.
+    let mut second = rng.gen_range(0..weights.len());
+    if second == first {
+        second = (first + 1) % weights.len();
+    }
+    (first, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn selection_is_proportional_to_weights() {
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let mut r = rng(1);
+        for _ in 0..10_000 {
+            counts[roulette_wheel(&weights, &mut r)] += 1;
+        }
+        // Expected proportions 10%, 30%, 60%.
+        assert!((counts[0] as f64 / 10_000.0 - 0.1).abs() < 0.03);
+        assert!((counts[1] as f64 / 10_000.0 - 0.3).abs() < 0.03);
+        assert!((counts[2] as f64 / 10_000.0 - 0.6).abs() < 0.03);
+    }
+
+    #[test]
+    fn zero_weight_genes_are_never_selected_when_mass_exists() {
+        let weights = [0.0, 5.0, 0.0];
+        let mut r = rng(2);
+        for _ in 0..200 {
+            assert_eq!(roulette_wheel(&weights, &mut r), 1);
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_fall_back_to_uniform() {
+        let weights = [0.0, 0.0, 0.0, 0.0];
+        let mut r = rng(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(roulette_wheel(&weights, &mut r));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_weights_panic() {
+        let mut r = rng(4);
+        let _ = roulette_wheel(&[], &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let mut r = rng(5);
+        let _ = roulette_wheel(&[1.0, -0.5], &mut r);
+    }
+
+    #[test]
+    fn pair_selection_returns_distinct_indices() {
+        let weights = [1.0, 1.0, 1.0, 1.0];
+        let mut r = rng(6);
+        for _ in 0..100 {
+            let (a, b) = roulette_wheel_pair(&weights, &mut r);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn pair_selection_handles_single_gene_and_degenerate_mass() {
+        let mut r = rng(7);
+        assert_eq!(roulette_wheel_pair(&[2.0], &mut r), (0, 0));
+        let degenerate = [0.0, 0.0, 7.0];
+        for _ in 0..50 {
+            let (a, b) = roulette_wheel_pair(&degenerate, &mut r);
+            assert_ne!(a, b);
+            assert!(a == 2 || b == 2);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Sequence encoder: token embedding followed by an LSTM whose final hidden
+//! state summarizes the sequence.
+//!
+//! This is the basic building block of the paper's fitness-function
+//! architecture (Figure 2): inputs, outputs and execution-trace values are
+//! token sequences that are embedded and encoded, and the resulting vectors
+//! are combined by further LSTM layers.
+
+use crate::embedding::Embedding;
+use crate::error::NnError;
+use crate::lstm::{Lstm, LstmCache};
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Embedding + LSTM over a token sequence, producing a fixed-size vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceEncoder {
+    embedding: Embedding,
+    lstm: Lstm,
+}
+
+/// Cache of a [`SequenceEncoder::forward`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceEncoderCache {
+    tokens: Vec<usize>,
+    lstm_cache: LstmCache,
+}
+
+impl SequenceEncoder {
+    /// Creates an encoder with the given vocabulary size, embedding dimension
+    /// and hidden dimension.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        vocab_size: usize,
+        embed_dim: usize,
+        hidden_dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        SequenceEncoder {
+            embedding: Embedding::new(vocab_size, embed_dim, rng),
+            lstm: Lstm::new(embed_dim, hidden_dim, rng),
+        }
+    }
+
+    /// Output (hidden) dimension.
+    #[must_use]
+    pub fn hidden_dim(&self) -> usize {
+        self.lstm.hidden_dim()
+    }
+
+    /// Vocabulary size accepted by the encoder.
+    #[must_use]
+    pub fn vocab_size(&self) -> usize {
+        self.embedding.vocab_size()
+    }
+
+    /// Encodes a token sequence into the LSTM's final hidden state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if a token is outside the
+    /// vocabulary.
+    pub fn forward(
+        &self,
+        tokens: &[usize],
+    ) -> Result<(Vec<f32>, SequenceEncoderCache), NnError> {
+        let embedded = self.embedding.forward(tokens)?;
+        let (hidden, lstm_cache) = self.lstm.forward(&embedded);
+        Ok((
+            hidden,
+            SequenceEncoderCache {
+                tokens: tokens.to_vec(),
+                lstm_cache,
+            },
+        ))
+    }
+
+    /// Backpropagates a gradient on the encoder output, accumulating
+    /// parameter gradients in the LSTM and the embedding table.
+    pub fn backward(&mut self, cache: &SequenceEncoderCache, grad_hidden: &[f32]) {
+        let input_grads = self.lstm.backward(&cache.lstm_cache, grad_hidden);
+        self.embedding.backward(&cache.tokens, &input_grads);
+    }
+}
+
+impl Parameterized for SequenceEncoder {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = self.embedding.params_mut();
+        params.extend(self.lstm.params_mut());
+        params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn encoder() -> SequenceEncoder {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        SequenceEncoder::new(10, 4, 6, &mut rng)
+    }
+
+    #[test]
+    fn forward_produces_hidden_vector() {
+        let enc = encoder();
+        assert_eq!(enc.hidden_dim(), 6);
+        assert_eq!(enc.vocab_size(), 10);
+        let (h, cache) = enc.forward(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(h.len(), 6);
+        assert_eq!(cache.tokens, vec![1, 2, 3, 4]);
+        assert!(enc.forward(&[11]).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_encodes_to_zero() {
+        let enc = encoder();
+        let (h, _) = enc.forward(&[]).unwrap();
+        assert_eq!(h, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn different_sequences_give_different_encodings() {
+        let enc = encoder();
+        let (a, _) = enc.forward(&[1, 2, 3]).unwrap();
+        let (b, _) = enc.forward(&[3, 2, 1]).unwrap();
+        let (c, _) = enc.forward(&[1, 2, 3]).unwrap();
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn backward_accumulates_gradients_in_all_parameters() {
+        let mut enc = encoder();
+        let (h, cache) = enc.forward(&[1, 2, 3]).unwrap();
+        enc.zero_grad();
+        enc.backward(&cache, &vec![1.0; h.len()]);
+        let grad_norm = enc.grad_norm();
+        assert!(grad_norm > 0.0, "some gradient must flow");
+        // The embedding rows of unused tokens must stay zero.
+        let embedding_grad = &enc.params_mut()[0].grad;
+        assert!(embedding_grad.row(1).iter().any(|&g| g != 0.0));
+        assert!(embedding_grad.row(7).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn parameter_count_matches_components() {
+        let mut enc = encoder();
+        // embedding 10*4 + lstm (4*6)*4 rows x (4 in) + (24 x 6) + bias 24
+        let expected = 10 * 4 + 24 * 4 + 24 * 6 + 24;
+        assert_eq!(enc.parameter_count(), expected);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let enc = encoder();
+        let json = serde_json::to_string(&enc).unwrap();
+        let back: SequenceEncoder = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, enc);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error types for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations and model (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two operands had incompatible shapes.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// A token id was outside the embedding vocabulary.
+    VocabOutOfRange {
+        /// The offending token id.
+        token: usize,
+        /// The vocabulary size.
+        vocab: usize,
+    },
+    /// A model file could not be parsed.
+    Deserialize(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NnError::VocabOutOfRange { token, vocab } => {
+                write!(f, "token id {token} outside vocabulary of size {vocab}")
+            }
+            NnError::Deserialize(msg) => write!(f, "could not deserialize model: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_shapes() {
+        let e = NnError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync>() {}
+        assert_bounds::<NnError>();
+    }
+}

@@ -1,0 +1,86 @@
+//! # netsyn-nn
+//!
+//! A minimal, dependency-free neural-network substrate used to *learn* the
+//! fitness functions of the NetSyn reproduction ("Learning Fitness Functions
+//! for Machine Programming", MLSys 2021).
+//!
+//! The paper trains its fitness networks with TensorFlow; no deep-learning
+//! framework is available in this reproduction's dependency budget, so this
+//! crate implements the required pieces from scratch:
+//!
+//! * [`Matrix`] — a dense row-major `f32` matrix with the handful of BLAS-like
+//!   operations the layers need;
+//! * [`Linear`], [`Embedding`], [`Lstm`], [`Mlp`], [`SequenceEncoder`] —
+//!   layers with hand-derived backward passes (verified by numerical gradient
+//!   checks in the test-suite);
+//! * [`loss`] — softmax cross-entropy, binary cross-entropy and MSE;
+//! * [`Sgd`] / [`Adam`] — optimizers over [`Param`] collections;
+//! * [`ConfusionMatrix`] and accuracy metrics for Figure 7 of the paper.
+//!
+//! Everything is deterministic given an explicit RNG and serializable with
+//! serde, so trained fitness models can be checkpointed to JSON and reloaded.
+//!
+//! ## Example
+//!
+//! ```
+//! use netsyn_nn::{Activation, Adam, Mlp, Parameterized};
+//! use netsyn_nn::loss::softmax_cross_entropy;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let mut model = Mlp::new(&[4, 16, 3], Activation::Relu, &mut rng);
+//! let mut optimizer = Adam::new(1e-2);
+//!
+//! // One training step on a single (input, class) pair.
+//! let (logits, cache) = model.forward(&[0.1, -0.2, 0.3, 0.4]);
+//! let (loss, grad) = softmax_cross_entropy(&logits, 2);
+//! model.backward(&cache, &grad);
+//! optimizer.step(&mut model.params_mut());
+//! model.zero_grad();
+//! assert!(loss.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod activation;
+mod embedding;
+mod encoder;
+mod error;
+mod linear;
+pub mod loss;
+mod lstm;
+pub mod metrics;
+mod mlp;
+mod optim;
+mod param;
+mod tensor;
+
+pub use activation::Activation;
+pub use embedding::Embedding;
+pub use encoder::{SequenceEncoder, SequenceEncoderCache};
+pub use error::NnError;
+pub use linear::Linear;
+pub use lstm::{Lstm, LstmCache};
+pub use metrics::ConfusionMatrix;
+pub use mlp::{Mlp, MlpCache};
+pub use optim::{Adam, Sgd};
+pub use param::{Param, Parameterized};
+pub use tensor::{vecops, Matrix};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Matrix>();
+        assert_send_sync::<Linear>();
+        assert_send_sync::<Lstm>();
+        assert_send_sync::<Mlp>();
+        assert_send_sync::<SequenceEncoder>();
+        assert_send_sync::<Adam>();
+        assert_send_sync::<ConfusionMatrix>();
+    }
+}

@@ -1,0 +1,237 @@
+//! Fully connected (dense) layer.
+
+use crate::param::{Param, Parameterized};
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer computing `y = W x + b`.
+///
+/// The weight has shape `(out_dim, in_dim)`; inputs and outputs are plain
+/// vectors (the training loops in this reproduction operate sample-by-sample
+/// and accumulate gradients across a mini-batch before stepping).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialized weights and zero bias.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Param::new(Matrix::xavier(out_dim, in_dim, rng)),
+            bias: Param::new(Matrix::zeros(1, out_dim)),
+        }
+    }
+
+    /// Creates a layer from explicit weight and bias matrices (mainly for
+    /// tests and deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not a `1 x out_dim` row vector matching `weight`.
+    #[must_use]
+    pub fn from_parts(weight: Matrix, bias: Matrix) -> Self {
+        assert_eq!(bias.rows(), 1, "bias must be a row vector");
+        assert_eq!(bias.cols(), weight.rows(), "bias length must match out_dim");
+        Linear {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.weight.value.cols()
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.weight.value.rows()
+    }
+
+    /// Forward pass: `W x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()`.
+    #[must_use]
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim(), "linear forward dimension mismatch");
+        let mut y = self.weight.value.matvec(x);
+        for (yi, &bi) in y.iter_mut().zip(self.bias.value.row(0).iter()) {
+            *yi += bi;
+        }
+        y
+    }
+
+    /// Backward pass. Accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// `x` must be the same input that produced the forward output whose
+    /// upstream gradient is `grad_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim(), "linear backward input mismatch");
+        assert_eq!(
+            grad_out.len(),
+            self.out_dim(),
+            "linear backward gradient mismatch"
+        );
+        self.weight.grad.add_outer(grad_out, x, 1.0);
+        for (g, &go) in self
+            .bias
+            .grad
+            .row_mut(0)
+            .iter_mut()
+            .zip(grad_out.iter())
+        {
+            *g += go;
+        }
+        self.weight.value.matvec_transposed(grad_out)
+    }
+
+    /// Read-only access to the weight matrix.
+    #[must_use]
+    pub fn weight(&self) -> &Matrix {
+        &self.weight.value
+    }
+
+    /// Read-only access to the bias row vector.
+    #[must_use]
+    pub fn bias(&self) -> &Matrix {
+        &self.bias.value
+    }
+}
+
+impl Parameterized for Linear {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn simple_layer() -> Linear {
+        Linear::from_parts(
+            Matrix::from_vec(2, 3, vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5]),
+            Matrix::from_vec(1, 2, vec![0.5, -0.5]),
+        )
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let layer = simple_layer();
+        let y = layer.forward(&[1.0, 2.0, 3.0]);
+        // row0: 1*1 + 0*2 + (-1)*3 + 0.5 = -1.5
+        // row1: 2*1 + 1*2 + 0.5*3 - 0.5 = 5.0
+        assert_eq!(y, vec![-1.5, 5.0]);
+        assert_eq!(layer.in_dim(), 3);
+        assert_eq!(layer.out_dim(), 2);
+    }
+
+    #[test]
+    fn backward_accumulates_expected_gradients() {
+        let mut layer = simple_layer();
+        let x = [1.0, 2.0, 3.0];
+        let grad_out = [1.0, -1.0];
+        let grad_in = layer.backward(&x, &grad_out);
+        // dW = grad_out ⊗ x
+        assert_eq!(
+            layer.weight.grad.data(),
+            &[1.0, 2.0, 3.0, -1.0, -2.0, -3.0]
+        );
+        assert_eq!(layer.bias.grad.data(), &[1.0, -1.0]);
+        // dx = W^T grad_out
+        assert_eq!(grad_in, vec![1.0 - 2.0, 0.0 - 1.0, -1.0 - 0.5]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let mut layer = simple_layer();
+        let x = [1.0, 0.0, 0.0];
+        layer.backward(&x, &[1.0, 0.0]);
+        layer.backward(&x, &[1.0, 0.0]);
+        assert_eq!(layer.weight.grad.get(0, 0), 2.0);
+        layer.zero_grad();
+        assert_eq!(layer.weight.grad.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x: Vec<f32> = (0..4).map(|i| 0.3 * i as f32 - 0.5).collect();
+        // Scalar loss: sum of outputs squared / 2 so that dL/dy = y.
+        let y = layer.forward(&x);
+        let grad_out: Vec<f32> = y.clone();
+        layer.zero_grad();
+        let grad_in = layer.backward(&x, &grad_out);
+
+        let loss = |layer: &Linear, x: &[f32]| -> f32 {
+            layer.forward(x).iter().map(|&v| v * v * 0.5).sum()
+        };
+        let eps = 1e-2_f32;
+        // Check dL/dx numerically.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+            assert!(
+                (num - grad_in[i]).abs() < 1e-2,
+                "dx[{i}]: numerical {num} vs analytic {}",
+                grad_in[i]
+            );
+        }
+        // Check a few weight gradients numerically.
+        for (r, c) in [(0, 0), (1, 2), (2, 3)] {
+            let orig = layer.weight.value.get(r, c);
+            layer.weight.value.set(r, c, orig + eps);
+            let lp = loss(&layer, &x);
+            layer.weight.value.set(r, c, orig - eps);
+            let lm = loss(&layer, &x);
+            layer.weight.value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = layer.weight.grad.get(r, c);
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "dW[{r},{c}]: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_count_is_correct() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut layer = Linear::new(10, 5, &mut rng);
+        assert_eq!(layer.parameter_count(), 10 * 5 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn forward_rejects_wrong_input_size() {
+        let layer = simple_layer();
+        let _ = layer.forward(&[1.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let layer = simple_layer();
+        let json = serde_json::to_string(&layer).unwrap();
+        let back: Linear = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, layer);
+    }
+}

@@ -1,0 +1,348 @@
+//! A single-layer LSTM with full backpropagation through time.
+//!
+//! The paper's fitness-function architecture (Figure 2) encodes each variable
+//! -length component (inputs, outputs, execution-trace values, per-example
+//! hidden vectors) with LSTM encoders whose final hidden state summarizes the
+//! sequence. This module provides exactly that: `forward` consumes a sequence
+//! of input vectors and returns the final hidden state plus a cache, and
+//! `backward` propagates a gradient on the final hidden state through time,
+//! accumulating parameter gradients and returning per-step input gradients.
+
+use crate::activation::{sigmoid, tanh};
+use crate::param::{Param, Parameterized};
+use crate::tensor::{vecops, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Cached activations of one LSTM time step (needed for BPTT).
+#[derive(Debug, Clone, PartialEq)]
+struct StepCache {
+    x: Vec<f32>,
+    h_prev: Vec<f32>,
+    c_prev: Vec<f32>,
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    c: Vec<f32>,
+    tanh_c: Vec<f32>,
+}
+
+/// Cache of a full forward pass over a sequence.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+}
+
+impl LstmCache {
+    /// Number of time steps in the cached sequence.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the cached sequence was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Hidden state after each time step (h_1 .. h_T).
+    #[must_use]
+    pub fn hidden_states(&self) -> Vec<Vec<f32>> {
+        self.steps
+            .iter()
+            .map(|s| {
+                s.o.iter()
+                    .zip(s.tanh_c.iter())
+                    .map(|(&o, &tc)| o * tc)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// A single-layer LSTM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    w_ih: Param,
+    w_hh: Param,
+    bias: Param,
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights. The forget-gate bias
+    /// is initialized to 1.0, a standard trick that eases learning of
+    /// long-range dependencies.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(input_dim: usize, hidden_dim: usize, rng: &mut R) -> Self {
+        let mut bias = Matrix::zeros(1, 4 * hidden_dim);
+        for j in hidden_dim..2 * hidden_dim {
+            bias.set(0, j, 1.0);
+        }
+        Lstm {
+            w_ih: Param::new(Matrix::xavier(4 * hidden_dim, input_dim, rng)),
+            w_hh: Param::new(Matrix::xavier(4 * hidden_dim, hidden_dim, rng)),
+            bias: Param::new(bias),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-state dimension.
+    #[must_use]
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    fn step(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> StepCache {
+        let h = self.hidden_dim;
+        let mut z = self.w_ih.value.matvec(x);
+        vecops::add_assign(&mut z, &self.w_hh.value.matvec(h_prev));
+        vecops::add_assign(&mut z, self.bias.value.row(0));
+        let i: Vec<f32> = z[0..h].iter().map(|&v| sigmoid(v)).collect();
+        let f: Vec<f32> = z[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
+        let g: Vec<f32> = z[2 * h..3 * h].iter().map(|&v| tanh(v)).collect();
+        let o: Vec<f32> = z[3 * h..4 * h].iter().map(|&v| sigmoid(v)).collect();
+        let c: Vec<f32> = (0..h)
+            .map(|j| f[j] * c_prev[j] + i[j] * g[j])
+            .collect();
+        let tanh_c: Vec<f32> = c.iter().map(|&v| tanh(v)).collect();
+        StepCache {
+            x: x.to_vec(),
+            h_prev: h_prev.to_vec(),
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c,
+            tanh_c,
+        }
+    }
+
+    /// Runs the LSTM over `inputs`, returning the final hidden state and the
+    /// cache required for [`Lstm::backward`]. An empty sequence yields the
+    /// all-zero hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector does not have dimension `input_dim`.
+    #[must_use]
+    pub fn forward(&self, inputs: &[Vec<f32>]) -> (Vec<f32>, LstmCache) {
+        let mut h = vec![0.0; self.hidden_dim];
+        let mut c = vec![0.0; self.hidden_dim];
+        let mut cache = LstmCache::default();
+        for x in inputs {
+            assert_eq!(x.len(), self.input_dim, "lstm input dimension mismatch");
+            let step = self.step(x, &h, &c);
+            h = step
+                .o
+                .iter()
+                .zip(step.tanh_c.iter())
+                .map(|(&o, &tc)| o * tc)
+                .collect();
+            c = step.c.clone();
+            cache.steps.push(step);
+        }
+        (h, cache)
+    }
+
+    /// Backpropagates a gradient on the final hidden state through the cached
+    /// sequence. Parameter gradients are accumulated in place and the
+    /// gradient with respect to each input vector is returned (in sequence
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_final_h` does not have dimension `hidden_dim`.
+    pub fn backward(&mut self, cache: &LstmCache, grad_final_h: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(
+            grad_final_h.len(),
+            self.hidden_dim,
+            "lstm gradient dimension mismatch"
+        );
+        let h_dim = self.hidden_dim;
+        let mut dh = grad_final_h.to_vec();
+        let mut dc = vec![0.0; h_dim];
+        let mut input_grads = vec![Vec::new(); cache.steps.len()];
+        for (t, step) in cache.steps.iter().enumerate().rev() {
+            // h = o * tanh(c)
+            let do_: Vec<f32> = (0..h_dim).map(|j| dh[j] * step.tanh_c[j]).collect();
+            for j in 0..h_dim {
+                dc[j] += dh[j] * step.o[j] * (1.0 - step.tanh_c[j] * step.tanh_c[j]);
+            }
+            // c = f * c_prev + i * g
+            let di: Vec<f32> = (0..h_dim).map(|j| dc[j] * step.g[j]).collect();
+            let dg: Vec<f32> = (0..h_dim).map(|j| dc[j] * step.i[j]).collect();
+            let df: Vec<f32> = (0..h_dim).map(|j| dc[j] * step.c_prev[j]).collect();
+            let dc_prev: Vec<f32> = (0..h_dim).map(|j| dc[j] * step.f[j]).collect();
+            // Pre-activation gradients.
+            let mut dz = vec![0.0; 4 * h_dim];
+            for j in 0..h_dim {
+                dz[j] = di[j] * step.i[j] * (1.0 - step.i[j]);
+                dz[h_dim + j] = df[j] * step.f[j] * (1.0 - step.f[j]);
+                dz[2 * h_dim + j] = dg[j] * (1.0 - step.g[j] * step.g[j]);
+                dz[3 * h_dim + j] = do_[j] * step.o[j] * (1.0 - step.o[j]);
+            }
+            // Parameter gradients.
+            self.w_ih.grad.add_outer(&dz, &step.x, 1.0);
+            self.w_hh.grad.add_outer(&dz, &step.h_prev, 1.0);
+            for (b, &d) in self.bias.grad.row_mut(0).iter_mut().zip(dz.iter()) {
+                *b += d;
+            }
+            // Gradients flowing to the input and the previous step.
+            input_grads[t] = self.w_ih.value.matvec_transposed(&dz);
+            dh = self.w_hh.value.matvec_transposed(&dz);
+            dc = dc_prev;
+        }
+        input_grads
+    }
+}
+
+impl Parameterized for Lstm {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_ih, &mut self.w_hh, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    fn sample_sequence(len: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..len)
+            .map(|t| (0..dim).map(|d| ((t * dim + d) as f32) * 0.1 - 0.3).collect())
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes_and_empty_sequence() {
+        let lstm = Lstm::new(3, 4, &mut rng());
+        assert_eq!(lstm.input_dim(), 3);
+        assert_eq!(lstm.hidden_dim(), 4);
+        let (h, cache) = lstm.forward(&[]);
+        assert_eq!(h, vec![0.0; 4]);
+        assert!(cache.is_empty());
+        let (h, cache) = lstm.forward(&sample_sequence(5, 3));
+        assert_eq!(h.len(), 4);
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.hidden_states().len(), 5);
+        assert_eq!(cache.hidden_states()[4], h);
+    }
+
+    #[test]
+    fn hidden_state_is_bounded_by_one() {
+        // h = o * tanh(c) with o in (0,1) and |tanh| < 1.
+        let lstm = Lstm::new(2, 6, &mut rng());
+        let big_inputs: Vec<Vec<f32>> = (0..20).map(|_| vec![5.0, -5.0]).collect();
+        let (h, _) = lstm.forward(&big_inputs);
+        assert!(h.iter().all(|&v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_order_sensitive() {
+        let lstm = Lstm::new(3, 4, &mut rng());
+        let seq = sample_sequence(4, 3);
+        let (h1, _) = lstm.forward(&seq);
+        let (h2, _) = lstm.forward(&seq);
+        assert_eq!(h1, h2);
+        let mut reversed = seq.clone();
+        reversed.reverse();
+        let (h3, _) = lstm.forward(&reversed);
+        assert_ne!(h1, h3, "an LSTM should be sensitive to sequence order");
+    }
+
+    #[test]
+    fn backward_returns_one_gradient_per_input() {
+        let mut lstm = Lstm::new(3, 4, &mut rng());
+        let seq = sample_sequence(5, 3);
+        let (h, cache) = lstm.forward(&seq);
+        let grads = lstm.backward(&cache, &vec![1.0; h.len()]);
+        assert_eq!(grads.len(), 5);
+        assert!(grads.iter().all(|g| g.len() == 3));
+        // Backward on an empty cache is a no-op.
+        let (_, empty_cache) = lstm.forward(&[]);
+        let grads = lstm.backward(&empty_cache, &[0.0; 4]);
+        assert!(grads.is_empty());
+    }
+
+    /// Full numerical gradient check of the LSTM through time: parameters,
+    /// and inputs, on a small configuration.
+    #[test]
+    fn numerical_gradient_check() {
+        let mut lstm = Lstm::new(2, 3, &mut rng());
+        let seq = sample_sequence(4, 2);
+        // Loss = 0.5 * ||h_T||^2 so dL/dh_T = h_T.
+        let loss = |lstm: &Lstm, seq: &[Vec<f32>]| -> f32 {
+            let (h, _) = lstm.forward(seq);
+            h.iter().map(|&v| 0.5 * v * v).sum()
+        };
+        let (h, cache) = lstm.forward(&seq);
+        lstm.zero_grad();
+        let input_grads = lstm.backward(&cache, &h);
+        let eps = 1e-2_f32;
+
+        // Input gradients.
+        for t in 0..seq.len() {
+            for d in 0..2 {
+                let mut sp = seq.clone();
+                sp[t][d] += eps;
+                let mut sm = seq.clone();
+                sm[t][d] -= eps;
+                let num = (loss(&lstm, &sp) - loss(&lstm, &sm)) / (2.0 * eps);
+                let ana = input_grads[t][d];
+                assert!(
+                    (num - ana).abs() < 5e-3,
+                    "dx[{t}][{d}]: numerical {num} vs analytic {ana}"
+                );
+            }
+        }
+
+        // A sample of parameter gradients from each matrix.
+        let param_checks: Vec<(usize, usize, usize)> = vec![
+            (0, 0, 0),
+            (0, 5, 1),
+            (1, 2, 2),
+            (1, 11, 0),
+            (2, 0, 3),
+            (2, 0, 9),
+        ];
+        for (which, r, c) in param_checks {
+            let orig = lstm.params_mut()[which].value.get(r, c);
+            lstm.params_mut()[which].value.set(r, c, orig + eps);
+            let lp = loss(&lstm, &seq);
+            lstm.params_mut()[which].value.set(r, c, orig - eps);
+            let lm = loss(&lstm, &seq);
+            lstm.params_mut()[which].value.set(r, c, orig);
+            let ana = lstm.params_mut()[which].grad.get(r, c);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - ana).abs() < 5e-3,
+                "param {which} [{r},{c}]: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let lstm = Lstm::new(3, 2, &mut rng());
+        let json = serde_json::to_string(&lstm).unwrap();
+        let back: Lstm = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, lstm);
+    }
+}

@@ -1,0 +1,214 @@
+//! Evaluation metrics: classification accuracy and confusion matrices.
+//!
+//! The confusion matrices of the CF and LCS fitness networks are Figure 7(a)
+//! and 7(b) of the paper; the FP model's accuracy-over-epochs curve is
+//! Figure 7(c).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A confusion matrix over `n` classes.
+///
+/// Entry `(actual, predicted)` counts validation samples of class `actual`
+/// that the model predicted as `predicted`. [`ConfusionMatrix::row_normalized`]
+/// reproduces the row-stochastic matrix plotted in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty confusion matrix for `classes` classes.
+    #[must_use]
+    pub fn new(classes: usize) -> Self {
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes, "actual class out of range");
+        assert!(predicted < self.classes, "predicted class out of range");
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Raw count for `(actual, predicted)`.
+    #[must_use]
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass / total), or 0.0 when empty.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Row-normalized matrix: entry `(i, j)` is the probability of predicting
+    /// `j` when the actual class is `i`. Rows with no observations are all
+    /// zeros.
+    #[must_use]
+    pub fn row_normalized(&self) -> Vec<Vec<f64>> {
+        (0..self.classes)
+            .map(|i| {
+                let row_total: u64 = (0..self.classes).map(|j| self.count(i, j)).sum();
+                (0..self.classes)
+                    .map(|j| {
+                        if row_total == 0 {
+                            0.0
+                        } else {
+                            self.count(i, j) as f64 / row_total as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Probability mass the row `actual` places on predictions `>= threshold`.
+    /// Used to reproduce statements like "for fitness ≥ 4 the model predicts
+    /// ≥ 4 with probability ≥ 0.7".
+    #[must_use]
+    pub fn mass_at_or_above(&self, actual: usize, threshold: usize) -> f64 {
+        let row = &self.row_normalized()[actual];
+        row.iter().skip(threshold).sum()
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, row-normalized):", self.classes)?;
+        for (i, row) in self.row_normalized().iter().enumerate() {
+            write!(f, "  actual {i}: ")?;
+            for p in row {
+                write!(f, "{p:5.2} ")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "accuracy: {:.3}", self.accuracy())
+    }
+}
+
+/// Fraction of positions where `(prediction >= threshold) == (target >= 0.5)`.
+///
+/// This is the accuracy criterion the paper uses for the FP model: a
+/// function's predicted probability is "correct" when it crosses 0.5 exactly
+/// for the functions present in the target program.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn thresholded_accuracy(predictions: &[f32], targets: &[f32], threshold: f32) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(targets.iter())
+        .filter(|(&p, &t)| (p >= threshold) == (t >= 0.5))
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(1, 2);
+        cm.record(2, 2);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(1, 2), 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.total(), 0);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert!(cm
+            .row_normalized()
+            .iter()
+            .all(|row| row.iter().all(|&p| p == 0.0)));
+    }
+
+    #[test]
+    fn rows_normalize_to_one() {
+        let mut cm = ConfusionMatrix::new(3);
+        for (a, p) in [(0, 0), (0, 1), (0, 2), (1, 1), (2, 0), (2, 2)] {
+            cm.record(a, p);
+        }
+        for row in cm.row_normalized() {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        assert!((cm.mass_at_or_above(0, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.mass_at_or_above(2, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_validates_class() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn display_contains_accuracy() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(1, 1);
+        let s = cm.to_string();
+        assert!(s.contains("accuracy: 1.000"));
+    }
+
+    #[test]
+    fn thresholded_accuracy_counts_matches() {
+        let preds = [0.9, 0.2, 0.6, 0.4];
+        let targets = [1.0, 0.0, 0.0, 1.0];
+        // correct: 0.9>=0.5 & t=1 ✓; 0.2<0.5 & t=0 ✓; 0.6>=0.5 but t=0 ✗; 0.4<0.5 but t=1 ✗
+        assert!((thresholded_accuracy(&preds, &targets, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(thresholded_accuracy(&[], &[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(1, 0);
+        let json = serde_json::to_string(&cm).unwrap();
+        let back: ConfusionMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cm);
+    }
+}

@@ -1,0 +1,249 @@
+//! A multi-layer perceptron head: stacked dense layers with a configurable
+//! hidden activation and raw (linear) output logits.
+
+use crate::activation::Activation;
+use crate::linear::Linear;
+use crate::param::{Param, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network `Linear -> act -> Linear -> act -> ... -> Linear`.
+///
+/// The final layer has no activation so the output can be fed into
+/// softmax-cross-entropy or sigmoid-BCE losses directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+/// Cached intermediate values of an [`Mlp::forward`] pass, needed by
+/// [`Mlp::backward`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MlpCache {
+    /// Input to each layer (length = number of layers).
+    layer_inputs: Vec<Vec<f32>>,
+    /// Pre-activation output of each layer (length = number of layers).
+    pre_activations: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer sizes, e.g. `[64, 32, 6]` builds
+    /// `Linear(64→32) -> act -> Linear(32→6)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], activation: Activation, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map_or(0, Linear::in_dim)
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map_or(0, Linear::out_dim)
+    }
+
+    /// Forward pass returning the output logits and the cache for backward.
+    #[must_use]
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, MlpCache) {
+        let mut cache = MlpCache::default();
+        let mut current = x.to_vec();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            cache.layer_inputs.push(current.clone());
+            let pre = layer.forward(&current);
+            cache.pre_activations.push(pre.clone());
+            current = if i == last {
+                pre
+            } else {
+                self.activation.apply_slice(&pre)
+            };
+        }
+        (current, cache)
+    }
+
+    /// Convenience forward pass without keeping the cache.
+    #[must_use]
+    pub fn predict(&self, x: &[f32]) -> Vec<f32> {
+        self.forward(x).0
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not correspond to this network.
+    pub fn backward(&mut self, cache: &MlpCache, grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            cache.layer_inputs.len(),
+            self.layers.len(),
+            "cache does not match network depth"
+        );
+        let last = self.layers.len() - 1;
+        let mut grad = grad_out.to_vec();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if i != last {
+                // Undo the hidden activation.
+                let pre = &cache.pre_activations[i];
+                grad = grad
+                    .iter()
+                    .zip(pre.iter())
+                    .map(|(&g, &z)| g * self.activation.derivative(z))
+                    .collect();
+            }
+            grad = layer.backward(&cache.layer_inputs[i], &grad);
+        }
+        grad
+    }
+
+    /// Number of dense layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl Parameterized for Mlp {
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(Parameterized::params_mut)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn shapes_and_depth() {
+        let mlp = Mlp::new(&[6, 8, 3], Activation::Tanh, &mut rng());
+        assert_eq!(mlp.in_dim(), 6);
+        assert_eq!(mlp.out_dim(), 3);
+        assert_eq!(mlp.depth(), 2);
+        let (y, cache) = mlp.forward(&[0.1; 6]);
+        assert_eq!(y.len(), 3);
+        assert_eq!(cache.layer_inputs.len(), 2);
+        assert_eq!(mlp.predict(&[0.1; 6]), y);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_too_few_sizes() {
+        let _ = Mlp::new(&[4], Activation::Relu, &mut rng());
+    }
+
+    #[test]
+    fn numerical_gradient_check() {
+        let mut mlp = Mlp::new(&[4, 5, 3], Activation::Tanh, &mut rng());
+        let x: Vec<f32> = vec![0.2, -0.4, 0.8, -0.1];
+        let target = 1usize;
+        let loss_of = |mlp: &Mlp, x: &[f32]| -> f32 {
+            let (logits, _) = mlp.forward(x);
+            softmax_cross_entropy(&logits, target).0
+        };
+        let (logits, cache) = mlp.forward(&x);
+        let (_, grad_logits) = softmax_cross_entropy(&logits, target);
+        mlp.zero_grad();
+        let grad_in = mlp.backward(&cache, &grad_logits);
+
+        let eps = 1e-2_f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let num = (loss_of(&mlp, &xp) - loss_of(&mlp, &xm)) / (2.0 * eps);
+            assert!(
+                (num - grad_in[i]).abs() < 5e-3,
+                "dx[{i}]: numerical {num} vs analytic {}",
+                grad_in[i]
+            );
+        }
+        // Check a handful of parameter gradients.
+        let checks = [(0usize, 0usize, 0usize), (1, 0, 1), (2, 2, 4), (3, 0, 2)];
+        for (which, r, c) in checks {
+            let orig = mlp.params_mut()[which].value.get(r, c);
+            mlp.params_mut()[which].value.set(r, c, orig + eps);
+            let lp = loss_of(&mlp, &x);
+            mlp.params_mut()[which].value.set(r, c, orig - eps);
+            let lm = loss_of(&mlp, &x);
+            mlp.params_mut()[which].value.set(r, c, orig);
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = mlp.params_mut()[which].grad.get(r, c);
+            assert!(
+                (num - ana).abs() < 5e-3,
+                "param {which} [{r},{c}]: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    /// End-to-end sanity: a small MLP can learn a separable 3-class problem.
+    #[test]
+    fn learns_a_simple_classification_task() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[2, 16, 3], Activation::Relu, &mut r);
+        let mut opt = Adam::new(0.01);
+        // Three clusters at (2,0), (-2,0), (0,2).
+        let centers = [(2.0_f32, 0.0_f32), (-2.0, 0.0), (0.0, 2.0)];
+        let data: Vec<([f32; 2], usize)> = (0..150)
+            .map(|i| {
+                let class = i % 3;
+                let (cx, cy) = centers[class];
+                use rand::Rng;
+                let x = cx + r.gen_range(-0.5..0.5);
+                let y = cy + r.gen_range(-0.5..0.5);
+                ([x, y], class)
+            })
+            .collect();
+        for _epoch in 0..20 {
+            for (x, t) in &data {
+                let (logits, cache) = mlp.forward(x);
+                let (_, grad) = softmax_cross_entropy(&logits, *t);
+                mlp.backward(&cache, &grad);
+                opt.step(&mut mlp.params_mut());
+                mlp.zero_grad();
+            }
+        }
+        let correct = data
+            .iter()
+            .filter(|(x, t)| crate::loss::argmax(&mlp.predict(x)) == *t)
+            .count();
+        assert!(
+            correct as f64 / data.len() as f64 > 0.9,
+            "only {correct}/{} correct",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mlp = Mlp::new(&[3, 4, 2], Activation::Sigmoid, &mut rng());
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, mlp);
+    }
+}

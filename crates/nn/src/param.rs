@@ -1,0 +1,149 @@
+//! Trainable parameters: a value matrix paired with its gradient accumulator.
+
+use crate::tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: the weight values and their accumulated gradient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+}
+
+impl Param {
+    /// Wraps a value matrix, creating a zeroed gradient of the same shape.
+    #[must_use]
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param { value, grad }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Number of scalar values in the parameter.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.value.rows() * self.value.cols()
+    }
+
+    /// Whether the parameter is empty (zero-sized).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Anything that owns trainable parameters.
+///
+/// Implementations return their parameters in a *stable order* across calls;
+/// optimizers rely on that ordering to associate per-parameter state.
+pub trait Parameterized {
+    /// Mutable references to all parameters, in a stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Zeroes every parameter's gradient.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    fn parameter_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// The global L2 norm of all gradients (used for clipping diagnostics).
+    fn grad_norm(&mut self) -> f32 {
+        let sum: f32 = self
+            .params_mut()
+            .iter()
+            .map(|p| {
+                let n = p.grad.norm();
+                n * n
+            })
+            .sum();
+        sum.sqrt()
+    }
+
+    /// Scales every gradient so that the global gradient norm does not exceed
+    /// `max_norm`. Returns the scaling factor applied (1.0 when no clipping
+    /// was needed).
+    fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm <= max_norm || norm == 0.0 {
+            return 1.0;
+        }
+        let scale = max_norm / norm;
+        for p in self.params_mut() {
+            let scaled = p.grad.map(|x| x * scale);
+            p.grad = scaled;
+        }
+        scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Toy {
+        a: Param,
+        b: Param,
+    }
+
+    impl Parameterized for Toy {
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.a, &mut self.b]
+        }
+    }
+
+    fn toy() -> Toy {
+        Toy {
+            a: Param::new(Matrix::from_vec(1, 2, vec![1.0, 2.0])),
+            b: Param::new(Matrix::from_vec(2, 1, vec![3.0, 4.0])),
+        }
+    }
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new(Matrix::from_vec(2, 2, vec![1.0; 4]));
+        assert_eq!(p.grad.data(), &[0.0; 4]);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_resets_everything() {
+        let mut t = toy();
+        t.a.grad.set(0, 0, 5.0);
+        t.b.grad.set(1, 0, -3.0);
+        t.zero_grad();
+        assert_eq!(t.a.grad.data(), &[0.0, 0.0]);
+        assert_eq!(t.b.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn parameter_count_sums_all_params() {
+        let mut t = toy();
+        assert_eq!(t.parameter_count(), 4);
+    }
+
+    #[test]
+    fn grad_norm_and_clipping() {
+        let mut t = toy();
+        t.a.grad = Matrix::from_vec(1, 2, vec![3.0, 0.0]);
+        t.b.grad = Matrix::from_vec(2, 1, vec![0.0, 4.0]);
+        assert!((t.grad_norm() - 5.0).abs() < 1e-6);
+        let scale = t.clip_grad_norm(1.0);
+        assert!((scale - 0.2).abs() < 1e-6);
+        assert!((t.grad_norm() - 1.0).abs() < 1e-5);
+        // No clipping needed afterwards.
+        assert_eq!(t.clip_grad_norm(10.0), 1.0);
+    }
+}

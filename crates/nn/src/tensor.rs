@@ -1,0 +1,467 @@
+//! A minimal dense 2-D matrix type with the operations needed by the
+//! fitness-function models (dense layers, LSTM cells, losses).
+//!
+//! The matrix is row-major `f32`. Panicking variants are used internally for
+//! programming errors (shape mismatches are bugs, not runtime conditions),
+//! matching the convention of ndarray-style libraries.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major matrix of `f32` values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix filled with zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match shape {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a 1-row matrix from a vector.
+    #[must_use]
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Matrix {
+            rows: 1,
+            cols,
+            data,
+        }
+    }
+
+    /// Creates a matrix with entries drawn uniformly from `[-scale, scale]`.
+    #[must_use]
+    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, scale: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot uniform initialization for a layer with the given fan-in
+    /// and fan-out (`rows` = fan-out, `cols` = fan-in).
+    #[must_use]
+    pub fn xavier<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let scale = (6.0 / (rows + cols) as f32).sqrt();
+        Matrix::uniform(rows, cols, scale, rng)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow of the underlying row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    #[must_use]
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in row_out.iter_mut().zip(row_b.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != v.len()`.
+    #[must_use]
+    pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, v.len(), "matvec shape mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v.iter())
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Transposed matrix-vector product `self^T * v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != v.len()`.
+    #[must_use]
+    pub fn matvec_transposed(&self, v: &[f32]) -> Vec<f32> {
+        assert_eq!(self.rows, v.len(), "matvec_transposed shape mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i).iter()) {
+                *o += a * vi;
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[must_use]
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sets every element to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    #[must_use]
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Adds the outer product `alpha * u * v^T` to this matrix in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != rows` or `v.len() != cols`.
+    pub fn add_outer(&mut self, u: &[f32], v: &[f32], alpha: f32) {
+        assert_eq!(u.len(), self.rows, "add_outer row mismatch");
+        assert_eq!(v.len(), self.cols, "add_outer col mismatch");
+        for (i, &ui) in u.iter().enumerate() {
+            if ui == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (r, &vj) in row.iter_mut().zip(v.iter()) {
+                *r += alpha * ui * vj;
+            }
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self.get(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Vector helpers shared by the layer implementations.
+pub mod vecops {
+    /// Element-wise sum of two slices.
+    #[must_use]
+    pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).map(|(&x, &y)| x + y).collect()
+    }
+
+    /// Element-wise product of two slices.
+    #[must_use]
+    pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect()
+    }
+
+    /// In-place `a += b`.
+    pub fn add_assign(a: &mut [f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), b.len());
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x += y;
+        }
+    }
+
+    /// Concatenates slices into a single vector.
+    #[must_use]
+    pub fn concat(parts: &[&[f32]]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Dot product.
+    #[must_use]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        let v = Matrix::row_vector(vec![1.0, 2.0]);
+        assert_eq!(v.shape(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_panics_on_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matvec_and_transposed_matvec() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.matvec(&[1.0, 0.0, -1.0]), vec![-2.0, -2.0]);
+        assert_eq!(a.matvec_transposed(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn add_and_add_scaled() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        assert_eq!(a.add(&b).data(), &[11.0, 22.0, 33.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 0.5);
+        assert_eq!(c.data(), &[6.0, 12.0, 18.0]);
+        c.fill_zero();
+        assert_eq!(c.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn map_and_norm() {
+        let a = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.map(|x| x * 2.0).data(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn add_outer_accumulates_rank_one_update() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_outer(&[1.0, 2.0], &[1.0, 0.0, -1.0], 1.0);
+        assert_eq!(m.data(), &[1.0, 0.0, -1.0, 2.0, 0.0, -2.0]);
+        m.add_outer(&[1.0, 2.0], &[1.0, 0.0, -1.0], -1.0);
+        assert_eq!(m.data(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn random_initializers_are_bounded_and_deterministic() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::xavier(8, 4, &mut r1);
+        let b = Matrix::xavier(8, 4, &mut r2);
+        assert_eq!(a, b);
+        let scale = (6.0_f32 / 12.0).sqrt();
+        assert!(a.data().iter().all(|&x| x.abs() <= scale));
+        let u = Matrix::uniform(3, 3, 0.1, &mut r1);
+        assert!(u.data().iter().all(|&x| x.abs() <= 0.1));
+    }
+
+    #[test]
+    fn vecops_helpers() {
+        use vecops::*;
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 8.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut a = vec![1.0, 1.0];
+        add_assign(&mut a, &[2.0, 3.0]);
+        assert_eq!(a, vec![3.0, 4.0]);
+        assert_eq!(concat(&[&[1.0][..], &[2.0, 3.0][..]]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

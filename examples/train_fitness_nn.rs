@@ -1,0 +1,103 @@
+//! Train the learned fitness functions (NN-FF) on a freshly generated corpus
+//! and inspect their quality: the CF confusion matrix and the FP accuracy
+//! curve of Figure 7, at laptop scale.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example train_fitness_nn
+//! ```
+
+use netsyn_fitness::dataset::{generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig};
+use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
+use netsyn_fitness::{FitnessFunction, LearnedFitness, LearnedProbabilityModel};
+use netsyn_dsl::{Generator, GeneratorConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program_length = 4;
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    // 1. Generate a balanced corpus: for every random target program, one
+    //    candidate per possible CF value so the classifier sees all labels.
+    let mut dataset_config = DatasetConfig::for_length(program_length);
+    dataset_config.num_target_programs = 80;
+    println!(
+        "Generating a CF-balanced corpus from {} target programs ...",
+        dataset_config.num_target_programs
+    );
+    let cf_samples = generate_dataset(&dataset_config, BalanceMetric::CommonFunctions, &mut rng)?;
+    println!("  {} labelled (spec, candidate, trace) samples", cf_samples.len());
+
+    // 2. Train the CF classifier.
+    let mut trainer_config = TrainerConfig::small();
+    trainer_config.epochs = 4;
+    println!("Training the f_CF network for {} epochs ...", trainer_config.epochs);
+    let cf_model = train_fitness_model(
+        FitnessModelKind::CommonFunctions,
+        &cf_samples,
+        program_length,
+        &trainer_config,
+        &mut rng,
+    );
+    for epoch in &cf_model.report.epochs {
+        println!(
+            "  epoch {:>2}: train loss {:.4}, validation accuracy {:.2}",
+            epoch.epoch, epoch.train_loss, epoch.validation_accuracy
+        );
+    }
+    if let Some(confusion) = &cf_model.report.confusion {
+        println!("\n{confusion}\n");
+    }
+
+    // 3. Train the FP model (probability of each DSL function being in the
+    //    target) on specification-only samples.
+    let mut fp_config = dataset_config.clone();
+    fp_config.num_target_programs = 300;
+    let fp_samples = generate_fp_dataset(&fp_config, &mut rng)?;
+    println!("Training the f_FP network on {} specifications ...", fp_samples.len());
+    let fp_model = train_fitness_model(
+        FitnessModelKind::FunctionProbability,
+        &fp_samples,
+        program_length,
+        &trainer_config,
+        &mut rng,
+    );
+    for epoch in &fp_model.report.epochs {
+        println!(
+            "  epoch {:>2}: train loss {:.4}, thresholded accuracy {:.2}",
+            epoch.epoch, epoch.train_loss, epoch.validation_accuracy
+        );
+    }
+
+    // 4. Use the trained models as fitness functions on a fresh task.
+    let generator = Generator::new(GeneratorConfig::for_length(program_length));
+    let task = generator.task(5, &mut rng)?;
+    let cf_fitness = LearnedFitness::new(cf_model);
+    let probability_model = LearnedProbabilityModel::new(fp_model);
+    let map = probability_model.probability_map(&task.spec);
+
+    let close_candidate = task.target.clone();
+    let far_candidate = generator.random_program(&mut rng);
+    println!("\nScoring candidates for a fresh synthesis task:");
+    println!("  target                       : {}", task.target);
+    println!(
+        "  NN-CF score of the target    : {:.3} (max {})",
+        cf_fitness.score(&close_candidate, &task.spec),
+        cf_fitness.max_score()
+    );
+    println!(
+        "  NN-CF score of a random gene : {:.3}",
+        cf_fitness.score(&far_candidate, &task.spec)
+    );
+    println!(
+        "  FP map mass on target functions: {:.3}",
+        map.score(&task.target)
+    );
+    println!(
+        "  FP map mass on a random gene   : {:.3}",
+        map.score(&far_candidate)
+    );
+    Ok(())
+}

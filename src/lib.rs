@@ -1,0 +1,32 @@
+//! # netsyn-suite
+//!
+//! Workspace-level umbrella crate for the NetSyn reproduction ("Learning
+//! Fitness Functions for Machine Programming", MLSys 2021). It exists to host
+//! the runnable examples in `examples/` and the cross-crate integration tests
+//! in `tests/`, and re-exports the public crates for convenience:
+//!
+//! * [`netsyn_dsl`] — the list DSL, interpreter and generators;
+//! * [`netsyn_nn`] — the from-scratch neural-network substrate;
+//! * [`netsyn_fitness`] — oracle, hand-crafted and learned fitness functions;
+//! * [`netsyn_ga`] — the genetic-algorithm engine with neighborhood search;
+//! * [`netsyn_baselines`] — DeepCoder, PCCoder, RobustFill and PushGP;
+//! * [`netsyn_core`] — the NetSyn synthesizer and the evaluation harness.
+//!
+//! See the repository README for a guided tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology.
+
+pub use netsyn_baselines;
+pub use netsyn_core;
+pub use netsyn_dsl;
+pub use netsyn_fitness;
+pub use netsyn_ga;
+pub use netsyn_nn;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_are_usable() {
+        let program: crate::netsyn_dsl::Program = "SORT, REVERSE".parse().unwrap();
+        assert_eq!(program.len(), 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration tests pinning the DSL semantics the rest of the system relies
+//! on, exercised through the public API exactly as a downstream user would.
+
+use netsyn_dsl::dce::{effective_length, eliminate_dead_code, has_dead_code, DEFAULT_INPUT_TYPES};
+use netsyn_dsl::{Function, Generator, GeneratorConfig, IoSpec, Program, ProgramKind, Value};
+use netsyn_fitness::metrics::{common_functions, longest_common_subsequence};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn table_1_example_from_text_round_trip() {
+    // The exact program, input and output of Table 1 of the paper, going
+    // through the text parser as a user would.
+    let program: Program = "FILTER(>0), MAP(*2), SORT, REVERSE".parse().unwrap();
+    assert_eq!(program.len(), 4);
+    assert_eq!(program.kind(), Some(ProgramKind::List));
+    let output = program
+        .output(&[Value::List(vec![-2, 10, 3, -4, 5, 2])])
+        .unwrap();
+    assert_eq!(output, Value::List(vec![20, 10, 6, 4]));
+    // Display → parse → Display is stable.
+    assert_eq!(program.to_string().parse::<Program>().unwrap(), program);
+}
+
+#[test]
+fn section_4_2_1_running_example_labels() {
+    // Target {FILTER(>0), MAP(*2), SORT, REVERSE} vs candidate
+    // {FILTER(>0), MAP(*2), REVERSE, DROP}: the paper quotes f_CF = 3.
+    let target: Program = "FILTER(>0), MAP(*2), SORT, REVERSE".parse().unwrap();
+    let candidate: Program = "FILTER(>0), MAP(*2), REVERSE, DROP".parse().unwrap();
+    assert_eq!(common_functions(&candidate, &target), 3);
+    assert!(longest_common_subsequence(&candidate, &target) <= 3);
+}
+
+#[test]
+fn all_41_functions_are_usable_as_single_statement_programs() {
+    let inputs = vec![Value::List(vec![4, -3, 0, 7, -1, 2])];
+    for function in Function::ALL {
+        let program = Program::new(vec![function]);
+        let execution = program.run(&inputs).unwrap();
+        assert_eq!(execution.steps.len(), 1);
+        assert_eq!(execution.output.ty(), function.output_type());
+        // A one-statement program can never contain dead code.
+        assert!(!has_dead_code(&program, DEFAULT_INPUT_TYPES));
+    }
+}
+
+#[test]
+fn generated_tasks_are_self_consistent_and_dce_clean() {
+    let mut rng = ChaCha8Rng::seed_from_u64(271);
+    for length in [3usize, 5, 7] {
+        let generator = Generator::new(GeneratorConfig::for_length(length));
+        for _ in 0..5 {
+            let task = generator.task(5, &mut rng).unwrap();
+            assert_eq!(task.target_length(), length);
+            assert_eq!(task.effective_target_length(), length);
+            assert!(task.spec.is_satisfied_by(&task.target));
+            assert_eq!(task.spec.len(), 5);
+            // Dead-code elimination on a DCE-clean program is the identity.
+            let optimized = eliminate_dead_code(&task.target, &task.spec.input_types());
+            assert_eq!(optimized, task.target);
+            assert_eq!(
+                effective_length(&task.target, &task.spec.input_types()),
+                length
+            );
+        }
+    }
+}
+
+#[test]
+fn specification_equivalence_is_extensional_not_syntactic() {
+    // Two syntactically different programs computing the same function are
+    // both "the answer" — the property NetSyn's success criterion relies on.
+    let descending_a: Program = "SORT, REVERSE".parse().unwrap();
+    let descending_b: Program = "MAP(*(-1)), SORT, MAP(*(-1))".parse().unwrap();
+    let inputs = vec![
+        vec![Value::List(vec![5, -2, 9, 0])],
+        vec![Value::List(vec![1, 1, 3])],
+        vec![Value::List(vec![-7, -4])],
+    ];
+    let spec = IoSpec::from_program(&descending_a, &inputs);
+    assert!(spec.is_satisfied_by(&descending_a));
+    assert!(spec.is_satisfied_by(&descending_b));
+    assert_ne!(descending_a, descending_b);
+}
