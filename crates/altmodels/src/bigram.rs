@@ -1,0 +1,332 @@
+//! Bigram fitness (Section 5.3.1, fourth alternative).
+//!
+//! Instead of scoring whole candidates, the model predicts which *pairs* of
+//! functions appear adjacently in the target program. Over 99% of the
+//! 41 × 41 bigram matrix is zero for any single target, so the label space
+//! is first reduced with [`Pca`] and the network regresses the principal
+//! coefficients from the specification alone; the reconstructed matrix then
+//! scores a candidate by the summed probability of its adjacent function
+//! pairs (the bigram analogue of the FP fitness).
+
+use crate::pca::Pca;
+use netsyn_dsl::{Function, IoSpec, Program};
+use netsyn_fitness::dataset::FitnessSample;
+use netsyn_fitness::encoding::{encode_spec, EncodingConfig};
+use netsyn_fitness::{FitnessFunction, FitnessNet, FitnessNetConfig};
+use netsyn_nn::loss::mean_squared_error;
+use netsyn_nn::{Adam, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense `41 x 41` map of adjacent-function-pair probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BigramMap {
+    probs: Vec<f64>,
+}
+
+impl BigramMap {
+    /// Number of entries in the flattened matrix.
+    #[must_use]
+    pub fn len() -> usize {
+        Function::COUNT * Function::COUNT
+    }
+
+    /// Creates a map from a flattened row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != 41 * 41`.
+    #[must_use]
+    pub fn new(probs: Vec<f64>) -> Self {
+        assert_eq!(probs.len(), Self::len(), "bigram matrix must be 41x41");
+        BigramMap { probs }
+    }
+
+    /// The exact bigram indicator of a target program, with `floor`
+    /// probability for absent pairs.
+    #[must_use]
+    pub fn from_target(target: &Program, floor: f64) -> Self {
+        let mut probs = vec![floor; Self::len()];
+        for pair in target.functions().windows(2) {
+            probs[pair[0].index() * Function::COUNT + pair[1].index()] = 1.0;
+        }
+        BigramMap { probs }
+    }
+
+    /// Probability that `second` immediately follows `first`.
+    #[must_use]
+    pub fn prob(&self, first: Function, second: Function) -> f64 {
+        self.probs[first.index() * Function::COUNT + second.index()]
+    }
+
+    /// The flattened row-major matrix.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Scores a candidate as the summed probability of its adjacent pairs.
+    #[must_use]
+    pub fn score(&self, candidate: &Program) -> f64 {
+        candidate
+            .functions()
+            .windows(2)
+            .map(|pair| self.prob(pair[0], pair[1]))
+            .sum()
+    }
+
+    /// The fraction of entries equal to the map's minimum (the sparsity the
+    /// paper motivates PCA with).
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        let min = self.probs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let at_floor = self.probs.iter().filter(|&&p| p <= min).count();
+        at_floor as f64 / self.probs.len() as f64
+    }
+}
+
+/// Hyper-parameters for training the bigram model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BigramTrainerConfig {
+    /// Network hyper-parameters (output dimension forced to
+    /// `num_components`).
+    pub net: FitnessNetConfig,
+    /// Token-encoding configuration.
+    pub encoding: EncodingConfig,
+    /// Number of principal components the label space is reduced to.
+    pub num_components: usize,
+    /// Number of passes over the distinct targets.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+}
+
+impl BigramTrainerConfig {
+    /// A tiny configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        BigramTrainerConfig {
+            net: FitnessNetConfig {
+                value_embed_dim: 4,
+                encoder_hidden_dim: 6,
+                function_embed_dim: 4,
+                trace_hidden_dim: 6,
+                example_hidden_dim: 8,
+                head_hidden_dim: 8,
+                output_dim: 4,
+            },
+            encoding: EncodingConfig::new(),
+            num_components: 4,
+            epochs: 2,
+            learning_rate: 2e-3,
+        }
+    }
+}
+
+impl Default for BigramTrainerConfig {
+    fn default() -> Self {
+        BigramTrainerConfig::tiny()
+    }
+}
+
+/// A trained bigram model: PCA basis plus the coefficient regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedBigramModel {
+    /// Program length the model was trained for.
+    pub program_length: usize,
+    /// PCA basis fitted on the training bigram matrices.
+    pub pca: Pca,
+    /// Network regressing PCA coefficients from the specification.
+    pub net: FitnessNet,
+}
+
+fn bigram_indicator(target: &Program) -> Vec<f32> {
+    let mut indicator = vec![0.0f32; BigramMap::len()];
+    for pair in target.functions().windows(2) {
+        indicator[pair[0].index() * Function::COUNT + pair[1].index()] = 1.0;
+    }
+    indicator
+}
+
+/// Trains the bigram model on the distinct targets of `samples`.
+pub fn train_bigram_model<R: Rng + ?Sized>(
+    samples: &[FitnessSample],
+    program_length: usize,
+    config: &BigramTrainerConfig,
+    rng: &mut R,
+) -> TrainedBigramModel {
+    // One training row per distinct target (bigram labels depend only on
+    // the target, not the candidate).
+    let mut targets: Vec<(&IoSpec, &Program)> = Vec::new();
+    for sample in samples {
+        if !targets.iter().any(|(_, t)| **t == sample.target) {
+            targets.push((&sample.spec, &sample.target));
+        }
+    }
+    let labels: Vec<Vec<f32>> = targets.iter().map(|(_, t)| bigram_indicator(t)).collect();
+    let pca = Pca::fit(&labels, config.num_components.max(1));
+
+    let mut net_config = config.net;
+    net_config.output_dim = pca.num_components();
+    let mut net = FitnessNet::new(net_config, config.encoding, rng);
+    let mut optimizer = Adam::new(config.learning_rate);
+    for _epoch in 0..config.epochs {
+        for ((spec, _), label) in targets.iter().zip(labels.iter()) {
+            let encoded = encode_spec(&config.encoding, spec);
+            let Ok((coefficients, cache)) = net.forward(&encoded) else {
+                continue;
+            };
+            let target_coefficients = pca.transform(label);
+            let (_, grad) = mean_squared_error(&coefficients, &target_coefficients);
+            net.backward(&cache, &grad);
+            optimizer.step(&mut net.params_mut());
+            net.zero_grad();
+        }
+    }
+
+    TrainedBigramModel {
+        program_length,
+        pca,
+        net,
+    }
+}
+
+impl TrainedBigramModel {
+    /// Predicts the bigram map for a specification (coefficients →
+    /// reconstruction, clamped to `[0, 1]`).
+    #[must_use]
+    pub fn bigram_map(&self, spec: &IoSpec) -> BigramMap {
+        let encoded = encode_spec(self.net.encoding(), spec);
+        match self.net.predict(&encoded) {
+            Ok(coefficients) => {
+                let reconstruction = self.pca.inverse_transform(&coefficients);
+                BigramMap::new(
+                    reconstruction
+                        .iter()
+                        .map(|&p| f64::from(p).clamp(0.0, 1.0))
+                        .collect(),
+                )
+            }
+            Err(_) => BigramMap::new(vec![0.0; BigramMap::len()]),
+        }
+    }
+}
+
+/// A fitness function scoring candidates under a fixed bigram map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BigramFitness {
+    map: BigramMap,
+    program_length: usize,
+    name: String,
+}
+
+impl BigramFitness {
+    /// Creates the fitness from a bigram map and the target program length.
+    #[must_use]
+    pub fn new(map: BigramMap, program_length: usize) -> Self {
+        BigramFitness {
+            map,
+            program_length,
+            name: "bigram".to_string(),
+        }
+    }
+
+    /// The underlying bigram map.
+    #[must_use]
+    pub fn map(&self) -> &BigramMap {
+        &self.map
+    }
+}
+
+impl FitnessFunction for BigramFitness {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, candidate: &Program, _spec: &IoSpec) -> f64 {
+        self.map.score(candidate)
+    }
+
+    /// Batched scoring: the bigram score depends only on the fixed map, so
+    /// the batch path just skips the per-call dynamic dispatch.
+    fn score_batch(&self, candidates: &[Program], _spec: &IoSpec) -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|candidate| self.map.score(candidate))
+            .collect()
+    }
+
+    fn max_score(&self) -> f64 {
+        // A length-L program has L-1 adjacent pairs, each worth at most 1.
+        self.program_length.saturating_sub(1).max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_dsl::{IntPredicate, MapOp};
+    use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Map(MapOp::Mul2),
+            Function::Sort,
+        ])
+    }
+
+    #[test]
+    fn target_map_is_sparse_and_scores_the_target_highest() {
+        let map = BigramMap::from_target(&target(), 0.0);
+        assert!(map.sparsity() > 0.99, "sparsity {}", map.sparsity());
+        assert_eq!(map.score(&target()), 2.0);
+        let other = Program::new(vec![Function::Head, Function::Sum, Function::Last]);
+        assert!(map.score(&other) < map.score(&target()));
+        assert_eq!(
+            map.prob(Function::Filter(IntPredicate::Positive), Function::Map(MapOp::Mul2)),
+            1.0
+        );
+    }
+
+    #[test]
+    fn trained_model_reconstructs_bounded_probabilities() {
+        let mut config = DatasetConfig::for_length(3);
+        config.num_target_programs = 6;
+        config.examples_per_program = 2;
+        let samples =
+            generate_dataset(&config, BalanceMetric::CommonFunctions, &mut rng(1)).unwrap();
+        let model = train_bigram_model(&samples, 3, &BigramTrainerConfig::tiny(), &mut rng(2));
+        assert_eq!(model.program_length, 3);
+        let map = model.bigram_map(&samples[0].spec);
+        assert_eq!(map.as_slice().len(), BigramMap::len());
+        assert!(map.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        let fitness = BigramFitness::new(map, 3);
+        assert_eq!(fitness.name(), "bigram");
+        assert_eq!(fitness.max_score(), 2.0);
+        let score = fitness.score(&samples[0].candidate, &samples[0].spec);
+        assert!((0.0..=2.0).contains(&score));
+        assert!(fitness.map().as_slice().len() == BigramMap::len());
+    }
+
+    #[test]
+    fn single_statement_programs_score_zero() {
+        let map = BigramMap::from_target(&target(), 0.05);
+        assert_eq!(map.score(&Program::new(vec![Function::Sort])), 0.0);
+        assert_eq!(map.score(&Program::default()), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let map = BigramMap::from_target(&target(), 0.01);
+        let json = serde_json::to_string(&map).unwrap();
+        let back: BigramMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+}

@@ -1,0 +1,172 @@
+//! Rank-correlation tooling for comparing alternative fitness functions
+//! against the oracle.
+//!
+//! The Roulette Wheel only consumes the relative *ordering* of candidate
+//! scores, so the right quality measure for a fitness function is a rank
+//! correlation against the ideal fitness rather than an absolute error.
+//! [`FitnessQualityReport::measure`] scores a shared candidate pool with a
+//! model and with the oracle and reports the Spearman correlation between
+//! the two rankings.
+
+use netsyn_dsl::{IoSpec, Program};
+use netsyn_fitness::FitnessFunction;
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean (0.0 for an empty slice).
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Average ranks with ties sharing their mid-rank (the convention Spearman
+/// correlation requires).
+fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j are tied; give each the mean 1-based rank.
+        let shared = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = shared;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation of two equally long score slices.
+///
+/// Ties receive fractional ranks. Returns 0.0 for slices shorter than two
+/// elements or when either ranking has no variance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn spearman_rank_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "rank correlation needs paired scores");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let rx = fractional_ranks(xs);
+    let ry = fractional_ranks(ys);
+    let mx = mean(&rx);
+    let my = mean(&ry);
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (x, y) in rx.iter().zip(ry.iter()) {
+        cov += (x - mx) * (y - my);
+        var_x += (x - mx) * (x - mx);
+        var_y += (y - my) * (y - my);
+    }
+    if var_x <= f64::EPSILON || var_y <= f64::EPSILON {
+        return 0.0;
+    }
+    cov / (var_x.sqrt() * var_y.sqrt())
+}
+
+/// How faithfully a fitness function reproduces the oracle's candidate
+/// ranking on a shared candidate pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitnessQualityReport {
+    /// Name of the evaluated fitness function.
+    pub fitness_name: String,
+    /// Name of the reference (oracle) fitness function.
+    pub reference_name: String,
+    /// Number of candidates both functions scored.
+    pub num_candidates: usize,
+    /// Spearman rank correlation between the two rankings.
+    pub spearman: f64,
+    /// Mean score assigned by the evaluated fitness function.
+    pub mean_score: f64,
+    /// Mean score assigned by the reference.
+    pub mean_reference_score: f64,
+}
+
+impl FitnessQualityReport {
+    /// Scores `candidates` with both functions and builds the report.
+    #[must_use]
+    pub fn measure<F, O>(
+        fitness: &F,
+        reference: &O,
+        candidates: &[Program],
+        spec: &IoSpec,
+    ) -> Self
+    where
+        F: FitnessFunction + ?Sized,
+        O: FitnessFunction + ?Sized,
+    {
+        let scores = fitness.score_batch(candidates, spec);
+        let reference_scores = reference.score_batch(candidates, spec);
+        FitnessQualityReport {
+            fitness_name: fitness.name().to_string(),
+            reference_name: reference.name().to_string(),
+            num_candidates: candidates.len(),
+            spearman: spearman_rank_correlation(&scores, &reference_scores),
+            mean_score: mean(&scores),
+            mean_reference_score: mean(&reference_scores),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_fitness::{ClosenessMetric, OracleFitness};
+    use netsyn_dsl::{Function, Generator, GeneratorConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn perfect_and_inverted_correlations() {
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        let ys_up = vec![10.0, 20.0, 30.0, 40.0];
+        let ys_down = vec![4.0, 3.0, 2.0, 1.0];
+        assert!((spearman_rank_correlation(&xs, &ys_up) - 1.0).abs() < 1e-12);
+        assert!((spearman_rank_correlation(&xs, &ys_down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_and_degenerate_inputs() {
+        assert_eq!(spearman_rank_correlation(&[], &[]), 0.0);
+        assert_eq!(spearman_rank_correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman_rank_correlation(&[1.0, 1.0], &[0.0, 5.0]), 0.0);
+        let with_ties = spearman_rank_correlation(&[1.0, 1.0, 2.0], &[3.0, 3.0, 9.0]);
+        assert!((with_ties - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn oracle_self_report_has_perfect_correlation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let generator = Generator::new(GeneratorConfig::for_length(3));
+        let task = generator.task(3, &mut rng).unwrap();
+        let candidates: Vec<Program> = (0..12)
+            .map(|_| generator.random_program(&mut rng))
+            .chain(std::iter::once(Program::new(vec![Function::Sort])))
+            .collect();
+        let oracle = OracleFitness::new(task.target.clone(), ClosenessMetric::CommonFunctions);
+        let report = FitnessQualityReport::measure(&oracle, &oracle, &candidates, &task.spec);
+        assert_eq!(report.num_candidates, candidates.len());
+        assert_eq!(report.fitness_name, report.reference_name);
+        // A function compared with itself ranks identically unless every
+        // score is tied (then the correlation is defined as 0).
+        assert!(report.spearman == 1.0 || report.spearman == 0.0);
+        assert_eq!(report.mean_score, report.mean_reference_score);
+    }
+}

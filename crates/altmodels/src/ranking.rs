@@ -1,0 +1,282 @@
+//! Pairwise ranking fitness (Section 5.3.1, second alternative).
+//!
+//! The Roulette Wheel only needs the relative correctness *ordering* of two
+//! candidates, so this model is trained directly on that quantity: a scoring
+//! network assigns each candidate a scalar, and for a sampled pair `(a, b)`
+//! with different oracle labels the difference `s(a) - s(b)` is pushed
+//! through a sigmoid and trained with binary cross-entropy against "is `a`
+//! closer to the target than `b`" (the classic RankNet objective). Candidates
+//! are represented by their function histogram — the same information the
+//! CF oracle consumes.
+
+use netsyn_dsl::{Function, IoSpec, Program};
+use netsyn_fitness::dataset::FitnessSample;
+use netsyn_fitness::{ClosenessMetric, FitnessFunction};
+use netsyn_nn::activation::sigmoid;
+use netsyn_nn::{Activation, Adam, Matrix, Mlp, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for training a ranking model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankingTrainerConfig {
+    /// Hidden width of the scoring MLP.
+    pub hidden_dim: usize,
+    /// Number of sampled training pairs.
+    pub num_pairs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+}
+
+impl RankingTrainerConfig {
+    /// A configuration that trains in well under a second.
+    #[must_use]
+    pub fn tiny() -> Self {
+        RankingTrainerConfig {
+            hidden_dim: 16,
+            num_pairs: 400,
+            learning_rate: 5e-3,
+        }
+    }
+}
+
+impl Default for RankingTrainerConfig {
+    fn default() -> Self {
+        RankingTrainerConfig::tiny()
+    }
+}
+
+/// A trained pairwise ranking model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedRankingModel {
+    /// The closeness metric whose ordering the model was trained on.
+    pub metric: ClosenessMetric,
+    /// Program length the model was trained for.
+    pub program_length: usize,
+    /// The scoring network (histogram -> scalar).
+    pub net: Mlp,
+    /// Fraction of held-out pairs ordered correctly after training.
+    pub pairwise_accuracy: f64,
+}
+
+fn histogram(candidate: &Program) -> Vec<f32> {
+    let mut hist = vec![0.0f32; Function::COUNT];
+    for func in candidate.functions() {
+        hist[func.index()] += 1.0;
+    }
+    hist
+}
+
+fn label_of(metric: ClosenessMetric, sample: &FitnessSample) -> f64 {
+    match metric {
+        ClosenessMetric::CommonFunctions => sample.cf as f64,
+        ClosenessMetric::LongestCommonSubsequence => sample.lcs as f64,
+    }
+}
+
+/// Trains a RankNet-style ranking model on pairs drawn from `samples`.
+///
+/// Pairs with equal labels carry no ordering signal and are skipped during
+/// sampling (up to a bounded number of retries).
+pub fn train_ranking_model<R: Rng + ?Sized>(
+    metric: ClosenessMetric,
+    samples: &[FitnessSample],
+    program_length: usize,
+    config: &RankingTrainerConfig,
+    rng: &mut R,
+) -> TrainedRankingModel {
+    let mut net = Mlp::new(
+        &[Function::COUNT, config.hidden_dim, 1],
+        Activation::Tanh,
+        rng,
+    );
+    let mut optimizer = Adam::new(config.learning_rate);
+    let mut held_out_correct = 0usize;
+    let mut held_out_total = 0usize;
+
+    for pair_index in 0..config.num_pairs {
+        let Some((winner, loser)) = sample_ordered_pair(metric, samples, rng) else {
+            break;
+        };
+        let wx = histogram(&samples[winner].candidate);
+        let lx = histogram(&samples[loser].candidate);
+        let (ws, w_cache) = net.forward(&wx);
+        let (ls, l_cache) = net.forward(&lx);
+        let margin = ws[0] - ls[0];
+        // Every tenth pair is measured before the gradient step, giving an
+        // (optimistically early) estimate of held-out pair accuracy.
+        if pair_index % 10 == 0 {
+            held_out_total += 1;
+            if margin > 0.0 {
+                held_out_correct += 1;
+            }
+        }
+        // BCE on sigmoid(margin) with target 1: dL/dmargin = sigmoid - 1.
+        let grad_margin = sigmoid(margin) - 1.0;
+        net.backward(&w_cache, &[grad_margin]);
+        net.backward(&l_cache, &[-grad_margin]);
+        optimizer.step(&mut net.params_mut());
+        net.zero_grad();
+    }
+
+    TrainedRankingModel {
+        metric,
+        program_length,
+        net,
+        pairwise_accuracy: if held_out_total == 0 {
+            0.0
+        } else {
+            held_out_correct as f64 / held_out_total as f64
+        },
+    }
+}
+
+fn sample_ordered_pair<R: Rng + ?Sized>(
+    metric: ClosenessMetric,
+    samples: &[FitnessSample],
+    rng: &mut R,
+) -> Option<(usize, usize)> {
+    if samples.len() < 2 {
+        return None;
+    }
+    for _ in 0..64 {
+        let a = rng.gen_range(0..samples.len());
+        let b = rng.gen_range(0..samples.len());
+        let la = label_of(metric, &samples[a]);
+        let lb = label_of(metric, &samples[b]);
+        if la > lb {
+            return Some((a, b));
+        }
+        if lb > la {
+            return Some((b, a));
+        }
+    }
+    None
+}
+
+/// A fitness function backed by a trained ranking model.
+///
+/// The raw ranking score is unbounded and only meaningful relatively; it is
+/// squashed through a sigmoid and scaled to `[0, program_length]` so it
+/// remains a valid Roulette-Wheel weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankingFitness {
+    model: TrainedRankingModel,
+    name: String,
+}
+
+impl RankingFitness {
+    /// Wraps a trained ranking model.
+    #[must_use]
+    pub fn new(model: TrainedRankingModel) -> Self {
+        let name = format!("ranking-{}", model.metric);
+        RankingFitness { model, name }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn model(&self) -> &TrainedRankingModel {
+        &self.model
+    }
+}
+
+impl FitnessFunction for RankingFitness {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, candidate: &Program, _spec: &IoSpec) -> f64 {
+        let raw = self.model.net.predict(&histogram(candidate))[0];
+        f64::from(sigmoid(raw)) * self.max_score()
+    }
+
+    /// Batched scoring: all candidate histograms go through the scoring MLP
+    /// in one matrix pass, bit-identical to the per-candidate path.
+    fn score_batch(&self, candidates: &[Program], _spec: &IoSpec) -> Vec<f64> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let mut features = Matrix::zeros(candidates.len(), Function::COUNT);
+        for (row, candidate) in candidates.iter().enumerate() {
+            features.row_mut(row).copy_from_slice(&histogram(candidate));
+        }
+        let raw = self.model.net.forward_batch(&features);
+        (0..candidates.len())
+            .map(|row| f64::from(sigmoid(raw.row(row)[0])) * self.max_score())
+            .collect()
+    }
+
+    fn max_score(&self) -> f64 {
+        self.model.program_length as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn tiny_dataset(seed: u64) -> Vec<FitnessSample> {
+        let mut config = DatasetConfig::for_length(3);
+        config.num_target_programs = 8;
+        config.examples_per_program = 2;
+        generate_dataset(&config, BalanceMetric::CommonFunctions, &mut rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn trains_and_orders_against_the_metric() {
+        let samples = tiny_dataset(1);
+        let model = train_ranking_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            3,
+            &RankingTrainerConfig::tiny(),
+            &mut rng(2),
+        );
+        assert_eq!(model.program_length, 3);
+        assert!((0.0..=1.0).contains(&model.pairwise_accuracy));
+        let fitness = RankingFitness::new(model);
+        assert_eq!(fitness.name(), "ranking-CF");
+        let spec = samples[0].spec.clone();
+        for sample in samples.iter().take(10) {
+            let score = fitness.score(&sample.candidate, &spec);
+            assert!((0.0..=3.0).contains(&score), "score {score} out of range");
+        }
+    }
+
+    #[test]
+    fn degenerate_corpora_do_not_panic() {
+        let model = train_ranking_model(
+            ClosenessMetric::LongestCommonSubsequence,
+            &[],
+            3,
+            &RankingTrainerConfig::tiny(),
+            &mut rng(3),
+        );
+        assert_eq!(model.pairwise_accuracy, 0.0);
+        let fitness = RankingFitness::new(model);
+        let score = fitness.score(&Program::default(), &IoSpec::default());
+        assert!((0.0..=3.0).contains(&score));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let samples = tiny_dataset(4);
+        let model = train_ranking_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            3,
+            &RankingTrainerConfig::tiny(),
+            &mut rng(5),
+        );
+        let json = serde_json::to_string(&model).unwrap();
+        let back: TrainedRankingModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, model);
+    }
+}

@@ -13,7 +13,7 @@
 use crate::comparison::mean;
 use netsyn_dsl::{IoSpec, Program};
 use netsyn_fitness::dataset::FitnessSample;
-use netsyn_fitness::encoding::{encode_candidate, EncodingConfig};
+use netsyn_fitness::encoding::{encode_candidate, encode_candidates, EncodingConfig};
 use netsyn_fitness::{ClosenessMetric, FitnessFunction, FitnessNet, FitnessNetConfig};
 use netsyn_nn::loss::mean_squared_error;
 use netsyn_nn::{Adam, Parameterized};
@@ -294,6 +294,23 @@ impl FitnessFunction for RegressionFitness {
         match self.model.net.predict(&encoded) {
             Ok(output) => f64::from(output[0]).clamp(0.0, self.max_score()),
             Err(_) => 0.0,
+        }
+    }
+
+    /// Batched scoring: one network pass over the whole candidate set (see
+    /// `FitnessNet::predict_batch`), bit-identical to the per-candidate
+    /// path.
+    fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        let encoded = encode_candidates(self.model.net.encoding(), spec, candidates);
+        match self.model.net.predict_batch(&encoded) {
+            Ok(rows) => rows
+                .iter()
+                .map(|output| f64::from(output[0]).clamp(0.0, self.max_score()))
+                .collect(),
+            Err(_) => candidates
+                .iter()
+                .map(|candidate| self.score(candidate, spec))
+                .collect(),
         }
     }
 

@@ -1,0 +1,373 @@
+//! Two-tier fitness (Section 5.3.1, third alternative).
+//!
+//! A first network (tier 1) decides whether a candidate's fitness is zero;
+//! only candidates judged non-zero are passed to a second network (tier 2)
+//! that predicts the actual CF / LCS value among `1..=L`. The paper reports
+//! that tier-1 mispredictions *eliminate* good genes — a candidate wrongly
+//! judged zero gets Roulette-Wheel weight 0 and can never reproduce.
+//! [`TwoTierEvaluation::tier1_false_zero_rate`] measures exactly that
+//! failure mode on a labelled corpus.
+
+use netsyn_dsl::{IoSpec, Program};
+use netsyn_fitness::dataset::FitnessSample;
+use netsyn_fitness::encoding::{encode_candidate, encode_candidates, EncodingConfig};
+use netsyn_fitness::{ClosenessMetric, FitnessFunction, FitnessNet, FitnessNetConfig};
+use netsyn_nn::activation::{sigmoid, softmax};
+use netsyn_nn::loss::{binary_cross_entropy_with_logits, softmax_cross_entropy};
+use netsyn_nn::{Adam, Parameterized};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for training the two tiers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoTierTrainerConfig {
+    /// Network hyper-parameters shared by both tiers (output dimensions are
+    /// forced to 1 and `L` respectively).
+    pub net: FitnessNetConfig,
+    /// Token-encoding configuration.
+    pub encoding: EncodingConfig,
+    /// Number of passes over the training set, per tier.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Samples per gradient step.
+    pub batch_size: usize,
+}
+
+impl TwoTierTrainerConfig {
+    /// A tiny configuration for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        TwoTierTrainerConfig {
+            net: FitnessNetConfig {
+                value_embed_dim: 4,
+                encoder_hidden_dim: 6,
+                function_embed_dim: 4,
+                trace_hidden_dim: 6,
+                example_hidden_dim: 8,
+                head_hidden_dim: 8,
+                output_dim: 1,
+            },
+            encoding: EncodingConfig::new(),
+            epochs: 1,
+            learning_rate: 2e-3,
+            batch_size: 8,
+        }
+    }
+}
+
+impl Default for TwoTierTrainerConfig {
+    fn default() -> Self {
+        TwoTierTrainerConfig::tiny()
+    }
+}
+
+/// A trained two-tier model: the zero/non-zero gate and the value head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedTwoTierModel {
+    /// The closeness metric the value head predicts.
+    pub metric: ClosenessMetric,
+    /// Program length the model was trained for.
+    pub program_length: usize,
+    /// Tier 1: a single sigmoid unit predicting "fitness is non-zero".
+    pub tier1: FitnessNet,
+    /// Tier 2: a softmax classifier over the values `1..=L`.
+    pub tier2: FitnessNet,
+}
+
+fn label_of(metric: ClosenessMetric, sample: &FitnessSample) -> usize {
+    match metric {
+        ClosenessMetric::CommonFunctions => sample.cf,
+        ClosenessMetric::LongestCommonSubsequence => sample.lcs,
+    }
+}
+
+/// Trains both tiers on `samples`.
+///
+/// Tier 1 sees every sample (label: fitness non-zero); tier 2 is trained
+/// only on the samples with a non-zero label, over the classes `1..=L`.
+pub fn train_two_tier_model<R: Rng + ?Sized>(
+    metric: ClosenessMetric,
+    samples: &[FitnessSample],
+    program_length: usize,
+    config: &TwoTierTrainerConfig,
+    rng: &mut R,
+) -> TrainedTwoTierModel {
+    let mut tier1_config = config.net;
+    tier1_config.output_dim = 1;
+    let mut tier1 = FitnessNet::new(tier1_config, config.encoding, rng);
+    let mut tier2_config = config.net;
+    tier2_config.output_dim = program_length.max(1);
+    let mut tier2 = FitnessNet::new(tier2_config, config.encoding, rng);
+
+    let mut tier1_optimizer = Adam::new(config.learning_rate);
+    let mut tier2_optimizer = Adam::new(config.learning_rate);
+    for _epoch in 0..config.epochs {
+        for chunk in samples.chunks(config.batch_size.max(1)) {
+            for sample in chunk {
+                let encoded = encode_candidate(&config.encoding, &sample.spec, &sample.candidate);
+                let value = label_of(metric, sample);
+                if let Ok((logits, cache)) = tier1.forward(&encoded) {
+                    let target = [if value > 0 { 1.0 } else { 0.0 }];
+                    let (_, grad) = binary_cross_entropy_with_logits(&logits, &target);
+                    tier1.backward(&cache, &grad);
+                }
+                if value > 0 {
+                    if let Ok((logits, cache)) = tier2.forward(&encoded) {
+                        let class = (value - 1).min(program_length.saturating_sub(1));
+                        let (_, grad) = softmax_cross_entropy(&logits, class);
+                        tier2.backward(&cache, &grad);
+                    }
+                }
+            }
+            tier1_optimizer.step(&mut tier1.params_mut());
+            tier1.zero_grad();
+            tier2_optimizer.step(&mut tier2.params_mut());
+            tier2.zero_grad();
+        }
+    }
+
+    TrainedTwoTierModel {
+        metric,
+        program_length,
+        tier1,
+        tier2,
+    }
+}
+
+impl TrainedTwoTierModel {
+    /// Whether tier 1 judges the candidate's fitness to be non-zero.
+    #[must_use]
+    pub fn tier1_predicts_nonzero(&self, spec: &IoSpec, candidate: &Program) -> bool {
+        let encoded = encode_candidate(self.tier1.encoding(), spec, candidate);
+        match self.tier1.predict(&encoded) {
+            Ok(logits) => sigmoid(logits[0]) >= 0.5,
+            Err(_) => false,
+        }
+    }
+
+    /// Tier 2's expected value over the classes `1..=L` (call only makes
+    /// sense when tier 1 predicted non-zero).
+    #[must_use]
+    pub fn tier2_expected_value(&self, spec: &IoSpec, candidate: &Program) -> f64 {
+        let encoded = encode_candidate(self.tier2.encoding(), spec, candidate);
+        match self.tier2.predict(&encoded) {
+            Ok(logits) => softmax(&logits)
+                .iter()
+                .enumerate()
+                .map(|(class, &p)| (class + 1) as f64 * f64::from(p))
+                .sum(),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Evaluates the gate on a labelled corpus.
+    #[must_use]
+    pub fn evaluate(&self, samples: &[FitnessSample]) -> TwoTierEvaluation {
+        let mut evaluation = TwoTierEvaluation::default();
+        for sample in samples {
+            let truly_nonzero = label_of(self.metric, sample) > 0;
+            let predicted_nonzero = self.tier1_predicts_nonzero(&sample.spec, &sample.candidate);
+            match (truly_nonzero, predicted_nonzero) {
+                (true, false) => evaluation.false_zeros += 1,
+                (true, true) => evaluation.true_nonzeros += 1,
+                (false, true) => evaluation.false_nonzeros += 1,
+                (false, false) => evaluation.true_zeros += 1,
+            }
+        }
+        evaluation
+    }
+}
+
+/// Confusion counts of the tier-1 gate on a labelled corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TwoTierEvaluation {
+    /// Non-zero-fitness candidates wrongly gated to zero (the gene-killing
+    /// mispredictions the paper warns about).
+    pub false_zeros: usize,
+    /// Non-zero-fitness candidates correctly passed to tier 2.
+    pub true_nonzeros: usize,
+    /// Zero-fitness candidates wrongly passed to tier 2 (wasted effort, but
+    /// harmless to the GA).
+    pub false_nonzeros: usize,
+    /// Zero-fitness candidates correctly gated.
+    pub true_zeros: usize,
+}
+
+impl TwoTierEvaluation {
+    /// The fraction of truly non-zero candidates that tier 1 wrongly
+    /// eliminated (0.0 when the corpus has no non-zero candidates).
+    #[must_use]
+    pub fn tier1_false_zero_rate(&self) -> f64 {
+        let nonzero = self.false_zeros + self.true_nonzeros;
+        if nonzero == 0 {
+            return 0.0;
+        }
+        self.false_zeros as f64 / nonzero as f64
+    }
+}
+
+/// A fitness function backed by a trained two-tier model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwoTierFitness {
+    model: TrainedTwoTierModel,
+    name: String,
+}
+
+impl TwoTierFitness {
+    /// Wraps a trained two-tier model.
+    #[must_use]
+    pub fn new(model: TrainedTwoTierModel) -> Self {
+        let name = format!("two-tier-{}", model.metric);
+        TwoTierFitness { model, name }
+    }
+
+    /// The wrapped model.
+    #[must_use]
+    pub fn model(&self) -> &TrainedTwoTierModel {
+        &self.model
+    }
+}
+
+impl FitnessFunction for TwoTierFitness {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
+        if !self.model.tier1_predicts_nonzero(spec, candidate) {
+            return 0.0;
+        }
+        self.model
+            .tier2_expected_value(spec, candidate)
+            .clamp(0.0, self.max_score())
+    }
+
+    /// Batched scoring: one tier-1 network pass gates the whole candidate
+    /// set, then one tier-2 pass values only the candidates that passed —
+    /// bit-identical to the per-candidate path.
+    fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        let sequential = |this: &Self| -> Vec<f64> {
+            candidates
+                .iter()
+                .map(|candidate| this.score(candidate, spec))
+                .collect()
+        };
+        // Both tiers are built from the same encoding config; if a
+        // hand-assembled model disagrees, take the safe per-candidate path.
+        if self.model.tier1.encoding() != self.model.tier2.encoding() {
+            return sequential(self);
+        }
+        let encoded = encode_candidates(self.model.tier1.encoding(), spec, candidates);
+        let Ok(tier1_rows) = self.model.tier1.predict_batch(&encoded) else {
+            return sequential(self);
+        };
+        let passing: Vec<usize> = tier1_rows
+            .iter()
+            .enumerate()
+            .filter(|(_, logits)| sigmoid(logits[0]) >= 0.5)
+            .map(|(index, _)| index)
+            .collect();
+        let passing_samples: Vec<_> = passing.iter().map(|&i| encoded[i].clone()).collect();
+        let Ok(tier2_rows) = self.model.tier2.predict_batch(&passing_samples) else {
+            return sequential(self);
+        };
+        let mut scores = vec![0.0; candidates.len()];
+        for (&index, logits) in passing.iter().zip(tier2_rows.iter()) {
+            let expected: f64 = softmax(logits)
+                .iter()
+                .enumerate()
+                .map(|(class, &p)| (class + 1) as f64 * f64::from(p))
+                .sum();
+            scores[index] = expected.clamp(0.0, self.max_score());
+        }
+        scores
+    }
+
+    fn max_score(&self) -> f64 {
+        self.model.program_length as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    fn tiny_dataset(seed: u64) -> Vec<FitnessSample> {
+        let mut config = DatasetConfig::for_length(3);
+        config.num_target_programs = 6;
+        config.examples_per_program = 2;
+        generate_dataset(&config, BalanceMetric::CommonFunctions, &mut rng(seed)).unwrap()
+    }
+
+    #[test]
+    fn trains_and_scores_in_range() {
+        let samples = tiny_dataset(1);
+        let model = train_two_tier_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            3,
+            &TwoTierTrainerConfig::tiny(),
+            &mut rng(2),
+        );
+        let fitness = TwoTierFitness::new(model);
+        assert_eq!(fitness.name(), "two-tier-CF");
+        assert_eq!(fitness.max_score(), 3.0);
+        for sample in samples.iter().take(10) {
+            let score = fitness.score(&sample.candidate, &sample.spec);
+            assert!((0.0..=3.0).contains(&score), "score {score} out of range");
+        }
+    }
+
+    #[test]
+    fn evaluation_counts_sum_to_corpus_size() {
+        let samples = tiny_dataset(3);
+        let model = train_two_tier_model(
+            ClosenessMetric::CommonFunctions,
+            &samples,
+            3,
+            &TwoTierTrainerConfig::tiny(),
+            &mut rng(4),
+        );
+        let evaluation = model.evaluate(&samples);
+        let total = evaluation.false_zeros
+            + evaluation.true_nonzeros
+            + evaluation.false_nonzeros
+            + evaluation.true_zeros;
+        assert_eq!(total, samples.len());
+        assert!((0.0..=1.0).contains(&evaluation.tier1_false_zero_rate()));
+    }
+
+    #[test]
+    fn false_zero_rate_handles_empty_corpora() {
+        assert_eq!(TwoTierEvaluation::default().tier1_false_zero_rate(), 0.0);
+        let eval = TwoTierEvaluation {
+            false_zeros: 1,
+            true_nonzeros: 3,
+            ..TwoTierEvaluation::default()
+        };
+        assert_eq!(eval.tier1_false_zero_rate(), 0.25);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let samples = tiny_dataset(5);
+        let model = train_two_tier_model(
+            ClosenessMetric::LongestCommonSubsequence,
+            &samples,
+            3,
+            &TwoTierTrainerConfig::tiny(),
+            &mut rng(6),
+        );
+        let json = serde_json::to_string(&model).unwrap();
+        let back: TrainedTwoTierModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, model);
+    }
+}

@@ -1,0 +1,102 @@
+//! The alternative fitness models carry the same batching contract as the
+//! primary ones: `score_batch` must return exactly (bit-identically) what
+//! per-candidate `score` returns, for every model family in this crate.
+
+use netsyn_altmodels::bigram::{train_bigram_model, BigramTrainerConfig};
+use netsyn_altmodels::ranking::{train_ranking_model, RankingTrainerConfig};
+use netsyn_altmodels::regression::{train_regression_model, RegressionTrainerConfig};
+use netsyn_altmodels::twotier::{train_two_tier_model, TwoTierTrainerConfig};
+use netsyn_altmodels::{BigramFitness, RankingFitness, RegressionFitness, TwoTierFitness};
+use netsyn_dsl::{Generator, GeneratorConfig, IoSpec, Program};
+use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig, FitnessSample};
+use netsyn_fitness::{ClosenessMetric, FitnessFunction};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const LENGTH: usize = 3;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn tiny_dataset(seed: u64) -> Vec<FitnessSample> {
+    let mut config = DatasetConfig::for_length(LENGTH);
+    config.num_target_programs = 6;
+    config.examples_per_program = 2;
+    generate_dataset(&config, BalanceMetric::CommonFunctions, &mut rng(seed)).unwrap()
+}
+
+fn scenario(seed: u64) -> (IoSpec, Vec<Program>) {
+    let mut r = rng(seed);
+    let generator = Generator::new(GeneratorConfig::for_length(LENGTH));
+    let task = generator.task(2, &mut r).unwrap();
+    let mut candidates: Vec<Program> = (0..20)
+        .map(|_| generator.random_program(&mut r))
+        .collect();
+    candidates.push(candidates[0].clone());
+    candidates.push(Program::default());
+    (task.spec, candidates)
+}
+
+fn assert_batch_matches_single<F: FitnessFunction>(fitness: &F, seed: u64) {
+    let (spec, candidates) = scenario(seed);
+    let batched = fitness.score_batch(&candidates, &spec);
+    assert_eq!(batched.len(), candidates.len());
+    for (candidate, &batch_score) in candidates.iter().zip(batched.iter()) {
+        let single = fitness.score(candidate, &spec);
+        assert_eq!(
+            batch_score.to_bits(),
+            single.to_bits(),
+            "{}: batched {batch_score} != single {single}",
+            fitness.name()
+        );
+    }
+    assert!(fitness.score_batch(&[], &spec).is_empty());
+}
+
+#[test]
+fn regression_score_batch_is_bit_identical() {
+    let samples = tiny_dataset(1);
+    let model = train_regression_model(
+        ClosenessMetric::CommonFunctions,
+        &samples,
+        LENGTH,
+        &RegressionTrainerConfig::tiny(),
+        &mut rng(2),
+    );
+    assert_batch_matches_single(&RegressionFitness::new(model), 10);
+}
+
+#[test]
+fn two_tier_score_batch_is_bit_identical() {
+    let samples = tiny_dataset(3);
+    let model = train_two_tier_model(
+        ClosenessMetric::CommonFunctions,
+        &samples,
+        LENGTH,
+        &TwoTierTrainerConfig::tiny(),
+        &mut rng(4),
+    );
+    assert_batch_matches_single(&TwoTierFitness::new(model), 11);
+}
+
+#[test]
+fn ranking_score_batch_is_bit_identical() {
+    let samples = tiny_dataset(5);
+    let model = train_ranking_model(
+        ClosenessMetric::CommonFunctions,
+        &samples,
+        LENGTH,
+        &RankingTrainerConfig::tiny(),
+        &mut rng(6),
+    );
+    assert_batch_matches_single(&RankingFitness::new(model), 12);
+}
+
+#[test]
+fn bigram_score_batch_is_bit_identical() {
+    let samples = tiny_dataset(7);
+    let model = train_bigram_model(&samples, LENGTH, &BigramTrainerConfig::tiny(), &mut rng(8));
+    let map = model.bigram_map(&samples[0].spec);
+    assert_batch_matches_single(&BigramFitness::new(map, LENGTH), 13);
+}

@@ -69,7 +69,7 @@ impl PushGp {
         let mut best: Option<&(Program, f64)> = None;
         for _ in 0..self.tournament_size {
             let candidate = &population[rng.gen_range(0..population.len())];
-            if best.map_or(true, |b| candidate.1 > b.1) {
+            if best.is_none_or(|b| candidate.1 > b.1) {
                 best = Some(candidate);
             }
         }

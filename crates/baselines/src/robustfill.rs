@@ -52,7 +52,7 @@ impl<G: GuidanceModel> RobustFill<G> {
         length: usize,
         rng: &mut dyn RngCore,
     ) -> Program {
-        let mut emitted_counts = vec![0u32; Function::COUNT];
+        let mut emitted_counts = [0u32; Function::COUNT];
         let mut functions = Vec::with_capacity(length);
         for _ in 0..length {
             let weights: Vec<f64> = map

@@ -3,9 +3,11 @@
 //! forward pass that dominates NetSyn's per-candidate cost.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use netsyn_dsl::{Generator, GeneratorConfig};
+use netsyn_dsl::{Generator, GeneratorConfig, Program};
+use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
 use netsyn_fitness::encoding::encode_candidate;
-use netsyn_fitness::{EncodingConfig, FitnessNet, FitnessNetConfig};
+use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
+use netsyn_fitness::{EncodingConfig, FitnessFunction, FitnessNet, FitnessNetConfig, LearnedFitness};
 use netsyn_nn::{Lstm, Matrix, Parameterized};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,6 +51,55 @@ fn bench_nn(c: &mut Criterion) {
     });
     group.bench_function("encode_candidate_len5_m5", |bench| {
         bench.iter(|| black_box(encode_candidate(net.encoding(), &spec, &candidate)));
+    });
+    group.finish();
+
+    bench_batched_vs_single(c);
+}
+
+/// The headline comparison for the batched-inference work: scoring a
+/// population-sized batch of candidates with one `score_batch` call versus
+/// the seed's per-candidate `score` loop, on a trained CF fitness model.
+/// `BENCH_batch_inference.json` records the measured ratio.
+fn bench_batched_vs_single(c: &mut Criterion) {
+    const POPULATION: usize = 128;
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut dataset_config = DatasetConfig::for_length(5);
+    dataset_config.num_target_programs = 4;
+    dataset_config.examples_per_program = 2;
+    let samples = generate_dataset(&dataset_config, BalanceMetric::CommonFunctions, &mut rng)
+        .expect("dataset generation succeeds");
+    let mut trainer_config = TrainerConfig::small();
+    trainer_config.epochs = 1;
+    let model = train_fitness_model(
+        FitnessModelKind::CommonFunctions,
+        &samples,
+        5,
+        &trainer_config,
+        &mut rng,
+    );
+    let fitness = LearnedFitness::new(model);
+
+    let generator = Generator::new(GeneratorConfig::for_length(5));
+    let target = generator.program(&mut rng).expect("program generation succeeds");
+    let spec = generator.spec_for(&target, 5, &mut rng);
+    let population: Vec<Program> = (0..POPULATION)
+        .map(|_| generator.random_program(&mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("batched_vs_single");
+    group.sample_size(10);
+    group.bench_function(format!("single_scores_{POPULATION}"), |bench| {
+        bench.iter(|| {
+            let scores: Vec<f64> = population
+                .iter()
+                .map(|candidate| fitness.score(candidate, &spec))
+                .collect();
+            black_box(scores)
+        });
+    });
+    group.bench_function(format!("score_batch_{POPULATION}"), |bench| {
+        bench.iter(|| black_box(fitness.score_batch(black_box(&population), &spec)));
     });
     group.finish();
 }

@@ -5,6 +5,8 @@
 use netsyn_bench::{build_methods, generate_suite, load_bundle, HarnessConfig, MethodSet};
 use netsyn_core::prelude::*;
 
+type PerFunctionRates = Vec<(Function, Option<f64>)>;
+
 fn main() {
     let config = HarnessConfig::from_args();
     for &length in &config.lengths {
@@ -18,7 +20,7 @@ fn main() {
             format!("Figure 6: synthesis rate per DSL function (length {length})"),
             &["function id", "function", "NetSyn_CF", "NetSyn_FP", "returns int"],
         );
-        let mut per_method: Vec<(String, Vec<(Function, Option<f64>)>)> = Vec::new();
+        let mut per_method: Vec<(String, PerFunctionRates)> = Vec::new();
         for method in &methods {
             eprintln!("[fig6_per_function] length {length}: running {}", method.name);
             let evaluation =

@@ -1,0 +1,187 @@
+//! Offline replacement for the subset of
+//! [`criterion`](https://crates.io/crates/criterion) this workspace uses.
+//!
+//! Each benchmark is auto-calibrated (batch size grows until one batch takes
+//! at least [`TARGET_BATCH_NANOS`]), then timed over `sample_size` batches.
+//! Results print one line per benchmark:
+//!
+//! ```text
+//! bench: group/name ... mean 123456 ns/iter (min 120000 ns/iter, 20 samples x 8 iters)
+//! ```
+//!
+//! The format is stable so scripts can scrape it (the repo's
+//! `BENCH_*.json` records are produced that way). There are no HTML
+//! reports, statistical regressions, or command-line filters.
+
+use std::hint;
+use std::time::Instant;
+
+/// Minimum wall-clock time one measured batch should take.
+pub const TARGET_BATCH_NANOS: u128 = 5_000_000;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// bodies; re-exported from `std::hint`.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with the default sample count (20).
+    #[must_use]
+    pub fn new() -> Self {
+        Criterion { sample_size: 20 }
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name.as_ref(), self.sample_size.max(10), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let qualified = format!("{}/{}", self.name, name.as_ref());
+        run_benchmark(&qualified, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finishes the group (formatting no-op, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations the routine must run this call.
+    iters: u64,
+    /// Measured wall time for those iterations, in nanoseconds.
+    elapsed_nanos: u128,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it as many times as the calibrated batch
+    /// requires.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(routine());
+        }
+        self.elapsed_nanos = start.elapsed().as_nanos();
+    }
+}
+
+fn measure<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> u128 {
+    let mut bencher = Bencher {
+        iters,
+        elapsed_nanos: 0,
+    };
+    f(&mut bencher);
+    bencher.elapsed_nanos
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    // Calibrate: grow the batch until it takes TARGET_BATCH_NANOS.
+    let mut iters: u64 = 1;
+    loop {
+        let nanos = measure(f, iters);
+        if nanos >= TARGET_BATCH_NANOS || iters >= 1 << 20 {
+            break;
+        }
+        // Aim directly for the target based on the observed rate.
+        let per_iter = (nanos / u128::from(iters)).max(1);
+        let wanted = (TARGET_BATCH_NANOS / per_iter + 1) as u64;
+        iters = wanted.clamp(iters * 2, iters * 16).min(1 << 20);
+    }
+
+    let samples: Vec<u128> = (0..sample_size).map(|_| measure(f, iters)).collect();
+    let per_iter: Vec<u128> = samples.iter().map(|&s| s / u128::from(iters)).collect();
+    let mean = per_iter.iter().sum::<u128>() / per_iter.len() as u128;
+    let min = *per_iter.iter().min().expect("at least one sample");
+    println!(
+        "bench: {name} ... mean {mean} ns/iter (min {min} ns/iter, {sample_size} samples x {iters} iters)"
+    );
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_elapsed_time() {
+        let mut criterion = Criterion::new();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(2);
+        let mut total = 0u64;
+        group.bench_function("accumulate", |b| {
+            b.iter(|| {
+                total = total.wrapping_add(1);
+                total
+            });
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn black_box_passes_values_through() {
+        assert_eq!(black_box(7), 7);
+    }
+}

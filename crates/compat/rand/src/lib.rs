@@ -1,0 +1,482 @@
+//! Offline, API-compatible subset of the [`rand`](https://crates.io/crates/rand)
+//! crate.
+//!
+//! The build environment of this workspace has no access to crates.io, so the
+//! handful of `rand` APIs the workspace actually uses are re-implemented here
+//! and wired in as a path dependency under the same crate name:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] with `gen`, `gen_range`,
+//!   `gen_bool` over the numeric types the workspace samples;
+//! * [`seq::SliceRandom`] with `choose` and `shuffle` (Fisher–Yates);
+//! * [`thread_rng`] backed by a per-thread splitmix64 stream seeded from the
+//!   system clock and a process-wide counter.
+//!
+//! Distribution details intentionally differ from upstream `rand` (Lemire
+//! rejection, widening multiplies, …): the workspace only relies on
+//! determinism for a fixed seed, uniformity good enough for stochastic
+//! search, and in-range guarantees — not on upstream's exact value streams.
+
+use std::cell::RefCell;
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of uniformly random words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+impl RngCore for Box<dyn RngCore> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the full value domain (the subset
+/// of upstream's `Standard` distribution the workspace uses).
+pub trait StandardSample {
+    /// Draws one uniformly distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that can be sampled uniformly from a range. The blanket
+/// [`SampleRange`] impls below tie the range's element type to
+/// [`Rng::gen_range`]'s return type, which is what lets inference resolve
+/// expressions like `x + rng.gen_range(-0.5..0.5)`.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[start, end)`.
+    fn sample_half_open<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! impl_int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128;
+                let v = uniform_u128(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = uniform_u128(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_uniform!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+/// Uniform draw from `[0, span)` by rejection sampling on 64-bit words
+/// (`span` never exceeds `u64::MAX + 1` for the integer types above).
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Only reachable for full-domain ranges; a raw word is uniform.
+        return rng.next_u64() as u128;
+    }
+    let span = span as u64;
+    if span.is_power_of_two() {
+        return (rng.next_u64() & (span - 1)) as u128;
+    }
+    // Rejection zone keeps the draw exactly uniform.
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span) as u128;
+        }
+    }
+}
+
+macro_rules! impl_float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start < end, "cannot sample empty range");
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                start + unit * (end - start)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self {
+                assert!(start <= end, "cannot sample empty range");
+                let unit = <$t as StandardSample>::sample_standard(rng);
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_uniform!(f32, f64);
+
+/// User-facing random sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with splitmix64 (the
+    /// same convention upstream `rand` uses, so seeds stay well mixed).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// splitmix64: the seed expander, also the engine behind [`thread_rng`].
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+}
+
+impl RngCore for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Commonly used generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// The workspace's standard seedable generator (splitmix64-based; the
+    /// upstream `StdRng` value stream is not reproduced).
+    #[derive(Debug, Clone)]
+    pub struct StdRng(SplitMix64);
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(&seed[..8]);
+            StdRng(SplitMix64::new(u64::from_le_bytes(word)))
+        }
+    }
+
+    /// A handle to the calling thread's generator; see [`super::thread_rng`].
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng(pub(crate) SplitMix64);
+
+    impl RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+thread_local! {
+    static THREAD_RNG_SEED: RefCell<u64> = RefCell::new({
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0);
+        let stack_entropy = &nanos as *const u64 as u64;
+        nanos ^ stack_entropy.rotate_left(32)
+    });
+}
+
+/// Returns a non-deterministically seeded generator for the calling thread.
+#[must_use]
+pub fn thread_rng() -> rngs::ThreadRng {
+    let seed = THREAD_RNG_SEED.with(|s| {
+        let mut s = s.borrow_mut();
+        *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        *s
+    });
+    rngs::ThreadRng(SplitMix64::new(seed))
+}
+
+/// Random operations on slices.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly chosen element, or `None` if the slice is
+        /// empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[derive(Debug)]
+    struct TestRng(SplitMix64);
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    fn rng(seed: u64) -> TestRng {
+        TestRng(SplitMix64::new(seed))
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng(1);
+        for _ in 0..2000 {
+            let a: usize = r.gen_range(0..7);
+            assert!(a < 7);
+            let b: i64 = r.gen_range(-3..=3);
+            assert!((-3..=3).contains(&b));
+            let c: f32 = r.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&c));
+            let d: f64 = r.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut r = rng(2);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = rng(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn standard_floats_are_in_unit_interval() {
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = r.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn slice_choose_and_shuffle() {
+        let mut r = rng(5);
+        let items = [1, 2, 3, 4];
+        assert!(items.choose(&mut r).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        let mut xs: Vec<u32> = (0..50).collect();
+        let original = xs.clone();
+        xs.shuffle(&mut r);
+        assert_ne!(xs, original, "50 elements should not shuffle to identity");
+        xs.sort_unstable();
+        assert_eq!(xs, original);
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_sampling() {
+        let mut r = rng(6);
+        let dyn_rng: &mut dyn RngCore = &mut r;
+        let v = dyn_rng.gen_range(0..10usize);
+        assert!(v < 10);
+        let f: f64 = dyn_rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn thread_rng_produces_values() {
+        let mut a = thread_rng();
+        let mut b = thread_rng();
+        // Distinct handles advance the underlying stream.
+        let _ = a.next_u64();
+        let _ = b.next_u64();
+    }
+}

@@ -1,0 +1,495 @@
+//! Offline replacement for the subset of [`rayon`](https://crates.io/crates/rayon)
+//! this workspace uses.
+//!
+//! Parallelism is real: a lazily started, process-wide pool of
+//! `available_parallelism` worker threads executes every parallel call, so
+//! hot loops (the batched NN kernels call in here once per layer per time
+//! step) pay only a queue round-trip rather than thread spawns. There is no
+//! work stealing; each call splits its input into contiguous spans, one per
+//! worker, and blocks until all spans finish. Nested parallel calls from
+//! inside a worker run inline, which keeps the fixed-size pool
+//! deadlock-free. Small inputs (fewer items than [`MIN_ITEMS_PER_THREAD`]
+//! per would-be worker) skip the pool entirely.
+//!
+//! Supported surface: `par_iter().map(..).collect()`, `par_iter().for_each`,
+//! `par_iter_mut().filter(..).for_each`, `par_chunks_mut(..).enumerate()
+//! .for_each`, and [`join`].
+
+use std::thread;
+
+/// Below this many items per would-be worker, parallel calls run inline.
+pub const MIN_ITEMS_PER_THREAD: usize = 2;
+
+/// Number of worker threads a parallel call may use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+fn worker_count(items: usize) -> usize {
+    if items < 2 * MIN_ITEMS_PER_THREAD {
+        return 1;
+    }
+    current_num_threads().min(items / MIN_ITEMS_PER_THREAD).max(1)
+}
+
+/// Splits `0..len` into `workers` near-equal contiguous spans.
+fn spans(len: usize, workers: usize) -> Vec<(usize, usize)> {
+    let base = len / workers;
+    let extra = len % workers;
+    let mut out = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    out
+}
+
+mod pool {
+    //! The shared worker pool behind every parallel call.
+
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+    type Job = Box<dyn FnOnce() + Send + 'static>;
+
+    struct Pool {
+        sender: mpsc::Sender<Job>,
+    }
+
+    static POOL: OnceLock<Pool> = OnceLock::new();
+
+    thread_local! {
+        /// Set inside pool workers so nested parallel calls run inline
+        /// instead of deadlocking the fixed-size pool.
+        static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    }
+
+    fn pool() -> &'static Pool {
+        POOL.get_or_init(|| {
+            let (sender, receiver) = mpsc::channel::<Job>();
+            let receiver = Arc::new(Mutex::new(receiver));
+            for worker in 0..super::current_num_threads() {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{worker}"))
+                    .spawn(move || {
+                        IS_POOL_WORKER.with(|flag| flag.set(true));
+                        loop {
+                            let job = {
+                                let guard = receiver.lock().expect("pool receiver lock");
+                                guard.recv()
+                            };
+                            match job {
+                                Ok(job) => job(),
+                                Err(_) => break,
+                            }
+                        }
+                    })
+                    .expect("spawn rayon shim worker");
+            }
+            Pool { sender }
+        })
+    }
+
+    /// Runs every task, using the pool when called from outside it, and
+    /// returns once all tasks have finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked (the panic does not kill pool workers).
+    pub fn run_scoped<'scope, F>(tasks: Vec<F>)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if tasks.len() <= 1 || IS_POOL_WORKER.with(Cell::get) {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let remaining = Arc::new((Mutex::new(tasks.len()), Condvar::new()));
+        let panicked = Arc::new(AtomicBool::new(false));
+        for task in tasks {
+            let remaining = Arc::clone(&remaining);
+            let panicked = Arc::clone(&panicked);
+            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+                let (count, condvar) = &*remaining;
+                let mut left = count.lock().expect("latch lock");
+                *left -= 1;
+                if *left == 0 {
+                    condvar.notify_all();
+                }
+            });
+            // SAFETY: this function blocks below until every queued job has
+            // run, so all borrows captured by the job ('scope) strictly
+            // outlive its execution; widening the lifetime to 'static never
+            // lets a job observe a dangling reference.
+            let job: Job = unsafe { std::mem::transmute(job) };
+            pool().sender.send(job).expect("rayon shim pool is alive");
+        }
+        let (count, condvar) = &*remaining;
+        let mut left = count.lock().expect("latch lock");
+        while *left > 0 {
+            left = condvar.wait(left).expect("latch wait");
+        }
+        drop(left);
+        assert!(
+            !panicked.load(Ordering::SeqCst),
+            "a rayon shim task panicked"
+        );
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = {
+        let rb_slot = &mut rb;
+        let mut b = Some(b);
+        let mut a = Some(a);
+        let mut ra_slot = None;
+        {
+            let ra_ref = &mut ra_slot;
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(move || *ra_ref = Some((a.take().expect("a runs once"))())),
+                Box::new(move || *rb_slot = Some((b.take().expect("b runs once"))())),
+            ];
+            pool::run_scoped(tasks);
+        }
+        ra_slot.expect("task a completed")
+    };
+    (ra, rb.expect("task b completed"))
+}
+
+/// The glob-importable API surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over the slice's elements.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over the slice's elements, mutably.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// A parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over `&T` items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Applies `f` to every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        self.map(f).run();
+    }
+}
+
+/// The result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    fn run<R>(self) -> Vec<R>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        let items = self.items;
+        let f = &self.f;
+        let workers = worker_count(items.len());
+        if workers == 1 {
+            return items.iter().map(f).collect();
+        }
+        let mut parts: Vec<Vec<R>> = (0..workers).map(|_| Vec::new()).collect();
+        let tasks: Vec<_> = parts
+            .iter_mut()
+            .zip(spans(items.len(), workers))
+            .map(|(part, (lo, hi))| move || *part = items[lo..hi].iter().map(f).collect())
+            .collect();
+        pool::run_scoped(tasks);
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Collects the mapped elements, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Applies the mapped closure for its side effects.
+    pub fn for_each<R>(self)
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        let _ = self.run();
+    }
+}
+
+/// Parallel iterator over `&mut T` items.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Keeps only elements matching `predicate`.
+    pub fn filter<P>(self, predicate: P) -> ParFilterMut<'a, T, P>
+    where
+        P: Fn(&&mut T) -> bool + Sync,
+    {
+        ParFilterMut {
+            items: self.items,
+            predicate,
+        }
+    }
+
+    /// Applies `f` to every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        self.filter(|_| true).for_each(f);
+    }
+}
+
+/// The result of [`ParIterMut::filter`].
+pub struct ParFilterMut<'a, T, P> {
+    items: &'a mut [T],
+    predicate: P,
+}
+
+impl<'a, T: Send, P> ParFilterMut<'a, T, P>
+where
+    P: Fn(&&mut T) -> bool + Sync,
+{
+    /// Applies `f` to every element matching the predicate.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let predicate = &self.predicate;
+        let f = &f;
+        let len = self.items.len();
+        let workers = worker_count(len);
+        if workers == 1 {
+            for item in self.items.iter_mut() {
+                if predicate(&item) {
+                    f(item);
+                }
+            }
+            return;
+        }
+        let mut rest = self.items;
+        let mut tasks = Vec::with_capacity(workers);
+        for (lo, hi) in spans(len, workers) {
+            let (span, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            tasks.push(move || {
+                for item in span.iter_mut() {
+                    if predicate(&item) {
+                        f(item);
+                    }
+                }
+            });
+        }
+        pool::run_scoped(tasks);
+    }
+}
+
+/// Parallel iterator over mutable chunks; see
+/// [`ParallelSliceMut::par_chunks_mut`].
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    #[must_use]
+    pub fn enumerate(self) -> ParEnumeratedChunksMut<'a, T> {
+        ParEnumeratedChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Applies `f` to every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// The result of [`ParChunksMut::enumerate`].
+pub struct ParEnumeratedChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParEnumeratedChunksMut<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let f = &f;
+        let chunk_count = self.chunks.len();
+        // Chunks are already caller-coarsened units of work (callers size
+        // them to one span per worker), so don't re-apply the per-item
+        // minimum — that would halve the worker count or serialize small
+        // chunk counts entirely.
+        let workers = current_num_threads().min(chunk_count).max(1);
+        if workers == 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, chunk) in self.chunks.into_iter().enumerate() {
+            assignments[i % workers].push((i, chunk));
+        }
+        let tasks: Vec<_> = assignments
+            .into_iter()
+            .map(|batch| {
+                move || {
+                    for (i, chunk) in batch {
+                        f((i, chunk));
+                    }
+                }
+            })
+            .collect();
+        pool::run_scoped(tasks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_filter_for_each_mutates_matching() {
+        let mut values: Vec<Option<usize>> =
+            (0..100).map(|i| (i % 3 == 0).then_some(i)).collect();
+        values
+            .par_iter_mut()
+            .filter(|v| v.is_none())
+            .for_each(|v| *v = Some(999));
+        for (i, v) in values.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(*v, Some(i));
+            } else {
+                assert_eq!(*v, Some(999));
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate_covers_every_chunk() {
+        let mut data = vec![0usize; 103];
+        data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v > 0));
+        assert_eq!(data[0], 1);
+        assert_eq!(data[102], 11);
+    }
+
+    #[test]
+    fn for_each_visits_everything_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u8> = vec![1; 500];
+        items.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn tiny_inputs_run_inline() {
+        let items = [1, 2];
+        let sum: Vec<i32> = items.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(sum, vec![2, 3]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Offline replacement for the [`serde`](https://crates.io/crates/serde)
+//! crate, sized for this workspace.
+//!
+//! Instead of serde's visitor-based zero-copy data model, values serialize
+//! into an owned [`Content`] tree (think "JSON value"), which `serde_json`
+//! then renders to or parses from text. The [`Serialize`] and [`Deserialize`]
+//! traits and their derive macros keep their upstream names so the rest of
+//! the workspace compiles unchanged:
+//!
+//! ```ignore
+//! #[derive(Serialize, Deserialize)]
+//! struct Config { width: usize }
+//! ```
+//!
+//! Supported shapes (all this workspace uses): named-field structs, unit
+//! structs, newtype/tuple structs, and enums with unit, tuple and
+//! struct-like variants. Generic types are not supported by the derive.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned, format-independent value tree (the serialization data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also used for `Option::None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered string-keyed map (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// Error for a value of an unexpected shape.
+    #[must_use]
+    pub fn expected(what: &str, context: &str, got: &Content) -> Self {
+        DeError(format!("expected {what} for {context}, got {}", got.kind()))
+    }
+
+    /// Error for an unrecognized enum variant name.
+    #[must_use]
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for enum {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Content {
+    /// A short name of the value's shape, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::Int(_) | Content::UInt(_) => "integer",
+            Content::Float(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// A value that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts the value into its content-tree representation.
+    fn to_content(&self) -> Content;
+}
+
+/// A value that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs the value, reporting shape mismatches as [`DeError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `content` does not have the expected shape.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Expects `content` to be a map, in the context of type `ty`.
+///
+/// # Errors
+///
+/// Returns an error when `content` is not a map.
+pub fn expect_map<'c>(content: &'c Content, ty: &str) -> Result<&'c [(String, Content)], DeError> {
+    match content {
+        Content::Map(entries) => Ok(entries),
+        other => Err(DeError::expected("a map", ty, other)),
+    }
+}
+
+/// Expects `content` to be a sequence of exactly `len` elements.
+///
+/// # Errors
+///
+/// Returns an error when `content` is not a sequence of that length.
+pub fn expect_seq_len<'c>(
+    content: &'c Content,
+    len: usize,
+    ty: &str,
+) -> Result<&'c [Content], DeError> {
+    match content {
+        Content::Seq(items) if items.len() == len => Ok(items),
+        Content::Seq(items) => Err(DeError::new(format!(
+            "expected {len} elements for {ty}, got {}",
+            items.len()
+        ))),
+        other => Err(DeError::expected("a sequence", ty, other)),
+    }
+}
+
+/// Looks up field `name` in a struct's map entries.
+///
+/// # Errors
+///
+/// Returns an error when the field is absent.
+pub fn field<'c>(
+    entries: &'c [(String, Content)],
+    name: &str,
+    ty: &str,
+) -> Result<&'c Content, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::new(format!("missing field `{name}` for {ty}")))
+}
+
+/// Destructures an externally tagged enum value (`{"Variant": payload}`).
+///
+/// # Errors
+///
+/// Returns an error when `content` is not a single-entry map.
+pub fn expect_externally_tagged<'c>(
+    content: &'c Content,
+    ty: &str,
+) -> Result<(&'c str, &'c Content), DeError> {
+    match content {
+        Content::Map(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), &entries[0].1))
+        }
+        other => Err(DeError::expected("a single-variant map", ty, other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(i64::from(*self))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let ty = stringify!($t);
+                match *content {
+                    Content::Int(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {ty}"))),
+                    Content::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {ty}"))),
+                    ref other => Err(DeError::expected("an integer", ty, other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                match i64::try_from(v) {
+                    Ok(i) => Content::Int(i),
+                    Err(_) => Content::UInt(v),
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let ty = stringify!($t);
+                match *content {
+                    Content::Int(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {ty}"))),
+                    Content::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| DeError::new(format!("{v} out of range for {ty}"))),
+                    ref other => Err(DeError::expected("an integer", ty, other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Content {
+        Content::Int(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        i64::from_content(content)
+            .and_then(|v| isize::try_from(v).map_err(|_| DeError::new("isize out of range")))
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("a bool", "bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match *content {
+            Content::Float(v) => Ok(v),
+            Content::Int(v) => Ok(v as f64),
+            Content::UInt(v) => Ok(v as f64),
+            Content::Null => Ok(f64::NAN),
+            ref other => Err(DeError::expected("a number", "f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        f64::from_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("a string", "String", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().expect("one char")),
+            other => Err(DeError::expected("a one-character string", "char", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::expected("a sequence", "Vec", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = expect_seq_len(content, 2, "tuple")?;
+        Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = expect_seq_len(content, 3, "tuple")?;
+        Ok((
+            A::from_content(&items[0])?,
+            B::from_content(&items[1])?,
+            C::from_content(&items[2])?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i32.to_content()).unwrap(), 42);
+        assert_eq!(u64::from_content(&Content::UInt(u64::MAX)).unwrap(), u64::MAX);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+        let opt: Option<i64> = Some(-1);
+        assert_eq!(Option::<i64>::from_content(&opt.to_content()).unwrap(), opt);
+        let none: Option<i64> = None;
+        assert_eq!(Option::<i64>::from_content(&none.to_content()).unwrap(), none);
+        let pair = (1u8, "x".to_string());
+        assert_eq!(
+            <(u8, String)>::from_content(&pair.to_content()).unwrap(),
+            pair
+        );
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(bool::from_content(&Content::Int(1)).is_err());
+        assert!(u8::from_content(&Content::Int(300)).is_err());
+        assert!(expect_seq_len(&Content::Seq(vec![]), 2, "t").is_err());
+        assert!(field(&[], "missing", "T").is_err());
+    }
+}

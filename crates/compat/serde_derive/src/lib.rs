@@ -1,0 +1,462 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace's
+//! offline serde shim.
+//!
+//! The macros are written directly against `proc_macro` token trees (the
+//! build environment has no `syn`/`quote`), so they support exactly the
+//! shapes this workspace derives on: non-generic named-field structs, unit
+//! structs, tuple structs, and enums whose variants are unit, tuple or
+//! struct-like. Serialized form mirrors serde's externally tagged defaults:
+//! structs become maps, unit variants become strings, payload variants
+//! become single-entry maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Input {
+    Struct {
+        name: String,
+        fields: StructFields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum StructFields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: StructFields,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => emit_serialize(&parsed).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => emit_deserialize(&parsed).parse().expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0usize;
+    skip_attributes_and_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos)?;
+    let is_enum = match keyword.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => return Err(format!("expected struct or enum, found `{other}`")),
+    };
+    let name = expect_ident(&tokens, &mut pos)?;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the offline serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    if is_enum {
+        let body = expect_group(&tokens, &mut pos, Delimiter::Brace)?;
+        Ok(Input::Enum {
+            name,
+            variants: parse_variants(&body)?,
+        })
+    } else {
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                StructFields::Named(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                StructFields::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => StructFields::Unit,
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        };
+        Ok(Input::Struct { name, fields })
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> Result<String, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+fn expect_group(
+    tokens: &[TokenTree],
+    pos: &mut usize,
+    delimiter: Delimiter,
+) -> Result<Vec<TokenTree>, String> {
+    match tokens.get(*pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delimiter => {
+            *pos += 1;
+            Ok(g.stream().into_iter().collect())
+        }
+        other => Err(format!("expected {delimiter:?} group, found {other:?}")),
+    }
+}
+
+/// Advances past a type (or any token soup) until a comma at angle-depth
+/// zero, leaving `pos` on the comma or at the end.
+fn skip_until_top_level_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut pos)?;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        skip_until_top_level_comma(tokens, &mut pos);
+        pos += 1; // consume the comma (or run off the end)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the comma-separated fields of a tuple struct/variant body.
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_until_top_level_comma(tokens, &mut pos);
+        count += 1;
+        pos += 1;
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        skip_attributes_and_visibility(tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(tokens, &mut pos)?;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                StructFields::Tuple(count_tuple_fields(&body))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                pos += 1;
+                StructFields::Named(parse_named_fields(&body)?)
+            }
+            _ => StructFields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        skip_until_top_level_comma(tokens, &mut pos);
+        pos += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                StructFields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+                StructFields::Tuple(1) => {
+                    "::serde::Serialize::to_content(&self.0)".to_string()
+                }
+                StructFields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                }
+                StructFields::Unit => {
+                    "::serde::Content::Map(::std::vec::Vec::new())".to_string()
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        StructFields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Content::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        StructFields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Content::Map(vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        StructFields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        StructFields::Named(field_names) => {
+                            let binders = field_names.join(", ");
+                            let entries: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Content::Map(vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn emit_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                StructFields::Named(names) => {
+                    let fields_init: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(\
+                                 ::serde::field(map, {f:?}, {name:?})?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let map = ::serde::expect_map(content, {name:?})?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        fields_init.join(", ")
+                    )
+                }
+                StructFields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::Deserialize::from_content(content)?))"
+                ),
+                StructFields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = ::serde::expect_seq_len(content, {n}, {name:?})?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                StructFields::Unit => {
+                    format!("::std::result::Result::Ok({name})")
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, StructFields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        StructFields::Unit => None,
+                        StructFields::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(payload)?)),"
+                        )),
+                        StructFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let items = ::serde::expect_seq_len(\
+                                     payload, {n}, {name:?})?;\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        StructFields::Named(field_names) => {
+                            let fields_init: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(\
+                                         ::serde::field(map, {f:?}, {name:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let map = ::serde::expect_map(payload, {name:?})?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }},",
+                                fields_init.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                             }},\n\
+                             _ => {{\n\
+                                 let (tag, payload) = \
+                                     ::serde::expect_externally_tagged(content, {name:?})?;\n\
+                                 let _ = payload;\n\
+                                 match tag {{\n\
+                                     {}\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::DeError::unknown_variant(other, {name:?})),\n\
+                                 }}\n\
+                             }}\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                payload_arms.join("\n")
+            )
+        }
+    }
+}

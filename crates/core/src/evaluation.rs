@@ -30,13 +30,16 @@ pub struct RunRecord {
     pub generations: Option<usize>,
 }
 
+/// Builds one synthesizer for a given task.
+pub type SynthesizerFactory<'a> = Box<dyn Fn(&SynthesisTask) -> Box<dyn Synthesizer> + Sync + 'a>;
+
 /// A factory producing one synthesizer per task, so that oracle-based
 /// configurations can be given the task's hidden target.
 pub struct MethodSpec<'a> {
     /// Display name of the method (used in reports).
     pub name: String,
     /// Builds the synthesizer for a task.
-    pub factory: Box<dyn Fn(&SynthesisTask) -> Box<dyn Synthesizer> + Sync + 'a>,
+    pub factory: SynthesizerFactory<'a>,
 }
 
 impl<'a> MethodSpec<'a> {

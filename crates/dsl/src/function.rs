@@ -585,10 +585,10 @@ mod tests {
     #[test]
     fn head_last_min_max_sum() {
         let xs = Value::List(vec![3, -1, 7, 2]);
-        assert_eq!(Function::Head.apply(&[xs.clone()]), Value::Int(3));
-        assert_eq!(Function::Last.apply(&[xs.clone()]), Value::Int(2));
-        assert_eq!(Function::Minimum.apply(&[xs.clone()]), Value::Int(-1));
-        assert_eq!(Function::Maximum.apply(&[xs.clone()]), Value::Int(7));
+        assert_eq!(Function::Head.apply(std::slice::from_ref(&xs)), Value::Int(3));
+        assert_eq!(Function::Last.apply(std::slice::from_ref(&xs)), Value::Int(2));
+        assert_eq!(Function::Minimum.apply(std::slice::from_ref(&xs)), Value::Int(-1));
+        assert_eq!(Function::Maximum.apply(std::slice::from_ref(&xs)), Value::Int(7));
         assert_eq!(Function::Sum.apply(&[xs]), Value::Int(11));
     }
 
@@ -602,7 +602,7 @@ mod tests {
             Function::Maximum,
             Function::Sum,
         ] {
-            assert_eq!(f.apply(&[empty.clone()]), Value::Int(0));
+            assert_eq!(f.apply(std::slice::from_ref(&empty)), Value::Int(0));
         }
     }
 
@@ -610,23 +610,23 @@ mod tests {
     fn count_and_filter_predicates() {
         let xs = Value::List(vec![-2, -1, 0, 1, 2, 3]);
         assert_eq!(
-            Function::Count(IntPredicate::Positive).apply(&[xs.clone()]),
+            Function::Count(IntPredicate::Positive).apply(std::slice::from_ref(&xs)),
             Value::Int(3)
         );
         assert_eq!(
-            Function::Count(IntPredicate::Negative).apply(&[xs.clone()]),
+            Function::Count(IntPredicate::Negative).apply(std::slice::from_ref(&xs)),
             Value::Int(2)
         );
         assert_eq!(
-            Function::Count(IntPredicate::Odd).apply(&[xs.clone()]),
+            Function::Count(IntPredicate::Odd).apply(std::slice::from_ref(&xs)),
             Value::Int(3)
         );
         assert_eq!(
-            Function::Count(IntPredicate::Even).apply(&[xs.clone()]),
+            Function::Count(IntPredicate::Even).apply(std::slice::from_ref(&xs)),
             Value::Int(3)
         );
         assert_eq!(
-            Function::Filter(IntPredicate::Positive).apply(&[xs.clone()]),
+            Function::Filter(IntPredicate::Positive).apply(std::slice::from_ref(&xs)),
             Value::List(vec![1, 2, 3])
         );
         assert_eq!(
@@ -705,19 +705,19 @@ mod tests {
     fn map_sort_reverse_scan_zip() {
         let xs = Value::List(vec![3, 1, 2]);
         assert_eq!(
-            Function::Map(MapOp::Mul2).apply(&[xs.clone()]),
+            Function::Map(MapOp::Mul2).apply(std::slice::from_ref(&xs)),
             Value::List(vec![6, 2, 4])
         );
         assert_eq!(
-            Function::Sort.apply(&[xs.clone()]),
+            Function::Sort.apply(std::slice::from_ref(&xs)),
             Value::List(vec![1, 2, 3])
         );
         assert_eq!(
-            Function::Reverse.apply(&[xs.clone()]),
+            Function::Reverse.apply(std::slice::from_ref(&xs)),
             Value::List(vec![2, 1, 3])
         );
         assert_eq!(
-            Function::Scanl1(BinOp::Add).apply(&[xs.clone()]),
+            Function::Scanl1(BinOp::Add).apply(std::slice::from_ref(&xs)),
             Value::List(vec![3, 4, 6])
         );
         assert_eq!(
@@ -752,7 +752,7 @@ mod tests {
             Function::Scanl1(BinOp::Mul),
             Function::Sum,
         ] {
-            let _ = f.apply(&[huge.clone()]);
+            let _ = f.apply(std::slice::from_ref(&huge));
         }
         let _ = Function::ZipWith(BinOp::Mul).apply(&[huge.clone(), huge]);
     }

@@ -41,27 +41,67 @@ pub fn resolve_arg_sources(
     input_types: &[Type],
 ) -> Vec<ArgSource> {
     let wanted = function.signature().inputs;
-    let mut used_statements = Vec::new();
-    let mut used_inputs = Vec::new();
+    // This resolver runs for every statement of every candidate the GA
+    // evaluates, so the "already used" sets are fixed-size bitsets rather
+    // than heap-allocated vectors with O(n) membership scans. 128 bits cover
+    // any realistic program length / input count; the (never exercised)
+    // overflow fallback keeps long synthetic programs correct.
+    if stmt_index <= 128 && input_types.len() <= 128 {
+        let mut used_statements: u128 = 0;
+        let mut used_inputs: u128 = 0;
+        let mut sources = Vec::with_capacity(wanted.len());
+        for ty in wanted {
+            let from_stmt = (0..stmt_index)
+                .rev()
+                .find(|&j| stmt_output_types[j] == ty && used_statements & (1 << j) == 0);
+            if let Some(j) = from_stmt {
+                used_statements |= 1 << j;
+                sources.push(ArgSource::Statement(j));
+                continue;
+            }
+            let from_input = (0..input_types.len())
+                .rev()
+                .find(|&k| input_types[k] == ty && used_inputs & (1 << k) == 0);
+            if let Some(k) = from_input {
+                used_inputs |= 1 << k;
+                sources.push(ArgSource::Input(k));
+                continue;
+            }
+            sources.push(ArgSource::Default(ty));
+        }
+        return sources;
+    }
+    resolve_arg_sources_unbounded(stmt_index, &wanted, stmt_output_types, input_types)
+}
+
+/// Fallback for programs with more than 128 statements or inputs.
+fn resolve_arg_sources_unbounded(
+    stmt_index: usize,
+    wanted: &[Type],
+    stmt_output_types: &[Type],
+    input_types: &[Type],
+) -> Vec<ArgSource> {
+    let mut used_statements = vec![false; stmt_index];
+    let mut used_inputs = vec![false; input_types.len()];
     let mut sources = Vec::with_capacity(wanted.len());
     for ty in wanted {
         let from_stmt = (0..stmt_index)
             .rev()
-            .find(|&j| stmt_output_types[j] == ty && !used_statements.contains(&j));
+            .find(|&j| stmt_output_types[j] == *ty && !used_statements[j]);
         if let Some(j) = from_stmt {
-            used_statements.push(j);
+            used_statements[j] = true;
             sources.push(ArgSource::Statement(j));
             continue;
         }
         let from_input = (0..input_types.len())
             .rev()
-            .find(|&k| input_types[k] == ty && !used_inputs.contains(&k));
+            .find(|&k| input_types[k] == *ty && !used_inputs[k]);
         if let Some(k) = from_input {
-            used_inputs.push(k);
+            used_inputs[k] = true;
             sources.push(ArgSource::Input(k));
             continue;
         }
-        sources.push(ArgSource::Default(ty));
+        sources.push(ArgSource::Default(*ty));
     }
     sources
 }

@@ -200,7 +200,7 @@ impl FromStr for Program {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let functions = s
-            .split(|c| c == ',' || c == ';' || c == '\n' || c == '|')
+            .split([',', ';', '\n', '|'])
             .map(str::trim)
             .filter(|tok| !tok.is_empty())
             .map(Function::from_str)

@@ -148,6 +148,44 @@ pub fn encode_candidate(
     EncodedSample { examples }
 }
 
+/// Encodes many candidates against the same specification, encoding the
+/// specification's IO token sequences exactly once and sharing them across
+/// all samples (the per-candidate path re-encodes the spec for every call).
+///
+/// Produces, for each candidate, exactly what
+/// [`encode_candidate`] produces.
+#[must_use]
+pub fn encode_candidates(
+    config: &EncodingConfig,
+    spec: &IoSpec,
+    candidates: &[Program],
+) -> Vec<EncodedSample> {
+    let io_tokens: Vec<Vec<usize>> = spec
+        .iter()
+        .map(|example| config.encode_example(example))
+        .collect();
+    candidates
+        .iter()
+        .map(|candidate| {
+            let examples = spec
+                .iter()
+                .zip(io_tokens.iter())
+                .map(|(example, tokens)| {
+                    let steps = candidate
+                        .run(&example.inputs)
+                        .map(|execution| encode_trace(config, candidate, &execution))
+                        .unwrap_or_default();
+                    EncodedExample {
+                        io_tokens: tokens.clone(),
+                        steps,
+                    }
+                })
+                .collect();
+            EncodedSample { examples }
+        })
+        .collect()
+}
+
 /// Encodes a specification alone (no candidate, no trace), as consumed by the
 /// FP (function-probability) network.
 #[must_use]
@@ -264,6 +302,22 @@ mod tests {
         let first = &sample.examples[0].steps[0];
         assert_eq!(first.function, Function::Filter(IntPredicate::Positive).index());
         assert_eq!(first.value_tokens, vec![138, 131, 133, 130]);
+    }
+
+    #[test]
+    fn encode_candidates_matches_per_candidate_encoding() {
+        let c = config();
+        let candidates = [
+            target(),
+            Program::new(vec![Function::Head]),
+            Program::default(),
+        ];
+        let batch = encode_candidates(&c, &spec(), &candidates);
+        assert_eq!(batch.len(), candidates.len());
+        for (candidate, sample) in candidates.iter().zip(batch.iter()) {
+            assert_eq!(sample, &encode_candidate(&c, &spec(), candidate));
+        }
+        assert!(encode_candidates(&c, &spec(), &[]).is_empty());
     }
 
     #[test]

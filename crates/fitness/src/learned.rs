@@ -11,6 +11,7 @@
 //!   and also exposes it for FP-guided mutation.
 
 use crate::encoding::encode_candidate;
+use crate::encoding::encode_candidates;
 use crate::encoding::encode_spec;
 use crate::probability::ProbabilityMap;
 use crate::traits::FitnessFunction;
@@ -65,6 +66,17 @@ impl LearnedFitness {
     }
 }
 
+/// The expected class value under the softmax of `logits` — the smooth
+/// fitness signal both the single and the batched scoring paths share.
+fn expected_class_value(logits: &[f32]) -> f64 {
+    let probs = softmax(logits);
+    probs
+        .iter()
+        .enumerate()
+        .map(|(class, &p)| class as f64 * f64::from(p))
+        .sum()
+}
+
 impl FitnessFunction for LearnedFitness {
     fn name(&self) -> &str {
         &self.name
@@ -73,15 +85,27 @@ impl FitnessFunction for LearnedFitness {
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
         let encoded = encode_candidate(self.model.net.encoding(), spec, candidate);
         match self.model.net.predict(&encoded) {
-            Ok(logits) => {
-                let probs = softmax(&logits);
-                probs
-                    .iter()
-                    .enumerate()
-                    .map(|(class, &p)| class as f64 * f64::from(p))
-                    .sum()
-            }
+            Ok(logits) => expected_class_value(&logits),
             Err(_) => 0.0,
+        }
+    }
+
+    /// Batched scoring: encodes the specification once, runs every candidate
+    /// through the network in a single batched forward pass
+    /// (`FitnessNet::predict_batch`) and converts each logit row with the
+    /// same expected-value readout as [`FitnessFunction::score`] — scores
+    /// are bit-identical to the per-candidate path.
+    fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        let encoded = encode_candidates(self.model.net.encoding(), spec, candidates);
+        match self.model.net.predict_batch(&encoded) {
+            Ok(rows) => rows.iter().map(|logits| expected_class_value(logits)).collect(),
+            // A batched failure cannot tell which sample was invalid; fall
+            // back to the per-candidate path so error semantics (0.0 for the
+            // offending candidates only) are preserved.
+            Err(_) => candidates
+                .iter()
+                .map(|candidate| self.score(candidate, spec))
+                .collect(),
         }
     }
 
@@ -171,6 +195,15 @@ impl FitnessFunction for ProbabilityFitness {
 
     fn score(&self, candidate: &Program, _spec: &IoSpec) -> f64 {
         self.map.score(candidate)
+    }
+
+    /// Batched scoring: the FP score depends only on the fixed probability
+    /// map, so the batch path simply skips the per-call dynamic dispatch.
+    fn score_batch(&self, candidates: &[Program], _spec: &IoSpec) -> Vec<f64> {
+        candidates
+            .iter()
+            .map(|candidate| self.map.score(candidate))
+            .collect()
     }
 
     fn max_score(&self) -> f64 {

@@ -20,6 +20,31 @@
 //!
 //! All fitness functions implement the common [`FitnessFunction`] trait used
 //! by the GA engine and the baselines.
+//!
+//! ## Batched scoring
+//!
+//! Ranking thousands of GA candidates per generation is the system's hot
+//! path, so the trait also exposes
+//! [`FitnessFunction::score_batch`]: score many candidates against one
+//! specification in a single call. The default implementation loops over
+//! `score`; the neural implementations override it —
+//! [`LearnedFitness::score_batch`](FitnessFunction::score_batch) encodes the
+//! specification **once** (instead of re-encoding it per candidate, see
+//! [`encoding::encode_candidates`]), dedups repeated IO and trace-value
+//! token sequences across the batch, and pushes the whole population
+//! through [`FitnessNet::predict_batch`], where every LSTM stage steps all
+//! sequences together and the head classifies the batch with one GEMM.
+//!
+//! Batching is a pure performance optimization: every override returns
+//! scores **bit-identical** to the per-candidate path (asserted by the
+//! `score_batch_equivalence` integration tests for the CF, LCS and FP
+//! models), so GA search trajectories are unchanged.
+//!
+//! The GA engine additionally keeps a per-synthesis **fitness memo** keyed
+//! by program: a candidate's score is a pure function of `(program, spec)`,
+//! so duplicate offspring (reproduction copies, re-discovered programs) are
+//! served from the memo and never re-scored. The memo lives for one
+//! `synthesize` call because scores are specification-specific.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -15,11 +15,12 @@
 
 use crate::encoding::{function_vocab_size, EncodedSample, EncodingConfig};
 use netsyn_nn::{
-    Activation, Embedding, Lstm, LstmCache, Mlp, MlpCache, NnError, Param, Parameterized,
+    Activation, Embedding, Lstm, LstmCache, Matrix, Mlp, MlpCache, NnError, Param, Parameterized,
     SequenceEncoder, SequenceEncoderCache,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Hyper-parameters of the fitness network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -218,6 +219,110 @@ impl FitnessNet {
         self.forward(sample).map(|(logits, _)| logits)
     }
 
+    /// Batched inference over many encoded samples — the hot path when a
+    /// whole GA population is scored per generation.
+    ///
+    /// All four network stages run over the entire batch at once: the IO
+    /// encoder sees each *distinct* IO token sequence exactly once (samples
+    /// encoded against the same specification share its encoding instead of
+    /// recomputing it per candidate), the trace-step encoder processes every
+    /// trace value of every sample in one batched call, and the trace and
+    /// example LSTMs step all sequences together (see
+    /// [`Lstm::forward_batch`]). Returns one logit vector per sample, in
+    /// input order, bit-identical to per-sample [`FitnessNet::predict`]
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if any token of any sample is
+    /// outside the configured vocabularies. Unlike the per-sample path the
+    /// whole batch fails, so callers that need per-sample error isolation
+    /// should fall back to [`FitnessNet::predict`] on error.
+    pub fn predict_batch(&self, samples: &[EncodedSample]) -> Result<Vec<Vec<f32>>, NnError> {
+        if samples.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Stage 1: encode every *distinct* IO token sequence once.
+        let mut io_unique: Vec<&[usize]> = Vec::new();
+        let mut io_id_of: HashMap<&[usize], usize> = HashMap::new();
+        let mut io_ids: Vec<Vec<usize>> = Vec::with_capacity(samples.len());
+        for sample in samples {
+            let ids = sample
+                .examples
+                .iter()
+                .map(|example| {
+                    *io_id_of.entry(example.io_tokens.as_slice()).or_insert_with(|| {
+                        io_unique.push(example.io_tokens.as_slice());
+                        io_unique.len() - 1
+                    })
+                })
+                .collect();
+            io_ids.push(ids);
+        }
+        let io_hidden = self.io_encoder.forward_batch(&io_unique)?;
+
+        // Stage 2: encode every *distinct* trace value once (candidate
+        // traces repeat heavily — empty lists, shared intermediate values —
+        // and the encoder is a deterministic function of the tokens).
+        let mut step_unique: Vec<&[usize]> = Vec::new();
+        let mut step_id_of: HashMap<&[usize], usize> = HashMap::new();
+        let step_ids: Vec<usize> = samples
+            .iter()
+            .flat_map(|sample| sample.examples.iter())
+            .flat_map(|example| example.steps.iter())
+            .map(|step| {
+                *step_id_of.entry(step.value_tokens.as_slice()).or_insert_with(|| {
+                    step_unique.push(step.value_tokens.as_slice());
+                    step_unique.len() - 1
+                })
+            })
+            .collect();
+        let step_hidden = self.step_encoder.forward_batch(&step_unique)?;
+
+        // Stage 3: one (function embedding ‖ step encoding) sequence per
+        // example, combined by the trace LSTM over the whole batch.
+        let mut trace_sequences = Vec::new();
+        let mut flat_step = 0usize;
+        for sample in samples {
+            for example in &sample.examples {
+                let mut inputs = Vec::with_capacity(example.steps.len());
+                for step in &example.steps {
+                    let mut combined = self.function_embedding.lookup(step.function)?;
+                    combined.extend_from_slice(&step_hidden[step_ids[flat_step]]);
+                    flat_step += 1;
+                    inputs.push(combined);
+                }
+                trace_sequences.push(inputs);
+            }
+        }
+        let trace_hidden = self.trace_lstm.forward_batch(&trace_sequences);
+
+        // Stage 4: one (io encoding ‖ trace encoding) sequence per sample,
+        // combined by the example LSTM over the whole batch.
+        let mut example_sequences = Vec::with_capacity(samples.len());
+        let mut flat_example = 0usize;
+        for ids in &io_ids {
+            let mut vectors = Vec::with_capacity(ids.len());
+            for &io_id in ids {
+                let mut vector = io_hidden[io_id].clone();
+                vector.extend_from_slice(&trace_hidden[flat_example]);
+                flat_example += 1;
+                vectors.push(vector);
+            }
+            example_sequences.push(vectors);
+        }
+        let summaries = self.example_lstm.forward_batch(&example_sequences);
+
+        // Stage 5: classify all summaries with one batched head pass.
+        let mut summary_mat = Matrix::zeros(samples.len(), self.config.example_hidden_dim);
+        for (row, summary) in summaries.iter().enumerate() {
+            summary_mat.row_mut(row).copy_from_slice(summary);
+        }
+        let logits = self.head.forward_batch(&summary_mat);
+        Ok((0..samples.len()).map(|row| logits.row(row).to_vec()).collect())
+    }
+
     /// Backward pass: accumulates gradients in every component given the
     /// gradient of the loss with respect to the output logits.
     pub fn backward(&mut self, cache: &FitnessNetCache, grad_logits: &[f32]) {
@@ -332,6 +437,47 @@ mod tests {
         let other = Program::new(vec![Function::Head, Function::Sum, Function::Last]);
         let b = encode_candidate(net.encoding(), &spec(), &other);
         assert_ne!(net.predict(&a).unwrap(), net.predict(&b).unwrap());
+    }
+
+    #[test]
+    fn batched_predict_is_bit_identical_to_single() {
+        let net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        let candidates = [
+            target(),
+            Program::new(vec![Function::Head, Function::Sum, Function::Last]),
+            Program::default(),
+            target(), // duplicate: must get the identical logits
+        ];
+        let samples: Vec<EncodedSample> = candidates
+            .iter()
+            .map(|c| encode_candidate(net.encoding(), &spec(), c))
+            .collect();
+        let batched = net.predict_batch(&samples).unwrap();
+        assert_eq!(batched.len(), samples.len());
+        for (sample, batch_logits) in samples.iter().zip(batched.iter()) {
+            let single = net.predict(sample).unwrap();
+            assert_eq!(batch_logits.len(), single.len());
+            for (a, b) in batch_logits.iter().zip(single.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        assert!(net.predict_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batched_predict_handles_spec_only_samples() {
+        // The FP head has no traces; batching must cope with step-less
+        // examples mixed into the same call.
+        let net = FitnessNet::new(tiny_config(41), EncodingConfig::new(), &mut rng());
+        let with_trace = encode_candidate(net.encoding(), &spec(), &target());
+        let spec_only = encode_spec(net.encoding(), &spec());
+        let batched = net.predict_batch(&[spec_only.clone(), with_trace.clone()]).unwrap();
+        for (sample, batch_logits) in [spec_only, with_trace].iter().zip(batched.iter()) {
+            let single = net.predict(sample).unwrap();
+            for (a, b) in batch_logits.iter().zip(single.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

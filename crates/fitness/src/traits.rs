@@ -18,6 +18,25 @@ pub trait FitnessFunction: Send + Sync {
     /// Scores a candidate program against the specification.
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64;
 
+    /// Scores many candidates against one specification, returning one score
+    /// per candidate in input order.
+    ///
+    /// The default implementation scores candidates independently, in
+    /// parallel on multicore hosts (scores are pure functions of
+    /// `(candidate, spec)`, and the results are collected in input order,
+    /// so this is deterministic). Implementations backed by neural models
+    /// override it to run the whole batch through the network in one pass
+    /// (see `LearnedFitness`), which is the hot path of the genetic
+    /// algorithm: every override must return exactly the scores the
+    /// per-candidate path would return.
+    fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        use rayon::prelude::*;
+        candidates
+            .par_iter()
+            .map(|candidate| self.score(candidate, spec))
+            .collect()
+    }
+
     /// The score a perfect candidate would receive.
     fn max_score(&self) -> f64;
 
@@ -37,6 +56,10 @@ impl<F: FitnessFunction + ?Sized> FitnessFunction for Box<F> {
 
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
         (**self).score(candidate, spec)
+    }
+
+    fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        (**self).score_batch(candidates, spec)
     }
 
     fn max_score(&self) -> f64 {

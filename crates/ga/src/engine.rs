@@ -15,8 +15,8 @@ use netsyn_dsl::dce::has_dead_code;
 use netsyn_dsl::{Function, IoSpec, Program, Type};
 use netsyn_fitness::{FitnessFunction, ProbabilityMap};
 use rand::Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Result of one synthesis attempt.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,6 +90,10 @@ impl GeneticEngine {
             spec.input_types()
         };
         let probability_map = fitness.probability_map(spec);
+        // Fitness memo keyed by program: duplicate offspring (reproduction
+        // copies, re-discovered programs) are never re-scored. Lives for one
+        // synthesis run because scores are specific to `spec`.
+        let mut memo: HashMap<Program, f64> = HashMap::new();
         let mut detector = SaturationDetector::new(self.config.saturation_window);
         let mut average_history = Vec::new();
         let mut best_history = Vec::new();
@@ -123,7 +127,7 @@ impl GeneticEngine {
         }
 
         for generation in 1..=self.config.max_generations {
-            Self::evaluate_population(&mut population, fitness, spec);
+            Self::evaluate_population(&mut population, fitness, spec, &mut memo);
             let average = population.average_fitness();
             let best = population.best_fitness().unwrap_or(0.0);
             average_history.push(average);
@@ -231,18 +235,45 @@ impl GeneticEngine {
         }
     }
 
-    /// Evaluates the fitness of every not-yet-scored gene, in parallel.
-    fn evaluate_population<F>(population: &mut Population, fitness: &F, spec: &IoSpec)
-    where
+    /// Evaluates the fitness of every not-yet-scored gene.
+    ///
+    /// Previously-seen programs are served from `memo`; the remaining
+    /// *unique* programs are scored with a single
+    /// [`FitnessFunction::score_batch`] call, so a learned fitness runs one
+    /// batched network pass per generation instead of one forward pass per
+    /// gene.
+    fn evaluate_population<F>(
+        population: &mut Population,
+        fitness: &F,
+        spec: &IoSpec,
+        memo: &mut HashMap<Program, f64>,
+    ) where
         F: FitnessFunction + ?Sized,
     {
-        population
-            .genes_mut()
-            .par_iter_mut()
-            .filter(|gene| gene.fitness.is_none())
-            .for_each(|gene| {
-                gene.fitness = Some(fitness.score(&gene.program, spec));
-            });
+        let mut unscored: Vec<Program> = Vec::new();
+        let mut pending: std::collections::HashSet<Program> = std::collections::HashSet::new();
+        for gene in population.genes_mut().iter_mut() {
+            if gene.fitness.is_some() {
+                continue;
+            }
+            if let Some(&score) = memo.get(&gene.program) {
+                gene.fitness = Some(score);
+            } else if pending.insert(gene.program.clone()) {
+                unscored.push(gene.program.clone());
+            }
+        }
+        if !unscored.is_empty() {
+            let scores = fitness.score_batch(&unscored, spec);
+            debug_assert_eq!(scores.len(), unscored.len());
+            for (program, score) in unscored.into_iter().zip(scores) {
+                memo.insert(program, score);
+            }
+            for gene in population.genes_mut().iter_mut() {
+                if gene.fitness.is_none() {
+                    gene.fitness = memo.get(&gene.program).copied();
+                }
+            }
+        }
     }
 
     /// Samples a random program of the configured length without dead code

@@ -91,11 +91,15 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
     budget: &mut SearchBudget,
 ) -> NeighborhoodOutcome {
     let mut evaluated = 0usize;
+    let mut neighbors: Vec<Program> = Vec::with_capacity(Function::ALL.len());
     for gene in genes {
         let mut current_gene = gene.clone();
         for position in 0..current_gene.len() {
             let current = current_gene.get(position).expect("position in range");
-            let mut best_neighbor: Option<(Program, f64)> = None;
+            // Collect the whole position's neighborhood first (checking
+            // satisfaction along the way), then rank it with one batched
+            // fitness call instead of ~|Σ| single-candidate network passes.
+            neighbors.clear();
             for replacement in Function::ALL {
                 if replacement == current {
                     continue;
@@ -114,18 +118,21 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
                         candidates_evaluated: evaluated,
                     };
                 }
-                let score = fitness.score(&neighbor, spec);
-                if best_neighbor
-                    .as_ref()
-                    .map_or(true, |(_, best)| score > *best)
-                {
-                    best_neighbor = Some((neighbor, score));
+                neighbors.push(neighbor);
+            }
+            let scores = fitness.score_batch(&neighbors, spec);
+            // First-strictly-greatest wins, matching the original
+            // one-at-a-time comparison order over Function::ALL.
+            let mut best: Option<(usize, f64)> = None;
+            for (index, &score) in scores.iter().enumerate() {
+                if best.is_none_or(|(_, best_score)| score > best_score) {
+                    best = Some((index, score));
                 }
             }
             // The paper's DFS variant replaces ζ with the best-scoring gene
             // of the neighborhood before descending to the next position.
-            if let Some((neighbor, _)) = best_neighbor {
-                current_gene = neighbor;
+            if let Some((index, _)) = best {
+                current_gene = neighbors.swap_remove(index);
             }
         }
     }
@@ -218,7 +225,7 @@ mod tests {
         let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
         let mut budget = SearchBudget::new(100_000);
         let bfs = search(
-            &[two_off.clone()],
+            std::slice::from_ref(&two_off),
             &spec(),
             NeighborhoodStrategy::Bfs,
             &oracle,

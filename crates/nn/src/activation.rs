@@ -1,5 +1,7 @@
-//! Scalar activation functions and their derivatives.
+//! Scalar activation functions and their derivatives, plus row-batched
+//! variants used by the batched inference path.
 
+use crate::tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Logistic sigmoid.
@@ -54,6 +56,25 @@ pub fn softmax(xs: &[f32]) -> Vec<f32> {
     exps.into_iter().map(|e| e / sum).collect()
 }
 
+/// Row-wise softmax over a batch of logits (one distribution per row).
+///
+/// Each row is computed with exactly the same operations as [`softmax`], so
+/// batched inference is bit-identical to the per-sample path.
+#[must_use]
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        out.row_mut(r).copy_from_slice(&softmax(logits.row(r)));
+    }
+    out
+}
+
+/// Element-wise sigmoid over a batch of logits.
+#[must_use]
+pub fn sigmoid_rows(logits: &Matrix) -> Matrix {
+    logits.map(sigmoid)
+}
+
 /// Element-wise activation used between MLP layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Activation {
@@ -80,6 +101,14 @@ impl Activation {
     #[must_use]
     pub fn apply_slice(self, xs: &[f32]) -> Vec<f32> {
         xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Applies the activation element-wise to every row of a matrix, in
+    /// place (the batched counterpart of [`Activation::apply_slice`]).
+    pub fn apply_rows(self, m: &mut Matrix) {
+        for x in m.data_mut() {
+            *x = self.apply(*x);
+        }
     }
 
     /// Derivative of the activation with respect to its *pre-activation*
@@ -143,6 +172,37 @@ mod tests {
         }
         let xs = [-1.0, 0.0, 1.0];
         assert_eq!(Activation::Relu.apply_slice(&xs), vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn batched_softmax_and_sigmoid_match_single_rows() {
+        let logits = Matrix::from_vec(
+            3,
+            4,
+            vec![
+                1.0, 2.0, 3.0, 4.0, -1.0, 0.0, 1.0, 1000.0, 0.5, 0.5, 0.5, 0.5,
+            ],
+        );
+        let soft = softmax_rows(&logits);
+        let sig = sigmoid_rows(&logits);
+        for r in 0..logits.rows() {
+            let expected_soft = softmax(logits.row(r));
+            let expected_sig: Vec<f32> = logits.row(r).iter().map(|&x| sigmoid(x)).collect();
+            for c in 0..logits.cols() {
+                assert_eq!(soft.get(r, c).to_bits(), expected_soft[c].to_bits());
+                assert_eq!(sig.get(r, c).to_bits(), expected_sig[c].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_rows_matches_apply_slice() {
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            let mut m = Matrix::from_vec(2, 3, vec![-1.0, 0.0, 1.0, 2.0, -2.0, 0.5]);
+            let expected: Vec<f32> = m.data().iter().map(|&x| act.apply(x)).collect();
+            act.apply_rows(&mut m);
+            assert_eq!(m.data(), &expected[..]);
+        }
     }
 
     #[test]

@@ -76,6 +76,23 @@ impl SequenceEncoder {
         ))
     }
 
+    /// Batched inference over many token sequences: embeds every sequence
+    /// and runs the LSTM over the whole batch (see [`Lstm::forward_batch`]).
+    /// Returns one final hidden state per sequence, in input order,
+    /// bit-identical to per-sequence [`SequenceEncoder::forward`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if any token of any sequence is
+    /// outside the vocabulary.
+    pub fn forward_batch(&self, sequences: &[&[usize]]) -> Result<Vec<Vec<f32>>, NnError> {
+        let embedded: Vec<Vec<Vec<f32>>> = sequences
+            .iter()
+            .map(|tokens| self.embedding.forward(tokens))
+            .collect::<Result<_, _>>()?;
+        Ok(self.lstm.forward_batch(&embedded))
+    }
+
     /// Backpropagates a gradient on the encoder output, accumulating
     /// parameter gradients in the LSTM and the embedding table.
     pub fn backward(&mut self, cache: &SequenceEncoderCache, grad_hidden: &[f32]) {
@@ -129,6 +146,22 @@ mod tests {
         let (c, _) = enc.forward(&[1, 2, 3]).unwrap();
         assert_eq!(a, c);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_single() {
+        let enc = encoder();
+        let sequences: Vec<&[usize]> = vec![&[1, 2, 3, 4], &[], &[9, 0], &[1, 2, 3, 4], &[5]];
+        let batched = enc.forward_batch(&sequences).unwrap();
+        assert_eq!(batched.len(), sequences.len());
+        for (tokens, batch_h) in sequences.iter().zip(batched.iter()) {
+            let (single_h, _) = enc.forward(tokens).unwrap();
+            for (a, b) in batch_h.iter().zip(single_h.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Out-of-vocabulary tokens fail the whole batch.
+        assert!(enc.forward_batch(&[&[1][..], &[10][..]]).is_err());
     }
 
     #[test]

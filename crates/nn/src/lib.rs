@@ -20,6 +20,30 @@
 //! Everything is deterministic given an explicit RNG and serializable with
 //! serde, so trained fitness models can be checkpointed to JSON and reloaded.
 //!
+//! ## Batched inference
+//!
+//! Training runs sample-by-sample, but the genetic algorithm *scores whole
+//! populations per generation*, so every layer also has a batch-aware
+//! inference path:
+//!
+//! * [`Matrix::matmul`] / [`Matrix::matmul_into`] — a cache-blocked matrix
+//!   product, parallelized across output rows for large operands, with a
+//!   reusable-output-buffer variant for hot loops;
+//! * [`Linear::forward_batch`] and [`Mlp::forward_batch`] — one GEMM per
+//!   layer over a `batch x dim` matrix instead of `batch` GEMVs;
+//! * [`Lstm::forward_batch`] and [`SequenceEncoder::forward_batch`] —
+//!   variable-length sequences are sorted by length so the still-active
+//!   batch is always a contiguous prefix, and every time step computes all
+//!   four gates for that prefix with two matrix products;
+//! * [`activation::softmax_rows`] / [`activation::sigmoid_rows`] — row-wise
+//!   batched readouts.
+//!
+//! The batched paths are **bit-identical** to their per-sample
+//! counterparts: the accumulation order over the inner dimension is the
+//! same in `matmul` and `matvec`, and every gate uses the same scalar
+//! expression, so `forward_batch` results can be compared to `forward`
+//! results with `==`. The test-suite asserts this per layer and end-to-end.
+//!
 //! ## Example
 //!
 //! ```

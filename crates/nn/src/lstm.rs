@@ -156,6 +156,147 @@ impl Lstm {
         (h, cache)
     }
 
+    /// Batched inference over many sequences at once: returns the final
+    /// hidden state of every sequence, in input order. No cache is kept, so
+    /// this is inference-only.
+    ///
+    /// Sequences are sorted by length internally (longest first) so that at
+    /// each time step the still-active sequences form a contiguous prefix —
+    /// same-length sequences are thereby stepped together — and each step
+    /// computes the four gates for the whole prefix with two matrix
+    /// products instead of `2 x batch` GEMVs. Results are bit-identical to
+    /// calling [`Lstm::forward`] per sequence; empty sequences yield the
+    /// all-zero hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector does not have dimension `input_dim`.
+    #[must_use]
+    pub fn forward_batch(&self, sequences: &[Vec<Vec<f32>>]) -> Vec<Vec<f32>> {
+        let h_dim = self.hidden_dim;
+        let mut finals = vec![vec![0.0; h_dim]; sequences.len()];
+        // Longest first; ties keep input order for determinism.
+        let mut order: Vec<usize> = (0..sequences.len()).collect();
+        order.sort_by(|&a, &b| sequences[b].len().cmp(&sequences[a].len()).then(a.cmp(&b)));
+        let mut active = order
+            .iter()
+            .take_while(|&&idx| !sequences[idx].is_empty())
+            .count();
+        if active == 0 {
+            return finals;
+        }
+        let max_len = sequences[order[0]].len();
+
+        // Pre-transpose the weights once so every step is a plain matmul.
+        let w_ih_t = self.w_ih.value.transpose();
+        let w_hh_t = self.w_hh.value.transpose();
+        let bias = self.bias.value.row(0);
+
+        let mut h_mat = Matrix::zeros(active, h_dim);
+        let mut c_mat = Matrix::zeros(active, h_dim);
+        let mut x_mat = Matrix::zeros(active, self.input_dim);
+        let mut zx = Matrix::zeros(0, 0);
+        let mut zh = Matrix::zeros(0, 0);
+        for t in 0..max_len {
+            // Sequences shorter than t + 1 drop out of the active prefix;
+            // their hidden state is final.
+            let still_active = order[..active]
+                .iter()
+                .take_while(|&&idx| sequences[idx].len() > t)
+                .count();
+            for slot in still_active..active {
+                finals[order[slot]] = h_mat.row(slot).to_vec();
+            }
+            active = still_active;
+            h_mat.truncate_rows(active);
+            c_mat.truncate_rows(active);
+            x_mat.truncate_rows(active);
+
+            for (slot, &idx) in order[..active].iter().enumerate() {
+                let x = &sequences[idx][t];
+                assert_eq!(x.len(), self.input_dim, "lstm input dimension mismatch");
+                x_mat.row_mut(slot).copy_from_slice(x);
+            }
+            x_mat.matmul_into(&w_ih_t, &mut zx);
+            h_mat.matmul_into(&w_hh_t, &mut zh);
+
+            // Gate pass, split in two so each runs element-wise over one
+            // matrix and can be parallelized across rows: first
+            // c = f * c_prev + i * g in place, then h = o * tanh(c).
+            // z = (x W_ih^T + h W_hh^T) + bias throughout — the exact op
+            // order of Lstm::step, so results stay bit-identical.
+            let zx_ref = &zx;
+            let zh_ref = &zh;
+            let update_c = |first_slot: usize, c_rows: &mut [f32]| {
+                for (local, c_row) in c_rows.chunks_mut(h_dim).enumerate() {
+                    let zx_row = zx_ref.row(first_slot + local);
+                    let zh_row = zh_ref.row(first_slot + local);
+                    for (j, c) in c_row.iter_mut().enumerate() {
+                        let i = sigmoid((zx_row[j] + zh_row[j]) + bias[j]);
+                        let f = sigmoid(
+                            (zx_row[h_dim + j] + zh_row[h_dim + j]) + bias[h_dim + j],
+                        );
+                        let g = tanh(
+                            (zx_row[2 * h_dim + j] + zh_row[2 * h_dim + j])
+                                + bias[2 * h_dim + j],
+                        );
+                        *c = f * *c + i * g;
+                    }
+                }
+            };
+            // The sigmoid/tanh evaluations dominate large batches; spread
+            // rows over the worker pool once the batch is big enough to
+            // amortize the dispatch.
+            const GATE_PAR_THRESHOLD: usize = 1 << 13;
+            let workers = if active * h_dim >= GATE_PAR_THRESHOLD {
+                rayon::current_num_threads().min(active).max(1)
+            } else {
+                1
+            };
+            let rows_per_chunk = active.div_ceil(workers.max(1)).max(1);
+            {
+                use rayon::prelude::ParallelSliceMut;
+                c_mat
+                    .data_mut()
+                    .par_chunks_mut(rows_per_chunk * h_dim)
+                    .enumerate()
+                    .for_each(|(chunk_index, chunk)| {
+                        update_c(chunk_index * rows_per_chunk, chunk);
+                    });
+            }
+            let c_ref = &c_mat;
+            let update_h = |first_slot: usize, h_rows: &mut [f32]| {
+                for (local, h_row) in h_rows.chunks_mut(h_dim).enumerate() {
+                    let slot = first_slot + local;
+                    let zx_row = zx_ref.row(slot);
+                    let zh_row = zh_ref.row(slot);
+                    let c_row = c_ref.row(slot);
+                    for (j, h) in h_row.iter_mut().enumerate() {
+                        let o = sigmoid(
+                            (zx_row[3 * h_dim + j] + zh_row[3 * h_dim + j])
+                                + bias[3 * h_dim + j],
+                        );
+                        *h = o * tanh(c_row[j]);
+                    }
+                }
+            };
+            {
+                use rayon::prelude::ParallelSliceMut;
+                h_mat
+                    .data_mut()
+                    .par_chunks_mut(rows_per_chunk * h_dim)
+                    .enumerate()
+                    .for_each(|(chunk_index, chunk)| {
+                        update_h(chunk_index * rows_per_chunk, chunk);
+                    });
+            }
+        }
+        for slot in 0..active {
+            finals[order[slot]] = h_mat.row(slot).to_vec();
+        }
+        finals
+    }
+
     /// Backpropagates a gradient on the final hidden state through the cached
     /// sequence. Parameter gradients are accumulated in place and the
     /// gradient with respect to each input vector is returned (in sequence
@@ -279,6 +420,40 @@ mod tests {
         let (_, empty_cache) = lstm.forward(&[]);
         let grads = lstm.backward(&empty_cache, &[0.0; 4]);
         assert!(grads.is_empty());
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_single() {
+        let lstm = Lstm::new(3, 5, &mut rng());
+        // Mixed lengths, duplicates, and an empty sequence.
+        let sequences: Vec<Vec<Vec<f32>>> = vec![
+            sample_sequence(4, 3),
+            sample_sequence(7, 3),
+            Vec::new(),
+            sample_sequence(1, 3),
+            sample_sequence(4, 3),
+            sample_sequence(2, 3),
+        ];
+        let batched = lstm.forward_batch(&sequences);
+        assert_eq!(batched.len(), sequences.len());
+        for (seq, batch_h) in sequences.iter().zip(batched.iter()) {
+            let (single_h, _) = lstm.forward(seq);
+            assert_eq!(batch_h.len(), single_h.len());
+            for (a, b) in batch_h.iter().zip(single_h.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "length {}", seq.len());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_forward_handles_degenerate_batches() {
+        let lstm = Lstm::new(2, 3, &mut rng());
+        assert!(lstm.forward_batch(&[]).is_empty());
+        let all_empty = lstm.forward_batch(&[Vec::new(), Vec::new()]);
+        assert_eq!(all_empty, vec![vec![0.0; 3], vec![0.0; 3]]);
+        let one = lstm.forward_batch(&[sample_sequence(5, 2)]);
+        let (single, _) = lstm.forward(&sample_sequence(5, 2));
+        assert_eq!(one[0], single);
     }
 
     /// Full numerical gradient check of the LSTM through time: parameters,

@@ -4,6 +4,7 @@
 use crate::activation::Activation;
 use crate::linear::Linear;
 use crate::param::{Param, Parameterized};
+use crate::tensor::Matrix;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -81,6 +82,34 @@ impl Mlp {
         self.forward(x).0
     }
 
+    /// Batched inference pass: one input per row of `x` (shape
+    /// `batch x in_dim`), producing a `batch x out_dim` logit matrix. Each
+    /// layer runs as a single matrix product over the whole batch; no cache
+    /// is kept, so this is inference-only.
+    ///
+    /// Per row, results are bit-identical to [`Mlp::predict`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()`.
+    #[must_use]
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut current = self.layers[0].forward_batch(x);
+        if last != 0 {
+            self.activation.apply_rows(&mut current);
+        }
+        let mut next = Matrix::zeros(0, 0);
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            layer.forward_batch_into(&current, &mut next);
+            if i != last {
+                self.activation.apply_rows(&mut next);
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
     /// Backward pass: accumulates parameter gradients and returns the
     /// gradient with respect to the input.
     ///
@@ -154,6 +183,23 @@ mod tests {
     #[should_panic(expected = "at least input and output")]
     fn rejects_too_few_sizes() {
         let _ = Mlp::new(&[4], Activation::Relu, &mut rng());
+    }
+
+    #[test]
+    fn batched_forward_is_bit_identical_to_single() {
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            let mut r = rng();
+            let mlp = Mlp::new(&[6, 12, 5, 3], act, &mut r);
+            let batch = Matrix::uniform(17, 6, 1.0, &mut r);
+            let out = mlp.forward_batch(&batch);
+            assert_eq!(out.shape(), (17, 3));
+            for row in 0..batch.rows() {
+                let single = mlp.predict(batch.row(row));
+                for (a, b) in out.row(row).iter().zip(single.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{act:?} row {row}");
+                }
+            }
+        }
     }
 
     #[test]

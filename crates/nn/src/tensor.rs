@@ -135,13 +135,79 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self * other`.
+    /// Matrix product `self * other`, cache-blocked and parallelized across
+    /// output rows for large operands.
+    ///
+    /// Accumulation over the inner dimension is strictly ascending for every
+    /// output element — the same order [`Matrix::matvec`] uses — so batched
+    /// forward passes produce bit-identical results to their per-sample
+    /// counterparts.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.rows`.
     #[must_use]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided output buffer,
+    /// reshaping (and reallocating only if needed) so hot loops can reuse
+    /// one allocation across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        out.rows = self.rows;
+        out.cols = other.cols;
+        out.data.clear();
+        out.data.resize(self.rows * other.cols, 0.0);
+
+        if self.rows == 0 || other.cols == 0 {
+            return;
+        }
+
+        // Below this many multiply-adds, thread spawn overhead dominates.
+        const PAR_WORK_THRESHOLD: usize = 1 << 19;
+        let work = self.rows * self.cols * other.cols;
+        let workers = if work < PAR_WORK_THRESHOLD {
+            1
+        } else {
+            rayon::current_num_threads().min(self.rows)
+        };
+        if workers <= 1 {
+            matmul_rows(&self.data, &other.data, &mut out.data, 0, self.rows, self.cols, other.cols);
+            return;
+        }
+        use rayon::prelude::ParallelSliceMut;
+        let rows_per_chunk = self.rows.div_ceil(workers);
+        let (k_dim, n_dim) = (self.cols, other.cols);
+        out.data
+            .par_chunks_mut(rows_per_chunk * n_dim)
+            .enumerate()
+            .for_each(|(chunk_index, chunk)| {
+                let row_start = chunk_index * rows_per_chunk;
+                let row_count = chunk.len() / n_dim;
+                matmul_rows(&self.data, &other.data, chunk, row_start, row_count, k_dim, n_dim);
+            });
+    }
+
+    /// Reference `O(n^3)` triple-loop product, kept as the ground truth the
+    /// blocked kernel is tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    #[must_use]
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
@@ -151,9 +217,6 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let row_out = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 let row_b = &other.data[k * other.cols..(k + 1) * other.cols];
                 for (o, &b) in row_out.iter_mut().zip(row_b.iter()) {
@@ -269,6 +332,34 @@ impl Matrix {
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 
+    /// Adds `row` to every row of the matrix in place (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != cols`.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        for r in 0..self.rows {
+            for (o, &b) in self.data[r * self.cols..(r + 1) * self.cols]
+                .iter_mut()
+                .zip(row.iter())
+            {
+                *o += b;
+            }
+        }
+    }
+
+    /// Shrinks the matrix to its first `n` rows (no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > rows`.
+    pub fn truncate_rows(&mut self, n: usize) {
+        assert!(n <= self.rows, "cannot truncate {} rows to {n}", self.rows);
+        self.rows = n;
+        self.data.truncate(n * self.cols);
+    }
+
     /// Adds the outer product `alpha * u * v^T` to this matrix in place.
     ///
     /// # Panics
@@ -286,6 +377,48 @@ impl Matrix {
                 *r += alpha * ui * vj;
             }
         }
+    }
+}
+
+/// The cache-blocked inner kernel of [`Matrix::matmul`]: computes output
+/// rows `row_start..row_start + row_count` into `out` (a buffer holding
+/// exactly those rows).
+///
+/// Blocking over rows and the inner dimension keeps a `KB x n_dim` panel of
+/// `b` hot in cache across `IB` output rows; the `k` loop stays strictly
+/// ascending per output element so results are bit-identical to
+/// [`Matrix::matvec`].
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row_start: usize,
+    row_count: usize,
+    k_dim: usize,
+    n_dim: usize,
+) {
+    const IB: usize = 16;
+    const KB: usize = 64;
+    let mut ib = 0;
+    while ib < row_count {
+        let i_end = (ib + IB).min(row_count);
+        let mut kb = 0;
+        while kb < k_dim {
+            let k_end = (kb + KB).min(k_dim);
+            for i in ib..i_end {
+                let a_row = &a[(row_start + i) * k_dim..(row_start + i + 1) * k_dim];
+                let out_row = &mut out[i * n_dim..(i + 1) * n_dim];
+                for k in kb..k_end {
+                    let a_val = a_row[k];
+                    let b_row = &b[k * n_dim..(k + 1) * n_dim];
+                    for (o, &b_val) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += a_val * b_val;
+                    }
+                }
+            }
+            kb = k_end;
+        }
+        ib = i_end;
     }
 }
 
@@ -386,6 +519,82 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        // Cover shapes below and above the blocking and parallel thresholds,
+        // including non-multiples of the block sizes.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 2),
+            (17, 65, 33),
+            (64, 64, 64),
+            (130, 70, 190),
+        ] {
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert_eq!(blocked.shape(), (m, n));
+            for (x, y) in blocked.data().iter().zip(naive.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k}x{n} mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_matvec_per_row() {
+        // The batched inference path relies on X * W^T computing, per row,
+        // exactly what W.matvec(x) computes — bit for bit.
+        let mut rng = ChaCha8Rng::seed_from_u64(34);
+        let w = Matrix::uniform(7, 19, 1.0, &mut rng);
+        let x = Matrix::uniform(5, 19, 1.0, &mut rng);
+        let wt = w.transpose();
+        let y = x.matmul(&wt);
+        for r in 0..x.rows() {
+            let single = w.matvec(x.row(r));
+            for (a, b) in y.row(r).iter().zip(single.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffers_across_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        let mut out = Matrix::zeros(1, 1);
+        let a = Matrix::uniform(4, 6, 1.0, &mut rng);
+        let b = Matrix::uniform(6, 3, 1.0, &mut rng);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (4, 3));
+        assert_eq!(out, a.matmul_naive(&b));
+        // Stale contents and the old shape must not leak into the result.
+        let c = Matrix::uniform(2, 6, 1.0, &mut rng);
+        c.matmul_into(&b, &mut out);
+        assert_eq!(out.shape(), (2, 3));
+        assert_eq!(out, c.matmul_naive(&b));
+    }
+
+    #[test]
+    fn add_row_broadcast_and_truncate_rows() {
+        let mut m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        m.add_row_broadcast(&[10.0, 20.0, 30.0]);
+        assert_eq!(m.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        m.truncate_rows(1);
+        assert_eq!(m.shape(), (1, 3));
+        assert_eq!(m.data(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn empty_matmul_shapes_are_handled() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(a.matmul(&b).shape(), (0, 3));
+        let c = Matrix::zeros(2, 4);
+        let d = Matrix::zeros(4, 0);
+        assert_eq!(c.matmul(&d).shape(), (2, 0));
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = OracleFitness::new(target.clone(), ClosenessMetric::CommonFunctions);
     let mut budget = SearchBudget::new(10_000);
     let outcome = neighborhood::search(
-        &[approximately_correct.clone()],
+        std::slice::from_ref(&approximately_correct),
         &spec,
         NeighborhoodStrategy::Bfs,
         &oracle,
