@@ -173,7 +173,9 @@ pub fn train_bigram_model<R: Rng + ?Sized>(
     for _epoch in 0..config.epochs {
         for ((spec, _), label) in targets.iter().zip(labels.iter()) {
             let encoded = encode_spec(&config.encoding, spec);
-            let Ok((coefficients, cache)) = net.forward(&encoded) else {
+            let Ok((coefficients, cache)) =
+                net.forward(&encoded, &netsyn_fitness::CandidateEncoding::spec_only())
+            else {
                 continue;
             };
             let target_coefficients = pca.transform(label);
@@ -197,7 +199,7 @@ impl TrainedBigramModel {
     #[must_use]
     pub fn bigram_map(&self, spec: &IoSpec) -> BigramMap {
         let encoded = encode_spec(self.net.encoding(), spec);
-        match self.net.predict(&encoded) {
+        match self.net.predict_spec(&encoded) {
             Ok(coefficients) => {
                 let reconstruction = self.pca.inverse_transform(&coefficients);
                 BigramMap::new(
@@ -290,7 +292,10 @@ mod tests {
         let other = Program::new(vec![Function::Head, Function::Sum, Function::Last]);
         assert!(map.score(&other) < map.score(&target()));
         assert_eq!(
-            map.prob(Function::Filter(IntPredicate::Positive), Function::Map(MapOp::Mul2)),
+            map.prob(
+                Function::Filter(IntPredicate::Positive),
+                Function::Map(MapOp::Mul2)
+            ),
             1.0
         );
     }

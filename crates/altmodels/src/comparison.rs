@@ -25,7 +25,11 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// correlation requires).
 fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; xs.len()];
     let mut i = 0;
     while i < order.len() {
@@ -96,12 +100,7 @@ pub struct FitnessQualityReport {
 impl FitnessQualityReport {
     /// Scores `candidates` with both functions and builds the report.
     #[must_use]
-    pub fn measure<F, O>(
-        fitness: &F,
-        reference: &O,
-        candidates: &[Program],
-        spec: &IoSpec,
-    ) -> Self
+    pub fn measure<F, O>(fitness: &F, reference: &O, candidates: &[Program], spec: &IoSpec) -> Self
     where
         F: FitnessFunction + ?Sized,
         O: FitnessFunction + ?Sized,
@@ -122,8 +121,8 @@ impl FitnessQualityReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsyn_fitness::{ClosenessMetric, OracleFitness};
     use netsyn_dsl::{Function, Generator, GeneratorConfig};
+    use netsyn_fitness::{ClosenessMetric, OracleFitness};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -345,7 +345,10 @@ mod tests {
         let c1 = &pca.components[1];
         assert!((vecops::dot(c0, c0) - 1.0).abs() < 1e-3);
         assert!((vecops::dot(c1, c1) - 1.0).abs() < 1e-3);
-        assert!(vecops::dot(c0, c1).abs() < 1e-2, "components not orthogonal");
+        assert!(
+            vecops::dot(c0, c1).abs() < 1e-2,
+            "components not orthogonal"
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@
 use crate::comparison::mean;
 use netsyn_dsl::{IoSpec, Program};
 use netsyn_fitness::dataset::FitnessSample;
-use netsyn_fitness::encoding::{encode_candidate, encode_candidates, EncodingConfig};
+use netsyn_fitness::encoding::{
+    encode_candidate, encode_candidates, encode_spec, EncodingConfig, SpecEncodingCache,
+};
 use netsyn_fitness::{ClosenessMetric, FitnessFunction, FitnessNet, FitnessNetConfig};
 use netsyn_nn::loss::mean_squared_error;
 use netsyn_nn::{Adam, Parameterized};
@@ -184,8 +186,9 @@ pub fn train_regression_model<R: Rng + ?Sized>(
         for chunk in order.chunks(config.batch_size.max(1)) {
             for &idx in chunk {
                 let sample = &samples[idx];
+                let spec_encoding = encode_spec(&config.encoding, &sample.spec);
                 let encoded = encode_candidate(&config.encoding, &sample.spec, &sample.candidate);
-                let Ok((prediction, cache)) = net.forward(&encoded) else {
+                let Ok((prediction, cache)) = net.forward(&spec_encoding, &encoded) else {
                     continue;
                 };
                 let target = [label_of(metric, sample)];
@@ -244,8 +247,9 @@ fn validation_error(
     let mut predictions = Vec::with_capacity(indices.len());
     for &idx in indices {
         let sample = &samples[idx];
+        let spec_encoding = encode_spec(encoding, &sample.spec);
         let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
-        if let Ok(output) = net.predict(&encoded) {
+        if let Ok(output) = net.predict(&spec_encoding, &encoded) {
             let prediction = f64::from(output[0]);
             total_abs += (prediction - f64::from(label_of(metric, sample))).abs();
             predictions.push(prediction);
@@ -267,6 +271,8 @@ fn validation_error(
 pub struct RegressionFitness {
     model: TrainedRegressionModel,
     name: String,
+    /// One-slot spec-encoding memo (derived state; see `SpecEncodingCache`).
+    spec_cache: SpecEncodingCache,
 }
 
 impl RegressionFitness {
@@ -274,7 +280,11 @@ impl RegressionFitness {
     #[must_use]
     pub fn new(model: TrainedRegressionModel) -> Self {
         let name = format!("regression-{}", model.metric);
-        RegressionFitness { model, name }
+        RegressionFitness {
+            model,
+            name,
+            spec_cache: SpecEncodingCache::new(),
+        }
     }
 
     /// The wrapped model.
@@ -290,19 +300,25 @@ impl FitnessFunction for RegressionFitness {
     }
 
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
+        let spec_encoding = self
+            .spec_cache
+            .get_or_encode(self.model.net.encoding(), spec);
         let encoded = encode_candidate(self.model.net.encoding(), spec, candidate);
-        match self.model.net.predict(&encoded) {
+        match self.model.net.predict(&spec_encoding, &encoded) {
             Ok(output) => f64::from(output[0]).clamp(0.0, self.max_score()),
             Err(_) => 0.0,
         }
     }
 
-    /// Batched scoring: one network pass over the whole candidate set (see
-    /// `FitnessNet::predict_batch`), bit-identical to the per-candidate
-    /// path.
+    /// Batched scoring: the shared spec encoding plus one network pass over
+    /// the whole candidate set (see `FitnessNet::predict_batch`),
+    /// bit-identical to the per-candidate path.
     fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        let spec_encoding = self
+            .spec_cache
+            .get_or_encode(self.model.net.encoding(), spec);
         let encoded = encode_candidates(self.model.net.encoding(), spec, candidates);
-        match self.model.net.predict_batch(&encoded) {
+        match self.model.net.predict_batch(&spec_encoding, &encoded) {
             Ok(rows) => rows
                 .iter()
                 .map(|output| f64::from(output[0]).clamp(0.0, self.max_score()))

@@ -10,7 +10,9 @@
 
 use netsyn_dsl::{IoSpec, Program};
 use netsyn_fitness::dataset::FitnessSample;
-use netsyn_fitness::encoding::{encode_candidate, encode_candidates, EncodingConfig};
+use netsyn_fitness::encoding::{
+    encode_candidate, encode_candidates, encode_spec, EncodingConfig, SpecEncodingCache,
+};
 use netsyn_fitness::{ClosenessMetric, FitnessFunction, FitnessNet, FitnessNetConfig};
 use netsyn_nn::activation::{sigmoid, softmax};
 use netsyn_nn::loss::{binary_cross_entropy_with_logits, softmax_cross_entropy};
@@ -105,15 +107,16 @@ pub fn train_two_tier_model<R: Rng + ?Sized>(
     for _epoch in 0..config.epochs {
         for chunk in samples.chunks(config.batch_size.max(1)) {
             for sample in chunk {
+                let spec_encoding = encode_spec(&config.encoding, &sample.spec);
                 let encoded = encode_candidate(&config.encoding, &sample.spec, &sample.candidate);
                 let value = label_of(metric, sample);
-                if let Ok((logits, cache)) = tier1.forward(&encoded) {
+                if let Ok((logits, cache)) = tier1.forward(&spec_encoding, &encoded) {
                     let target = [if value > 0 { 1.0 } else { 0.0 }];
                     let (_, grad) = binary_cross_entropy_with_logits(&logits, &target);
                     tier1.backward(&cache, &grad);
                 }
                 if value > 0 {
-                    if let Ok((logits, cache)) = tier2.forward(&encoded) {
+                    if let Ok((logits, cache)) = tier2.forward(&spec_encoding, &encoded) {
                         let class = (value - 1).min(program_length.saturating_sub(1));
                         let (_, grad) = softmax_cross_entropy(&logits, class);
                         tier2.backward(&cache, &grad);
@@ -139,8 +142,9 @@ impl TrainedTwoTierModel {
     /// Whether tier 1 judges the candidate's fitness to be non-zero.
     #[must_use]
     pub fn tier1_predicts_nonzero(&self, spec: &IoSpec, candidate: &Program) -> bool {
+        let spec_encoding = encode_spec(self.tier1.encoding(), spec);
         let encoded = encode_candidate(self.tier1.encoding(), spec, candidate);
-        match self.tier1.predict(&encoded) {
+        match self.tier1.predict(&spec_encoding, &encoded) {
             Ok(logits) => sigmoid(logits[0]) >= 0.5,
             Err(_) => false,
         }
@@ -150,8 +154,9 @@ impl TrainedTwoTierModel {
     /// sense when tier 1 predicted non-zero).
     #[must_use]
     pub fn tier2_expected_value(&self, spec: &IoSpec, candidate: &Program) -> f64 {
+        let spec_encoding = encode_spec(self.tier2.encoding(), spec);
         let encoded = encode_candidate(self.tier2.encoding(), spec, candidate);
-        match self.tier2.predict(&encoded) {
+        match self.tier2.predict(&spec_encoding, &encoded) {
             Ok(logits) => softmax(&logits)
                 .iter()
                 .enumerate()
@@ -212,6 +217,8 @@ impl TwoTierEvaluation {
 pub struct TwoTierFitness {
     model: TrainedTwoTierModel,
     name: String,
+    /// One-slot spec-encoding memo (derived state; see `SpecEncodingCache`).
+    spec_cache: SpecEncodingCache,
 }
 
 impl TwoTierFitness {
@@ -219,7 +226,11 @@ impl TwoTierFitness {
     #[must_use]
     pub fn new(model: TrainedTwoTierModel) -> Self {
         let name = format!("two-tier-{}", model.metric);
-        TwoTierFitness { model, name }
+        TwoTierFitness {
+            model,
+            name,
+            spec_cache: SpecEncodingCache::new(),
+        }
     }
 
     /// The wrapped model.
@@ -235,12 +246,40 @@ impl FitnessFunction for TwoTierFitness {
     }
 
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
-        if !self.model.tier1_predicts_nonzero(spec, candidate) {
+        // Hand-assembled models with mismatched tier encodings take the
+        // safe (re-encoding) path through the model's own helpers.
+        if self.model.tier1.encoding() != self.model.tier2.encoding() {
+            if !self.model.tier1_predicts_nonzero(spec, candidate) {
+                return 0.0;
+            }
+            return self
+                .model
+                .tier2_expected_value(spec, candidate)
+                .clamp(0.0, self.max_score());
+        }
+        // Shared encoding config: encode the spec (memoized) and the
+        // candidate once, feed both tiers the same encodings. Encoding is
+        // deterministic, so this matches the helper-based path bit-for-bit.
+        let spec_encoding = self
+            .spec_cache
+            .get_or_encode(self.model.tier1.encoding(), spec);
+        let encoded = encode_candidate(self.model.tier1.encoding(), spec, candidate);
+        let passes = match self.model.tier1.predict(&spec_encoding, &encoded) {
+            Ok(logits) => sigmoid(logits[0]) >= 0.5,
+            Err(_) => false,
+        };
+        if !passes {
             return 0.0;
         }
-        self.model
-            .tier2_expected_value(spec, candidate)
-            .clamp(0.0, self.max_score())
+        let expected = match self.model.tier2.predict(&spec_encoding, &encoded) {
+            Ok(logits) => softmax(&logits)
+                .iter()
+                .enumerate()
+                .map(|(class, &p)| (class + 1) as f64 * f64::from(p))
+                .sum(),
+            Err(_) => 0.0,
+        };
+        expected.clamp(0.0, self.max_score())
     }
 
     /// Batched scoring: one tier-1 network pass gates the whole candidate
@@ -258,8 +297,11 @@ impl FitnessFunction for TwoTierFitness {
         if self.model.tier1.encoding() != self.model.tier2.encoding() {
             return sequential(self);
         }
-        let encoded = encode_candidates(self.model.tier1.encoding(), spec, candidates);
-        let Ok(tier1_rows) = self.model.tier1.predict_batch(&encoded) else {
+        let spec_encoding = self
+            .spec_cache
+            .get_or_encode(self.model.tier1.encoding(), spec);
+        let mut encoded = encode_candidates(self.model.tier1.encoding(), spec, candidates);
+        let Ok(tier1_rows) = self.model.tier1.predict_batch(&spec_encoding, &encoded) else {
             return sequential(self);
         };
         let passing: Vec<usize> = tier1_rows
@@ -268,8 +310,17 @@ impl FitnessFunction for TwoTierFitness {
             .filter(|(_, logits)| sigmoid(logits[0]) >= 0.5)
             .map(|(index, _)| index)
             .collect();
-        let passing_samples: Vec<_> = passing.iter().map(|&i| encoded[i].clone()).collect();
-        let Ok(tier2_rows) = self.model.tier2.predict_batch(&passing_samples) else {
+        // `encoded` is owned and not used again below: move the passing
+        // encodings out instead of deep-cloning their trace buffers.
+        let passing_samples: Vec<_> = passing
+            .iter()
+            .map(|&i| std::mem::take(&mut encoded[i]))
+            .collect();
+        let Ok(tier2_rows) = self
+            .model
+            .tier2
+            .predict_batch(&spec_encoding, &passing_samples)
+        else {
             return sequential(self);
         };
         let mut scores = vec![0.0; candidates.len()];

@@ -30,9 +30,7 @@ fn scenario(seed: u64) -> (IoSpec, Vec<Program>) {
     let mut r = rng(seed);
     let generator = Generator::new(GeneratorConfig::for_length(LENGTH));
     let task = generator.task(2, &mut r).unwrap();
-    let mut candidates: Vec<Program> = (0..20)
-        .map(|_| generator.random_program(&mut r))
-        .collect();
+    let mut candidates: Vec<Program> = (0..20).map(|_| generator.random_program(&mut r)).collect();
     candidates.push(candidates[0].clone());
     candidates.push(Program::default());
     (task.spec, candidates)
@@ -99,4 +97,43 @@ fn bigram_score_batch_is_bit_identical() {
     let model = train_bigram_model(&samples, LENGTH, &BigramTrainerConfig::tiny(), &mut rng(8));
     let map = model.bigram_map(&samples[0].spec);
     assert_batch_matches_single(&BigramFitness::new(map, LENGTH), 13);
+}
+
+/// The comparison tooling consumes `score_batch` output; a quality report
+/// built from batched scores must equal one computed from per-candidate
+/// scores exactly (the Spearman correlation is rank-based, so even a
+/// last-ulp difference could flip it).
+#[test]
+fn comparison_report_matches_per_candidate_scoring() {
+    use netsyn_altmodels::comparison::{spearman_rank_correlation, FitnessQualityReport};
+    use netsyn_fitness::OracleFitness;
+
+    let samples = tiny_dataset(9);
+    let model = train_regression_model(
+        ClosenessMetric::CommonFunctions,
+        &samples,
+        LENGTH,
+        &RegressionTrainerConfig::tiny(),
+        &mut rng(14),
+    );
+    let fitness = RegressionFitness::new(model);
+    let (spec, candidates) = scenario(15);
+    let target = samples[0].target.clone();
+    let oracle = OracleFitness::new(target, ClosenessMetric::CommonFunctions);
+
+    let report = FitnessQualityReport::measure(&fitness, &oracle, &candidates, &spec);
+    // Recompute everything through the per-candidate path.
+    let singles: Vec<f64> = candidates.iter().map(|c| fitness.score(c, &spec)).collect();
+    let oracle_singles: Vec<f64> = candidates.iter().map(|c| oracle.score(c, &spec)).collect();
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    assert_eq!(report.num_candidates, candidates.len());
+    assert_eq!(report.mean_score.to_bits(), mean(&singles).to_bits());
+    assert_eq!(
+        report.mean_reference_score.to_bits(),
+        mean(&oracle_singles).to_bits()
+    );
+    assert_eq!(
+        report.spearman.to_bits(),
+        spearman_rank_correlation(&singles, &oracle_singles).to_bits()
+    );
 }

@@ -51,7 +51,15 @@ impl<G: GuidanceModel> DeepCoder<G> {
         evaluated: &mut usize,
     ) -> Option<Program> {
         let mut prefix = Vec::with_capacity(length);
-        Self::enumerate_recursive(active, required, length, spec, budget, evaluated, &mut prefix)
+        Self::enumerate_recursive(
+            active,
+            required,
+            length,
+            spec,
+            budget,
+            evaluated,
+            &mut prefix,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -194,8 +202,8 @@ mod tests {
         // Uniform guidance gives an arbitrary function ordering; the target's
         // functions may only enter the active set late.
         let uninformed = DeepCoder::new(UniformGuidance).with_initial_active(5);
-        let informed = DeepCoder::new(ProbabilityMap::from_target(&target(), 0.01))
-            .with_initial_active(5);
+        let informed =
+            DeepCoder::new(ProbabilityMap::from_target(&target(), 0.01)).with_initial_active(5);
         let problem = SynthesisProblem::new(spec(), 3);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut budget_a = SearchBudget::new(400_000);

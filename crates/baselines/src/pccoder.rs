@@ -89,8 +89,7 @@ impl<G: GuidanceModel> PcCoder<G> {
                         return None;
                     }
                     *evaluated += 1;
-                    if depth + 1 == problem.target_length
-                        && problem.spec.is_satisfied_by(&extended)
+                    if depth + 1 == problem.target_length && problem.spec.is_satisfied_by(&extended)
                     {
                         return Some(extended);
                     }

@@ -172,7 +172,10 @@ mod tests {
     fn finds_a_short_target() {
         // A length-2 target is well within reach of plain GP with an
         // output-distance fitness.
-        let target = Program::new(vec![Function::Filter(IntPredicate::Positive), Function::Sort]);
+        let target = Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Sort,
+        ]);
         let spec = spec_for(&target);
         let synthesizer = PushGp::new()
             .with_population_size(50)

@@ -162,10 +162,8 @@ mod tests {
 
     #[test]
     fn repetition_penalty_reduces_duplicate_functions() {
-        let map = netsyn_fitness::ProbabilityMap::from_target(
-            &Program::new(vec![Function::Sort]),
-            0.0,
-        );
+        let map =
+            netsyn_fitness::ProbabilityMap::from_target(&Program::new(vec![Function::Sort]), 0.0);
         // Without smoothing-free penalty the sampler would emit SORT five
         // times; with the penalty it diversifies.
         let with_penalty = RobustFill::new(map.clone()).with_repetition_penalty(0.05);

@@ -6,6 +6,7 @@
 //! directly comparable across methods.
 
 use netsyn_dsl::{IoSpec, Program};
+use netsyn_fitness::FitnessCache;
 use netsyn_ga::SearchBudget;
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -84,6 +85,24 @@ pub trait Synthesizer: Send + Sync {
         budget: &mut SearchBudget,
         rng: &mut dyn RngCore,
     ) -> SynthesisResult;
+
+    /// [`Synthesizer::synthesize`] with a shared, spec-keyed
+    /// [`FitnessCache`] that survives across attempts.
+    ///
+    /// The evaluation harness runs every task `K` times and passes the same
+    /// cache to every repetition; approaches whose candidate scoring is a
+    /// pure function of `(candidate, spec)` (the GA-based synthesizers)
+    /// reuse scores across those runs. The default implementation ignores
+    /// the cache, which is always correct.
+    fn synthesize_cached(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+        _cache: &FitnessCache,
+    ) -> SynthesisResult {
+        self.synthesize(problem, budget, rng)
+    }
 }
 
 /// Blanket implementation for boxed synthesizers.
@@ -99,6 +118,16 @@ impl<S: Synthesizer + ?Sized> Synthesizer for Box<S> {
         rng: &mut dyn RngCore,
     ) -> SynthesisResult {
         (**self).synthesize(problem, budget, rng)
+    }
+
+    fn synthesize_cached(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+        cache: &FitnessCache,
+    ) -> SynthesisResult {
+        (**self).synthesize_cached(problem, budget, rng, cache)
     }
 }
 

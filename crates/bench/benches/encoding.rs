@@ -1,0 +1,96 @@
+//! Benchmarks of the zero-copy encoding pipeline: spec encoding,
+//! arena-backed candidate-trace encoding throughput, and an end-to-end
+//! one-generation synthesize run driving the whole
+//! encode → batch-infer → breed loop.
+//!
+//! `BENCH_encoding_refactor.json` records these numbers against the
+//! pre-refactor `BENCH_batch_inference.json` baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsyn_dsl::{Generator, GeneratorConfig, Program};
+use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
+use netsyn_fitness::encoding::{encode_candidates, encode_spec};
+use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
+use netsyn_fitness::{EncodingConfig, LearnedFitness};
+use netsyn_ga::{GaConfig, GeneticEngine, NeighborhoodStrategy, SearchBudget};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const POPULATION: usize = 128;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let config = EncodingConfig::new();
+    let generator = Generator::new(GeneratorConfig::for_length(5));
+    let target = generator
+        .program(&mut rng)
+        .expect("program generation succeeds");
+    let spec = generator.spec_for(&target, 5, &mut rng);
+    let population: Vec<Program> = (0..POPULATION)
+        .map(|_| generator.random_program(&mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("encoding");
+    group.sample_size(20);
+    group.bench_function("encode_spec_m5", |bench| {
+        bench.iter(|| black_box(encode_spec(&config, black_box(&spec))));
+    });
+    // The arena-backed trace-encoding hot path: every candidate of a
+    // population-sized batch is run on every spec example and its trace
+    // tokenized, with one interpreter arena shared across all runs.
+    group.bench_function(format!("encode_candidates_{POPULATION}"), |bench| {
+        bench.iter(|| black_box(encode_candidates(&config, &spec, black_box(&population))));
+    });
+    group.finish();
+
+    bench_one_generation(c);
+}
+
+/// End-to-end population scoring inside the engine: one full `synthesize`
+/// call capped at a single generation — initial-population sampling and
+/// satisfaction checks, one batched fitness pass over the population
+/// through the trained network, and the breeding step.
+fn bench_one_generation(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut dataset_config = DatasetConfig::for_length(5);
+    dataset_config.num_target_programs = 4;
+    dataset_config.examples_per_program = 2;
+    let samples = generate_dataset(&dataset_config, BalanceMetric::CommonFunctions, &mut rng)
+        .expect("dataset generation succeeds");
+    let mut trainer_config = TrainerConfig::small();
+    trainer_config.epochs = 1;
+    let model = train_fitness_model(
+        FitnessModelKind::CommonFunctions,
+        &samples,
+        5,
+        &trainer_config,
+        &mut rng,
+    );
+    let fitness = LearnedFitness::new(model);
+
+    let generator = Generator::new(GeneratorConfig::for_length(5));
+    let target = generator
+        .program(&mut rng)
+        .expect("program generation succeeds");
+    let spec = generator.spec_for(&target, 5, &mut rng);
+
+    let mut ga_config = GaConfig::small(5);
+    ga_config.population_size = POPULATION;
+    ga_config.max_generations = 1;
+    ga_config.neighborhood = NeighborhoodStrategy::Disabled;
+    let engine = GeneticEngine::new(ga_config);
+
+    let mut group = c.benchmark_group("ga_one_generation");
+    group.sample_size(10);
+    group.bench_function(format!("synthesize_pop{POPULATION}_gen1"), |bench| {
+        bench.iter(|| {
+            let mut budget = SearchBudget::new(1_000_000);
+            let mut run_rng = ChaCha8Rng::seed_from_u64(77);
+            black_box(engine.synthesize(&spec, &fitness, &mut budget, &mut run_rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -53,7 +53,9 @@ fn bench_ga(c: &mut Criterion) {
         let (_, spec) = sample_spec(5, 13);
         let generator = Generator::new(GeneratorConfig::for_length(5));
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let candidates: Vec<_> = (0..128).map(|_| generator.random_program(&mut rng)).collect();
+        let candidates: Vec<_> = (0..128)
+            .map(|_| generator.random_program(&mut rng))
+            .collect();
         b.iter(|| {
             let mut found = 0usize;
             for candidate in &candidates {

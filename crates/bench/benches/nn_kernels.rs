@@ -5,9 +5,11 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use netsyn_dsl::{Generator, GeneratorConfig, Program};
 use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
-use netsyn_fitness::encoding::encode_candidate;
+use netsyn_fitness::encoding::{encode_candidate, encode_spec};
 use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
-use netsyn_fitness::{EncodingConfig, FitnessFunction, FitnessNet, FitnessNetConfig, LearnedFitness};
+use netsyn_fitness::{
+    EncodingConfig, FitnessFunction, FitnessNet, FitnessNetConfig, LearnedFitness,
+};
 use netsyn_nn::{Lstm, Matrix, Parameterized};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,7 +27,11 @@ fn bench_nn(c: &mut Criterion) {
 
     let mut lstm = Lstm::new(16, 32, &mut rng);
     let sequence: Vec<Vec<f32>> = (0..12)
-        .map(|t| (0..16).map(|d| ((t * 16 + d) as f32 * 0.01).sin()).collect())
+        .map(|t| {
+            (0..16)
+                .map(|d| ((t * 16 + d) as f32 * 0.01).sin())
+                .collect()
+        })
         .collect();
     group.bench_function("lstm_forward_12x16_h32", |bench| {
         bench.iter(|| black_box(lstm.forward(black_box(&sequence))));
@@ -45,9 +51,15 @@ fn bench_nn(c: &mut Criterion) {
     let target = generator.program(&mut rng).unwrap();
     let spec = generator.spec_for(&target, 5, &mut rng);
     let candidate = generator.random_program(&mut rng);
+    let spec_encoding = encode_spec(net.encoding(), &spec);
     let encoded = encode_candidate(net.encoding(), &spec, &candidate);
     group.bench_function("fitness_net_forward_len5_m5", |bench| {
-        bench.iter(|| black_box(net.predict(black_box(&encoded)).unwrap()));
+        bench.iter(|| {
+            black_box(
+                net.predict(black_box(&spec_encoding), black_box(&encoded))
+                    .unwrap(),
+            )
+        });
     });
     group.bench_function("encode_candidate_len5_m5", |bench| {
         bench.iter(|| black_box(encode_candidate(net.encoding(), &spec, &candidate)));
@@ -81,7 +93,9 @@ fn bench_batched_vs_single(c: &mut Criterion) {
     let fitness = LearnedFitness::new(model);
 
     let generator = Generator::new(GeneratorConfig::for_length(5));
-    let target = generator.program(&mut rng).expect("program generation succeeds");
+    let target = generator
+        .program(&mut rng)
+        .expect("program generation succeeds");
     let spec = generator.spec_for(&target, 5, &mut rng);
     let population: Vec<Program> = (0..POPULATION)
         .map(|_| generator.random_program(&mut rng))

@@ -2,7 +2,9 @@
 //! candidate cap) versus the percentage of test programs synthesized, for
 //! every method and program length.
 
-use netsyn_bench::{build_methods, decile_headers, generate_suite, load_bundle, HarnessConfig, MethodSet};
+use netsyn_bench::{
+    build_methods, decile_headers, generate_suite, load_bundle, HarnessConfig, MethodSet,
+};
 use netsyn_core::prelude::*;
 use netsyn_core::report::format_percentage;
 
@@ -23,9 +25,17 @@ fn main() {
         );
         let mut curves: Vec<(String, Vec<f64>)> = Vec::new();
         for method in &methods {
-            eprintln!("[fig4_search_space] length {length}: running {}", method.name);
-            let evaluation =
-                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            eprintln!(
+                "[fig4_search_space] length {length}: running {}",
+                method.name
+            );
+            let evaluation = evaluate_method(
+                method,
+                &suite,
+                config.budget_cap,
+                config.runs_per_task,
+                config.seed,
+            );
             let deciles = evaluation.search_space_deciles();
             let mut row = vec![evaluation.method.clone()];
             row.extend(deciles.iter().map(|d| format_percentage(*d)));
@@ -37,7 +47,9 @@ fn main() {
         }
         println!("{table}");
         if !config.table {
-            println!("# Figure 4 curve series (x = % of programs synthesized, y = % of search space)");
+            println!(
+                "# Figure 4 curve series (x = % of programs synthesized, y = % of search space)"
+            );
             println!("method,percent_synthesized,search_space_percent");
             for (method, curve) in &curves {
                 for (i, fraction) in curve.iter().enumerate() {

@@ -28,9 +28,17 @@ fn main() {
         );
         println!("# raw violin data: method,task_index,synthesis_rate_percent");
         for method in &methods {
-            eprintln!("[fig4_synthesis_rate] length {length}: running {}", method.name);
-            let evaluation =
-                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            eprintln!(
+                "[fig4_synthesis_rate] length {length}: running {}",
+                method.name
+            );
+            let evaluation = evaluate_method(
+                method,
+                &suite,
+                config.budget_cap,
+                config.runs_per_task,
+                config.seed,
+            );
             let mut rates = evaluation.per_task_synthesis_rate();
             for (task, rate) in rates.iter().enumerate() {
                 println!("{},{task},{:.0}", evaluation.method, rate * 100.0);

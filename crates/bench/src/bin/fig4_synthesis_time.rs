@@ -7,7 +7,9 @@
 //! the *shape*: which methods reach which percentile within budget and how
 //! times grow with program length.
 
-use netsyn_bench::{build_methods, decile_headers, generate_suite, load_bundle, HarnessConfig, MethodSet};
+use netsyn_bench::{
+    build_methods, decile_headers, generate_suite, load_bundle, HarnessConfig, MethodSet,
+};
 use netsyn_core::prelude::*;
 use netsyn_core::report::format_seconds;
 
@@ -27,9 +29,17 @@ fn main() {
             &headers,
         );
         for method in &methods {
-            eprintln!("[fig4_synthesis_time] length {length}: running {}", method.name);
-            let evaluation =
-                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            eprintln!(
+                "[fig4_synthesis_time] length {length}: running {}",
+                method.name
+            );
+            let evaluation = evaluate_method(
+                method,
+                &suite,
+                config.budget_cap,
+                config.runs_per_task,
+                config.seed,
+            );
             let mut row = vec![
                 evaluation.method.clone(),
                 format!("{:.0}%", evaluation.percent_synthesized() * 100.0),

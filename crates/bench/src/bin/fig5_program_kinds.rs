@@ -20,9 +20,17 @@ fn main() {
         );
         println!("# raw per-program data: fitness,task_index,kind,synthesis_rate_percent");
         for method in &methods {
-            eprintln!("[fig5_program_kinds] length {length}: running {}", method.name);
-            let evaluation =
-                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+            eprintln!(
+                "[fig5_program_kinds] length {length}: running {}",
+                method.name
+            );
+            let evaluation = evaluate_method(
+                method,
+                &suite,
+                config.budget_cap,
+                config.runs_per_task,
+                config.seed,
+            );
             let rates = evaluation.per_task_synthesis_rate();
             for (index, (task, rate)) in suite.tasks.iter().zip(rates.iter()).enumerate() {
                 let kind = task

@@ -18,14 +18,31 @@ fn main() {
             .collect();
         let mut table = Table::new(
             format!("Figure 6: synthesis rate per DSL function (length {length})"),
-            &["function id", "function", "NetSyn_CF", "NetSyn_FP", "returns int"],
+            &[
+                "function id",
+                "function",
+                "NetSyn_CF",
+                "NetSyn_FP",
+                "returns int",
+            ],
         );
         let mut per_method: Vec<(String, PerFunctionRates)> = Vec::new();
         for method in &methods {
-            eprintln!("[fig6_per_function] length {length}: running {}", method.name);
-            let evaluation =
-                evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
-            per_method.push((evaluation.method.clone(), evaluation.rate_by_function(&suite)));
+            eprintln!(
+                "[fig6_per_function] length {length}: running {}",
+                method.name
+            );
+            let evaluation = evaluate_method(
+                method,
+                &suite,
+                config.budget_cap,
+                config.runs_per_task,
+                config.seed,
+            );
+            per_method.push((
+                evaluation.method.clone(),
+                evaluation.rate_by_function(&suite),
+            ));
         }
         let format_rate = |value: &Option<f64>| match value {
             None => "n/a".to_string(),

@@ -5,7 +5,9 @@
 use netsyn_bench::HarnessConfig;
 use netsyn_core::prelude::*;
 use netsyn_core::Table;
-use netsyn_fitness::dataset::{generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig};
+use netsyn_fitness::dataset::{
+    generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig,
+};
 use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -47,7 +49,10 @@ fn main() {
         trainer_config.epochs = 6;
     }
 
-    eprintln!("[fig7] training CF model ({} targets)", dataset_config.num_target_programs);
+    eprintln!(
+        "[fig7] training CF model ({} targets)",
+        dataset_config.num_target_programs
+    );
     let cf_samples =
         generate_dataset(&dataset_config, BalanceMetric::CommonFunctions, &mut rng).unwrap();
     let cf_model = train_fitness_model(
@@ -57,7 +62,10 @@ fn main() {
         &trainer_config,
         &mut rng,
     );
-    println!("{}", confusion_table("Figure 7(a): f_CF confusion matrix", &cf_model));
+    println!(
+        "{}",
+        confusion_table("Figure 7(a): f_CF confusion matrix", &cf_model)
+    );
     println!();
 
     eprintln!("[fig7] training LCS model");
@@ -74,7 +82,10 @@ fn main() {
         &trainer_config,
         &mut rng,
     );
-    println!("{}", confusion_table("Figure 7(b): f_LCS confusion matrix", &lcs_model));
+    println!(
+        "{}",
+        confusion_table("Figure 7(b): f_LCS confusion matrix", &lcs_model)
+    );
     println!();
 
     eprintln!("[fig7] training FP model");

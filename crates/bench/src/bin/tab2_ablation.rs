@@ -16,10 +16,8 @@ fn ablation_method<'a>(
 ) -> MethodSpec<'a> {
     let name_owned = name.to_string();
     MethodSpec::new(name_owned, move |_task: &SynthesisTask| {
-        let mut config = NetSynConfig::paper_defaults(
-            FitnessChoice::NeuralCommonFunctions,
-            program_length,
-        );
+        let mut config =
+            NetSynConfig::paper_defaults(FitnessChoice::NeuralCommonFunctions, program_length);
         config.ga.neighborhood = neighborhood;
         config.ga.mutation_mode = mutation;
         Box::new(NetSyn::new(config, Some(Arc::clone(bundle)))) as Box<dyn Synthesizer>
@@ -86,8 +84,13 @@ fn main() {
     );
     for method in &methods {
         eprintln!("[tab2_ablation] running {}", method.name);
-        let evaluation =
-            evaluate_method(method, &suite, config.budget_cap, config.runs_per_task, config.seed);
+        let evaluation = evaluate_method(
+            method,
+            &suite,
+            config.budget_cap,
+            config.runs_per_task,
+            config.seed,
+        );
         let summary = evaluation.summary();
         table.push_row(vec![
             summary.method,

@@ -199,18 +199,27 @@ pub fn build_methods<'a>(
             }
         }));
     }
-    methods.push(netsyn_method(FitnessChoice::NeuralFunctionProbability, bundle));
-    methods.push(netsyn_method(FitnessChoice::NeuralLongestCommonSubsequence, bundle));
+    methods.push(netsyn_method(
+        FitnessChoice::NeuralFunctionProbability,
+        bundle,
+    ));
+    methods.push(netsyn_method(
+        FitnessChoice::NeuralLongestCommonSubsequence,
+        bundle,
+    ));
     methods.push(netsyn_method(FitnessChoice::NeuralCommonFunctions, bundle));
     if set == MethodSet::All {
-        methods.push(MethodSpec::new("Oracle_LCS|CF", move |task: &SynthesisTask| {
-            let config = NetSynConfig::paper_defaults(
-                FitnessChoice::OracleCommonFunctions,
-                program_length,
-            );
-            Box::new(NetSyn::new(config, None).with_oracle_target(task.target.clone()))
-                as Box<dyn Synthesizer>
-        }));
+        methods.push(MethodSpec::new(
+            "Oracle_LCS|CF",
+            move |task: &SynthesisTask| {
+                let config = NetSynConfig::paper_defaults(
+                    FitnessChoice::OracleCommonFunctions,
+                    program_length,
+                );
+                Box::new(NetSyn::new(config, None).with_oracle_target(task.target.clone()))
+                    as Box<dyn Synthesizer>
+            },
+        ));
     }
     methods
 }

@@ -119,6 +119,27 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
 
+// Tuples of strategies sample component-wise, like upstream proptest.
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
 /// Strategies over collections.
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -194,7 +215,7 @@ pub mod prop {
 
 /// Everything a property test file needs.
 pub mod prelude {
-    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Strategy};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
 }
 
 /// Asserts a condition inside a property, printing the failing expression.
@@ -207,6 +228,12 @@ macro_rules! prop_assert {
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property, printing both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
 }
 
 /// Declares deterministic property tests; see the crate docs.

@@ -30,7 +30,9 @@ fn worker_count(items: usize) -> usize {
     if items < 2 * MIN_ITEMS_PER_THREAD {
         return 1;
     }
-    current_num_threads().min(items / MIN_ITEMS_PER_THREAD).max(1)
+    current_num_threads()
+        .min(items / MIN_ITEMS_PER_THREAD)
+        .max(1)
 }
 
 /// Splits `0..len` into `workers` near-equal contiguous spans.
@@ -441,8 +443,7 @@ mod tests {
 
     #[test]
     fn par_iter_mut_filter_for_each_mutates_matching() {
-        let mut values: Vec<Option<usize>> =
-            (0..100).map(|i| (i % 3 == 0).then_some(i)).collect();
+        let mut values: Vec<Option<usize>> = (0..100).map(|i| (i % 3 == 0).then_some(i)).collect();
         values
             .par_iter_mut()
             .filter(|v| v.is_none())

@@ -166,9 +166,7 @@ pub fn expect_externally_tagged<'c>(
     ty: &str,
 ) -> Result<(&'c str, &'c Content), DeError> {
     match content {
-        Content::Map(entries) if entries.len() == 1 => {
-            Ok((entries[0].0.as_str(), &entries[0].1))
-        }
+        Content::Map(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
         other => Err(DeError::expected("a single-variant map", ty, other)),
     }
 }
@@ -429,7 +427,10 @@ mod tests {
     #[test]
     fn primitives_round_trip() {
         assert_eq!(i64::from_content(&42i32.to_content()).unwrap(), 42);
-        assert_eq!(u64::from_content(&Content::UInt(u64::MAX)).unwrap(), u64::MAX);
+        assert_eq!(
+            u64::from_content(&Content::UInt(u64::MAX)).unwrap(),
+            u64::MAX
+        );
         assert!(bool::from_content(&true.to_content()).unwrap());
         assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
         assert_eq!(
@@ -445,7 +446,10 @@ mod tests {
         let opt: Option<i64> = Some(-1);
         assert_eq!(Option::<i64>::from_content(&opt.to_content()).unwrap(), opt);
         let none: Option<i64> = None;
-        assert_eq!(Option::<i64>::from_content(&none.to_content()).unwrap(), none);
+        assert_eq!(
+            Option::<i64>::from_content(&none.to_content()).unwrap(),
+            none
+        );
         let pair = (1u8, "x".to_string());
         assert_eq!(
             <(u8, String)>::from_content(&pair.to_content()).unwrap(),

@@ -38,7 +38,9 @@ struct Variant {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_input(input) {
-        Ok(parsed) => emit_serialize(&parsed).parse().expect("generated code parses"),
+        Ok(parsed) => emit_serialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
@@ -47,13 +49,17 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_input(input) {
-        Ok(parsed) => emit_deserialize(&parsed).parse().expect("generated code parses"),
+        Ok(parsed) => emit_deserialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
         Err(msg) => compile_error(&msg),
     }
 }
 
 fn compile_error(msg: &str) -> TokenStream {
-    format!("compile_error!({msg:?});").parse().expect("error tokens parse")
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
 }
 
 // ---------------------------------------------------------------------------
@@ -86,9 +92,9 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
         })
     } else {
         let fields = match tokens.get(pos) {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                StructFields::Named(parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?)
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => StructFields::Named(
+                parse_named_fields(&g.stream().into_iter().collect::<Vec<_>>())?,
+            ),
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 StructFields::Tuple(count_tuple_fields(
                     &g.stream().into_iter().collect::<Vec<_>>(),
@@ -175,7 +181,11 @@ fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
         let name = expect_ident(tokens, &mut pos)?;
         match tokens.get(pos) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
-            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
         }
         skip_until_top_level_comma(tokens, &mut pos);
         pos += 1; // consume the comma (or run off the end)
@@ -249,18 +259,14 @@ fn emit_serialize(input: &Input) -> String {
                         .collect();
                     format!("::serde::Content::Map(vec![{}])", entries.join(", "))
                 }
-                StructFields::Tuple(1) => {
-                    "::serde::Serialize::to_content(&self.0)".to_string()
-                }
+                StructFields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
                 StructFields::Tuple(n) => {
                     let items: Vec<String> = (0..*n)
                         .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
                         .collect();
                     format!("::serde::Content::Seq(vec![{}])", items.join(", "))
                 }
-                StructFields::Unit => {
-                    "::serde::Content::Map(::std::vec::Vec::new())".to_string()
-                }
+                StructFields::Unit => "::serde::Content::Map(::std::vec::Vec::new())".to_string(),
             };
             format!(
                 "impl ::serde::Serialize for {name} {{\n\

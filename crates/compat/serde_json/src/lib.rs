@@ -296,8 +296,8 @@ impl<'s> Parser<'s> {
                 Some(_) => {
                     // Consume one UTF-8 code point.
                     let rest = &self.bytes[self.offset..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let text =
+                        std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
                     let c = text.chars().next().expect("non-empty");
                     out.push(c);
                     self.offset += c.len_utf8();
@@ -319,8 +319,7 @@ impl<'s> Parser<'s> {
                     self.offset += 1;
                     let second = self.parse_hex4()?;
                     if (0xDC00..0xE000).contains(&second) {
-                        let combined =
-                            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                        let combined = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
                         return char::from_u32(combined)
                             .ok_or_else(|| self.error("invalid surrogate pair"));
                     }

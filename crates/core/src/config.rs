@@ -106,7 +106,10 @@ mod tests {
             FitnessChoice::NeuralLongestCommonSubsequence.to_string(),
             "NetSyn_LCS"
         );
-        assert_eq!(FitnessChoice::NeuralFunctionProbability.label(), "NetSyn_FP");
+        assert_eq!(
+            FitnessChoice::NeuralFunctionProbability.label(),
+            "NetSyn_FP"
+        );
         assert_eq!(FitnessChoice::EditDistance.label(), "Edit");
         assert_eq!(FitnessChoice::OracleCommonFunctions.label(), "Oracle_CF");
     }
@@ -124,7 +127,10 @@ mod tests {
     #[test]
     fn paper_defaults_use_guided_mutation_and_bfs() {
         let config = NetSynConfig::paper_defaults(FitnessChoice::NeuralCommonFunctions, 5);
-        assert_eq!(config.ga.mutation_mode, netsyn_ga::MutationMode::ProbabilityGuided);
+        assert_eq!(
+            config.ga.mutation_mode,
+            netsyn_ga::MutationMode::ProbabilityGuided
+        );
         assert_eq!(config.ga.neighborhood, netsyn_ga::NeighborhoodStrategy::Bfs);
         assert_eq!(config.ga.population_size, 100);
     }

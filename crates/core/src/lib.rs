@@ -80,7 +80,9 @@ pub mod prelude {
         ClosenessMetric, EditDistanceFitness, FitnessFunction, LearnedProbabilityModel,
         OracleFitness, ProbabilityMap,
     };
-    pub use netsyn_ga::{GaConfig, GeneticEngine, MutationMode, NeighborhoodStrategy, SearchBudget};
+    pub use netsyn_ga::{
+        GaConfig, GeneticEngine, MutationMode, NeighborhoodStrategy, SearchBudget,
+    };
 }
 
 #[cfg(test)]

@@ -1,12 +1,12 @@
 //! Bundles of trained fitness models (CF, LCS, FP) for a program length,
 //! with training and disk caching helpers.
 
+use netsyn_dsl::DslError;
 use netsyn_fitness::dataset::{
     generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig,
 };
 use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
 use netsyn_fitness::TrainedFitnessModel;
-use netsyn_dsl::DslError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -87,8 +87,11 @@ impl ModelBundle {
             &config.trainer,
             rng,
         );
-        let lcs_samples =
-            generate_dataset(&config.dataset, BalanceMetric::LongestCommonSubsequence, rng)?;
+        let lcs_samples = generate_dataset(
+            &config.dataset,
+            BalanceMetric::LongestCommonSubsequence,
+            rng,
+        )?;
         let lcs = train_fitness_model(
             FitnessModelKind::LongestCommonSubsequence,
             &lcs_samples,

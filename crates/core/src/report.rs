@@ -88,7 +88,11 @@ impl fmt::Display for Table {
                 .join("  ")
         };
         writeln!(f, "{}", render_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render_row(row))?;
         }
@@ -126,7 +130,11 @@ mod tests {
     #[test]
     fn table_renders_title_headers_and_rows() {
         let mut table = Table::new("Demo", &["method", "10%", "20%"]);
-        table.push_row(vec!["NetSyn_CF".to_string(), "<1%".to_string(), "2%".to_string()]);
+        table.push_row(vec![
+            "NetSyn_CF".to_string(),
+            "<1%".to_string(),
+            "2%".to_string(),
+        ]);
         let rendered = table.to_string();
         assert!(rendered.contains("Demo"));
         assert!(rendered.contains("method"));

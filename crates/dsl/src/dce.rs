@@ -126,11 +126,7 @@ mod tests {
     fn unconsumed_int_producer_is_dead() {
         // SUM's integer output is never consumed: SORT and REVERSE only take
         // lists, and the final output is the REVERSE result.
-        let p = Program::new(vec![
-            Function::Sum,
-            Function::Sort,
-            Function::Reverse,
-        ]);
+        let p = Program::new(vec![Function::Sum, Function::Sort, Function::Reverse]);
         let liveness = analyze_liveness(&p, DEFAULT_INPUT_TYPES);
         assert!(!liveness.is_live(0));
         assert!(liveness.is_live(1));
@@ -141,10 +137,7 @@ mod tests {
     #[test]
     fn consumed_int_producer_is_live() {
         // COUNT feeds TAKE, so it is live.
-        let p = Program::new(vec![
-            Function::Count(IntPredicate::Even),
-            Function::Take,
-        ]);
+        let p = Program::new(vec![Function::Count(IntPredicate::Even), Function::Take]);
         let liveness = analyze_liveness(&p, DEFAULT_INPUT_TYPES);
         assert!(liveness.flags().iter().all(|&l| l));
     }

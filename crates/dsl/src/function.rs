@@ -176,10 +176,12 @@ impl BinOp {
 }
 
 /// The type signature of a DSL function: argument types and return type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
-    /// Argument types in positional order (1 or 2 entries).
-    pub inputs: Vec<Type>,
+    /// Argument types in positional order (1 or 2 entries). A static slice:
+    /// signatures are queried per statement per candidate trace, so they
+    /// must not allocate.
+    pub inputs: &'static [Type],
     /// Return type.
     pub output: Type,
 }
@@ -312,23 +314,23 @@ impl Function {
     #[must_use]
     pub fn signature(self) -> Signature {
         use Type::{Int, List};
-        let (inputs, output) = match self {
+        let (inputs, output): (&'static [Type], Type) = match self {
             Function::Head
             | Function::Last
             | Function::Minimum
             | Function::Maximum
             | Function::Sum
-            | Function::Count(_) => (vec![List], Int),
-            Function::Access | Function::Search => (vec![Int, List], Int),
+            | Function::Count(_) => (&[List], Int),
+            Function::Access | Function::Search => (&[Int, List], Int),
             Function::Reverse
             | Function::Sort
             | Function::Map(_)
             | Function::Filter(_)
-            | Function::Scanl1(_) => (vec![List], List),
+            | Function::Scanl1(_) => (&[List], List),
             Function::Take | Function::Drop | Function::Delete | Function::Insert => {
-                (vec![Int, List], List)
+                (&[Int, List], List)
             }
-            Function::ZipWith(_) => (vec![List, List], List),
+            Function::ZipWith(_) => (&[List, List], List),
         };
         Signature { inputs, output }
     }
@@ -356,36 +358,54 @@ impl Function {
     /// (0 / empty list) as specified in Appendix A.
     #[must_use]
     pub fn apply(self, args: &[Value]) -> Value {
-        let int_arg = |i: usize| args.get(i).map_or(0, Value::int_or_default);
-        let list_arg = |i: usize| args.get(i).map_or_else(Vec::new, Value::list_or_default);
+        // Arity is at most 2, so borrowing never allocates.
+        match args {
+            [] => self.apply_refs(&[]),
+            [a] => self.apply_refs(&[a]),
+            [a, b, ..] => self.apply_refs(&[a, b]),
+        }
+    }
+
+    /// Evaluates the function on borrowed arguments — identical semantics to
+    /// [`Function::apply`], but callers that already hold references (the
+    /// interpreter resolves every argument to a prior statement's output, a
+    /// program input or a default) avoid cloning list values just to build
+    /// the argument slice.
+    #[must_use]
+    pub fn apply_refs(self, args: &[&Value]) -> Value {
+        let int_arg = |i: usize| args.get(i).map_or(0, |v| v.int_or_default());
+        // Read-only list access: no copy at all.
+        let list_ref = |i: usize| args.get(i).map_or(&[][..], |v| v.as_list().unwrap_or(&[]));
+        // Owned list access for functions that transform in place: one copy.
+        let list_arg = |i: usize| args.get(i).map_or_else(Vec::new, |v| v.list_or_default());
         match self {
             Function::Head => {
-                let xs = list_arg(0);
+                let xs = list_ref(0);
                 Value::Int(xs.first().copied().unwrap_or(0))
             }
             Function::Last => {
-                let xs = list_arg(0);
+                let xs = list_ref(0);
                 Value::Int(xs.last().copied().unwrap_or(0))
             }
             Function::Minimum => {
-                let xs = list_arg(0);
+                let xs = list_ref(0);
                 Value::Int(xs.iter().copied().min().unwrap_or(0))
             }
             Function::Maximum => {
-                let xs = list_arg(0);
+                let xs = list_ref(0);
                 Value::Int(xs.iter().copied().max().unwrap_or(0))
             }
             Function::Sum => {
-                let xs = list_arg(0);
+                let xs = list_ref(0);
                 Value::Int(xs.iter().fold(0_i64, |acc, &x| acc.saturating_add(x)))
             }
             Function::Count(p) => {
-                let xs = list_arg(0);
+                let xs = list_ref(0);
                 Value::Int(xs.iter().filter(|&&x| p.eval(x)).count() as i64)
             }
             Function::Access => {
                 let n = int_arg(0);
-                let xs = list_arg(1);
+                let xs = list_ref(1);
                 if n >= 0 && (n as usize) < xs.len() {
                     Value::Int(xs[n as usize])
                 } else {
@@ -394,12 +414,8 @@ impl Function {
             }
             Function::Search => {
                 let x = int_arg(0);
-                let xs = list_arg(1);
-                Value::Int(
-                    xs.iter()
-                        .position(|&v| v == x)
-                        .map_or(-1, |idx| idx as i64),
-                )
+                let xs = list_ref(1);
+                Value::Int(xs.iter().position(|&v| v == x).map_or(-1, |idx| idx as i64))
             }
             Function::Reverse => {
                 let mut xs = list_arg(0);
@@ -412,15 +428,15 @@ impl Function {
                 Value::List(xs)
             }
             Function::Map(op) => {
-                let xs = list_arg(0);
-                Value::List(xs.into_iter().map(|x| op.eval(x)).collect())
+                let xs = list_ref(0);
+                Value::List(xs.iter().map(|&x| op.eval(x)).collect())
             }
             Function::Filter(p) => {
-                let xs = list_arg(0);
-                Value::List(xs.into_iter().filter(|&x| p.eval(x)).collect())
+                let xs = list_ref(0);
+                Value::List(xs.iter().copied().filter(|&x| p.eval(x)).collect())
             }
             Function::Scanl1(op) => {
-                let xs = list_arg(0);
+                let xs = list_ref(0);
                 let mut out = Vec::with_capacity(xs.len());
                 for (i, &x) in xs.iter().enumerate() {
                     if i == 0 {
@@ -434,30 +450,32 @@ impl Function {
             }
             Function::Take => {
                 let n = int_arg(0);
-                let xs = list_arg(1);
+                let xs = list_ref(1);
                 let n = n.clamp(0, xs.len() as i64) as usize;
                 Value::List(xs[..n].to_vec())
             }
             Function::Drop => {
                 let n = int_arg(0);
-                let xs = list_arg(1);
+                let xs = list_ref(1);
                 let n = n.clamp(0, xs.len() as i64) as usize;
                 Value::List(xs[n..].to_vec())
             }
             Function::Delete => {
                 let x = int_arg(0);
-                let xs = list_arg(1);
-                Value::List(xs.into_iter().filter(|&v| v != x).collect())
+                let xs = list_ref(1);
+                Value::List(xs.iter().copied().filter(|&v| v != x).collect())
             }
             Function::Insert => {
                 let x = int_arg(0);
-                let mut xs = list_arg(1);
-                xs.push(x);
-                Value::List(xs)
+                let xs = list_ref(1);
+                let mut out = Vec::with_capacity(xs.len() + 1);
+                out.extend_from_slice(xs);
+                out.push(x);
+                Value::List(out)
             }
             Function::ZipWith(op) => {
-                let xs = list_arg(0);
-                let ys = list_arg(1);
+                let xs = list_ref(0);
+                let ys = list_ref(1);
                 Value::List(
                     xs.iter()
                         .zip(ys.iter())
@@ -513,7 +531,11 @@ impl FromStr for Function {
         // Accept lambda symbols in their original case (e.g. "min") too.
         let lower_keep = s.trim().replace(' ', "");
         for func in Function::ALL {
-            if func.to_string().replace(' ', "").eq_ignore_ascii_case(&lower_keep) {
+            if func
+                .to_string()
+                .replace(' ', "")
+                .eq_ignore_ascii_case(&lower_keep)
+            {
                 return Ok(func);
             }
         }
@@ -558,8 +580,14 @@ mod tests {
         assert_eq!(Function::from_id(30).unwrap(), Function::Scanl1(BinOp::Add));
         assert_eq!(Function::from_id(35).unwrap(), Function::Sort);
         assert_eq!(Function::from_id(36).unwrap(), Function::Take);
-        assert_eq!(Function::from_id(37).unwrap(), Function::ZipWith(BinOp::Add));
-        assert_eq!(Function::from_id(41).unwrap(), Function::ZipWith(BinOp::Max));
+        assert_eq!(
+            Function::from_id(37).unwrap(),
+            Function::ZipWith(BinOp::Add)
+        );
+        assert_eq!(
+            Function::from_id(41).unwrap(),
+            Function::ZipWith(BinOp::Max)
+        );
     }
 
     #[test]
@@ -585,10 +613,22 @@ mod tests {
     #[test]
     fn head_last_min_max_sum() {
         let xs = Value::List(vec![3, -1, 7, 2]);
-        assert_eq!(Function::Head.apply(std::slice::from_ref(&xs)), Value::Int(3));
-        assert_eq!(Function::Last.apply(std::slice::from_ref(&xs)), Value::Int(2));
-        assert_eq!(Function::Minimum.apply(std::slice::from_ref(&xs)), Value::Int(-1));
-        assert_eq!(Function::Maximum.apply(std::slice::from_ref(&xs)), Value::Int(7));
+        assert_eq!(
+            Function::Head.apply(std::slice::from_ref(&xs)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            Function::Last.apply(std::slice::from_ref(&xs)),
+            Value::Int(2)
+        );
+        assert_eq!(
+            Function::Minimum.apply(std::slice::from_ref(&xs)),
+            Value::Int(-1)
+        );
+        assert_eq!(
+            Function::Maximum.apply(std::slice::from_ref(&xs)),
+            Value::Int(7)
+        );
         assert_eq!(Function::Sum.apply(&[xs]), Value::Int(11));
     }
 
@@ -662,10 +702,7 @@ mod tests {
             Function::Search.apply(&[Value::Int(7), xs.clone()]),
             Value::Int(2)
         );
-        assert_eq!(
-            Function::Search.apply(&[Value::Int(9), xs]),
-            Value::Int(-1)
-        );
+        assert_eq!(Function::Search.apply(&[Value::Int(9), xs]), Value::Int(-1));
     }
 
     #[test]

@@ -152,9 +152,7 @@ impl Generator {
                 return false;
             }
         }
-        if self.config.require_no_dead_code
-            && has_dead_code(candidate, &self.config.input_types)
-        {
+        if self.config.require_no_dead_code && has_dead_code(candidate, &self.config.input_types) {
             return false;
         }
         if self.config.require_varying_output {
@@ -178,12 +176,7 @@ impl Generator {
     }
 
     /// Generates a specification of `m` input-output examples for `program`.
-    pub fn spec_for<R: Rng + ?Sized>(
-        &self,
-        program: &Program,
-        m: usize,
-        rng: &mut R,
-    ) -> IoSpec {
+    pub fn spec_for<R: Rng + ?Sized>(&self, program: &Program, m: usize, rng: &mut R) -> IoSpec {
         let inputs: Vec<Vec<Value>> = (0..m).map(|_| self.random_inputs(rng)).collect();
         IoSpec::from_program(program, &inputs)
     }
@@ -195,11 +188,7 @@ impl Generator {
     ///
     /// Returns [`DslError::GenerationExhausted`] if no acceptable program is
     /// found within the configured attempt budget.
-    pub fn task<R: Rng + ?Sized>(
-        &self,
-        m: usize,
-        rng: &mut R,
-    ) -> Result<SynthesisTask, DslError> {
+    pub fn task<R: Rng + ?Sized>(&self, m: usize, rng: &mut R) -> Result<SynthesisTask, DslError> {
         let target = self.program(rng)?;
         let spec = self.spec_for(&target, m, rng);
         Ok(SynthesisTask { target, spec })

@@ -40,6 +40,28 @@ pub fn resolve_arg_sources(
     stmt_output_types: &[Type],
     input_types: &[Type],
 ) -> Vec<ArgSource> {
+    let mut sources = Vec::with_capacity(function.arity());
+    resolve_arg_sources_into(
+        stmt_index,
+        function,
+        stmt_output_types,
+        input_types,
+        &mut sources,
+    );
+    sources
+}
+
+/// [`resolve_arg_sources`], writing into a caller-provided buffer so the
+/// interpreter's hot loop (one resolution per statement per candidate trace)
+/// performs no per-statement allocation. The buffer is cleared first.
+pub fn resolve_arg_sources_into(
+    stmt_index: usize,
+    function: Function,
+    stmt_output_types: &[Type],
+    input_types: &[Type],
+    sources: &mut Vec<ArgSource>,
+) {
+    sources.clear();
     let wanted = function.signature().inputs;
     // This resolver runs for every statement of every candidate the GA
     // evaluates, so the "already used" sets are fixed-size bitsets rather
@@ -49,8 +71,7 @@ pub fn resolve_arg_sources(
     if stmt_index <= 128 && input_types.len() <= 128 {
         let mut used_statements: u128 = 0;
         let mut used_inputs: u128 = 0;
-        let mut sources = Vec::with_capacity(wanted.len());
-        for ty in wanted {
+        for &ty in wanted {
             let from_stmt = (0..stmt_index)
                 .rev()
                 .find(|&j| stmt_output_types[j] == ty && used_statements & (1 << j) == 0);
@@ -69,9 +90,14 @@ pub fn resolve_arg_sources(
             }
             sources.push(ArgSource::Default(ty));
         }
-        return sources;
+        return;
     }
-    resolve_arg_sources_unbounded(stmt_index, &wanted, stmt_output_types, input_types)
+    sources.extend(resolve_arg_sources_unbounded(
+        stmt_index,
+        wanted,
+        stmt_output_types,
+        input_types,
+    ));
 }
 
 /// Fallback for programs with more than 128 statements or inputs.
@@ -132,6 +158,43 @@ impl Execution {
     }
 }
 
+/// Reusable scratch buffers for repeated trace runs.
+///
+/// The GA scores whole populations per generation, and every candidate is
+/// traced on every specification example; allocating fresh type/source
+/// buffers per run shows up in the allocator. A `TraceArena` is created once
+/// per batch (see the fitness crate's `encode_candidates`) and recycled
+/// across all runs, so a traced statement costs no allocation beyond its
+/// output value.
+#[derive(Debug, Clone, Default)]
+pub struct TraceArena {
+    input_types: Vec<Type>,
+    step_types: Vec<Type>,
+    sources: Vec<ArgSource>,
+}
+
+impl TraceArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceArena::default()
+    }
+}
+
+/// Default values handed to statements whose argument has no producer; kept
+/// as statics so argument resolution can work entirely with borrows.
+static DEFAULT_INT: Value = Value::Int(0);
+static DEFAULT_LIST: Value = Value::List(Vec::new());
+
+fn arg_ref<'a>(src: ArgSource, steps: &'a [Value], inputs: &'a [Value]) -> &'a Value {
+    match src {
+        ArgSource::Statement(j) => &steps[j],
+        ArgSource::Input(k) => &inputs[k],
+        ArgSource::Default(Type::Int) => &DEFAULT_INT,
+        ArgSource::Default(Type::List) => &DEFAULT_LIST,
+    }
+}
+
 impl Program {
     /// Runs the program on `inputs`, returning the full execution trace.
     ///
@@ -139,24 +202,48 @@ impl Program {
     ///
     /// Returns [`DslError::EmptyProgram`] if the program has no statements.
     pub fn run(&self, inputs: &[Value]) -> Result<Execution, DslError> {
+        self.run_with(inputs, &mut TraceArena::new())
+    }
+
+    /// Runs the program on `inputs` using `arena` for every intermediate
+    /// buffer, returning the same [`Execution`] as [`Program::run`].
+    ///
+    /// Callers tracing many candidates (the fitness-encoding batch path)
+    /// reuse one arena across all runs so per-statement bookkeeping performs
+    /// no allocation; arguments are resolved as borrows of prior step
+    /// outputs and program inputs rather than clones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::EmptyProgram`] if the program has no statements.
+    pub fn run_with(
+        &self,
+        inputs: &[Value],
+        arena: &mut TraceArena,
+    ) -> Result<Execution, DslError> {
         if self.is_empty() {
             return Err(DslError::EmptyProgram);
         }
-        let input_types: Vec<Type> = inputs.iter().map(Value::ty).collect();
-        let mut step_types: Vec<Type> = Vec::with_capacity(self.len());
+        arena.input_types.clear();
+        arena.input_types.extend(inputs.iter().map(Value::ty));
+        arena.step_types.clear();
         let mut steps: Vec<Value> = Vec::with_capacity(self.len());
         for (i, &func) in self.functions().iter().enumerate() {
-            let sources = resolve_arg_sources(i, func, &step_types, &input_types);
-            let args: Vec<Value> = sources
-                .iter()
-                .map(|src| match *src {
-                    ArgSource::Statement(j) => steps[j].clone(),
-                    ArgSource::Input(k) => inputs[k].clone(),
-                    ArgSource::Default(ty) => ty.default_value(),
-                })
-                .collect();
-            let out = func.apply(&args);
-            step_types.push(out.ty());
+            resolve_arg_sources_into(
+                i,
+                func,
+                &arena.step_types,
+                &arena.input_types,
+                &mut arena.sources,
+            );
+            let out = match *arena.sources.as_slice() {
+                [] => func.apply_refs(&[]),
+                [a] => func.apply_refs(&[arg_ref(a, &steps, inputs)]),
+                [a, b, ..] => {
+                    func.apply_refs(&[arg_ref(a, &steps, inputs), arg_ref(b, &steps, inputs)])
+                }
+            };
+            arena.step_types.push(out.ty());
             steps.push(out);
         }
         let output = steps.last().cloned().expect("program is non-empty");
@@ -288,7 +375,10 @@ mod tests {
 
     #[test]
     fn zipwith_with_single_producer_falls_back_to_program_input() {
-        let p = Program::new(vec![Function::Map(MapOp::Mul2), Function::ZipWith(BinOp::Add)]);
+        let p = Program::new(vec![
+            Function::Map(MapOp::Mul2),
+            Function::ZipWith(BinOp::Add),
+        ]);
         // step0 = [2, 4, 6]; second list argument falls back to the program
         // input [1, 2, 3]; sum = [3, 6, 9].
         let out = p.output(&[list(&[1, 2, 3])]).unwrap();
@@ -300,7 +390,10 @@ mod tests {
         let sources = resolve_arg_sources(0, Function::Take, &[], &[]);
         assert_eq!(
             sources,
-            vec![ArgSource::Default(Type::Int), ArgSource::Default(Type::List)]
+            vec![
+                ArgSource::Default(Type::Int),
+                ArgSource::Default(Type::List)
+            ]
         );
     }
 

@@ -56,7 +56,7 @@ mod value;
 pub use error::DslError;
 pub use function::{BinOp, Function, IntPredicate, MapOp, Signature};
 pub use generator::{Generator, GeneratorConfig, SynthesisTask};
-pub use interp::{resolve_arg_sources, ArgSource, Execution};
+pub use interp::{resolve_arg_sources, resolve_arg_sources_into, ArgSource, Execution, TraceArena};
 pub use program::{Program, ProgramKind};
 pub use spec::{IoExample, IoSpec};
 pub use value::{Type, Value};

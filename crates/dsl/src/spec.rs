@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single input-output example.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct IoExample {
     /// Program inputs (usually a single list of integers).
     pub inputs: Vec<Value>,
@@ -50,7 +50,10 @@ impl fmt::Display for IoExample {
 }
 
 /// A set of input-output examples describing the target program.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+///
+/// Specifications implement `Hash` so they can key spec-scoped caches (see
+/// the fitness crate's `FitnessCache`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct IoSpec {
     examples: Vec<IoExample>,
 }

@@ -167,9 +167,7 @@ pub fn generate_dataset<R: Rng + ?Sized>(
         for value in 0..=config.program_length {
             for _ in 0..config.candidates_per_value {
                 let candidate = match balance {
-                    BalanceMetric::CommonFunctions => {
-                        candidate_with_cf(&task.target, value, rng)
-                    }
+                    BalanceMetric::CommonFunctions => candidate_with_cf(&task.target, value, rng),
                     BalanceMetric::LongestCommonSubsequence => {
                         candidate_with_lcs(&task.target, value, rng)
                     }

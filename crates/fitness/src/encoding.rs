@@ -6,9 +6,26 @@
 //! vocabulary; a separator token marks the boundary between a program input
 //! and its output. DSL functions are encoded by their zero-based index
 //! (`Function::index()`), exactly one token per statement.
+//!
+//! ## Zero-copy split
+//!
+//! The encoding of a model input is split along what varies in the GA loop:
+//!
+//! * [`SpecEncoding`] — the specification's IO-example token sequences.
+//!   Built **once per synthesis** by [`encode_spec`] and shared zero-copy
+//!   (the sequences live behind an `Arc`) across every candidate scored
+//!   against that specification.
+//! * [`CandidateEncoding`] — the per-candidate execution traces only, built
+//!   by [`encode_candidate`] / [`encode_candidates`].
+//!
+//! `FitnessNet::predict_batch` consumes the two parts separately, so the
+//! spec tokens are never cloned into per-candidate samples (and never need
+//! to be re-deduplicated out of them).
 
-use netsyn_dsl::{Execution, Function, IoExample, IoSpec, Program, Value};
+use netsyn_dsl::{Function, IoExample, IoSpec, Program, TraceArena, Value};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Configuration of the token encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,12 +69,28 @@ impl EncodingConfig {
     /// Encodes a DSL value as a token sequence (lists are truncated).
     #[must_use]
     pub fn encode_value(&self, value: &Value) -> Vec<usize> {
-        value
-            .to_tokens()
-            .iter()
-            .take(self.max_list_tokens)
-            .map(|&v| self.encode_int(v))
-            .collect()
+        let mut tokens = Vec::new();
+        self.encode_value_into(value, &mut tokens);
+        tokens
+    }
+
+    /// Appends the token encoding of `value` to `tokens` without the
+    /// intermediate `Vec<i64>` that `Value::to_tokens` would allocate.
+    fn encode_value_into(&self, value: &Value, tokens: &mut Vec<usize>) {
+        match value {
+            Value::Int(v) => {
+                // An integer is a one-token sequence; it is still subject to
+                // the truncation limit, like every value.
+                if self.max_list_tokens > 0 {
+                    tokens.push(self.encode_int(*v));
+                }
+            }
+            Value::List(vs) => tokens.extend(
+                vs.iter()
+                    .take(self.max_list_tokens)
+                    .map(|&v| self.encode_int(v)),
+            ),
+        }
     }
 
     /// Encodes an input-output example as `input tokens, SEP, output tokens`.
@@ -65,10 +98,10 @@ impl EncodingConfig {
     pub fn encode_example(&self, example: &IoExample) -> Vec<usize> {
         let mut tokens = Vec::new();
         for input in &example.inputs {
-            tokens.extend(self.encode_value(input));
+            self.encode_value_into(input, &mut tokens);
             tokens.push(self.separator_token());
         }
-        tokens.extend(self.encode_value(&example.output));
+        self.encode_value_into(&example.output, &mut tokens);
         tokens
     }
 }
@@ -89,40 +122,90 @@ pub struct EncodedStep {
     pub value_tokens: Vec<usize>,
 }
 
-/// One encoded input-output example together with the candidate's execution
-/// trace on that example's inputs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct EncodedExample {
-    /// Tokens of the example (`input, SEP, output`).
-    pub io_tokens: Vec<usize>,
-    /// Per-statement trace of the candidate on this example's inputs. Empty
-    /// when the model is used without a candidate (the FP head).
-    pub steps: Vec<EncodedStep>,
+/// The specification half of a model input: one `input, SEP, output` token
+/// sequence per IO example, encoded once per synthesis and shared zero-copy
+/// (cloning a `SpecEncoding` bumps an `Arc`, it does not copy tokens).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecEncoding {
+    io_tokens: Arc<[Vec<usize>]>,
 }
 
-/// A fully encoded model input: one entry per input-output example.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct EncodedSample {
-    /// Per-example encodings.
-    pub examples: Vec<EncodedExample>,
-}
-
-impl EncodedSample {
-    /// Number of input-output examples in the sample.
+impl SpecEncoding {
+    /// Number of encoded IO examples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.examples.len()
+        self.io_tokens.len()
     }
 
-    /// Whether the sample has no examples.
+    /// Whether the specification had no examples.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.examples.is_empty()
+        self.io_tokens.is_empty()
+    }
+
+    /// The encoded token sequences, one per IO example.
+    #[must_use]
+    pub fn io_tokens(&self) -> &[Vec<usize>] {
+        &self.io_tokens
     }
 }
 
-/// Encodes a specification together with a candidate program and its
-/// execution traces, as consumed by the CF and LCS fitness networks.
+/// The candidate half of a model input: the candidate's encoded execution
+/// trace on each specification example, and nothing else.
+///
+/// `traces[i]` pairs with the `i`-th sequence of the [`SpecEncoding`] the
+/// candidate was encoded against. An entirely trace-less value (the FP head
+/// scores the specification alone; empty programs cannot run) is represented
+/// by [`CandidateEncoding::spec_only`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CandidateEncoding {
+    traces: Vec<Vec<EncodedStep>>,
+}
+
+impl CandidateEncoding {
+    /// The encoding of "no candidate": every example trace is empty. Used by
+    /// the FP head, which consumes the specification encoding alone.
+    #[must_use]
+    pub const fn spec_only() -> Self {
+        CandidateEncoding { traces: Vec::new() }
+    }
+
+    /// The per-example traces (empty for a spec-only encoding).
+    #[must_use]
+    pub fn traces(&self) -> &[Vec<EncodedStep>] {
+        &self.traces
+    }
+
+    /// The candidate's trace on example `index`; the empty slice when the
+    /// candidate could not run or the encoding is spec-only.
+    #[must_use]
+    pub fn trace(&self, index: usize) -> &[EncodedStep] {
+        self.traces.get(index).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total number of encoded steps across all examples.
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.traces.iter().map(Vec::len).sum()
+    }
+}
+
+/// Encodes a specification's IO examples once, for sharing across every
+/// candidate scored against it.
+#[must_use]
+pub fn encode_spec(config: &EncodingConfig, spec: &IoSpec) -> SpecEncoding {
+    let io_tokens: Vec<Vec<usize>> = spec
+        .iter()
+        .map(|example| config.encode_example(example))
+        .collect();
+    SpecEncoding {
+        io_tokens: io_tokens.into(),
+    }
+}
+
+/// Encodes one candidate's execution traces against a specification, as
+/// consumed by the CF and LCS fitness networks together with the matching
+/// [`SpecEncoding`].
 ///
 /// The candidate is run on every example's inputs to obtain the traces; if it
 /// cannot run (empty program) the trace is left empty.
@@ -131,89 +214,125 @@ pub fn encode_candidate(
     config: &EncodingConfig,
     spec: &IoSpec,
     candidate: &Program,
-) -> EncodedSample {
-    let examples = spec
-        .iter()
-        .map(|example| {
-            let steps = candidate
-                .run(&example.inputs)
-                .map(|execution| encode_trace(config, candidate, &execution))
-                .unwrap_or_default();
-            EncodedExample {
-                io_tokens: config.encode_example(example),
-                steps,
-            }
-        })
-        .collect();
-    EncodedSample { examples }
+) -> CandidateEncoding {
+    encode_candidate_with(config, spec, candidate, &mut TraceArena::new())
 }
 
-/// Encodes many candidates against the same specification, encoding the
-/// specification's IO token sequences exactly once and sharing them across
-/// all samples (the per-candidate path re-encodes the spec for every call).
+/// Encodes many candidates against the same specification, sharing one
+/// interpreter [`TraceArena`] across all trace runs.
 ///
-/// Produces, for each candidate, exactly what
-/// [`encode_candidate`] produces.
+/// Produces, for each candidate, exactly what [`encode_candidate`] produces.
 #[must_use]
 pub fn encode_candidates(
     config: &EncodingConfig,
     spec: &IoSpec,
     candidates: &[Program],
-) -> Vec<EncodedSample> {
-    let io_tokens: Vec<Vec<usize>> = spec
-        .iter()
-        .map(|example| config.encode_example(example))
-        .collect();
+) -> Vec<CandidateEncoding> {
+    let mut arena = TraceArena::new();
     candidates
         .iter()
-        .map(|candidate| {
-            let examples = spec
-                .iter()
-                .zip(io_tokens.iter())
-                .map(|(example, tokens)| {
-                    let steps = candidate
-                        .run(&example.inputs)
-                        .map(|execution| encode_trace(config, candidate, &execution))
-                        .unwrap_or_default();
-                    EncodedExample {
-                        io_tokens: tokens.clone(),
-                        steps,
-                    }
-                })
-                .collect();
-            EncodedSample { examples }
-        })
+        .map(|candidate| encode_candidate_with(config, spec, candidate, &mut arena))
         .collect()
 }
 
-/// Encodes a specification alone (no candidate, no trace), as consumed by the
-/// FP (function-probability) network.
-#[must_use]
-pub fn encode_spec(config: &EncodingConfig, spec: &IoSpec) -> EncodedSample {
-    let examples = spec
+fn encode_candidate_with(
+    config: &EncodingConfig,
+    spec: &IoSpec,
+    candidate: &Program,
+    arena: &mut TraceArena,
+) -> CandidateEncoding {
+    let traces = spec
         .iter()
-        .map(|example| EncodedExample {
-            io_tokens: config.encode_example(example),
-            steps: Vec::new(),
+        .map(|example| {
+            candidate
+                .run_with(&example.inputs, arena)
+                .map(|execution| {
+                    candidate
+                        .functions()
+                        .iter()
+                        .zip(execution.steps.iter())
+                        .map(|(func, value)| EncodedStep {
+                            function: func.index(),
+                            value_tokens: config.encode_value(value),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
         })
         .collect();
-    EncodedSample { examples }
+    CandidateEncoding { traces }
 }
 
-fn encode_trace(
-    config: &EncodingConfig,
-    candidate: &Program,
-    execution: &Execution,
-) -> Vec<EncodedStep> {
-    candidate
-        .functions()
-        .iter()
-        .zip(execution.steps.iter())
-        .map(|(func, value)| EncodedStep {
-            function: func.index(),
-            value_tokens: config.encode_value(value),
-        })
-        .collect()
+/// A one-slot, thread-safe memo of the most recent [`encode_spec`] result.
+///
+/// Learned fitness functions hold one of these so that the specification of
+/// a synthesis run is encoded exactly once, no matter how many generations
+/// call `score_batch` with it (the GA presents the same `IoSpec` for the
+/// whole run). The counter makes the guarantee testable.
+///
+/// Cloning produces an *empty* cache, comparison ignores the cache, and
+/// serialization stores nothing: the memo is pure derived state.
+#[derive(Debug, Default)]
+pub struct SpecEncodingCache {
+    slot: Mutex<Option<(IoSpec, SpecEncoding)>>,
+    encodes: AtomicUsize,
+}
+
+impl SpecEncodingCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SpecEncodingCache::default()
+    }
+
+    /// Returns the cached encoding when `spec` matches the cached
+    /// specification, encoding (and caching) it otherwise.
+    ///
+    /// The cache holds one entry, keyed by the full `IoSpec`; callers must
+    /// use a fixed `config` per cache (learned fitness functions do — the
+    /// config belongs to the trained model).
+    pub fn get_or_encode(&self, config: &EncodingConfig, spec: &IoSpec) -> SpecEncoding {
+        let mut slot = self.slot.lock().expect("spec cache poisoned");
+        if let Some((cached_spec, encoding)) = slot.as_ref() {
+            if cached_spec == spec {
+                return encoding.clone();
+            }
+        }
+        let encoding = encode_spec(config, spec);
+        self.encodes.fetch_add(1, Ordering::Relaxed);
+        *slot = Some((spec.clone(), encoding.clone()));
+        encoding
+    }
+
+    /// How many times a specification was actually encoded (cache misses).
+    #[must_use]
+    pub fn encode_count(&self) -> usize {
+        self.encodes.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for SpecEncodingCache {
+    fn clone(&self) -> Self {
+        SpecEncodingCache::default()
+    }
+}
+
+impl PartialEq for SpecEncodingCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for SpecEncodingCache {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Null
+    }
+}
+
+impl Deserialize for SpecEncodingCache {
+    fn from_content(_content: &serde::Content) -> Result<Self, serde::DeError> {
+        Ok(SpecEncodingCache::default())
+    }
 }
 
 /// The size of the function vocabulary (one token per DSL function).
@@ -286,21 +405,27 @@ mod tests {
     #[test]
     fn encode_candidate_produces_one_step_per_statement() {
         let c = config();
-        let sample = encode_candidate(&c, &spec(), &target());
-        assert_eq!(sample.len(), 2);
-        assert!(!sample.is_empty());
-        for example in &sample.examples {
-            assert_eq!(example.steps.len(), 4);
-            assert!(example
-                .steps
+        let spec_encoding = encode_spec(&c, &spec());
+        let candidate = encode_candidate(&c, &spec(), &target());
+        assert_eq!(spec_encoding.len(), 2);
+        assert!(!spec_encoding.is_empty());
+        assert_eq!(candidate.traces().len(), 2);
+        assert_eq!(candidate.step_count(), 8);
+        for example in 0..spec_encoding.len() {
+            assert_eq!(candidate.trace(example).len(), 4);
+            assert!(candidate
+                .trace(example)
                 .iter()
                 .all(|s| s.function < function_vocab_size()));
-            assert!(!example.io_tokens.is_empty());
+            assert!(!spec_encoding.io_tokens()[example].is_empty());
         }
         // The first step of the first example is FILTER(>0) and its trace
         // value is the filtered list [10, 3, 5, 2].
-        let first = &sample.examples[0].steps[0];
-        assert_eq!(first.function, Function::Filter(IntPredicate::Positive).index());
+        let first = &candidate.trace(0)[0];
+        assert_eq!(
+            first.function,
+            Function::Filter(IntPredicate::Positive).index()
+        );
         assert_eq!(first.value_tokens, vec![138, 131, 133, 130]);
     }
 
@@ -314,25 +439,62 @@ mod tests {
         ];
         let batch = encode_candidates(&c, &spec(), &candidates);
         assert_eq!(batch.len(), candidates.len());
-        for (candidate, sample) in candidates.iter().zip(batch.iter()) {
-            assert_eq!(sample, &encode_candidate(&c, &spec(), candidate));
+        for (candidate, encoding) in candidates.iter().zip(batch.iter()) {
+            assert_eq!(encoding, &encode_candidate(&c, &spec(), candidate));
         }
         assert!(encode_candidates(&c, &spec(), &[]).is_empty());
     }
 
     #[test]
-    fn encode_spec_has_no_steps() {
+    fn spec_encoding_clones_share_storage() {
         let c = config();
-        let sample = encode_spec(&c, &spec());
-        assert_eq!(sample.len(), 2);
-        assert!(sample.examples.iter().all(|e| e.steps.is_empty()));
+        let encoding = encode_spec(&c, &spec());
+        let clone = encoding.clone();
+        assert_eq!(encoding, clone);
+        // Zero-copy: both handles point at the same token storage.
+        assert!(std::ptr::eq(
+            encoding.io_tokens().as_ptr(),
+            clone.io_tokens().as_ptr()
+        ));
+    }
+
+    #[test]
+    fn spec_only_candidate_has_no_steps() {
+        let spec_only = CandidateEncoding::spec_only();
+        assert!(spec_only.traces().is_empty());
+        assert_eq!(spec_only.step_count(), 0);
+        assert!(spec_only.trace(0).is_empty());
+        assert!(spec_only.trace(7).is_empty());
     }
 
     #[test]
     fn empty_candidate_yields_empty_traces() {
         let c = config();
-        let sample = encode_candidate(&c, &spec(), &Program::default());
-        assert!(sample.examples.iter().all(|e| e.steps.is_empty()));
+        let encoding = encode_candidate(&c, &spec(), &Program::default());
+        assert!(encoding.traces().iter().all(Vec::is_empty));
+        assert_eq!(encoding.step_count(), 0);
+    }
+
+    #[test]
+    fn spec_cache_encodes_each_spec_once() {
+        let c = config();
+        let cache = SpecEncodingCache::new();
+        assert_eq!(cache.encode_count(), 0);
+        let first = cache.get_or_encode(&c, &spec());
+        let second = cache.get_or_encode(&c, &spec());
+        assert_eq!(first, second);
+        assert_eq!(cache.encode_count(), 1);
+        // A different spec misses; returning to the first misses again (the
+        // cache holds one slot — the GA uses one spec per synthesis).
+        let other = IoSpec::from_program(&target(), &[vec![Value::List(vec![7, 7])]]);
+        let _ = cache.get_or_encode(&c, &other);
+        assert_eq!(cache.encode_count(), 2);
+        assert_eq!(cache.get_or_encode(&c, &spec()), first);
+        assert_eq!(cache.encode_count(), 3);
+        // Clones start cold; equality ignores the cache.
+        let clone = cache.clone();
+        assert_eq!(clone.encode_count(), 0);
+        assert_eq!(clone, cache);
     }
 
     #[test]

@@ -10,12 +10,10 @@
 //!   a map into the `f_FP` fitness (`Σ p_k` over the candidate's functions)
 //!   and also exposes it for FP-guided mutation.
 
-use crate::encoding::encode_candidate;
-use crate::encoding::encode_candidates;
-use crate::encoding::encode_spec;
+use crate::encoding::{encode_candidate, encode_candidates, encode_spec, SpecEncodingCache};
 use crate::probability::ProbabilityMap;
-use crate::traits::FitnessFunction;
 use crate::trainer::{FitnessModelKind, TrainedFitnessModel};
+use crate::traits::FitnessFunction;
 use netsyn_dsl::{IoSpec, Program};
 use netsyn_nn::activation::{sigmoid, softmax};
 use serde::{Deserialize, Serialize};
@@ -27,6 +25,10 @@ pub struct LearnedFitness {
     name: String,
     /// Optional probability map attached for FP-guided mutation.
     mutation_map: Option<ProbabilityMap>,
+    /// One-slot memo so the specification of a synthesis run is encoded
+    /// exactly once across every `score` / `score_batch` call (derived
+    /// state: cleared by `Clone`, ignored by `PartialEq` and serde).
+    spec_cache: SpecEncodingCache,
 }
 
 impl LearnedFitness {
@@ -47,6 +49,7 @@ impl LearnedFitness {
             model,
             name,
             mutation_map: None,
+            spec_cache: SpecEncodingCache::new(),
         }
     }
 
@@ -63,6 +66,15 @@ impl LearnedFitness {
     #[must_use]
     pub fn model(&self) -> &TrainedFitnessModel {
         &self.model
+    }
+
+    /// How many times this fitness function actually encoded a
+    /// specification. The GA presents one spec per `synthesize` call, so
+    /// after a full run this is exactly 1 (the engine's spec-encoded-once
+    /// test asserts it).
+    #[must_use]
+    pub fn spec_encode_count(&self) -> usize {
+        self.spec_cache.encode_count()
     }
 }
 
@@ -83,25 +95,36 @@ impl FitnessFunction for LearnedFitness {
     }
 
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
+        let spec_encoding = self
+            .spec_cache
+            .get_or_encode(self.model.net.encoding(), spec);
         let encoded = encode_candidate(self.model.net.encoding(), spec, candidate);
-        match self.model.net.predict(&encoded) {
+        match self.model.net.predict(&spec_encoding, &encoded) {
             Ok(logits) => expected_class_value(&logits),
             Err(_) => 0.0,
         }
     }
 
-    /// Batched scoring: encodes the specification once, runs every candidate
-    /// through the network in a single batched forward pass
-    /// (`FitnessNet::predict_batch`) and converts each logit row with the
-    /// same expected-value readout as [`FitnessFunction::score`] — scores
-    /// are bit-identical to the per-candidate path.
+    /// Batched scoring: the specification encoding is served from the
+    /// one-slot memo (encoded exactly once per synthesis) and shared
+    /// zero-copy with the network; every candidate's traces run through one
+    /// batched forward pass (`FitnessNet::predict_batch`) and each logit row
+    /// is converted with the same expected-value readout as
+    /// [`FitnessFunction::score`] — scores are bit-identical to the
+    /// per-candidate path.
     fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        let spec_encoding = self
+            .spec_cache
+            .get_or_encode(self.model.net.encoding(), spec);
         let encoded = encode_candidates(self.model.net.encoding(), spec, candidates);
-        match self.model.net.predict_batch(&encoded) {
-            Ok(rows) => rows.iter().map(|logits| expected_class_value(logits)).collect(),
-            // A batched failure cannot tell which sample was invalid; fall
-            // back to the per-candidate path so error semantics (0.0 for the
-            // offending candidates only) are preserved.
+        match self.model.net.predict_batch(&spec_encoding, &encoded) {
+            Ok(rows) => rows
+                .iter()
+                .map(|logits| expected_class_value(logits))
+                .collect(),
+            // A batched failure cannot tell which candidate was invalid;
+            // fall back to the per-candidate path so error semantics (0.0
+            // for the offending candidates only) are preserved.
             Err(_) => candidates
                 .iter()
                 .map(|candidate| self.score(candidate, spec))
@@ -150,7 +173,7 @@ impl LearnedProbabilityModel {
     #[must_use]
     pub fn probability_map(&self, spec: &IoSpec) -> ProbabilityMap {
         let encoded = encode_spec(self.model.net.encoding(), spec);
-        match self.model.net.predict(&encoded) {
+        match self.model.net.predict_spec(&encoded) {
             Ok(logits) => {
                 let probs: Vec<f64> = logits.iter().map(|&z| f64::from(sigmoid(z))).collect();
                 ProbabilityMap::new(probs)
@@ -342,7 +365,10 @@ mod tests {
         assert_eq!(fitness.name(), "nn-FP");
         assert_eq!(fitness.max_score(), 3.0);
         let spec = IoSpec::default();
-        assert!(fitness.score(&target, &spec) > fitness.score(&Program::new(vec![Function::Head]), &spec));
+        assert!(
+            fitness.score(&target, &spec)
+                > fitness.score(&Program::new(vec![Function::Head]), &spec)
+        );
         assert_eq!(fitness.probability_map(&spec), Some(map.clone()));
         assert_eq!(fitness.map(), &map);
     }

@@ -13,14 +13,13 @@
 //! * FP — 41 sigmoid outputs, one per DSL function (the trace inputs are
 //!   simply absent).
 
-use crate::encoding::{function_vocab_size, EncodedSample, EncodingConfig};
+use crate::encoding::{function_vocab_size, CandidateEncoding, EncodingConfig, SpecEncoding};
 use netsyn_nn::{
-    Activation, Embedding, Lstm, LstmCache, Matrix, Mlp, MlpCache, NnError, Param, Parameterized,
-    SequenceEncoder, SequenceEncoderCache,
+    Activation, Embedding, FxHashMap, Lstm, LstmCache, Matrix, Mlp, MlpCache, NnError, Param,
+    Parameterized, SequenceBatch, SequenceEncoder, SequenceEncoderCache, SequenceTrie,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Hyper-parameters of the fitness network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -159,8 +158,13 @@ impl FitnessNet {
         self.config.output_dim
     }
 
-    /// Forward pass over an encoded sample, returning the raw output logits
-    /// and the cache needed for [`FitnessNet::backward`].
+    /// Forward pass over one candidate against a shared specification
+    /// encoding, returning the raw output logits and the cache needed for
+    /// [`FitnessNet::backward`].
+    ///
+    /// The specification half is passed separately (see
+    /// [`crate::encoding::encode_spec`]) so callers scoring many candidates
+    /// against one spec share a single encoding zero-copy.
     ///
     /// # Errors
     ///
@@ -168,18 +172,19 @@ impl FitnessNet {
     /// configured vocabularies (this indicates an encoding/config mismatch).
     pub fn forward(
         &self,
-        sample: &EncodedSample,
+        spec: &SpecEncoding,
+        candidate: &CandidateEncoding,
     ) -> Result<(Vec<f32>, FitnessNetCache), NnError> {
-        let mut example_vectors = Vec::with_capacity(sample.examples.len());
-        let mut example_caches = Vec::with_capacity(sample.examples.len());
-        for example in &sample.examples {
-            let (io_hidden, io_cache) = self.io_encoder.forward(&example.io_tokens)?;
-            let mut step_inputs = Vec::with_capacity(example.steps.len());
-            let mut step_caches = Vec::with_capacity(example.steps.len());
-            let mut step_functions = Vec::with_capacity(example.steps.len());
-            for step in &example.steps {
-                let (step_hidden, step_cache) =
-                    self.step_encoder.forward(&step.value_tokens)?;
+        let mut example_vectors = Vec::with_capacity(spec.len());
+        let mut example_caches = Vec::with_capacity(spec.len());
+        for (index, io_tokens) in spec.io_tokens().iter().enumerate() {
+            let steps = candidate.trace(index);
+            let (io_hidden, io_cache) = self.io_encoder.forward(io_tokens)?;
+            let mut step_inputs = Vec::with_capacity(steps.len());
+            let mut step_caches = Vec::with_capacity(steps.len());
+            let mut step_functions = Vec::with_capacity(steps.len());
+            for step in steps {
+                let (step_hidden, step_cache) = self.step_encoder.forward(&step.value_tokens)?;
                 let function_vec = self.function_embedding.lookup(step.function)?;
                 let mut combined = function_vec;
                 combined.extend_from_slice(&step_hidden);
@@ -215,112 +220,135 @@ impl FitnessNet {
     /// # Errors
     ///
     /// Same as [`FitnessNet::forward`].
-    pub fn predict(&self, sample: &EncodedSample) -> Result<Vec<f32>, NnError> {
-        self.forward(sample).map(|(logits, _)| logits)
+    pub fn predict(
+        &self,
+        spec: &SpecEncoding,
+        candidate: &CandidateEncoding,
+    ) -> Result<Vec<f32>, NnError> {
+        self.forward(spec, candidate).map(|(logits, _)| logits)
     }
 
-    /// Batched inference over many encoded samples — the hot path when a
-    /// whole GA population is scored per generation.
-    ///
-    /// All four network stages run over the entire batch at once: the IO
-    /// encoder sees each *distinct* IO token sequence exactly once (samples
-    /// encoded against the same specification share its encoding instead of
-    /// recomputing it per candidate), the trace-step encoder processes every
-    /// trace value of every sample in one batched call, and the trace and
-    /// example LSTMs step all sequences together (see
-    /// [`Lstm::forward_batch`]). Returns one logit vector per sample, in
-    /// input order, bit-identical to per-sample [`FitnessNet::predict`]
-    /// calls.
+    /// Forward pass over the specification alone (the FP head's input — no
+    /// candidate, no traces).
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::VocabOutOfRange`] if any token of any sample is
-    /// outside the configured vocabularies. Unlike the per-sample path the
-    /// whole batch fails, so callers that need per-sample error isolation
-    /// should fall back to [`FitnessNet::predict`] on error.
-    pub fn predict_batch(&self, samples: &[EncodedSample]) -> Result<Vec<Vec<f32>>, NnError> {
-        if samples.is_empty() {
+    /// Same as [`FitnessNet::forward`].
+    pub fn predict_spec(&self, spec: &SpecEncoding) -> Result<Vec<f32>, NnError> {
+        self.predict(spec, &CandidateEncoding::spec_only())
+    }
+
+    /// Batched inference over many candidates sharing one specification
+    /// encoding — the hot path when a whole GA population is scored per
+    /// generation.
+    ///
+    /// All four network stages run over the entire batch at once: the IO
+    /// encoder sees the shared specification exactly once (candidates carry
+    /// no IO tokens at all, so there is nothing to deduplicate), the
+    /// trace-step encoder processes every *distinct* trace value of every
+    /// candidate in one batched call, and the trace and example LSTMs step
+    /// all sequences together over flat row-major buffers (see
+    /// [`Lstm::forward_batch_flat`]). Returns one logit vector per
+    /// candidate, in input order, bit-identical to per-candidate
+    /// [`FitnessNet::predict`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if any token of any candidate is
+    /// outside the configured vocabularies. Unlike the per-candidate path
+    /// the whole batch fails, so callers that need per-candidate error
+    /// isolation should fall back to [`FitnessNet::predict`] on error.
+    pub fn predict_batch(
+        &self,
+        spec: &SpecEncoding,
+        candidates: &[CandidateEncoding],
+    ) -> Result<Vec<Vec<f32>>, NnError> {
+        if candidates.is_empty() {
             return Ok(Vec::new());
         }
-
-        // Stage 1: encode every *distinct* IO token sequence once.
-        let mut io_unique: Vec<&[usize]> = Vec::new();
-        let mut io_id_of: HashMap<&[usize], usize> = HashMap::new();
-        let mut io_ids: Vec<Vec<usize>> = Vec::with_capacity(samples.len());
-        for sample in samples {
-            let ids = sample
-                .examples
-                .iter()
-                .map(|example| {
-                    *io_id_of.entry(example.io_tokens.as_slice()).or_insert_with(|| {
-                        io_unique.push(example.io_tokens.as_slice());
-                        io_unique.len() - 1
-                    })
-                })
-                .collect();
-            io_ids.push(ids);
-        }
-        let io_hidden = self.io_encoder.forward_batch(&io_unique)?;
+        // Stage 1: encode the shared specification once for the whole batch.
+        let io_refs: Vec<&[usize]> = spec.io_tokens().iter().map(Vec::as_slice).collect();
+        let io_hidden = self.io_encoder.forward_batch(&io_refs)?;
 
         // Stage 2: encode every *distinct* trace value once (candidate
         // traces repeat heavily — empty lists, shared intermediate values —
         // and the encoder is a deterministic function of the tokens).
         let mut step_unique: Vec<&[usize]> = Vec::new();
-        let mut step_id_of: HashMap<&[usize], usize> = HashMap::new();
-        let step_ids: Vec<usize> = samples
+        let mut step_id_of: FxHashMap<&[usize], usize> = FxHashMap::default();
+        let step_ids: Vec<usize> = candidates
             .iter()
-            .flat_map(|sample| sample.examples.iter())
-            .flat_map(|example| example.steps.iter())
+            .flat_map(|candidate| candidate.traces().iter())
+            .flat_map(|trace| trace.iter())
             .map(|step| {
-                *step_id_of.entry(step.value_tokens.as_slice()).or_insert_with(|| {
-                    step_unique.push(step.value_tokens.as_slice());
-                    step_unique.len() - 1
-                })
+                *step_id_of
+                    .entry(step.value_tokens.as_slice())
+                    .or_insert_with(|| {
+                        step_unique.push(step.value_tokens.as_slice());
+                        step_unique.len() - 1
+                    })
             })
             .collect();
         let step_hidden = self.step_encoder.forward_batch(&step_unique)?;
 
         // Stage 3: one (function embedding ‖ step encoding) sequence per
-        // example, combined by the trace LSTM over the whole batch.
-        let mut trace_sequences = Vec::new();
+        // (candidate, example), combined by the trace LSTM over a
+        // prefix-sharing trie: candidates that open with the same statements
+        // and trace values (common in a GA population) share those steps'
+        // LSTM work outright. Nodes are keyed by (function, interned trace
+        // value id), so equal keys imply bit-identical input rows.
+        let func_dim = self.config.function_embed_dim;
+        let enc_dim = self.config.encoder_hidden_dim;
+        let mut trace_trie = SequenceTrie::new(func_dim + enc_dim);
         let mut flat_step = 0usize;
-        for sample in samples {
-            for example in &sample.examples {
-                let mut inputs = Vec::with_capacity(example.steps.len());
-                for step in &example.steps {
-                    let mut combined = self.function_embedding.lookup(step.function)?;
-                    combined.extend_from_slice(&step_hidden[step_ids[flat_step]]);
+        for candidate in candidates {
+            for example in 0..spec.len() {
+                trace_trie.begin_sequence();
+                for step in candidate.trace(example) {
+                    let value_id = step_ids[flat_step];
                     flat_step += 1;
-                    inputs.push(combined);
+                    debug_assert!(value_id < u32::MAX as usize);
+                    let key = ((step.function as u64) << 32) | value_id as u64;
+                    if let Some(row) = trace_trie.push_step(key) {
+                        row[..func_dim]
+                            .copy_from_slice(self.function_embedding.row(step.function)?);
+                        row[func_dim..].copy_from_slice(&step_hidden[value_id]);
+                    }
                 }
-                trace_sequences.push(inputs);
             }
         }
-        let trace_hidden = self.trace_lstm.forward_batch(&trace_sequences);
+        let trace_hidden = self.trace_lstm.forward_batch_trie(&trace_trie);
 
-        // Stage 4: one (io encoding ‖ trace encoding) sequence per sample,
-        // combined by the example LSTM over the whole batch.
-        let mut example_sequences = Vec::with_capacity(samples.len());
+        // Stage 4: one (io encoding ‖ trace encoding) sequence per
+        // candidate, also flat, combined by the example LSTM over the whole
+        // batch. The io encodings are the shared spec rows — referenced per
+        // candidate, never re-encoded.
+        let example_dim = enc_dim + self.config.trace_hidden_dim;
+        let mut example_batch = SequenceBatch::with_capacity(
+            example_dim,
+            candidates.len() * spec.len(),
+            candidates.len(),
+        );
         let mut flat_example = 0usize;
-        for ids in &io_ids {
-            let mut vectors = Vec::with_capacity(ids.len());
-            for &io_id in ids {
-                let mut vector = io_hidden[io_id].clone();
-                vector.extend_from_slice(&trace_hidden[flat_example]);
+        for _candidate in candidates {
+            example_batch.begin_sequence();
+            for io_h in io_hidden.iter().take(spec.len()) {
+                let row = example_batch.push_row();
+                row[..enc_dim].copy_from_slice(io_h);
+                row[enc_dim..].copy_from_slice(&trace_hidden[flat_example]);
                 flat_example += 1;
-                vectors.push(vector);
             }
-            example_sequences.push(vectors);
         }
-        let summaries = self.example_lstm.forward_batch(&example_sequences);
+        let summaries = self.example_lstm.forward_batch_flat(&example_batch);
 
         // Stage 5: classify all summaries with one batched head pass.
-        let mut summary_mat = Matrix::zeros(samples.len(), self.config.example_hidden_dim);
+        let mut summary_mat = Matrix::zeros(candidates.len(), self.config.example_hidden_dim);
         for (row, summary) in summaries.iter().enumerate() {
             summary_mat.row_mut(row).copy_from_slice(summary);
         }
         let logits = self.head.forward_batch(&summary_mat);
-        Ok((0..samples.len()).map(|row| logits.row(row).to_vec()).collect())
+        Ok((0..candidates.len())
+            .map(|row| logits.row(row).to_vec())
+            .collect())
     }
 
     /// Backward pass: accumulates gradients in every component given the
@@ -332,9 +360,7 @@ impl FitnessNet {
             .backward(&cache.example_lstm_cache, &grad_summary);
         let io_dim = self.config.encoder_hidden_dim;
         let func_dim = self.config.function_embed_dim;
-        for (example_cache, example_grad) in
-            cache.example_caches.iter().zip(example_grads.iter())
-        {
+        for (example_cache, example_grad) in cache.example_caches.iter().zip(example_grads.iter()) {
             let (grad_io, grad_trace) = example_grad.split_at(io_dim);
             self.io_encoder.backward(&example_cache.io_cache, grad_io);
             let step_grads = self
@@ -415,8 +441,9 @@ mod tests {
     fn forward_produces_requested_output_dim() {
         let net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
         assert_eq!(net.output_dim(), 6);
-        let sample = encode_candidate(net.encoding(), &spec(), &target());
-        let logits = net.predict(&sample).unwrap();
+        let spec_encoding = encode_spec(net.encoding(), &spec());
+        let candidate = encode_candidate(net.encoding(), &spec(), &target());
+        let logits = net.predict(&spec_encoding, &candidate).unwrap();
         assert_eq!(logits.len(), 6);
         assert!(logits.iter().all(|x| x.is_finite()));
     }
@@ -425,18 +452,22 @@ mod tests {
     fn forward_works_without_traces() {
         // The FP head encodes only the specification.
         let net = FitnessNet::new(tiny_config(41), EncodingConfig::new(), &mut rng());
-        let sample = encode_spec(net.encoding(), &spec());
-        let logits = net.predict(&sample).unwrap();
+        let spec_encoding = encode_spec(net.encoding(), &spec());
+        let logits = net.predict_spec(&spec_encoding).unwrap();
         assert_eq!(logits.len(), 41);
     }
 
     #[test]
     fn different_candidates_get_different_logits() {
         let net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        let spec_encoding = encode_spec(net.encoding(), &spec());
         let a = encode_candidate(net.encoding(), &spec(), &target());
         let other = Program::new(vec![Function::Head, Function::Sum, Function::Last]);
         let b = encode_candidate(net.encoding(), &spec(), &other);
-        assert_ne!(net.predict(&a).unwrap(), net.predict(&b).unwrap());
+        assert_ne!(
+            net.predict(&spec_encoding, &a).unwrap(),
+            net.predict(&spec_encoding, &b).unwrap()
+        );
     }
 
     #[test]
@@ -448,43 +479,54 @@ mod tests {
             Program::default(),
             target(), // duplicate: must get the identical logits
         ];
-        let samples: Vec<EncodedSample> = candidates
+        let spec_encoding = encode_spec(net.encoding(), &spec());
+        let encodings: Vec<CandidateEncoding> = candidates
             .iter()
             .map(|c| encode_candidate(net.encoding(), &spec(), c))
             .collect();
-        let batched = net.predict_batch(&samples).unwrap();
-        assert_eq!(batched.len(), samples.len());
-        for (sample, batch_logits) in samples.iter().zip(batched.iter()) {
-            let single = net.predict(sample).unwrap();
+        let batched = net.predict_batch(&spec_encoding, &encodings).unwrap();
+        assert_eq!(batched.len(), encodings.len());
+        for (candidate, batch_logits) in encodings.iter().zip(batched.iter()) {
+            let single = net.predict(&spec_encoding, candidate).unwrap();
             assert_eq!(batch_logits.len(), single.len());
             for (a, b) in batch_logits.iter().zip(single.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-        assert!(net.predict_batch(&[]).unwrap().is_empty());
+        assert!(net.predict_batch(&spec_encoding, &[]).unwrap().is_empty());
     }
 
     #[test]
     fn batched_predict_handles_spec_only_samples() {
-        // The FP head has no traces; batching must cope with step-less
-        // examples mixed into the same call.
+        // The FP head has no traces; batching must cope with trace-less
+        // candidates mixed into the same call.
         let net = FitnessNet::new(tiny_config(41), EncodingConfig::new(), &mut rng());
+        let spec_encoding = encode_spec(net.encoding(), &spec());
         let with_trace = encode_candidate(net.encoding(), &spec(), &target());
-        let spec_only = encode_spec(net.encoding(), &spec());
-        let batched = net.predict_batch(&[spec_only.clone(), with_trace.clone()]).unwrap();
-        for (sample, batch_logits) in [spec_only, with_trace].iter().zip(batched.iter()) {
-            let single = net.predict(sample).unwrap();
+        let spec_only = CandidateEncoding::spec_only();
+        let batched = net
+            .predict_batch(&spec_encoding, &[spec_only.clone(), with_trace.clone()])
+            .unwrap();
+        for (candidate, batch_logits) in [spec_only, with_trace].iter().zip(batched.iter()) {
+            let single = net.predict(&spec_encoding, candidate).unwrap();
             for (a, b) in batch_logits.iter().zip(single.iter()) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+        // predict_spec is exactly the spec-only forward pass.
+        let fp = net.predict_spec(&spec_encoding).unwrap();
+        let manual = net
+            .predict(&spec_encoding, &CandidateEncoding::spec_only())
+            .unwrap();
+        assert_eq!(fp, manual);
     }
 
     #[test]
     fn backward_accumulates_gradients_everywhere() {
         let mut net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
-        let sample = encode_candidate(net.encoding(), &spec(), &target());
-        let (logits, cache) = net.forward(&sample).unwrap();
+        let spec_encoding = encode_spec(net.encoding(), &spec());
+        let candidate = encode_candidate(net.encoding(), &spec(), &target());
+        let (logits, cache) = net.forward(&spec_encoding, &candidate).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, 3);
         net.zero_grad();
         net.backward(&cache, &grad);
@@ -496,13 +538,14 @@ mod tests {
     #[test]
     fn numerical_gradient_check_end_to_end() {
         let mut net = FitnessNet::new(tiny_config(3), EncodingConfig::new(), &mut rng());
-        let sample = encode_candidate(net.encoding(), &spec(), &target());
+        let spec_encoding = encode_spec(net.encoding(), &spec());
+        let candidate = encode_candidate(net.encoding(), &spec(), &target());
         let target_class = 1usize;
-        let loss_of = |net: &FitnessNet, sample: &EncodedSample| -> f32 {
-            let logits = net.predict(sample).unwrap();
+        let loss_of = |net: &FitnessNet, candidate: &CandidateEncoding| -> f32 {
+            let logits = net.predict(&spec_encoding, candidate).unwrap();
             softmax_cross_entropy(&logits, target_class).0
         };
-        let (logits, cache) = net.forward(&sample).unwrap();
+        let (logits, cache) = net.forward(&spec_encoding, &candidate).unwrap();
         let (_, grad_logits) = softmax_cross_entropy(&logits, target_class);
         net.zero_grad();
         net.backward(&cache, &grad_logits);
@@ -513,15 +556,14 @@ mod tests {
         // finite differences are unreliable near its kinks; it has its own
         // numerical gradient check in netsyn-nn's MLP tests.
         let n_params = net.params_mut().len() - 4;
-        let probes: Vec<(usize, usize, usize)> = (0..n_params)
-            .map(|which| (which, 0usize, 0usize))
-            .collect();
+        let probes: Vec<(usize, usize, usize)> =
+            (0..n_params).map(|which| (which, 0usize, 0usize)).collect();
         for (which, r, c) in probes {
             let orig = net.params_mut()[which].value.get(r, c);
             net.params_mut()[which].value.set(r, c, orig + eps);
-            let lp = loss_of(&net, &sample);
+            let lp = loss_of(&net, &candidate);
             net.params_mut()[which].value.set(r, c, orig - eps);
-            let lm = loss_of(&net, &sample);
+            let lm = loss_of(&net, &candidate);
             net.params_mut()[which].value.set(r, c, orig);
             let num = (lp - lm) / (2.0 * eps);
             let ana = net.params_mut()[which].grad.get(r, c);
@@ -536,12 +578,13 @@ mod tests {
     fn training_reduces_loss_on_a_fixed_sample() {
         use netsyn_nn::Adam;
         let mut net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
-        let sample = encode_candidate(net.encoding(), &spec(), &target());
+        let spec_encoding = encode_spec(net.encoding(), &spec());
+        let candidate = encode_candidate(net.encoding(), &spec(), &target());
         let mut optimizer = Adam::new(5e-3);
         let mut first_loss = None;
         let mut last_loss = 0.0;
         for _ in 0..60 {
-            let (logits, cache) = net.forward(&sample).unwrap();
+            let (logits, cache) = net.forward(&spec_encoding, &candidate).unwrap();
             let (loss, grad) = softmax_cross_entropy(&logits, 4);
             net.backward(&cache, &grad);
             optimizer.step(&mut net.params_mut());

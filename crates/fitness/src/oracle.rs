@@ -57,6 +57,13 @@ impl FitnessFunction for OracleFitness {
         }
     }
 
+    /// Oracle scores depend on the hidden target, not just the spec — and
+    /// distinct targets can induce the *same* spec (e.g. two programs that
+    /// are both the identity). The cache key therefore includes the target.
+    fn cache_key(&self) -> String {
+        format!("{}[{}]", self.name, self.target)
+    }
+
     fn max_score(&self) -> f64 {
         self.target.len() as f64
     }

@@ -23,7 +23,11 @@ impl ProbabilityMap {
     /// Panics if `probs.len() != 41` or any entry is negative or non-finite.
     #[must_use]
     pub fn new(probs: Vec<f64>) -> Self {
-        assert_eq!(probs.len(), Function::COUNT, "expected one entry per DSL function");
+        assert_eq!(
+            probs.len(),
+            Function::COUNT,
+            "expected one entry per DSL function"
+        );
         assert!(
             probs.iter().all(|&p| p.is_finite() && p >= 0.0),
             "probabilities must be non-negative and finite"
@@ -127,8 +131,7 @@ impl ProbabilityMap {
     /// The `k` functions with the highest probability, in decreasing order.
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<Function> {
-        let mut indexed: Vec<(usize, f64)> =
-            self.probs.iter().copied().enumerate().collect();
+        let mut indexed: Vec<(usize, f64)> = self.probs.iter().copied().enumerate().collect();
         indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         indexed
             .into_iter()
@@ -227,7 +230,10 @@ mod tests {
         // Excluding everything-with-mass still terminates.
         let zero = ProbabilityMap::new(vec![0.0; Function::COUNT]);
         for _ in 0..10 {
-            assert_ne!(zero.sample_excluding(&mut rng, Function::Head), Function::Head);
+            assert_ne!(
+                zero.sample_excluding(&mut rng, Function::Head),
+                Function::Head
+            );
         }
     }
 

@@ -2,7 +2,7 @@
 //! (confusion matrices for CF/LCS, accuracy-over-epochs for FP — Figure 7).
 
 use crate::dataset::FitnessSample;
-use crate::encoding::{encode_candidate, encode_spec, EncodingConfig};
+use crate::encoding::{encode_candidate, encode_spec, CandidateEncoding, EncodingConfig};
 use crate::model::{FitnessNet, FitnessNetConfig};
 use netsyn_dsl::Function;
 use netsyn_nn::loss::{argmax, binary_cross_entropy_with_logits, softmax_cross_entropy};
@@ -176,13 +176,12 @@ pub fn train_fitness_model<R: Rng + ?Sized>(
         for chunk in order.chunks(config.batch_size.max(1)) {
             for &idx in chunk {
                 let sample = &samples[idx];
-                let encoded = match kind {
-                    FitnessModelKind::FunctionProbability => {
-                        encode_spec(&config.encoding, &sample.spec)
-                    }
+                let spec_encoding = encode_spec(&config.encoding, &sample.spec);
+                let candidate_encoding = match kind {
+                    FitnessModelKind::FunctionProbability => CandidateEncoding::spec_only(),
                     _ => encode_candidate(&config.encoding, &sample.spec, &sample.candidate),
                 };
-                let Ok((logits, cache)) = net.forward(&encoded) else {
+                let Ok((logits, cache)) = net.forward(&spec_encoding, &candidate_encoding) else {
                     continue;
                 };
                 let (loss, grad) = match kind {
@@ -250,17 +249,20 @@ fn evaluate_accuracy(
         let sample = &samples[idx];
         match kind {
             FitnessModelKind::FunctionProbability => {
-                let encoded = encode_spec(encoding, &sample.spec);
-                if let Ok(logits) = net.predict(&encoded) {
-                    let probs: Vec<f32> =
-                        logits.iter().map(|&z| netsyn_nn::activation::sigmoid(z)).collect();
+                let spec_encoding = encode_spec(encoding, &sample.spec);
+                if let Ok(logits) = net.predict_spec(&spec_encoding) {
+                    let probs: Vec<f32> = logits
+                        .iter()
+                        .map(|&z| netsyn_nn::activation::sigmoid(z))
+                        .collect();
                     total += thresholded_accuracy(&probs, &sample.fp_target, 0.5);
                     counted += 1;
                 }
             }
             _ => {
+                let spec_encoding = encode_spec(encoding, &sample.spec);
                 let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
-                if let Ok(logits) = net.predict(&encoded) {
+                if let Ok(logits) = net.predict(&spec_encoding, &encoded) {
                     let predicted = argmax(&logits);
                     let actual = classification_label(kind, sample);
                     total += f64::from(u8::from(predicted == actual));
@@ -289,8 +291,9 @@ fn confusion_matrix(
     let mut matrix = ConfusionMatrix::new(program_length + 1);
     for &idx in indices {
         let sample = &samples[idx];
+        let spec_encoding = encode_spec(encoding, &sample.spec);
         let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
-        if let Ok(logits) = net.predict(&encoded) {
+        if let Ok(logits) = net.predict(&spec_encoding, &encoded) {
             let predicted = argmax(&logits).min(program_length);
             let actual = classification_label(kind, sample).min(program_length);
             matrix.record(actual, predicted);

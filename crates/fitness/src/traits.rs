@@ -37,6 +37,21 @@ pub trait FitnessFunction: Send + Sync {
             .collect()
     }
 
+    /// The key under which a shared [`crate::FitnessCache`] stores this
+    /// function's scores.
+    ///
+    /// Two fitness functions that can assign *different* scores to the same
+    /// `(candidate, spec)` pair must return different keys, or a shared
+    /// cache would serve one function's scores to the other. The default —
+    /// the function's name — is correct for every implementation whose
+    /// scores depend only on `(candidate, spec)` and the trained model the
+    /// name identifies; implementations carrying extra hidden state must
+    /// fold it into the key (see `OracleFitness`, whose scores depend on
+    /// the hidden target program).
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
+
     /// The score a perfect candidate would receive.
     fn max_score(&self) -> f64;
 
@@ -60,6 +75,10 @@ impl<F: FitnessFunction + ?Sized> FitnessFunction for Box<F> {
 
     fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
         (**self).score_batch(candidates, spec)
+    }
+
+    fn cache_key(&self) -> String {
+        (**self).cache_key()
     }
 
     fn max_score(&self) -> f64 {

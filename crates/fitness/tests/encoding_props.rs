@@ -1,0 +1,100 @@
+//! Property-based invariants of the token encoding (`EncodingConfig`):
+//! clamping symmetry of the integer encoding, truncation of value
+//! encodings to `max_list_tokens`, and disjointness of the separator token
+//! from the value vocabulary.
+
+use netsyn_dsl::{Function, IoSpec, Program, Value};
+use netsyn_fitness::encoding::{encode_candidate, encode_spec};
+use netsyn_fitness::EncodingConfig;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = EncodingConfig> {
+    (1_i64..=512, 0_usize..=32).prop_map(|(max_abs_value, max_list_tokens)| EncodingConfig {
+        max_abs_value,
+        max_list_tokens,
+    })
+}
+
+fn arb_int() -> impl Strategy<Value = i64> {
+    -1_000_000_i64..=1_000_000
+}
+
+fn arb_list() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(-1_000_i64..=1_000, 0..=48)
+}
+
+proptest! {
+    /// `encode_int` is symmetric around the vocabulary center: negating the
+    /// input mirrors the token, and clamping saturates exactly at the ends
+    /// of the value range.
+    #[test]
+    fn encode_int_clamping_is_symmetric(config in arb_config(), v in arb_int()) {
+        let token = config.encode_int(v);
+        let mirrored = config.encode_int(-v);
+        prop_assert_eq!(token + mirrored, 2 * config.max_abs_value as usize);
+        // Clamping: anything at or beyond the range hits the extremes.
+        prop_assert_eq!(
+            config.encode_int(config.max_abs_value.saturating_add(v.abs())),
+            2 * config.max_abs_value as usize
+        );
+        prop_assert_eq!(
+            config.encode_int((-config.max_abs_value).saturating_sub(v.abs())),
+            0
+        );
+        // Idempotence: re-encoding the clamped value gives the same token.
+        let clamped = v.clamp(-config.max_abs_value, config.max_abs_value);
+        prop_assert_eq!(config.encode_int(clamped), token);
+    }
+
+    /// `encode_value` truncates every value to at most `max_list_tokens`
+    /// tokens and preserves untruncated prefixes.
+    #[test]
+    fn encode_value_truncates_to_max_list_tokens(config in arb_config(), xs in arb_list()) {
+        let value = Value::List(xs.clone());
+        let tokens = config.encode_value(&value);
+        prop_assert_eq!(tokens.len(), xs.len().min(config.max_list_tokens));
+        for (&token, &x) in tokens.iter().zip(xs.iter()) {
+            prop_assert_eq!(token, config.encode_int(x));
+        }
+        // Integers are one-token sequences under the same limit.
+        let int_tokens = config.encode_value(&Value::Int(7));
+        prop_assert_eq!(int_tokens.len(), 1_usize.min(config.max_list_tokens));
+    }
+
+    /// The separator token never collides with any encodable value token,
+    /// and every emitted token fits the vocabulary.
+    #[test]
+    fn separator_is_disjoint_from_value_tokens(config in arb_config(), v in arb_int()) {
+        let separator = config.separator_token();
+        prop_assert!(separator < config.value_vocab_size());
+        prop_assert_ne!(config.encode_int(v), separator);
+        // Which is exactly why spec encodings can never conflate a value
+        // with an input/output boundary.
+        prop_assert_eq!(separator, config.value_vocab_size() - 1);
+    }
+
+    /// Every token of a full spec + candidate encoding is inside the
+    /// value vocabulary (the network's embedding table bound), and
+    /// trace-step function indices are inside the function vocabulary.
+    #[test]
+    fn full_encodings_stay_in_vocabulary(config in arb_config(), xs in arb_list()) {
+        let program = Program::new(vec![Function::Sort, Function::Reverse]);
+        let spec = IoSpec::from_program(&program, &[vec![Value::List(xs)]]);
+        let spec_encoding = encode_spec(&config, &spec);
+        for sequence in spec_encoding.io_tokens() {
+            for &token in sequence {
+                prop_assert!(token < config.value_vocab_size());
+            }
+        }
+        let candidate = encode_candidate(&config, &spec, &program);
+        for trace in candidate.traces() {
+            for step in trace {
+                prop_assert!(step.function < netsyn_fitness::encoding::function_vocab_size());
+                for &token in &step.value_tokens {
+                    prop_assert!(token < config.value_vocab_size());
+                    prop_assert_ne!(token, config.separator_token());
+                }
+            }
+        }
+    }
+}

@@ -6,7 +6,9 @@
 //! performance optimization and must never change search behavior.
 
 use netsyn_dsl::{Generator, GeneratorConfig, IoSpec, Program};
-use netsyn_fitness::dataset::{generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig};
+use netsyn_fitness::dataset::{
+    generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig,
+};
 use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
 use netsyn_fitness::{
     ClosenessMetric, EditDistanceFitness, FitnessFunction, FitnessNetConfig, LearnedFitness,
@@ -157,7 +159,9 @@ fn default_impl_fitness_functions_also_match() {
         let (spec, candidates) = random_scenario(4000 + case as u64);
         let mut r = rng(5000 + case as u64);
         let generator = Generator::new(GeneratorConfig::for_length(PROGRAM_LENGTH));
-        let target = generator.program(&mut r).expect("program generation succeeds");
+        let target = generator
+            .program(&mut r)
+            .expect("program generation succeeds");
         for metric in [
             ClosenessMetric::CommonFunctions,
             ClosenessMetric::LongestCommonSubsequence,
@@ -169,16 +173,101 @@ fn default_impl_fitness_functions_also_match() {
     }
 }
 
+/// The split encoding API itself upholds the contract: one shared
+/// [`SpecEncoding`] plus per-candidate [`CandidateEncoding`]s pushed through
+/// `predict_batch` must reproduce per-candidate `predict` calls bitwise, for
+/// a trained model and across repeated/empty/trace-less candidates.
+#[test]
+fn split_encoding_predict_batch_is_bit_identical() {
+    use netsyn_fitness::encoding::{encode_candidate, encode_candidates, encode_spec};
+    use netsyn_fitness::CandidateEncoding;
+
+    let mut r = rng(700);
+    let samples = generate_dataset(
+        &tiny_dataset_config(),
+        BalanceMetric::CommonFunctions,
+        &mut r,
+    )
+    .expect("dataset generation succeeds");
+    let model = train_fitness_model(
+        FitnessModelKind::CommonFunctions,
+        &samples,
+        PROGRAM_LENGTH,
+        &tiny_trainer_config(),
+        &mut r,
+    );
+    let net = &model.net;
+    let (spec, candidates) = random_scenario(7000);
+    let spec_encoding = encode_spec(net.encoding(), &spec);
+    let mut encodings = encode_candidates(net.encoding(), &spec, &candidates);
+    // The batch encoder must agree with the per-candidate encoder...
+    for (candidate, encoding) in candidates.iter().zip(encodings.iter()) {
+        assert_eq!(
+            encoding,
+            &encode_candidate(net.encoding(), &spec, candidate)
+        );
+    }
+    // ...and a trace-less (FP-style) entry may ride along in the same batch.
+    encodings.push(CandidateEncoding::spec_only());
+    let batched = net.predict_batch(&spec_encoding, &encodings).unwrap();
+    assert_eq!(batched.len(), encodings.len());
+    for (encoding, batch_logits) in encodings.iter().zip(batched.iter()) {
+        let single = net.predict(&spec_encoding, encoding).unwrap();
+        for (a, b) in batch_logits.iter().zip(single.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    assert_eq!(
+        batched.last().unwrap(),
+        &net.predict_spec(&spec_encoding).unwrap()
+    );
+}
+
+/// The learned fitness's one-slot spec memo must not leak scores across
+/// specifications: alternating between two specs (evicting the slot each
+/// time) still returns bit-identical batch and single scores for both.
+#[test]
+fn spec_cache_eviction_preserves_bit_identity() {
+    let mut r = rng(800);
+    let samples = generate_dataset(
+        &tiny_dataset_config(),
+        BalanceMetric::CommonFunctions,
+        &mut r,
+    )
+    .expect("dataset generation succeeds");
+    let model = train_fitness_model(
+        FitnessModelKind::CommonFunctions,
+        &samples,
+        PROGRAM_LENGTH,
+        &tiny_trainer_config(),
+        &mut r,
+    );
+    let fitness = LearnedFitness::new(model);
+    let (spec_a, candidates_a) = random_scenario(8001);
+    let (spec_b, candidates_b) = random_scenario(8002);
+    let baseline_a = fitness.score_batch(&candidates_a, &spec_a);
+    for _round in 0..2 {
+        assert_batch_matches_single(&fitness, &spec_a, &candidates_a);
+        assert_batch_matches_single(&fitness, &spec_b, &candidates_b);
+    }
+    // Returning to spec A after scoring spec B reproduces the exact scores.
+    let again_a = fitness.score_batch(&candidates_a, &spec_a);
+    for (a, b) in baseline_a.iter().zip(again_a.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert!(fitness.spec_encode_count() >= 2, "both specs were encoded");
+}
+
 #[test]
 fn boxed_fitness_batch_delegates() {
     let (spec, candidates) = random_scenario(6000);
     let mut r = rng(6001);
     let generator = Generator::new(GeneratorConfig::for_length(PROGRAM_LENGTH));
-    let target = generator.program(&mut r).expect("program generation succeeds");
-    let boxed: Box<dyn FitnessFunction> = Box::new(OracleFitness::new(
-        target,
-        ClosenessMetric::CommonFunctions,
-    ));
+    let target = generator
+        .program(&mut r)
+        .expect("program generation succeeds");
+    let boxed: Box<dyn FitnessFunction> =
+        Box::new(OracleFitness::new(target, ClosenessMetric::CommonFunctions));
     assert_batch_matches_single(&boxed, &spec, &candidates);
     assert!(boxed.score_batch(&[], &spec).is_empty());
 }

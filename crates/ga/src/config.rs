@@ -103,15 +103,17 @@ impl GaConfig {
             "elite_count cannot exceed population_size"
         );
         assert!(
-            (0.0..=1.0).contains(&self.crossover_rate)
-                && (0.0..=1.0).contains(&self.mutation_rate),
+            (0.0..=1.0).contains(&self.crossover_rate) && (0.0..=1.0).contains(&self.mutation_rate),
             "rates must be probabilities"
         );
         assert!(
             self.crossover_rate + self.mutation_rate <= 1.0 + f64::EPSILON,
             "crossover_rate + mutation_rate cannot exceed 1"
         );
-        assert!(self.saturation_window > 0, "saturation_window must be positive");
+        assert!(
+            self.saturation_window > 0,
+            "saturation_window must be positive"
+        );
     }
 }
 

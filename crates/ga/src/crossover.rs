@@ -17,7 +17,11 @@ pub fn single_point<R: Rng + ?Sized>(a: &Program, b: &Program, rng: &mut R) -> P
     assert_eq!(a.len(), b.len(), "parents must have the same length");
     if a.len() == 1 {
         // No internal cut point exists; return one parent at random.
-        return if rng.gen_bool(0.5) { a.clone() } else { b.clone() };
+        return if rng.gen_bool(0.5) {
+            a.clone()
+        } else {
+            b.clone()
+        };
     }
     let cut = rng.gen_range(1..a.len());
     let mut functions = a.functions()[..cut].to_vec();

@@ -13,10 +13,11 @@ use crate::saturation::SaturationDetector;
 use crate::selection;
 use netsyn_dsl::dce::has_dead_code;
 use netsyn_dsl::{Function, IoSpec, Program, Type};
-use netsyn_fitness::{FitnessFunction, ProbabilityMap};
+use netsyn_fitness::cache::SpecScores;
+use netsyn_fitness::{FitnessCache, FitnessFunction, ProbabilityMap};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// Result of one synthesis attempt.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,12 +74,44 @@ impl GeneticEngine {
     /// Runs the evolutionary search for a program equivalent to the target
     /// described by `spec`, using `fitness` to rank candidates and drawing
     /// every candidate evaluation from `budget`.
+    ///
+    /// Scores are memoized for the duration of the call (duplicate offspring
+    /// are never re-scored); use [`GeneticEngine::synthesize_with_cache`] to
+    /// share that memo across repeated runs of the same specification.
     pub fn synthesize<F, R>(
         &self,
         spec: &IoSpec,
         fitness: &F,
         budget: &mut SearchBudget,
         rng: &mut R,
+    ) -> GaOutcome
+    where
+        F: FitnessFunction + ?Sized,
+        R: Rng + ?Sized,
+    {
+        self.synthesize_with_cache(spec, fitness, budget, rng, &FitnessCache::new())
+    }
+
+    /// [`GeneticEngine::synthesize`] with an externally owned
+    /// [`FitnessCache`].
+    ///
+    /// The engine reads and fills the cache's `(fitness cache key, spec)`
+    /// shard:
+    /// any candidate scored by a previous run of the same task is served
+    /// from the cache instead of re-scored. Because every
+    /// [`FitnessFunction::score_batch`] implementation is bit-identical to
+    /// the per-candidate path, cached scores equal recomputed scores
+    /// exactly, so a warm cache never changes the search trajectory — it
+    /// only skips fitness evaluations. The evaluation harness threads one
+    /// cache per task through its `K` repetitions; iterative synthesis
+    /// loops that re-attempt a fixed specification benefit the same way.
+    pub fn synthesize_with_cache<F, R>(
+        &self,
+        spec: &IoSpec,
+        fitness: &F,
+        budget: &mut SearchBudget,
+        rng: &mut R,
+        cache: &FitnessCache,
     ) -> GaOutcome
     where
         F: FitnessFunction + ?Sized,
@@ -91,9 +124,9 @@ impl GeneticEngine {
         };
         let probability_map = fitness.probability_map(spec);
         // Fitness memo keyed by program: duplicate offspring (reproduction
-        // copies, re-discovered programs) are never re-scored. Lives for one
-        // synthesis run because scores are specific to `spec`.
-        let mut memo: HashMap<Program, f64> = HashMap::new();
+        // copies, re-discovered programs) are never re-scored. The shard is
+        // spec-keyed, so entries stay valid across runs of the same task.
+        let memo = cache.shard(&fitness.cache_key(), spec);
         let mut detector = SaturationDetector::new(self.config.saturation_window);
         let mut average_history = Vec::new();
         let mut best_history = Vec::new();
@@ -127,7 +160,7 @@ impl GeneticEngine {
         }
 
         for generation in 1..=self.config.max_generations {
-            Self::evaluate_population(&mut population, fitness, spec, &mut memo);
+            Self::evaluate_population(&mut population, fitness, spec, &memo);
             let average = population.average_fitness();
             let best = population.best_fitness().unwrap_or(0.0);
             average_history.push(average);
@@ -135,21 +168,15 @@ impl GeneticEngine {
             detector.record(average);
 
             // Saturation-triggered restricted local neighborhood search.
-            if detector.is_saturated()
-                && self.config.neighborhood != NeighborhoodStrategy::Disabled
+            if detector.is_saturated() && self.config.neighborhood != NeighborhoodStrategy::Disabled
             {
                 let top: Vec<Program> = population
                     .top_genes(self.config.neighborhood_top_n)
                     .into_iter()
                     .map(|g| g.program)
                     .collect();
-                let ns = neighborhood::search(
-                    &top,
-                    spec,
-                    self.config.neighborhood,
-                    fitness,
-                    budget,
-                );
+                let ns =
+                    neighborhood::search(&top, spec, self.config.neighborhood, fitness, budget);
                 detector.reset();
                 if let Some(solution) = ns.solution {
                     return self.outcome(
@@ -237,42 +264,49 @@ impl GeneticEngine {
 
     /// Evaluates the fitness of every not-yet-scored gene.
     ///
-    /// Previously-seen programs are served from `memo`; the remaining
+    /// Previously-seen programs — from earlier generations *or* earlier runs
+    /// sharing the cache shard — are served from `memo`; the remaining
     /// *unique* programs are scored with a single
     /// [`FitnessFunction::score_batch`] call, so a learned fitness runs one
     /// batched network pass per generation instead of one forward pass per
-    /// gene.
+    /// gene. The shard lock is released while scoring: concurrent runs of
+    /// the same task may race to score a program, but both compute the
+    /// bit-identical value, so the duplicate insert is harmless.
     fn evaluate_population<F>(
         population: &mut Population,
         fitness: &F,
         spec: &IoSpec,
-        memo: &mut HashMap<Program, f64>,
+        memo: &SpecScores,
     ) where
         F: FitnessFunction + ?Sized,
     {
         let mut unscored: Vec<Program> = Vec::new();
-        let mut pending: std::collections::HashSet<Program> = std::collections::HashSet::new();
-        for gene in population.genes_mut().iter_mut() {
-            if gene.fitness.is_some() {
-                continue;
-            }
-            if let Some(&score) = memo.get(&gene.program) {
-                gene.fitness = Some(score);
-            } else if pending.insert(gene.program.clone()) {
-                unscored.push(gene.program.clone());
-            }
-        }
-        if !unscored.is_empty() {
-            let scores = fitness.score_batch(&unscored, spec);
-            debug_assert_eq!(scores.len(), unscored.len());
-            for (program, score) in unscored.into_iter().zip(scores) {
-                memo.insert(program, score);
-            }
+        let mut pending: HashSet<Program> = HashSet::new();
+        memo.with_scores(|scores| {
             for gene in population.genes_mut().iter_mut() {
-                if gene.fitness.is_none() {
-                    gene.fitness = memo.get(&gene.program).copied();
+                if gene.fitness.is_some() {
+                    continue;
+                }
+                if let Some(&score) = scores.get(&gene.program) {
+                    gene.fitness = Some(score);
+                } else if pending.insert(gene.program.clone()) {
+                    unscored.push(gene.program.clone());
                 }
             }
+        });
+        if !unscored.is_empty() {
+            let new_scores = fitness.score_batch(&unscored, spec);
+            debug_assert_eq!(new_scores.len(), unscored.len());
+            memo.with_scores(|scores| {
+                for (program, score) in unscored.into_iter().zip(new_scores) {
+                    scores.insert(program, score);
+                }
+                for gene in population.genes_mut().iter_mut() {
+                    if gene.fitness.is_none() {
+                        gene.fitness = scores.get(&gene.program).copied();
+                    }
+                }
+            });
         }
     }
 
@@ -309,8 +343,7 @@ impl GeneticEngine {
         while next.len() < self.config.population_size {
             let draw: f64 = rng.gen();
             if draw < self.config.crossover_rate {
-                let offspring =
-                    self.crossover_offspring(population, &weights, input_types, rng);
+                let offspring = self.crossover_offspring(population, &weights, input_types, rng);
                 if !budget.try_consume() {
                     return BreedResult::Exhausted;
                 }
@@ -319,8 +352,13 @@ impl GeneticEngine {
                 }
                 next.push(Gene::new(offspring));
             } else if draw < self.config.crossover_rate + self.config.mutation_rate {
-                let offspring =
-                    self.mutation_offspring(population, &weights, input_types, probability_map, rng);
+                let offspring = self.mutation_offspring(
+                    population,
+                    &weights,
+                    input_types,
+                    probability_map,
+                    rng,
+                );
                 if !budget.try_consume() {
                     return BreedResult::Exhausted;
                 }
@@ -377,22 +415,14 @@ impl GeneticEngine {
     ) -> Program {
         let index = selection::roulette_wheel(weights, rng);
         let parent = &population.genes()[index].program;
-        let mut last = mutation::point_mutation(
-            parent,
-            self.config.mutation_mode,
-            probability_map,
-            rng,
-        );
+        let mut last =
+            mutation::point_mutation(parent, self.config.mutation_mode, probability_map, rng);
         for _ in 0..self.config.dead_code_retries {
             if !has_dead_code(&last, input_types) {
                 return last;
             }
-            last = mutation::point_mutation(
-                parent,
-                self.config.mutation_mode,
-                probability_map,
-                rng,
-            );
+            last =
+                mutation::point_mutation(parent, self.config.mutation_mode, probability_map, rng);
         }
         last
     }

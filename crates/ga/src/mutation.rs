@@ -87,7 +87,8 @@ mod tests {
     fn mutation_changes_exactly_one_position() {
         let mut r = rng(1);
         for _ in 0..100 {
-            let mutated = point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
+            let mutated =
+                point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
             assert_eq!(mutated.len(), 4);
             let differences = base_program()
                 .functions()
@@ -104,7 +105,8 @@ mod tests {
         let mut r = rng(2);
         let mut positions = std::collections::HashSet::new();
         for _ in 0..300 {
-            let mutated = point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
+            let mutated =
+                point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
             let pos = base_program()
                 .functions()
                 .iter()

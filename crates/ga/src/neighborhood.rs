@@ -48,11 +48,7 @@ pub fn search<F: FitnessFunction + ?Sized>(
     }
 }
 
-fn bfs_search(
-    genes: &[Program],
-    spec: &IoSpec,
-    budget: &mut SearchBudget,
-) -> NeighborhoodOutcome {
+fn bfs_search(genes: &[Program], spec: &IoSpec, budget: &mut SearchBudget) -> NeighborhoodOutcome {
     let mut evaluated = 0usize;
     for gene in genes {
         for position in 0..gene.len() {
@@ -188,7 +184,9 @@ mod tests {
             &EditDistanceFitness::new(),
             &mut budget,
         );
-        let solution = outcome.solution.expect("solution should be in the neighborhood");
+        let solution = outcome
+            .solution
+            .expect("solution should be in the neighborhood");
         assert!(spec().is_satisfied_by(&solution));
         assert!(outcome.candidates_evaluated > 0);
         assert_eq!(budget.evaluated(), outcome.candidates_evaluated);
@@ -231,7 +229,10 @@ mod tests {
             &oracle,
             &mut budget,
         );
-        assert!(bfs.solution.is_none(), "BFS cannot fix two mistakes at once");
+        assert!(
+            bfs.solution.is_none(),
+            "BFS cannot fix two mistakes at once"
+        );
         let mut budget = SearchBudget::new(100_000);
         let dfs = search(
             &[two_off],
@@ -279,7 +280,12 @@ mod tests {
     #[test]
     fn unsolvable_neighborhood_reports_all_candidates() {
         // A gene far from the target: the whole neighborhood is evaluated.
-        let far = Program::new(vec![Function::Head, Function::Last, Function::Sum, Function::Head]);
+        let far = Program::new(vec![
+            Function::Head,
+            Function::Last,
+            Function::Sum,
+            Function::Head,
+        ]);
         let mut budget = SearchBudget::new(100_000);
         let outcome = search(
             &[far],

@@ -12,7 +12,10 @@ use rand::Rng;
 ///
 /// Panics if `weights` is empty or contains a negative or non-finite weight.
 pub fn roulette_wheel<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
-    assert!(!weights.is_empty(), "cannot select from an empty population");
+    assert!(
+        !weights.is_empty(),
+        "cannot select from an empty population"
+    );
     assert!(
         weights.iter().all(|&w| w.is_finite() && w >= 0.0),
         "weights must be non-negative and finite"

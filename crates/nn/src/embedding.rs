@@ -40,13 +40,24 @@ impl Embedding {
     ///
     /// Returns [`NnError::VocabOutOfRange`] if the token id is out of range.
     pub fn lookup(&self, token: usize) -> Result<Vec<f32>, NnError> {
+        self.row(token).map(<[f32]>::to_vec)
+    }
+
+    /// Borrows one token's embedding row — the allocation-free
+    /// [`Embedding::lookup`], for batch builders that copy rows into flat
+    /// storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if the token id is out of range.
+    pub fn row(&self, token: usize) -> Result<&[f32], NnError> {
         if token >= self.vocab_size() {
             return Err(NnError::VocabOutOfRange {
                 token,
                 vocab: self.vocab_size(),
             });
         }
-        Ok(self.weight.value.row(token).to_vec())
+        Ok(self.weight.value.row(token))
     }
 
     /// Looks up a sequence of tokens.

@@ -6,6 +6,7 @@
 //! token sequences that are embedded and encoded, and the resulting vectors
 //! are combined by further LSTM layers.
 
+use crate::batch::SequenceTrie;
 use crate::embedding::Embedding;
 use crate::error::NnError;
 use crate::lstm::{Lstm, LstmCache};
@@ -61,10 +62,7 @@ impl SequenceEncoder {
     ///
     /// Returns [`NnError::VocabOutOfRange`] if a token is outside the
     /// vocabulary.
-    pub fn forward(
-        &self,
-        tokens: &[usize],
-    ) -> Result<(Vec<f32>, SequenceEncoderCache), NnError> {
+    pub fn forward(&self, tokens: &[usize]) -> Result<(Vec<f32>, SequenceEncoderCache), NnError> {
         let embedded = self.embedding.forward(tokens)?;
         let (hidden, lstm_cache) = self.lstm.forward(&embedded);
         Ok((
@@ -77,20 +75,29 @@ impl SequenceEncoder {
     }
 
     /// Batched inference over many token sequences: embeds every sequence
-    /// and runs the LSTM over the whole batch (see [`Lstm::forward_batch`]).
-    /// Returns one final hidden state per sequence, in input order,
-    /// bit-identical to per-sequence [`SequenceEncoder::forward`] calls.
+    /// into a prefix-sharing [`SequenceTrie`] (sequences opening with the
+    /// same tokens share their LSTM steps — trace values in a GA population
+    /// overlap heavily) and runs the LSTM over the trie (see
+    /// [`Lstm::forward_batch_trie`]). Returns one final hidden state per
+    /// sequence, in input order, bit-identical to per-sequence
+    /// [`SequenceEncoder::forward`] calls.
     ///
     /// # Errors
     ///
     /// Returns [`NnError::VocabOutOfRange`] if any token of any sequence is
-    /// outside the vocabulary.
+    /// outside the vocabulary. (A token landing on an already-shared trie
+    /// node was validated when the node was created.)
     pub fn forward_batch(&self, sequences: &[&[usize]]) -> Result<Vec<Vec<f32>>, NnError> {
-        let embedded: Vec<Vec<Vec<f32>>> = sequences
-            .iter()
-            .map(|tokens| self.embedding.forward(tokens))
-            .collect::<Result<_, _>>()?;
-        Ok(self.lstm.forward_batch(&embedded))
+        let mut trie = SequenceTrie::new(self.embedding.dim());
+        for tokens in sequences {
+            trie.begin_sequence();
+            for &token in *tokens {
+                if let Some(row) = trie.push_step(token as u64) {
+                    row.copy_from_slice(self.embedding.row(token)?);
+                }
+            }
+        }
+        Ok(self.lstm.forward_batch_trie(&trie))
     }
 
     /// Backpropagates a gradient on the encoder output, accumulating

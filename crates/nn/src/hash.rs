@@ -1,0 +1,99 @@
+//! A fast, non-cryptographic hasher for the batch-inference interning maps.
+//!
+//! The batched fitness path interns token sequences and trie edges in hash
+//! maps that are probed once per LSTM step of every scored candidate —
+//! `std`'s DDoS-resistant SipHash costs more than the table lookup there.
+//! This is the Fx multiply-rotate hash (rustc's interning hasher): a few
+//! cycles per word, good distribution on the short integer keys these maps
+//! use, and no resistance to adversarial keys (none of these maps are
+//! attacker-reachable; keys are token ids and interned indices).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_stable_and_key_sensitive() {
+        let hash_of = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash_of(b"abcdefgh-ijk"), hash_of(b"abcdefgh-ijk"));
+        assert_ne!(hash_of(b"abcdefgh-ijk"), hash_of(b"abcdefgh-ijl"));
+        assert_ne!(hash_of(b""), hash_of(b"\x01"));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut map: FxHashMap<(usize, u64), usize> = FxHashMap::default();
+        for i in 0..1000 {
+            map.insert((i, (i as u64) << 32), i);
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map.get(&(407, 407 << 32)), Some(&407));
+        assert_eq!(map.get(&(407, 408 << 32)), None);
+    }
+}

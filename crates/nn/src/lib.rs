@@ -31,18 +31,29 @@
 //!   reusable-output-buffer variant for hot loops;
 //! * [`Linear::forward_batch`] and [`Mlp::forward_batch`] — one GEMM per
 //!   layer over a `batch x dim` matrix instead of `batch` GEMVs;
-//! * [`Lstm::forward_batch`] and [`SequenceEncoder::forward_batch`] —
-//!   variable-length sequences are sorted by length so the still-active
-//!   batch is always a contiguous prefix, and every time step computes all
-//!   four gates for that prefix with two matrix products;
+//! * [`SequenceBatch`] — flat row-major storage for batches of
+//!   variable-length vector sequences, so batch builders write rows with
+//!   `memcpy`s instead of allocating one `Vec<f32>` per step;
+//! * [`Lstm::forward_batch_flat`] (and the nested-`Vec` convenience wrapper
+//!   [`Lstm::forward_batch`]) — sequences are sorted by length so the
+//!   still-active batch is always a contiguous prefix, and every time step
+//!   computes all four gates for that prefix with two matrix products;
+//! * [`SequenceTrie`] and [`Lstm::forward_batch_trie`] — prefix-sharing
+//!   batched inference: an LSTM state depends only on the consumed prefix,
+//!   so sequences sharing a prefix (interned trace values in a GA
+//!   population share ~30% of their steps) compute it exactly once.
+//!   [`SequenceEncoder::forward_batch`] builds such a trie keyed by token;
 //! * [`activation::softmax_rows`] / [`activation::sigmoid_rows`] — row-wise
-//!   batched readouts.
+//!   batched readouts;
+//! * [`hash::FxHasher`] — the fast interning hasher behind the trie edge
+//!   and token-sequence maps.
 //!
 //! The batched paths are **bit-identical** to their per-sample
 //! counterparts: the accumulation order over the inner dimension is the
-//! same in `matmul` and `matvec`, and every gate uses the same scalar
-//! expression, so `forward_batch` results can be compared to `forward`
-//! results with `==`. The test-suite asserts this per layer and end-to-end.
+//! same in `matmul` and `matvec`, every gate uses the same scalar
+//! expression, and prefix sharing only removes duplicated work — so
+//! `forward_batch` results can be compared to `forward` results with `==`.
+//! The test-suite asserts this per layer and end-to-end.
 //!
 //! ## Example
 //!
@@ -68,9 +79,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod activation;
+mod batch;
 mod embedding;
 mod encoder;
 mod error;
+pub mod hash;
 mod linear;
 pub mod loss;
 mod lstm;
@@ -81,9 +94,11 @@ mod param;
 mod tensor;
 
 pub use activation::Activation;
+pub use batch::{SequenceBatch, SequenceTrie};
 pub use embedding::Embedding;
 pub use encoder::{SequenceEncoder, SequenceEncoderCache};
 pub use error::NnError;
+pub use hash::{FxHashMap, FxHasher};
 pub use linear::Linear;
 pub use lstm::{Lstm, LstmCache};
 pub use metrics::ConfusionMatrix;

@@ -118,13 +118,7 @@ impl Linear {
             "linear backward gradient mismatch"
         );
         self.weight.grad.add_outer(grad_out, x, 1.0);
-        for (g, &go) in self
-            .bias
-            .grad
-            .row_mut(0)
-            .iter_mut()
-            .zip(grad_out.iter())
-        {
+        for (g, &go) in self.bias.grad.row_mut(0).iter_mut().zip(grad_out.iter()) {
             *g += go;
         }
         self.weight.value.matvec_transposed(grad_out)
@@ -180,10 +174,7 @@ mod tests {
         let grad_out = [1.0, -1.0];
         let grad_in = layer.backward(&x, &grad_out);
         // dW = grad_out ⊗ x
-        assert_eq!(
-            layer.weight.grad.data(),
-            &[1.0, 2.0, 3.0, -1.0, -2.0, -3.0]
-        );
+        assert_eq!(layer.weight.grad.data(), &[1.0, 2.0, 3.0, -1.0, -2.0, -3.0]);
         assert_eq!(layer.bias.grad.data(), &[1.0, -1.0]);
         // dx = W^T grad_out
         assert_eq!(grad_in, vec![1.0 - 2.0, 0.0 - 1.0, -1.0 - 0.5]);

@@ -31,7 +31,11 @@ pub fn softmax_cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
 #[must_use]
 pub fn binary_cross_entropy_with_logits(logits: &[f32], targets: &[f32]) -> (f32, Vec<f32>) {
     assert!(!logits.is_empty(), "logits must be non-empty");
-    assert_eq!(logits.len(), targets.len(), "logits/targets length mismatch");
+    assert_eq!(
+        logits.len(),
+        targets.len(),
+        "logits/targets length mismatch"
+    );
     let n = logits.len() as f32;
     let mut loss = 0.0;
     let mut grad = Vec::with_capacity(logits.len());
@@ -125,10 +129,7 @@ mod tests {
         let targets = vec![1.0, 0.0, 0.5];
         let (loss, grad) = binary_cross_entropy_with_logits(&logits, &targets);
         assert!(loss > 0.0);
-        let num = numerical_grad(
-            |x| binary_cross_entropy_with_logits(x, &targets).0,
-            &logits,
-        );
+        let num = numerical_grad(|x| binary_cross_entropy_with_logits(x, &targets).0, &logits);
         for (a, n) in grad.iter().zip(num.iter()) {
             assert!((a - n).abs() < 1e-2, "analytic {a} vs numerical {n}");
         }

@@ -9,6 +9,7 @@
 //! accumulating parameter gradients and returning per-step input gradients.
 
 use crate::activation::{sigmoid, tanh};
+use crate::batch::{SequenceBatch, SequenceTrie};
 use crate::param::{Param, Parameterized};
 use crate::tensor::{vecops, Matrix};
 use rand::Rng;
@@ -112,9 +113,7 @@ impl Lstm {
         let f: Vec<f32> = z[h..2 * h].iter().map(|&v| sigmoid(v)).collect();
         let g: Vec<f32> = z[2 * h..3 * h].iter().map(|&v| tanh(v)).collect();
         let o: Vec<f32> = z[3 * h..4 * h].iter().map(|&v| sigmoid(v)).collect();
-        let c: Vec<f32> = (0..h)
-            .map(|j| f[j] * c_prev[j] + i[j] * g[j])
-            .collect();
+        let c: Vec<f32> = (0..h).map(|j| f[j] * c_prev[j] + i[j] * g[j]).collect();
         let tanh_c: Vec<f32> = c.iter().map(|&v| tanh(v)).collect();
         StepCache {
             x: x.to_vec(),
@@ -160,6 +159,31 @@ impl Lstm {
     /// hidden state of every sequence, in input order. No cache is kept, so
     /// this is inference-only.
     ///
+    /// This is a convenience wrapper that copies the nested sequences into
+    /// one flat [`SequenceBatch`] and calls [`Lstm::forward_batch_flat`];
+    /// hot paths (the fitness network's batched stages) build the
+    /// [`SequenceBatch`] directly and skip the copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input vector does not have dimension `input_dim`.
+    #[must_use]
+    pub fn forward_batch(&self, sequences: &[Vec<Vec<f32>>]) -> Vec<Vec<f32>> {
+        let rows: usize = sequences.iter().map(Vec::len).sum();
+        let mut batch = SequenceBatch::with_capacity(self.input_dim, rows, sequences.len());
+        for sequence in sequences {
+            batch.begin_sequence();
+            for x in sequence {
+                assert_eq!(x.len(), self.input_dim, "lstm input dimension mismatch");
+                batch.push_row().copy_from_slice(x);
+            }
+        }
+        self.forward_batch_flat(&batch)
+    }
+
+    /// Batched inference over a flat [`SequenceBatch`] — the allocation-lean
+    /// core of [`Lstm::forward_batch`].
+    ///
     /// Sequences are sorted by length internally (longest first) so that at
     /// each time step the still-active sequences form a contiguous prefix —
     /// same-length sequences are thereby stepped together — and each step
@@ -170,27 +194,28 @@ impl Lstm {
     ///
     /// # Panics
     ///
-    /// Panics if any input vector does not have dimension `input_dim`.
+    /// Panics if the batch's row dimension is not `input_dim` (empty batches
+    /// are accepted regardless of their dimension).
     #[must_use]
-    pub fn forward_batch(&self, sequences: &[Vec<Vec<f32>>]) -> Vec<Vec<f32>> {
+    pub fn forward_batch_flat(&self, batch: &SequenceBatch) -> Vec<Vec<f32>> {
         let h_dim = self.hidden_dim;
-        let mut finals = vec![vec![0.0; h_dim]; sequences.len()];
+        let mut finals = vec![vec![0.0; h_dim]; batch.num_sequences()];
         // Longest first; ties keep input order for determinism.
-        let mut order: Vec<usize> = (0..sequences.len()).collect();
-        order.sort_by(|&a, &b| sequences[b].len().cmp(&sequences[a].len()).then(a.cmp(&b)));
+        let mut order: Vec<usize> = (0..batch.num_sequences()).collect();
+        order.sort_by(|&a, &b| batch.seq_len(b).cmp(&batch.seq_len(a)).then(a.cmp(&b)));
         let mut active = order
             .iter()
-            .take_while(|&&idx| !sequences[idx].is_empty())
+            .take_while(|&&idx| batch.seq_len(idx) > 0)
             .count();
         if active == 0 {
             return finals;
         }
-        let max_len = sequences[order[0]].len();
+        assert_eq!(batch.dim(), self.input_dim, "lstm input dimension mismatch");
+        let max_len = batch.seq_len(order[0]);
 
         // Pre-transpose the weights once so every step is a plain matmul.
         let w_ih_t = self.w_ih.value.transpose();
         let w_hh_t = self.w_hh.value.transpose();
-        let bias = self.bias.value.row(0);
 
         let mut h_mat = Matrix::zeros(active, h_dim);
         let mut c_mat = Matrix::zeros(active, h_dim);
@@ -202,7 +227,7 @@ impl Lstm {
             // their hidden state is final.
             let still_active = order[..active]
                 .iter()
-                .take_while(|&&idx| sequences[idx].len() > t)
+                .take_while(|&&idx| batch.seq_len(idx) > t)
                 .count();
             for slot in still_active..active {
                 finals[order[slot]] = h_mat.row(slot).to_vec();
@@ -213,86 +238,198 @@ impl Lstm {
             x_mat.truncate_rows(active);
 
             for (slot, &idx) in order[..active].iter().enumerate() {
-                let x = &sequences[idx][t];
-                assert_eq!(x.len(), self.input_dim, "lstm input dimension mismatch");
-                x_mat.row_mut(slot).copy_from_slice(x);
+                x_mat.row_mut(slot).copy_from_slice(batch.row(idx, t));
             }
             x_mat.matmul_into(&w_ih_t, &mut zx);
             h_mat.matmul_into(&w_hh_t, &mut zh);
-
-            // Gate pass, split in two so each runs element-wise over one
-            // matrix and can be parallelized across rows: first
-            // c = f * c_prev + i * g in place, then h = o * tanh(c).
-            // z = (x W_ih^T + h W_hh^T) + bias throughout — the exact op
-            // order of Lstm::step, so results stay bit-identical.
-            let zx_ref = &zx;
-            let zh_ref = &zh;
-            let update_c = |first_slot: usize, c_rows: &mut [f32]| {
-                for (local, c_row) in c_rows.chunks_mut(h_dim).enumerate() {
-                    let zx_row = zx_ref.row(first_slot + local);
-                    let zh_row = zh_ref.row(first_slot + local);
-                    for (j, c) in c_row.iter_mut().enumerate() {
-                        let i = sigmoid((zx_row[j] + zh_row[j]) + bias[j]);
-                        let f = sigmoid(
-                            (zx_row[h_dim + j] + zh_row[h_dim + j]) + bias[h_dim + j],
-                        );
-                        let g = tanh(
-                            (zx_row[2 * h_dim + j] + zh_row[2 * h_dim + j])
-                                + bias[2 * h_dim + j],
-                        );
-                        *c = f * *c + i * g;
-                    }
-                }
-            };
-            // The sigmoid/tanh evaluations dominate large batches; spread
-            // rows over the worker pool once the batch is big enough to
-            // amortize the dispatch.
-            const GATE_PAR_THRESHOLD: usize = 1 << 13;
-            let workers = if active * h_dim >= GATE_PAR_THRESHOLD {
-                rayon::current_num_threads().min(active).max(1)
-            } else {
-                1
-            };
-            let rows_per_chunk = active.div_ceil(workers.max(1)).max(1);
-            {
-                use rayon::prelude::ParallelSliceMut;
-                c_mat
-                    .data_mut()
-                    .par_chunks_mut(rows_per_chunk * h_dim)
-                    .enumerate()
-                    .for_each(|(chunk_index, chunk)| {
-                        update_c(chunk_index * rows_per_chunk, chunk);
-                    });
-            }
-            let c_ref = &c_mat;
-            let update_h = |first_slot: usize, h_rows: &mut [f32]| {
-                for (local, h_row) in h_rows.chunks_mut(h_dim).enumerate() {
-                    let slot = first_slot + local;
-                    let zx_row = zx_ref.row(slot);
-                    let zh_row = zh_ref.row(slot);
-                    let c_row = c_ref.row(slot);
-                    for (j, h) in h_row.iter_mut().enumerate() {
-                        let o = sigmoid(
-                            (zx_row[3 * h_dim + j] + zh_row[3 * h_dim + j])
-                                + bias[3 * h_dim + j],
-                        );
-                        *h = o * tanh(c_row[j]);
-                    }
-                }
-            };
-            {
-                use rayon::prelude::ParallelSliceMut;
-                h_mat
-                    .data_mut()
-                    .par_chunks_mut(rows_per_chunk * h_dim)
-                    .enumerate()
-                    .for_each(|(chunk_index, chunk)| {
-                        update_h(chunk_index * rows_per_chunk, chunk);
-                    });
-            }
+            self.batched_gate_pass(&zx, &zh, &mut c_mat, &mut h_mat, active);
         }
         for slot in 0..active {
             finals[order[slot]] = h_mat.row(slot).to_vec();
+        }
+        finals
+    }
+
+    /// The batched gate pass shared by every batch-inference path: given the
+    /// pre-activations `zx` and `zh` for `active` rows, updates `c_mat`
+    /// (holding each row's previous cell state) to the new cell state and
+    /// writes the new hidden state into `h_mat`.
+    ///
+    /// Split in two element-wise sweeps so each can be parallelized across
+    /// rows: first `c = f * c_prev + i * g` in place, then
+    /// `h = o * tanh(c)`. `z = (x W_ih^T + h W_hh^T) + bias` throughout —
+    /// the exact op order of [`Lstm::step`], so results stay bit-identical.
+    fn batched_gate_pass(
+        &self,
+        zx: &Matrix,
+        zh: &Matrix,
+        c_mat: &mut Matrix,
+        h_mat: &mut Matrix,
+        active: usize,
+    ) {
+        let h_dim = self.hidden_dim;
+        let bias = self.bias.value.row(0);
+        // The sigmoid/tanh evaluations dominate large batches; spread
+        // rows over the worker pool once the batch is big enough to
+        // amortize the dispatch.
+        const GATE_PAR_THRESHOLD: usize = 1 << 13;
+        let workers = if active * h_dim >= GATE_PAR_THRESHOLD {
+            rayon::current_num_threads().min(active).max(1)
+        } else {
+            1
+        };
+        if workers <= 1 {
+            // Single-worker fast path: one fused sweep per row. Every
+            // element's expressions and inputs are exactly those of the
+            // two-sweep path below (no element reads another element's
+            // output), so the fusion is bit-identical — it only improves
+            // locality and skips a second pass over the matrices.
+            for slot in 0..active {
+                let zx_row = zx.row(slot);
+                let zh_row = zh.row(slot);
+                let c_row = c_mat.row_mut(slot);
+                for (j, c) in c_row.iter_mut().enumerate() {
+                    let i = sigmoid((zx_row[j] + zh_row[j]) + bias[j]);
+                    let f = sigmoid((zx_row[h_dim + j] + zh_row[h_dim + j]) + bias[h_dim + j]);
+                    let g =
+                        tanh((zx_row[2 * h_dim + j] + zh_row[2 * h_dim + j]) + bias[2 * h_dim + j]);
+                    *c = f * *c + i * g;
+                }
+                let c_row = c_mat.row(slot);
+                let h_row = h_mat.row_mut(slot);
+                for (j, h) in h_row.iter_mut().enumerate() {
+                    let o = sigmoid(
+                        (zx_row[3 * h_dim + j] + zh_row[3 * h_dim + j]) + bias[3 * h_dim + j],
+                    );
+                    *h = o * tanh(c_row[j]);
+                }
+            }
+            return;
+        }
+        let update_c = |first_slot: usize, c_rows: &mut [f32]| {
+            for (local, c_row) in c_rows.chunks_mut(h_dim).enumerate() {
+                let zx_row = zx.row(first_slot + local);
+                let zh_row = zh.row(first_slot + local);
+                for (j, c) in c_row.iter_mut().enumerate() {
+                    let i = sigmoid((zx_row[j] + zh_row[j]) + bias[j]);
+                    let f = sigmoid((zx_row[h_dim + j] + zh_row[h_dim + j]) + bias[h_dim + j]);
+                    let g =
+                        tanh((zx_row[2 * h_dim + j] + zh_row[2 * h_dim + j]) + bias[2 * h_dim + j]);
+                    *c = f * *c + i * g;
+                }
+            }
+        };
+        let rows_per_chunk = active.div_ceil(workers.max(1)).max(1);
+        {
+            use rayon::prelude::ParallelSliceMut;
+            c_mat
+                .data_mut()
+                .par_chunks_mut(rows_per_chunk * h_dim)
+                .enumerate()
+                .for_each(|(chunk_index, chunk)| {
+                    update_c(chunk_index * rows_per_chunk, chunk);
+                });
+        }
+        let c_ref = &*c_mat;
+        let update_h = |first_slot: usize, h_rows: &mut [f32]| {
+            for (local, h_row) in h_rows.chunks_mut(h_dim).enumerate() {
+                let slot = first_slot + local;
+                let zx_row = zx.row(slot);
+                let zh_row = zh.row(slot);
+                let c_row = c_ref.row(slot);
+                for (j, h) in h_row.iter_mut().enumerate() {
+                    let o = sigmoid(
+                        (zx_row[3 * h_dim + j] + zh_row[3 * h_dim + j]) + bias[3 * h_dim + j],
+                    );
+                    *h = o * tanh(c_row[j]);
+                }
+            }
+        };
+        {
+            use rayon::prelude::ParallelSliceMut;
+            h_mat
+                .data_mut()
+                .par_chunks_mut(rows_per_chunk * h_dim)
+                .enumerate()
+                .for_each(|(chunk_index, chunk)| {
+                    update_h(chunk_index * rows_per_chunk, chunk);
+                });
+        }
+    }
+
+    /// Batched inference over a prefix-sharing [`SequenceTrie`]: every
+    /// distinct sequence *prefix* is stepped exactly once, and sequences
+    /// read their final hidden state off the trie node their last step
+    /// landed on.
+    ///
+    /// An LSTM state is a function of the consumed prefix alone, and every
+    /// node's step uses the same matmul row semantics and gate expressions
+    /// as [`Lstm::forward`], so results are bit-identical to per-sequence
+    /// calls — the trie only removes duplicated work (~30% of the fitness
+    /// network's trace-value encoding steps in a GA population batch).
+    /// Empty sequences yield the all-zero hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trie's row dimension is not `input_dim` (tries with no
+    /// nodes are accepted regardless of their dimension).
+    #[must_use]
+    pub fn forward_batch_trie(&self, trie: &SequenceTrie) -> Vec<Vec<f32>> {
+        let h_dim = self.hidden_dim;
+        let mut finals = vec![vec![0.0; h_dim]; trie.num_sequences()];
+        if trie.node_count() == 0 {
+            return finals;
+        }
+        assert_eq!(trie.dim(), self.input_dim, "lstm input dimension mismatch");
+
+        // Pre-transpose the weights once so every level is a plain matmul.
+        let w_ih_t = self.w_ih.value.transpose();
+        let w_hh_t = self.w_hh.value.transpose();
+
+        // Hidden states of every level are kept (terminals read them);
+        // cell states only feed the next level.
+        let mut level_h: Vec<Matrix> = Vec::with_capacity(trie.levels().len());
+        let mut prev_c = Matrix::zeros(0, h_dim);
+        let mut zx = Matrix::zeros(0, 0);
+        let mut zh = Matrix::zeros(0, 0);
+        for (depth, level) in trie.levels().iter().enumerate() {
+            let nodes = level.parents.len();
+            let x_mat = Matrix::from_vec(nodes, self.input_dim, level.rows.clone());
+            // Gather each node's previous (h, c) from its parent; depth 0
+            // starts from the zero state.
+            let mut h_prev = Matrix::zeros(nodes, h_dim);
+            let mut c_mat = Matrix::zeros(nodes, h_dim);
+            if depth > 0 {
+                let parent_h = &level_h[depth - 1];
+                for (slot, &parent) in level.parents.iter().enumerate() {
+                    h_prev.row_mut(slot).copy_from_slice(parent_h.row(parent));
+                    c_mat.row_mut(slot).copy_from_slice(prev_c.row(parent));
+                }
+            }
+            x_mat.matmul_into(&w_ih_t, &mut zx);
+            if depth == 0 {
+                // Every depth-0 node starts from the zero state, so its zh
+                // row is the same vector: compute it once with the exact
+                // per-sequence expression and broadcast.
+                let zh_root = self.w_hh.value.matvec(&vec![0.0; h_dim]);
+                zh = Matrix::zeros(nodes, 4 * h_dim);
+                for slot in 0..nodes {
+                    zh.row_mut(slot).copy_from_slice(&zh_root);
+                }
+            } else {
+                h_prev.matmul_into(&w_hh_t, &mut zh);
+            }
+            // The gate pass overwrites every row of its h output; reuse the
+            // gathered h_prev buffer for it.
+            let mut h_mat = h_prev;
+            self.batched_gate_pass(&zx, &zh, &mut c_mat, &mut h_mat, nodes);
+            level_h.push(h_mat);
+            prev_c = c_mat;
+        }
+        for (sequence, terminal) in trie.terminals().iter().enumerate() {
+            if let Some((depth, slot)) = *terminal {
+                finals[sequence] = level_h[depth].row(slot).to_vec();
+            }
         }
         finals
     }
@@ -367,7 +504,11 @@ mod tests {
 
     fn sample_sequence(len: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..len)
-            .map(|t| (0..dim).map(|d| ((t * dim + d) as f32) * 0.1 - 0.3).collect())
+            .map(|t| {
+                (0..dim)
+                    .map(|d| ((t * dim + d) as f32) * 0.1 - 0.3)
+                    .collect()
+            })
             .collect()
     }
 
@@ -443,6 +584,56 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "length {}", seq.len());
             }
         }
+    }
+
+    #[test]
+    fn trie_forward_is_bit_identical_to_single() {
+        let lstm = Lstm::new(3, 5, &mut rng());
+        // Sequences with shared prefixes, duplicates, and an empty one.
+        let base = sample_sequence(6, 3);
+        let mut shorter = base.clone();
+        shorter.truncate(3);
+        let mut diverging = base.clone();
+        diverging[4] = vec![9.0, -9.0, 0.5];
+        let sequences: Vec<Vec<Vec<f32>>> = vec![
+            base.clone(),
+            shorter,
+            diverging,
+            Vec::new(),
+            base.clone(),
+            sample_sequence(2, 3),
+        ];
+        // Key steps by their position in a canonical list of distinct rows,
+        // mirroring how callers intern inputs before building the trie.
+        let mut distinct: Vec<&Vec<f32>> = Vec::new();
+        let mut trie = SequenceTrie::new(3);
+        for sequence in &sequences {
+            trie.begin_sequence();
+            for x in sequence {
+                let key = match distinct.iter().position(|d| *d == x) {
+                    Some(at) => at,
+                    None => {
+                        distinct.push(x);
+                        distinct.len() - 1
+                    }
+                } as u64;
+                if let Some(row) = trie.push_step(key) {
+                    row.copy_from_slice(x);
+                }
+            }
+        }
+        assert!(trie.node_count() < sequences.iter().map(Vec::len).sum::<usize>());
+        let batched = lstm.forward_batch_trie(&trie);
+        assert_eq!(batched.len(), sequences.len());
+        for (seq, batch_h) in sequences.iter().zip(batched.iter()) {
+            let (single_h, _) = lstm.forward(seq);
+            for (a, b) in batch_h.iter().zip(single_h.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "length {}", seq.len());
+            }
+        }
+        // An empty trie yields zero states without touching the weights.
+        let empty = SequenceTrie::new(7); // wrong dim: fine while empty
+        assert!(lstm.forward_batch_trie(&empty).is_empty());
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, row-normalized):", self.classes)?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, row-normalized):",
+            self.classes
+        )?;
         for (i, row) in self.row_normalized().iter().enumerate() {
             write!(f, "  actual {i}: ")?;
             for p in row {

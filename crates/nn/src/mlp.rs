@@ -37,7 +37,10 @@ impl Mlp {
     /// Panics if fewer than two sizes are given.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(sizes: &[usize], activation: Activation, rng: &mut R) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))

@@ -108,7 +108,10 @@ impl Matrix {
     /// Panics if out of bounds.
     #[must_use]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -118,7 +121,10 @@ impl Matrix {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -184,7 +190,15 @@ impl Matrix {
             rayon::current_num_threads().min(self.rows)
         };
         if workers <= 1 {
-            matmul_rows(&self.data, &other.data, &mut out.data, 0, self.rows, self.cols, other.cols);
+            matmul_rows(
+                &self.data,
+                &other.data,
+                &mut out.data,
+                0,
+                self.rows,
+                self.cols,
+                other.cols,
+            );
             return;
         }
         use rayon::prelude::ParallelSliceMut;
@@ -196,7 +210,15 @@ impl Matrix {
             .for_each(|(chunk_index, chunk)| {
                 let row_start = chunk_index * rows_per_chunk;
                 let row_count = chunk.len() / n_dim;
-                matmul_rows(&self.data, &other.data, chunk, row_start, row_count, k_dim, n_dim);
+                matmul_rows(
+                    &self.data,
+                    &other.data,
+                    chunk,
+                    row_start,
+                    row_count,
+                    k_dim,
+                    n_dim,
+                );
             });
     }
 
@@ -236,13 +258,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f32]) -> Vec<f32> {
         assert_eq!(self.cols, v.len(), "matvec shape mismatch");
         (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(&a, &b)| a * b)
-                    .sum()
-            })
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &b)| a * b).sum())
             .collect()
     }
 

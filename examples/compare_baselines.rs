@@ -38,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Box::new(PushGp::new()) as Box<dyn Synthesizer>
         }),
         MethodSpec::new("Edit (GA)", move |_task: &SynthesisTask| {
-            let mut config = NetSynConfig::paper_defaults(FitnessChoice::EditDistance, program_length);
+            let mut config =
+                NetSynConfig::paper_defaults(FitnessChoice::EditDistance, program_length);
             config.ga.mutation_mode = MutationMode::UniformRandom;
             Box::new(NetSyn::new(config, None)) as Box<dyn Synthesizer>
         }),

@@ -8,10 +8,12 @@
 //! cargo run --release --example train_fitness_nn
 //! ```
 
-use netsyn_fitness::dataset::{generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig};
+use netsyn_dsl::{Generator, GeneratorConfig};
+use netsyn_fitness::dataset::{
+    generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig,
+};
 use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
 use netsyn_fitness::{FitnessFunction, LearnedFitness, LearnedProbabilityModel};
-use netsyn_dsl::{Generator, GeneratorConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -28,12 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset_config.num_target_programs
     );
     let cf_samples = generate_dataset(&dataset_config, BalanceMetric::CommonFunctions, &mut rng)?;
-    println!("  {} labelled (spec, candidate, trace) samples", cf_samples.len());
+    println!(
+        "  {} labelled (spec, candidate, trace) samples",
+        cf_samples.len()
+    );
 
     // 2. Train the CF classifier.
     let mut trainer_config = TrainerConfig::small();
     trainer_config.epochs = 4;
-    println!("Training the f_CF network for {} epochs ...", trainer_config.epochs);
+    println!(
+        "Training the f_CF network for {} epochs ...",
+        trainer_config.epochs
+    );
     let cf_model = train_fitness_model(
         FitnessModelKind::CommonFunctions,
         &cf_samples,
@@ -56,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fp_config = dataset_config.clone();
     fp_config.num_target_programs = 300;
     let fp_samples = generate_fp_dataset(&fp_config, &mut rng)?;
-    println!("Training the f_FP network on {} specifications ...", fp_samples.len());
+    println!(
+        "Training the f_FP network on {} specifications ...",
+        fp_samples.len()
+    );
     let fp_model = train_fitness_model(
         FitnessModelKind::FunctionProbability,
         &fp_samples,

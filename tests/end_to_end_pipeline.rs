@@ -63,9 +63,15 @@ fn learned_pipeline_runs_end_to_end() {
             NetSynConfig::small(FitnessChoice::NeuralFunctionProbability, 2),
             Some(Arc::clone(&bundle)),
         )),
-        Box::new(DeepCoder::new(LearnedProbabilityModel::new(bundle.fp.clone()))),
-        Box::new(PcCoder::new(LearnedProbabilityModel::new(bundle.fp.clone()))),
-        Box::new(RobustFill::new(LearnedProbabilityModel::new(bundle.fp.clone()))),
+        Box::new(DeepCoder::new(LearnedProbabilityModel::new(
+            bundle.fp.clone(),
+        ))),
+        Box::new(PcCoder::new(LearnedProbabilityModel::new(
+            bundle.fp.clone(),
+        ))),
+        Box::new(RobustFill::new(LearnedProbabilityModel::new(
+            bundle.fp.clone(),
+        ))),
         Box::new(PushGp::new().with_max_generations(20)),
     ];
     for synthesizer in &synthesizers {
@@ -101,10 +107,8 @@ fn model_bundle_round_trips_through_disk_and_still_scores() {
     let mut rng = ChaCha8Rng::seed_from_u64(77);
     let generator = netsyn_dsl::Generator::new(netsyn_dsl::GeneratorConfig::for_length(2));
     let task = generator.task(3, &mut rng).unwrap();
-    let map_before =
-        LearnedProbabilityModel::new(bundle.fp.clone()).probability_map(&task.spec);
-    let map_after =
-        LearnedProbabilityModel::new(loaded.fp.clone()).probability_map(&task.spec);
+    let map_before = LearnedProbabilityModel::new(bundle.fp.clone()).probability_map(&task.spec);
+    let map_after = LearnedProbabilityModel::new(loaded.fp.clone()).probability_map(&task.spec);
     assert_eq!(
         map_before.as_slice(),
         map_after.as_slice(),

@@ -3,12 +3,12 @@
 //! chance, and the balanced dataset generators must agree with the exact
 //! metrics they are labelled with.
 
+use netsyn_dsl::{Generator, GeneratorConfig};
 use netsyn_fitness::dataset::{candidate_with_cf, candidate_with_lcs, DatasetConfig};
 use netsyn_fitness::dataset::{generate_dataset, BalanceMetric};
 use netsyn_fitness::metrics::{common_functions, longest_common_subsequence};
 use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
 use netsyn_fitness::{FitnessFunction, FitnessNetConfig, LearnedFitness};
-use netsyn_dsl::{Generator, GeneratorConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 

@@ -35,8 +35,9 @@ fn every_method_respects_the_budget_cap() {
                 as Box<dyn Synthesizer>
         }),
         MethodSpec::new("RobustFill", |t: &SynthesisTask| {
-            Box::new(RobustFill::new(ProbabilityMap::from_target(&t.target, 0.05)))
-                as Box<dyn Synthesizer>
+            Box::new(RobustFill::new(ProbabilityMap::from_target(
+                &t.target, 0.05,
+            ))) as Box<dyn Synthesizer>
         }),
         MethodSpec::new("Oracle_CF", |t: &SynthesisTask| {
             let config = NetSynConfig::small(FitnessChoice::OracleCommonFunctions, 3);
@@ -58,10 +59,7 @@ fn every_method_respects_the_budget_cap() {
         let rates = evaluation.per_task_synthesis_rate();
         assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
         let fractions = evaluation.per_task_search_fraction();
-        assert!(fractions
-            .iter()
-            .flatten()
-            .all(|f| (0.0..=1.0).contains(f)));
+        assert!(fractions.iter().flatten().all(|f| (0.0..=1.0).contains(f)));
         let deciles = evaluation.search_space_deciles();
         // Deciles are monotone non-decreasing where present.
         let present: Vec<f64> = deciles.iter().flatten().copied().collect();
