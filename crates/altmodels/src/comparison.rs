@@ -25,11 +25,9 @@ pub fn mean(xs: &[f64]) -> f64 {
 /// correlation requires).
 fn fractional_ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| {
-        xs[a]
-            .partial_cmp(&xs[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp: a NaN score gets a deterministic (extreme) rank instead of
+    // an order-dependent one from an inconsistent comparator.
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut ranks = vec![0.0; xs.len()];
     let mut i = 0;
     while i < order.len() {

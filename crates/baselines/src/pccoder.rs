@@ -97,7 +97,10 @@ impl<G: GuidanceModel> PcCoder<G> {
                     extensions.push((extended, score));
                 }
             }
-            extensions.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            // total_cmp: a NaN guidance score takes a deterministic
+            // extreme position in the beam (positive NaN first, negative
+            // last) instead of scrambling the ranking run to run.
+            extensions.sort_by(|a, b| b.1.total_cmp(&a.1));
             extensions.truncate(beam_width);
             if extensions.is_empty() {
                 return None;

@@ -14,7 +14,62 @@ use netsyn_nn::{Lstm, Matrix, Parameterized};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// Micro-benchmarks of the SIMD transcendental kernels against the scalar
+/// libm calls they replace (`BENCH_simd.json` records the ratios). The
+/// inputs mimic LSTM gate pre-activations: dense in [-8, 8].
+fn bench_simd_kernels(c: &mut Criterion) {
+    use netsyn_nn::simd;
+    let mut group = c.benchmark_group("simd_kernels");
+    group.sample_size(20);
+    let xs: Vec<f32> = (0..4096).map(|i| ((i as f32) * 0.13).sin() * 8.0).collect();
+    let mut buf = xs.clone();
+    group.bench_function("vexp_4096", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&xs);
+            simd::vexp_slice(black_box(&mut buf));
+        });
+    });
+    group.bench_function("libm_exp_4096", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&xs);
+            for x in buf.iter_mut() {
+                *x = black_box(x.exp());
+            }
+        });
+    });
+    group.bench_function("vtanh_4096", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&xs);
+            simd::vtanh_slice(black_box(&mut buf));
+        });
+    });
+    group.bench_function("libm_tanh_4096", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&xs);
+            for x in buf.iter_mut() {
+                *x = black_box(x.tanh());
+            }
+        });
+    });
+    group.bench_function("vsigmoid_4096", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&xs);
+            simd::vsigmoid_slice(black_box(&mut buf));
+        });
+    });
+    group.bench_function("scalar_sigmoid_4096", |bench| {
+        bench.iter(|| {
+            buf.copy_from_slice(&xs);
+            for x in buf.iter_mut() {
+                *x = black_box(1.0 / (1.0 + (-*x).exp()));
+            }
+        });
+    });
+    group.finish();
+}
+
 fn bench_nn(c: &mut Criterion) {
+    bench_simd_kernels(c);
     let mut group = c.benchmark_group("nn_kernels");
     group.sample_size(20);
     let mut rng = ChaCha8Rng::seed_from_u64(3);

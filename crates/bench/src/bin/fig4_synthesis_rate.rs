@@ -43,7 +43,9 @@ fn main() {
             for (task, rate) in rates.iter().enumerate() {
                 println!("{},{task},{:.0}", evaluation.method, rate * 100.0);
             }
-            rates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // total_cmp: NaN rates take deterministic extreme positions
+            // instead of scrambling the quantiles run to run.
+            rates.sort_by(f64::total_cmp);
             let mean = rates.iter().sum::<f64>() / rates.len().max(1) as f64;
             table.push_row(vec![
                 evaluation.method.clone(),

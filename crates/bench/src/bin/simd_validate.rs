@@ -1,0 +1,112 @@
+//! Exhaustive validation of the `netsyn_nn::simd` libm ports.
+//!
+//! Sweeps **every** `f32` bit pattern (all 2^32 of them) and compares the
+//! ported `exp`/`expm1`/`tanh` against the host libm's `expf`/`expm1f`/
+//! `tanhf` bit for bit. This is the ground-truth check behind the
+//! bit-identical `score_batch == score` contract when the SIMD gate sweeps
+//! are active; the regular test-suite runs the fast subset (boundary sets
+//! plus millions of seeded samples), while this binary is the slow,
+//! complete certificate. Run it after touching `crates/nn/src/simd.rs`:
+//!
+//! ```text
+//! cargo run --release -p netsyn-bench --bin simd_validate
+//! ```
+//!
+//! NaN lanes are compared by NaN-ness rather than payload (libm may return
+//! a platform-dependent quiet-NaN payload; the fitness pipeline never
+//! feeds NaN into the kernels — scores would already be poisoned upstream).
+
+use netsyn_nn::simd::{self, scalar, F32x8, LANES};
+
+/// Sweeps a lane kernel over all 2^32 bit patterns, eight consecutive
+/// patterns per call, so the select-form SoA paths (not just the scalar
+/// ports) are certified against libm.
+fn check_lanes(name: &str, mine: impl Fn(F32x8) -> F32x8, libm: impl Fn(f32) -> f32) -> u64 {
+    let mut mismatches = 0u64;
+    let mut first: Option<u32> = None;
+    let mut bits: u32 = 0;
+    loop {
+        let mut lanes = [0.0f32; LANES];
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            *lane = f32::from_bits(bits.wrapping_add(l as u32));
+        }
+        let got = mine(F32x8(lanes));
+        for (l, (&lane, &a)) in lanes.iter().zip(got.0.iter()).enumerate() {
+            let b = libm(lane);
+            if a.to_bits() != b.to_bits() && !(a.is_nan() && b.is_nan()) {
+                mismatches += 1;
+                if first.is_none() {
+                    first = Some(bits.wrapping_add(l as u32));
+                }
+                if mismatches <= 8 {
+                    eprintln!(
+                        "{name}: x={:e} (0x{:08x}) mine=0x{:08x} libm=0x{:08x}",
+                        lane,
+                        bits.wrapping_add(l as u32),
+                        a.to_bits(),
+                        b.to_bits()
+                    );
+                }
+            }
+        }
+        if bits.is_multiple_of(0x2000_0000) {
+            eprintln!("{name}: {:>3}% swept", (u64::from(bits) * 100) >> 32);
+        }
+        bits = match bits.checked_add(LANES as u32) {
+            Some(b) => b,
+            None => break,
+        };
+    }
+    match mismatches {
+        0 => println!("{name}: OK (all 2^32 bit patterns match)"),
+        n => println!("{name}: {n} MISMATCHES (first at 0x{:08x})", first.unwrap()),
+    }
+    mismatches
+}
+
+fn check(name: &str, mine: impl Fn(f32) -> f32, libm: impl Fn(f32) -> f32) -> u64 {
+    let mut mismatches = 0u64;
+    let mut first: Option<u32> = None;
+    for bits in 0..=u32::MAX {
+        let x = f32::from_bits(bits);
+        let a = mine(x);
+        let b = libm(x);
+        if a.to_bits() != b.to_bits() && !(a.is_nan() && b.is_nan()) {
+            mismatches += 1;
+            if first.is_none() {
+                first = Some(bits);
+            }
+            if mismatches <= 8 {
+                eprintln!(
+                    "{name}: x={x:e} (0x{bits:08x}) mine=0x{:08x} libm=0x{:08x}",
+                    a.to_bits(),
+                    b.to_bits()
+                );
+            }
+        }
+        if bits.is_multiple_of(0x2000_0000) {
+            eprintln!("{name}: {:>3}% swept", (u64::from(bits) * 100) >> 32);
+        }
+    }
+    match mismatches {
+        0 => println!("{name}: OK (all 2^32 bit patterns match)"),
+        n => println!("{name}: {n} MISMATCHES (first at 0x{:08x})", first.unwrap()),
+    }
+    mismatches
+}
+
+fn main() {
+    let mut bad = 0u64;
+    bad += check("scalar exp", scalar::exp, f32::exp);
+    bad += check("scalar expm1", scalar::expm1, f32::exp_m1);
+    bad += check("scalar tanh", scalar::tanh, f32::tanh);
+    bad += check_lanes("lane vexp", simd::vexp, f32::exp);
+    bad += check_lanes("lane vexpm1", simd::vexpm1, f32::exp_m1);
+    bad += check_lanes("lane vtanh", simd::vtanh, f32::tanh);
+    bad += check_lanes("lane vsigmoid", simd::vsigmoid, |x| {
+        1.0 / (1.0 + (-x).exp())
+    });
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

@@ -228,7 +228,10 @@ impl MethodEvaluation {
     #[must_use]
     pub fn sorted_cost_curve(&self, costs: &[Option<f64>]) -> Vec<f64> {
         let mut values: Vec<f64> = costs.iter().filter_map(|c| *c).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN cost takes a deterministic extreme position
+        // (positive NaN after +inf, negative before -inf) instead of
+        // nondeterministically interleaving with real costs.
+        values.sort_by(f64::total_cmp);
         values
     }
 

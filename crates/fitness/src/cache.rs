@@ -73,9 +73,14 @@ impl SpecScores {
 
 /// A shared, spec-keyed cache of fitness scores, living across `synthesize`
 /// calls (see the module docs).
+///
+/// Shards are stored as a two-level map keyed by fitness key, then spec, so
+/// a lookup borrows both key components — the hot path (`shard` on an
+/// existing entry, hit once per `synthesize`) allocates nothing. The key
+/// `String` and `IoSpec` are cloned only when a new shard is inserted.
 #[derive(Debug, Default)]
 pub struct FitnessCache {
-    shards: Mutex<HashMap<(String, IoSpec), Arc<SpecScores>>>,
+    shards: Mutex<HashMap<String, HashMap<IoSpec, Arc<SpecScores>>>>,
 }
 
 impl FitnessCache {
@@ -96,18 +101,26 @@ impl FitnessCache {
     #[must_use]
     pub fn shard(&self, fitness_key: &str, spec: &IoSpec) -> Arc<SpecScores> {
         let mut shards = self.shards.lock().expect("fitness cache poisoned");
-        if let Some(shard) = shards.get(&(fitness_key.to_string(), spec.clone())) {
+        if let Some(shard) = shards.get(fitness_key).and_then(|specs| specs.get(spec)) {
             return Arc::clone(shard);
         }
         let shard = Arc::new(SpecScores::default());
-        shards.insert((fitness_key.to_string(), spec.clone()), Arc::clone(&shard));
+        shards
+            .entry(fitness_key.to_string())
+            .or_default()
+            .insert(spec.clone(), Arc::clone(&shard));
         shard
     }
 
     /// Number of `(fitness, spec)` shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards.lock().expect("fitness cache poisoned").len()
+        self.shards
+            .lock()
+            .expect("fitness cache poisoned")
+            .values()
+            .map(HashMap::len)
+            .sum()
     }
 }
 
@@ -157,6 +170,24 @@ mod tests {
             &cache.shard(&a.cache_key(), &spec_two),
             &cache.shard(&b.cache_key(), &spec_four)
         ));
+    }
+
+    #[test]
+    fn shard_hits_do_not_grow_the_cache() {
+        let cache = FitnessCache::new();
+        let first = cache.shard("nn-CF", &spec(1));
+        assert_eq!(cache.shard_count(), 1);
+        // Repeated lookups of the same (key, spec) pair are pure hits: the
+        // same shard comes back and no new entries (and thus no cloned
+        // keys/specs) are created at either map level.
+        for _ in 0..100 {
+            let hit = cache.shard("nn-CF", &spec(1));
+            assert!(Arc::ptr_eq(&first, &hit));
+        }
+        assert_eq!(cache.shard_count(), 1);
+        // A new spec under the same fitness key adds exactly one shard.
+        let _ = cache.shard("nn-CF", &spec(2));
+        assert_eq!(cache.shard_count(), 2);
     }
 
     #[test]

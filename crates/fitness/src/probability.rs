@@ -132,7 +132,10 @@ impl ProbabilityMap {
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<Function> {
         let mut indexed: Vec<(usize, f64)> = self.probs.iter().copied().enumerate().collect();
-        indexed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        // total_cmp: a NaN probability takes a deterministic extreme
+        // position (positive NaN first, negative last) instead of leaving
+        // the ranking to iteration order.
+        indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
         indexed
             .into_iter()
             .take(k)

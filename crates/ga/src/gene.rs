@@ -29,6 +29,21 @@ impl Gene {
     }
 }
 
+/// Ascending score comparison with a total, loud NaN policy: **any** NaN
+/// compares greater than every real value, whatever its sign bit (x86-64
+/// invalid operations like `0.0/0.0` produce sign-bit-set NaNs, which
+/// `f64::total_cmp` would bury below `-inf`). Equal-NaN and real-vs-real
+/// cases defer to the usual IEEE order.
+fn score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(&b).expect("both scores are non-NaN"),
+    }
+}
+
 /// A population of genes.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct Population {
@@ -76,24 +91,42 @@ impl Population {
     }
 
     /// Best (highest) fitness among evaluated genes.
+    ///
+    /// Any NaN — regardless of sign bit, which runtime-generated NaNs on
+    /// x86-64 typically have set — ranks above every real value, so a
+    /// corrupted score surfaces as the reported best instead of silently
+    /// scrambling the comparison (`partial_cmp` + `Equal` made the winner
+    /// depend on iteration order).
     #[must_use]
     pub fn best_fitness(&self) -> Option<f64> {
         self.genes
             .iter()
             .filter_map(|g| g.fitness)
-            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| score_cmp(*a, *b))
     }
 
     /// Indices of the `n` highest-fitness genes, best first.
+    ///
+    /// Evaluated genes are ranked by score descending with any NaN (either
+    /// sign) first, so a poisoned score is loud rather than randomly
+    /// placed; **unevaluated genes rank strictly last**. The old
+    /// `fitness_or_zero`-based sort placed unevaluated genes above any
+    /// evaluated gene with negative fitness, which let never-scored
+    /// candidates shoulder real ones out of elite/neighborhood selection
+    /// under regression/two-tier models (their scores can go negative).
+    /// Ties keep input order (the sort is stable).
     #[must_use]
     pub fn top_indices(&self, n: usize) -> Vec<usize> {
+        use std::cmp::Ordering;
         let mut indices: Vec<usize> = (0..self.genes.len()).collect();
-        indices.sort_by(|&a, &b| {
-            self.genes[b]
-                .fitness_or_zero()
-                .partial_cmp(&self.genes[a].fitness_or_zero())
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        indices.sort_by(
+            |&a, &b| match (&self.genes[a].fitness, &self.genes[b].fitness) {
+                (Some(fa), Some(fb)) => score_cmp(*fb, *fa),
+                (Some(_), None) => Ordering::Less,
+                (None, Some(_)) => Ordering::Greater,
+                (None, None) => Ordering::Equal,
+            },
+        );
         indices.truncate(n);
         indices
     }
@@ -176,6 +209,45 @@ mod tests {
         assert_eq!(top.len(), 3);
         // Requesting more than available returns everything.
         assert_eq!(population.top_indices(10).len(), 4);
+    }
+
+    #[test]
+    fn top_indices_ranks_unevaluated_strictly_last() {
+        // Regression/two-tier fitness models can score below zero; an
+        // unevaluated gene must never outrank an evaluated one.
+        let population = Population::new(vec![
+            gene_with_fitness(Function::Sort, -1.5),
+            Gene::new(Program::new(vec![Function::Last])),
+            gene_with_fitness(Function::Head, -0.25),
+            Gene::new(Program::new(vec![Function::Sum])),
+            gene_with_fitness(Function::Maximum, 0.5),
+        ]);
+        assert_eq!(population.top_indices(5), vec![4, 2, 0, 1, 3]);
+        // The old fitness_or_zero ranking put index 1 (unevaluated) ahead
+        // of every negative gene; the cut for the top three must instead
+        // take exactly the evaluated genes.
+        assert_eq!(population.top_indices(3), vec![4, 2, 0]);
+        let top = population.top_genes(2);
+        assert!(top.iter().all(|g| g.fitness.is_some()));
+    }
+
+    #[test]
+    fn nan_fitness_ranks_first_and_loud() {
+        // A poisoned score surfaces at the head of the ranking (and as
+        // best_fitness) instead of shuffling the order nondeterministically
+        // — including the sign-bit-set NaNs x86-64 invalid operations
+        // produce (0.0/0.0), which a plain total_cmp would sort *last*.
+        for nan in [f64::NAN, -f64::NAN, 0.0 / 0.0] {
+            let mut nan_gene = Gene::new(Program::new(vec![Function::Reverse]));
+            nan_gene.fitness = Some(nan);
+            let population = Population::new(vec![
+                gene_with_fitness(Function::Sort, 1.0),
+                nan_gene,
+                gene_with_fitness(Function::Head, 2.0),
+            ]);
+            assert_eq!(population.top_indices(3), vec![1, 2, 0]);
+            assert!(population.best_fitness().unwrap().is_nan());
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Scalar activation functions and their derivatives, plus row-batched
 //! variants used by the batched inference path.
 
+use crate::simd;
 use crate::tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
@@ -58,21 +59,38 @@ pub fn softmax(xs: &[f32]) -> Vec<f32> {
 
 /// Row-wise softmax over a batch of logits (one distribution per row).
 ///
-/// Each row is computed with exactly the same operations as [`softmax`], so
-/// batched inference is bit-identical to the per-sample path.
+/// Each row performs exactly the same operations as [`softmax`] — the max
+/// reduction and the exp sum stay sequential scalar reductions, only the
+/// element-wise shift, `exp` and normalization run through the lane
+/// kernels — so batched inference is bit-identical to the per-sample path.
 #[must_use]
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
-    let mut out = Matrix::zeros(logits.rows(), logits.cols());
-    for r in 0..logits.rows() {
-        out.row_mut(r).copy_from_slice(&softmax(logits.row(r)));
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        if row.is_empty() {
+            continue;
+        }
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for x in row.iter_mut() {
+            *x -= max;
+        }
+        simd::vexp_slice(row);
+        let sum: f32 = row.iter().sum();
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
     }
     out
 }
 
-/// Element-wise sigmoid over a batch of logits.
+/// Element-wise sigmoid over a batch of logits, lane-vectorized and
+/// bit-identical to [`sigmoid`] per element.
 #[must_use]
 pub fn sigmoid_rows(logits: &Matrix) -> Matrix {
-    logits.map(sigmoid)
+    let mut out = logits.clone();
+    simd::vsigmoid_slice(out.data_mut());
+    out
 }
 
 /// Element-wise activation used between MLP layers.
@@ -105,9 +123,20 @@ impl Activation {
 
     /// Applies the activation element-wise to every row of a matrix, in
     /// place (the batched counterpart of [`Activation::apply_slice`]).
+    ///
+    /// Tanh and sigmoid run through the lane-vectorized, bitwise
+    /// libm-compatible kernels in [`crate::simd`]; ReLU is a plain `max`
+    /// that LLVM vectorizes on its own. All paths are bit-identical to
+    /// [`Activation::apply`] per element.
     pub fn apply_rows(self, m: &mut Matrix) {
-        for x in m.data_mut() {
-            *x = self.apply(*x);
+        match self {
+            Activation::Relu => {
+                for x in m.data_mut() {
+                    *x = relu(*x);
+                }
+            }
+            Activation::Tanh => simd::vtanh_slice(m.data_mut()),
+            Activation::Sigmoid => simd::vsigmoid_slice(m.data_mut()),
         }
     }
 

@@ -46,7 +46,11 @@
 //! * [`activation::softmax_rows`] / [`activation::sigmoid_rows`] — row-wise
 //!   batched readouts;
 //! * [`hash::FxHasher`] — the fast interning hasher behind the trie edge
-//!   and token-sequence maps.
+//!   and token-sequence maps;
+//! * [`simd`] — the 8-lane kernels under all of the above: a column-lane
+//!   matmul and bitwise libm-compatible `vexp`/`vtanh`/`vsigmoid` sweeps
+//!   (runtime-dispatched to AVX2+FMA, `NETSYN_SIMD=0` falls back to the
+//!   scalar loops).
 //!
 //! The batched paths are **bit-identical** to their per-sample
 //! counterparts: the accumulation order over the inner dimension is the
@@ -54,6 +58,26 @@
 //! expression, and prefix sharing only removes duplicated work — so
 //! `forward_batch` results can be compared to `forward` results with `==`.
 //! The test-suite asserts this per layer and end-to-end.
+//!
+//! ## Why column-lane SIMD preserves the bit-identity contract
+//!
+//! Vectorization usually changes float results by reassociating
+//! reductions; this crate's kernels are designed so it cannot:
+//!
+//! * The matmul kernel assigns each **output column** to a SIMD lane and
+//!   broadcasts `a[i][k]` across the lane, so every output element still
+//!   accumulates its products over `k` in strictly ascending order with
+//!   separate mul/add roundings (no FMA). The lanes partition *independent*
+//!   accumulations instead of splitting one accumulation — per element it
+//!   is the scalar op sequence, verbatim.
+//! * The activation sweeps need `exp`/`tanh` values equal to libm's, so
+//!   [`simd::scalar`] ports the host libm's `expf`/`expm1f`/`tanhf`
+//!   bit-for-bit (validated exhaustively over all 2^32 inputs by
+//!   `simd_validate`, cross-checked at startup, and re-verified on boundary
+//!   sets plus >10^6 seeded samples in the test-suite). The lane versions
+//!   apply the same per-element operations structure-of-arrays, with the
+//!   fdlibm branch ladders rewritten as per-lane selects — same values, no
+//!   reassociation.
 //!
 //! ## Example
 //!
@@ -91,6 +115,7 @@ pub mod metrics;
 mod mlp;
 mod optim;
 mod param;
+pub mod simd;
 mod tensor;
 
 pub use activation::Activation;

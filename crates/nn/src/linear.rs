@@ -71,9 +71,10 @@ impl Linear {
 
     /// Batched forward pass: one input per row of `x` (shape
     /// `batch x in_dim`), producing `batch x out_dim` outputs in one matrix
-    /// product instead of `batch` small GEMVs.
-    ///
-    /// Per row, results are bit-identical to [`Linear::forward`].
+    /// product instead of `batch` small GEMVs. The product runs the
+    /// column-lane SIMD kernel and the bias broadcast is lane-vectorized;
+    /// both keep the scalar per-element op order, so per row, results are
+    /// bit-identical to [`Linear::forward`].
     ///
     /// # Panics
     ///

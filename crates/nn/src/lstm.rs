@@ -11,6 +11,7 @@
 use crate::activation::{sigmoid, tanh};
 use crate::batch::{SequenceBatch, SequenceTrie};
 use crate::param::{Param, Parameterized};
+use crate::simd;
 use crate::tensor::{vecops, Matrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -257,8 +258,11 @@ impl Lstm {
     ///
     /// Split in two element-wise sweeps so each can be parallelized across
     /// rows: first `c = f * c_prev + i * g` in place, then
-    /// `h = o * tanh(c)`. `z = (x W_ih^T + h W_hh^T) + bias` throughout —
-    /// the exact op order of [`Lstm::step`], so results stay bit-identical.
+    /// `h = o * tanh(c)`. Both sweeps run through the lane-vectorized
+    /// [`simd::lstm_gate_c`]/[`simd::lstm_gate_h`] kernels, whose
+    /// transcendentals are bitwise libm-compatible and whose op order is
+    /// `z = (x W_ih^T + h W_hh^T) + bias` — exactly [`Lstm::step`] — so
+    /// results stay bit-identical however the work is split or vectorized.
     fn batched_gate_pass(
         &self,
         zx: &Matrix,
@@ -279,46 +283,16 @@ impl Lstm {
             1
         };
         if workers <= 1 {
-            // Single-worker fast path: one fused sweep per row. Every
-            // element's expressions and inputs are exactly those of the
-            // two-sweep path below (no element reads another element's
-            // output), so the fusion is bit-identical — it only improves
-            // locality and skips a second pass over the matrices.
+            // Single-worker fast path: both sweeps per row while its gate
+            // rows are hot.
             for slot in 0..active {
                 let zx_row = zx.row(slot);
                 let zh_row = zh.row(slot);
-                let c_row = c_mat.row_mut(slot);
-                for (j, c) in c_row.iter_mut().enumerate() {
-                    let i = sigmoid((zx_row[j] + zh_row[j]) + bias[j]);
-                    let f = sigmoid((zx_row[h_dim + j] + zh_row[h_dim + j]) + bias[h_dim + j]);
-                    let g =
-                        tanh((zx_row[2 * h_dim + j] + zh_row[2 * h_dim + j]) + bias[2 * h_dim + j]);
-                    *c = f * *c + i * g;
-                }
-                let c_row = c_mat.row(slot);
-                let h_row = h_mat.row_mut(slot);
-                for (j, h) in h_row.iter_mut().enumerate() {
-                    let o = sigmoid(
-                        (zx_row[3 * h_dim + j] + zh_row[3 * h_dim + j]) + bias[3 * h_dim + j],
-                    );
-                    *h = o * tanh(c_row[j]);
-                }
+                simd::lstm_gate_c(zx_row, zh_row, bias, c_mat.row_mut(slot));
+                simd::lstm_gate_h(zx_row, zh_row, bias, c_mat.row(slot), h_mat.row_mut(slot));
             }
             return;
         }
-        let update_c = |first_slot: usize, c_rows: &mut [f32]| {
-            for (local, c_row) in c_rows.chunks_mut(h_dim).enumerate() {
-                let zx_row = zx.row(first_slot + local);
-                let zh_row = zh.row(first_slot + local);
-                for (j, c) in c_row.iter_mut().enumerate() {
-                    let i = sigmoid((zx_row[j] + zh_row[j]) + bias[j]);
-                    let f = sigmoid((zx_row[h_dim + j] + zh_row[h_dim + j]) + bias[h_dim + j]);
-                    let g =
-                        tanh((zx_row[2 * h_dim + j] + zh_row[2 * h_dim + j]) + bias[2 * h_dim + j]);
-                    *c = f * *c + i * g;
-                }
-            }
-        };
         let rows_per_chunk = active.div_ceil(workers.max(1)).max(1);
         {
             use rayon::prelude::ParallelSliceMut;
@@ -327,24 +301,14 @@ impl Lstm {
                 .par_chunks_mut(rows_per_chunk * h_dim)
                 .enumerate()
                 .for_each(|(chunk_index, chunk)| {
-                    update_c(chunk_index * rows_per_chunk, chunk);
+                    let first_slot = chunk_index * rows_per_chunk;
+                    for (local, c_row) in chunk.chunks_mut(h_dim).enumerate() {
+                        let slot = first_slot + local;
+                        simd::lstm_gate_c(zx.row(slot), zh.row(slot), bias, c_row);
+                    }
                 });
         }
         let c_ref = &*c_mat;
-        let update_h = |first_slot: usize, h_rows: &mut [f32]| {
-            for (local, h_row) in h_rows.chunks_mut(h_dim).enumerate() {
-                let slot = first_slot + local;
-                let zx_row = zx.row(slot);
-                let zh_row = zh.row(slot);
-                let c_row = c_ref.row(slot);
-                for (j, h) in h_row.iter_mut().enumerate() {
-                    let o = sigmoid(
-                        (zx_row[3 * h_dim + j] + zh_row[3 * h_dim + j]) + bias[3 * h_dim + j],
-                    );
-                    *h = o * tanh(c_row[j]);
-                }
-            }
-        };
         {
             use rayon::prelude::ParallelSliceMut;
             h_mat
@@ -352,7 +316,11 @@ impl Lstm {
                 .par_chunks_mut(rows_per_chunk * h_dim)
                 .enumerate()
                 .for_each(|(chunk_index, chunk)| {
-                    update_h(chunk_index * rows_per_chunk, chunk);
+                    let first_slot = chunk_index * rows_per_chunk;
+                    for (local, h_row) in chunk.chunks_mut(h_dim).enumerate() {
+                        let slot = first_slot + local;
+                        simd::lstm_gate_h(zx.row(slot), zh.row(slot), bias, c_ref.row(slot), h_row);
+                    }
                 });
         }
     }

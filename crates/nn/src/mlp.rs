@@ -87,8 +87,10 @@ impl Mlp {
 
     /// Batched inference pass: one input per row of `x` (shape
     /// `batch x in_dim`), producing a `batch x out_dim` logit matrix. Each
-    /// layer runs as a single matrix product over the whole batch; no cache
-    /// is kept, so this is inference-only.
+    /// layer runs as a single matrix product over the whole batch, and the
+    /// hidden activations run through the lane-vectorized row sweeps
+    /// ([`Activation::apply_rows`]); no cache is kept, so this is
+    /// inference-only.
     ///
     /// Per row, results are bit-identical to [`Mlp::predict`].
     ///

@@ -348,18 +348,25 @@ impl Matrix {
         self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
     }
 
-    /// Adds `row` to every row of the matrix in place (bias broadcast).
+    /// Adds `row` to every row of the matrix in place (bias broadcast),
+    /// lane-vectorized eight columns at a time (element-wise addition, so
+    /// trivially bit-identical to the scalar loop).
     ///
     /// # Panics
     ///
     /// Panics if `row.len() != cols`.
     pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        use crate::simd::{F32x8, LANES};
         assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        let main = self.cols - self.cols % LANES;
         for r in 0..self.rows {
-            for (o, &b) in self.data[r * self.cols..(r + 1) * self.cols]
-                .iter_mut()
-                .zip(row.iter())
-            {
+            let out_row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            let mut j = 0;
+            while j < main {
+                (F32x8::load(&out_row[j..]) + F32x8::load(&row[j..])).store(&mut out_row[j..]);
+                j += LANES;
+            }
+            for (o, &b) in out_row[main..].iter_mut().zip(row[main..].iter()) {
                 *o += b;
             }
         }
@@ -396,15 +403,130 @@ impl Matrix {
     }
 }
 
-/// The cache-blocked inner kernel of [`Matrix::matmul`]: computes output
-/// rows `row_start..row_start + row_count` into `out` (a buffer holding
-/// exactly those rows).
+/// The inner kernel of [`Matrix::matmul`]: computes output rows
+/// `row_start..row_start + row_count` into `out` (a buffer holding exactly
+/// those rows).
 ///
-/// Blocking over rows and the inner dimension keeps a `KB x n_dim` panel of
-/// `b` hot in cache across `IB` output rows; the `k` loop stays strictly
-/// ascending per output element so results are bit-identical to
-/// [`Matrix::matvec`].
+/// Dispatches between the column-lane SIMD kernel (AVX-specialized when the
+/// CPU supports it, portable [`F32x8`](crate::simd::F32x8) lanes otherwise)
+/// and the scalar reference loop when SIMD is disabled via `NETSYN_SIMD=0`.
+/// Every variant accumulates each output element's `k`-products in strictly
+/// ascending order with separate mul/add roundings, so all of them — and
+/// [`Matrix::matvec`] — produce bit-identical results.
 fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row_start: usize,
+    row_count: usize,
+    k_dim: usize,
+    n_dim: usize,
+) {
+    if crate::simd::linear_lanes_active() {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just verified at runtime.
+            unsafe { matmul_rows_avx(a, b, out, row_start, row_count, k_dim, n_dim) };
+            return;
+        }
+        matmul_rows_lanes(a, b, out, row_start, row_count, k_dim, n_dim);
+    } else {
+        matmul_rows_scalar(a, b, out, row_start, row_count, k_dim, n_dim);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn matmul_rows_avx(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row_start: usize,
+    row_count: usize,
+    k_dim: usize,
+    n_dim: usize,
+) {
+    matmul_rows_lanes(a, b, out, row_start, row_count, k_dim, n_dim);
+}
+
+/// Column-lane matmul kernel: broadcasts `a[i][k]` and multiply-adds it
+/// (separate roundings, never fused) across eight output columns at a
+/// time, keeping the eight partial sums in a register over each `k` block.
+/// Per output element this performs the exact scalar op sequence —
+/// `k`-ascending `acc + a[i][k] * b[k][j]` — so it is bit-identical to
+/// [`matmul_rows_scalar`] by construction.
+#[inline(always)]
+fn matmul_rows_lanes(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row_start: usize,
+    row_count: usize,
+    k_dim: usize,
+    n_dim: usize,
+) {
+    use crate::simd::{F32x8, LANES};
+    // Blocking the inner dimension keeps a `KB x n_dim` panel of `b` hot
+    // in cache across the row loop.
+    const KB: usize = 64;
+    // Four lane tiles (32 columns) advance together so the inner `k` loop
+    // carries four independent add chains — the accumulator dependency
+    // would otherwise serialize on the add latency.
+    const TILES: usize = 4;
+    let n_main = n_dim - n_dim % LANES;
+    let n_wide = n_dim - n_dim % (TILES * LANES);
+    let mut kb = 0;
+    while kb < k_dim {
+        let k_end = (kb + KB).min(k_dim);
+        for i in 0..row_count {
+            let a_row = &a[(row_start + i) * k_dim..(row_start + i + 1) * k_dim];
+            let out_row = &mut out[i * n_dim..(i + 1) * n_dim];
+            let mut j = 0;
+            while j < n_wide {
+                let mut acc0 = F32x8::load(&out_row[j..]);
+                let mut acc1 = F32x8::load(&out_row[j + LANES..]);
+                let mut acc2 = F32x8::load(&out_row[j + 2 * LANES..]);
+                let mut acc3 = F32x8::load(&out_row[j + 3 * LANES..]);
+                for k in kb..k_end {
+                    let a_val = F32x8::splat(a_row[k]);
+                    let b_row = &b[k * n_dim + j..];
+                    acc0 = acc0 + a_val * F32x8::load(b_row);
+                    acc1 = acc1 + a_val * F32x8::load(&b_row[LANES..]);
+                    acc2 = acc2 + a_val * F32x8::load(&b_row[2 * LANES..]);
+                    acc3 = acc3 + a_val * F32x8::load(&b_row[3 * LANES..]);
+                }
+                acc0.store(&mut out_row[j..]);
+                acc1.store(&mut out_row[j + LANES..]);
+                acc2.store(&mut out_row[j + 2 * LANES..]);
+                acc3.store(&mut out_row[j + 3 * LANES..]);
+                j += TILES * LANES;
+            }
+            while j < n_main {
+                let mut acc = F32x8::load(&out_row[j..]);
+                for k in kb..k_end {
+                    let a_val = F32x8::splat(a_row[k]);
+                    let b_lane = F32x8::load(&b[k * n_dim + j..]);
+                    acc = acc + a_val * b_lane;
+                }
+                acc.store(&mut out_row[j..]);
+                j += LANES;
+            }
+            for j in n_main..n_dim {
+                let mut acc = out_row[j];
+                for k in kb..k_end {
+                    acc += a_row[k] * b[k * n_dim + j];
+                }
+                out_row[j] = acc;
+            }
+        }
+        kb = k_end;
+    }
+}
+
+/// The scalar reference kernel (the pre-SIMD cache-blocked loop), kept as
+/// the `NETSYN_SIMD=0` fallback and the ground truth the lane kernel is
+/// tested against.
+fn matmul_rows_scalar(
     a: &[f32],
     b: &[f32],
     out: &mut [f32],
