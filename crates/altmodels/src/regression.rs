@@ -15,6 +15,7 @@ use netsyn_dsl::{IoSpec, Program};
 use netsyn_fitness::dataset::FitnessSample;
 use netsyn_fitness::encoding::{
     encode_candidate, encode_candidates, encode_spec, EncodingConfig, SpecEncodingCache,
+    TraceEncodingCache,
 };
 use netsyn_fitness::{ClosenessMetric, FitnessFunction, FitnessNet, FitnessNetConfig};
 use netsyn_nn::loss::mean_squared_error;
@@ -271,19 +272,28 @@ fn validation_error(
 pub struct RegressionFitness {
     model: TrainedRegressionModel,
     name: String,
+    /// `name` plus the model's weight fingerprint, so shared caches never
+    /// alias two differently-trained regression models.
+    cache_key: String,
     /// One-slot spec-encoding memo (derived state; see `SpecEncodingCache`).
     spec_cache: SpecEncodingCache,
+    /// Instance-owned trace-value encoding memo (derived state; see
+    /// `TraceEncodingCache`).
+    trace_cache: TraceEncodingCache,
 }
 
 impl RegressionFitness {
     /// Wraps a trained regression model.
     #[must_use]
-    pub fn new(model: TrainedRegressionModel) -> Self {
+    pub fn new(mut model: TrainedRegressionModel) -> Self {
         let name = format!("regression-{}", model.metric);
+        let cache_key = format!("{name}#{:016x}", model.net.weight_fingerprint());
         RegressionFitness {
             model,
             name,
+            cache_key,
             spec_cache: SpecEncodingCache::new(),
+            trace_cache: TraceEncodingCache::new(),
         }
     }
 
@@ -299,6 +309,13 @@ impl FitnessFunction for RegressionFitness {
         &self.name
     }
 
+    /// Weight-fingerprinted: every trained regression model of one metric
+    /// shares a display name, and shared score/trace shards must not alias
+    /// different checkpoints.
+    fn cache_key(&self) -> String {
+        self.cache_key.clone()
+    }
+
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
         let spec_encoding = self
             .spec_cache
@@ -311,14 +328,28 @@ impl FitnessFunction for RegressionFitness {
     }
 
     /// Batched scoring: the shared spec encoding plus one network pass over
-    /// the whole candidate set (see `FitnessNet::predict_batch`),
+    /// the whole candidate set (see `FitnessNet::predict_batch_with`; trace
+    /// values recur across generations and are served from the memo),
     /// bit-identical to the per-candidate path.
     fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        self.score_batch_cached(candidates, spec, &self.trace_cache)
+    }
+
+    fn score_batch_cached(
+        &self,
+        candidates: &[Program],
+        spec: &IoSpec,
+        traces: &TraceEncodingCache,
+    ) -> Vec<f64> {
         let spec_encoding = self
             .spec_cache
             .get_or_encode(self.model.net.encoding(), spec);
         let encoded = encode_candidates(self.model.net.encoding(), spec, candidates);
-        match self.model.net.predict_batch(&spec_encoding, &encoded) {
+        match self
+            .model
+            .net
+            .predict_batch_with(&spec_encoding, &encoded, traces)
+        {
             Ok(rows) => rows
                 .iter()
                 .map(|output| f64::from(output[0]).clamp(0.0, self.max_score()))

@@ -12,6 +12,7 @@ use netsyn_dsl::{IoSpec, Program};
 use netsyn_fitness::dataset::FitnessSample;
 use netsyn_fitness::encoding::{
     encode_candidate, encode_candidates, encode_spec, EncodingConfig, SpecEncodingCache,
+    TraceEncodingCache,
 };
 use netsyn_fitness::{ClosenessMetric, FitnessFunction, FitnessNet, FitnessNetConfig};
 use netsyn_nn::activation::{sigmoid, softmax};
@@ -217,19 +218,37 @@ impl TwoTierEvaluation {
 pub struct TwoTierFitness {
     model: TrainedTwoTierModel,
     name: String,
+    /// `name` plus both tiers' weight fingerprints, so shared caches never
+    /// alias two differently-trained two-tier models.
+    cache_key: String,
     /// One-slot spec-encoding memo (derived state; see `SpecEncodingCache`).
     spec_cache: SpecEncodingCache,
+    /// Instance-owned trace-value encoding memos, one **per tier**: the
+    /// tiers have different step-encoder weights, so their cached hidden
+    /// states must never mix (which is also why this fitness keeps the
+    /// default `score_batch_cached` — a single external shard cannot serve
+    /// two models). Derived state, like `spec_cache`.
+    tier1_traces: TraceEncodingCache,
+    tier2_traces: TraceEncodingCache,
 }
 
 impl TwoTierFitness {
     /// Wraps a trained two-tier model.
     #[must_use]
-    pub fn new(model: TrainedTwoTierModel) -> Self {
+    pub fn new(mut model: TrainedTwoTierModel) -> Self {
         let name = format!("two-tier-{}", model.metric);
+        let cache_key = format!(
+            "{name}#{:016x}{:016x}",
+            model.tier1.weight_fingerprint(),
+            model.tier2.weight_fingerprint()
+        );
         TwoTierFitness {
             model,
             name,
+            cache_key,
             spec_cache: SpecEncodingCache::new(),
+            tier1_traces: TraceEncodingCache::new(),
+            tier2_traces: TraceEncodingCache::new(),
         }
     }
 
@@ -243,6 +262,12 @@ impl TwoTierFitness {
 impl FitnessFunction for TwoTierFitness {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Weight-fingerprinted (both tiers): shared score shards must not
+    /// alias different checkpoints that share a display name.
+    fn cache_key(&self) -> String {
+        self.cache_key.clone()
     }
 
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
@@ -301,7 +326,11 @@ impl FitnessFunction for TwoTierFitness {
             .spec_cache
             .get_or_encode(self.model.tier1.encoding(), spec);
         let mut encoded = encode_candidates(self.model.tier1.encoding(), spec, candidates);
-        let Ok(tier1_rows) = self.model.tier1.predict_batch(&spec_encoding, &encoded) else {
+        let Ok(tier1_rows) =
+            self.model
+                .tier1
+                .predict_batch_with(&spec_encoding, &encoded, &self.tier1_traces)
+        else {
             return sequential(self);
         };
         let passing: Vec<usize> = tier1_rows
@@ -316,11 +345,11 @@ impl FitnessFunction for TwoTierFitness {
             .iter()
             .map(|&i| std::mem::take(&mut encoded[i]))
             .collect();
-        let Ok(tier2_rows) = self
-            .model
-            .tier2
-            .predict_batch(&spec_encoding, &passing_samples)
-        else {
+        let Ok(tier2_rows) = self.model.tier2.predict_batch_with(
+            &spec_encoding,
+            &passing_samples,
+            &self.tier2_traces,
+        ) else {
             return sequential(self);
         };
         let mut scores = vec![0.0; candidates.len()];

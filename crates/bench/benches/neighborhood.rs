@@ -3,7 +3,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use netsyn_dsl::{Generator, GeneratorConfig};
-use netsyn_fitness::{ClosenessMetric, OracleFitness};
+use netsyn_fitness::{ClosenessMetric, OracleFitness, SpecScores, TraceEncodingCache};
 use netsyn_ga::{neighborhood, NeighborhoodStrategy, SearchBudget};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,6 +25,9 @@ fn bench_neighborhood(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
+                // Fresh memo/encoding shards per iteration: this benchmark
+                // measures the cold search (the warm path is covered by the
+                // encode_cache benches).
                 let mut budget = SearchBudget::new(1_000_000);
                 black_box(neighborhood::search(
                     black_box(&genes),
@@ -32,6 +35,8 @@ fn bench_neighborhood(c: &mut Criterion) {
                     strategy,
                     &oracle,
                     &mut budget,
+                    &SpecScores::default(),
+                    &TraceEncodingCache::new(),
                 ))
             });
         });

@@ -82,9 +82,14 @@ pub struct MethodEvaluation {
 /// functions of `(candidate, spec)`, so a candidate scored in run 0 is never
 /// re-scored in runs `1..K` — the repeated-measurement design of the paper's
 /// evaluation gets the cross-generation cache for free, without changing any
-/// per-run search trajectory. (With the workspace's rayon shim, concurrent
-/// attempts contend on the shard map only for lookups; scoring itself runs
-/// outside the lock and nested parallel calls execute inline.)
+/// per-run search trajectory. The same handle carries the per-model
+/// trace-value encoding shards (`FitnessCache::trace_shard`): trace values
+/// encoded by any generation of any repetition are served from the memo in
+/// every later batched scoring call — including the DFS neighborhood
+/// search — instead of re-running the step encoder. (With the workspace's
+/// rayon shim, concurrent attempts contend on the shard maps only for
+/// lookups; scoring itself runs outside the locks and nested parallel calls
+/// execute inline.)
 #[must_use]
 pub fn evaluate_method(
     method: &MethodSpec<'_>,

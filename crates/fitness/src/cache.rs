@@ -12,7 +12,12 @@
 //! key to a [`SpecScores`] shard holding `Program → f64` entries. The GA
 //! engine checks the shard before scoring and inserts after scoring; because
 //! cached values equal recomputed values bit-for-bit, a warm cache never
-//! changes a search trajectory — it only skips network passes.
+//! changes a search trajectory — it only skips network passes. The same
+//! handle carries the per-model trace-value encoding shards
+//! ([`FitnessCache::trace_shard`], keyed by fitness key alone — encodings
+//! are spec-independent), which the engine threads into every batched
+//! scoring call via
+//! [`FitnessFunction::score_batch_cached`](crate::FitnessFunction::score_batch_cached).
 //!
 //! ## Concurrency
 //!
@@ -23,6 +28,7 @@
 //! inline on its single worker pool: concurrent harness attempts that share
 //! a shard contend only on short map lookups, never on network inference.
 
+use crate::encoding::TraceEncodingCache;
 use netsyn_dsl::{IoSpec, Program};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -81,6 +87,11 @@ impl SpecScores {
 #[derive(Debug, Default)]
 pub struct FitnessCache {
     shards: Mutex<HashMap<String, HashMap<IoSpec, Arc<SpecScores>>>>,
+    /// Trace-value encoding shards, keyed by fitness key alone: a trace
+    /// value's encoding depends on the model's weights but *not* on the
+    /// specification, so one shard serves every spec scored by the same
+    /// fitness function.
+    traces: Mutex<HashMap<String, Arc<TraceEncodingCache>>>,
 }
 
 impl FitnessCache {
@@ -109,6 +120,27 @@ impl FitnessCache {
             .entry(fitness_key.to_string())
             .or_default()
             .insert(spec.clone(), Arc::clone(&shard));
+        shard
+    }
+
+    /// The trace-value encoding shard for one fitness function, created on
+    /// first use.
+    ///
+    /// `fitness_key` must come from
+    /// [`FitnessFunction::cache_key`](crate::FitnessFunction::cache_key) for
+    /// the same reason as [`FitnessCache::shard`]: cached encodings are a
+    /// function of the model's step-encoder weights, which the key
+    /// identifies. Unlike score shards the trace shard is *not* keyed by
+    /// spec — trace-value encodings are specification-independent, so
+    /// different tasks scored by one model share their recurring values.
+    #[must_use]
+    pub fn trace_shard(&self, fitness_key: &str) -> Arc<TraceEncodingCache> {
+        let mut traces = self.traces.lock().expect("fitness cache poisoned");
+        if let Some(shard) = traces.get(fitness_key) {
+            return Arc::clone(shard);
+        }
+        let shard = Arc::new(TraceEncodingCache::new());
+        traces.insert(fitness_key.to_string(), Arc::clone(&shard));
         shard
     }
 
@@ -188,6 +220,20 @@ mod tests {
         // A new spec under the same fitness key adds exactly one shard.
         let _ = cache.shard("nn-CF", &spec(2));
         assert_eq!(cache.shard_count(), 2);
+    }
+
+    #[test]
+    fn trace_shards_are_keyed_by_fitness_alone() {
+        let cache = FitnessCache::new();
+        let a = cache.trace_shard("nn-CF");
+        let b = cache.trace_shard("nn-CF");
+        let c = cache.trace_shard("nn-LCS");
+        assert!(Arc::ptr_eq(&a, &b), "one shard per fitness key");
+        assert!(!Arc::ptr_eq(&a, &c), "models must not share encodings");
+        assert!(a.is_empty());
+        // Trace shards live beside — not inside — the spec-keyed score
+        // shards.
+        assert_eq!(cache.shard_count(), 0);
     }
 
     #[test]

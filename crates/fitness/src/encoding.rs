@@ -23,7 +23,9 @@
 //! to be re-deduplicated out of them).
 
 use netsyn_dsl::{Function, IoExample, IoSpec, Program, TraceArena, Value};
+use netsyn_nn::FxHashMap;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -335,6 +337,141 @@ impl Deserialize for SpecEncodingCache {
     }
 }
 
+/// A persistent, shareable memo of trace-*value* encodings: the step
+/// encoder's final hidden state for each distinct trace-value token
+/// sequence.
+///
+/// The step encoder is a deterministic, batch-independent function of a
+/// value's token sequence (the trie-batched LSTM is bit-identical to
+/// per-sequence calls), so a hidden state computed in one `score_batch`
+/// call can be served to every later call that sees the same value — across
+/// generations of one GA run, and across the K repeated runs of a task when
+/// a shard of the shared [`crate::FitnessCache`] is threaded through
+/// [`crate::FitnessFunction::score_batch_cached`]. Serving a hit is
+/// bit-identical to recomputing, so a warm cache never changes a search
+/// trajectory.
+///
+/// A cache must only ever be consulted by **one** model: entries depend on
+/// the step-encoder weights ([`crate::FitnessCache::trace_shard`] keys
+/// shards by `FitnessFunction::cache_key` for exactly this reason, and a
+/// trainer updating weights must start a fresh cache). Like
+/// [`SpecEncodingCache`], the memo is pure derived state: `Clone` starts
+/// cold, `PartialEq` ignores it, serialization stores nothing.
+#[derive(Debug, Default)]
+pub struct TraceEncodingCache {
+    slots: Mutex<TraceSlots>,
+    encodes: AtomicUsize,
+}
+
+/// The cache's storage: trace-value token sequence → step-encoder final
+/// hidden state (shared zero-copy with every batch that reads it).
+pub(crate) type TraceSlots = FxHashMap<Box<[usize]>, Arc<[f32]>>;
+
+impl TraceEncodingCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceEncodingCache::default()
+    }
+
+    /// Number of distinct trace-value token sequences cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("trace cache poisoned").len()
+    }
+
+    /// Whether no encodings are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many trace values were actually run through the step encoder
+    /// (cache misses) — the testable reuse guarantee.
+    #[must_use]
+    pub fn encode_count(&self) -> usize {
+        self.encodes.load(Ordering::Relaxed)
+    }
+
+    /// Runs `body` with the underlying map locked; `FitnessNet`'s batched
+    /// forward serves a whole batch's lookups (and later its inserts) from
+    /// one lock acquisition, and releases the lock while the step encoder
+    /// runs.
+    pub(crate) fn with_slots<R>(&self, body: impl FnOnce(&mut TraceSlots) -> R) -> R {
+        body(&mut self.slots.lock().expect("trace cache poisoned"))
+    }
+
+    /// Records `n` step-encoder runs (cache misses).
+    pub(crate) fn record_encodes(&self, n: usize) {
+        self.encodes.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl Clone for TraceEncodingCache {
+    fn clone(&self) -> Self {
+        TraceEncodingCache::default()
+    }
+}
+
+impl PartialEq for TraceEncodingCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for TraceEncodingCache {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Null
+    }
+}
+
+impl Deserialize for TraceEncodingCache {
+    fn from_content(_content: &serde::Content) -> Result<Self, serde::DeError> {
+        Ok(TraceEncodingCache::default())
+    }
+}
+
+/// A many-slot spec-encoding memo keyed by the full [`IoSpec`], with the
+/// same counting guarantee as the one-slot [`SpecEncodingCache`].
+///
+/// The trainer's epoch loops sweep *interleaved* samples from many
+/// specifications (the train/validation split shuffles them), so the
+/// one-slot memo would thrash; this map encodes each distinct specification
+/// exactly once per training run instead of once per sample per epoch.
+#[derive(Debug, Default)]
+pub struct SpecEncodingMap {
+    slots: Mutex<HashMap<IoSpec, SpecEncoding>>,
+    encodes: AtomicUsize,
+}
+
+impl SpecEncodingMap {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        SpecEncodingMap::default()
+    }
+
+    /// Returns the cached encoding of `spec`, encoding (and caching) it on
+    /// first sight. Callers must use a fixed `config` per map (the trainer
+    /// does — the config belongs to the training run).
+    pub fn get_or_encode(&self, config: &EncodingConfig, spec: &IoSpec) -> SpecEncoding {
+        let mut slots = self.slots.lock().expect("spec map poisoned");
+        if let Some(encoding) = slots.get(spec) {
+            return encoding.clone();
+        }
+        let encoding = encode_spec(config, spec);
+        self.encodes.fetch_add(1, Ordering::Relaxed);
+        slots.insert(spec.clone(), encoding.clone());
+        encoding
+    }
+
+    /// How many distinct specifications were actually encoded (misses).
+    #[must_use]
+    pub fn encode_count(&self) -> usize {
+        self.encodes.load(Ordering::Relaxed)
+    }
+}
+
 /// The size of the function vocabulary (one token per DSL function).
 #[must_use]
 pub fn function_vocab_size() -> usize {
@@ -495,6 +632,50 @@ mod tests {
         let clone = cache.clone();
         assert_eq!(clone.encode_count(), 0);
         assert_eq!(clone, cache);
+    }
+
+    #[test]
+    fn trace_cache_counts_misses_and_serves_hits() {
+        let cache = TraceEncodingCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.encode_count(), 0);
+        let tokens: Box<[usize]> = vec![1, 2, 3].into();
+        let hidden: Arc<[f32]> = vec![0.5, -0.5].into();
+        cache.with_slots(|slots| {
+            assert!(slots.get(&tokens[..]).is_none());
+            slots.insert(tokens.clone(), Arc::clone(&hidden));
+        });
+        cache.record_encodes(1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.encode_count(), 1);
+        // A hit returns the very same buffer.
+        cache.with_slots(|slots| {
+            let hit = slots.get(&[1usize, 2, 3][..]).expect("cached");
+            assert!(Arc::ptr_eq(hit, &hidden));
+        });
+        // Clones start cold; equality and serialization ignore the state.
+        let clone = cache.clone();
+        assert!(clone.is_empty());
+        assert_eq!(clone.encode_count(), 0);
+        assert_eq!(clone, cache);
+        let json = serde_json::to_string(&cache).unwrap();
+        let back: TraceEncodingCache = serde_json::from_str(&json).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn spec_map_encodes_each_distinct_spec_once() {
+        let c = config();
+        let map = SpecEncodingMap::new();
+        let other = IoSpec::from_program(&target(), &[vec![Value::List(vec![7, 7])]]);
+        let first = map.get_or_encode(&c, &spec());
+        // Interleaved lookups (the trainer's shuffled epoch order) stay hits.
+        for _ in 0..5 {
+            assert_eq!(map.get_or_encode(&c, &spec()), first);
+            let _ = map.get_or_encode(&c, &other);
+        }
+        assert_eq!(map.encode_count(), 2);
+        assert_eq!(map.get_or_encode(&c, &spec()), encode_spec(&c, &spec()));
     }
 
     #[test]

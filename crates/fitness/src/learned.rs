@@ -10,7 +10,9 @@
 //!   a map into the `f_FP` fitness (`Σ p_k` over the candidate's functions)
 //!   and also exposes it for FP-guided mutation.
 
-use crate::encoding::{encode_candidate, encode_candidates, encode_spec, SpecEncodingCache};
+use crate::encoding::{
+    encode_candidate, encode_candidates, encode_spec, SpecEncodingCache, TraceEncodingCache,
+};
 use crate::probability::ProbabilityMap;
 use crate::trainer::{FitnessModelKind, TrainedFitnessModel};
 use crate::traits::FitnessFunction;
@@ -23,12 +25,21 @@ use serde::{Deserialize, Serialize};
 pub struct LearnedFitness {
     model: TrainedFitnessModel,
     name: String,
+    /// `name` plus the model's weight fingerprint: shared caches must never
+    /// alias two differently-trained models of the same kind (see
+    /// [`crate::FitnessFunction::cache_key`]).
+    cache_key: String,
     /// Optional probability map attached for FP-guided mutation.
     mutation_map: Option<ProbabilityMap>,
     /// One-slot memo so the specification of a synthesis run is encoded
     /// exactly once across every `score` / `score_batch` call (derived
     /// state: cleared by `Clone`, ignored by `PartialEq` and serde).
     spec_cache: SpecEncodingCache,
+    /// Instance-owned trace-value encoding memo: even without an external
+    /// [`crate::FitnessCache`] shard, `score_batch` reuses the step-encoder
+    /// hidden states of every value seen in earlier generations (derived
+    /// state, like `spec_cache`).
+    trace_cache: TraceEncodingCache,
 }
 
 impl LearnedFitness {
@@ -39,17 +50,20 @@ impl LearnedFitness {
     /// Panics if the model is an FP model (use [`LearnedProbabilityModel`]
     /// and [`ProbabilityFitness`] for that).
     #[must_use]
-    pub fn new(model: TrainedFitnessModel) -> Self {
+    pub fn new(mut model: TrainedFitnessModel) -> Self {
         assert!(
             model.kind != FitnessModelKind::FunctionProbability,
             "use ProbabilityFitness for FP models"
         );
         let name = format!("nn-{}", model.kind);
+        let cache_key = format!("{name}#{:016x}", model.net.weight_fingerprint());
         LearnedFitness {
             model,
             name,
+            cache_key,
             mutation_map: None,
             spec_cache: SpecEncodingCache::new(),
+            trace_cache: TraceEncodingCache::new(),
         }
     }
 
@@ -76,6 +90,15 @@ impl LearnedFitness {
     pub fn spec_encode_count(&self) -> usize {
         self.spec_cache.encode_count()
     }
+
+    /// How many distinct trace values this instance's *own* memo ran
+    /// through the step encoder (misses of the instance cache; batches
+    /// scored through [`FitnessFunction::score_batch_cached`] count against
+    /// the external shard instead).
+    #[must_use]
+    pub fn trace_encode_count(&self) -> usize {
+        self.trace_cache.encode_count()
+    }
 }
 
 /// The expected class value under the softmax of `logits` — the smooth
@@ -94,6 +117,14 @@ impl FitnessFunction for LearnedFitness {
         &self.name
     }
 
+    /// The name alone is shared by every trained model of the same kind, so
+    /// the key folds in the weight fingerprint — a shared
+    /// [`crate::FitnessCache`] scoring with two CF checkpoints must not
+    /// serve one model's scores (or trace-value encodings) to the other.
+    fn cache_key(&self) -> String {
+        self.cache_key.clone()
+    }
+
     fn score(&self, candidate: &Program, spec: &IoSpec) -> f64 {
         let spec_encoding = self
             .spec_cache
@@ -105,19 +136,36 @@ impl FitnessFunction for LearnedFitness {
         }
     }
 
+    /// Batched scoring: [`FitnessFunction::score_batch_cached`] against the
+    /// instance-owned trace memo, so repeated generations of one synthesis
+    /// reuse their trace-value encodings even without an external cache.
+    fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+        self.score_batch_cached(candidates, spec, &self.trace_cache)
+    }
+
     /// Batched scoring: the specification encoding is served from the
     /// one-slot memo (encoded exactly once per synthesis) and shared
     /// zero-copy with the network; every candidate's traces run through one
-    /// batched forward pass (`FitnessNet::predict_batch`) and each logit row
-    /// is converted with the same expected-value readout as
-    /// [`FitnessFunction::score`] — scores are bit-identical to the
-    /// per-candidate path.
-    fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
+    /// batched forward pass (`FitnessNet::predict_batch_with`, reusing the
+    /// trace-value encodings memoized in `traces` across generations and
+    /// runs) and each logit row is converted with the same expected-value
+    /// readout as [`FitnessFunction::score`] — scores are bit-identical to
+    /// the per-candidate path.
+    fn score_batch_cached(
+        &self,
+        candidates: &[Program],
+        spec: &IoSpec,
+        traces: &TraceEncodingCache,
+    ) -> Vec<f64> {
         let spec_encoding = self
             .spec_cache
             .get_or_encode(self.model.net.encoding(), spec);
         let encoded = encode_candidates(self.model.net.encoding(), spec, candidates);
-        match self.model.net.predict_batch(&spec_encoding, &encoded) {
+        match self
+            .model
+            .net
+            .predict_batch_with(&spec_encoding, &encoded, traces)
+        {
             Ok(rows) => rows
                 .iter()
                 .map(|logits| expected_class_value(logits))
@@ -317,6 +365,22 @@ mod tests {
         let score = fitness.score(&candidate, &task.spec);
         assert!(score >= 0.0 && score <= fitness.max_score());
         assert!(fitness.probability_map(&task.spec).is_none());
+    }
+
+    #[test]
+    fn cache_keys_distinguish_checkpoints_with_identical_names() {
+        // Two differently-trained CF models share the display name "nn-CF"
+        // but score candidates differently; a shared FitnessCache keyed by
+        // name alone would serve one model's scores (and trace-value
+        // encodings) to the other. The weight fingerprint in the key
+        // prevents that, while identical weights keep identical keys.
+        let a = LearnedFitness::new(trained_cf_model(3, 1));
+        let b = LearnedFitness::new(trained_cf_model(3, 2));
+        let a_again = LearnedFitness::new(trained_cf_model(3, 1));
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.cache_key(), b.cache_key());
+        assert_eq!(a.cache_key(), a_again.cache_key());
+        assert!(a.cache_key().starts_with("nn-CF#"));
     }
 
     #[test]

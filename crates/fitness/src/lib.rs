@@ -68,6 +68,21 @@
 //! harness's `K` repetitions, GA restarts, iterative refinement loops —
 //! reuse every score computed for that specification. A warm cache never
 //! changes a search trajectory; it only skips network passes.
+//!
+//! ## Trace-value encoding reuse
+//!
+//! Beneath the score cache sits a second, finer-grained reuse layer: the
+//! step encoder's hidden state for each distinct trace-value token sequence
+//! is memoized in a [`TraceEncodingCache`]. The encoder is a deterministic,
+//! batch-independent function of the tokens, so values already seen in
+//! earlier generations — or earlier runs of the same task, when the engine
+//! threads a [`FitnessCache::trace_shard`] through
+//! [`FitnessFunction::score_batch_cached`] — skip their LSTM sweep outright,
+//! bit-identically. [`LearnedFitness`] also owns a private instance memo, so
+//! plain `score_batch` callers get the cross-generation reuse for free;
+//! shards are keyed by [`FitnessFunction::cache_key`] because the cached
+//! states depend on the model's weights (a trainer updating weights must
+//! use a fresh cache).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -88,6 +103,7 @@ pub use cache::{FitnessCache, SpecScores};
 pub use edit::EditDistanceFitness;
 pub use encoding::{
     CandidateEncoding, EncodedStep, EncodingConfig, SpecEncoding, SpecEncodingCache,
+    SpecEncodingMap, TraceEncodingCache,
 };
 pub use learned::{LearnedFitness, LearnedProbabilityModel, ProbabilityFitness};
 pub use model::{FitnessNet, FitnessNetCache, FitnessNetConfig};

@@ -13,13 +13,16 @@
 //! * FP — 41 sigmoid outputs, one per DSL function (the trace inputs are
 //!   simply absent).
 
-use crate::encoding::{function_vocab_size, CandidateEncoding, EncodingConfig, SpecEncoding};
+use crate::encoding::{
+    function_vocab_size, CandidateEncoding, EncodingConfig, SpecEncoding, TraceEncodingCache,
+};
 use netsyn_nn::{
     Activation, Embedding, FxHashMap, Lstm, LstmCache, Matrix, Mlp, MlpCache, NnError, Param,
     Parameterized, SequenceBatch, SequenceEncoder, SequenceEncoderCache, SequenceTrie,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Hyper-parameters of the fitness network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,6 +161,29 @@ impl FitnessNet {
         self.config.output_dim
     }
 
+    /// A fast fingerprint of every parameter's current bit pattern.
+    ///
+    /// Fitness functions fold this into their
+    /// [`cache_key`](crate::FitnessFunction::cache_key) so that shared
+    /// caches ([`crate::FitnessCache`]'s score and trace-encoding shards)
+    /// can never alias two differently-trained models of the same kind —
+    /// the display name alone (`"nn-CF"`, …) is identical for every trained
+    /// CF model. Deterministic across runs (FxHash over the raw `f32` bits
+    /// in stable parameter order).
+    #[must_use]
+    pub fn weight_fingerprint(&mut self) -> u64 {
+        use std::hash::Hasher;
+        let mut hasher = netsyn_nn::FxHasher::default();
+        for param in self.params_mut() {
+            hasher.write_usize(param.value.rows());
+            hasher.write_usize(param.value.cols());
+            for &w in param.value.data() {
+                hasher.write_u32(w.to_bits());
+            }
+        }
+        hasher.finish()
+    }
+
     /// Forward pass over one candidate against a shared specification
     /// encoding, returning the raw output logits and the cache needed for
     /// [`FitnessNet::backward`].
@@ -263,6 +289,31 @@ impl FitnessNet {
         spec: &SpecEncoding,
         candidates: &[CandidateEncoding],
     ) -> Result<Vec<Vec<f32>>, NnError> {
+        self.predict_batch_with(spec, candidates, &TraceEncodingCache::new())
+    }
+
+    /// [`FitnessNet::predict_batch`] with a persistent [`TraceEncodingCache`]:
+    /// trace values whose step-encoder hidden state was computed by an
+    /// earlier batch — a previous GA generation, or a previous run of the
+    /// same task sharing the cache — are served from the memo, and only the
+    /// genuinely new values run through the step encoder.
+    ///
+    /// The step encoder is a batch-independent function of each token
+    /// sequence (the trie-batched LSTM is bit-identical to per-sequence
+    /// calls), so a warm cache returns bit-identical logits; `trace_cache`
+    /// must be reserved to this network's weights (see
+    /// [`TraceEncodingCache`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FitnessNet::predict_batch`]. Nothing is cached from a
+    /// failed call.
+    pub fn predict_batch_with(
+        &self,
+        spec: &SpecEncoding,
+        candidates: &[CandidateEncoding],
+        trace_cache: &TraceEncodingCache,
+    ) -> Result<Vec<Vec<f32>>, NnError> {
         if candidates.is_empty() {
             return Ok(Vec::new());
         }
@@ -288,7 +339,31 @@ impl FitnessNet {
                     })
             })
             .collect();
-        let step_hidden = self.step_encoder.forward_batch(&step_unique)?;
+        // Serve values the cache has already encoded; run the step encoder
+        // only over the misses (outside the lock), then publish the fresh
+        // hidden states for future batches.
+        let mut step_hidden: Vec<Option<Arc<[f32]>>> = vec![None; step_unique.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        trace_cache.with_slots(|slots| {
+            for (index, tokens) in step_unique.iter().enumerate() {
+                match slots.get(*tokens) {
+                    Some(hidden) => step_hidden[index] = Some(Arc::clone(hidden)),
+                    None => missing.push(index),
+                }
+            }
+        });
+        if !missing.is_empty() {
+            let miss_tokens: Vec<&[usize]> = missing.iter().map(|&i| step_unique[i]).collect();
+            let computed = self.step_encoder.forward_batch(&miss_tokens)?;
+            trace_cache.record_encodes(missing.len());
+            trace_cache.with_slots(|slots| {
+                for (&index, hidden) in missing.iter().zip(computed) {
+                    let hidden: Arc<[f32]> = hidden.into();
+                    slots.insert(step_unique[index].into(), Arc::clone(&hidden));
+                    step_hidden[index] = Some(hidden);
+                }
+            });
+        }
 
         // Stage 3: one (function embedding ‖ step encoding) sequence per
         // (candidate, example), combined by the trace LSTM over a
@@ -311,7 +386,10 @@ impl FitnessNet {
                     if let Some(row) = trace_trie.push_step(key) {
                         row[..func_dim]
                             .copy_from_slice(self.function_embedding.row(step.function)?);
-                        row[func_dim..].copy_from_slice(&step_hidden[value_id]);
+                        let hidden = step_hidden[value_id]
+                            .as_deref()
+                            .expect("every distinct trace value was encoded above");
+                        row[func_dim..].copy_from_slice(hidden);
                     }
                 }
             }
@@ -494,6 +572,55 @@ mod tests {
             }
         }
         assert!(net.predict_batch(&spec_encoding, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn warm_trace_cache_is_bit_identical_and_skips_reencoding() {
+        let net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        let spec_encoding = encode_spec(net.encoding(), &spec());
+        let candidates = [
+            target(),
+            Program::new(vec![Function::Head, Function::Sum, Function::Last]),
+            Program::default(),
+        ];
+        let encodings: Vec<CandidateEncoding> = candidates
+            .iter()
+            .map(|c| encode_candidate(net.encoding(), &spec(), c))
+            .collect();
+        let cache = TraceEncodingCache::new();
+        let cold = net
+            .predict_batch_with(&spec_encoding, &encodings, &cache)
+            .unwrap();
+        let cold_encodes = cache.encode_count();
+        assert!(cold_encodes > 0, "the cold batch encodes its trace values");
+        assert_eq!(cache.len(), cold_encodes);
+        // The warm pass re-encodes nothing and returns the same bits.
+        let warm = net
+            .predict_batch_with(&spec_encoding, &encodings, &cache)
+            .unwrap();
+        assert_eq!(cache.encode_count(), cold_encodes);
+        for (a_row, b_row) in cold.iter().zip(warm.iter()) {
+            for (a, b) in a_row.iter().zip(b_row.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // A partially overlapping batch encodes only its new values, still
+        // bit-identically to the uncached path.
+        let fresh_program = Program::new(vec![Function::Reverse, Function::Sort]);
+        let mixed: Vec<CandidateEncoding> = [candidates[0].clone(), fresh_program]
+            .iter()
+            .map(|c| encode_candidate(net.encoding(), &spec(), c))
+            .collect();
+        let mixed_out = net
+            .predict_batch_with(&spec_encoding, &mixed, &cache)
+            .unwrap();
+        assert!(cache.encode_count() > cold_encodes);
+        let uncached = net.predict_batch(&spec_encoding, &mixed).unwrap();
+        for (a_row, b_row) in mixed_out.iter().zip(uncached.iter()) {
+            for (a, b) in a_row.iter().zip(b_row.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

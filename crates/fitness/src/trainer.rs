@@ -2,7 +2,7 @@
 //! (confusion matrices for CF/LCS, accuracy-over-epochs for FP — Figure 7).
 
 use crate::dataset::FitnessSample;
-use crate::encoding::{encode_candidate, encode_spec, CandidateEncoding, EncodingConfig};
+use crate::encoding::{encode_candidate, CandidateEncoding, EncodingConfig, SpecEncodingMap};
 use crate::model::{FitnessNet, FitnessNetConfig};
 use netsyn_dsl::Function;
 use netsyn_nn::loss::{argmax, binary_cross_entropy_with_logits, softmax_cross_entropy};
@@ -169,6 +169,12 @@ pub fn train_fitness_model<R: Rng + ?Sized>(
 
     let mut epochs = Vec::with_capacity(config.epochs);
     let mut order: Vec<usize> = train_idx.to_vec();
+    // Samples sharing a specification (every candidate of one target, in
+    // every epoch, in training and validation sweeps alike) reuse one
+    // encoding: specs are encoded once per distinct spec per training run,
+    // not once per sample per epoch. Encoding is deterministic, so the
+    // training trajectory is unchanged.
+    let spec_encodings = SpecEncodingMap::new();
     for epoch in 1..=config.epochs {
         order.shuffle(rng);
         let mut total_loss = 0.0;
@@ -176,7 +182,7 @@ pub fn train_fitness_model<R: Rng + ?Sized>(
         for chunk in order.chunks(config.batch_size.max(1)) {
             for &idx in chunk {
                 let sample = &samples[idx];
-                let spec_encoding = encode_spec(&config.encoding, &sample.spec);
+                let spec_encoding = spec_encodings.get_or_encode(&config.encoding, &sample.spec);
                 let candidate_encoding = match kind {
                     FitnessModelKind::FunctionProbability => CandidateEncoding::spec_only(),
                     _ => encode_candidate(&config.encoding, &sample.spec, &sample.candidate),
@@ -203,8 +209,14 @@ pub fn train_fitness_model<R: Rng + ?Sized>(
         } else {
             total_loss / order.len() as f64
         };
-        let validation_accuracy =
-            evaluate_accuracy(kind, &net, samples, validation_idx, &config.encoding);
+        let validation_accuracy = evaluate_accuracy(
+            kind,
+            &net,
+            samples,
+            validation_idx,
+            &config.encoding,
+            &spec_encodings,
+        );
         epochs.push(EpochStats {
             epoch,
             train_loss,
@@ -222,6 +234,7 @@ pub fn train_fitness_model<R: Rng + ?Sized>(
             validation_idx,
             &config.encoding,
             program_length,
+            &spec_encodings,
         )),
     };
 
@@ -239,6 +252,7 @@ fn evaluate_accuracy(
     samples: &[FitnessSample],
     indices: &[usize],
     encoding: &EncodingConfig,
+    spec_encodings: &SpecEncodingMap,
 ) -> f64 {
     if indices.is_empty() {
         return 0.0;
@@ -247,9 +261,9 @@ fn evaluate_accuracy(
     let mut counted = 0usize;
     for &idx in indices {
         let sample = &samples[idx];
+        let spec_encoding = spec_encodings.get_or_encode(encoding, &sample.spec);
         match kind {
             FitnessModelKind::FunctionProbability => {
-                let spec_encoding = encode_spec(encoding, &sample.spec);
                 if let Ok(logits) = net.predict_spec(&spec_encoding) {
                     let probs: Vec<f32> = logits
                         .iter()
@@ -260,7 +274,6 @@ fn evaluate_accuracy(
                 }
             }
             _ => {
-                let spec_encoding = encode_spec(encoding, &sample.spec);
                 let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
                 if let Ok(logits) = net.predict(&spec_encoding, &encoded) {
                     let predicted = argmax(&logits);
@@ -280,6 +293,7 @@ fn evaluate_accuracy(
 
 /// Builds the validation confusion matrix of a trained CF/LCS model
 /// (Figure 7(a)/(b)).
+#[allow(clippy::too_many_arguments)]
 fn confusion_matrix(
     kind: FitnessModelKind,
     net: &FitnessNet,
@@ -287,11 +301,12 @@ fn confusion_matrix(
     indices: &[usize],
     encoding: &EncodingConfig,
     program_length: usize,
+    spec_encodings: &SpecEncodingMap,
 ) -> ConfusionMatrix {
     let mut matrix = ConfusionMatrix::new(program_length + 1);
     for &idx in indices {
         let sample = &samples[idx];
-        let spec_encoding = encode_spec(encoding, &sample.spec);
+        let spec_encoding = spec_encodings.get_or_encode(encoding, &sample.spec);
         let encoded = encode_candidate(encoding, &sample.spec, &sample.candidate);
         if let Ok(logits) = net.predict(&spec_encoding, &encoded) {
             let predicted = argmax(&logits).min(program_length);
@@ -318,6 +333,7 @@ pub fn evaluate_confusion(
         &indices,
         encoding,
         model.program_length,
+        &SpecEncodingMap::new(),
     )
 }
 
@@ -430,6 +446,59 @@ mod tests {
             last < first,
             "training loss should decrease: {first} -> {last}"
         );
+    }
+
+    #[test]
+    fn spec_map_encodes_once_per_distinct_spec_across_epochs() {
+        // The counting pattern behind the trainer's hoisted spec encoding:
+        // epoch sweeps over shuffled samples (many samples share one target
+        // program's spec) must encode each distinct spec exactly once in
+        // total, not once per sample per epoch.
+        let mut r = rng(8);
+        let samples = generate_dataset(
+            &tiny_dataset_config(3),
+            BalanceMetric::CommonFunctions,
+            &mut r,
+        )
+        .unwrap();
+        let map = SpecEncodingMap::new();
+        let encoding = EncodingConfig::new();
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        for _epoch in 0..3 {
+            order.shuffle(&mut r);
+            for &idx in &order {
+                let _ = map.get_or_encode(&encoding, &samples[idx].spec);
+            }
+        }
+        let distinct: std::collections::HashSet<_> = samples.iter().map(|s| &s.spec).collect();
+        assert_eq!(map.encode_count(), distinct.len());
+        assert!(
+            distinct.len() < samples.len(),
+            "samples of one target share a spec"
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_with_the_spec_memo() {
+        // Memoized spec encodings are bit-identical to re-encoding, so two
+        // identical training runs produce identical models and reports.
+        let make = |seed: u64| {
+            let mut r = rng(seed);
+            let samples = generate_dataset(
+                &tiny_dataset_config(3),
+                BalanceMetric::CommonFunctions,
+                &mut r,
+            )
+            .unwrap();
+            train_fitness_model(
+                FitnessModelKind::CommonFunctions,
+                &samples,
+                3,
+                &tiny_trainer_config(),
+                &mut r,
+            )
+        };
+        assert_eq!(make(9), make(9));
     }
 
     #[test]

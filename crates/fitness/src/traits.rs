@@ -1,6 +1,7 @@
 //! The fitness-function abstraction shared by the GA engine, NetSyn and the
 //! baselines.
 
+use crate::encoding::TraceEncodingCache;
 use crate::probability::ProbabilityMap;
 use netsyn_dsl::{IoSpec, Program};
 
@@ -35,6 +36,28 @@ pub trait FitnessFunction: Send + Sync {
             .par_iter()
             .map(|candidate| self.score(candidate, spec))
             .collect()
+    }
+
+    /// [`FitnessFunction::score_batch`] with a persistent
+    /// [`TraceEncodingCache`] shard, enabling encoding reuse across calls.
+    ///
+    /// The GA engine threads a shard of the shared [`crate::FitnessCache`]
+    /// (keyed by [`FitnessFunction::cache_key`], see
+    /// [`crate::FitnessCache::trace_shard`]) through every batched scoring
+    /// call, so implementations backed by neural models reuse the
+    /// trace-value encodings of earlier generations and earlier runs of the
+    /// same task. The contract is unchanged: the scores returned must be
+    /// bit-identical to [`FitnessFunction::score`], however warm the cache.
+    /// The default implementation ignores the cache, which is always
+    /// correct.
+    fn score_batch_cached(
+        &self,
+        candidates: &[Program],
+        spec: &IoSpec,
+        traces: &TraceEncodingCache,
+    ) -> Vec<f64> {
+        let _ = traces;
+        self.score_batch(candidates, spec)
     }
 
     /// The key under which a shared [`crate::FitnessCache`] stores this
@@ -75,6 +98,15 @@ impl<F: FitnessFunction + ?Sized> FitnessFunction for Box<F> {
 
     fn score_batch(&self, candidates: &[Program], spec: &IoSpec) -> Vec<f64> {
         (**self).score_batch(candidates, spec)
+    }
+
+    fn score_batch_cached(
+        &self,
+        candidates: &[Program],
+        spec: &IoSpec,
+        traces: &TraceEncodingCache,
+    ) -> Vec<f64> {
+        (**self).score_batch_cached(candidates, spec, traces)
     }
 
     fn cache_key(&self) -> String {

@@ -14,7 +14,7 @@ use crate::selection;
 use netsyn_dsl::dce::has_dead_code;
 use netsyn_dsl::{Function, IoSpec, Program, Type};
 use netsyn_fitness::cache::SpecScores;
-use netsyn_fitness::{FitnessCache, FitnessFunction, ProbabilityMap};
+use netsyn_fitness::{FitnessCache, FitnessFunction, ProbabilityMap, TraceEncodingCache};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
@@ -127,6 +127,11 @@ impl GeneticEngine {
         // copies, re-discovered programs) are never re-scored. The shard is
         // spec-keyed, so entries stay valid across runs of the same task.
         let memo = cache.shard(&fitness.cache_key(), spec);
+        // Trace-value encoding shard: every batched scoring call — the
+        // per-generation population pass and the DFS neighborhood search —
+        // reuses the step-encoder hidden states of values already seen in
+        // earlier generations or earlier runs sharing the cache.
+        let traces = cache.trace_shard(&fitness.cache_key());
         let mut detector = SaturationDetector::new(self.config.saturation_window);
         let mut average_history = Vec::new();
         let mut best_history = Vec::new();
@@ -160,7 +165,7 @@ impl GeneticEngine {
         }
 
         for generation in 1..=self.config.max_generations {
-            Self::evaluate_population(&mut population, fitness, spec, &memo);
+            Self::evaluate_population(&mut population, fitness, spec, &memo, &traces);
             let average = population.average_fitness();
             let best = population.best_fitness().unwrap_or(0.0);
             average_history.push(average);
@@ -175,8 +180,15 @@ impl GeneticEngine {
                     .into_iter()
                     .map(|g| g.program)
                     .collect();
-                let ns =
-                    neighborhood::search(&top, spec, self.config.neighborhood, fitness, budget);
+                let ns = neighborhood::search(
+                    &top,
+                    spec,
+                    self.config.neighborhood,
+                    fitness,
+                    budget,
+                    &memo,
+                    &traces,
+                );
                 detector.reset();
                 if let Some(solution) = ns.solution {
                     return self.outcome(
@@ -267,7 +279,8 @@ impl GeneticEngine {
     /// Previously-seen programs — from earlier generations *or* earlier runs
     /// sharing the cache shard — are served from `memo`; the remaining
     /// *unique* programs are scored with a single
-    /// [`FitnessFunction::score_batch`] call, so a learned fitness runs one
+    /// [`FitnessFunction::score_batch_cached`] call (reusing the trace-value
+    /// encodings memoized in `traces`), so a learned fitness runs one
     /// batched network pass per generation instead of one forward pass per
     /// gene. The shard lock is released while scoring: concurrent runs of
     /// the same task may race to score a program, but both compute the
@@ -277,6 +290,7 @@ impl GeneticEngine {
         fitness: &F,
         spec: &IoSpec,
         memo: &SpecScores,
+        traces: &TraceEncodingCache,
     ) where
         F: FitnessFunction + ?Sized,
     {
@@ -295,7 +309,7 @@ impl GeneticEngine {
             }
         });
         if !unscored.is_empty() {
-            let new_scores = fitness.score_batch(&unscored, spec);
+            let new_scores = fitness.score_batch_cached(&unscored, spec, traces);
             debug_assert_eq!(new_scores.len(), unscored.len());
             memo.with_scores(|scores| {
                 for (program, score) in unscored.into_iter().zip(new_scores) {

@@ -9,7 +9,8 @@
 use crate::budget::SearchBudget;
 use crate::config::NeighborhoodStrategy;
 use netsyn_dsl::{Function, IoSpec, Program};
-use netsyn_fitness::FitnessFunction;
+use netsyn_fitness::cache::SpecScores;
+use netsyn_fitness::{FitnessFunction, TraceEncodingCache};
 
 /// Outcome of one neighborhood-search invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,14 +30,26 @@ pub struct NeighborhoodOutcome {
 ///   before moving to the next position (the paper's DFS variant).
 /// * [`NeighborhoodStrategy::Disabled`] returns immediately.
 ///
+/// The DFS variant serves previously-scored neighbors from `memo` — the same
+/// spec-keyed [`SpecScores`] shard the engine's generation loop uses — and
+/// inserts what it scores, so repeated saturation events (and warm runs of
+/// the same task) never re-score a program; fresh scores go through
+/// [`FitnessFunction::score_batch_cached`] with the `traces` encoding shard.
+/// Cached scores are bit-identical to recomputed ones, so the committed
+/// descent is unchanged. Budget accounting is cache-independent: every
+/// neighbor *checked* consumes budget, cached or not.
+///
 /// Every candidate checked is drawn from `budget`; the search stops early when
 /// the budget is exhausted.
+#[allow(clippy::too_many_arguments)]
 pub fn search<F: FitnessFunction + ?Sized>(
     genes: &[Program],
     spec: &IoSpec,
     strategy: NeighborhoodStrategy,
     fitness: &F,
     budget: &mut SearchBudget,
+    memo: &SpecScores,
+    traces: &TraceEncodingCache,
 ) -> NeighborhoodOutcome {
     match strategy {
         NeighborhoodStrategy::Disabled => NeighborhoodOutcome {
@@ -44,7 +57,26 @@ pub fn search<F: FitnessFunction + ?Sized>(
             candidates_evaluated: 0,
         },
         NeighborhoodStrategy::Bfs => bfs_search(genes, spec, budget),
-        NeighborhoodStrategy::Dfs => dfs_search(genes, spec, fitness, budget),
+        NeighborhoodStrategy::Dfs => dfs_search(genes, spec, fitness, budget, memo, traces),
+    }
+}
+
+/// Descending-preference comparison for neighbor scores with a total,
+/// NaN-ranks-last policy: a NaN-scoring neighbor must never be committed as
+/// the DFS descent point when any real-scored neighbor exists (the engine's
+/// *gene* ranking is deliberately NaN-first to be loud; here a NaN winning
+/// position 0 would silently poison the rest of the descent — `score > NaN`
+/// is false for every later neighbor). Among NaNs, `total_cmp` keeps the
+/// order deterministic whatever the sign bit; real-vs-real defers to the
+/// usual IEEE order, preserving the original first-strictly-greatest-wins
+/// trajectory bit for bit.
+fn neighbor_score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => a.total_cmp(&b),
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("both scores are non-NaN"),
     }
 }
 
@@ -85,6 +117,8 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
     spec: &IoSpec,
     fitness: &F,
     budget: &mut SearchBudget,
+    memo: &SpecScores,
+    traces: &TraceEncodingCache,
 ) -> NeighborhoodOutcome {
     let mut evaluated = 0usize;
     let mut neighbors: Vec<Program> = Vec::with_capacity(Function::ALL.len());
@@ -116,12 +150,15 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
                 }
                 neighbors.push(neighbor);
             }
-            let scores = fitness.score_batch(&neighbors, spec);
+            let scores = rank_neighbors(&neighbors, spec, fitness, memo, traces);
             // First-strictly-greatest wins, matching the original
-            // one-at-a-time comparison order over Function::ALL.
+            // one-at-a-time comparison order over Function::ALL; NaN scores
+            // rank last (see `neighbor_score_cmp`).
             let mut best: Option<(usize, f64)> = None;
             for (index, &score) in scores.iter().enumerate() {
-                if best.is_none_or(|(_, best_score)| score > best_score) {
+                if best.is_none_or(|(_, best_score)| {
+                    neighbor_score_cmp(score, best_score) == std::cmp::Ordering::Greater
+                }) {
                     best = Some((index, score));
                 }
             }
@@ -138,11 +175,71 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
     }
 }
 
+/// Scores a position's neighborhood through the shared fitness memo: cached
+/// neighbors are served without a network pass, the rest go through one
+/// [`FitnessFunction::score_batch_cached`] call and are inserted for future
+/// saturation events and runs. All neighbors of a position are distinct
+/// programs, so the batch needs no internal dedup.
+fn rank_neighbors<F: FitnessFunction + ?Sized>(
+    neighbors: &[Program],
+    spec: &IoSpec,
+    fitness: &F,
+    memo: &SpecScores,
+    traces: &TraceEncodingCache,
+) -> Vec<f64> {
+    let mut scores: Vec<Option<f64>> = vec![None; neighbors.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    memo.with_scores(|cached| {
+        for (index, neighbor) in neighbors.iter().enumerate() {
+            match cached.get(neighbor) {
+                Some(&score) => scores[index] = Some(score),
+                None => missing.push(index),
+            }
+        }
+    });
+    if !missing.is_empty() {
+        let unscored: Vec<Program> = missing.iter().map(|&i| neighbors[i].clone()).collect();
+        let fresh = fitness.score_batch_cached(&unscored, spec, traces);
+        debug_assert_eq!(fresh.len(), unscored.len());
+        memo.with_scores(|cached| {
+            for ((&index, program), score) in missing.iter().zip(unscored).zip(fresh) {
+                cached.insert(program, score);
+                scores[index] = Some(score);
+            }
+        });
+    }
+    scores
+        .into_iter()
+        .map(|score| score.expect("every neighbor scored"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use netsyn_dsl::{IntPredicate, MapOp, Value};
     use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
+    use std::sync::Mutex;
+
+    /// `search` with throwaway memo/trace shards, for tests that do not
+    /// exercise caching.
+    fn search_uncached<F: FitnessFunction + ?Sized>(
+        genes: &[Program],
+        spec: &IoSpec,
+        strategy: NeighborhoodStrategy,
+        fitness: &F,
+        budget: &mut SearchBudget,
+    ) -> NeighborhoodOutcome {
+        search(
+            genes,
+            spec,
+            strategy,
+            fitness,
+            budget,
+            &SpecScores::default(),
+            &TraceEncodingCache::new(),
+        )
+    }
 
     fn target() -> Program {
         Program::new(vec![
@@ -177,7 +274,7 @@ mod tests {
     #[test]
     fn bfs_finds_a_solution_one_replacement_away() {
         let mut budget = SearchBudget::new(100_000);
-        let outcome = search(
+        let outcome = search_uncached(
             &[one_off_candidate()],
             &spec(),
             NeighborhoodStrategy::Bfs,
@@ -198,7 +295,7 @@ mod tests {
     fn dfs_finds_a_solution_one_replacement_away() {
         let mut budget = SearchBudget::new(100_000);
         let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
-        let outcome = search(
+        let outcome = search_uncached(
             &[one_off_candidate()],
             &spec(),
             NeighborhoodStrategy::Dfs,
@@ -222,7 +319,7 @@ mod tests {
         ]);
         let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
         let mut budget = SearchBudget::new(100_000);
-        let bfs = search(
+        let bfs = search_uncached(
             std::slice::from_ref(&two_off),
             &spec(),
             NeighborhoodStrategy::Bfs,
@@ -234,7 +331,7 @@ mod tests {
             "BFS cannot fix two mistakes at once"
         );
         let mut budget = SearchBudget::new(100_000);
-        let dfs = search(
+        let dfs = search_uncached(
             &[two_off],
             &spec(),
             NeighborhoodStrategy::Dfs,
@@ -250,7 +347,7 @@ mod tests {
     #[test]
     fn disabled_strategy_does_nothing() {
         let mut budget = SearchBudget::new(10);
-        let outcome = search(
+        let outcome = search_uncached(
             &[one_off_candidate()],
             &spec(),
             NeighborhoodStrategy::Disabled,
@@ -265,7 +362,7 @@ mod tests {
     #[test]
     fn search_respects_the_budget() {
         let mut budget = SearchBudget::new(10);
-        let outcome = search(
+        let outcome = search_uncached(
             &[Program::new(vec![Function::Head; 4])],
             &spec(),
             NeighborhoodStrategy::Bfs,
@@ -287,7 +384,7 @@ mod tests {
             Function::Head,
         ]);
         let mut budget = SearchBudget::new(100_000);
-        let outcome = search(
+        let outcome = search_uncached(
             &[far],
             &spec(),
             NeighborhoodStrategy::Bfs,
@@ -296,5 +393,164 @@ mod tests {
         );
         assert!(outcome.solution.is_none());
         assert_eq!(outcome.candidates_evaluated, 4 * 40);
+    }
+
+    /// A fitness that scores programs by their leading function and records
+    /// every program it is asked to score.
+    struct RiggedFitness {
+        poison: Function,
+        reward: Function,
+        scored: Mutex<Vec<Program>>,
+    }
+
+    impl FitnessFunction for RiggedFitness {
+        fn name(&self) -> &str {
+            "rigged"
+        }
+
+        fn score(&self, candidate: &Program, _spec: &IoSpec) -> f64 {
+            self.scored.lock().unwrap().push(candidate.clone());
+            let first = candidate.functions()[0];
+            if first == self.poison {
+                f64::NAN
+            } else if first == self.reward {
+                2.0
+            } else {
+                1.0
+            }
+        }
+
+        fn max_score(&self) -> f64 {
+            2.0
+        }
+    }
+
+    #[test]
+    fn dfs_never_commits_a_nan_neighbor_over_a_real_one() {
+        // Regression test for the NaN-unsafe best-neighbor selection: the
+        // first neighbor of position 0 scores NaN, and `score > NaN` is
+        // false for every later neighbor, so the old code committed the
+        // NaN-scoring gene as the descent point for the whole neighborhood.
+        let gene = Program::new(vec![Function::Head, Function::Last]);
+        // The first two replacement candidates for position 0, in
+        // Function::ALL order.
+        let mut replacements = Function::ALL
+            .iter()
+            .copied()
+            .filter(|&f| f != Function::Head);
+        let poison = replacements.next().unwrap();
+        let reward = replacements.next().unwrap();
+        let fitness = RiggedFitness {
+            poison,
+            reward,
+            scored: Mutex::new(Vec::new()),
+        };
+        let mut budget = SearchBudget::new(100_000);
+        let outcome = search_uncached(
+            std::slice::from_ref(&gene),
+            &spec(),
+            NeighborhoodStrategy::Dfs,
+            &fitness,
+            &mut budget,
+        );
+        assert!(outcome.solution.is_none(), "nothing satisfies the spec");
+        // The programs scored while exploring position 1 reveal which
+        // neighbor position 0 committed to: their second statement differs
+        // from the original gene's.
+        let scored = fitness.scored.lock().unwrap();
+        let position_one: Vec<&Program> = scored
+            .iter()
+            .filter(|p| p.functions()[1] != Function::Last)
+            .collect();
+        assert!(
+            !position_one.is_empty(),
+            "position 1 must have been explored"
+        );
+        for program in &position_one {
+            assert_eq!(
+                program.functions()[0],
+                reward,
+                "DFS must descend from the best real-scored neighbor, \
+                 not the NaN-scoring one"
+            );
+        }
+    }
+
+    /// A deterministic fitness that counts how many candidates it scores.
+    struct CountingFitness {
+        scored: Mutex<usize>,
+    }
+
+    impl FitnessFunction for CountingFitness {
+        fn name(&self) -> &str {
+            "counting"
+        }
+
+        fn score(&self, candidate: &Program, _spec: &IoSpec) -> f64 {
+            *self.scored.lock().unwrap() += 1;
+            let weight: usize = candidate.functions().iter().map(|f| f.index()).sum();
+            (weight % 7) as f64
+        }
+
+        fn max_score(&self) -> f64 {
+            6.0
+        }
+    }
+
+    #[test]
+    fn warm_memo_skips_dfs_rescoring_with_unchanged_outcome() {
+        // The DFS search reads and fills the same spec-keyed score shard as
+        // the engine's generation loop: a second saturation event over the
+        // same genes re-scores nothing, while budget accounting and the
+        // outcome stay bit-identical.
+        let genes = [
+            Program::new(vec![
+                Function::Head,
+                Function::Last,
+                Function::Sum,
+                Function::Head,
+            ]),
+            one_off_candidate(),
+        ];
+        let fitness = CountingFitness {
+            scored: Mutex::new(0),
+        };
+        let memo = SpecScores::default();
+        let traces = TraceEncodingCache::new();
+        let mut cold_budget = SearchBudget::new(100_000);
+        let cold = search(
+            &genes,
+            &spec(),
+            NeighborhoodStrategy::Dfs,
+            &fitness,
+            &mut cold_budget,
+            &memo,
+            &traces,
+        );
+        let cold_scored = *fitness.scored.lock().unwrap();
+        assert!(cold_scored > 0, "the cold search must score neighbors");
+        assert!(!memo.is_empty(), "scored neighbors must be inserted");
+
+        let mut warm_budget = SearchBudget::new(100_000);
+        let warm = search(
+            &genes,
+            &spec(),
+            NeighborhoodStrategy::Dfs,
+            &fitness,
+            &mut warm_budget,
+            &memo,
+            &traces,
+        );
+        assert_eq!(
+            *fitness.scored.lock().unwrap(),
+            cold_scored,
+            "a warm memo must serve every neighbor without re-scoring"
+        );
+        assert_eq!(warm, cold, "a warm memo must not change the outcome");
+        assert_eq!(
+            warm_budget.evaluated(),
+            cold_budget.evaluated(),
+            "budget accounting is cache-independent"
+        );
     }
 }

@@ -1,0 +1,158 @@
+//! Warm-vs-cold determinism of the persistent reuse layers.
+//!
+//! The encoding/inference caches added under the batched hot path — the
+//! cross-generation [`TraceEncodingCache`], the neighborhood search's use of
+//! the [`SpecScores`] memo, and the cached weight transposes inside
+//! `netsyn_nn` — are all pure memoization of bit-identical computations, so
+//! a warm cache must never change a search trajectory. These tests pin that
+//! down end to end with a real learned fitness driving the full engine
+//! (generation loop + DFS neighborhood search): the [`GaOutcome`] of a warm
+//! repeat run is bit-identical to the cold run, down to the serialized
+//! bytes of the experiment output.
+//!
+//! CI runs this file under both `NETSYN_SIMD` modes, so the guarantee holds
+//! on the vectorized and the scalar kernels alike.
+
+use netsyn_dsl::{Function, IntPredicate, IoSpec, MapOp, Program, Value};
+use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
+use netsyn_fitness::trainer::{train_fitness_model, FitnessModelKind, TrainerConfig};
+use netsyn_fitness::{FitnessCache, FitnessFunction, FitnessNetConfig, LearnedFitness};
+use netsyn_ga::{GaConfig, GaOutcome, GeneticEngine, NeighborhoodStrategy, SearchBudget};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+fn target() -> Program {
+    Program::new(vec![
+        Function::Filter(IntPredicate::Positive),
+        Function::Map(MapOp::Mul2),
+        Function::Sort,
+    ])
+}
+
+fn spec() -> IoSpec {
+    IoSpec::from_program(
+        &target(),
+        &[
+            vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+            vec![Value::List(vec![1, -5, 7, 2])],
+            vec![Value::List(vec![4, 4, -1, 0, 9])],
+        ],
+    )
+}
+
+fn trained_fitness() -> LearnedFitness {
+    let mut r = rng(11);
+    let mut dataset_config = DatasetConfig::for_length(3);
+    dataset_config.num_target_programs = 6;
+    dataset_config.examples_per_program = 2;
+    let samples =
+        generate_dataset(&dataset_config, BalanceMetric::CommonFunctions, &mut r).unwrap();
+    let mut trainer_config = TrainerConfig::small();
+    trainer_config.net = FitnessNetConfig {
+        value_embed_dim: 4,
+        encoder_hidden_dim: 6,
+        function_embed_dim: 4,
+        trace_hidden_dim: 6,
+        example_hidden_dim: 8,
+        head_hidden_dim: 8,
+        output_dim: 1,
+    };
+    trainer_config.epochs = 1;
+    let model = train_fitness_model(
+        FitnessModelKind::CommonFunctions,
+        &samples,
+        3,
+        &trainer_config,
+        &mut r,
+    );
+    LearnedFitness::new(model)
+}
+
+/// A small engine with the DFS neighborhood search enabled and a tight
+/// saturation window, so warm runs exercise the neighborhood's memo-aware
+/// scoring path as well as the generation loop.
+fn engine() -> GeneticEngine {
+    let mut config = GaConfig::small(3);
+    config.max_generations = 8;
+    config.population_size = 16;
+    config.saturation_window = 2;
+    config.neighborhood = NeighborhoodStrategy::Dfs;
+    GeneticEngine::new(config)
+}
+
+fn run(fitness: &LearnedFitness, cache: &FitnessCache, seed: u64) -> GaOutcome {
+    let mut budget = SearchBudget::new(3_000);
+    engine().synthesize_with_cache(&spec(), fitness, &mut budget, &mut rng(seed), cache)
+}
+
+#[test]
+fn warm_run_is_bit_identical_to_cold_including_serialized_bytes() {
+    let fitness = trained_fitness();
+    let shared = FitnessCache::new();
+
+    // Cold: everything — scores, trace-value encodings — computed fresh.
+    let cold = run(&fitness, &shared, 5);
+    let traces = shared.trace_shard(&fitness.cache_key());
+    let cold_encodes = traces.encode_count();
+    assert!(
+        cold_encodes > 0,
+        "the cold run must have encoded trace values through the shard"
+    );
+
+    // Warm: same task, same seed, shared cache. Solution, histories and
+    // candidates_evaluated must be bit-identical (GaOutcome derives
+    // PartialEq over all of them), and the serialized experiment output
+    // must match byte for byte.
+    let warm = run(&fitness, &shared, 5);
+    assert_eq!(warm, cold, "a warm cache must not change the trajectory");
+    assert_eq!(
+        serde_json::to_string(&warm).unwrap(),
+        serde_json::to_string(&cold).unwrap(),
+        "experiment output must be byte-identical"
+    );
+    assert_eq!(
+        traces.encode_count(),
+        cold_encodes,
+        "an identical warm run re-encodes no trace value"
+    );
+
+    // A fresh, private cache reproduces the same outcome: warm caches only
+    // skip work, they never inject state.
+    let private = run(&fitness, &FitnessCache::new(), 5);
+    assert_eq!(private, cold);
+}
+
+#[test]
+fn warm_trace_shard_reduces_encoding_work_across_different_runs() {
+    let fitness = trained_fitness();
+
+    // Two *different* runs of the same task against a shared cache: the
+    // second run rediscovers many trace values, so it encodes fewer than a
+    // cold run of the same seed does.
+    let shared = FitnessCache::new();
+    let _ = run(&fitness, &shared, 5);
+    let traces = shared.trace_shard(&fitness.cache_key());
+    let after_first = traces.encode_count();
+    let _ = run(&fitness, &shared, 6);
+    let second_encodes = traces.encode_count() - after_first;
+
+    let cold = FitnessCache::new();
+    let cold_outcome = run(&fitness, &cold, 6);
+    let cold_encodes = cold.trace_shard(&fitness.cache_key()).encode_count();
+    assert!(
+        second_encodes < cold_encodes,
+        "a warm trace shard must reuse recurring values across runs: \
+         {second_encodes} fresh encodes vs {cold_encodes} cold"
+    );
+
+    // And sharing the shard still leaves the different-seed trajectory
+    // untouched.
+    let shared_again = FitnessCache::new();
+    let _ = run(&fitness, &shared_again, 5);
+    let warm_outcome = run(&fitness, &shared_again, 6);
+    assert_eq!(warm_outcome, cold_outcome);
+}

@@ -50,7 +50,13 @@
 //! * [`simd`] — the 8-lane kernels under all of the above: a column-lane
 //!   matmul and bitwise libm-compatible `vexp`/`vtanh`/`vsigmoid` sweeps
 //!   (runtime-dispatched to AVX2+FMA, `NETSYN_SIMD=0` falls back to the
-//!   scalar loops).
+//!   scalar loops);
+//! * [`Param::transposed`] — the batched paths consume weights transposed;
+//!   the transpose is memoized on the parameter (interior mutability, cold
+//!   on `Clone`, ignored by `PartialEq`/serde) and recomputed only after a
+//!   weight update ([`Sgd::step`]/[`Adam::step`] invalidate it; any other
+//!   in-place mutation of [`Param::value`] must call
+//!   [`Param::invalidate_transpose`]).
 //!
 //! The batched paths are **bit-identical** to their per-sample
 //! counterparts: the accumulation order over the inner dimension is the

@@ -88,6 +88,11 @@ impl Linear {
 
     /// [`Linear::forward_batch`] writing into a reusable output buffer.
     ///
+    /// The transposed weight the GEMM consumes is memoized on the parameter
+    /// ([`Param::transposed`]) and survives until the next optimizer step,
+    /// so repeated batched calls stop paying an `O(in_dim · out_dim)`
+    /// re-transpose each.
+    ///
     /// # Panics
     ///
     /// Panics if `x.cols() != in_dim()`.
@@ -97,7 +102,7 @@ impl Linear {
             self.in_dim(),
             "linear batched forward dimension mismatch"
         );
-        let weight_t = self.weight.value.transpose();
+        let weight_t = self.weight.transposed();
         x.matmul_into(&weight_t, out);
         out.add_row_broadcast(self.bias.value.row(0));
     }

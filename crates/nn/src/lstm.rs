@@ -214,9 +214,11 @@ impl Lstm {
         assert_eq!(batch.dim(), self.input_dim, "lstm input dimension mismatch");
         let max_len = batch.seq_len(order[0]);
 
-        // Pre-transpose the weights once so every step is a plain matmul.
-        let w_ih_t = self.w_ih.value.transpose();
-        let w_hh_t = self.w_hh.value.transpose();
+        // The transposed weights every step's matmuls consume are memoized
+        // on the parameters (`Param::transposed`), valid until the next
+        // optimizer step.
+        let w_ih_t = self.w_ih.transposed();
+        let w_hh_t = self.w_hh.transposed();
 
         let mut h_mat = Matrix::zeros(active, h_dim);
         let mut c_mat = Matrix::zeros(active, h_dim);
@@ -350,9 +352,10 @@ impl Lstm {
         }
         assert_eq!(trie.dim(), self.input_dim, "lstm input dimension mismatch");
 
-        // Pre-transpose the weights once so every level is a plain matmul.
-        let w_ih_t = self.w_ih.value.transpose();
-        let w_hh_t = self.w_hh.value.transpose();
+        // Memoized transposed weights, shared with every other batched path
+        // (see `Param::transposed`).
+        let w_ih_t = self.w_ih.transposed();
+        let w_hh_t = self.w_hh.transposed();
 
         // Hidden states of every level are kept (terminals read them);
         // cell states only feed the next level.

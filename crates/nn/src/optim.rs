@@ -46,6 +46,7 @@ impl Sgd {
             for (w, &vi) in p.value.data_mut().iter_mut().zip(v.data().iter()) {
                 *w -= lr * vi;
             }
+            p.invalidate_transpose();
         }
     }
 }
@@ -119,6 +120,7 @@ impl Adam {
                 let v_hat = *vi / bias2;
                 *wi -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
             }
+            p.invalidate_transpose();
         }
     }
 }
@@ -180,6 +182,67 @@ mod tests {
         assert!((a.value.get(0, 0) - 1.0).abs() < 0.05);
         assert!((b.value.get(0, 0) + 2.0).abs() < 0.05);
         assert!((b.value.get(0, 1) - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn optimizer_steps_evict_the_cached_transpose() {
+        use crate::linear::Linear;
+        use crate::param::Parameterized;
+        use rand::SeedableRng;
+        use rand_chacha::ChaCha8Rng;
+
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut layer = Linear::new(6, 4, &mut rng);
+        let batch = Matrix::uniform(5, 6, 1.0, &mut rng);
+
+        // Warm the transpose memo through the batched path.
+        let before_step = layer.forward_batch(&batch);
+        let misses_before = layer.params_mut()[0].transpose_count();
+        assert_eq!(
+            misses_before, 1,
+            "first batched call computes the transpose"
+        );
+        let _ = layer.forward_batch(&batch);
+        assert_eq!(
+            layer.params_mut()[0].transpose_count(),
+            1,
+            "repeat batched calls reuse the memoized transpose"
+        );
+
+        // An optimizer step mutates the weights; the stale transpose must be
+        // evicted so the next batched pass sees the updated values.
+        let grad_out = vec![1.0; 4];
+        for row in 0..batch.rows() {
+            let _ = layer.backward(batch.row(row), &grad_out);
+        }
+        let mut adam = Adam::new(0.05);
+        adam.step(&mut layer.params_mut());
+        layer.zero_grad();
+
+        let after_step = layer.forward_batch(&batch);
+        assert_ne!(after_step, before_step, "the step changed the weights");
+        assert_eq!(
+            layer.params_mut()[0].transpose_count(),
+            2,
+            "the post-step call recomputes the transpose exactly once"
+        );
+        // The recomputed transpose gives bit-identical results to the
+        // never-cached per-sample path.
+        for row in 0..batch.rows() {
+            let single = layer.forward(batch.row(row));
+            for (a, b) in after_step.row(row).iter().zip(single.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // SGD evicts too.
+        let mut sgd = Sgd::new(0.1, 0.0);
+        for row in 0..batch.rows() {
+            let _ = layer.backward(batch.row(row), &grad_out);
+        }
+        sgd.step(&mut layer.params_mut());
+        let _ = layer.forward_batch(&batch);
+        assert_eq!(layer.params_mut()[0].transpose_count(), 3);
     }
 
     #[test]

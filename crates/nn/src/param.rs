@@ -1,15 +1,36 @@
-//! Trainable parameters: a value matrix paired with its gradient accumulator.
+//! Trainable parameters: a value matrix paired with its gradient accumulator
+//! and a lazily cached transpose of the values for the batched forward paths.
 
 use crate::tensor::Matrix;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A trainable parameter: the weight values and their accumulated gradient.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The batched inference paths (`Linear::forward_batch_into`, the batched
+/// LSTM sweeps) consume the weight *transposed*; [`Param::transposed`] memoizes
+/// that transpose so it is computed once per weight update instead of once
+/// per call. The memo is pure derived state held behind interior mutability:
+/// `Clone` starts cold, `PartialEq` ignores it, and serialization stores
+/// nothing.
+#[derive(Debug)]
 pub struct Param {
     /// Current parameter values.
+    ///
+    /// Mutating this matrix in place stales any transpose memoized by
+    /// [`Param::transposed`]; every mutation site must call
+    /// [`Param::invalidate_transpose`] afterwards (the workspace optimizers
+    /// do). A shape-changing replacement is detected and recomputed
+    /// automatically.
     pub value: Matrix,
     /// Accumulated gradient (same shape as `value`).
     pub grad: Matrix,
+    /// Cached `value.transpose()`, rebuilt lazily after invalidation.
+    transpose: Mutex<Option<Arc<Matrix>>>,
+    /// Number of transpose computations (cache misses) — makes the
+    /// once-per-weight-update guarantee testable.
+    transposes: AtomicUsize,
 }
 
 impl Param {
@@ -17,7 +38,43 @@ impl Param {
     #[must_use]
     pub fn new(value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        Param { value, grad }
+        Param {
+            value,
+            grad,
+            transpose: Mutex::new(None),
+            transposes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The transpose of [`Param::value`], memoized until the next
+    /// [`Param::invalidate_transpose`] (or a shape-changing replacement of
+    /// `value`, which is detected). Returns a shared handle so concurrent
+    /// batched forward passes reuse one buffer.
+    #[must_use]
+    pub fn transposed(&self) -> Arc<Matrix> {
+        let mut slot = self.transpose.lock().expect("transpose cache poisoned");
+        if let Some(cached) = slot.as_ref() {
+            if cached.rows() == self.value.cols() && cached.cols() == self.value.rows() {
+                return Arc::clone(cached);
+            }
+        }
+        let fresh = Arc::new(self.value.transpose());
+        self.transposes.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(Arc::clone(&fresh));
+        fresh
+    }
+
+    /// Drops the memoized transpose. Must be called after every in-place
+    /// mutation of [`Param::value`] — the optimizers' `step` implementations
+    /// do this for the training loops.
+    pub fn invalidate_transpose(&self) {
+        *self.transpose.lock().expect("transpose cache poisoned") = None;
+    }
+
+    /// How many times the transpose was actually computed (cache misses).
+    #[must_use]
+    pub fn transpose_count(&self) -> usize {
+        self.transposes.load(Ordering::Relaxed)
     }
 
     /// Resets the accumulated gradient to zero.
@@ -35,6 +92,52 @@ impl Param {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Clones start with a cold transpose memo (derived state).
+impl Clone for Param {
+    fn clone(&self) -> Self {
+        Param {
+            value: self.value.clone(),
+            grad: self.grad.clone(),
+            transpose: Mutex::new(None),
+            transposes: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Equality compares the trainable state only; the transpose memo is
+/// derived from `value` and carries no information of its own.
+impl PartialEq for Param {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value && self.grad == other.grad
+    }
+}
+
+/// Serializes exactly what the old derived implementation did (a
+/// `{value, grad}` map), so previously saved models keep loading; the
+/// transpose memo is never persisted.
+impl Serialize for Param {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (String::from("value"), self.value.to_content()),
+            (String::from("grad"), self.grad.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for Param {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let map = serde::expect_map(content, "Param")?;
+        let value = Matrix::from_content(serde::field(map, "value", "Param")?)?;
+        let grad = Matrix::from_content(serde::field(map, "grad", "Param")?)?;
+        Ok(Param {
+            value,
+            grad,
+            transpose: Mutex::new(None),
+            transposes: AtomicUsize::new(0),
+        })
     }
 }
 
@@ -132,6 +235,60 @@ mod tests {
     fn parameter_count_sums_all_params() {
         let mut t = toy();
         assert_eq!(t.parameter_count(), 4);
+    }
+
+    #[test]
+    fn transposed_is_memoized_until_invalidated() {
+        let p = Param::new(Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        assert_eq!(p.transpose_count(), 0);
+        let t = p.transposed();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(*t, p.value.transpose());
+        assert_eq!(p.transpose_count(), 1);
+        // Hits share the same buffer and do not recompute.
+        for _ in 0..10 {
+            assert!(Arc::ptr_eq(&t, &p.transposed()));
+        }
+        assert_eq!(p.transpose_count(), 1);
+        // Invalidation forces a fresh transpose of the current values.
+        p.invalidate_transpose();
+        assert_eq!(*p.transposed(), p.value.transpose());
+        assert_eq!(p.transpose_count(), 2);
+    }
+
+    #[test]
+    fn transposed_tracks_value_mutation_after_invalidate() {
+        let mut p = Param::new(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let stale = p.transposed();
+        p.value.set(0, 1, 9.0);
+        p.invalidate_transpose();
+        let fresh = p.transposed();
+        assert_eq!(fresh.get(1, 0), 9.0);
+        assert_ne!(*stale, *fresh);
+    }
+
+    #[test]
+    fn transposed_detects_shape_changing_replacement() {
+        let mut p = Param::new(Matrix::from_vec(2, 3, vec![0.0; 6]));
+        let _ = p.transposed();
+        // Wholesale replacement with a different shape is caught even
+        // without an explicit invalidation.
+        p.value = Matrix::from_vec(4, 2, vec![1.0; 8]);
+        assert_eq!(p.transposed().shape(), (2, 4));
+        assert_eq!(*p.transposed(), p.value.transpose());
+    }
+
+    #[test]
+    fn clone_equality_and_serde_ignore_the_transpose_memo() {
+        let p = Param::new(Matrix::from_vec(1, 2, vec![1.5, -2.5]));
+        let _ = p.transposed();
+        let clone = p.clone();
+        assert_eq!(clone, p);
+        assert_eq!(clone.transpose_count(), 0, "clones start cold");
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Param = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.transpose_count(), 0);
     }
 
     #[test]

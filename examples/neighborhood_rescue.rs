@@ -10,7 +10,7 @@
 //! ```
 
 use netsyn_dsl::{IoSpec, Program, Value};
-use netsyn_fitness::{ClosenessMetric, OracleFitness};
+use netsyn_fitness::{ClosenessMetric, OracleFitness, SpecScores, TraceEncodingCache};
 use netsyn_ga::{neighborhood, GaConfig, GeneticEngine, NeighborhoodStrategy, SearchBudget};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -39,6 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NeighborhoodStrategy::Bfs,
         &oracle,
         &mut budget,
+        &SpecScores::default(),
+        &TraceEncodingCache::new(),
     );
     println!("BFS neighborhood of `{approximately_correct}`:");
     match &outcome.solution {
