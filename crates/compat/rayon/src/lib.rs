@@ -1,48 +1,106 @@
 //! Offline replacement for the subset of [`rayon`](https://crates.io/crates/rayon)
-//! this workspace uses.
+//! this workspace uses, built on a real work-stealing scheduler.
 //!
-//! Parallelism is real: a lazily started, process-wide pool of
-//! `available_parallelism` worker threads executes every parallel call, so
-//! hot loops (the batched NN kernels call in here once per layer per time
-//! step) pay only a queue round-trip rather than thread spawns. There is no
-//! work stealing; each call splits its input into contiguous spans, one per
-//! worker, and blocks until all spans finish. Nested parallel calls from
-//! inside a worker run inline, which keeps the fixed-size pool
-//! deadlock-free. Small inputs (fewer items than [`MIN_ITEMS_PER_THREAD`]
-//! per would-be worker) skip the pool entirely.
+//! ## Scheduler design
+//!
+//! A lazily started, process-wide pool of worker threads executes every
+//! parallel call. Work distribution is classic work stealing:
+//!
+//! * **Global injector** — threads outside the pool push their tasks onto a
+//!   shared FIFO queue.
+//! * **Per-worker deques** — a pool worker pushes the tasks of a nested
+//!   parallel call onto its *own* deque and pops them back LIFO (newest
+//!   first, for cache locality), while other threads steal from the FIFO
+//!   end (oldest first, the coarsest remaining work).
+//! * **Helping callers** — a thread that issued a parallel call never just
+//!   blocks: while its scope is unfinished it executes queued tasks itself,
+//!   stealing from the injector and every worker deque. Only when all of its
+//!   scope's tasks are in flight on other threads does it sleep, and then on
+//!   the scope's own latch.
+//! * **Park/unpark** — idle workers park on a condvar; every task push
+//!   wakes one sleeper. A parked worker re-checks the pending-task count
+//!   under the sleeper lock, so wakeups are never lost.
+//!
+//! Because blocked callers steal, **nested parallelism is real**: a
+//! `par_iter` issued from inside a worker (e.g. the evaluation harness's
+//! task×run fan-out calling into the batched LSTM kernels) fans its tasks
+//! out to the whole pool instead of running inline, and the scheduler stays
+//! deadlock-free without rayon's fixed-size-pool caveats — every waiting
+//! thread makes progress by executing someone's tasks, and the scope graph
+//! is acyclic.
+//!
+//! ## Determinism
+//!
+//! Scheduling order is nondeterministic, but every combinator lands results
+//! *by input index* (`par_iter().map().collect()` writes each span into its
+//! own slot; `par_chunks_mut` hands each chunk its position), so the values
+//! a parallel call produces are independent of thread count, steal order,
+//! and chunk boundaries. Callers that need bit-identical results across
+//! machines additionally keep each element's computation order fixed (see
+//! `netsyn_nn`'s kernel contracts).
+//!
+//! ## Pool size — `NETSYN_POOL_THREADS`
+//!
+//! The pool spawns `available_parallelism` workers by default. Setting
+//! `NETSYN_POOL_THREADS=N` (read once, at first use) forces exactly `N`
+//! workers regardless of the host — `N=1` disables the pool entirely (every
+//! parallel call runs inline on the caller), larger `N` oversubscribes a
+//! small host, which CI uses to exercise stealing, nesting and cache-race
+//! paths on 1-vCPU runners. [`current_num_threads`] reports the configured
+//! size, so kernel chunking adapts automatically.
+//!
+//! ## Panics
+//!
+//! A panic inside a parallel task is caught on the worker, and the **first**
+//! panic payload of the scope is re-raised on the calling thread with
+//! [`std::panic::resume_unwind`] once the scope completes — matching real
+//! rayon, and preserving the original payload (message/value) rather than
+//! replacing it with a generic secondary panic. Payloads of further panics
+//! in the same scope are dropped.
 //!
 //! Supported surface: `par_iter().map(..).collect()`, `par_iter().for_each`,
 //! `par_iter_mut().filter(..).for_each`, `par_chunks_mut(..).enumerate()
 //! .for_each`, and [`join`].
 
-use std::thread;
-
-/// Below this many items per would-be worker, parallel calls run inline.
+/// Below this many items per task, parallel calls run inline.
 pub const MIN_ITEMS_PER_THREAD: usize = 2;
 
-/// Number of worker threads a parallel call may use.
+/// How many stealable tasks a parallel call splits into, per pool thread.
+///
+/// Work stealing balances best when there are more tasks than threads:
+/// a thread that finishes its span early steals another instead of idling
+/// at the scope barrier. The factor is small enough that per-task queue
+/// round-trips stay negligible against the spans they carry.
+pub const TASKS_PER_THREAD: usize = 4;
+
+/// Number of worker threads in the pool (the `NETSYN_POOL_THREADS` override
+/// or `available_parallelism`). `1` means every parallel call runs inline.
 #[must_use]
 pub fn current_num_threads() -> usize {
-    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    pool::num_threads()
 }
 
-fn worker_count(items: usize) -> usize {
+fn task_count(items: usize) -> usize {
     if items < 2 * MIN_ITEMS_PER_THREAD {
         return 1;
     }
-    current_num_threads()
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return 1;
+    }
+    (threads * TASKS_PER_THREAD)
         .min(items / MIN_ITEMS_PER_THREAD)
         .max(1)
 }
 
-/// Splits `0..len` into `workers` near-equal contiguous spans.
-fn spans(len: usize, workers: usize) -> Vec<(usize, usize)> {
-    let base = len / workers;
-    let extra = len % workers;
-    let mut out = Vec::with_capacity(workers);
+/// Splits `0..len` into `tasks` near-equal contiguous spans.
+fn spans(len: usize, tasks: usize) -> Vec<(usize, usize)> {
+    let base = len / tasks;
+    let extra = len % tasks;
+    let mut out = Vec::with_capacity(tasks);
     let mut start = 0;
-    for w in 0..workers {
-        let size = base + usize::from(w < extra);
+    for t in 0..tasks {
+        let size = base + usize::from(t < extra);
         out.push((start, start + size));
         start += size;
     }
@@ -50,103 +108,300 @@ fn spans(len: usize, workers: usize) -> Vec<(usize, usize)> {
 }
 
 mod pool {
-    //! The shared worker pool behind every parallel call.
+    //! The work-stealing pool behind every parallel call (see the crate
+    //! docs for the design).
 
+    use std::any::Any;
     use std::cell::Cell;
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
     type Job = Box<dyn FnOnce() + Send + 'static>;
 
-    struct Pool {
-        sender: mpsc::Sender<Job>,
+    struct Shared {
+        /// `queues[0]` is the global injector; `queues[1 + w]` is worker
+        /// `w`'s deque. Owners push/pop the back (LIFO); stealers and the
+        /// injector pop the front (FIFO), taking the oldest — and with
+        /// span-splitting callers, typically coarsest — work first.
+        queues: Vec<Mutex<VecDeque<Job>>>,
+        /// Queued-but-not-yet-taken jobs; the cheap "is there anything to
+        /// do" signal checked before scanning queues or parking.
+        pending: AtomicUsize,
+        /// Parked workers, guarded by a mutex so a push can never race a
+        /// park decision (parkers re-check `pending` under this lock).
+        sleepers: Mutex<usize>,
+        wakeup: Condvar,
+        workers: usize,
     }
 
-    static POOL: OnceLock<Pool> = OnceLock::new();
+    /// `None` until first use; `None` forever when the pool is configured
+    /// to a single thread (all parallel calls run inline).
+    static POOL: OnceLock<Option<Arc<Shared>>> = OnceLock::new();
 
     thread_local! {
-        /// Set inside pool workers so nested parallel calls run inline
-        /// instead of deadlocking the fixed-size pool.
-        static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+        /// `Some(w)` on pool worker `w`: nested scopes push onto the local
+        /// deque and the local deque is popped LIFO first.
+        static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
     }
 
-    fn pool() -> &'static Pool {
+    fn configured_threads() -> usize {
+        let default =
+            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        match std::env::var("NETSYN_POOL_THREADS") {
+            Ok(value) => match value.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => default(),
+            },
+            Err(_) => default(),
+        }
+    }
+
+    pub(crate) fn num_threads() -> usize {
+        shared().map_or(1, |s| s.workers)
+    }
+
+    fn shared() -> Option<&'static Arc<Shared>> {
         POOL.get_or_init(|| {
-            let (sender, receiver) = mpsc::channel::<Job>();
-            let receiver = Arc::new(Mutex::new(receiver));
-            for worker in 0..super::current_num_threads() {
-                let receiver = Arc::clone(&receiver);
+            let workers = configured_threads();
+            if workers <= 1 {
+                return None;
+            }
+            let shared = Arc::new(Shared {
+                queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+                pending: AtomicUsize::new(0),
+                sleepers: Mutex::new(0),
+                wakeup: Condvar::new(),
+                workers,
+            });
+            for worker in 0..workers {
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rayon-shim-{worker}"))
-                    .spawn(move || {
-                        IS_POOL_WORKER.with(|flag| flag.set(true));
-                        loop {
-                            let job = {
-                                let guard = receiver.lock().expect("pool receiver lock");
-                                guard.recv()
-                            };
-                            match job {
-                                Ok(job) => job(),
-                                Err(_) => break,
-                            }
-                        }
-                    })
+                    .spawn(move || worker_loop(&shared, worker))
                     .expect("spawn rayon shim worker");
             }
-            Pool { sender }
+            Some(shared)
         })
+        .as_ref()
     }
 
-    /// Runs every task, using the pool when called from outside it, and
-    /// returns once all tasks have finished.
+    fn worker_loop(shared: &Shared, me: usize) {
+        WORKER.with(|w| w.set(Some(me)));
+        loop {
+            if let Some(job) = find_work(shared, Some(me)) {
+                job();
+            } else {
+                park(shared);
+            }
+        }
+    }
+
+    /// Parks until a job is pushed. The `pending` re-check under the
+    /// sleeper lock closes the race with `push_job`: a push either sees
+    /// this sleeper and notifies, or the parker sees the push's `pending`
+    /// increment and never sleeps.
+    fn park(shared: &Shared) {
+        let mut sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
+        if shared.pending.load(Ordering::SeqCst) > 0 {
+            return;
+        }
+        *sleepers += 1;
+        let mut sleepers = shared.wakeup.wait(sleepers).expect("rayon shim park");
+        *sleepers -= 1;
+    }
+
+    /// Takes one queued job: the local deque newest-first (when called from
+    /// a worker), then the injector, then every other worker's deque
+    /// oldest-first.
+    fn find_work(shared: &Shared, me: Option<usize>) -> Option<Job> {
+        if shared.pending.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        if let Some(w) = me {
+            if let Some(job) = take(shared, 1 + w, true) {
+                return Some(job);
+            }
+        }
+        if let Some(job) = take(shared, 0, false) {
+            return Some(job);
+        }
+        // Start the steal scan after our own slot so victims differ across
+        // workers instead of all hammering worker 0's deque.
+        let start = me.map_or(0, |w| w + 1);
+        for offset in 0..shared.workers {
+            let victim = (start + offset) % shared.workers;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = take(shared, 1 + victim, false) {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn take(shared: &Shared, queue: usize, newest_first: bool) -> Option<Job> {
+        let mut jobs = shared.queues[queue].lock().expect("rayon shim queue lock");
+        let job = if newest_first {
+            jobs.pop_back()
+        } else {
+            jobs.pop_front()
+        };
+        if job.is_some() {
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    /// Pushes a whole scope's jobs under one queue-lock acquisition and
+    /// wakes at most one sleeper per job in one pass — far cheaper than a
+    /// lock + notify round-trip per job when scopes carry many small tasks.
+    fn push_jobs(shared: &Shared, jobs: Vec<Job>) {
+        let count = jobs.len();
+        let queue = WORKER.with(Cell::get).map_or(0, |w| 1 + w);
+        {
+            let mut deque = shared.queues[queue].lock().expect("rayon shim queue lock");
+            deque.extend(jobs);
+            // Count the jobs *before* releasing the queue lock: a taker must
+            // hold this lock to pop, so no thread can ever pop a job that is
+            // not yet reflected in `pending` (which would transiently drive
+            // the counter through zero and let workers park on queued work).
+            shared.pending.fetch_add(count, Ordering::SeqCst);
+        }
+        let sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
+        let wake = count.min(*sleepers);
+        for _ in 0..wake {
+            shared.wakeup.notify_one();
+        }
+    }
+
+    /// Completion latch of one `run_scoped` call, carrying the first panic
+    /// payload of the scope.
+    struct ScopeLatch {
+        remaining: AtomicUsize,
+        panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    }
+
+    impl ScopeLatch {
+        fn new(tasks: usize) -> Self {
+            ScopeLatch {
+                remaining: AtomicUsize::new(tasks),
+                panic: Mutex::new(None),
+            }
+        }
+
+        /// Stores `payload` if it is the scope's first panic; later panics
+        /// in the same scope are dropped (matching rayon, which re-raises
+        /// one payload per scope).
+        fn record_panic(&self, payload: Box<dyn Any + Send + 'static>) {
+            let mut slot = self.panic.lock().expect("rayon shim panic slot");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+
+        /// Marks one task finished. When it is the scope's last, every
+        /// sleeper is woken: the scope's caller may be parked in the shared
+        /// sleeper pool (see `run_scoped`) and must observe completion.
+        fn complete_one(&self, shared: &Shared) {
+            if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
+                if *sleepers > 0 {
+                    shared.wakeup.notify_all();
+                }
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            self.remaining.load(Ordering::SeqCst) == 0
+        }
+
+        fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+            self.panic.lock().expect("rayon shim panic slot").take()
+        }
+    }
+
+    /// Runs every task on the pool and returns once all have finished. The
+    /// caller is a full scheduler participant: it executes queued tasks
+    /// (its own scope's first, via the local LIFO deque) while waiting, so
+    /// nested calls parallelize instead of running inline.
     ///
     /// # Panics
     ///
-    /// Panics if any task panicked (the panic does not kill pool workers).
+    /// If any task panicked, the first panic's payload is re-raised here
+    /// via [`resume_unwind`], after the whole scope has completed.
     pub fn run_scoped<'scope, F>(tasks: Vec<F>)
     where
         F: FnOnce() + Send + 'scope,
     {
-        if tasks.len() <= 1 || IS_POOL_WORKER.with(Cell::get) {
+        let Some(shared) = shared() else {
+            // Single-threaded pool: run inline; a panic unwinds with its
+            // original payload untouched.
+            for task in tasks {
+                task();
+            }
+            return;
+        };
+        if tasks.len() <= 1 {
             for task in tasks {
                 task();
             }
             return;
         }
-        let remaining = Arc::new((Mutex::new(tasks.len()), Condvar::new()));
-        let panicked = Arc::new(AtomicBool::new(false));
-        for task in tasks {
-            let remaining = Arc::clone(&remaining);
-            let panicked = Arc::clone(&panicked);
-            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
-                if catch_unwind(AssertUnwindSafe(task)).is_err() {
-                    panicked.store(true, Ordering::SeqCst);
-                }
-                let (count, condvar) = &*remaining;
-                let mut left = count.lock().expect("latch lock");
-                *left -= 1;
-                if *left == 0 {
-                    condvar.notify_all();
-                }
-            });
-            // SAFETY: this function blocks below until every queued job has
-            // run, so all borrows captured by the job ('scope) strictly
-            // outlive its execution; widening the lifetime to 'static never
-            // lets a job observe a dangling reference.
-            let job: Job = unsafe { std::mem::transmute(job) };
-            pool().sender.send(job).expect("rayon shim pool is alive");
+        let latch = Arc::new(ScopeLatch::new(tasks.len()));
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .map(|task| {
+                let latch = Arc::clone(&latch);
+                let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        latch.record_panic(payload);
+                    }
+                    latch.complete_one(shared);
+                });
+                // SAFETY: this function does not return until the scope
+                // latch reports every job finished, so all borrows captured
+                // by the job ('scope) strictly outlive its execution;
+                // widening the lifetime to 'static never lets a job observe
+                // a dangling reference. (Helping below only runs jobs, it
+                // never drops unexecuted ones.)
+                unsafe { std::mem::transmute::<_, Job>(job) }
+            })
+            .collect();
+        push_jobs(shared, jobs);
+        let me = WORKER.with(Cell::get);
+        loop {
+            if latch.is_done() {
+                break;
+            }
+            if let Some(job) = find_work(shared, me) {
+                // The job may belong to another scope; executing it is
+                // still sound (its own latch keeps its borrows alive) and
+                // keeps every waiting thread productive.
+                job();
+                continue;
+            }
+            // Nothing runnable right now and the scope is not finished:
+            // park in the *shared* sleeper pool, not on the latch alone. A
+            // task of this scope running elsewhere may spawn new jobs that
+            // only this thread is free to execute (every worker can be
+            // blocked inside a nested scope of its own), so the sleep must
+            // be interruptible by any push — `push_jobs` wakes sleepers,
+            // and `complete_one` wakes them when a scope finishes. The
+            // re-checks under the sleeper lock close both races.
+            let mut sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
+            if latch.is_done() || shared.pending.load(Ordering::SeqCst) > 0 {
+                continue;
+            }
+            *sleepers += 1;
+            let mut sleepers = shared.wakeup.wait(sleepers).expect("rayon shim latch park");
+            *sleepers -= 1;
         }
-        let (count, condvar) = &*remaining;
-        let mut left = count.lock().expect("latch lock");
-        while *left > 0 {
-            left = condvar.wait(left).expect("latch wait");
+        if let Some(payload) = latch.take_panic() {
+            resume_unwind(payload);
         }
-        drop(left);
-        assert!(
-            !panicked.load(Ordering::SeqCst),
-            "a rayon shim task panicked"
-        );
     }
 }
 
@@ -257,14 +512,14 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     {
         let items = self.items;
         let f = &self.f;
-        let workers = worker_count(items.len());
-        if workers == 1 {
+        let tasks = task_count(items.len());
+        if tasks == 1 {
             return items.iter().map(f).collect();
         }
-        let mut parts: Vec<Vec<R>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut parts: Vec<Vec<R>> = (0..tasks).map(|_| Vec::new()).collect();
         let tasks: Vec<_> = parts
             .iter_mut()
-            .zip(spans(items.len(), workers))
+            .zip(spans(items.len(), tasks))
             .map(|(part, (lo, hi))| move || *part = items[lo..hi].iter().map(f).collect())
             .collect();
         pool::run_scoped(tasks);
@@ -335,8 +590,8 @@ where
         let predicate = &self.predicate;
         let f = &f;
         let len = self.items.len();
-        let workers = worker_count(len);
-        if workers == 1 {
+        let tasks = task_count(len);
+        if tasks == 1 {
             for item in self.items.iter_mut() {
                 if predicate(&item) {
                     f(item);
@@ -345,11 +600,11 @@ where
             return;
         }
         let mut rest = self.items;
-        let mut tasks = Vec::with_capacity(workers);
-        for (lo, hi) in spans(len, workers) {
+        let mut jobs = Vec::with_capacity(tasks);
+        for (lo, hi) in spans(len, tasks) {
             let (span, tail) = rest.split_at_mut(hi - lo);
             rest = tail;
-            tasks.push(move || {
+            jobs.push(move || {
                 for item in span.iter_mut() {
                     if predicate(&item) {
                         f(item);
@@ -357,7 +612,7 @@ where
                 }
             });
         }
-        pool::run_scoped(tasks);
+        pool::run_scoped(jobs);
     }
 }
 
@@ -392,37 +647,27 @@ pub struct ParEnumeratedChunksMut<'a, T> {
 
 impl<'a, T: Send> ParEnumeratedChunksMut<'a, T> {
     /// Applies `f` to every `(index, chunk)` pair.
+    ///
+    /// Chunks are already caller-coarsened units of work (callers size them
+    /// for the pool, see `TASKS_PER_THREAD`), so each chunk becomes one
+    /// stealable task — the per-item minimum is not re-applied, and the
+    /// work-stealing scheduler balances uneven chunks across threads.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &mut [T])) + Sync,
     {
         let f = &f;
-        let chunk_count = self.chunks.len();
-        // Chunks are already caller-coarsened units of work (callers size
-        // them to one span per worker), so don't re-apply the per-item
-        // minimum — that would halve the worker count or serialize small
-        // chunk counts entirely.
-        let workers = current_num_threads().min(chunk_count).max(1);
-        if workers == 1 {
+        if current_num_threads() == 1 || self.chunks.len() <= 1 {
             for (i, chunk) in self.chunks.into_iter().enumerate() {
                 f((i, chunk));
             }
             return;
         }
-        let mut assignments: Vec<Vec<(usize, &mut [T])>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (i, chunk) in self.chunks.into_iter().enumerate() {
-            assignments[i % workers].push((i, chunk));
-        }
-        let tasks: Vec<_> = assignments
+        let tasks: Vec<_> = self
+            .chunks
             .into_iter()
-            .map(|batch| {
-                move || {
-                    for (i, chunk) in batch {
-                        f((i, chunk));
-                    }
-                }
-            })
+            .enumerate()
+            .map(|(i, chunk)| move || f((i, chunk)))
             .collect();
         pool::run_scoped(tasks);
     }
@@ -492,5 +737,192 @@ mod tests {
         let items = [1, 2];
         let sum: Vec<i32> = items.par_iter().map(|&x| x + 1).collect();
         assert_eq!(sum, vec![2, 3]);
+    }
+
+    #[test]
+    fn nested_parallel_calls_produce_correct_results() {
+        // A par_iter inside a par_iter inside a join: with work stealing the
+        // inner calls fan out to the pool (instead of running inline), and
+        // results still land by index at every level.
+        let outer: Vec<usize> = (0..64).collect();
+        let (left, right): (Vec<usize>, Vec<usize>) = join(
+            || {
+                outer
+                    .par_iter()
+                    .map(|&i| {
+                        let inner: Vec<usize> = (0..32).collect();
+                        let mapped: Vec<usize> = inner.par_iter().map(|&j| i * 32 + j).collect();
+                        mapped.iter().sum::<usize>()
+                    })
+                    .collect()
+            },
+            || {
+                outer
+                    .par_iter()
+                    .map(|&i| {
+                        let inner: Vec<usize> = (0..32).collect();
+                        let mapped: Vec<usize> = inner.par_iter().map(|&j| i * 32 + j).collect();
+                        mapped.into_iter().sum::<usize>()
+                    })
+                    .collect()
+            },
+        );
+        let expected: Vec<usize> = (0..64)
+            .map(|i| (0..32).map(|j| i * 32 + j).sum::<usize>())
+            .collect();
+        assert_eq!(left, expected);
+        assert_eq!(right, expected);
+    }
+
+    #[test]
+    fn deep_nesting_from_workers_does_not_deadlock() {
+        // Three levels of nesting with more tasks than pool threads at each
+        // level: every blocked caller must keep stealing for this to finish.
+        let level0: Vec<usize> = (0..16).collect();
+        let totals: Vec<usize> = level0
+            .par_iter()
+            .map(|&a| {
+                let level1: Vec<usize> = (0..16).collect();
+                let sums: Vec<usize> = level1
+                    .par_iter()
+                    .map(|&b| {
+                        let level2: Vec<usize> = (0..16).collect();
+                        let leaf: Vec<usize> = level2.par_iter().map(|&c| a + b + c).collect();
+                        leaf.into_iter().sum()
+                    })
+                    .collect();
+                sums.into_iter().sum()
+            })
+            .collect();
+        let expected: usize = (0..16)
+            .map(|a| {
+                (0..16)
+                    .map(|b| (0..16).map(|c| a + b + c).sum::<usize>())
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(totals.into_iter().sum::<usize>(), expected);
+    }
+
+    #[test]
+    fn nested_tasks_genuinely_overlap_in_time() {
+        // Structural proof of nested parallelism, independent of core count
+        // (the OS time-slices an oversubscribed pool): from inside a pooled
+        // outer scope, a nested `join` runs two closures that rendezvous —
+        // each signals it has started and waits until both have. The test
+        // can only finish if the sibling closure is picked up by *another*
+        // thread while the first blocks, which is exactly what the old
+        // shim's run-nested-calls-inline rule made impossible (it executed
+        // the halves one after the other on the same thread, so the first
+        // half waited on a sibling that could never start). At most one
+        // thread blocks in the rendezvous and every other task is pure
+        // compute, so with a pool of two or more workers some thread is
+        // always free to steal the queued sibling. Skipped on a 1-thread
+        // pool, where inline execution is the contract.
+        use std::sync::{Condvar, Mutex};
+        use std::time::Duration;
+        if current_num_threads() < 2 {
+            return;
+        }
+        let rendezvous = (Mutex::new(0usize), Condvar::new());
+        let meet = |(count, condvar): &(Mutex<usize>, Condvar)| {
+            let mut started = count.lock().unwrap();
+            *started += 1;
+            condvar.notify_all();
+            while *started < 2 {
+                let (guard, timeout) = condvar
+                    .wait_timeout(started, Duration::from_secs(30))
+                    .unwrap();
+                started = guard;
+                assert!(
+                    !timeout.timed_out(),
+                    "nested sibling task never started: the pool ran the \
+                     nested join inline instead of letting another thread \
+                     steal it"
+                );
+            }
+        };
+        let outer: Vec<usize> = (0..64).collect();
+        let sums: Vec<usize> = outer
+            .par_iter()
+            .map(|&i| {
+                if i == 0 {
+                    let (a, b) = join(|| meet(&rendezvous), || meet(&rendezvous));
+                    let ((), ()) = (a, b);
+                }
+                i * 2
+            })
+            .collect();
+        assert_eq!(sums, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "original worker panic payload 1234")]
+    fn worker_panic_payload_reaches_the_caller() {
+        // Regression test: the old shim reduced every task panic to a
+        // generic `assert!("a rayon shim task panicked")`, losing the
+        // original message. `should_panic(expected = ..)` matches against
+        // the re-raised payload, so this only passes if the payload string
+        // survives the pool round-trip via resume_unwind.
+        let items: Vec<usize> = (0..256).collect();
+        items.par_iter().for_each(|&i| {
+            if i == 97 {
+                panic!("original worker panic payload {}", 1234);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "nested panic payload survives")]
+    fn nested_scope_panic_payload_reaches_the_caller() {
+        let items: Vec<usize> = (0..64).collect();
+        items.par_iter().for_each(|&i| {
+            let inner: Vec<usize> = (0..64).collect();
+            inner.par_iter().for_each(|&j| {
+                if i == 31 && j == 62 {
+                    panic!("nested panic payload survives");
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_scope() {
+        // A panicking task must not kill pool workers or poison the
+        // scheduler: after catching the re-raised payload, the next
+        // parallel call works normally and visits every item.
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<usize> = (0..512).collect();
+            items.par_iter().for_each(|&i| {
+                if i == 200 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err());
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..512).collect();
+        items.par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 512);
+    }
+
+    #[test]
+    fn many_concurrent_external_scopes() {
+        // Hammer the pool from several non-worker threads at once: external
+        // callers push to the injector and help; totals must be exact.
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let items: Vec<usize> = (0..1000).collect();
+                    let mapped: Vec<usize> = items.par_iter().map(|&x| x + 1).collect();
+                    total.fetch_add(mapped.into_iter().sum(), Ordering::SeqCst);
+                });
+            }
+        });
+        let per_thread: usize = (0..1000).map(|x| x + 1).sum();
+        assert_eq!(total.load(Ordering::SeqCst), 8 * per_thread);
     }
 }

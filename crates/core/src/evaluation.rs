@@ -86,10 +86,19 @@ pub struct MethodEvaluation {
 /// trace-value encoding shards (`FitnessCache::trace_shard`): trace values
 /// encoded by any generation of any repetition are served from the memo in
 /// every later batched scoring call — including the DFS neighborhood
-/// search — instead of re-running the step encoder. (With the workspace's
-/// rayon shim, concurrent attempts contend on the shard maps only for
-/// lookups; scoring itself runs outside the locks and nested parallel calls
-/// execute inline.)
+/// search — instead of re-running the step encoder.
+///
+/// This fan-out is the workload the work-stealing pool is built for: the
+/// task×run attempts run genuinely concurrently (`NETSYN_POOL_THREADS`
+/// controls the pool; see the `rayon` shim docs), each attempt's batched
+/// scoring calls nest into the pooled NN kernels and parallelize instead of
+/// running inline, and repetitions of one task share their cache shard
+/// safely — under the striped `SpecScores` claim protocol, concurrent
+/// attempts wait for each other's bit-identical value rather than
+/// recompute it (duplicated scoring survives only in the rare
+/// stolen-job-on-a-claimant's-stack collision, where blocking could
+/// deadlock — see `netsyn_fitness::cache::resolve_score`), so results and
+/// per-run trajectories are independent of the thread count.
 #[must_use]
 pub fn evaluate_method(
     method: &MethodSpec<'_>,

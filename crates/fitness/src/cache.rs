@@ -21,77 +21,481 @@
 //!
 //! ## Concurrency
 //!
-//! The cache is `Sync`; shards are guarded by mutexes that are **not** held
-//! while scoring, so concurrent runs of the same task may race to score the
-//! same program — both compute the identical value and the second insert is
-//! a no-op. Note the workspace's rayon shim runs nested parallel calls
-//! inline on its single worker pool: concurrent harness attempts that share
-//! a shard contend only on short map lookups, never on network inference.
+//! The whole cache is `Sync` and designed for a real multi-thread pool (the
+//! workspace's rayon shim does work stealing, so the evaluation harness's
+//! task×run fan-out genuinely runs repetitions of one task concurrently,
+//! all sharing one shard):
+//!
+//! * **Striped locking** — a [`SpecScores`] shard spreads its entries over
+//!   [`STRIPE_COUNT`] independently locked stripes keyed by the program's
+//!   hash, so concurrent lookups/inserts of different programs rarely
+//!   contend. Batch operations ([`SpecScores::claim_many`],
+//!   [`SpecScores::publish_many`]) group programs by stripe and take each
+//!   stripe lock once. No lock is ever held while scoring.
+//! * **In-flight claims** — scoring the same program twice from two threads
+//!   is wasted network inference (and makes memo-hit counters
+//!   nondeterministic), so a shard tracks *in-flight* programs: a thread
+//!   that intends to score first [`claims`](SpecScores::claim_many) the
+//!   program. Exactly one thread wins the claim and scores; the others see
+//!   [`Claim::Pending`] and [`wait`](SpecScores::wait) for the published
+//!   value instead of recomputing it — with one deliberate exception: a
+//!   thread that itself holds claims never blocks (see [`resolve_score`])
+//!   and recomputes the bit-identical value instead, so the exactly-once
+//!   property is "always, except the rare stolen-job-on-a-claimant's-stack
+//!   collision", never a hard invariant. Publishing is
+//!   **first-write-wins**: a score, once cached, is never overwritten (all
+//!   writers would write the bit-identical value anyway).
+//! * **Panic safety** — a claimant that dies before publishing would leave
+//!   waiters hanging; [`ClaimGuard`] abandons unpublished claims on drop,
+//!   waking waiters, who then re-claim and score the program themselves
+//!   (see [`resolve_score`]).
 
 use crate::encoding::TraceEncodingCache;
 use netsyn_dsl::{IoSpec, Program};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
-/// Scores cached for one `(fitness, spec)` pair.
+/// Number of independently locked stripes in a [`SpecScores`] shard.
+/// A power of two so the stripe index is a mask of the hash.
+pub const STRIPE_COUNT: usize = 16;
+
+/// One cached entry: a published score, or a marker that some thread is
+/// currently computing it.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Done(f64),
+    InFlight,
+}
+
 #[derive(Debug, Default)]
+struct Stripe {
+    slots: Mutex<HashMap<Program, Slot>>,
+    /// Signalled whenever a score is published into — or an in-flight claim
+    /// is abandoned from — this stripe.
+    published: Condvar,
+}
+
+/// The result of claiming a program for scoring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Claim {
+    /// The score is already cached.
+    Hit(f64),
+    /// The caller now owns the claim: it must score the program and
+    /// [`publish`](SpecScores::publish) (or abandon) it.
+    Claimed,
+    /// Another thread holds the claim; [`SpecScores::wait`] for the value.
+    Pending,
+}
+
+/// Scores cached for one `(fitness, spec)` pair, striped for concurrent
+/// access (see the module docs).
+#[derive(Debug)]
 pub struct SpecScores {
-    scores: Mutex<HashMap<Program, f64>>,
+    stripes: Vec<Stripe>,
+}
+
+impl Default for SpecScores {
+    fn default() -> Self {
+        SpecScores {
+            stripes: (0..STRIPE_COUNT).map(|_| Stripe::default()).collect(),
+        }
+    }
+}
+
+fn stripe_index(program: &Program) -> usize {
+    let mut hasher = DefaultHasher::new();
+    program.hash(&mut hasher);
+    (hasher.finish() as usize) & (STRIPE_COUNT - 1)
 }
 
 impl SpecScores {
-    /// The cached score of `candidate`, if any.
+    fn stripe(&self, program: &Program) -> &Stripe {
+        &self.stripes[stripe_index(program)]
+    }
+
+    /// The cached score of `candidate`, if published.
     #[must_use]
     pub fn get(&self, candidate: &Program) -> Option<f64> {
-        self.scores
+        match self
+            .stripe(candidate)
+            .slots
             .lock()
             .expect("fitness cache poisoned")
             .get(candidate)
-            .copied()
+        {
+            Some(Slot::Done(score)) => Some(*score),
+            _ => None,
+        }
     }
 
-    /// Caches one score.
+    /// Caches one score (first write wins; a published score is never
+    /// overwritten, and any thread waiting on an in-flight claim for
+    /// `candidate` is woken).
     pub fn insert(&self, candidate: Program, score: f64) {
-        self.scores
+        let stripe = self.stripe(&candidate);
+        let mut slots = stripe.slots.lock().expect("fitness cache poisoned");
+        match slots.get(&candidate) {
+            Some(Slot::Done(_)) => {}
+            Some(Slot::InFlight) => {
+                slots.insert(candidate, Slot::Done(score));
+                stripe.published.notify_all();
+            }
+            None => {
+                slots.insert(candidate, Slot::Done(score));
+            }
+        }
+    }
+
+    /// Published scores for a whole batch, taking each stripe lock once.
+    #[must_use]
+    pub fn get_many(&self, programs: &[Program]) -> Vec<Option<f64>> {
+        let mut out = vec![None; programs.len()];
+        self.for_each_stripe(Notify::Nobody, programs, |slots, index| {
+            if let Some(Slot::Done(score)) = slots.get(&programs[index]) {
+                out[index] = Some(*score);
+            }
+        });
+        out
+    }
+
+    /// Claims a whole batch for scoring, taking each stripe lock once: for
+    /// each program, either its published score ([`Claim::Hit`]), ownership
+    /// of the scoring work ([`Claim::Claimed`] — the caller must publish or
+    /// abandon, see [`ClaimGuard`]), or [`Claim::Pending`] when another
+    /// thread already owns it.
+    #[must_use]
+    pub fn claim_many(&self, programs: &[Program]) -> Vec<Claim> {
+        let mut out = vec![Claim::Pending; programs.len()];
+        self.for_each_stripe(Notify::Nobody, programs, |slots, index| {
+            out[index] = match slots.get(&programs[index]) {
+                Some(Slot::Done(score)) => Claim::Hit(*score),
+                Some(Slot::InFlight) => Claim::Pending,
+                None => {
+                    slots.insert(programs[index].clone(), Slot::InFlight);
+                    Claim::Claimed
+                }
+            };
+        });
+        out
+    }
+
+    /// [`SpecScores::claim_many`] for a single program.
+    #[must_use]
+    pub fn claim(&self, program: &Program) -> Claim {
+        let mut slots = self
+            .stripe(program)
+            .slots
             .lock()
-            .expect("fitness cache poisoned")
-            .insert(candidate, score);
+            .expect("fitness cache poisoned");
+        match slots.get(program) {
+            Some(Slot::Done(score)) => Claim::Hit(*score),
+            Some(Slot::InFlight) => Claim::Pending,
+            None => {
+                slots.insert(program.clone(), Slot::InFlight);
+                Claim::Claimed
+            }
+        }
     }
 
-    /// Runs `body` with the underlying map locked — the GA engine uses this
-    /// to serve a whole population from one lock acquisition.
-    pub fn with_scores<R>(&self, body: impl FnOnce(&mut HashMap<Program, f64>) -> R) -> R {
-        body(&mut self.scores.lock().expect("fitness cache poisoned"))
+    /// Publishes one claimed score (equivalent to [`SpecScores::insert`]).
+    pub fn publish(&self, program: Program, score: f64) {
+        self.insert(program, score);
     }
 
-    /// Number of cached scores.
+    /// Publishes a batch of claimed scores, taking each stripe lock once
+    /// and waking every thread waiting on one of them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` is not exactly one value per program. This is a
+    /// hard assert (not `debug_assert`): silently truncating would leave
+    /// the unmatched programs `InFlight` forever with no owner, permanently
+    /// hanging any thread waiting on them — a panic instead trips the
+    /// caller's [`ClaimGuard`], which abandons the claims and wakes the
+    /// waiters.
+    pub fn publish_many(&self, programs: &[Program], scores: &[f64]) {
+        assert_eq!(
+            programs.len(),
+            scores.len(),
+            "publish_many requires one score per claimed program"
+        );
+        self.for_each_stripe(Notify::Waiters, programs, |slots, index| {
+            // The common case is flipping this thread's own InFlight claim:
+            // update the slot in place (no key clone). First write wins —
+            // never replace a published score.
+            if let Some(slot) = slots.get_mut(&programs[index]) {
+                if matches!(slot, Slot::InFlight) {
+                    *slot = Slot::Done(scores[index]);
+                }
+            } else {
+                slots.insert(programs[index].clone(), Slot::Done(scores[index]));
+            }
+        });
+    }
+
+    /// Drops the in-flight claims on `programs` that were never published,
+    /// waking waiters so they can re-claim (used on panic, see
+    /// [`ClaimGuard`]). Published entries are left untouched.
+    pub fn abandon_many(&self, programs: &[Program]) {
+        self.for_each_stripe(Notify::Waiters, programs, |slots, index| {
+            if let Some(Slot::InFlight) = slots.get(&programs[index]) {
+                slots.remove(&programs[index]);
+            }
+        });
+    }
+
+    /// Blocks until the in-flight claim on `program` resolves: `Some(score)`
+    /// once published, or `None` if the claim was abandoned (or never
+    /// existed) — the caller should then claim and score it itself.
+    #[must_use]
+    pub fn wait(&self, program: &Program) -> Option<f64> {
+        let stripe = self.stripe(program);
+        let mut slots = stripe.slots.lock().expect("fitness cache poisoned");
+        loop {
+            match slots.get(program) {
+                Some(Slot::Done(score)) => return Some(*score),
+                Some(Slot::InFlight) => {
+                    slots = stripe
+                        .published
+                        .wait(slots)
+                        .expect("fitness cache poisoned");
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Number of *published* scores (in-flight claims are not counted).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.scores.lock().expect("fitness cache poisoned").len()
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                stripe
+                    .slots
+                    .lock()
+                    .expect("fitness cache poisoned")
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Done(_)))
+                    .count()
+            })
+            .sum()
     }
 
-    /// Whether no scores are cached.
+    /// Whether no scores are published.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Runs `body` once per program index, grouped so each stripe's lock is
+    /// acquired at most once for the whole batch; with [`Notify::Waiters`]
+    /// every waiter of each touched stripe is woken afterwards
+    /// (publish/abandon paths).
+    fn for_each_stripe(
+        &self,
+        notify: Notify,
+        programs: &[Program],
+        mut body: impl FnMut(&mut HashMap<Program, Slot>, usize),
+    ) {
+        let mut by_stripe: Vec<Vec<usize>> = vec![Vec::new(); STRIPE_COUNT];
+        for (index, program) in programs.iter().enumerate() {
+            by_stripe[stripe_index(program)].push(index);
+        }
+        for (stripe, indices) in self.stripes.iter().zip(by_stripe) {
+            if indices.is_empty() {
+                continue;
+            }
+            {
+                let mut slots = stripe.slots.lock().expect("fitness cache poisoned");
+                for index in indices {
+                    body(&mut slots, index);
+                }
+            }
+            if notify == Notify::Waiters {
+                stripe.published.notify_all();
+            }
+        }
+    }
+}
+
+/// Whether a batched stripe sweep wakes each touched stripe's waiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Notify {
+    Nobody,
+    Waiters,
+}
+
+thread_local! {
+    /// Number of in-flight claims the current thread holds (armed
+    /// [`ClaimGuard`]s). Load-bearing for deadlock freedom: a thread that
+    /// holds claims must never *block* waiting on someone else's claim —
+    /// on the work-stealing pool, a claimant's scoring call enters the
+    /// pool's helping loop, which can execute a stolen sibling attempt on
+    /// the same stack; if that attempt blocked on a claim held by a frame
+    /// below it, the claimant could never resume to publish. Blocking only
+    /// when this counter is zero makes wait-for cycles impossible (every
+    /// blocked waiter holds nothing, and claimants always run to
+    /// completion), at the cost of an occasional duplicated — bit-identical
+    /// — score in exactly the stolen-job collision case.
+    static CLAIMS_HELD: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Panic-safe ownership of a batch of in-flight claims.
+///
+/// Holds the programs a thread has [`Claimed`](Claim::Claimed); on
+/// [`ClaimGuard::publish_scores`] the scores are published and the guard is
+/// disarmed. If the guard is dropped without publishing — the scoring call
+/// panicked — every still-unpublished claim is abandoned so waiting threads
+/// re-claim the programs instead of hanging forever. While armed, the guard
+/// marks the current thread as a claim holder (see `CLAIMS_HELD`).
+#[must_use]
+pub struct ClaimGuard<'a> {
+    scores: &'a SpecScores,
+    programs: &'a [Program],
+    armed: bool,
+}
+
+impl<'a> ClaimGuard<'a> {
+    /// Guards claims on `programs` (which the caller must have
+    /// successfully claimed) until published or dropped.
+    pub fn new(scores: &'a SpecScores, programs: &'a [Program]) -> Self {
+        CLAIMS_HELD.with(|held| held.set(held.get() + 1));
+        ClaimGuard {
+            scores,
+            programs,
+            armed: true,
+        }
+    }
+
+    /// Publishes one score per guarded program (in order) and disarms.
+    pub fn publish_scores(mut self, values: &[f64]) {
+        self.scores.publish_many(self.programs, values);
+        self.armed = false;
+        CLAIMS_HELD.with(|held| held.set(held.get() - 1));
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.scores.abandon_many(self.programs);
+            CLAIMS_HELD.with(|held| held.set(held.get() - 1));
+        }
+    }
+}
+
+/// Resolves one program's score through the shard's claim protocol: serve
+/// the published value, or win the claim and compute it with `score` (a
+/// panic abandons the claim), or — when another thread owns the claim —
+/// wait for its published value, re-claiming if the owner abandons.
+///
+/// At most one thread runs `score` for a given program per shard in every
+/// ordinary race. The single exception is deliberate: if the *current
+/// thread already holds claims* (it is a stolen pool job running on a
+/// claimant's stack), blocking could dead-lock on a claim held by a lower
+/// frame of this very stack, so the score is recomputed locally instead —
+/// bit-identical by the batched-scoring contract, and first-write-wins
+/// publication keeps one canonical entry.
+pub fn resolve_score(
+    scores: &SpecScores,
+    program: &Program,
+    score: impl Fn(&Program) -> f64,
+) -> f64 {
+    loop {
+        match scores.claim(program) {
+            Claim::Hit(value) => return value,
+            Claim::Claimed => {
+                let owned = std::slice::from_ref(program);
+                let guard = ClaimGuard::new(scores, owned);
+                let value = score(program);
+                guard.publish_scores(&[value]);
+                return value;
+            }
+            Claim::Pending => {
+                if CLAIMS_HELD.with(std::cell::Cell::get) > 0 {
+                    // Never block while holding claims (see CLAIMS_HELD):
+                    // compute the bit-identical value ourselves and publish
+                    // it first-write-wins, leaving the owner's claim alone.
+                    let value = score(program);
+                    scores.insert(program.clone(), value);
+                    return value;
+                }
+                if let Some(value) = scores.wait(program) {
+                    return value;
+                }
+                // The claimant abandoned (panicked); loop and re-claim.
+            }
+        }
+    }
+}
+
+/// Resolves a whole batch through the claim protocol — the shared engine of
+/// the GA's `evaluate_population` and the DFS neighborhood's
+/// `rank_neighbors` (one implementation, so protocol fixes cannot drift):
+/// programs with published scores are served as hits; the programs this
+/// call wins are scored with **one** `score_batch` invocation and published
+/// (a panic abandons the claims, see [`ClaimGuard`]); programs another
+/// thread is scoring are awaited via [`resolve_score`]. Scores land by
+/// input index, so the result is independent of scheduling.
+///
+/// `score_batch` must return one value per input program, in input order,
+/// bit-identical to per-program scoring (the workspace-wide contract).
+pub fn resolve_batch(
+    scores: &SpecScores,
+    programs: &[Program],
+    score_batch: impl Fn(&[Program]) -> Vec<f64>,
+) -> Vec<f64> {
+    let mut resolved: Vec<Option<f64>> = vec![None; programs.len()];
+    let claims = scores.claim_many(programs);
+    let mut to_score: Vec<usize> = Vec::new();
+    let mut awaited: Vec<usize> = Vec::new();
+    for (index, claim) in claims.into_iter().enumerate() {
+        match claim {
+            Claim::Hit(value) => resolved[index] = Some(value),
+            Claim::Claimed => to_score.push(index),
+            Claim::Pending => awaited.push(index),
+        }
+    }
+    if !to_score.is_empty() {
+        let batch: Vec<Program> = to_score.iter().map(|&i| programs[i].clone()).collect();
+        let guard = ClaimGuard::new(scores, &batch);
+        let fresh = score_batch(&batch);
+        debug_assert_eq!(fresh.len(), batch.len());
+        for (&index, &value) in to_score.iter().zip(fresh.iter()) {
+            resolved[index] = Some(value);
+        }
+        guard.publish_scores(&fresh);
+    }
+    for index in awaited {
+        resolved[index] = Some(resolve_score(scores, &programs[index], |program| {
+            score_batch(std::slice::from_ref(program))[0]
+        }));
+    }
+    resolved
+        .into_iter()
+        .map(|value| value.expect("every program resolved"))
+        .collect()
 }
 
 /// A shared, spec-keyed cache of fitness scores, living across `synthesize`
 /// calls (see the module docs).
 ///
-/// Shards are stored as a two-level map keyed by fitness key, then spec, so
-/// a lookup borrows both key components — the hot path (`shard` on an
-/// existing entry, hit once per `synthesize`) allocates nothing. The key
-/// `String` and `IoSpec` are cloned only when a new shard is inserted.
+/// Shards are stored as a two-level map keyed by fitness key, then spec,
+/// behind a read-write lock: the hot path (`shard` on an existing entry,
+/// hit once per `synthesize`) takes only the read lock and allocates
+/// nothing; the write lock is taken — and the key `String` / `IoSpec`
+/// cloned — only when a new shard is inserted.
 #[derive(Debug, Default)]
 pub struct FitnessCache {
-    shards: Mutex<HashMap<String, HashMap<IoSpec, Arc<SpecScores>>>>,
+    shards: RwLock<HashMap<String, HashMap<IoSpec, Arc<SpecScores>>>>,
     /// Trace-value encoding shards, keyed by fitness key alone: a trace
     /// value's encoding depends on the model's weights but *not* on the
     /// specification, so one shard serves every spec scored by the same
     /// fitness function.
-    traces: Mutex<HashMap<String, Arc<TraceEncodingCache>>>,
+    traces: RwLock<HashMap<String, Arc<TraceEncodingCache>>>,
 }
 
 impl FitnessCache {
@@ -111,7 +515,14 @@ impl FitnessCache {
     /// induce identical specs).
     #[must_use]
     pub fn shard(&self, fitness_key: &str, spec: &IoSpec) -> Arc<SpecScores> {
-        let mut shards = self.shards.lock().expect("fitness cache poisoned");
+        {
+            let shards = self.shards.read().expect("fitness cache poisoned");
+            if let Some(shard) = shards.get(fitness_key).and_then(|specs| specs.get(spec)) {
+                return Arc::clone(shard);
+            }
+        }
+        let mut shards = self.shards.write().expect("fitness cache poisoned");
+        // Double-check: another thread may have inserted between the locks.
         if let Some(shard) = shards.get(fitness_key).and_then(|specs| specs.get(spec)) {
             return Arc::clone(shard);
         }
@@ -135,7 +546,13 @@ impl FitnessCache {
     /// different tasks scored by one model share their recurring values.
     #[must_use]
     pub fn trace_shard(&self, fitness_key: &str) -> Arc<TraceEncodingCache> {
-        let mut traces = self.traces.lock().expect("fitness cache poisoned");
+        {
+            let traces = self.traces.read().expect("fitness cache poisoned");
+            if let Some(shard) = traces.get(fitness_key) {
+                return Arc::clone(shard);
+            }
+        }
+        let mut traces = self.traces.write().expect("fitness cache poisoned");
         if let Some(shard) = traces.get(fitness_key) {
             return Arc::clone(shard);
         }
@@ -148,7 +565,7 @@ impl FitnessCache {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards
-            .lock()
+            .read()
             .expect("fitness cache poisoned")
             .values()
             .map(HashMap::len)
@@ -160,6 +577,7 @@ impl FitnessCache {
 mod tests {
     use super::*;
     use netsyn_dsl::Function;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn spec(seed: i64) -> IoSpec {
         IoSpec::from_program(
@@ -251,9 +669,136 @@ mod tests {
             cache.shard("edit-distance", &spec(3)).get(&program),
             Some(0.25)
         );
-        shard.with_scores(|scores| {
-            scores.insert(Program::new(vec![Function::Sum]), 1.5);
-        });
+        shard.insert(Program::new(vec![Function::Sum]), 1.5);
         assert_eq!(shard.len(), 2);
+    }
+
+    #[test]
+    fn published_scores_are_first_write_wins() {
+        let scores = SpecScores::default();
+        let program = Program::new(vec![Function::Sort]);
+        scores.insert(program.clone(), 1.0);
+        scores.insert(program.clone(), 2.0);
+        assert_eq!(scores.get(&program), Some(1.0));
+        scores.publish_many(std::slice::from_ref(&program), &[3.0]);
+        assert_eq!(scores.get(&program), Some(1.0));
+    }
+
+    #[test]
+    fn claim_protocol_round_trip() {
+        let scores = SpecScores::default();
+        let programs: Vec<Program> = vec![
+            Program::new(vec![Function::Head]),
+            Program::new(vec![Function::Last]),
+            Program::new(vec![Function::Sum]),
+        ];
+        scores.insert(programs[0].clone(), 0.5);
+        let claims = scores.claim_many(&programs);
+        assert_eq!(claims[0], Claim::Hit(0.5));
+        assert_eq!(claims[1], Claim::Claimed);
+        assert_eq!(claims[2], Claim::Claimed);
+        // A second claimant sees the in-flight entries as pending.
+        assert_eq!(scores.claim(&programs[1]), Claim::Pending);
+        // In-flight claims are not published scores.
+        assert_eq!(scores.len(), 1);
+        assert_eq!(scores.get_many(&programs), vec![Some(0.5), None, None]);
+        scores.publish_many(&programs[1..], &[1.5, 2.5]);
+        assert_eq!(scores.len(), 3);
+        assert_eq!(
+            scores.get_many(&programs),
+            vec![Some(0.5), Some(1.5), Some(2.5)]
+        );
+        assert_eq!(scores.wait(&programs[2]), Some(2.5));
+    }
+
+    #[test]
+    fn abandoned_claims_unblock_waiters() {
+        let scores = SpecScores::default();
+        let program = Program::new(vec![Function::Reverse]);
+        assert_eq!(scores.claim(&program), Claim::Claimed);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| scores.wait(&program));
+            // Give the waiter a moment to block, then abandon the claim.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            scores.abandon_many(std::slice::from_ref(&program));
+            assert_eq!(waiter.join().expect("waiter survives"), None);
+        });
+        // The program is claimable again.
+        assert_eq!(scores.claim(&program), Claim::Claimed);
+    }
+
+    #[test]
+    fn dropped_claim_guard_abandons_unpublished_claims() {
+        let scores = SpecScores::default();
+        let programs = vec![
+            Program::new(vec![Function::Head]),
+            Program::new(vec![Function::Last]),
+        ];
+        let claims = scores.claim_many(&programs);
+        assert!(claims.iter().all(|c| *c == Claim::Claimed));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = ClaimGuard::new(&scores, &programs);
+            panic!("scoring failed");
+        }));
+        assert!(result.is_err());
+        // Both claims were abandoned: they can be claimed afresh.
+        assert_eq!(scores.claim(&programs[0]), Claim::Claimed);
+        assert_eq!(scores.claim(&programs[1]), Claim::Claimed);
+    }
+
+    /// The satellite regression test: hammer one shard from N threads that
+    /// all try to score the same batch of programs through the claim
+    /// protocol. Every program must be scored by exactly one thread, and
+    /// every thread must observe the same published values. (Exactly-once
+    /// is deterministic here because these are plain threads holding no
+    /// other claims while they wait — the `resolve_score` no-block
+    /// recompute escape never triggers.)
+    #[test]
+    fn n_threads_never_score_the_same_program_twice() {
+        const THREADS: usize = 8;
+        let programs: Vec<Program> = Function::ALL
+            .iter()
+            .flat_map(|&a| {
+                Function::ALL[..4]
+                    .iter()
+                    .map(move |&b| Program::new(vec![a, b]))
+            })
+            .collect();
+        let scores = SpecScores::default();
+        let score_calls: Vec<AtomicUsize> =
+            (0..programs.len()).map(|_| AtomicUsize::new(0)).collect();
+        let fake_score = |index: usize| (index as f64) * 0.25 + 1.0;
+        std::thread::scope(|scope| {
+            for thread in 0..THREADS {
+                let programs = &programs;
+                let scores = &scores;
+                let score_calls = &score_calls;
+                scope.spawn(move || {
+                    // Each thread walks the batch from a different offset so
+                    // claims genuinely interleave.
+                    let observed: Vec<f64> = (0..programs.len())
+                        .map(|i| {
+                            let index = (i + thread * 7) % programs.len();
+                            resolve_score(scores, &programs[index], |_| {
+                                score_calls[index].fetch_add(1, Ordering::SeqCst);
+                                fake_score(index)
+                            })
+                        })
+                        .collect();
+                    for (i, value) in observed.iter().enumerate() {
+                        let index = (i + thread * 7) % programs.len();
+                        assert_eq!(*value, fake_score(index));
+                    }
+                });
+            }
+        });
+        for (index, calls) in score_calls.iter().enumerate() {
+            assert_eq!(
+                calls.load(Ordering::SeqCst),
+                1,
+                "program {index} must be scored exactly once across {THREADS} threads"
+            );
+        }
+        assert_eq!(scores.len(), programs.len());
     }
 }

@@ -357,15 +357,42 @@ impl Deserialize for SpecEncodingCache {
 /// trainer updating weights must start a fresh cache). Like
 /// [`SpecEncodingCache`], the memo is pure derived state: `Clone` starts
 /// cold, `PartialEq` ignores it, serialization stores nothing.
-#[derive(Debug, Default)]
+///
+/// ## Concurrency
+///
+/// Entries are spread over independently locked stripes keyed by the token
+/// sequence's hash, so concurrent batched scoring calls (the evaluation
+/// harness's task×run fan-out on the work-stealing pool) contend only when
+/// they touch the same stripe at the same instant — never for the duration
+/// of a whole batch, and never while the step encoder runs. Publishing is
+/// first-write-wins: the first hidden state stored for a token sequence is
+/// the one every later batch reads (all writers would store bit-identical
+/// values; keeping one makes the shared `Arc` handles stable), so racing
+/// encoders waste at most one redundant forward, they never disagree.
+#[derive(Debug)]
 pub struct TraceEncodingCache {
-    slots: Mutex<TraceSlots>,
+    stripes: Vec<Mutex<TraceSlots>>,
     encodes: AtomicUsize,
 }
 
-/// The cache's storage: trace-value token sequence → step-encoder final
+/// Number of independently locked stripes (a power of two, so the stripe
+/// index is a mask of the key hash).
+const TRACE_STRIPES: usize = 16;
+
+/// One stripe's storage: trace-value token sequence → step-encoder final
 /// hidden state (shared zero-copy with every batch that reads it).
 pub(crate) type TraceSlots = FxHashMap<Box<[usize]>, Arc<[f32]>>;
+
+impl Default for TraceEncodingCache {
+    fn default() -> Self {
+        TraceEncodingCache {
+            stripes: (0..TRACE_STRIPES)
+                .map(|_| Mutex::new(TraceSlots::default()))
+                .collect(),
+            encodes: AtomicUsize::new(0),
+        }
+    }
+}
 
 impl TraceEncodingCache {
     /// Creates an empty cache.
@@ -374,10 +401,20 @@ impl TraceEncodingCache {
         TraceEncodingCache::default()
     }
 
+    fn stripe_of(tokens: &[usize]) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        tokens.hash(&mut hasher);
+        (hasher.finish() as usize) & (TRACE_STRIPES - 1)
+    }
+
     /// Number of distinct trace-value token sequences cached.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("trace cache poisoned").len()
+        self.stripes
+            .iter()
+            .map(|stripe| stripe.lock().expect("trace cache poisoned").len())
+            .sum()
     }
 
     /// Whether no encodings are cached.
@@ -393,12 +430,53 @@ impl TraceEncodingCache {
         self.encodes.load(Ordering::Relaxed)
     }
 
-    /// Runs `body` with the underlying map locked; `FitnessNet`'s batched
-    /// forward serves a whole batch's lookups (and later its inserts) from
-    /// one lock acquisition, and releases the lock while the step encoder
-    /// runs.
-    pub(crate) fn with_slots<R>(&self, body: impl FnOnce(&mut TraceSlots) -> R) -> R {
-        body(&mut self.slots.lock().expect("trace cache poisoned"))
+    /// Cached hidden states for a whole batch of token sequences, taking
+    /// each stripe lock at most once. Slot `i` of the result corresponds to
+    /// `keys[i]`.
+    pub(crate) fn get_many(&self, keys: &[&[usize]]) -> Vec<Option<Arc<[f32]>>> {
+        let mut out = vec![None; keys.len()];
+        let mut by_stripe: Vec<Vec<usize>> = vec![Vec::new(); TRACE_STRIPES];
+        for (index, key) in keys.iter().enumerate() {
+            by_stripe[Self::stripe_of(key)].push(index);
+        }
+        for (stripe, indices) in self.stripes.iter().zip(by_stripe) {
+            if indices.is_empty() {
+                continue;
+            }
+            let slots = stripe.lock().expect("trace cache poisoned");
+            for index in indices {
+                out[index] = slots.get(keys[index]).map(Arc::clone);
+            }
+        }
+        out
+    }
+
+    /// Publishes freshly computed hidden states, first-write-wins, taking
+    /// each stripe lock at most once. Returns the *canonical* hidden state
+    /// per key — the stored one if another thread published first — in
+    /// input order, so callers always consume the shared buffer.
+    pub(crate) fn publish_many(&self, entries: Vec<(&[usize], Arc<[f32]>)>) -> Vec<Arc<[f32]>> {
+        let mut out: Vec<Option<Arc<[f32]>>> = vec![None; entries.len()];
+        let mut by_stripe: Vec<Vec<usize>> = vec![Vec::new(); TRACE_STRIPES];
+        for (index, (key, _)) in entries.iter().enumerate() {
+            by_stripe[Self::stripe_of(key)].push(index);
+        }
+        for (stripe, indices) in self.stripes.iter().zip(by_stripe) {
+            if indices.is_empty() {
+                continue;
+            }
+            let mut slots = stripe.lock().expect("trace cache poisoned");
+            for index in indices {
+                let (key, hidden) = &entries[index];
+                let canonical = slots
+                    .entry((*key).into())
+                    .or_insert_with(|| Arc::clone(hidden));
+                out[index] = Some(Arc::clone(canonical));
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every entry published"))
+            .collect()
     }
 
     /// Records `n` step-encoder runs (cache misses).
@@ -639,20 +717,23 @@ mod tests {
         let cache = TraceEncodingCache::new();
         assert!(cache.is_empty());
         assert_eq!(cache.encode_count(), 0);
-        let tokens: Box<[usize]> = vec![1, 2, 3].into();
+        let tokens: Vec<usize> = vec![1, 2, 3];
         let hidden: Arc<[f32]> = vec![0.5, -0.5].into();
-        cache.with_slots(|slots| {
-            assert!(slots.get(&tokens[..]).is_none());
-            slots.insert(tokens.clone(), Arc::clone(&hidden));
-        });
+        assert_eq!(cache.get_many(&[&tokens[..]]), vec![None]);
+        let stored = cache.publish_many(vec![(&tokens[..], Arc::clone(&hidden))]);
+        assert!(Arc::ptr_eq(&stored[0], &hidden));
         cache.record_encodes(1);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.encode_count(), 1);
         // A hit returns the very same buffer.
-        cache.with_slots(|slots| {
-            let hit = slots.get(&[1usize, 2, 3][..]).expect("cached");
-            assert!(Arc::ptr_eq(hit, &hidden));
-        });
+        let hit = cache.get_many(&[&[1usize, 2, 3][..]]);
+        assert!(Arc::ptr_eq(hit[0].as_ref().expect("cached"), &hidden));
+        // Publishing again is first-write-wins: the original buffer is the
+        // canonical one handed back to the racing publisher.
+        let racer: Arc<[f32]> = vec![0.5, -0.5].into();
+        let canonical = cache.publish_many(vec![(&tokens[..], racer)]);
+        assert!(Arc::ptr_eq(&canonical[0], &hidden));
+        assert_eq!(cache.len(), 1);
         // Clones start cold; equality and serialization ignore the state.
         let clone = cache.clone();
         assert!(clone.is_empty());

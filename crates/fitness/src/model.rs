@@ -339,30 +339,31 @@ impl FitnessNet {
                     })
             })
             .collect();
-        // Serve values the cache has already encoded; run the step encoder
-        // only over the misses (outside the lock), then publish the fresh
-        // hidden states for future batches.
-        let mut step_hidden: Vec<Option<Arc<[f32]>>> = vec![None; step_unique.len()];
-        let mut missing: Vec<usize> = Vec::new();
-        trace_cache.with_slots(|slots| {
-            for (index, tokens) in step_unique.iter().enumerate() {
-                match slots.get(*tokens) {
-                    Some(hidden) => step_hidden[index] = Some(Arc::clone(hidden)),
-                    None => missing.push(index),
-                }
-            }
-        });
+        // Serve values the cache has already encoded (striped lookups, one
+        // lock per touched stripe); run the step encoder only over the
+        // misses — outside any lock — then publish the fresh hidden states
+        // for future batches. Publication is first-write-wins, so if a
+        // concurrent batch encoded the same value we consume the canonical
+        // stored buffer (bit-identical either way).
+        let mut step_hidden: Vec<Option<Arc<[f32]>>> = trace_cache.get_many(&step_unique);
+        let missing: Vec<usize> = step_hidden
+            .iter()
+            .enumerate()
+            .filter_map(|(index, slot)| slot.is_none().then_some(index))
+            .collect();
         if !missing.is_empty() {
             let miss_tokens: Vec<&[usize]> = missing.iter().map(|&i| step_unique[i]).collect();
             let computed = self.step_encoder.forward_batch(&miss_tokens)?;
             trace_cache.record_encodes(missing.len());
-            trace_cache.with_slots(|slots| {
-                for (&index, hidden) in missing.iter().zip(computed) {
-                    let hidden: Arc<[f32]> = hidden.into();
-                    slots.insert(step_unique[index].into(), Arc::clone(&hidden));
-                    step_hidden[index] = Some(hidden);
-                }
-            });
+            let entries: Vec<(&[usize], Arc<[f32]>)> = missing
+                .iter()
+                .zip(computed)
+                .map(|(&index, hidden)| (step_unique[index], Arc::<[f32]>::from(hidden)))
+                .collect();
+            let canonical = trace_cache.publish_many(entries);
+            for (&index, hidden) in missing.iter().zip(canonical) {
+                step_hidden[index] = Some(hidden);
+            }
         }
 
         // Stage 3: one (function embedding ‖ step encoding) sequence per

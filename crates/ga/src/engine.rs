@@ -13,11 +13,11 @@ use crate::saturation::SaturationDetector;
 use crate::selection;
 use netsyn_dsl::dce::has_dead_code;
 use netsyn_dsl::{Function, IoSpec, Program, Type};
-use netsyn_fitness::cache::SpecScores;
+use netsyn_fitness::cache::{resolve_batch, SpecScores};
 use netsyn_fitness::{FitnessCache, FitnessFunction, ProbabilityMap, TraceEncodingCache};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 /// Result of one synthesis attempt.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -282,9 +282,21 @@ impl GeneticEngine {
     /// [`FitnessFunction::score_batch_cached`] call (reusing the trace-value
     /// encodings memoized in `traces`), so a learned fitness runs one
     /// batched network pass per generation instead of one forward pass per
-    /// gene. The shard lock is released while scoring: concurrent runs of
-    /// the same task may race to score a program, but both compute the
-    /// bit-identical value, so the duplicate insert is harmless.
+    /// gene. Scores land by candidate index, independent of scheduling:
+    /// each distinct program resolves to exactly one `f64`, and genes are
+    /// filled from those per-index slots, so the ranking — and the whole
+    /// trajectory — is identical however many threads the pool runs.
+    ///
+    /// No shard lock is held while scoring, and concurrent runs of the same
+    /// task avoid scoring the same program twice: this run *claims* its
+    /// unscored programs first (`SpecScores::claim_many`); programs another
+    /// run is already scoring are awaited instead of recomputed (except in
+    /// the rare no-block recompute escape documented on
+    /// `netsyn_fitness::cache::resolve_score`), and a claimant that panics
+    /// abandons its claims so waiters re-claim rather than hang. Cached,
+    /// awaited and freshly computed scores are all bit-identical by the
+    /// batched-scoring contract, so the trajectory is unaffected either
+    /// way. See [`netsyn_fitness::cache::resolve_batch`].
     fn evaluate_population<F>(
         population: &mut Population,
         fitness: &F,
@@ -294,33 +306,25 @@ impl GeneticEngine {
     ) where
         F: FitnessFunction + ?Sized,
     {
-        let mut unscored: Vec<Program> = Vec::new();
-        let mut pending: HashSet<Program> = HashSet::new();
-        memo.with_scores(|scores| {
-            for gene in population.genes_mut().iter_mut() {
-                if gene.fitness.is_some() {
-                    continue;
-                }
-                if let Some(&score) = scores.get(&gene.program) {
-                    gene.fitness = Some(score);
-                } else if pending.insert(gene.program.clone()) {
-                    unscored.push(gene.program.clone());
-                }
+        // Distinct programs still needing a score, in first-seen order.
+        let mut needed: Vec<Program> = Vec::new();
+        let mut index_of: HashMap<Program, usize> = HashMap::new();
+        for gene in population.genes() {
+            if gene.fitness.is_none() && !index_of.contains_key(&gene.program) {
+                index_of.insert(gene.program.clone(), needed.len());
+                needed.push(gene.program.clone());
             }
+        }
+        if needed.is_empty() {
+            return;
+        }
+        let resolved = resolve_batch(memo, &needed, |batch| {
+            fitness.score_batch_cached(batch, spec, traces)
         });
-        if !unscored.is_empty() {
-            let new_scores = fitness.score_batch_cached(&unscored, spec, traces);
-            debug_assert_eq!(new_scores.len(), unscored.len());
-            memo.with_scores(|scores| {
-                for (program, score) in unscored.into_iter().zip(new_scores) {
-                    scores.insert(program, score);
-                }
-                for gene in population.genes_mut().iter_mut() {
-                    if gene.fitness.is_none() {
-                        gene.fitness = scores.get(&gene.program).copied();
-                    }
-                }
-            });
+        for gene in population.genes_mut().iter_mut() {
+            if gene.fitness.is_none() {
+                gene.fitness = Some(resolved[index_of[&gene.program]]);
+            }
         }
     }
 

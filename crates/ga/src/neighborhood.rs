@@ -9,7 +9,7 @@
 use crate::budget::SearchBudget;
 use crate::config::NeighborhoodStrategy;
 use netsyn_dsl::{Function, IoSpec, Program};
-use netsyn_fitness::cache::SpecScores;
+use netsyn_fitness::cache::{resolve_batch, SpecScores};
 use netsyn_fitness::{FitnessFunction, TraceEncodingCache};
 
 /// Outcome of one neighborhood-search invocation.
@@ -177,9 +177,17 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
 
 /// Scores a position's neighborhood through the shared fitness memo: cached
 /// neighbors are served without a network pass, the rest go through one
-/// [`FitnessFunction::score_batch_cached`] call and are inserted for future
+/// [`FitnessFunction::score_batch_cached`] call and are published for future
 /// saturation events and runs. All neighbors of a position are distinct
 /// programs, so the batch needs no internal dedup.
+///
+/// Scores land by neighbor index whatever thread computed them, so the
+/// ranking below is thread-count-independent. Under the claim protocol
+/// ([`netsyn_fitness::cache::resolve_batch`]) concurrent runs sharing the
+/// shard avoid scoring the same neighbor twice: losers of a claim race
+/// wait for the winner's bit-identical value (re-claiming if the winner
+/// panicked and abandoned; recomputing locally only in the no-block escape
+/// documented on `resolve_score`).
 fn rank_neighbors<F: FitnessFunction + ?Sized>(
     neighbors: &[Program],
     spec: &IoSpec,
@@ -187,31 +195,9 @@ fn rank_neighbors<F: FitnessFunction + ?Sized>(
     memo: &SpecScores,
     traces: &TraceEncodingCache,
 ) -> Vec<f64> {
-    let mut scores: Vec<Option<f64>> = vec![None; neighbors.len()];
-    let mut missing: Vec<usize> = Vec::new();
-    memo.with_scores(|cached| {
-        for (index, neighbor) in neighbors.iter().enumerate() {
-            match cached.get(neighbor) {
-                Some(&score) => scores[index] = Some(score),
-                None => missing.push(index),
-            }
-        }
-    });
-    if !missing.is_empty() {
-        let unscored: Vec<Program> = missing.iter().map(|&i| neighbors[i].clone()).collect();
-        let fresh = fitness.score_batch_cached(&unscored, spec, traces);
-        debug_assert_eq!(fresh.len(), unscored.len());
-        memo.with_scores(|cached| {
-            for ((&index, program), score) in missing.iter().zip(unscored).zip(fresh) {
-                cached.insert(program, score);
-                scores[index] = Some(score);
-            }
-        });
-    }
-    scores
-        .into_iter()
-        .map(|score| score.expect("every neighbor scored"))
-        .collect()
+    resolve_batch(memo, neighbors, |batch| {
+        fitness.score_batch_cached(batch, spec, traces)
+    })
 }
 
 #[cfg(test)]

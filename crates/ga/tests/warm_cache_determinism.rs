@@ -12,6 +12,13 @@
 //!
 //! CI runs this file under both `NETSYN_SIMD` modes, so the guarantee holds
 //! on the vectorized and the scalar kernels alike.
+//!
+//! The thread-count determinism matrix extends the contract to the
+//! work-stealing pool: the serialized `GaOutcome` must be byte-identical
+//! for `NETSYN_POOL_THREADS ∈ {1, 2, 8}` × `NETSYN_SIMD ∈ {0, 1}`. The
+//! pool size is fixed at first use per process, so the matrix re-runs this
+//! test binary as a subprocess per cell (see
+//! `ga_outcome_bytes_identical_across_thread_counts_and_simd_modes`).
 
 use netsyn_dsl::{Function, IntPredicate, IoSpec, MapOp, Program, Value};
 use netsyn_fitness::dataset::{generate_dataset, BalanceMetric, DatasetConfig};
@@ -155,4 +162,95 @@ fn warm_trace_shard_reduces_encoding_work_across_different_runs() {
     let _ = run(&fitness, &shared_again, 5);
     let warm_outcome = run(&fitness, &shared_again, 6);
     assert_eq!(warm_outcome, cold_outcome);
+}
+
+/// Marker prefix the matrix parent greps out of the child's stdout.
+const OUTCOME_MARKER: &str = "GA_OUTCOME_BYTES:";
+
+/// Subprocess entry point of the thread-count matrix: under
+/// `NETSYN_DETERMINISM_CHILD=1` (set only by the parent test below) this
+/// runs a cold synthesis plus a warm repeat on a shared cache — so the
+/// claim/publish scoring path, the striped trace shard and the DFS
+/// neighborhood memo are all exercised under whatever pool the environment
+/// configured — and prints the serialized cold outcome. In a normal test
+/// run (env unset) it is a no-op.
+#[test]
+fn determinism_matrix_child_emits_outcome() {
+    if std::env::var("NETSYN_DETERMINISM_CHILD").is_err() {
+        return;
+    }
+    let fitness = trained_fitness();
+    let shared = FitnessCache::new();
+    let cold = run(&fitness, &shared, 5);
+    let warm = run(&fitness, &shared, 5);
+    assert_eq!(warm, cold, "warm repeat must match under this pool size");
+    println!(
+        "{OUTCOME_MARKER}{}",
+        serde_json::to_string(&cold).expect("outcome serializes")
+    );
+}
+
+/// The satellite determinism matrix: byte-identical serialized [`GaOutcome`]
+/// for `NETSYN_POOL_THREADS=1,2,8` × `NETSYN_SIMD=0,1`.
+///
+/// Thread-count independence holds because every parallel reduction lands
+/// scores by candidate index and every kernel keeps a fixed per-element op
+/// order; SIMD-mode independence holds by the PR-3 bitwise-libm contract.
+/// Each cell runs in a subprocess because the pool size and kernel family
+/// are fixed at first use per process.
+#[test]
+fn ga_outcome_bytes_identical_across_thread_counts_and_simd_modes() {
+    // The matrix pins NETSYN_POOL_THREADS and NETSYN_SIMD explicitly in
+    // every child, so its coverage is identical whatever the parent's
+    // environment; CI sets this variable in its re-run-the-suite-under-
+    // forced-env steps so the six subprocesses execute once per CI pass,
+    // not once per step.
+    if std::env::var("NETSYN_SKIP_DETERMINISM_MATRIX").is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut outcomes: Vec<(String, String)> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        for simd in ["0", "1"] {
+            let output = std::process::Command::new(&exe)
+                .args([
+                    "--exact",
+                    "determinism_matrix_child_emits_outcome",
+                    "--nocapture",
+                    "--test-threads=1",
+                ])
+                .env("NETSYN_DETERMINISM_CHILD", "1")
+                .env("NETSYN_POOL_THREADS", threads)
+                .env("NETSYN_SIMD", simd)
+                .output()
+                .expect("spawn matrix child");
+            assert!(
+                output.status.success(),
+                "matrix child (threads={threads}, simd={simd}) failed:\n{}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            let stdout = String::from_utf8(output.stdout).expect("child stdout is utf-8");
+            // The marker may share its line with libtest's "test name ..."
+            // prefix (printed without a newline under --nocapture), so split
+            // on the marker rather than expecting it at line start.
+            let bytes = stdout
+                .lines()
+                .find_map(|line| {
+                    line.find(OUTCOME_MARKER)
+                        .map(|at| line[at + OUTCOME_MARKER.len()..].to_string())
+                })
+                .unwrap_or_else(|| {
+                    panic!("child (threads={threads}, simd={simd}) printed no outcome:\n{stdout}")
+                });
+            outcomes.push((format!("threads={threads} simd={simd}"), bytes));
+        }
+    }
+    let (ref baseline_cell, ref baseline) = outcomes[0];
+    for (cell, bytes) in &outcomes[1..] {
+        assert_eq!(
+            bytes, baseline,
+            "serialized GaOutcome must be byte-identical across the pool/kernel \
+             matrix ({cell} differs from {baseline_cell})"
+        );
+    }
 }

@@ -277,14 +277,19 @@ impl Lstm {
         let bias = self.bias.value.row(0);
         // The sigmoid/tanh evaluations dominate large batches; spread
         // rows over the worker pool once the batch is big enough to
-        // amortize the dispatch.
+        // amortize the dispatch. Chunks are over-decomposed (more chunks
+        // than pool threads) so the work-stealing scheduler balances them;
+        // each row's gate expressions run in a fixed order, so the split is
+        // bit-identity-preserving whatever thread takes which chunk.
         const GATE_PAR_THRESHOLD: usize = 1 << 13;
-        let workers = if active * h_dim >= GATE_PAR_THRESHOLD {
-            rayon::current_num_threads().min(active).max(1)
+        let tasks = if active * h_dim >= GATE_PAR_THRESHOLD {
+            (rayon::current_num_threads() * rayon::TASKS_PER_THREAD)
+                .min(active)
+                .max(1)
         } else {
             1
         };
-        if workers <= 1 {
+        if tasks <= 1 {
             // Single-worker fast path: both sweeps per row while its gate
             // rows are hot.
             for slot in 0..active {
@@ -295,7 +300,7 @@ impl Lstm {
             }
             return;
         }
-        let rows_per_chunk = active.div_ceil(workers.max(1)).max(1);
+        let rows_per_chunk = active.div_ceil(tasks).max(1);
         {
             use rayon::prelude::ParallelSliceMut;
             c_mat

@@ -3,8 +3,117 @@
 
 use crate::tensor::Matrix;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Lock-free published handle to the memoized transpose.
+///
+/// The hot read path ([`Param::transposed`] on a warm memo — once per layer
+/// per time step in the batched forward passes, from every scoring thread
+/// at once) must not serialize readers on a mutex. This cell publishes the
+/// transpose as a raw pointer obtained from [`Arc::into_raw`]; readers take
+/// a snapshot with two atomic ops and an `Arc` refcount increment, never
+/// blocking and never observing a torn matrix (the pointer swap is atomic
+/// and the pointee is immutable once published).
+///
+/// Reclamation uses a reader count as a hazard: a reader increments
+/// `readers` *before* loading the pointer and decrements after upgrading it
+/// to a real `Arc`. A writer retiring an old pointer first unpublishes it
+/// (swap), then spins until `readers` reaches zero before dropping its
+/// refcount — any reader that loaded the old pointer is inside that window,
+/// so the backing allocation outlives every dereference. All orderings are
+/// `SeqCst` so the reader's increment is globally visible before its
+/// pointer load: if the writer's drain sees zero readers, every later
+/// reader's load sees the swapped (null/new) pointer. Writers (publish,
+/// invalidate) additionally serialize on `writer`, and `generation` arms
+/// the publish path against an invalidate racing in between a cache miss
+/// and its recompute (see [`Param::transposed`]).
+#[derive(Debug)]
+struct TransposeCell {
+    /// `Arc::into_raw` of the published transpose; null when invalidated.
+    /// The cell owns one strong count for a non-null pointer.
+    published: AtomicPtr<Matrix>,
+    /// Readers currently between their increment and decrement (see above).
+    readers: AtomicUsize,
+    /// Bumped by every invalidation; publishing re-checks it so a stale
+    /// recompute can never resurrect a transpose across an invalidation.
+    generation: AtomicU64,
+    /// Serializes publishers and invalidators (never held by readers).
+    writer: Mutex<()>,
+}
+
+impl TransposeCell {
+    fn new() -> Self {
+        TransposeCell {
+            published: AtomicPtr::new(ptr::null_mut()),
+            readers: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Lock-free snapshot of the published transpose.
+    fn get(&self) -> Option<Arc<Matrix>> {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let raw = self.published.load(Ordering::SeqCst);
+        let snapshot = if raw.is_null() {
+            None
+        } else {
+            // SAFETY: `raw` came from `Arc::into_raw` and the cell holds one
+            // strong count for it; the hazard protocol above guarantees no
+            // writer drops that count until `readers` drains back to zero,
+            // which cannot happen before the decrement below.
+            unsafe {
+                Arc::increment_strong_count(raw);
+                Some(Arc::from_raw(raw))
+            }
+        };
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        snapshot
+    }
+
+    /// Swaps in `next` (null to clear) and drops the previously published
+    /// handle once no reader can still be dereferencing it. Callers hold
+    /// the `writer` lock.
+    fn swap_and_retire(&self, next: *mut Matrix) {
+        let old = self.published.swap(next, Ordering::SeqCst);
+        if old.is_null() {
+            return;
+        }
+        // Readers hold `readers > 0` only for a few instructions (pointer
+        // load + refcount increment), so this drain is near-instant when a
+        // core is available; the yield bounds the stall when a reader is
+        // preempted mid-window on an oversubscribed host (the spinner gives
+        // up its only core instead of burning the reader's whole quantum).
+        // Accepted imprecision: the single counter also counts readers that
+        // arrived *after* the swap (they see the new/null pointer and need
+        // no protection), so a sustained stream of overlapping reads could
+        // in principle delay the drain. The workload makes that moot —
+        // `transposed()` is called once per layer per time step between
+        // matmuls orders of magnitude longer than the two-instruction
+        // window, so read windows never chain; a snapshot/epoch scheme
+        // would buy nothing here but complexity.
+        while self.readers.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        // SAFETY: `old` was published via `Arc::into_raw` with the cell
+        // owning one strong count; it is unpublished now and no reader is
+        // mid-dereference, so releasing the cell's count is sound.
+        unsafe { drop(Arc::from_raw(old)) }
+    }
+}
+
+impl Drop for TransposeCell {
+    fn drop(&mut self) {
+        let raw = *self.published.get_mut();
+        if !raw.is_null() {
+            // SAFETY: dropping with exclusive access; the cell owns one
+            // strong count for any published pointer.
+            unsafe { drop(Arc::from_raw(raw)) }
+        }
+    }
+}
 
 /// A trainable parameter: the weight values and their accumulated gradient.
 ///
@@ -13,7 +122,9 @@ use std::sync::{Arc, Mutex};
 /// that transpose so it is computed once per weight update instead of once
 /// per call. The memo is pure derived state held behind interior mutability:
 /// `Clone` starts cold, `PartialEq` ignores it, and serialization stores
-/// nothing.
+/// nothing. Warm reads are lock-free (see the internal `TransposeCell`), so
+/// concurrent scoring threads on the work-stealing pool never serialize on
+/// the memo.
 #[derive(Debug)]
 pub struct Param {
     /// Current parameter values.
@@ -22,12 +133,15 @@ pub struct Param {
     /// [`Param::transposed`]; every mutation site must call
     /// [`Param::invalidate_transpose`] afterwards (the workspace optimizers
     /// do). A shape-changing replacement is detected and recomputed
-    /// automatically.
+    /// automatically. In-place mutation requires `&mut Param`, so no reader
+    /// can race the mutation itself; the invalidate-on-step contract is
+    /// about the *next* readers seeing a fresh transpose.
     pub value: Matrix,
     /// Accumulated gradient (same shape as `value`).
     pub grad: Matrix,
-    /// Cached `value.transpose()`, rebuilt lazily after invalidation.
-    transpose: Mutex<Option<Arc<Matrix>>>,
+    /// Lock-free published `value.transpose()`, rebuilt lazily after
+    /// invalidation.
+    transpose: TransposeCell,
     /// Number of transpose computations (cache misses) — makes the
     /// once-per-weight-update guarantee testable.
     transposes: AtomicUsize,
@@ -41,34 +155,65 @@ impl Param {
         Param {
             value,
             grad,
-            transpose: Mutex::new(None),
+            transpose: TransposeCell::new(),
             transposes: AtomicUsize::new(0),
         }
+    }
+
+    fn is_transpose_of_value(&self, cached: &Matrix) -> bool {
+        cached.rows() == self.value.cols() && cached.cols() == self.value.rows()
     }
 
     /// The transpose of [`Param::value`], memoized until the next
     /// [`Param::invalidate_transpose`] (or a shape-changing replacement of
     /// `value`, which is detected). Returns a shared handle so concurrent
     /// batched forward passes reuse one buffer.
+    ///
+    /// The warm path is **lock-free**: readers snapshot the published
+    /// handle with two atomic ops and never touch a mutex, so scoring
+    /// threads cannot serialize here. Only a cache miss (first call, or
+    /// first call after an invalidation) takes the writer lock to compute
+    /// and publish; the publish is generation-checked so an invalidation
+    /// arriving between the miss and the recompute always wins — the next
+    /// reader recomputes rather than resurrecting a pre-invalidation
+    /// transpose.
     #[must_use]
     pub fn transposed(&self) -> Arc<Matrix> {
-        let mut slot = self.transpose.lock().expect("transpose cache poisoned");
-        if let Some(cached) = slot.as_ref() {
-            if cached.rows() == self.value.cols() && cached.cols() == self.value.rows() {
-                return Arc::clone(cached);
+        loop {
+            if let Some(cached) = self.transpose.get() {
+                if self.is_transpose_of_value(&cached) {
+                    return cached;
+                }
             }
+            let observed_generation = self.transpose.generation.load(Ordering::SeqCst);
+            let guard = self.transpose.writer.lock().expect("transpose writer lock");
+            // Another thread may have published while we waited for the
+            // lock; an invalidation may also have raced our miss — retry
+            // from the top so the generation we publish under is current.
+            if self.transpose.generation.load(Ordering::SeqCst) != observed_generation {
+                drop(guard);
+                continue;
+            }
+            if let Some(cached) = self.transpose.get() {
+                if self.is_transpose_of_value(&cached) {
+                    return cached;
+                }
+            }
+            let fresh = Arc::new(self.value.transpose());
+            self.transposes.fetch_add(1, Ordering::Relaxed);
+            self.transpose
+                .swap_and_retire(Arc::into_raw(Arc::clone(&fresh)).cast_mut());
+            return fresh;
         }
-        let fresh = Arc::new(self.value.transpose());
-        self.transposes.fetch_add(1, Ordering::Relaxed);
-        *slot = Some(Arc::clone(&fresh));
-        fresh
     }
 
     /// Drops the memoized transpose. Must be called after every in-place
     /// mutation of [`Param::value`] — the optimizers' `step` implementations
     /// do this for the training loops.
     pub fn invalidate_transpose(&self) {
-        *self.transpose.lock().expect("transpose cache poisoned") = None;
+        self.transpose.generation.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.transpose.writer.lock().expect("transpose writer lock");
+        self.transpose.swap_and_retire(ptr::null_mut());
     }
 
     /// How many times the transpose was actually computed (cache misses).
@@ -101,7 +246,7 @@ impl Clone for Param {
         Param {
             value: self.value.clone(),
             grad: self.grad.clone(),
-            transpose: Mutex::new(None),
+            transpose: TransposeCell::new(),
             transposes: AtomicUsize::new(0),
         }
     }
@@ -135,7 +280,7 @@ impl Deserialize for Param {
         Ok(Param {
             value,
             grad,
-            transpose: Mutex::new(None),
+            transpose: TransposeCell::new(),
             transposes: AtomicUsize::new(0),
         })
     }
@@ -289,6 +434,75 @@ mod tests {
         let back: Param = serde_json::from_str(&json).unwrap();
         assert_eq!(back, p);
         assert_eq!(back.transpose_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_survive_repeated_invalidation() {
+        // The invalidate-on-step contract under a real multi-thread pool:
+        // scoring threads hammer the lock-free read path while another
+        // thread invalidates in a tight loop (the optimizer-step pattern —
+        // the value itself cannot be mutated concurrently, `&mut` excludes
+        // readers, so every published transpose must equal the one true
+        // `value.transpose()`). A torn read, use-after-free, or a stale
+        // resurrected buffer would fail the equality or crash.
+        const READERS: usize = 4;
+        const READS_PER_THREAD: usize = 2000;
+        const INVALIDATIONS: usize = 2000;
+        let p = Param::new(Matrix::from_vec(
+            3,
+            5,
+            (0..15).map(|x| x as f32 * 0.5 - 3.0).collect(),
+        ));
+        let expected = p.value.transpose();
+        std::thread::scope(|scope| {
+            for _ in 0..READERS {
+                scope.spawn(|| {
+                    for _ in 0..READS_PER_THREAD {
+                        let t = p.transposed();
+                        assert_eq!(*t, expected, "readers must never see a torn transpose");
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..INVALIDATIONS {
+                    p.invalidate_transpose();
+                }
+            });
+        });
+        // After the dust settles the memo still behaves: one more
+        // invalidation forces exactly one recompute.
+        let before = p.transpose_count();
+        assert!(before >= 1);
+        p.invalidate_transpose();
+        assert_eq!(*p.transposed(), expected);
+        assert_eq!(p.transpose_count(), before + 1);
+        let _ = p.transposed();
+        assert_eq!(p.transpose_count(), before + 1, "warm reads stay free");
+    }
+
+    #[test]
+    fn invalidation_mid_miss_always_wins() {
+        // Generation arming: an invalidation that lands between a cache
+        // miss and its publish must not be erased by that publish. Threads
+        // interleave misses and invalidations; afterwards, an explicit
+        // invalidate followed by a read recomputes (the memo cannot have
+        // been resurrected into a "pre-invalidation" state that the final
+        // invalidate fails to clear).
+        let p = Param::new(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..500 {
+                        let _ = p.transposed();
+                        p.invalidate_transpose();
+                    }
+                });
+            }
+        });
+        p.invalidate_transpose();
+        let before = p.transpose_count();
+        assert_eq!(*p.transposed(), p.value.transpose());
+        assert_eq!(p.transpose_count(), before + 1);
     }
 
     #[test]

@@ -181,15 +181,20 @@ impl Matrix {
             return;
         }
 
-        // Below this many multiply-adds, thread spawn overhead dominates.
+        // Below this many multiply-adds, pool dispatch overhead dominates.
         const PAR_WORK_THRESHOLD: usize = 1 << 19;
         let work = self.rows * self.cols * other.cols;
-        let workers = if work < PAR_WORK_THRESHOLD {
+        let tasks = if work < PAR_WORK_THRESHOLD {
             1
         } else {
-            rayon::current_num_threads().min(self.rows)
+            // Split into more chunks than pool threads so the work-stealing
+            // scheduler can balance them (a thread that finishes early
+            // steals another chunk instead of idling at the barrier). Each
+            // output row is computed independently with a fixed op order,
+            // so chunk boundaries never change a single bit of the result.
+            (rayon::current_num_threads() * rayon::TASKS_PER_THREAD).min(self.rows)
         };
-        if workers <= 1 {
+        if tasks <= 1 {
             matmul_rows(
                 &self.data,
                 &other.data,
@@ -202,7 +207,7 @@ impl Matrix {
             return;
         }
         use rayon::prelude::ParallelSliceMut;
-        let rows_per_chunk = self.rows.div_ceil(workers);
+        let rows_per_chunk = self.rows.div_ceil(tasks);
         let (k_dim, n_dim) = (self.cols, other.cols);
         out.data
             .par_chunks_mut(rows_per_chunk * n_dim)
