@@ -37,6 +37,7 @@ fn bench_neighborhood(c: &mut Criterion) {
                     &mut budget,
                     &SpecScores::default(),
                     &TraceEncodingCache::new(),
+                    None,
                 ))
             });
         });

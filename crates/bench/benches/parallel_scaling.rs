@@ -133,10 +133,10 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                         let to_score: Vec<Program> = claims
                             .iter()
                             .zip(population)
-                            .filter_map(|(claim, program)| {
+                            .filter(|(claim, _)| {
                                 matches!(claim, netsyn_fitness::cache::Claim::Claimed)
-                                    .then(|| program.clone())
                             })
+                            .map(|(_, program)| program.clone())
                             .collect();
                         let scores = w.fitness.score_batch_cached(&to_score, &w.spec, &traces);
                         shard.publish_many(&to_score, &scores);

@@ -99,6 +99,16 @@ pub struct MethodEvaluation {
 /// stolen-job-on-a-claimant's-stack collision, where blocking could
 /// deadlock — see `netsyn_fitness::cache::resolve_score`), so results and
 /// per-run trajectories are independent of the thread count.
+///
+/// Setting `NETSYN_CACHE_DIR` makes the cache **durable**: scores and trace
+/// encodings persisted by earlier processes are loaded at startup (warm
+/// start), new ones are flushed back periodically and at the end of the
+/// evaluation, and a restarted harness reproduces byte-identical search
+/// trajectories from disk. Durability is strictly opt-in and fails toward
+/// cold — an unreadable directory or damaged log degrades to the in-memory
+/// behavior above with a warning, never to wrong scores. Shards embed the
+/// fitness model's weight fingerprint, so one directory can safely serve
+/// different checkpoints and methods.
 #[must_use]
 pub fn evaluate_method(
     method: &MethodSpec<'_>,
@@ -107,6 +117,7 @@ pub fn evaluate_method(
     runs_per_task: usize,
     base_seed: u64,
 ) -> MethodEvaluation {
+    let durable = durable_cache_from_env();
     let caches: Vec<FitnessCache> = (0..suite.tasks.len())
         .map(|_| FitnessCache::new())
         .collect();
@@ -126,9 +137,12 @@ pub fn evaluate_method(
                     .wrapping_add((task_index as u64) << 20)
                     .wrapping_add(run_index as u64),
             );
+            // One durable cache serves every task (shards are keyed by
+            // model fingerprint + spec, so tasks never alias); otherwise
+            // each task keeps its own in-memory cache.
+            let cache = durable.as_ref().unwrap_or(&caches[task_index]);
             let start = Instant::now();
-            let result =
-                synthesizer.synthesize_cached(&problem, &mut budget, &mut rng, &caches[task_index]);
+            let result = synthesizer.synthesize_cached(&problem, &mut budget, &mut rng, cache);
             let wall_time_secs = start.elapsed().as_secs_f64();
             RunRecord {
                 task_index,
@@ -140,12 +154,45 @@ pub fn evaluate_method(
             }
         })
         .collect();
+    if let Some(cache) = &durable {
+        // Final synchronous flush so a clean exit persists everything the
+        // periodic background flushes did not reach.
+        let _ = cache.flush();
+    }
     MethodEvaluation {
         method: method.name.clone(),
         budget_cap,
         runs_per_task,
         task_count: suite.tasks.len(),
         records,
+    }
+}
+
+/// Opens the durable fitness cache named by the `NETSYN_CACHE_DIR`
+/// environment variable, or `None` when the variable is unset or the
+/// directory cannot be created (a warning is printed and the evaluation
+/// proceeds with in-memory caches — durability never gates correctness).
+fn durable_cache_from_env() -> Option<FitnessCache> {
+    let dir = std::env::var_os(netsyn_fitness::persist::CACHE_DIR_ENV)?;
+    match FitnessCache::durable(&dir) {
+        Ok(cache) => {
+            if let Some(report) = cache.load_report() {
+                eprintln!(
+                    "netsyn: durable cache at {}: {} score entries, {} trace entries loaded",
+                    std::path::Path::new(&dir).display(),
+                    report.score_entries,
+                    report.trace_entries,
+                );
+            }
+            Some(cache)
+        }
+        Err(err) => {
+            eprintln!(
+                "netsyn: cannot open cache directory {}: {err}; continuing without durability",
+                std::path::Path::new(&dir).display(),
+            );
+            None
+        }
     }
 }
 

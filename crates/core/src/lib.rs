@@ -77,8 +77,8 @@ pub mod prelude {
     };
     pub use netsyn_dsl::{Function, IoSpec, Program, ProgramKind, SynthesisTask, Value};
     pub use netsyn_fitness::{
-        ClosenessMetric, EditDistanceFitness, FitnessFunction, LearnedProbabilityModel,
-        OracleFitness, ProbabilityMap,
+        ClosenessMetric, EditDistanceFitness, FitnessCache, FitnessFunction,
+        LearnedProbabilityModel, OracleFitness, ProbabilityMap,
     };
     pub use netsyn_ga::{
         GaConfig, GeneticEngine, MutationMode, NeighborhoodStrategy, SearchBudget,

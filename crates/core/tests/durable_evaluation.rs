@@ -1,0 +1,78 @@
+//! End-to-end test of the evaluation harness's `NETSYN_CACHE_DIR` opt-in:
+//! `evaluate_method` persists its fitness caches and a rerun warm-starts
+//! from disk with unchanged results.
+//!
+//! This lives in its own test binary because it sets a process-global
+//! environment variable: no other test shares the process, so there is no
+//! race with tests that expect the variable unset.
+
+use netsyn_core::{
+    evaluate_method, FitnessChoice, MethodEvaluation, MethodSpec, NetSyn, NetSynConfig,
+    SuiteConfig, TestSuite,
+};
+use netsyn_dsl::SynthesisTask;
+use netsyn_fitness::persist::{CACHE_DIR_ENV, SCORES_FILE};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn strip(e: &MethodEvaluation) -> Vec<(usize, usize, bool, usize)> {
+    e.records
+        .iter()
+        .map(|r| (r.task_index, r.run_index, r.success, r.candidates_evaluated))
+        .collect()
+}
+
+#[test]
+fn evaluate_method_persists_and_warm_starts_from_cache_dir() {
+    let dir = std::env::temp_dir().join(format!("netsyn_durable_eval_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let suite_config = SuiteConfig::small(2, 1);
+    let suite = TestSuite::generate(&suite_config, &mut ChaCha8Rng::seed_from_u64(11)).unwrap();
+    let make_method = || {
+        MethodSpec::new("Oracle_CF", |task: &SynthesisTask| {
+            let config = NetSynConfig::small(FitnessChoice::OracleCommonFunctions, 2);
+            Box::new(NetSyn::new(config, None).with_oracle_target(task.target.clone()))
+                as Box<dyn netsyn_baselines::Synthesizer>
+        })
+    };
+
+    // Baseline without durability.
+    let baseline = evaluate_method(&make_method(), &suite, 20_000, 2, 3);
+
+    // First durable run: must leave a populated score log behind.
+    std::env::set_var(CACHE_DIR_ENV, &dir);
+    let cold = evaluate_method(&make_method(), &suite, 20_000, 2, 3);
+    assert_eq!(
+        strip(&cold),
+        strip(&baseline),
+        "turning durability on must not change any result"
+    );
+    let log = dir.join(SCORES_FILE);
+    assert!(log.exists(), "evaluate_method must flush the durable cache");
+    assert!(
+        std::fs::metadata(&log).unwrap().len() > 0,
+        "the score log must contain the evaluation's scores"
+    );
+
+    // Second durable run: warm-starts from disk, identical results.
+    let warm = evaluate_method(&make_method(), &suite, 20_000, 2, 3);
+    assert_eq!(
+        strip(&warm),
+        strip(&baseline),
+        "a warm-from-disk evaluation must reproduce the cold results"
+    );
+
+    // A damaged log degrades to cold, never breaks the evaluation.
+    let bytes = std::fs::read(&log).unwrap();
+    std::fs::write(&log, &bytes[..bytes.len().saturating_sub(9)]).unwrap();
+    let damaged = evaluate_method(&make_method(), &suite, 20_000, 2, 3);
+    assert_eq!(
+        strip(&damaged),
+        strip(&baseline),
+        "a damaged cache directory must not change any result"
+    );
+
+    std::env::remove_var(CACHE_DIR_ENV);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -51,11 +51,16 @@
 //!   (see [`resolve_score`]).
 
 use crate::encoding::TraceEncodingCache;
+use crate::persist::{
+    DurableOptions, DurableStore, FlushStats, LoadReport, ScoreSnapshot, TraceSnapshot,
+};
+use crate::sync::{lock_recovering, read_recovering, wait_recovering, write_recovering};
 use netsyn_dsl::{IoSpec, Program};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 /// Number of independently locked stripes in a [`SpecScores`] shard.
 /// A power of two so the stripe index is a mask of the hash.
@@ -118,13 +123,7 @@ impl SpecScores {
     /// The cached score of `candidate`, if published.
     #[must_use]
     pub fn get(&self, candidate: &Program) -> Option<f64> {
-        match self
-            .stripe(candidate)
-            .slots
-            .lock()
-            .expect("fitness cache poisoned")
-            .get(candidate)
-        {
+        match lock_recovering(&self.stripe(candidate).slots).get(candidate) {
             Some(Slot::Done(score)) => Some(*score),
             _ => None,
         }
@@ -135,7 +134,7 @@ impl SpecScores {
     /// `candidate` is woken).
     pub fn insert(&self, candidate: Program, score: f64) {
         let stripe = self.stripe(&candidate);
-        let mut slots = stripe.slots.lock().expect("fitness cache poisoned");
+        let mut slots = lock_recovering(&stripe.slots);
         match slots.get(&candidate) {
             Some(Slot::Done(_)) => {}
             Some(Slot::InFlight) => {
@@ -184,11 +183,7 @@ impl SpecScores {
     /// [`SpecScores::claim_many`] for a single program.
     #[must_use]
     pub fn claim(&self, program: &Program) -> Claim {
-        let mut slots = self
-            .stripe(program)
-            .slots
-            .lock()
-            .expect("fitness cache poisoned");
+        let mut slots = lock_recovering(&self.stripe(program).slots);
         match slots.get(program) {
             Some(Slot::Done(score)) => Claim::Hit(*score),
             Some(Slot::InFlight) => Claim::Pending,
@@ -252,15 +247,12 @@ impl SpecScores {
     #[must_use]
     pub fn wait(&self, program: &Program) -> Option<f64> {
         let stripe = self.stripe(program);
-        let mut slots = stripe.slots.lock().expect("fitness cache poisoned");
+        let mut slots = lock_recovering(&stripe.slots);
         loop {
             match slots.get(program) {
                 Some(Slot::Done(score)) => return Some(*score),
                 Some(Slot::InFlight) => {
-                    slots = stripe
-                        .published
-                        .wait(slots)
-                        .expect("fitness cache poisoned");
+                    slots = wait_recovering(&stripe.published, slots);
                 }
                 None => return None,
             }
@@ -273,10 +265,7 @@ impl SpecScores {
         self.stripes
             .iter()
             .map(|stripe| {
-                stripe
-                    .slots
-                    .lock()
-                    .expect("fitness cache poisoned")
+                lock_recovering(&stripe.slots)
                     .values()
                     .filter(|slot| matches!(slot, Slot::Done(_)))
                     .count()
@@ -288,6 +277,24 @@ impl SpecScores {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Every published `(program, score)` entry, in a deterministic order
+    /// (sorted by the program's function ids) — the snapshot the durable
+    /// tier flushes. In-flight claims are not included.
+    #[must_use]
+    pub fn export(&self) -> Vec<(Program, f64)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            let slots = lock_recovering(&stripe.slots);
+            for (program, slot) in slots.iter() {
+                if let Slot::Done(score) = slot {
+                    out.push((program.clone(), *score));
+                }
+            }
+        }
+        out.sort_by_cached_key(|(program, _)| program.ids());
+        out
     }
 
     /// Runs `body` once per program index, grouped so each stripe's lock is
@@ -309,7 +316,7 @@ impl SpecScores {
                 continue;
             }
             {
-                let mut slots = stripe.slots.lock().expect("fitness cache poisoned");
+                let mut slots = lock_recovering(&stripe.slots);
                 for index in indices {
                     body(&mut slots, index);
                 }
@@ -496,6 +503,9 @@ pub struct FitnessCache {
     /// specification, so one shard serves every spec scored by the same
     /// fitness function.
     traces: RwLock<HashMap<String, Arc<TraceEncodingCache>>>,
+    /// The durable tier, present only on caches opened with
+    /// [`FitnessCache::durable`]. Plain in-memory caches pay nothing.
+    store: OnceLock<Arc<DurableStore>>,
 }
 
 impl FitnessCache {
@@ -503,6 +513,112 @@ impl FitnessCache {
     #[must_use]
     pub fn new() -> Self {
         FitnessCache::default()
+    }
+
+    /// Opens a **durable** cache over `dir`: every surviving entry of the
+    /// directory's record logs is loaded (warm start), and
+    /// [`FitnessCache::flush`] / [`FitnessCache::maybe_periodic_flush`] /
+    /// drop append new entries back. Recovery is graceful — damaged
+    /// suffixes are dropped, unreadable files are quarantined (renamed,
+    /// never deleted), and on any doubt the affected shard starts cold;
+    /// see [`crate::persist`] for the full contract.
+    ///
+    /// # Errors
+    ///
+    /// Only directory creation can fail; file-level problems degrade to a
+    /// cold cache instead of erroring.
+    pub fn durable(dir: impl AsRef<Path>) -> std::io::Result<FitnessCache> {
+        Self::durable_with(dir, DurableOptions::default())
+    }
+
+    /// [`FitnessCache::durable`] with explicit [`DurableOptions`] (flush
+    /// interval, fault injection for tests).
+    ///
+    /// # Errors
+    ///
+    /// Only directory creation can fail.
+    pub fn durable_with(
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+    ) -> std::io::Result<FitnessCache> {
+        let cache = FitnessCache::new();
+        let store = DurableStore::open(dir.as_ref(), options, &cache)?;
+        let _ = cache.store.set(store);
+        Ok(cache)
+    }
+
+    /// The directory backing this cache, when durable.
+    #[must_use]
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.store.get().map(|store| store.dir())
+    }
+
+    /// What loading the cache directory found (quarantines, dropped
+    /// suffixes, entry counts); `None` for in-memory caches.
+    #[must_use]
+    pub fn load_report(&self) -> Option<&LoadReport> {
+        self.store.get().map(|store| store.report())
+    }
+
+    /// Synchronously flush every not-yet-persisted entry to disk
+    /// (append + fsync). Returns what was appended; `None` for in-memory
+    /// caches. I/O failure degrades the store to memory-only with a
+    /// warning — it never panics and never corrupts the log.
+    pub fn flush(&self) -> Option<FlushStats> {
+        let store = self.store.get()?;
+        store.join_flusher();
+        let (scores, traces) = self.snapshots();
+        Some(store.flush_snapshots(&scores, &traces))
+    }
+
+    /// Ticks the periodic-flush clock (the GA engine calls this once per
+    /// generation); every `flush_every` ticks the new entries are flushed
+    /// on a background thread. A no-op for in-memory caches — callers
+    /// never need to know whether durability is on.
+    pub fn maybe_periodic_flush(&self) {
+        let Some(store) = self.store.get() else {
+            return;
+        };
+        if store.tick() {
+            let (scores, traces) = self.snapshots();
+            store.flush_async(scores, traces);
+        }
+    }
+
+    /// Rewrites the backing logs from the full in-memory content (atomic
+    /// replace), dropping any accumulated append-only redundancy and
+    /// clearing a broken-store condition. `None` for in-memory caches.
+    pub fn compact(&self) -> Option<std::io::Result<()>> {
+        let store = self.store.get()?;
+        store.join_flusher();
+        let (scores, traces) = self.snapshots();
+        Some(store.compact(&scores, &traces))
+    }
+
+    /// Cheap `Arc` snapshots of every shard, for the durable tier.
+    fn snapshots(&self) -> (ScoreSnapshot, TraceSnapshot) {
+        let mut scores: ScoreSnapshot = Vec::new();
+        {
+            let shards = read_recovering(&self.shards);
+            for (key, specs) in shards.iter() {
+                for (spec, shard) in specs.iter() {
+                    scores.push((key.clone(), spec.clone(), Arc::clone(shard)));
+                }
+            }
+        }
+        let mut traces: Vec<(String, Arc<TraceEncodingCache>)> = Vec::new();
+        {
+            let map = read_recovering(&self.traces);
+            for (key, shard) in map.iter() {
+                traces.push((key.clone(), Arc::clone(shard)));
+            }
+        }
+        // Deterministic flush order, so identical runs write identical
+        // bytes (IoSpec has no Ord; its derived Debug form shows every
+        // example and is injective, which is all an order key needs).
+        scores.sort_by_cached_key(|(key, spec, _)| (key.clone(), format!("{spec:?}")));
+        traces.sort_by(|a, b| a.0.cmp(&b.0));
+        (scores, traces)
     }
 
     /// The score shard for one `(fitness, spec)` pair, created on first use.
@@ -516,12 +632,12 @@ impl FitnessCache {
     #[must_use]
     pub fn shard(&self, fitness_key: &str, spec: &IoSpec) -> Arc<SpecScores> {
         {
-            let shards = self.shards.read().expect("fitness cache poisoned");
+            let shards = read_recovering(&self.shards);
             if let Some(shard) = shards.get(fitness_key).and_then(|specs| specs.get(spec)) {
                 return Arc::clone(shard);
             }
         }
-        let mut shards = self.shards.write().expect("fitness cache poisoned");
+        let mut shards = write_recovering(&self.shards);
         // Double-check: another thread may have inserted between the locks.
         if let Some(shard) = shards.get(fitness_key).and_then(|specs| specs.get(spec)) {
             return Arc::clone(shard);
@@ -547,12 +663,12 @@ impl FitnessCache {
     #[must_use]
     pub fn trace_shard(&self, fitness_key: &str) -> Arc<TraceEncodingCache> {
         {
-            let traces = self.traces.read().expect("fitness cache poisoned");
+            let traces = read_recovering(&self.traces);
             if let Some(shard) = traces.get(fitness_key) {
                 return Arc::clone(shard);
             }
         }
-        let mut traces = self.traces.write().expect("fitness cache poisoned");
+        let mut traces = write_recovering(&self.traces);
         if let Some(shard) = traces.get(fitness_key) {
             return Arc::clone(shard);
         }
@@ -564,12 +680,27 @@ impl FitnessCache {
     /// Number of `(fitness, spec)` shards.
     #[must_use]
     pub fn shard_count(&self) -> usize {
-        self.shards
-            .read()
-            .expect("fitness cache poisoned")
+        read_recovering(&self.shards)
             .values()
             .map(HashMap::len)
             .sum()
+    }
+}
+
+impl Drop for FitnessCache {
+    /// Durable caches flush on drop — panic-safe: a failure to flush (or a
+    /// panic unwinding through cache users) never escalates, it only costs
+    /// the unflushed delta.
+    fn drop(&mut self) {
+        if self.store.get().is_none() {
+            return;
+        }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = self.flush();
+        }));
+        if let Some(store) = self.store.get() {
+            store.join_flusher();
+        }
     }
 }
 
@@ -744,6 +875,76 @@ mod tests {
         // Both claims were abandoned: they can be claimed afresh.
         assert_eq!(scores.claim(&programs[0]), Claim::Claimed);
         assert_eq!(scores.claim(&programs[1]), Claim::Claimed);
+    }
+
+    /// Regression test for lock-poisoning fragility: a worker panicking
+    /// while holding a stripe lock used to poison the `Mutex` and abort
+    /// every later user of the shard. Published scores are first-write-wins
+    /// immutable, so recovering the guard is safe — and now mandatory.
+    #[test]
+    fn panicked_worker_does_not_poison_the_shard_for_later_users() {
+        let scores = SpecScores::default();
+        let sorted = Program::new(vec![Function::Sort]);
+        let head = Program::new(vec![Function::Head]);
+        scores.insert(sorted.clone(), 0.75);
+
+        // Poison the stripe that holds `sorted`: panic while holding its
+        // lock, the way a dying scoring worker would.
+        let stripe = scores.stripe(&sorted);
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                let _guard = stripe.slots.lock().unwrap();
+                panic!("worker dies while holding the stripe lock");
+            });
+            assert!(worker.join().is_err());
+        });
+        assert!(stripe.slots.is_poisoned());
+
+        // Every operation on the shard still works: reads see the
+        // already-published score, writes and the claim protocol proceed.
+        assert_eq!(scores.get(&sorted), Some(0.75));
+        assert_eq!(scores.len(), 1);
+        scores.insert(sorted.clone(), 9.0);
+        assert_eq!(scores.get(&sorted), Some(0.75), "still first-write-wins");
+        assert_eq!(resolve_score(&scores, &head, |_| 2.0), 2.0);
+        assert_eq!(
+            scores.get_many(&[sorted, head]),
+            vec![Some(0.75), Some(2.0)]
+        );
+    }
+
+    /// The same recovery guarantee for the [`FitnessCache`] shard maps:
+    /// poisoning the top-level `RwLock` must not abort later lookups.
+    #[test]
+    fn panicked_worker_does_not_poison_the_cache_maps() {
+        let cache = FitnessCache::new();
+        let shard = cache.shard("nn-CF", &spec(1));
+        shard.insert(Program::new(vec![Function::Sort]), 0.5);
+        let _ = cache.trace_shard("nn-CF");
+
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                let _shards = cache.shards.write().unwrap();
+                let _traces = cache.traces.write().unwrap();
+                panic!("worker dies while holding both cache locks");
+            });
+            assert!(worker.join().is_err());
+        });
+        assert!(cache.shards.is_poisoned());
+        assert!(cache.traces.is_poisoned());
+
+        // Existing shards are still served (same Arc), and new shards can
+        // still be created through the recovered write lock.
+        assert!(Arc::ptr_eq(&shard, &cache.shard("nn-CF", &spec(1))));
+        assert_eq!(
+            cache
+                .shard("nn-CF", &spec(1))
+                .get(&Program::new(vec![Function::Sort])),
+            Some(0.5)
+        );
+        let _ = cache.shard("nn-CF", &spec(2));
+        assert_eq!(cache.shard_count(), 2);
+        let _ = cache.trace_shard("nn-LCS");
     }
 
     /// The satellite regression test: hammer one shard from N threads that

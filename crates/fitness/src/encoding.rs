@@ -22,6 +22,7 @@
 //! spec tokens are never cloned into per-candidate samples (and never need
 //! to be re-deduplicated out of them).
 
+use crate::sync::lock_recovering;
 use netsyn_dsl::{Function, IoExample, IoSpec, Program, TraceArena, Value};
 use netsyn_nn::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -294,7 +295,7 @@ impl SpecEncodingCache {
     /// use a fixed `config` per cache (learned fitness functions do — the
     /// config belongs to the trained model).
     pub fn get_or_encode(&self, config: &EncodingConfig, spec: &IoSpec) -> SpecEncoding {
-        let mut slot = self.slot.lock().expect("spec cache poisoned");
+        let mut slot = lock_recovering(&self.slot);
         if let Some((cached_spec, encoding)) = slot.as_ref() {
             if cached_spec == spec {
                 return encoding.clone();
@@ -413,7 +414,7 @@ impl TraceEncodingCache {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|stripe| stripe.lock().expect("trace cache poisoned").len())
+            .map(|stripe| lock_recovering(stripe).len())
             .sum()
     }
 
@@ -443,7 +444,7 @@ impl TraceEncodingCache {
             if indices.is_empty() {
                 continue;
             }
-            let slots = stripe.lock().expect("trace cache poisoned");
+            let slots = lock_recovering(stripe);
             for index in indices {
                 out[index] = slots.get(keys[index]).map(Arc::clone);
             }
@@ -465,7 +466,7 @@ impl TraceEncodingCache {
             if indices.is_empty() {
                 continue;
             }
-            let mut slots = stripe.lock().expect("trace cache poisoned");
+            let mut slots = lock_recovering(stripe);
             for index in indices {
                 let (key, hidden) = &entries[index];
                 let canonical = slots
@@ -482,6 +483,29 @@ impl TraceEncodingCache {
     /// Records `n` step-encoder runs (cache misses).
     pub(crate) fn record_encodes(&self, n: usize) {
         self.encodes.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// One durable trace-cache entry: a trace-value token sequence and the step
+/// encoder's final hidden state for it.
+pub(crate) type TraceEntry = (Box<[usize]>, Arc<[f32]>);
+
+impl TraceEncodingCache {
+
+    /// Every cached `(tokens, hidden state)` entry, in a deterministic
+    /// order — the snapshot the durable tier flushes.
+    pub(crate) fn export(&self) -> Vec<TraceEntry> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            let slots = lock_recovering(stripe);
+            out.extend(
+                slots
+                    .iter()
+                    .map(|(tokens, hidden)| (tokens.clone(), Arc::clone(hidden))),
+            );
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 }
 
@@ -533,7 +557,7 @@ impl SpecEncodingMap {
     /// first sight. Callers must use a fixed `config` per map (the trainer
     /// does — the config belongs to the training run).
     pub fn get_or_encode(&self, config: &EncodingConfig, spec: &IoSpec) -> SpecEncoding {
-        let mut slots = self.slots.lock().expect("spec map poisoned");
+        let mut slots = lock_recovering(&self.slots);
         if let Some(encoding) = slots.get(spec) {
             return encoding.clone();
         }
@@ -742,6 +766,35 @@ mod tests {
         let json = serde_json::to_string(&cache).unwrap();
         let back: TraceEncodingCache = serde_json::from_str(&json).unwrap();
         assert!(back.is_empty());
+    }
+
+    /// Poison-recovery regression for the trace cache: encodings are
+    /// first-write-wins immutable, so a panicked worker must not take the
+    /// stripe down with it.
+    #[test]
+    fn panicked_worker_does_not_poison_the_trace_cache() {
+        let cache = TraceEncodingCache::new();
+        let tokens: Vec<usize> = vec![4, 5, 6];
+        let hidden: Arc<[f32]> = vec![1.0, 2.0].into();
+        let _ = cache.publish_many(vec![(&tokens[..], Arc::clone(&hidden))]);
+
+        let stripe = &cache.stripes[TraceEncodingCache::stripe_of(&tokens)];
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| {
+                let _guard = stripe.lock().unwrap();
+                panic!("worker dies while holding the trace stripe lock");
+            });
+            assert!(worker.join().is_err());
+        });
+        assert!(stripe.is_poisoned());
+
+        // Reads, writes and exports all recover the guard and proceed.
+        let hit = cache.get_many(&[&tokens[..]]);
+        assert!(Arc::ptr_eq(hit[0].as_ref().expect("still cached"), &hidden));
+        let fresh: Vec<usize> = vec![7, 8];
+        let _ = cache.publish_many(vec![(&fresh[..], vec![3.0f32].into())]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.export().len(), 2);
     }
 
     #[test]

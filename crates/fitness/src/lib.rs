@@ -83,6 +83,28 @@
 //! shards are keyed by [`FitnessFunction::cache_key`] because the cached
 //! states depend on the model's weights (a trainer updating weights must
 //! use a fresh cache).
+//!
+//! ## The durable cache tier
+//!
+//! Both reuse layers can outlive the process: a cache opened with
+//! [`FitnessCache::durable`] loads previously persisted scores and trace
+//! encodings at startup (merged first-write-wins, exactly like in-flight
+//! publications) and appends new entries back to checksummed record logs
+//! — `scores.nsl` and `traces.nsl` under the chosen directory
+//! (`NETSYN_CACHE_DIR` in the evaluation harness and examples). Floats
+//! round-trip as raw bit patterns, and shard keys embed the model's
+//! weight fingerprint on disk exactly as in memory, so a warm-from-disk
+//! restart reproduces byte-identical search trajectories and
+//! cross-checkpoint aliasing stays impossible.
+//!
+//! The tier is built to *fail toward cold, never toward wrong*: torn or
+//! bit-flipped record suffixes are dropped at the first CRC failure,
+//! unreadable or wrong-version/wrong-vocabulary files are quarantined
+//! (renamed, never deleted), flush I/O errors degrade the store to
+//! memory-only with a warning, and a worker panic no longer poisons the
+//! cache locks for later users (scores are first-write-wins idempotent,
+//! so recovering the guard is safe). See [`persist`] for the on-disk
+//! format specification and the full crash-consistency contract.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -95,7 +117,9 @@ mod learned;
 pub mod metrics;
 mod model;
 mod oracle;
+pub mod persist;
 mod probability;
+mod sync;
 pub mod trainer;
 mod traits;
 
@@ -108,6 +132,7 @@ pub use encoding::{
 pub use learned::{LearnedFitness, LearnedProbabilityModel, ProbabilityFitness};
 pub use model::{FitnessNet, FitnessNetCache, FitnessNetConfig};
 pub use oracle::OracleFitness;
+pub use persist::{DurableOptions, FlushStats, LoadReport};
 pub use probability::ProbabilityMap;
 pub use trainer::{
     EpochStats, FitnessModelKind, TrainedFitnessModel, TrainerConfig, TrainingReport,

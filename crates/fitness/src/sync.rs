@@ -1,0 +1,41 @@
+//! Poison-recovering lock acquisition.
+//!
+//! A worker panic while holding a cache lock poisons the `Mutex`/`RwLock`;
+//! with plain `.expect(..)` every later user of the cache then aborts too,
+//! turning one failed scoring call into a process-wide outage. All cache
+//! state is safe to read after a panic — published scores and encodings are
+//! **first-write-wins immutable** (a partially applied batch is just a
+//! smaller set of published entries), and abandoned in-flight claims are
+//! cleaned up by `ClaimGuard` *before* the panic unwinds through the lock —
+//! so these helpers simply take the guard out of the `PoisonError` and
+//! carry on.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Take a read lock, recovering if poisoned.
+pub(crate) fn read_recovering<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Take a write lock, recovering if poisoned.
+pub(crate) fn write_recovering<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Wait on a condvar, recovering the re-acquired guard if poisoned.
+pub(crate) fn wait_recovering<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -166,6 +166,9 @@ impl GeneticEngine {
 
         for generation in 1..=self.config.max_generations {
             Self::evaluate_population(&mut population, fitness, spec, &memo, &traces);
+            // One durable-flush tick per generation: a no-op for in-memory
+            // caches, an occasional async append for durable ones.
+            cache.maybe_periodic_flush();
             let average = population.average_fitness();
             let best = population.best_fitness().unwrap_or(0.0);
             average_history.push(average);
@@ -188,6 +191,7 @@ impl GeneticEngine {
                     budget,
                     &memo,
                     &traces,
+                    Some(cache),
                 );
                 detector.reset();
                 if let Some(solution) = ns.solution {

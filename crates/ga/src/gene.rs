@@ -237,6 +237,9 @@ mod tests {
         // best_fitness) instead of shuffling the order nondeterministically
         // — including the sign-bit-set NaNs x86-64 invalid operations
         // produce (0.0/0.0), which a plain total_cmp would sort *last*.
+        // The division NaN is deliberate: it reproduces the hardware
+        // invalid-operation encoding rather than the NAN constant.
+        #[allow(clippy::zero_divided_by_zero)]
         for nan in [f64::NAN, -f64::NAN, 0.0 / 0.0] {
             let mut nan_gene = Gene::new(Program::new(vec![Function::Reverse]));
             nan_gene.fitness = Some(nan);

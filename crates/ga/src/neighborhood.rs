@@ -10,7 +10,7 @@ use crate::budget::SearchBudget;
 use crate::config::NeighborhoodStrategy;
 use netsyn_dsl::{Function, IoSpec, Program};
 use netsyn_fitness::cache::{resolve_batch, SpecScores};
-use netsyn_fitness::{FitnessFunction, TraceEncodingCache};
+use netsyn_fitness::{FitnessCache, FitnessFunction, TraceEncodingCache};
 
 /// Outcome of one neighborhood-search invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +41,11 @@ pub struct NeighborhoodOutcome {
 ///
 /// Every candidate checked is drawn from `budget`; the search stops early when
 /// the budget is exhausted.
+///
+/// `persist`, when given, is the owning [`FitnessCache`]: the DFS variant
+/// ticks its periodic-flush clock after each explored position, so a long
+/// saturation-triggered search keeps the durable tier as current as the
+/// generation loop does (a no-op for in-memory caches).
 #[allow(clippy::too_many_arguments)]
 pub fn search<F: FitnessFunction + ?Sized>(
     genes: &[Program],
@@ -50,6 +55,7 @@ pub fn search<F: FitnessFunction + ?Sized>(
     budget: &mut SearchBudget,
     memo: &SpecScores,
     traces: &TraceEncodingCache,
+    persist: Option<&FitnessCache>,
 ) -> NeighborhoodOutcome {
     match strategy {
         NeighborhoodStrategy::Disabled => NeighborhoodOutcome {
@@ -57,7 +63,9 @@ pub fn search<F: FitnessFunction + ?Sized>(
             candidates_evaluated: 0,
         },
         NeighborhoodStrategy::Bfs => bfs_search(genes, spec, budget),
-        NeighborhoodStrategy::Dfs => dfs_search(genes, spec, fitness, budget, memo, traces),
+        NeighborhoodStrategy::Dfs => {
+            dfs_search(genes, spec, fitness, budget, memo, traces, persist)
+        }
     }
 }
 
@@ -112,6 +120,7 @@ fn bfs_search(genes: &[Program], spec: &IoSpec, budget: &mut SearchBudget) -> Ne
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dfs_search<F: FitnessFunction + ?Sized>(
     genes: &[Program],
     spec: &IoSpec,
@@ -119,6 +128,7 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
     budget: &mut SearchBudget,
     memo: &SpecScores,
     traces: &TraceEncodingCache,
+    persist: Option<&FitnessCache>,
 ) -> NeighborhoodOutcome {
     let mut evaluated = 0usize;
     let mut neighbors: Vec<Program> = Vec::with_capacity(Function::ALL.len());
@@ -166,6 +176,9 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
             // of the neighborhood before descending to the next position.
             if let Some((index, _)) = best {
                 current_gene = neighbors.swap_remove(index);
+            }
+            if let Some(cache) = persist {
+                cache.maybe_periodic_flush();
             }
         }
     }
@@ -224,6 +237,7 @@ mod tests {
             budget,
             &SpecScores::default(),
             &TraceEncodingCache::new(),
+            None,
         )
     }
 
@@ -512,6 +526,7 @@ mod tests {
             &mut cold_budget,
             &memo,
             &traces,
+            None,
         );
         let cold_scored = *fitness.scored.lock().unwrap();
         assert!(cold_scored > 0, "the cold search must score neighbors");
@@ -526,6 +541,7 @@ mod tests {
             &mut warm_budget,
             &memo,
             &traces,
+            None,
         );
         assert_eq!(
             *fitness.scored.lock().unwrap(),

@@ -254,3 +254,135 @@ fn ga_outcome_bytes_identical_across_thread_counts_and_simd_modes() {
         );
     }
 }
+
+/// Subprocess entry point of the restart matrix: under
+/// `NETSYN_RESTART_CHILD=cold|warm` (set only by the parent test below) this
+/// opens the **durable** cache named by `NETSYN_CACHE_DIR`, runs the same
+/// synthesis as the determinism matrix, and prints the serialized outcome.
+///
+/// The `cold` phase asserts it starts from an empty shard and flushes its
+/// scores and trace encodings to disk on the way out; the `warm` phase — a
+/// fresh process, i.e. a real restart — asserts the shard and trace
+/// encodings came back from disk and that the run re-encodes nothing. In a
+/// normal test run (env unset) it is a no-op.
+#[test]
+fn restart_matrix_child_emits_outcome() {
+    let Ok(phase) = std::env::var("NETSYN_RESTART_CHILD") else {
+        return;
+    };
+    let dir = std::env::var_os("NETSYN_CACHE_DIR").expect("parent sets NETSYN_CACHE_DIR");
+    let fitness = trained_fitness();
+    let cache = FitnessCache::durable(&dir).expect("open durable cache");
+    let memo = cache.shard(&fitness.cache_key(), &spec());
+    let traces = cache.trace_shard(&fitness.cache_key());
+    match phase.as_str() {
+        "cold" => {
+            assert!(memo.is_empty(), "cold phase must start from an empty shard");
+            assert!(traces.is_empty(), "cold phase must start with no encodings");
+        }
+        "warm" => {
+            assert!(
+                !memo.is_empty(),
+                "warm phase must load scores persisted by the cold process"
+            );
+            assert!(
+                !traces.is_empty(),
+                "warm phase must load trace encodings persisted by the cold process"
+            );
+            assert_eq!(
+                traces.encode_count(),
+                0,
+                "entries loaded from disk must not count as fresh encodes"
+            );
+        }
+        other => panic!("unknown restart phase {other:?}"),
+    }
+    let outcome = run(&fitness, &cache, 5);
+    if phase == "warm" {
+        assert_eq!(
+            traces.encode_count(),
+            0,
+            "a warm-from-disk run must re-encode no trace value"
+        );
+    }
+    let stats = cache.flush().expect("durable cache flushes");
+    if phase == "cold" {
+        assert!(
+            stats.score_entries > 0,
+            "cold phase must persist the scores it computed"
+        );
+    }
+    println!(
+        "{OUTCOME_MARKER}{}",
+        serde_json::to_string(&outcome).expect("outcome serializes")
+    );
+}
+
+/// Runs one restart-matrix child process and returns the serialized outcome
+/// it printed.
+fn restart_child(exe: &std::path::Path, dir: &std::path::Path, phase: &str, simd: &str) -> String {
+    let output = std::process::Command::new(exe)
+        .args([
+            "--exact",
+            "restart_matrix_child_emits_outcome",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("NETSYN_RESTART_CHILD", phase)
+        .env("NETSYN_CACHE_DIR", dir)
+        .env("NETSYN_SIMD", simd)
+        .output()
+        .expect("spawn restart child");
+    assert!(
+        output.status.success(),
+        "restart child (phase={phase}, simd={simd}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("child stdout is utf-8");
+    stdout
+        .lines()
+        .find_map(|line| {
+            line.find(OUTCOME_MARKER)
+                .map(|at| line[at + OUTCOME_MARKER.len()..].to_string())
+        })
+        .unwrap_or_else(|| {
+            panic!("child (phase={phase}, simd={simd}) printed no outcome:\n{stdout}")
+        })
+}
+
+/// The durable-tier restart matrix: run → flush to disk → **restart the
+/// process** → warm-start from disk, under `NETSYN_SIMD=0,1`. All four
+/// serialized [`GaOutcome`]s (cold and warm, each SIMD mode) must be
+/// byte-identical: a warm-from-disk cache only skips work — scores and
+/// trace-encoding hidden states round-trip through the record logs as raw
+/// bit patterns, so the restarted search trajectory cannot drift.
+#[test]
+fn ga_outcome_bytes_identical_across_process_restarts() {
+    if std::env::var("NETSYN_SKIP_RESTART_MATRIX").is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut outcomes: Vec<(String, String)> = Vec::new();
+    for simd in ["0", "1"] {
+        let dir = std::env::temp_dir().join(format!(
+            "netsyn_restart_matrix_{}_simd{simd}",
+            std::process::id()
+        ));
+        // Stale directory from a crashed earlier run: start clean so the
+        // cold-phase emptiness assertion holds.
+        let _ = std::fs::remove_dir_all(&dir);
+        for phase in ["cold", "warm"] {
+            let bytes = restart_child(&exe, &dir, phase, simd);
+            outcomes.push((format!("phase={phase} simd={simd}"), bytes));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let (ref baseline_cell, ref baseline) = outcomes[0];
+    for (cell, bytes) in &outcomes[1..] {
+        assert_eq!(
+            bytes, baseline,
+            "serialized GaOutcome must be byte-identical across process restarts \
+             and kernel families ({cell} differs from {baseline_cell})"
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Little-endian byte (de)serialization primitives shared by the log
+//! layer and by applications encoding record payloads.
+//!
+//! The reader is *total*: every accessor returns `Result<_, Truncated>`
+//! instead of panicking, because record payloads come off disk and may be
+//! arbitrarily damaged. Length-prefixed reads validate the length against
+//! the remaining input before allocating, so a corrupt length field cannot
+//! trigger an out-of-memory abort.
+
+use std::fmt;
+
+/// The input ended (or a length prefix overran it) while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Truncated;
+
+impl fmt::Display for Truncated {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte stream truncated mid-value")
+    }
+}
+
+impl std::error::Error for Truncated {}
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a single byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append an `i64`, little-endian.
+    pub fn put_i64(&mut self, value: i64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append an `f64` as its raw bit pattern (bit-exact, NaN-safe).
+    pub fn put_f64_bits(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+
+    /// Append an `f32` as its raw bit pattern (bit-exact, NaN-safe).
+    pub fn put_f32_bits(&mut self, value: f32) {
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    /// Append raw bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_u32(bytes.len() as u32);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a UTF-8 string with a `u32` length prefix.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_bytes(value.as_bytes());
+    }
+}
+
+/// Cursor-based little-endian decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Truncated> {
+        if self.remaining() < n {
+            return Err(Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, Truncated> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, Truncated> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, Truncated> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, Truncated> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64` stored as its raw bit pattern.
+    pub fn get_f64_bits(&mut self) -> Result<f64, Truncated> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read an `f32` stored as its raw bit pattern.
+    pub fn get_f32_bits(&mut self) -> Result<f32, Truncated> {
+        Ok(f32::from_bits(u32::from_le_bytes(
+            self.take(4)?.try_into().unwrap(),
+        )))
+    }
+
+    /// Read a `u32`-length-prefixed byte slice. The length is validated
+    /// against the remaining input before anything is materialized.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], Truncated> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Read exactly `n` raw bytes with no length prefix (for externally
+    /// framed data whose length was already decoded and validated).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], Truncated> {
+        self.take(n)
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string. Invalid UTF-8 counts as
+    /// damage, same as truncation.
+    pub fn get_str(&mut self) -> Result<&'a str, Truncated> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| Truncated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_i64(-42);
+        w.put_f64_bits(f64::NAN);
+        w.put_f32_bits(-0.0f32);
+        w.put_bytes(b"raw");
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64_bits().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.get_f32_bits().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_bytes().unwrap(), b"raw");
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        assert_eq!(r.get_u64(), Err(Truncated));
+    }
+
+    #[test]
+    fn corrupt_length_prefix_does_not_overrun() {
+        // A length prefix claiming 4 GiB against a 4-byte buffer must fail
+        // cleanly without allocating.
+        let bytes = u32::MAX.to_le_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_bytes(), Err(Truncated));
+    }
+
+    #[test]
+    fn invalid_utf8_is_damage() {
+        let mut w = ByteWriter::new();
+        w.put_bytes(&[0xFF, 0xFE]);
+        let bytes = w.into_bytes();
+        assert_eq!(ByteReader::new(&bytes).get_str(), Err(Truncated));
+    }
+}

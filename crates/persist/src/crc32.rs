@@ -1,0 +1,109 @@
+//! Table-driven CRC-32 (IEEE 802.3, polynomial `0xEDB88320`).
+//!
+//! This is the same checksum zlib/gzip/PNG use, implemented here so the
+//! crate stays dependency-free. The standard check value applies:
+//! `crc32(b"123456789") == 0xCBF4_3926`.
+
+/// The reflected IEEE CRC-32 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, one byte of input per step.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state. Feed bytes with [`Crc32::update`], read the
+/// final checksum with [`Crc32::finish`].
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh checksum over the empty string.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Absorb `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &byte in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut crc = Crc32::new();
+        crc.update(b"1234");
+        crc.update(b"");
+        crc.update(b"56789");
+        assert_eq!(crc.finish(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let clean = b"the quick brown fox".to_vec();
+        let reference = crc32(&clean);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut flipped = clean.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

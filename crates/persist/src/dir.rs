@@ -1,0 +1,124 @@
+//! Directory-level recovery helpers: quarantine (rename, never delete)
+//! and crash-safe whole-file replacement for compaction.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Move an unreadable file aside so a cold cache can be rebuilt in its
+/// place, **never deleting data**: the file is renamed to
+/// `<name>.quarantined` (or `<name>.quarantined-1`, `-2`, … if earlier
+/// quarantines exist) in the same directory. Returns the quarantine path.
+pub fn quarantine(path: &Path) -> io::Result<PathBuf> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let mut target = dir.join(format!("{file_name}.quarantined"));
+    let mut counter = 0u32;
+    while target.exists() {
+        counter += 1;
+        if counter > 10_000 {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "too many quarantined files",
+            ));
+        }
+        target = dir.join(format!("{file_name}.quarantined-{counter}"));
+    }
+    fs::rename(path, &target)?;
+    Ok(target)
+}
+
+/// Atomically replace `path` with `contents`: write to a sibling temp
+/// file, fsync it, rename over the target, then fsync the directory so
+/// the rename itself is durable. A crash at any point leaves either the
+/// old file or the new one — never a torn mixture.
+pub fn atomic_replace(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = dir.join(format!(".{file_name}.tmp-{}", std::process::id()));
+    {
+        let mut file = fs::File::create(&tmp)?;
+        io::Write::write_all(&mut file, contents)?;
+        file.sync_all()?;
+    }
+    if let Err(err) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(err);
+    }
+    // Persist the rename: fsync the containing directory (best-effort on
+    // platforms where directories cannot be opened).
+    if let Ok(dir_handle) = fs::File::open(dir) {
+        let _ = dir_handle.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("netsyn-persist-dir-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quarantine_renames_and_never_clobbers() {
+        let dir = temp_dir("quarantine");
+        let path = dir.join("scores.nsl");
+
+        fs::write(&path, b"first-corruption").unwrap();
+        let q1 = quarantine(&path).unwrap();
+        assert!(!path.exists());
+        assert_eq!(fs::read(&q1).unwrap(), b"first-corruption");
+
+        fs::write(&path, b"second-corruption").unwrap();
+        let q2 = quarantine(&path).unwrap();
+        assert_ne!(q1, q2, "a second quarantine must not overwrite the first");
+        assert_eq!(fs::read(&q1).unwrap(), b"first-corruption");
+        assert_eq!(fs::read(&q2).unwrap(), b"second-corruption");
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_replace_installs_contents_and_leaves_no_temp() {
+        let dir = temp_dir("replace");
+        let path = dir.join("log.nsl");
+        fs::write(&path, b"old").unwrap();
+
+        atomic_replace(&path, b"new-and-improved").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new-and-improved");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn atomic_replace_creates_missing_target() {
+        let dir = temp_dir("create");
+        let path = dir.join("fresh.nsl");
+        atomic_replace(&path, b"born-atomic").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"born-atomic");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,229 @@
+//! Fault injection: a [`Storage`] implementation that fails on purpose.
+//!
+//! [`FaultyFile`] wraps an in-memory byte buffer plus a mirror file on
+//! disk and injects the fault classes a real filesystem can produce, at
+//! exact byte offsets chosen by the test:
+//!
+//! * **torn write** — an `append` that crosses the configured offset
+//!   persists only the prefix up to it, then reports success (the classic
+//!   lost-write-after-crash state: the writer believes the bytes landed);
+//! * **ENOSPC** — an `append` crossing the offset persists the prefix and
+//!   returns `io::Error::from_raw_os_error(28)`;
+//! * **bit flip** — one bit of the stored bytes is inverted when the
+//!   mirror is materialized (silent media corruption);
+//! * **short read** — the mirror file is truncated to a configured length
+//!   (a reader that sees less than was written).
+//!
+//! Write faults fire while the log is being produced; read faults damage
+//! what a later loader observes. Both funnel into the same recovery
+//! contract: `decode_log` serves the intact prefix and drops or rejects
+//! the rest.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::io::Storage;
+
+/// `ENOSPC` — no space left on device.
+const ENOSPC: i32 = 28;
+
+/// Which faults a [`FaultyFile`] injects, all offsets in absolute file
+/// bytes. `None` everywhere means the file behaves perfectly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Persist only the bytes below this offset for the `append` that
+    /// crosses it, then report success (torn write). Later appends are
+    /// dropped entirely.
+    pub torn_write_at: Option<u64>,
+    /// The `append` crossing this offset persists the prefix below it and
+    /// fails with `ENOSPC`. Later appends fail the same way.
+    pub enospc_at: Option<u64>,
+    /// Invert one bit — bit `offset % 8` of byte `offset / 8` — when the
+    /// stored bytes are materialized for a reader.
+    pub bit_flip_at: Option<u64>,
+    /// Truncate what a reader observes to this many bytes.
+    pub short_read_len: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Tear the write that crosses `offset`.
+    pub fn torn_write(offset: u64) -> Self {
+        FaultPlan {
+            torn_write_at: Some(offset),
+            ..Self::default()
+        }
+    }
+
+    /// Fail with `ENOSPC` at `offset`.
+    pub fn enospc(offset: u64) -> Self {
+        FaultPlan {
+            enospc_at: Some(offset),
+            ..Self::default()
+        }
+    }
+
+    /// Flip one bit at bit-offset `offset * 8 + (offset % 8)`… precisely:
+    /// bit `offset % 8` of byte `offset / 8` of the stored bytes.
+    pub fn bit_flip(offset: u64) -> Self {
+        FaultPlan {
+            bit_flip_at: Some(offset),
+            ..Self::default()
+        }
+    }
+
+    /// Let readers observe only the first `len` bytes.
+    pub fn short_read(len: u64) -> Self {
+        FaultPlan {
+            short_read_len: Some(len),
+            ..Self::default()
+        }
+    }
+}
+
+/// A [`Storage`] that misbehaves according to a [`FaultPlan`].
+///
+/// Appends accumulate in memory (after write-fault filtering); calling
+/// [`FaultyFile::materialize`] — or dropping the value — writes the
+/// read-fault-damaged view to the backing path, where the normal loader
+/// will find it. This mirrors the real-world split: write faults happen
+/// while the process is alive, read faults are discovered at next boot.
+#[derive(Debug)]
+pub struct FaultyFile {
+    path: PathBuf,
+    plan: FaultPlan,
+    stored: Vec<u8>,
+    materialized: bool,
+}
+
+impl FaultyFile {
+    /// A faulty storage that materializes to `path` with faults per `plan`.
+    /// An existing file's bytes seed the buffer, matching the append-mode
+    /// semantics of the real storage.
+    pub fn create(path: &Path, plan: FaultPlan) -> Self {
+        FaultyFile {
+            path: path.to_path_buf(),
+            plan,
+            stored: std::fs::read(path).unwrap_or_default(),
+            materialized: false,
+        }
+    }
+
+    /// The bytes that actually persisted (post write-faults, pre
+    /// read-faults).
+    pub fn stored(&self) -> &[u8] {
+        &self.stored
+    }
+
+    /// Write the reader-visible view — stored bytes with bit-flip and
+    /// short-read applied — to the backing path.
+    pub fn materialize(&mut self) -> io::Result<()> {
+        self.materialized = true;
+        let mut view = self.stored.clone();
+        if let Some(offset) = self.plan.bit_flip_at {
+            let byte = (offset / 8) as usize;
+            if byte < view.len() {
+                view[byte] ^= 1 << (offset % 8);
+            }
+        }
+        if let Some(len) = self.plan.short_read_len {
+            view.truncate(len as usize);
+        }
+        std::fs::write(&self.path, &view)
+    }
+}
+
+impl Drop for FaultyFile {
+    fn drop(&mut self) {
+        if !self.materialized {
+            let _ = self.materialize();
+        }
+    }
+}
+
+impl Storage for FaultyFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let end = self.stored.len() as u64;
+        if let Some(offset) = self.plan.torn_write_at {
+            if end + bytes.len() as u64 > offset {
+                let keep = offset.saturating_sub(end) as usize;
+                self.stored
+                    .extend_from_slice(&bytes[..keep.min(bytes.len())]);
+                // A torn write *looks* successful to the writer; the loss
+                // is only visible after the crash.
+                return Ok(());
+            }
+        }
+        if let Some(offset) = self.plan.enospc_at {
+            if end + bytes.len() as u64 > offset {
+                let keep = offset.saturating_sub(end) as usize;
+                self.stored
+                    .extend_from_slice(&bytes[..keep.min(bytes.len())]);
+                return Err(io::Error::from_raw_os_error(ENOSPC));
+            }
+        }
+        self.stored.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        // The in-memory buffer is already "durable"; materialization to the
+        // backing path happens at drop, playing the role of the crash.
+        Ok(())
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.stored.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("netsyn-persist-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn torn_write_keeps_prefix_and_reports_success() {
+        let mut file = FaultyFile::create(&temp_path("torn.bin"), FaultPlan::torn_write(4));
+        file.append(b"ab").unwrap();
+        file.append(b"cdef").unwrap(); // crosses offset 4: keeps "cd"
+        file.append(b"gh").unwrap(); // dropped entirely
+        assert_eq!(file.stored(), b"abcd");
+    }
+
+    #[test]
+    fn enospc_fails_the_crossing_append() {
+        let mut file = FaultyFile::create(&temp_path("enospc.bin"), FaultPlan::enospc(3));
+        file.append(b"ab").unwrap();
+        let err = file.append(b"cd").unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(ENOSPC));
+        assert_eq!(file.stored(), b"abc");
+    }
+
+    #[test]
+    fn bit_flip_and_short_read_shape_the_materialized_view() {
+        let path = temp_path("flip.bin");
+        let mut file = FaultyFile::create(
+            &path,
+            FaultPlan {
+                bit_flip_at: Some(8), // bit 0 of byte 1
+                short_read_len: Some(3),
+                ..FaultPlan::default()
+            },
+        );
+        file.append(b"abcd").unwrap();
+        file.materialize().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), [b'a', b'b' ^ 1, b'c']);
+        // The in-memory stored bytes stay pristine.
+        assert_eq!(file.stored(), b"abcd");
+    }
+}

@@ -1,0 +1,72 @@
+//! # netsyn-persist
+//!
+//! A crash-safe, dependency-free persistence primitive for the NetSyn
+//! caches: a checksummed **append-only record log** plus the paranoid
+//! recovery and fault-injection machinery around it. Like the
+//! `crates/compat` shims, this crate uses nothing but `std`, so the
+//! workspace stays buildable with no registry access.
+//!
+//! ## On-disk format
+//!
+//! A log file is a fixed header followed by zero or more records, all
+//! integers little-endian:
+//!
+//! ```text
+//! header:  magic   8 bytes  b"NSYNLOG\0"
+//!          version u32      log::FORMAT_VERSION (currently 1)
+//!          hlen    u32      length of the application header payload
+//!          hdata   hlen     application header payload (opaque here)
+//!          hcrc    u32      CRC-32 of version ‖ hlen ‖ hdata
+//! record:  len     u32      payload length in bytes
+//!          crc     u32      CRC-32 of the payload
+//!          payload len      opaque application bytes
+//! ```
+//!
+//! Records are only ever appended; [`log::LogWriter::sync`] makes everything
+//! appended so far durable (`fdatasync`). A crash can therefore leave at
+//! most a *torn suffix* — a partially written final record — never a
+//! damaged prefix.
+//!
+//! ## Recovery contract
+//!
+//! [`log::decode_log`] is paranoid and graceful:
+//!
+//! * a zero-length file is a valid empty log (a crash can leave a
+//!   created-but-unwritten file behind);
+//! * a missing/garbled/truncated header, or a header whose CRC fails, means
+//!   the file is **not a usable log** ([`log::LogError::NotALog`]) — callers
+//!   quarantine it ([`dir::quarantine`]: rename, never delete) and start
+//!   cold;
+//! * a wrong format version ([`log::LogError::WrongVersion`]) is likewise a
+//!   quarantine case — a newer or older writer owns the file;
+//! * record decoding stops at the **first** record whose length field
+//!   overruns the file or whose CRC fails: everything before it is served,
+//!   the damaged suffix is reported as [`log::Damage`] and dropped. A CRC
+//!   hit on a torn or bit-flipped record can only drop data, never alias it
+//!   into a different valid record, so corruption degrades warmth — not
+//!   correctness.
+//!
+//! ## Fault injection
+//!
+//! [`fault::FaultyFile`] implements the same [`io::Storage`] interface as
+//! the real file-backed storage, but injects configurable faults — a torn
+//! write at a byte offset, a bit flip, a short read, `ENOSPC` — so the
+//! recovery contract above is provable by tests rather than asserted in
+//! prose (see `tests/fault_injection.rs` and the fitness crate's
+//! `durable_cache` suite).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod crc32;
+pub mod dir;
+pub mod fault;
+pub mod io;
+pub mod log;
+
+pub use codec::{ByteReader, ByteWriter, Truncated};
+pub use crc32::crc32;
+pub use fault::{FaultPlan, FaultyFile};
+pub use io::{FileStorage, Storage};
+pub use log::{decode_log, Damage, LoadedLog, LogError, LogWriter, FORMAT_VERSION, MAGIC};

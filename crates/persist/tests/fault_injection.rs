@@ -1,0 +1,265 @@
+//! End-to-end fault-injection coverage of the record log: every fault the
+//! [`FaultyFile`] harness can produce must land the loader in a correct
+//! state — intact prefix served, damaged suffix dropped, or the whole
+//! file rejected for quarantine. No fault may surface a forged record or
+//! a panic.
+
+use std::path::PathBuf;
+
+use netsyn_persist::{
+    decode_log, dir, FaultPlan, FaultyFile, LogError, LogWriter, Storage, FORMAT_VERSION, MAGIC,
+};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netsyn-persist-faults-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Write `payloads` through a [`FaultyFile`] with `plan`, materialize the
+/// damaged view, and decode it back. Append errors (ENOSPC) are returned
+/// to the caller per record.
+fn write_through_faults(
+    tag: &str,
+    plan: FaultPlan,
+    payloads: &[&[u8]],
+) -> (
+    Result<netsyn_persist::LoadedLog, LogError>,
+    Vec<std::io::Result<()>>,
+) {
+    let dir = temp_dir(tag);
+    let path = dir.join("log.nsl");
+    let storage = FaultyFile::create(&path, plan);
+    let mut writer = LogWriter::new(Box::new(storage), b"test-header".to_vec()).unwrap();
+    let mut results = Vec::new();
+    for payload in payloads {
+        results.push(writer.append(payload));
+    }
+    let _ = writer.sync();
+    drop(writer); // materializes the reader-visible view (the "crash")
+    let loaded = decode_log(&std::fs::read(&path).unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+    (loaded, results)
+}
+
+fn header_len() -> u64 {
+    // magic + version + hlen + payload + crc for the b"test-header" header.
+    (MAGIC.len() + 4 + 4 + b"test-header".len() + 4) as u64
+}
+
+#[test]
+fn clean_run_round_trips() {
+    let (loaded, results) =
+        write_through_faults("clean", FaultPlan::none(), &[b"aa", b"bb", b"cc"]);
+    assert!(results.iter().all(|r| r.is_ok()));
+    let loaded = loaded.unwrap();
+    assert_eq!(
+        loaded.records,
+        vec![b"aa".to_vec(), b"bb".to_vec(), b"cc".to_vec()]
+    );
+    assert!(loaded.damage.is_none());
+}
+
+#[test]
+fn torn_write_mid_record_recovers_the_prefix() {
+    // Tear inside the second record: header + rec1 survive, rec2 is torn.
+    let rec1_len = 8 + 2;
+    let tear_at = header_len() + rec1_len as u64 + 5;
+    let (loaded, results) = write_through_faults(
+        "torn",
+        FaultPlan::torn_write(tear_at),
+        &[b"aa", b"bb", b"cc"],
+    );
+    // Torn writes look successful to the writer — the loss shows at load.
+    assert!(results.iter().all(|r| r.is_ok()));
+    let loaded = loaded.unwrap();
+    assert_eq!(loaded.records, vec![b"aa".to_vec()]);
+    let damage = loaded.damage.expect("torn suffix must be reported");
+    assert!(damage.reason.contains("torn"), "reason: {}", damage.reason);
+}
+
+#[test]
+fn torn_write_at_every_offset_never_forges_a_record() {
+    // Sweep the tear across the whole second record; whatever the offset,
+    // recovery yields a prefix of what was written — never altered data.
+    let payloads: [&[u8]; 2] = [b"first-record", b"second-record"];
+    let rec1 = 8 + payloads[0].len() as u64;
+    for cut in 0..(8 + payloads[1].len() as u64) {
+        let tear_at = header_len() + rec1 + cut;
+        let (loaded, _) =
+            write_through_faults("torn-sweep", FaultPlan::torn_write(tear_at), &payloads);
+        let loaded = loaded.unwrap();
+        assert_eq!(
+            loaded.records,
+            vec![payloads[0].to_vec()],
+            "tear at +{cut} must keep exactly the intact prefix"
+        );
+        assert!(loaded.damage.is_some() || cut == 0, "cut={cut}");
+    }
+}
+
+#[test]
+fn enospc_fails_the_append_but_never_the_log() {
+    let rec1_len = 8 + 4;
+    let fail_at = header_len() + rec1_len as u64 + 3;
+    let (loaded, results) = write_through_faults(
+        "enospc",
+        FaultPlan::enospc(fail_at),
+        &[b"full", b"disk", b"dead"],
+    );
+    assert!(results[0].is_ok());
+    assert_eq!(results[1].as_ref().unwrap_err().raw_os_error(), Some(28));
+    assert_eq!(results[2].as_ref().unwrap_err().raw_os_error(), Some(28));
+    let loaded = loaded.unwrap();
+    assert_eq!(loaded.records, vec![b"full".to_vec()]);
+}
+
+#[test]
+fn bit_flip_in_payload_drops_from_that_record_on() {
+    // Flip a bit inside the second record's payload (byte offset -> bit 0).
+    let rec1_len = 8 + 3;
+    let flip_byte = header_len() + rec1_len as u64 + 8 + 1;
+    let (loaded, _) = write_through_faults(
+        "flip",
+        FaultPlan::bit_flip(flip_byte * 8),
+        &[b"one", b"two", b"three"],
+    );
+    let loaded = loaded.unwrap();
+    assert_eq!(loaded.records, vec![b"one".to_vec()]);
+    let damage = loaded.damage.unwrap();
+    assert!(
+        damage.reason.contains("checksum"),
+        "reason: {}",
+        damage.reason
+    );
+}
+
+#[test]
+fn bit_flip_in_header_quarantines_the_file() {
+    // Flip a bit inside the header payload: the header CRC fails and the
+    // file is rejected outright (NotALog), the quarantine case.
+    let flip_byte = (MAGIC.len() + 4 + 4 + 2) as u64;
+    let (loaded, _) =
+        write_through_faults("flip-header", FaultPlan::bit_flip(flip_byte * 8), &[b"rec"]);
+    assert!(matches!(loaded, Err(LogError::NotALog(_))));
+}
+
+#[test]
+fn short_read_of_the_header_quarantines() {
+    let (loaded, _) = write_through_faults("short-header", FaultPlan::short_read(6), &[b"rec"]);
+    assert!(matches!(loaded, Err(LogError::NotALog(_))));
+}
+
+#[test]
+fn short_read_to_zero_is_a_clean_empty_log() {
+    let (loaded, _) = write_through_faults("short-zero", FaultPlan::short_read(0), &[b"rec"]);
+    let loaded = loaded.unwrap();
+    assert_eq!(loaded.header, None);
+    assert!(loaded.records.is_empty());
+    assert!(loaded.damage.is_none());
+}
+
+#[test]
+fn short_read_mid_records_keeps_the_intact_prefix() {
+    let rec = |p: &[u8]| 8 + p.len() as u64;
+    let keep = header_len() + rec(b"aaaa") + rec(b"bbbb") + 3; // 3 bytes into rec3
+    let (loaded, _) = write_through_faults(
+        "short-mid",
+        FaultPlan::short_read(keep),
+        &[b"aaaa", b"bbbb", b"cccc"],
+    );
+    let loaded = loaded.unwrap();
+    assert_eq!(loaded.records, vec![b"aaaa".to_vec(), b"bbbb".to_vec()]);
+    assert!(loaded.damage.is_some());
+}
+
+#[test]
+fn wrong_version_file_is_rejected_for_quarantine() {
+    let dir = temp_dir("wrong-version");
+    let path = dir.join("log.nsl");
+    let mut writer = LogWriter::open(&path, b"hdr".to_vec()).unwrap();
+    writer.append(b"rec").unwrap();
+    writer.sync().unwrap();
+    drop(writer);
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[MAGIC.len()] = (FORMAT_VERSION + 1) as u8;
+    assert_eq!(
+        decode_log(&bytes),
+        Err(LogError::WrongVersion {
+            found: FORMAT_VERSION + 1
+        })
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn quarantine_then_cold_rebuild_preserves_the_corrupt_bytes() {
+    // The full degradation dance: a corrupt file is quarantined (renamed,
+    // not deleted) and a brand-new log takes its place.
+    let dir = temp_dir("rebuild");
+    let path = dir.join("log.nsl");
+    std::fs::write(&path, b"absolute garbage, not a log").unwrap();
+
+    let decoded = decode_log(&std::fs::read(&path).unwrap());
+    assert!(matches!(decoded, Err(LogError::NotALog(_))));
+    let quarantined = dir::quarantine(&path).unwrap();
+    assert!(!path.exists());
+    assert_eq!(
+        std::fs::read(&quarantined).unwrap(),
+        b"absolute garbage, not a log"
+    );
+
+    let mut writer = LogWriter::open(&path, b"hdr".to_vec()).unwrap();
+    writer.append(b"fresh-start").unwrap();
+    writer.sync().unwrap();
+    drop(writer);
+    let loaded = decode_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(loaded.records, vec![b"fresh-start".to_vec()]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn compaction_via_atomic_replace_round_trips() {
+    // Damaged log -> decode prefix -> rewrite clean -> damage gone.
+    let dir = temp_dir("compact");
+    let path = dir.join("log.nsl");
+    let hdr_len = (MAGIC.len() + 4 + 4 + b"hdr".len() + 4) as u64;
+    let storage = FaultyFile::create(&path, FaultPlan::short_read(hdr_len + 8 + 4 + 5));
+    let mut writer = LogWriter::new(Box::new(storage), b"hdr".to_vec()).unwrap();
+    writer.append(b"keep").unwrap();
+    writer.append(b"lost").unwrap();
+    writer.sync().unwrap();
+    drop(writer);
+
+    let damaged = decode_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(damaged.records, vec![b"keep".to_vec()]);
+    assert!(damaged.damage.is_some());
+
+    let mut clean = netsyn_persist::log::encode_header(b"hdr");
+    for record in &damaged.records {
+        clean.extend_from_slice(&netsyn_persist::log::encode_record(record));
+    }
+    dir::atomic_replace(&path, &clean).unwrap();
+
+    let reloaded = decode_log(&std::fs::read(&path).unwrap()).unwrap();
+    assert_eq!(reloaded.records, damaged.records);
+    assert!(reloaded.damage.is_none());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn faulty_file_len_tracks_persisted_bytes() {
+    let dir = temp_dir("len");
+    let mut file = FaultyFile::create(&dir.join("x.bin"), FaultPlan::torn_write(10));
+    file.append(&[0u8; 6]).unwrap();
+    assert_eq!(file.len().unwrap(), 6);
+    file.append(&[0u8; 6]).unwrap(); // torn at 10
+    assert_eq!(file.len().unwrap(), 10);
+    drop(file);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut budget,
         &SpecScores::default(),
         &TraceEncodingCache::new(),
+        None,
     );
     println!("BFS neighborhood of `{approximately_correct}`:");
     match &outcome.solution {
