@@ -491,7 +491,6 @@ impl TraceEncodingCache {
 pub(crate) type TraceEntry = (Box<[usize]>, Arc<[f32]>);
 
 impl TraceEncodingCache {
-
     /// Every cached `(tokens, hidden state)` entry, in a deterministic
     /// order — the snapshot the durable tier flushes.
     pub(crate) fn export(&self) -> Vec<TraceEntry> {

@@ -130,7 +130,7 @@ pub use encoding::{
     SpecEncodingMap, TraceEncodingCache,
 };
 pub use learned::{LearnedFitness, LearnedProbabilityModel, ProbabilityFitness};
-pub use model::{FitnessNet, FitnessNetCache, FitnessNetConfig};
+pub use model::{FitnessNet, FitnessNetBatchCache, FitnessNetCache, FitnessNetConfig};
 pub use oracle::OracleFitness;
 pub use persist::{DurableOptions, FlushStats, LoadReport};
 pub use probability::ProbabilityMap;

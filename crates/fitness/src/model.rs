@@ -17,8 +17,9 @@ use crate::encoding::{
     function_vocab_size, CandidateEncoding, EncodingConfig, SpecEncoding, TraceEncodingCache,
 };
 use netsyn_nn::{
-    Activation, Embedding, FxHashMap, Lstm, LstmCache, Matrix, Mlp, MlpCache, NnError, Param,
-    Parameterized, SequenceBatch, SequenceEncoder, SequenceEncoderCache, SequenceTrie,
+    Activation, Embedding, FxHashMap, Lstm, LstmBatchCache, LstmCache, Matrix, Mlp, MlpBatchCache,
+    MlpCache, NnError, Param, Parameterized, SequenceBatch, SequenceEncoder,
+    SequenceEncoderBatchCache, SequenceEncoderCache, SequenceTrie, TimeMajorBatch,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,31 @@ struct ExampleCache {
     step_caches: Vec<SequenceEncoderCache>,
     step_functions: Vec<usize>,
     trace_cache: LstmCache,
+}
+
+/// Cache of one [`FitnessNet::forward_batch_train`] pass, required by
+/// [`FitnessNet::backward_batch`].
+///
+/// Sequences are flattened lexicographically — `(sample, example)` for the
+/// IO encoder, trace LSTM and example rows, `(sample, example, step)` for the
+/// step encoder and function embedding — which is exactly the order the
+/// per-sample reference path visits them, so every batched component can
+/// replay its parameter accumulation bit-identically.
+#[derive(Debug, Clone)]
+pub struct FitnessNetBatchCache {
+    io_cache: SequenceEncoderBatchCache,
+    step_cache: SequenceEncoderBatchCache,
+    /// DSL function of each trace step, flattened `(sample, example, step)`.
+    step_functions: Vec<usize>,
+    /// Steps per `(sample, example)` pair, flattened.
+    steps_per_pair: Vec<usize>,
+    /// Examples per sample (`spec.len()` of each sample, in input order).
+    examples_per_sample: Vec<usize>,
+    trace_batch: TimeMajorBatch,
+    trace_lstm_cache: LstmBatchCache,
+    example_batch: TimeMajorBatch,
+    example_lstm_cache: LstmBatchCache,
+    head_cache: MlpBatchCache,
 }
 
 impl FitnessNet {
@@ -430,6 +456,187 @@ impl FitnessNet {
             .collect())
     }
 
+    /// Batched training forward pass over many `(spec, candidate)` samples —
+    /// the minibatch path of the trainer. All four network stages run over
+    /// the whole batch at once on the gather-free time-major kernels
+    /// ([`Lstm::forward_batch_train`], [`Mlp::forward_batch_train`]).
+    /// Returns one logit vector per sample, in input order, bit-identical to
+    /// per-sample [`FitnessNet::forward`] calls, plus the cache
+    /// [`FitnessNet::backward_batch`] consumes.
+    ///
+    /// Unlike [`FitnessNet::predict_batch`] nothing is deduplicated: training
+    /// needs one gradient contribution per occurrence, so repeated specs or
+    /// trace values are encoded repeatedly on purpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if any token of any sample is out
+    /// of range. The whole batch fails; callers needing per-sample error
+    /// isolation (the trainer's skip-on-error contract) should fall back to
+    /// the per-sample path for the failing batch.
+    pub fn forward_batch_train(
+        &self,
+        samples: &[(&SpecEncoding, &CandidateEncoding)],
+    ) -> Result<(Vec<Vec<f32>>, FitnessNetBatchCache), NnError> {
+        let func_dim = self.config.function_embed_dim;
+        let enc_dim = self.config.encoder_hidden_dim;
+
+        // Flatten the sample structure lexicographically: (sample, example)
+        // io/trace sequences and (sample, example, step) trace-value
+        // sequences, mirroring the loop order of the per-sample path.
+        let mut examples_per_sample = Vec::with_capacity(samples.len());
+        let mut io_seqs: Vec<&[usize]> = Vec::new();
+        let mut step_seqs: Vec<&[usize]> = Vec::new();
+        let mut step_functions: Vec<usize> = Vec::new();
+        let mut steps_per_pair: Vec<usize> = Vec::new();
+        for (spec, candidate) in samples {
+            examples_per_sample.push(spec.len());
+            for (example, io_tokens) in spec.io_tokens().iter().enumerate() {
+                io_seqs.push(io_tokens);
+                let steps = candidate.trace(example);
+                steps_per_pair.push(steps.len());
+                for step in steps {
+                    step_seqs.push(&step.value_tokens);
+                    step_functions.push(step.function);
+                }
+            }
+        }
+
+        let (io_hidden, io_cache) = self.io_encoder.forward_batch_train(&io_seqs)?;
+        let (step_hidden, step_cache) = self.step_encoder.forward_batch_train(&step_seqs)?;
+
+        // Trace LSTM inputs: one (function embedding ‖ step encoding)
+        // sequence per (sample, example).
+        let mut trace_flat = SequenceBatch::with_capacity(
+            func_dim + enc_dim,
+            step_functions.len(),
+            steps_per_pair.len(),
+        );
+        let mut flat_step = 0usize;
+        for &steps in &steps_per_pair {
+            trace_flat.begin_sequence();
+            for _ in 0..steps {
+                let row = trace_flat.push_row();
+                row[..func_dim]
+                    .copy_from_slice(self.function_embedding.row(step_functions[flat_step])?);
+                row[func_dim..].copy_from_slice(&step_hidden[flat_step]);
+                flat_step += 1;
+            }
+        }
+        let trace_batch = TimeMajorBatch::from_batch(&trace_flat);
+        let (trace_hidden, trace_lstm_cache) = self.trace_lstm.forward_batch_train(&trace_batch);
+
+        // Example LSTM inputs: one (io encoding ‖ trace encoding) sequence
+        // per sample.
+        let example_dim = enc_dim + self.config.trace_hidden_dim;
+        let mut example_flat =
+            SequenceBatch::with_capacity(example_dim, steps_per_pair.len(), samples.len());
+        let mut flat_pair = 0usize;
+        for &examples in &examples_per_sample {
+            example_flat.begin_sequence();
+            for _ in 0..examples {
+                let row = example_flat.push_row();
+                row[..enc_dim].copy_from_slice(&io_hidden[flat_pair]);
+                row[enc_dim..].copy_from_slice(&trace_hidden[flat_pair]);
+                flat_pair += 1;
+            }
+        }
+        let example_batch = TimeMajorBatch::from_batch(&example_flat);
+        let (summaries, example_lstm_cache) = self.example_lstm.forward_batch_train(&example_batch);
+
+        // Classify all summaries with one batched head pass.
+        let mut summary_mat = Matrix::zeros(samples.len(), self.config.example_hidden_dim);
+        for (row, summary) in summaries.iter().enumerate() {
+            summary_mat.row_mut(row).copy_from_slice(summary);
+        }
+        let (logits, head_cache) = self.head.forward_batch_train(&summary_mat);
+        Ok((
+            (0..samples.len()).map(|r| logits.row(r).to_vec()).collect(),
+            FitnessNetBatchCache {
+                io_cache,
+                step_cache,
+                step_functions,
+                steps_per_pair,
+                examples_per_sample,
+                trace_batch,
+                trace_lstm_cache,
+                example_batch,
+                example_lstm_cache,
+                head_cache,
+            },
+        ))
+    }
+
+    /// Batched backward pass: `grad_logits[s]` is the loss gradient on
+    /// sample `s`'s logits. Accumulates gradients in every component,
+    /// **bit-identical** to looping [`FitnessNet::backward`] over the
+    /// samples in input order: each batched component replays its parameter
+    /// accumulation in the flattened lexicographic sequence order of the
+    /// cache, which is the per-sample visit order — and contributions to
+    /// *different* parameters commute, so the coarser interleaving of the
+    /// per-sample path (io, trace, steps of sample 0, then sample 1, …)
+    /// yields the same bits per parameter.
+    pub fn backward_batch(&mut self, cache: &FitnessNetBatchCache, grad_logits: &[Vec<f32>]) {
+        assert_eq!(
+            grad_logits.len(),
+            cache.examples_per_sample.len(),
+            "one logit gradient per sample"
+        );
+        let mut grad_mat = Matrix::zeros(grad_logits.len(), self.config.output_dim);
+        for (row, grad) in grad_logits.iter().enumerate() {
+            grad_mat.row_mut(row).copy_from_slice(grad);
+        }
+        let grad_summary = self.head.backward_batch(&cache.head_cache, &grad_mat);
+        let grad_summaries: Vec<Vec<f32>> = (0..grad_summary.rows())
+            .map(|r| grad_summary.row(r).to_vec())
+            .collect();
+        let example_grads = self.example_lstm.backward_batch(
+            &cache.example_batch,
+            &cache.example_lstm_cache,
+            &grad_summaries,
+        );
+
+        // Split each (sample, example) gradient row into its io-encoder and
+        // trace-LSTM halves, in flat order.
+        let io_dim = self.config.encoder_hidden_dim;
+        let func_dim = self.config.function_embed_dim;
+        let pairs = cache.steps_per_pair.len();
+        let mut grad_io: Vec<Vec<f32>> = Vec::with_capacity(pairs);
+        let mut grad_trace: Vec<Vec<f32>> = Vec::with_capacity(pairs);
+        for (sample, &examples) in cache.examples_per_sample.iter().enumerate() {
+            let slot = cache.example_batch.slot_of(sample);
+            for example in 0..examples {
+                let row = example_grads.row(example, slot);
+                grad_io.push(row[..io_dim].to_vec());
+                grad_trace.push(row[io_dim..].to_vec());
+            }
+        }
+        self.io_encoder.backward_batch(&cache.io_cache, &grad_io);
+        let step_grads = self.trace_lstm.backward_batch(
+            &cache.trace_batch,
+            &cache.trace_lstm_cache,
+            &grad_trace,
+        );
+
+        // Split each (sample, example, step) gradient row into its function
+        // embedding and step-encoder halves; the embedding scatter runs in
+        // flat order — the per-sample order.
+        let mut grad_step_hidden: Vec<Vec<f32>> = Vec::with_capacity(cache.step_functions.len());
+        let mut flat_step = 0usize;
+        for (pair, &steps) in cache.steps_per_pair.iter().enumerate() {
+            let slot = cache.trace_batch.slot_of(pair);
+            for step in 0..steps {
+                let row = step_grads.row(step, slot);
+                self.function_embedding
+                    .backward_row(cache.step_functions[flat_step], &row[..func_dim]);
+                grad_step_hidden.push(row[func_dim..].to_vec());
+                flat_step += 1;
+            }
+        }
+        self.step_encoder
+            .backward_batch(&cache.step_cache, &grad_step_hidden);
+    }
+
     /// Backward pass: accumulates gradients in every component given the
     /// gradient of the loss with respect to the output logits.
     pub fn backward(&mut self, cache: &FitnessNetCache, grad_logits: &[f32]) {
@@ -647,6 +854,62 @@ mod tests {
             .predict(&spec_encoding, &CandidateEncoding::spec_only())
             .unwrap();
         assert_eq!(fp, manual);
+    }
+
+    #[test]
+    fn batched_train_path_is_bit_identical_to_per_sample() {
+        let mut net = FitnessNet::new(tiny_config(6), EncodingConfig::new(), &mut rng());
+        // Two specs with different example counts (ragged example LSTM
+        // batching) and a spec-only sample (empty traces everywhere).
+        let spec_a = spec();
+        let spec_b = IoSpec::from_program(
+            &target(),
+            &[
+                vec![Value::List(vec![4, -1])],
+                vec![Value::List(vec![7])],
+                vec![Value::List(vec![0, 0, 9])],
+            ],
+        );
+        let enc_a = encode_spec(net.encoding(), &spec_a);
+        let enc_b = encode_spec(net.encoding(), &spec_b);
+        let other = Program::new(vec![Function::Head, Function::Sum, Function::Last]);
+        let cands = [
+            encode_candidate(net.encoding(), &spec_a, &target()),
+            encode_candidate(net.encoding(), &spec_b, &other),
+            CandidateEncoding::spec_only(),
+            encode_candidate(net.encoding(), &spec_a, &target()),
+        ];
+        let samples: Vec<(&SpecEncoding, &CandidateEncoding)> = vec![
+            (&enc_a, &cands[0]),
+            (&enc_b, &cands[1]),
+            (&enc_a, &cands[2]),
+            (&enc_a, &cands[3]),
+        ];
+
+        let (batched_logits, batch_cache) = net.forward_batch_train(&samples).unwrap();
+        let grad_logits: Vec<Vec<f32>> = batched_logits
+            .iter()
+            .map(|logits| softmax_cross_entropy(logits, 2).1)
+            .collect();
+
+        // Reference: per-sample forward/backward in input order.
+        let mut reference = net.clone();
+        reference.zero_grad();
+        for (s, ((spec_enc, cand), grad)) in samples.iter().zip(grad_logits.iter()).enumerate() {
+            let (logits, cache) = reference.forward(spec_enc, cand).unwrap();
+            for (a, b) in batched_logits[s].iter().zip(logits.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "logits of sample {s}");
+            }
+            reference.backward(&cache, grad);
+        }
+
+        net.zero_grad();
+        net.backward_batch(&batch_cache, &grad_logits);
+        for (p_batched, p_ref) in net.params_mut().iter().zip(reference.params_mut().iter()) {
+            for (a, b) in p_batched.grad.data().iter().zip(p_ref.grad.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parameter gradient mismatch");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! (confusion matrices for CF/LCS, accuracy-over-epochs for FP — Figure 7).
 
 use crate::dataset::FitnessSample;
-use crate::encoding::{encode_candidate, CandidateEncoding, EncodingConfig, SpecEncodingMap};
+use crate::encoding::{
+    encode_candidate, CandidateEncoding, EncodingConfig, SpecEncoding, SpecEncodingMap,
+};
 use crate::model::{FitnessNet, FitnessNetConfig};
 use netsyn_dsl::Function;
 use netsyn_nn::loss::{argmax, binary_cross_entropy_with_logits, softmax_cross_entropy};
@@ -133,6 +135,61 @@ impl TrainedFitnessModel {
     }
 }
 
+fn loss_and_grad(
+    kind: FitnessModelKind,
+    logits: &[f32],
+    sample: &FitnessSample,
+) -> (f32, Vec<f32>) {
+    match kind {
+        FitnessModelKind::FunctionProbability => {
+            binary_cross_entropy_with_logits(logits, &sample.fp_target)
+        }
+        _ => softmax_cross_entropy(logits, classification_label(kind, sample)),
+    }
+}
+
+/// Runs one minibatch's forward / loss / backward, returning its summed loss.
+///
+/// With `batched` set the whole chunk goes through the batched SIMD kernels;
+/// if the batched forward fails (any bad token fails the whole batch) the
+/// chunk falls back to the per-sample loop below, which skips exactly the
+/// offending samples — the reference path's contract. With `batched` unset
+/// this *is* the reference path.
+fn train_minibatch(
+    kind: FitnessModelKind,
+    net: &mut FitnessNet,
+    samples: &[FitnessSample],
+    chunk: &[usize],
+    encodings: &[(SpecEncoding, CandidateEncoding)],
+    batched: bool,
+) -> f64 {
+    if batched {
+        let pairs: Vec<(&SpecEncoding, &CandidateEncoding)> =
+            encodings.iter().map(|(s, c)| (s, c)).collect();
+        if let Ok((logits, cache)) = net.forward_batch_train(&pairs) {
+            let mut total = 0.0f64;
+            let mut grads = Vec::with_capacity(chunk.len());
+            for (&idx, logit_row) in chunk.iter().zip(logits.iter()) {
+                let (loss, grad) = loss_and_grad(kind, logit_row, &samples[idx]);
+                total += f64::from(loss);
+                grads.push(grad);
+            }
+            net.backward_batch(&cache, &grads);
+            return total;
+        }
+    }
+    let mut total = 0.0f64;
+    for (&idx, (spec_encoding, candidate_encoding)) in chunk.iter().zip(encodings.iter()) {
+        let Ok((logits, cache)) = net.forward(spec_encoding, candidate_encoding) else {
+            continue;
+        };
+        let (loss, grad) = loss_and_grad(kind, &logits, &samples[idx]);
+        total += f64::from(loss);
+        net.backward(&cache, &grad);
+    }
+    total
+}
+
 fn classification_label(kind: FitnessModelKind, sample: &FitnessSample) -> usize {
     match kind {
         FitnessModelKind::CommonFunctions => sample.cf,
@@ -146,12 +203,47 @@ fn classification_label(kind: FitnessModelKind, sample: &FitnessSample) -> usize
 /// For CF/LCS the network is a `(program_length + 1)`-way classifier over the
 /// candidate + trace encoding; for FP it is a 41-way sigmoid predictor over
 /// the specification encoding only.
+///
+/// Each minibatch runs through the batched SIMD training kernels
+/// ([`FitnessNet::forward_batch_train`] / [`FitnessNet::backward_batch`]),
+/// which are bit-identical to the per-sample path — the returned model is
+/// byte-for-byte the one [`train_fitness_model_reference`] produces from the
+/// same inputs and seed. A minibatch whose batched forward fails (an
+/// out-of-vocabulary token anywhere in the batch) falls back to the
+/// per-sample loop so that only the offending samples are skipped, exactly
+/// as the reference path skips them.
 pub fn train_fitness_model<R: Rng + ?Sized>(
     kind: FitnessModelKind,
     samples: &[FitnessSample],
     program_length: usize,
     config: &TrainerConfig,
     rng: &mut R,
+) -> TrainedFitnessModel {
+    train_fitness_model_impl(kind, samples, program_length, config, rng, true)
+}
+
+/// The scalar per-sample training loop [`train_fitness_model`] is certified
+/// against: forward, loss and backward run one sample at a time in minibatch
+/// order. Kept public as the equivalence baseline (the batched trainer must
+/// produce a byte-identical model); prefer [`train_fitness_model`], which is
+/// the same trajectory on the batched kernels.
+pub fn train_fitness_model_reference<R: Rng + ?Sized>(
+    kind: FitnessModelKind,
+    samples: &[FitnessSample],
+    program_length: usize,
+    config: &TrainerConfig,
+    rng: &mut R,
+) -> TrainedFitnessModel {
+    train_fitness_model_impl(kind, samples, program_length, config, rng, false)
+}
+
+fn train_fitness_model_impl<R: Rng + ?Sized>(
+    kind: FitnessModelKind,
+    samples: &[FitnessSample],
+    program_length: usize,
+    config: &TrainerConfig,
+    rng: &mut R,
+    batched: bool,
 ) -> TrainedFitnessModel {
     let output_dim = match kind {
         FitnessModelKind::FunctionProbability => Function::COUNT,
@@ -180,6 +272,7 @@ pub fn train_fitness_model<R: Rng + ?Sized>(
         let mut total_loss = 0.0;
         let mut batch_count = 0usize;
         for chunk in order.chunks(config.batch_size.max(1)) {
+            let mut encodings = Vec::with_capacity(chunk.len());
             for &idx in chunk {
                 let sample = &samples[idx];
                 let spec_encoding = spec_encodings.get_or_encode(&config.encoding, &sample.spec);
@@ -187,18 +280,9 @@ pub fn train_fitness_model<R: Rng + ?Sized>(
                     FitnessModelKind::FunctionProbability => CandidateEncoding::spec_only(),
                     _ => encode_candidate(&config.encoding, &sample.spec, &sample.candidate),
                 };
-                let Ok((logits, cache)) = net.forward(&spec_encoding, &candidate_encoding) else {
-                    continue;
-                };
-                let (loss, grad) = match kind {
-                    FitnessModelKind::FunctionProbability => {
-                        binary_cross_entropy_with_logits(&logits, &sample.fp_target)
-                    }
-                    _ => softmax_cross_entropy(&logits, classification_label(kind, sample)),
-                };
-                total_loss += f64::from(loss);
-                net.backward(&cache, &grad);
+                encodings.push((spec_encoding, candidate_encoding));
             }
+            total_loss += train_minibatch(kind, &mut net, samples, chunk, &encodings, batched);
             net.clip_grad_norm(config.grad_clip);
             optimizer.step(&mut net.params_mut());
             net.zero_grad();
@@ -476,6 +560,47 @@ mod tests {
             distinct.len() < samples.len(),
             "samples of one target share a spec"
         );
+    }
+
+    #[test]
+    fn batched_trainer_matches_reference_byte_for_byte() {
+        // The batched minibatch path must reproduce the scalar per-sample
+        // trajectory exactly — same weights, same loss curve, same report —
+        // for both a classification head (CF, real traces) and the
+        // trace-less FP head. JSON compares every f32 bit-faithfully.
+        for fp in [false, true] {
+            let make = |batched: bool| {
+                let mut r = rng(11);
+                let (kind, samples) = if fp {
+                    (
+                        FitnessModelKind::FunctionProbability,
+                        generate_fp_dataset(&tiny_dataset_config(3), &mut r).unwrap(),
+                    )
+                } else {
+                    (
+                        FitnessModelKind::CommonFunctions,
+                        generate_dataset(
+                            &tiny_dataset_config(3),
+                            BalanceMetric::CommonFunctions,
+                            &mut r,
+                        )
+                        .unwrap(),
+                    )
+                };
+                if batched {
+                    train_fitness_model(kind, &samples, 3, &tiny_trainer_config(), &mut r)
+                } else {
+                    train_fitness_model_reference(kind, &samples, 3, &tiny_trainer_config(), &mut r)
+                }
+            };
+            let batched = make(true);
+            let reference = make(false);
+            assert_eq!(
+                serde_json::to_string(&batched).unwrap(),
+                serde_json::to_string(&reference).unwrap(),
+                "batched and reference trainers diverged (fp = {fp})"
+            );
+        }
     }
 
     #[test]

@@ -113,6 +113,168 @@ impl SequenceBatch {
     }
 }
 
+/// A length-sorted, time-major repacking of a [`SequenceBatch`] — the layout
+/// the gather-free batched LSTM paths consume.
+///
+/// Sequences are ordered longest-first (ties keep input order, making the
+/// layout deterministic), and all rows belonging to time step `t` are stored
+/// contiguously: slot `s` of step `t`'s slab is step `t` of the `s`-th
+/// longest sequence. Because the order is length-descending, the sequences
+/// still active at step `t` always form the prefix `0..active_rows(t)` of
+/// the slot space, so a step's inputs are one contiguous slab that can be
+/// fed straight into the blocked matmul (`Matrix::matmul_slab_into`) with no
+/// per-step row gather. The same `(t, slot)` addressing is reused by the
+/// batched training cache and its gradient output, which is what makes the
+/// deferred gradient-accumulation sweep replayable in the per-sample
+/// reference order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeMajorBatch {
+    dim: usize,
+    /// Slot -> original sequence index, length-descending, ties index-ascending.
+    order: Vec<usize>,
+    /// Original sequence index -> slot (inverse of `order`).
+    slot_of: Vec<usize>,
+    /// Per-slot sequence length (non-increasing).
+    lens: Vec<usize>,
+    /// `active[t]` = number of slots whose sequence has more than `t` steps.
+    active: Vec<usize>,
+    /// `step_offsets[t]` = first row of step `t`'s slab; one extra entry
+    /// holds the total row count.
+    step_offsets: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl TimeMajorBatch {
+    /// Repacks a sequence-major [`SequenceBatch`] into the time-major
+    /// layout. Each input row is copied exactly once (the same copy volume
+    /// the per-step gather used to pay inside the hot loop, moved to one
+    /// sequential pass).
+    #[must_use]
+    pub fn from_batch(batch: &SequenceBatch) -> Self {
+        let dim = batch.dim();
+        let mut order: Vec<usize> = (0..batch.num_sequences()).collect();
+        order.sort_by(|&a, &b| batch.seq_len(b).cmp(&batch.seq_len(a)).then(a.cmp(&b)));
+        let mut slot_of = vec![0; order.len()];
+        for (slot, &seq) in order.iter().enumerate() {
+            slot_of[seq] = slot;
+        }
+        let lens: Vec<usize> = order.iter().map(|&seq| batch.seq_len(seq)).collect();
+        let max_len = lens.first().copied().unwrap_or(0);
+        let mut active = Vec::with_capacity(max_len);
+        let mut step_offsets = Vec::with_capacity(max_len + 1);
+        let mut data = Vec::with_capacity(batch.rows() * dim);
+        let mut offset = 0;
+        for t in 0..max_len {
+            step_offsets.push(offset);
+            // `lens` is sorted descending, so the active sequences are a
+            // prefix of the slot space.
+            let still_active = lens.partition_point(|&len| len > t);
+            active.push(still_active);
+            for &seq in &order[..still_active] {
+                data.extend_from_slice(batch.row(seq, t));
+            }
+            offset += still_active;
+        }
+        step_offsets.push(offset);
+        TimeMajorBatch {
+            dim,
+            order,
+            slot_of,
+            lens,
+            active,
+            step_offsets,
+            data,
+        }
+    }
+
+    /// A zero-filled batch with the same layout (and an arbitrary new row
+    /// width) — the shape the batched LSTM backward writes its per-step
+    /// input gradients into.
+    #[must_use]
+    pub fn zeros_like(&self, dim: usize) -> Self {
+        TimeMajorBatch {
+            dim,
+            order: self.order.clone(),
+            slot_of: self.slot_of.clone(),
+            lens: self.lens.clone(),
+            active: self.active.clone(),
+            step_offsets: self.step_offsets.clone(),
+            data: vec![0.0; self.step_offsets.last().copied().unwrap_or(0) * dim],
+        }
+    }
+
+    /// Row width.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of sequences (slots), including empty ones.
+    #[must_use]
+    pub fn num_sequences(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Length of the longest sequence.
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Number of sequences still active at step `t` — they occupy slots
+    /// `0..active_rows(t)`.
+    #[must_use]
+    pub fn active_rows(&self, t: usize) -> usize {
+        self.active[t]
+    }
+
+    /// The contiguous slab of step `t`: `active_rows(t)` rows of `dim`
+    /// columns, slot-major.
+    #[must_use]
+    pub fn step_rows(&self, t: usize) -> &[f32] {
+        &self.data[self.step_offsets[t] * self.dim..self.step_offsets[t + 1] * self.dim]
+    }
+
+    /// Mutable contiguous slab of step `t` — the destination the batched
+    /// LSTM backward GEMMs its per-step input gradients straight into.
+    pub fn step_rows_mut(&mut self, t: usize) -> &mut [f32] {
+        &mut self.data[self.step_offsets[t] * self.dim..self.step_offsets[t + 1] * self.dim]
+    }
+
+    /// Original sequence index of slot `slot`.
+    #[must_use]
+    pub fn sequence_for_slot(&self, slot: usize) -> usize {
+        self.order[slot]
+    }
+
+    /// Slot of original sequence `seq`.
+    #[must_use]
+    pub fn slot_of(&self, seq: usize) -> usize {
+        self.slot_of[seq]
+    }
+
+    /// Length of the sequence in slot `slot` (non-increasing in `slot`).
+    #[must_use]
+    pub fn slot_len(&self, slot: usize) -> usize {
+        self.lens[slot]
+    }
+
+    /// Row `(t, slot)` — step `t` of the sequence occupying `slot`.
+    #[must_use]
+    pub fn row(&self, t: usize, slot: usize) -> &[f32] {
+        debug_assert!(slot < self.active[t], "slot inactive at step {t}");
+        let row = self.step_offsets[t] + slot;
+        &self.data[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Mutable row `(t, slot)`.
+    pub fn row_mut(&mut self, t: usize, slot: usize) -> &mut [f32] {
+        debug_assert!(slot < self.active[t], "slot inactive at step {t}");
+        let row = self.step_offsets[t] + slot;
+        &mut self.data[row * self.dim..(row + 1) * self.dim]
+    }
+}
+
 /// A prefix-sharing batch of variable-length vector sequences: a trie whose
 /// nodes are (key, input row) pairs grouped by depth.
 ///
@@ -271,6 +433,46 @@ mod tests {
         assert_eq!(batch.rows(), 0);
         batch.begin_sequence();
         assert_eq!(batch.push_row(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn time_major_repacking_is_length_sorted_and_contiguous() {
+        let mut batch = SequenceBatch::new(1);
+        // Lengths 2, 0, 3, 2 — sorted order is 2, 0, 3 (ties keep input
+        // order), then the empty sequence.
+        for rows in [&[1.0, 2.0][..], &[], &[10.0, 20.0, 30.0], &[5.0, 6.0]] {
+            batch.begin_sequence();
+            for &v in rows {
+                batch.push_row()[0] = v;
+            }
+        }
+        let tm = TimeMajorBatch::from_batch(&batch);
+        assert_eq!(tm.num_sequences(), 4);
+        assert_eq!(tm.dim(), 1);
+        assert_eq!(tm.max_len(), 3);
+        assert_eq!(
+            (0..4).map(|s| tm.sequence_for_slot(s)).collect::<Vec<_>>(),
+            vec![2, 0, 3, 1]
+        );
+        assert_eq!(tm.slot_of(2), 0);
+        assert_eq!(tm.slot_of(1), 3);
+        assert_eq!(tm.slot_len(0), 3);
+        assert_eq!(tm.slot_len(3), 0);
+        assert_eq!(
+            (0..3).map(|t| tm.active_rows(t)).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        // Step slabs are contiguous in slot order.
+        assert_eq!(tm.step_rows(0), &[10.0, 1.0, 5.0]);
+        assert_eq!(tm.step_rows(1), &[20.0, 2.0, 6.0]);
+        assert_eq!(tm.step_rows(2), &[30.0]);
+        assert_eq!(tm.row(1, 2), &[6.0]);
+        // Gradient-shaped clone: same layout, fresh width, all zero.
+        let mut grads = tm.zeros_like(2);
+        assert_eq!(grads.max_len(), 3);
+        assert_eq!(grads.step_rows(0), &[0.0; 6]);
+        grads.row_mut(2, 0).copy_from_slice(&[7.0, 8.0]);
+        assert_eq!(grads.step_rows(2), &[7.0, 8.0]);
     }
 
     #[test]

@@ -79,11 +79,24 @@ impl Embedding {
     pub fn backward(&mut self, tokens: &[usize], grads: &[Vec<f32>]) {
         assert_eq!(tokens.len(), grads.len(), "token/gradient count mismatch");
         for (&t, g) in tokens.iter().zip(grads.iter()) {
-            assert_eq!(g.len(), self.dim(), "gradient dimension mismatch");
-            let row = self.weight.grad.row_mut(t);
-            for (r, &gi) in row.iter_mut().zip(g.iter()) {
-                *r += gi;
-            }
+            self.backward_row(t, g);
+        }
+    }
+
+    /// Accumulates the gradient for a single token occurrence — the
+    /// scatter primitive under [`Embedding::backward`] and the batched
+    /// encoder backward (which replays occurrences in the same
+    /// token-order-per-sequence the per-sample path uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient has the wrong dimension; the token id must
+    /// have been validated by the forward pass.
+    pub fn backward_row(&mut self, token: usize, grad: &[f32]) {
+        assert_eq!(grad.len(), self.dim(), "gradient dimension mismatch");
+        let row = self.weight.grad.row_mut(token);
+        for (r, &gi) in row.iter_mut().zip(grad.iter()) {
+            *r += gi;
         }
     }
 }

@@ -6,10 +6,10 @@
 //! token sequences that are embedded and encoded, and the resulting vectors
 //! are combined by further LSTM layers.
 
-use crate::batch::SequenceTrie;
+use crate::batch::{SequenceBatch, SequenceTrie, TimeMajorBatch};
 use crate::embedding::Embedding;
 use crate::error::NnError;
-use crate::lstm::{Lstm, LstmCache};
+use crate::lstm::{Lstm, LstmBatchCache, LstmCache};
 use crate::param::{Param, Parameterized};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -26,6 +26,14 @@ pub struct SequenceEncoder {
 pub struct SequenceEncoderCache {
     tokens: Vec<usize>,
     lstm_cache: LstmCache,
+}
+
+/// Cache of a [`SequenceEncoder::forward_batch_train`] pass.
+#[derive(Debug, Clone)]
+pub struct SequenceEncoderBatchCache {
+    tokens: Vec<Vec<usize>>,
+    batch: TimeMajorBatch,
+    lstm_cache: LstmBatchCache,
 }
 
 impl SequenceEncoder {
@@ -106,6 +114,63 @@ impl SequenceEncoder {
         let input_grads = self.lstm.backward(&cache.lstm_cache, grad_hidden);
         self.embedding.backward(&cache.tokens, &input_grads);
     }
+
+    /// Batched training forward pass over many token sequences: embeds every
+    /// sequence into a time-major batch and runs the batched LSTM training
+    /// forward. Returns one final hidden state per sequence, in input order,
+    /// bit-identical to per-sequence [`SequenceEncoder::forward`] calls.
+    ///
+    /// (Unlike [`SequenceEncoder::forward_batch`] this keeps every step —
+    /// no prefix sharing — because training needs one gradient contribution
+    /// per token *occurrence*.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::VocabOutOfRange`] if any token of any sequence is
+    /// outside the vocabulary.
+    pub fn forward_batch_train(
+        &self,
+        sequences: &[&[usize]],
+    ) -> Result<(Vec<Vec<f32>>, SequenceEncoderBatchCache), NnError> {
+        let rows: usize = sequences.iter().map(|s| s.len()).sum();
+        let mut flat = SequenceBatch::with_capacity(self.embedding.dim(), rows, sequences.len());
+        for tokens in sequences {
+            flat.begin_sequence();
+            for &token in *tokens {
+                flat.push_row().copy_from_slice(self.embedding.row(token)?);
+            }
+        }
+        let batch = TimeMajorBatch::from_batch(&flat);
+        let (finals, lstm_cache) = self.lstm.forward_batch_train(&batch);
+        Ok((
+            finals,
+            SequenceEncoderBatchCache {
+                tokens: sequences.iter().map(|s| s.to_vec()).collect(),
+                batch,
+                lstm_cache,
+            },
+        ))
+    }
+
+    /// Batched backward pass: `grad_hidden[s]` is the gradient on sequence
+    /// `s`'s encoding. Accumulates parameter gradients in the LSTM and the
+    /// embedding table, **bit-identical** to looping
+    /// [`SequenceEncoder::backward`] over the sequences in input order: the
+    /// LSTM's deferred sweep replays its parameter accumulation in exactly
+    /// that order (see [`Lstm::backward_batch`]), and the embedding scatter
+    /// then walks sequences in input order, tokens ascending — the
+    /// per-sample order.
+    pub fn backward_batch(&mut self, cache: &SequenceEncoderBatchCache, grad_hidden: &[Vec<f32>]) {
+        let input_grads = self
+            .lstm
+            .backward_batch(&cache.batch, &cache.lstm_cache, grad_hidden);
+        for (seq, tokens) in cache.tokens.iter().enumerate() {
+            let slot = cache.batch.slot_of(seq);
+            for (t, &token) in tokens.iter().enumerate() {
+                self.embedding.backward_row(token, input_grads.row(t, slot));
+            }
+        }
+    }
 }
 
 impl Parameterized for SequenceEncoder {
@@ -183,6 +248,46 @@ mod tests {
         let embedding_grad = &enc.params_mut()[0].grad;
         assert!(embedding_grad.row(1).iter().any(|&g| g != 0.0));
         assert!(embedding_grad.row(7).iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn batched_train_path_is_bit_identical_to_per_sample() {
+        let mut enc = encoder();
+        // Mixed lengths, an empty sequence, and a duplicate to exercise the
+        // length-sorted slot mapping and the per-occurrence embedding scatter.
+        let sequences: Vec<&[usize]> = vec![&[1, 2, 3, 4], &[], &[9, 0], &[1, 2, 3, 4], &[5, 5, 5]];
+
+        let (batched_finals, cache) = enc.forward_batch_train(&sequences).unwrap();
+        let grad_hidden: Vec<Vec<f32>> = (0..sequences.len())
+            .map(|s| {
+                (0..6)
+                    .map(|j| 0.05 * (s as f32 + 1.0) - 0.01 * j as f32)
+                    .collect()
+            })
+            .collect();
+
+        // Reference: per-sample forward/backward in input order.
+        let mut reference = enc.clone();
+        reference.zero_grad();
+        for (s, (tokens, g)) in sequences.iter().zip(grad_hidden.iter()).enumerate() {
+            let (h, sample_cache) = reference.forward(tokens).unwrap();
+            for (a, b) in batched_finals[s].iter().zip(h.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "final of sequence {s}");
+            }
+            reference.backward(&sample_cache, g);
+        }
+
+        enc.zero_grad();
+        enc.backward_batch(&cache, &grad_hidden);
+
+        for (p_batched, p_ref) in enc.params_mut().iter().zip(reference.params_mut().iter()) {
+            for (a, b) in p_batched.grad.data().iter().zip(p_ref.grad.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parameter gradient mismatch");
+            }
+        }
+
+        // Out-of-vocabulary tokens fail the whole batch.
+        assert!(enc.forward_batch_train(&[&[1][..], &[10][..]]).is_err());
     }
 
     #[test]

@@ -22,9 +22,8 @@
 //!
 //! ## Batched inference
 //!
-//! Training runs sample-by-sample, but the genetic algorithm *scores whole
-//! populations per generation*, so every layer also has a batch-aware
-//! inference path:
+//! The genetic algorithm *scores whole populations per generation*, so
+//! every layer has a batch-aware inference path:
 //!
 //! * [`Matrix::matmul`] / [`Matrix::matmul_into`] — a cache-blocked matrix
 //!   product, parallelized across output rows for large operands, with a
@@ -34,10 +33,14 @@
 //! * [`SequenceBatch`] — flat row-major storage for batches of
 //!   variable-length vector sequences, so batch builders write rows with
 //!   `memcpy`s instead of allocating one `Vec<f32>` per step;
-//! * [`Lstm::forward_batch_flat`] (and the nested-`Vec` convenience wrapper
-//!   [`Lstm::forward_batch`]) — sequences are sorted by length so the
-//!   still-active batch is always a contiguous prefix, and every time step
-//!   computes all four gates for that prefix with two matrix products;
+//! * [`TimeMajorBatch`] — a length-sorted, *time-major* repacking of a
+//!   [`SequenceBatch`]: all rows of time step `t` are one contiguous slab,
+//!   and because sequences are ordered longest-first the still-active batch
+//!   is always a contiguous prefix of it. [`Lstm::forward_batch_flat`] (and
+//!   the nested-`Vec` convenience wrapper [`Lstm::forward_batch`]) feed
+//!   each step's slab straight into the blocked matmul — every time step
+//!   computes all four gates for the active prefix with two gather-free
+//!   matrix products;
 //! * [`SequenceTrie`] and [`Lstm::forward_batch_trie`] — prefix-sharing
 //!   batched inference: an LSTM state depends only on the consumed prefix,
 //!   so sequences sharing a prefix (interned trace values in a GA
@@ -65,6 +68,44 @@
 //! `forward_batch` results can be compared to `forward` results with `==`.
 //! The test-suite asserts this per layer and end-to-end.
 //!
+//! ## Batched training
+//!
+//! The trainer drives whole minibatches through batched backward passes —
+//! [`Linear::backward_batch`], [`Mlp::backward_batch`],
+//! [`Lstm::backward_batch`] and [`SequenceEncoder::backward_batch`], fed by
+//! the matching `forward_batch_train` cache types ([`MlpBatchCache`],
+//! [`LstmBatchCache`], [`SequenceEncoderBatchCache`]) — under the same
+//! contract: **gradients are bit-identical to looping the per-sample
+//! `backward` over the batch in input order.** Three design rules make
+//! that hold:
+//!
+//! * Input-gradient rows come from one GEMM per step/layer
+//!   ([`Matrix::matmul_slab_to`]) whose strictly `k`-ascending, unfused
+//!   accumulation is exactly the dense per-sample transposed-matvec chain.
+//! * Weight gradients accumulate through [`Matrix::add_outer_slab`] — a
+//!   whole batch of outer products in one blocked GEMM whose per-element
+//!   `r`-ascending chain replays the per-sample [`Matrix::add_outer`]
+//!   calls. The LSTM defers its per-(sequence, step) contributions and
+//!   lays them out flat in the reference visit order (sequences in input
+//!   order, steps descending) before the single accumulating GEMM.
+//! * Contributions to *different* parameters commute freely, so batched
+//!   stages may interleave updates across parameters — only the op order
+//!   *within* each parameter element matters, and that is preserved.
+//!
+//! Unlike the batched forward (which consumes the memoized
+//! [`Param::transposed`] weight), the backward GEMMs read each weight in
+//! its native layout — `grad_in = grad_out × W` needs `W` itself — so no
+//! transpose is computed or invalidated on the gradient path; the memo
+//! stays warm across a whole forward/backward/step minibatch cycle until
+//! the optimizer actually changes the weights.
+//!
+//! First-layer/gradient-only loops can use
+//! [`Linear::backward_params_only`] and the batched
+//! `backward_batch_params_only` to skip dead input-gradient work. The
+//! per-layer `batched_backward_is_bit_identical_to_per_sample` tests
+//! compare every gradient bit under both `NETSYN_SIMD` modes, and the
+//! fitness trainer pins byte-identical checkpoints end-to-end.
+//!
 //! ## Why column-lane SIMD preserves the bit-identity contract
 //!
 //! Vectorization usually changes float results by reassociating
@@ -82,8 +123,9 @@
 //!   `simd_validate`, cross-checked at startup, and re-verified on boundary
 //!   sets plus >10^6 seeded samples in the test-suite). The lane versions
 //!   apply the same per-element operations structure-of-arrays, with the
-//!   fdlibm branch ladders rewritten as per-lane selects — same values, no
-//!   reassociation.
+//!   fdlibm branch ladders if-converted into fully 8-wide mask/select
+//!   vector ops (every lane evaluates every arm, masks pick the scalar
+//!   path's result) — same values, no reassociation.
 //!
 //! ## Example
 //!
@@ -125,15 +167,15 @@ pub mod simd;
 mod tensor;
 
 pub use activation::Activation;
-pub use batch::{SequenceBatch, SequenceTrie};
+pub use batch::{SequenceBatch, SequenceTrie, TimeMajorBatch};
 pub use embedding::Embedding;
-pub use encoder::{SequenceEncoder, SequenceEncoderCache};
+pub use encoder::{SequenceEncoder, SequenceEncoderBatchCache, SequenceEncoderCache};
 pub use error::NnError;
 pub use hash::{FxHashMap, FxHasher};
 pub use linear::Linear;
-pub use lstm::{Lstm, LstmCache};
+pub use lstm::{Lstm, LstmBatchCache, LstmCache};
 pub use metrics::ConfusionMatrix;
-pub use mlp::{Mlp, MlpCache};
+pub use mlp::{Mlp, MlpBatchCache, MlpCache};
 pub use optim::{Adam, Sgd};
 pub use param::{Param, Parameterized};
 pub use tensor::{vecops, Matrix};

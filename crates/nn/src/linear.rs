@@ -117,6 +117,19 @@ impl Linear {
     ///
     /// Panics on dimension mismatches.
     pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        self.backward_params_only(x, grad_out);
+        self.weight.value.matvec_transposed(grad_out)
+    }
+
+    /// [`Linear::backward`] without the input-gradient computation: for the
+    /// first layer of a network (or gradient-only training loops) the
+    /// gradient with respect to `x` is dead, and computing it builds and
+    /// drops an `in_dim`-sized `Vec` per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward_params_only(&mut self, x: &[f32], grad_out: &[f32]) {
         assert_eq!(x.len(), self.in_dim(), "linear backward input mismatch");
         assert_eq!(
             grad_out.len(),
@@ -127,7 +140,59 @@ impl Linear {
         for (g, &go) in self.bias.grad.row_mut(0).iter_mut().zip(grad_out.iter()) {
             *g += go;
         }
-        self.weight.value.matvec_transposed(grad_out)
+    }
+
+    /// Batched backward pass: row `r` of `x`/`grad_out` is one sample's
+    /// input and upstream gradient. Accumulates parameter gradients for the
+    /// whole batch and returns the per-row input gradients.
+    ///
+    /// Gradients are **bit-identical** to looping [`Linear::backward`] over
+    /// the rows in order: the weight gradient accumulates through one
+    /// [`Matrix::add_outer_slab`] GEMM whose per-element row-ascending
+    /// chain is exactly the sequence of per-sample [`Matrix::add_outer`]
+    /// calls, and the input-gradient rows come from one
+    /// `grad_out x W` GEMM whose `k`-ascending accumulation matches the
+    /// per-sample `W^T g` transposed matvec. The batch-sized GEMMs keep
+    /// their accumulators in registers across whole row blocks instead of
+    /// round-tripping every row through memory per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward_batch(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        self.backward_batch_params_only(x, grad_out);
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.weight.value.matmul_slab_into(
+            grad_out.data(),
+            grad_out.rows(),
+            self.out_dim(),
+            &mut grad_in,
+        );
+        grad_in
+    }
+
+    /// [`Linear::backward_batch`] without the input-gradient rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn backward_batch_params_only(&mut self, x: &Matrix, grad_out: &Matrix) {
+        assert_eq!(x.cols(), self.in_dim(), "linear backward input mismatch");
+        assert_eq!(
+            grad_out.cols(),
+            self.out_dim(),
+            "linear backward gradient mismatch"
+        );
+        assert_eq!(x.rows(), grad_out.rows(), "linear backward batch mismatch");
+        self.weight
+            .grad
+            .add_outer_slab(grad_out.data(), x.data(), x.rows());
+        let bias_row = self.bias.grad.row_mut(0);
+        for r in 0..grad_out.rows() {
+            for (g, &go) in bias_row.iter_mut().zip(grad_out.row(r).iter()) {
+                *g += go;
+            }
+        }
     }
 
     /// Read-only access to the weight matrix.
@@ -266,6 +331,108 @@ mod tests {
         assert_eq!(out.shape(), (2, 2));
         assert_eq!(out.row(0), &[-1.5, 5.0]);
         assert_eq!(out.row(1), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn batched_backward_is_bit_identical_to_per_sample() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let reference_init = Linear::new(13, 7, &mut rng);
+        let mut reference = reference_init.clone();
+        let mut batched = reference_init;
+        let x = Matrix::uniform(9, 13, 1.0, &mut rng);
+        let mut grad_out = Matrix::uniform(9, 7, 1.0, &mut rng);
+        // Exact zeros exercise the dense (no zero-skip) kernel semantics.
+        grad_out.set(0, 0, 0.0);
+        grad_out.set(3, 5, 0.0);
+
+        let mut ref_grad_in = Vec::new();
+        for r in 0..x.rows() {
+            ref_grad_in.push(reference.backward(x.row(r), grad_out.row(r)));
+        }
+        let grad_in = batched.backward_batch(&x, &grad_out);
+        for (r, reference_row) in ref_grad_in.iter().enumerate() {
+            for (a, b) in grad_in.row(r).iter().zip(reference_row.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grad-in row {r}");
+            }
+        }
+        for (pr, pb) in reference
+            .params_mut()
+            .iter()
+            .zip(batched.params_mut().iter())
+        {
+            for (a, b) in pb.grad.data().iter().zip(pr.grad.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn params_only_backward_matches_full_backward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        let init = Linear::new(5, 4, &mut rng);
+        let mut full = init.clone();
+        let mut lean = init;
+        let x: Vec<f32> = (0..5).map(|i| 0.2 * i as f32 - 0.4).collect();
+        let g: Vec<f32> = (0..4).map(|i| 0.3 - 0.1 * i as f32).collect();
+        let _ = full.backward(&x, &g);
+        lean.backward_params_only(&x, &g);
+        for (pf, pl) in full.params_mut().iter().zip(lean.params_mut().iter()) {
+            assert_eq!(pf.grad, pl.grad);
+        }
+    }
+
+    #[test]
+    fn batched_backward_numerical_gradient_check() {
+        let mut rng = ChaCha8Rng::seed_from_u64(79);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::uniform(6, 4, 0.8, &mut rng);
+        // Batch loss: sum over rows of 0.5 ||W x_r + b||^2.
+        let loss = |layer: &Linear, x: &Matrix| -> f32 {
+            (0..x.rows())
+                .map(|r| {
+                    layer
+                        .forward(x.row(r))
+                        .iter()
+                        .map(|&v| 0.5 * v * v)
+                        .sum::<f32>()
+                })
+                .sum()
+        };
+        let grad_out = layer.forward_batch(&x);
+        layer.zero_grad();
+        let grad_in = layer.backward_batch(&x, &grad_out);
+
+        let eps = 1e-2_f32;
+        for (r, c) in [(0usize, 0usize), (1, 3), (2, 1)] {
+            let orig = layer.weight.value.get(r, c);
+            layer.weight.value.set(r, c, orig + eps);
+            layer.weight.invalidate_transpose();
+            let lp = loss(&layer, &x);
+            layer.weight.value.set(r, c, orig - eps);
+            layer.weight.invalidate_transpose();
+            let lm = loss(&layer, &x);
+            layer.weight.value.set(r, c, orig);
+            layer.weight.invalidate_transpose();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = layer.weight.grad.get(r, c);
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "dW[{r},{c}]: numerical {num} vs analytic {ana}"
+            );
+        }
+        // Input gradients of one row.
+        for i in 0..4 {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            *xp.row_mut(2).get_mut(i).unwrap() += eps;
+            *xm.row_mut(2).get_mut(i).unwrap() -= eps;
+            let num = (loss(&layer, &xp) - loss(&layer, &xm)) / (2.0 * eps);
+            let ana = grad_in.get(2, i);
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "dx[2][{i}]: numerical {num} vs analytic {ana}"
+            );
+        }
     }
 
     #[test]

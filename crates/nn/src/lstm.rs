@@ -9,7 +9,7 @@
 //! accumulating parameter gradients and returning per-step input gradients.
 
 use crate::activation::{sigmoid, tanh};
-use crate::batch::{SequenceBatch, SequenceTrie};
+use crate::batch::{SequenceBatch, SequenceTrie, TimeMajorBatch};
 use crate::param::{Param, Parameterized};
 use crate::simd;
 use crate::tensor::{vecops, Matrix};
@@ -61,6 +61,43 @@ impl LstmCache {
                     .collect()
             })
             .collect()
+    }
+}
+
+/// Cached activations of one batched LSTM time step (rows = sequences still
+/// active at that step, in slot order of the driving [`TimeMajorBatch`]).
+#[derive(Debug, Clone, PartialEq)]
+struct BatchStep {
+    /// Post-activation gates in PyTorch block order: `i` at `[0, h)`, `f`
+    /// at `[h, 2h)`, `g` at `[2h, 3h)`, `o` at `[3h, 4h)`.
+    gates: Matrix,
+    c: Matrix,
+    tanh_c: Matrix,
+    h: Matrix,
+}
+
+/// Cache of a batched training forward pass ([`Lstm::forward_batch_train`])
+/// over a [`TimeMajorBatch`], consumed by [`Lstm::backward_batch`].
+///
+/// Step `t`'s matrices have `batch.active_rows(t)` rows addressed by slot;
+/// a slot's previous hidden/cell state is row `slot` of step `t - 1` (the
+/// active prefix only ever shrinks with `t`, so the row exists).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LstmBatchCache {
+    steps: Vec<BatchStep>,
+}
+
+impl LstmBatchCache {
+    /// Number of time steps in the cached batch (its longest sequence).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the cached batch had no steps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
     }
 }
 
@@ -183,15 +220,9 @@ impl Lstm {
     }
 
     /// Batched inference over a flat [`SequenceBatch`] — the allocation-lean
-    /// core of [`Lstm::forward_batch`].
-    ///
-    /// Sequences are sorted by length internally (longest first) so that at
-    /// each time step the still-active sequences form a contiguous prefix —
-    /// same-length sequences are thereby stepped together — and each step
-    /// computes the four gates for the whole prefix with two matrix
-    /// products instead of `2 x batch` GEMVs. Results are bit-identical to
-    /// calling [`Lstm::forward`] per sequence; empty sequences yield the
-    /// all-zero hidden state.
+    /// core of [`Lstm::forward_batch`]. Repacks the batch into the
+    /// length-sorted time-major layout once and runs the gather-free
+    /// [`Lstm::forward_batch_time_major`].
     ///
     /// # Panics
     ///
@@ -199,20 +230,32 @@ impl Lstm {
     /// are accepted regardless of their dimension).
     #[must_use]
     pub fn forward_batch_flat(&self, batch: &SequenceBatch) -> Vec<Vec<f32>> {
+        self.forward_batch_time_major(&TimeMajorBatch::from_batch(batch))
+    }
+
+    /// Batched inference over a pre-packed [`TimeMajorBatch`].
+    ///
+    /// The layout sorts sequences by length (longest first, ties in input
+    /// order) so that at each time step the still-active sequences form a
+    /// contiguous prefix *and* that step's input rows are one contiguous
+    /// slab — each step computes the four gates for the whole prefix with
+    /// two matrix products ([`Matrix::matmul_slab_into`] on the slab, no
+    /// per-step row gather) instead of `2 x batch` GEMVs. Results are
+    /// bit-identical to calling [`Lstm::forward`] per sequence; empty
+    /// sequences yield the all-zero hidden state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's row dimension is not `input_dim` (empty batches
+    /// are accepted regardless of their dimension).
+    #[must_use]
+    pub fn forward_batch_time_major(&self, batch: &TimeMajorBatch) -> Vec<Vec<f32>> {
         let h_dim = self.hidden_dim;
         let mut finals = vec![vec![0.0; h_dim]; batch.num_sequences()];
-        // Longest first; ties keep input order for determinism.
-        let mut order: Vec<usize> = (0..batch.num_sequences()).collect();
-        order.sort_by(|&a, &b| batch.seq_len(b).cmp(&batch.seq_len(a)).then(a.cmp(&b)));
-        let mut active = order
-            .iter()
-            .take_while(|&&idx| batch.seq_len(idx) > 0)
-            .count();
-        if active == 0 {
+        if batch.max_len() == 0 {
             return finals;
         }
         assert_eq!(batch.dim(), self.input_dim, "lstm input dimension mismatch");
-        let max_len = batch.seq_len(order[0]);
 
         // The transposed weights every step's matmuls consume are memoized
         // on the parameters (`Param::transposed`), valid until the next
@@ -220,35 +263,27 @@ impl Lstm {
         let w_ih_t = self.w_ih.transposed();
         let w_hh_t = self.w_hh.transposed();
 
+        let mut active = batch.active_rows(0);
         let mut h_mat = Matrix::zeros(active, h_dim);
         let mut c_mat = Matrix::zeros(active, h_dim);
-        let mut x_mat = Matrix::zeros(active, self.input_dim);
         let mut zx = Matrix::zeros(0, 0);
         let mut zh = Matrix::zeros(0, 0);
-        for t in 0..max_len {
+        for t in 0..batch.max_len() {
             // Sequences shorter than t + 1 drop out of the active prefix;
             // their hidden state is final.
-            let still_active = order[..active]
-                .iter()
-                .take_while(|&&idx| batch.seq_len(idx) > t)
-                .count();
+            let still_active = batch.active_rows(t);
             for slot in still_active..active {
-                finals[order[slot]] = h_mat.row(slot).to_vec();
+                finals[batch.sequence_for_slot(slot)] = h_mat.row(slot).to_vec();
             }
             active = still_active;
             h_mat.truncate_rows(active);
             c_mat.truncate_rows(active);
-            x_mat.truncate_rows(active);
-
-            for (slot, &idx) in order[..active].iter().enumerate() {
-                x_mat.row_mut(slot).copy_from_slice(batch.row(idx, t));
-            }
-            x_mat.matmul_into(&w_ih_t, &mut zx);
+            w_ih_t.matmul_slab_into(batch.step_rows(t), active, self.input_dim, &mut zx);
             h_mat.matmul_into(&w_hh_t, &mut zh);
             self.batched_gate_pass(&zx, &zh, &mut c_mat, &mut h_mat, active);
         }
         for slot in 0..active {
-            finals[order[slot]] = h_mat.row(slot).to_vec();
+            finals[batch.sequence_for_slot(slot)] = h_mat.row(slot).to_vec();
         }
         finals
     }
@@ -457,6 +492,264 @@ impl Lstm {
             input_grads[t] = self.w_ih.value.matvec_transposed(&dz);
             dh = self.w_hh.value.matvec_transposed(&dz);
             dc = dc_prev;
+        }
+        input_grads
+    }
+
+    /// Batched training forward pass over a [`TimeMajorBatch`]: returns
+    /// every sequence's final hidden state (in input order) plus the cache
+    /// [`Lstm::backward_batch`] needs.
+    ///
+    /// Per sequence, the finals — and every cached gate/cell activation —
+    /// are bit-identical to [`Lstm::forward`]: each step computes
+    /// `z = (x W_ih^T + h_prev W_hh^T) + bias` with the blocked batched
+    /// matmul (same ascending-`k` accumulation as `matvec`), then applies
+    /// the same lane-vectorized sigmoid/tanh sweeps and element-wise cell
+    /// update expressions as the scalar step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch's row dimension is not `input_dim` (empty batches
+    /// are accepted regardless of their dimension).
+    #[must_use]
+    pub fn forward_batch_train(&self, batch: &TimeMajorBatch) -> (Vec<Vec<f32>>, LstmBatchCache) {
+        let h_dim = self.hidden_dim;
+        let mut finals = vec![vec![0.0; h_dim]; batch.num_sequences()];
+        let mut cache = LstmBatchCache::default();
+        if batch.max_len() == 0 {
+            return (finals, cache);
+        }
+        assert_eq!(batch.dim(), self.input_dim, "lstm input dimension mismatch");
+
+        let w_ih_t = self.w_ih.transposed();
+        let w_hh_t = self.w_hh.transposed();
+        let bias = self.bias.value.row(0);
+
+        let mut zh = Matrix::zeros(0, 0);
+        for t in 0..batch.max_len() {
+            let active = batch.active_rows(t);
+            // z = (zx + zh) + bias, built in place in the gates matrix —
+            // the exact op order of the per-sample step.
+            let mut gates = Matrix::zeros(0, 0);
+            w_ih_t.matmul_slab_into(batch.step_rows(t), active, self.input_dim, &mut gates);
+            if t == 0 {
+                // The zero initial hidden state contributes `W_hh * 0`,
+                // which the per-sample step computes literally.
+                let zh_zero = self.w_hh.value.matvec(&vec![0.0; h_dim]);
+                for r in 0..active {
+                    vecops::add_assign(gates.row_mut(r), &zh_zero);
+                }
+            } else {
+                let h_prev = &cache.steps[t - 1].h;
+                w_hh_t.matmul_slab_into(&h_prev.data()[..active * h_dim], active, h_dim, &mut zh);
+                for r in 0..active {
+                    vecops::add_assign(gates.row_mut(r), zh.row(r));
+                }
+            }
+            gates.add_row_broadcast(bias);
+            // Gate activations, block-wise per row: the same lane kernels
+            // the inference paths certify bit-identical to the scalar
+            // sigmoid/tanh.
+            for r in 0..active {
+                let row = gates.row_mut(r);
+                simd::vsigmoid_slice(&mut row[0..2 * h_dim]);
+                simd::vtanh_slice(&mut row[2 * h_dim..3 * h_dim]);
+                simd::vsigmoid_slice(&mut row[3 * h_dim..4 * h_dim]);
+            }
+            // c = f * c_prev + i * g, then tanh(c), then h = o * tanh(c) —
+            // element-wise, with the scalar step's expressions verbatim.
+            let mut c = Matrix::zeros(active, h_dim);
+            for r in 0..active {
+                let row = gates.row(r);
+                let c_row = c.row_mut(r);
+                if t == 0 {
+                    for j in 0..h_dim {
+                        c_row[j] = row[h_dim + j] * 0.0 + row[j] * row[2 * h_dim + j];
+                    }
+                } else {
+                    let c_prev = cache.steps[t - 1].c.row(r);
+                    for j in 0..h_dim {
+                        c_row[j] = row[h_dim + j] * c_prev[j] + row[j] * row[2 * h_dim + j];
+                    }
+                }
+            }
+            let mut tanh_c = c.clone();
+            for r in 0..active {
+                simd::vtanh_slice(tanh_c.row_mut(r));
+            }
+            let mut h = Matrix::zeros(active, h_dim);
+            for r in 0..active {
+                let h_row = h.row_mut(r);
+                let o_row = &gates.row(r)[3 * h_dim..];
+                let tc_row = tanh_c.row(r);
+                for j in 0..h_dim {
+                    h_row[j] = o_row[j] * tc_row[j];
+                }
+            }
+            cache.steps.push(BatchStep {
+                gates,
+                c,
+                tanh_c,
+                h,
+            });
+        }
+        // Read each sequence's final hidden state off the last step it was
+        // active at.
+        for slot in 0..batch.active_rows(0) {
+            let len = batch.slot_len(slot);
+            finals[batch.sequence_for_slot(slot)] = cache.steps[len - 1].h.row(slot).to_vec();
+        }
+        (finals, cache)
+    }
+
+    /// Batched backward pass through a cached [`Lstm::forward_batch_train`]:
+    /// `grad_finals[s]` is the gradient on sequence `s`'s final hidden
+    /// state. Parameter gradients are accumulated in place; the returned
+    /// batch holds the gradient with respect to every input row, in the
+    /// same time-major layout as `batch` (read rows via
+    /// `TimeMajorBatch::row(t, slot_of(seq))`).
+    ///
+    /// Gradients are **bit-identical** to looping [`Lstm::backward`] over
+    /// the sequences in input order. The time recursion runs batched
+    /// (t-descending, all active rows at once, each row evaluating the
+    /// per-sample expressions verbatim), producing the same per-step gate
+    /// pre-activation gradients `dz`; input and hidden-state gradients
+    /// come from one blocked GEMM per step over the `dz` slab
+    /// ([`Matrix::matmul_slab_to`] — the same dense `k`-ascending chain as
+    /// the per-sample `matvec_transposed`). The parameter accumulation is
+    /// **deferred and replayed in the reference order** — sequences in
+    /// input order, steps descending — by laying the per-step `dz` / input
+    /// / previous-hidden rows out flat in exactly that visit order and
+    /// accumulating each weight with a single
+    /// [`Matrix::add_outer_slab`] GEMM, whose per-element `r`-ascending
+    /// chain is the identical op sequence the per-sample
+    /// `add_outer`/`axpy` calls produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not match the batch or `grad_finals` has
+    /// the wrong shape.
+    pub fn backward_batch(
+        &mut self,
+        batch: &TimeMajorBatch,
+        cache: &LstmBatchCache,
+        grad_finals: &[Vec<f32>],
+    ) -> TimeMajorBatch {
+        let h_dim = self.hidden_dim;
+        assert_eq!(
+            grad_finals.len(),
+            batch.num_sequences(),
+            "lstm batched gradient count mismatch"
+        );
+        assert_eq!(
+            cache.steps.len(),
+            batch.max_len(),
+            "lstm batched cache does not match batch"
+        );
+        let mut input_grads = batch.zeros_like(batch.dim());
+        let max_len = batch.max_len();
+        if max_len == 0 {
+            return input_grads;
+        }
+        let top_active = batch.active_rows(0);
+
+        // Phase 1 — the batched time recursion. dh/dc rows live at their
+        // slot index; a slot joins the recursion at the step its sequence
+        // ends (t = len - 1) with dh = grad_final and dc = 0.
+        let mut dh = vec![0.0_f32; top_active * h_dim];
+        let mut dc = vec![0.0_f32; top_active * h_dim];
+        let mut dz_steps: Vec<Matrix> = (0..max_len)
+            .map(|t| Matrix::zeros(batch.active_rows(t), 4 * h_dim))
+            .collect();
+        let mut prev_active = 0;
+        for t in (0..max_len).rev() {
+            let active = batch.active_rows(t);
+            for slot in prev_active..active {
+                let grad = &grad_finals[batch.sequence_for_slot(slot)];
+                assert_eq!(grad.len(), h_dim, "lstm gradient dimension mismatch");
+                dh[slot * h_dim..(slot + 1) * h_dim].copy_from_slice(grad);
+                // dc rows start (and were left) zeroed.
+            }
+            prev_active = active;
+            let step = &cache.steps[t];
+            let dz_mat = &mut dz_steps[t];
+            for slot in 0..active {
+                let gates = step.gates.row(slot);
+                let tanh_c = step.tanh_c.row(slot);
+                let dh_row = &dh[slot * h_dim..(slot + 1) * h_dim];
+                let dz = dz_mat.row_mut(slot);
+                let dc_row = &mut dc[slot * h_dim..(slot + 1) * h_dim];
+                for j in 0..h_dim {
+                    let i_ = gates[j];
+                    let f_ = gates[h_dim + j];
+                    let g_ = gates[2 * h_dim + j];
+                    let o_ = gates[3 * h_dim + j];
+                    let tc = tanh_c[j];
+                    let c_prev = if t == 0 {
+                        0.0
+                    } else {
+                        cache.steps[t - 1].c.row(slot)[j]
+                    };
+                    // The per-sample expressions, verbatim.
+                    let do_ = dh_row[j] * tc;
+                    let dcj = dc_row[j] + dh_row[j] * o_ * (1.0 - tc * tc);
+                    dz[j] = (dcj * g_) * i_ * (1.0 - i_);
+                    dz[h_dim + j] = (dcj * c_prev) * f_ * (1.0 - f_);
+                    dz[2 * h_dim + j] = (dcj * i_) * (1.0 - g_ * g_);
+                    dz[3 * h_dim + j] = do_ * o_ * (1.0 - o_);
+                    // dc flows to the previous step: dc_prev = dc * f.
+                    dc_row[j] = dcj * f_;
+                }
+            }
+            // Gradients flowing to this step's inputs and previous hidden
+            // states: one blocked GEMM per destination over the step's dz
+            // slab, straight into the time-major gradient storage and the
+            // dh recursion buffer. Per row these are the dense
+            // `k`-ascending chains of the per-sample transposed matvec.
+            self.w_ih.value.matmul_slab_to(
+                dz_mat.data(),
+                active,
+                4 * h_dim,
+                input_grads.step_rows_mut(t),
+            );
+            self.w_hh.value.matmul_slab_to(
+                dz_mat.data(),
+                active,
+                4 * h_dim,
+                &mut dh[..active * h_dim],
+            );
+        }
+
+        // Phase 2 — deferred parameter accumulation, replayed in the
+        // per-sample reference order: sequences in input order, steps
+        // descending. The per-step rows are laid out flat in exactly that
+        // visit order, so one accumulating GEMM per parameter walks the
+        // same per-element op chain as the per-sample `add_outer` calls.
+        let total_rows: usize = (0..max_len).map(|t| batch.active_rows(t)).sum();
+        let mut dz_flat = Vec::with_capacity(total_rows * 4 * h_dim);
+        let mut x_flat = Vec::with_capacity(total_rows * batch.dim());
+        let mut h_flat = Vec::with_capacity(total_rows * h_dim);
+        for seq in 0..batch.num_sequences() {
+            let slot = batch.slot_of(seq);
+            let len = batch.slot_len(slot);
+            for t in (0..len).rev() {
+                dz_flat.extend_from_slice(dz_steps[t].row(slot));
+                x_flat.extend_from_slice(batch.row(t, slot));
+                if t == 0 {
+                    // The step-0 previous hidden state is the zero vector.
+                    h_flat.resize(h_flat.len() + h_dim, 0.0);
+                } else {
+                    h_flat.extend_from_slice(cache.steps[t - 1].h.row(slot));
+                }
+            }
+        }
+        self.w_ih.grad.add_outer_slab(&dz_flat, &x_flat, total_rows);
+        self.w_hh.grad.add_outer_slab(&dz_flat, &h_flat, total_rows);
+        let bias_row = self.bias.grad.row_mut(0);
+        for dz in dz_flat.chunks_exact(4 * h_dim) {
+            for (b, &d) in bias_row.iter_mut().zip(dz.iter()) {
+                *b += d;
+            }
         }
         input_grads
     }
@@ -671,6 +964,142 @@ mod tests {
             lstm.params_mut()[which].value.set(r, c, orig - eps);
             let lm = loss(&lstm, &seq);
             lstm.params_mut()[which].value.set(r, c, orig);
+            let ana = lstm.params_mut()[which].grad.get(r, c);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - ana).abs() < 5e-3,
+                "param {which} [{r},{c}]: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    fn time_major(sequences: &[Vec<Vec<f32>>], dim: usize) -> TimeMajorBatch {
+        let rows: usize = sequences.iter().map(Vec::len).sum();
+        let mut batch = SequenceBatch::with_capacity(dim, rows, sequences.len());
+        for sequence in sequences {
+            batch.begin_sequence();
+            for x in sequence {
+                batch.push_row().copy_from_slice(x);
+            }
+        }
+        TimeMajorBatch::from_batch(&batch)
+    }
+
+    #[test]
+    fn batched_train_forward_is_bit_identical_to_single() {
+        let lstm = Lstm::new(3, 5, &mut rng());
+        let sequences: Vec<Vec<Vec<f32>>> = vec![
+            sample_sequence(4, 3),
+            sample_sequence(7, 3),
+            Vec::new(),
+            sample_sequence(1, 3),
+            sample_sequence(4, 3),
+        ];
+        let tm = time_major(&sequences, 3);
+        let (finals, cache) = lstm.forward_batch_train(&tm);
+        assert_eq!(cache.len(), 7);
+        assert!(!cache.is_empty());
+        for (seq, batch_h) in sequences.iter().zip(finals.iter()) {
+            let (single_h, _) = lstm.forward(seq);
+            for (a, b) in batch_h.iter().zip(single_h.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "length {}", seq.len());
+            }
+        }
+        // Degenerate batch: all sequences empty.
+        let (finals, cache) = lstm.forward_batch_train(&time_major(&[Vec::new()], 3));
+        assert_eq!(finals, vec![vec![0.0; 5]]);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn batched_backward_is_bit_identical_to_per_sample() {
+        let init = Lstm::new(3, 5, &mut rng());
+        let mut reference = init.clone();
+        let mut batched = init;
+        let sequences: Vec<Vec<Vec<f32>>> = vec![
+            sample_sequence(4, 3),
+            sample_sequence(7, 3),
+            Vec::new(),
+            sample_sequence(1, 3),
+            sample_sequence(4, 3),
+            sample_sequence(2, 3),
+        ];
+        let tm = time_major(&sequences, 3);
+        let (finals, cache) = batched.forward_batch_train(&tm);
+        // dL/dh = h (loss 0.5||h||^2 per sequence).
+        let input_grads = batched.backward_batch(&tm, &cache, &finals);
+
+        for (s, seq) in sequences.iter().enumerate() {
+            let (h, sample_cache) = reference.forward(seq);
+            let ref_grads = reference.backward(&sample_cache, &h);
+            let slot = tm.slot_of(s);
+            for (t, ref_grad) in ref_grads.iter().enumerate() {
+                for (a, b) in input_grads.row(t, slot).iter().zip(ref_grad.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "sequence {s} step {t}");
+                }
+            }
+        }
+        for (pr, pb) in reference
+            .params_mut()
+            .iter()
+            .zip(batched.params_mut().iter())
+        {
+            for (a, b) in pb.grad.data().iter().zip(pr.grad.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "parameter gradients");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backward_numerical_gradient_check() {
+        let mut lstm = Lstm::new(2, 3, &mut rng());
+        let sequences: Vec<Vec<Vec<f32>>> =
+            vec![sample_sequence(3, 2), sample_sequence(1, 2), Vec::new()];
+        let tm = time_major(&sequences, 2);
+        // Loss = sum over sequences of 0.5 * ||h_final||^2.
+        let loss = |lstm: &Lstm, sequences: &[Vec<Vec<f32>>]| -> f32 {
+            sequences
+                .iter()
+                .map(|seq| {
+                    let (h, _) = lstm.forward(seq);
+                    h.iter().map(|&v| 0.5 * v * v).sum::<f32>()
+                })
+                .sum()
+        };
+        let (finals, cache) = lstm.forward_batch_train(&tm);
+        lstm.zero_grad();
+        let input_grads = lstm.backward_batch(&tm, &cache, &finals);
+        let eps = 1e-2_f32;
+
+        for (s, seq) in sequences.iter().enumerate() {
+            let slot = tm.slot_of(s);
+            for t in 0..seq.len() {
+                for d in 0..2 {
+                    let mut sp = sequences.clone();
+                    sp[s][t][d] += eps;
+                    let mut sm = sequences.clone();
+                    sm[s][t][d] -= eps;
+                    let num = (loss(&lstm, &sp) - loss(&lstm, &sm)) / (2.0 * eps);
+                    let ana = input_grads.row(t, slot)[d];
+                    assert!(
+                        (num - ana).abs() < 5e-3,
+                        "dx[{s}][{t}][{d}]: numerical {num} vs analytic {ana}"
+                    );
+                }
+            }
+        }
+        let param_checks: Vec<(usize, usize, usize)> =
+            vec![(0, 0, 0), (0, 5, 1), (1, 2, 2), (1, 11, 0), (2, 0, 3)];
+        for (which, r, c) in param_checks {
+            let orig = lstm.params_mut()[which].value.get(r, c);
+            lstm.params_mut()[which].value.set(r, c, orig + eps);
+            lstm.params_mut()[which].invalidate_transpose();
+            let lp = loss(&lstm, &sequences);
+            lstm.params_mut()[which].value.set(r, c, orig - eps);
+            lstm.params_mut()[which].invalidate_transpose();
+            let lm = loss(&lstm, &sequences);
+            lstm.params_mut()[which].value.set(r, c, orig);
+            lstm.params_mut()[which].invalidate_transpose();
             let ana = lstm.params_mut()[which].grad.get(r, c);
             let num = (lp - lm) / (2.0 * eps);
             assert!(

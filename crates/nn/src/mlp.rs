@@ -28,6 +28,17 @@ pub struct MlpCache {
     pre_activations: Vec<Vec<f32>>,
 }
 
+/// Cached intermediate values of an [`Mlp::forward_batch_train`] pass,
+/// needed by [`Mlp::backward_batch`] — the batched counterpart of
+/// [`MlpCache`], one matrix row per sample.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MlpBatchCache {
+    /// Input to each layer (length = number of layers).
+    layer_inputs: Vec<Matrix>,
+    /// Pre-activation output of each layer (length = number of layers).
+    pre_activations: Vec<Matrix>,
+}
+
 impl Mlp {
     /// Creates an MLP with the given layer sizes, e.g. `[64, 32, 6]` builds
     /// `Linear(64→32) -> act -> Linear(32→6)`.
@@ -113,6 +124,67 @@ impl Mlp {
             std::mem::swap(&mut current, &mut next);
         }
         current
+    }
+
+    /// Batched training forward pass: like [`Mlp::forward_batch`] but keeps
+    /// every layer input and pre-activation matrix for
+    /// [`Mlp::backward_batch`]. Per row, outputs (and cached values) are
+    /// bit-identical to [`Mlp::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != in_dim()`.
+    #[must_use]
+    pub fn forward_batch_train(&self, x: &Matrix) -> (Matrix, MlpBatchCache) {
+        let mut cache = MlpBatchCache::default();
+        let last = self.layers.len() - 1;
+        let mut current = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward_batch(&current);
+            cache.layer_inputs.push(current);
+            current = pre.clone();
+            cache.pre_activations.push(pre);
+            if i != last {
+                self.activation.apply_rows(&mut current);
+            }
+        }
+        (current, cache)
+    }
+
+    /// Batched backward pass: row `r` of `grad_out` is sample `r`'s upstream
+    /// gradient. Accumulates parameter gradients for the whole batch and
+    /// returns per-row input gradients.
+    ///
+    /// Gradients are **bit-identical** to looping [`Mlp::backward`] over the
+    /// samples in row order: every layer's weight/bias gradient accumulates
+    /// its samples row-ascending through [`Linear::backward_batch`], which is
+    /// the per-sample accumulation order — processing layers as batched
+    /// stages only interleaves updates *across different parameters*, never
+    /// reorders the sum within one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache does not correspond to this network.
+    pub fn backward_batch(&mut self, cache: &MlpBatchCache, grad_out: &Matrix) -> Matrix {
+        assert_eq!(
+            cache.layer_inputs.len(),
+            self.layers.len(),
+            "cache does not match network depth"
+        );
+        let last = self.layers.len() - 1;
+        let mut grad = grad_out.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            if i != last {
+                // Undo the hidden activation, with the exact per-element
+                // expression of the per-sample path.
+                let pre = &cache.pre_activations[i];
+                for (g, &z) in grad.data_mut().iter_mut().zip(pre.data().iter()) {
+                    *g *= self.activation.derivative(z);
+                }
+            }
+            grad = layer.backward_batch(&cache.layer_inputs[i], &grad);
+        }
+        grad
     }
 
     /// Backward pass: accumulates parameter gradients and returns the
@@ -248,6 +320,98 @@ mod tests {
             assert!(
                 (num - ana).abs() < 5e-3,
                 "param {which} [{r},{c}]: numerical {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_backward_is_bit_identical_to_per_sample() {
+        // ReLU matters here: its backward produces exact zeros, exercising
+        // the dense (no zero-skip) gradient kernel semantics.
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            let mut r = rng();
+            let init = Mlp::new(&[6, 12, 5, 3], act, &mut r);
+            let mut reference = init.clone();
+            let mut batched = init;
+            let batch = Matrix::uniform(11, 6, 1.0, &mut r);
+
+            let (out, cache) = batched.forward_batch_train(&batch);
+            // Upstream gradient dL/dy = y (loss 0.5||y||^2 per row).
+            let grad_in = batched.backward_batch(&cache, &out);
+
+            let mut ref_grad_in = Vec::new();
+            for row in 0..batch.rows() {
+                let (y, sample_cache) = reference.forward(batch.row(row));
+                for (a, b) in out.row(row).iter().zip(y.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{act:?} forward row {row}");
+                }
+                ref_grad_in.push(reference.backward(&sample_cache, &y));
+            }
+            for (row, reference_row) in ref_grad_in.iter().enumerate() {
+                for (a, b) in grad_in.row(row).iter().zip(reference_row.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{act:?} grad-in row {row}");
+                }
+            }
+            for (pr, pb) in reference
+                .params_mut()
+                .iter()
+                .zip(batched.params_mut().iter())
+            {
+                for (a, b) in pb.grad.data().iter().zip(pr.grad.data().iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{act:?} param grads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_backward_numerical_gradient_check() {
+        let mut r = rng();
+        let mut mlp = Mlp::new(&[4, 6, 3], Activation::Tanh, &mut r);
+        let batch = Matrix::uniform(5, 4, 0.7, &mut r);
+        let loss = |mlp: &Mlp, x: &Matrix| -> f32 {
+            (0..x.rows())
+                .map(|row| {
+                    mlp.predict(x.row(row))
+                        .iter()
+                        .map(|&v| 0.5 * v * v)
+                        .sum::<f32>()
+                })
+                .sum()
+        };
+        let (out, cache) = mlp.forward_batch_train(&batch);
+        mlp.zero_grad();
+        let grad_in = mlp.backward_batch(&cache, &out);
+
+        let eps = 1e-2_f32;
+        let checks = [(0usize, 0usize, 0usize), (1, 0, 1), (2, 2, 4), (3, 0, 2)];
+        for (which, pr, pc) in checks {
+            let orig = mlp.params_mut()[which].value.get(pr, pc);
+            mlp.params_mut()[which].value.set(pr, pc, orig + eps);
+            mlp.params_mut()[which].invalidate_transpose();
+            let lp = loss(&mlp, &batch);
+            mlp.params_mut()[which].value.set(pr, pc, orig - eps);
+            mlp.params_mut()[which].invalidate_transpose();
+            let lm = loss(&mlp, &batch);
+            mlp.params_mut()[which].value.set(pr, pc, orig);
+            mlp.params_mut()[which].invalidate_transpose();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = mlp.params_mut()[which].grad.get(pr, pc);
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "param {which} [{pr},{pc}]: numerical {num} vs analytic {ana}"
+            );
+        }
+        for i in 0..4 {
+            let mut xp = batch.clone();
+            let mut xm = batch.clone();
+            xp.row_mut(1)[i] += eps;
+            xm.row_mut(1)[i] -= eps;
+            let num = (loss(&mlp, &xp) - loss(&mlp, &xm)) / (2.0 * eps);
+            let ana = grad_in.get(1, i);
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "dx[1][{i}]: numerical {num} vs analytic {ana}"
             );
         }
     }

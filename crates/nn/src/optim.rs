@@ -107,12 +107,15 @@ impl Adam {
         for (idx, p) in params.iter_mut().enumerate() {
             let m = &mut self.first_moment[idx];
             let v = &mut self.second_moment[idx];
-            let grads: Vec<f32> = p.grad.data().to_vec();
+            // Split borrows of the parameter's disjoint fields — the grads
+            // are read-only here, so no copy of them is needed.
+            let grads = &p.grad;
+            let values = &mut p.value;
             for ((mi, vi), (&gi, wi)) in m
                 .data_mut()
                 .iter_mut()
                 .zip(v.data_mut().iter_mut())
-                .zip(grads.iter().zip(p.value.data_mut().iter_mut()))
+                .zip(grads.data().iter().zip(values.data_mut().iter_mut()))
             {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
@@ -210,10 +213,12 @@ mod tests {
         );
 
         // An optimizer step mutates the weights; the stale transpose must be
-        // evicted so the next batched pass sees the updated values.
+        // evicted so the next batched pass sees the updated values. The
+        // input gradient is dead here, so the params-only entry point skips
+        // building it.
         let grad_out = vec![1.0; 4];
         for row in 0..batch.rows() {
-            let _ = layer.backward(batch.row(row), &grad_out);
+            layer.backward_params_only(batch.row(row), &grad_out);
         }
         let mut adam = Adam::new(0.05);
         adam.step(&mut layer.params_mut());
@@ -238,7 +243,7 @@ mod tests {
         // SGD evicts too.
         let mut sgd = Sgd::new(0.1, 0.0);
         for row in 0..batch.rows() {
-            let _ = layer.backward(batch.row(row), &grad_out);
+            layer.backward_params_only(batch.row(row), &grad_out);
         }
         sgd.step(&mut layer.params_mut());
         let _ = layer.forward_batch(&batch);

@@ -32,7 +32,7 @@
 //! the scalar fallbacks cannot rot. Because both modes are bit-identical,
 //! toggling the variable never changes a score, only throughput.
 
-use std::ops::{Add, Mul, Sub};
+use std::ops::{Add, Div, Mul, Neg, Not, Sub};
 use std::sync::OnceLock;
 
 /// Lane width of the portable vector type.
@@ -128,6 +128,281 @@ impl Mul for F32x8 {
             *o = a * b;
         }
         F32x8(out)
+    }
+}
+
+impl Div for F32x8 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        let mut out = [0.0; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = a / b;
+        }
+        F32x8(out)
+    }
+}
+
+/// Exact lane-wise negation (sign-bit flip), bit-identical to scalar `-x`
+/// even on signed zeros (`0.0 - x` would turn `-0.0` into `+0.0`).
+impl Neg for F32x8 {
+    type Output = F32x8;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        F32x8::from_bits(self.to_bits() ^ I32x8::splat(i32::MIN))
+    }
+}
+
+impl F32x8 {
+    /// Lane-wise bit reinterpretation to `i32`.
+    #[inline(always)]
+    #[must_use]
+    pub fn to_bits(self) -> I32x8 {
+        let mut out = [0i32; LANES];
+        for (o, &v) in out.iter_mut().zip(self.0.iter()) {
+            *o = v.to_bits() as i32;
+        }
+        I32x8(out)
+    }
+
+    /// Lane-wise bit reinterpretation from `i32`.
+    #[inline(always)]
+    #[must_use]
+    pub fn from_bits(bits: I32x8) -> Self {
+        let mut out = [0.0f32; LANES];
+        for (o, &b) in out.iter_mut().zip(bits.0.iter()) {
+            *o = f32::from_bits(b as u32);
+        }
+        F32x8(out)
+    }
+
+    /// Lane-wise `<` compare, producing an all-ones / all-zeros mask.
+    #[inline(always)]
+    #[must_use]
+    pub fn lt(self, rhs: Self) -> M32x8 {
+        let mut out = [0u32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = if a < b { u32::MAX } else { 0 };
+        }
+        M32x8(out)
+    }
+
+    /// Lane-wise saturating cast to `i32` (Rust `as` semantics).
+    #[inline(always)]
+    #[must_use]
+    pub fn to_int(self) -> I32x8 {
+        let mut out = [0i32; LANES];
+        for (o, &v) in out.iter_mut().zip(self.0.iter()) {
+            *o = v as i32;
+        }
+        I32x8(out)
+    }
+}
+
+/// A portable 8-lane `i32` vector for the bit-manipulation halves of the
+/// transcendental kernels (exponent ladders, sign handling). Like
+/// [`F32x8`], every op is a plain per-lane loop that LLVM lowers to vector
+/// instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct I32x8(pub [i32; LANES]);
+
+impl I32x8 {
+    /// Broadcasts one value to all lanes.
+    #[inline(always)]
+    #[must_use]
+    pub fn splat(v: i32) -> Self {
+        I32x8([v; LANES])
+    }
+
+    /// Lane-wise wrapping add.
+    #[inline(always)]
+    #[must_use]
+    pub fn wrapping_add(self, rhs: Self) -> Self {
+        let mut out = [0i32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = a.wrapping_add(b);
+        }
+        I32x8(out)
+    }
+
+    /// Lane-wise wrapping subtract.
+    #[inline(always)]
+    #[must_use]
+    pub fn wrapping_sub(self, rhs: Self) -> Self {
+        let mut out = [0i32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = a.wrapping_sub(b);
+        }
+        I32x8(out)
+    }
+
+    /// Lane-wise bitwise AND.
+    #[inline(always)]
+    #[must_use]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut out = [0i32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = a & b;
+        }
+        I32x8(out)
+    }
+
+    /// Lane-wise wrapping left shift by a uniform amount.
+    #[inline(always)]
+    #[must_use]
+    pub fn shl_uniform(self, amount: u32) -> Self {
+        let mut out = [0i32; LANES];
+        for (o, &a) in out.iter_mut().zip(self.0.iter()) {
+            *o = a.wrapping_shl(amount);
+        }
+        I32x8(out)
+    }
+
+    /// Lane-wise *logical* right shift by per-lane counts (counts must be
+    /// pre-clamped to `0..32` by the caller).
+    #[inline(always)]
+    #[must_use]
+    pub fn shr_logical_var(self, counts: Self) -> Self {
+        let mut out = [0i32; LANES];
+        for ((o, &a), &n) in out.iter_mut().zip(self.0.iter()).zip(counts.0.iter()) {
+            *o = ((a as u32) >> (n as u32 & 31)) as i32;
+        }
+        I32x8(out)
+    }
+
+    /// Lane-wise signed clamp.
+    #[inline(always)]
+    #[must_use]
+    pub fn clamp(self, lo: i32, hi: i32) -> Self {
+        let mut out = [0i32; LANES];
+        for (o, &a) in out.iter_mut().zip(self.0.iter()) {
+            *o = a.clamp(lo, hi);
+        }
+        I32x8(out)
+    }
+
+    /// Lane-wise signed `<` compare.
+    #[inline(always)]
+    #[must_use]
+    pub fn lt(self, rhs: Self) -> M32x8 {
+        let mut out = [0u32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = if a < b { u32::MAX } else { 0 };
+        }
+        M32x8(out)
+    }
+
+    /// Lane-wise signed `>` compare.
+    #[inline(always)]
+    #[must_use]
+    pub fn gt(self, rhs: Self) -> M32x8 {
+        rhs.lt(self)
+    }
+
+    /// Lane-wise `==` compare.
+    #[inline(always)]
+    #[must_use]
+    pub fn eq(self, rhs: Self) -> M32x8 {
+        let mut out = [0u32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = if a == b { u32::MAX } else { 0 };
+        }
+        M32x8(out)
+    }
+
+    /// Lane-wise exact cast to `f32` (values must be small integers, as in
+    /// the `k as f32` step of the expm1 reduction).
+    #[inline(always)]
+    #[must_use]
+    pub fn to_float(self) -> F32x8 {
+        let mut out = [0.0f32; LANES];
+        for (o, &a) in out.iter_mut().zip(self.0.iter()) {
+            *o = a as f32;
+        }
+        F32x8(out)
+    }
+}
+
+impl std::ops::BitXor for I32x8 {
+    type Output = I32x8;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        let mut out = [0i32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = a ^ b;
+        }
+        I32x8(out)
+    }
+}
+
+/// An 8-lane boolean mask (all-ones or all-zeros per 32-bit lane), produced
+/// by the lane compares and consumed by the bitwise selects. This is the
+/// genuine SIMD select form of the fdlibm branch ladders: every arm is
+/// computed with total (clamped/wrapping) arithmetic and the arm the scalar
+/// code would have branched to is blended in per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct M32x8(pub [u32; LANES]);
+
+/// Lane-wise mask complement.
+impl std::ops::Not for M32x8 {
+    type Output = M32x8;
+    #[inline(always)]
+    fn not(self) -> Self {
+        let mut out = [0u32; LANES];
+        for (o, &m) in out.iter_mut().zip(self.0.iter()) {
+            *o = !m;
+        }
+        M32x8(out)
+    }
+}
+
+impl M32x8 {
+    /// Whether any lane is set — the scalar-fallback probes reduce to this.
+    #[inline(always)]
+    #[must_use]
+    pub fn any(self) -> bool {
+        let mut acc = 0u32;
+        for &m in &self.0 {
+            acc |= m;
+        }
+        acc != 0
+    }
+
+    /// Lane-wise mask intersection.
+    #[inline(always)]
+    #[must_use]
+    pub fn and(self, rhs: Self) -> Self {
+        let mut out = [0u32; LANES];
+        for ((o, &a), &b) in out.iter_mut().zip(self.0.iter()).zip(rhs.0.iter()) {
+            *o = a & b;
+        }
+        M32x8(out)
+    }
+
+    /// Lane-wise blend: `a` where the mask is set, `b` elsewhere. Bitwise,
+    /// so NaN payloads and signed zeros pass through unchanged.
+    #[inline(always)]
+    #[must_use]
+    pub fn select(self, a: F32x8, b: F32x8) -> F32x8 {
+        F32x8::from_bits(self.select_bits(a.to_bits(), b.to_bits()))
+    }
+
+    /// Lane-wise blend on integer lanes.
+    #[inline(always)]
+    #[must_use]
+    pub fn select_bits(self, a: I32x8, b: I32x8) -> I32x8 {
+        let mut out = [0i32; LANES];
+        for (((o, &m), &av), &bv) in out
+            .iter_mut()
+            .zip(self.0.iter())
+            .zip(a.0.iter())
+            .zip(b.0.iter())
+        {
+            *o = (av & m as i32) | (bv & !(m as i32));
+        }
+        I32x8(out)
     }
 }
 
@@ -531,11 +806,11 @@ pub fn transcendental_lanes_active() -> bool {
 #[must_use]
 #[inline(always)]
 pub fn vexp(x: F32x8) -> F32x8 {
-    let mut any_special = false;
-    for &v in &x.0 {
-        any_special |= (v.to_bits() >> 20) & 0x7ff > 0x42a;
-    }
-    if any_special {
+    let abstop = x
+        .to_bits()
+        .shr_logical_var(I32x8::splat(20))
+        .and(I32x8::splat(0x7ff));
+    if abstop.gt(I32x8::splat(0x42a)).any() {
         let mut out = [0.0; LANES];
         for (o, &v) in out.iter_mut().zip(x.0.iter()) {
             *o = scalar::exp(v);
@@ -557,121 +832,120 @@ pub fn vexpm1(x: F32x8) -> F32x8 {
     // Lanes outside the polynomial fast path (saturation, overflow,
     // non-finite, sub-2^-25) are rare in gate pre-activations; handle any
     // of them with the scalar port.
-    let mut any_special = false;
-    for &v in &x.0 {
-        let hx = v.to_bits() & 0x7fff_ffff;
-        any_special |= !(0x3300_0000..0x4195_B844).contains(&hx);
-    }
-    if any_special {
+    let bits = x.to_bits();
+    let hx = bits.and(I32x8::splat(0x7fff_ffff));
+    let in_range = hx
+        .lt(I32x8::splat(0x3300_0000))
+        .not()
+        .and(hx.lt(I32x8::splat(0x4195_B844)));
+    if in_range.not().any() {
         let mut out = [0.0; LANES];
         for (o, &v) in out.iter_mut().zip(x.0.iter()) {
             *o = scalar::expm1(v);
         }
         return F32x8(out);
     }
-    // SoA hot path. The fdlibm reduce/rescale branch ladders are
-    // re-expressed in straight-line select form: every arm is evaluated
-    // with total (clamped/wrapping) arithmetic and the arm the scalar
-    // code would have taken is selected per lane — identical values, no
-    // branches, so the whole kernel if-converts and vectorizes.
+    // Full-width hot path. The fdlibm reduce/rescale branch ladders are
+    // re-expressed as genuine mask/select vector ops: every arm is
+    // evaluated across all eight lanes with total (clamped/wrapping)
+    // arithmetic, and the arm the scalar code would have branched to is
+    // blended in per lane — identical values, straight-line vector IR.
     const LN2_HI: f32 = f32::from_bits(0x3F317180);
     const LN2_LO: f32 = f32::from_bits(0x3717F7D1);
     const INV_LN2: f32 = f32::from_bits(0x3FB8AA3B);
-    let mut xr = [0.0f32; LANES];
-    let mut cc = [0.0f32; LANES];
-    let mut kk = [0i32; LANES];
-    for l in 0..LANES {
-        let v = x.0[l];
-        let bits = v.to_bits();
-        let hx = bits & 0x7fff_ffff;
-        let sign = bits & 0x8000_0000 != 0;
-        // k = ±1 arm (0.5*ln2 < |x| < 1.5*ln2): exact hi/lo split.
-        let hi1 = v - sel(sign, -LN2_HI, LN2_HI);
-        let lo1 = sel(sign, -LN2_LO, LN2_LO);
-        // General arm: rounded multiple of ln2.
-        let kf = INV_LN2 * v + sel(sign, -0.5f32, 0.5);
-        let k2 = kf as i32;
-        let t = k2 as f32;
-        let hi2 = v - t * LN2_HI;
-        let lo2 = t * LN2_LO;
-        let near_one = hx < 0x3F85_1592;
-        let hi = sel(near_one, hi1, hi2);
-        let lo = sel(near_one, lo1, lo2);
-        let k = sel(near_one, sel(sign, -1, 1), k2);
-        let xv = hi - lo;
-        let cv = (hi - xv) - lo;
-        // Below 0.5*ln2 no reduction happens at all.
-        let reduce = hx > 0x3EB1_7218;
-        xr[l] = sel(reduce, xv, v);
-        cc[l] = sel(reduce, cv, 0.0);
-        kk[l] = sel(reduce, k, 0);
-    }
-    let (e, hxs) = vexpm1_poly(&xr);
-    let mut out = [0.0; LANES];
-    for l in 0..LANES {
-        out[l] = expm1_finish_branchless(xr[l], cc[l], e[l], hxs[l], kk[l]);
-    }
-    F32x8(out)
+    let sign = bits.lt(I32x8::splat(0));
+    // k = ±1 arm (0.5*ln2 < |x| < 1.5*ln2): exact hi/lo split.
+    let hi1 = x - sign.select(F32x8::splat(-LN2_HI), F32x8::splat(LN2_HI));
+    let lo1 = sign.select(F32x8::splat(-LN2_LO), F32x8::splat(LN2_LO));
+    // General arm: rounded multiple of ln2.
+    let kf = F32x8::splat(INV_LN2) * x + sign.select(F32x8::splat(-0.5), F32x8::splat(0.5));
+    let k2 = kf.to_int();
+    let t = k2.to_float();
+    let hi2 = x - t * F32x8::splat(LN2_HI);
+    let lo2 = t * F32x8::splat(LN2_LO);
+    let near_one = hx.lt(I32x8::splat(0x3F85_1592));
+    let hi = near_one.select(hi1, hi2);
+    let lo = near_one.select(lo1, lo2);
+    let k = near_one.select_bits(sign.select_bits(I32x8::splat(-1), I32x8::splat(1)), k2);
+    let xv = hi - lo;
+    let cv = (hi - xv) - lo;
+    // Below 0.5*ln2 no reduction happens at all.
+    let reduce = hx.gt(I32x8::splat(0x3EB1_7218));
+    let xr = reduce.select(xv, x);
+    let cc = reduce.select(cv, F32x8::zero());
+    let kk = reduce.select_bits(k, I32x8::splat(0));
+    let (e, hxs) = vexpm1_poly(xr);
+    vexpm1_finish(xr, cc, e, hxs, kk)
 }
 
-/// [`scalar::expm1_finish`] with every branch arm computed and selected —
-/// identical values per lane, straight-line control flow. Shift amounts
-/// are clamped/wrapped so discarded arms cannot panic.
+/// [`scalar::expm1_finish`] with every branch arm computed across all
+/// lanes and mask-blended — identical values per lane, straight-line
+/// vector control flow. Shift amounts are clamped/wrapped so discarded
+/// arms cannot trap.
 #[inline(always)]
-fn expm1_finish_branchless(xr: f32, c: f32, e0: f32, hxs: f32, k: i32) -> f32 {
+fn vexpm1_finish(xr: F32x8, c: F32x8, e0: F32x8, hxs: F32x8, k: I32x8) -> F32x8 {
+    let half = F32x8::splat(0.5);
+    let one = F32x8::splat(1.0);
+    let two = F32x8::splat(2.0);
     let r_k0 = xr - (xr * e0 - hxs);
-    let mut e = xr * (e0 - c) - c;
-    e -= hxs;
-    let r_km1 = 0.5 * (xr - e) - 0.5;
-    let r_k1 = sel(xr < -0.25, -2.0 * (e - (xr + 0.5)), 1.0 + 2.0 * (xr - e));
-    let scale = (k as u32).wrapping_shl(23);
+    let e = (xr * (e0 - c) - c) - hxs;
+    let r_km1 = half * (xr - e) - half;
+    let r_k1 = xr
+        .lt(F32x8::splat(-0.25))
+        .select(-two * (e - (xr + half)), one + two * (xr - e));
+    let scale = k.shl_uniform(23);
     // k <= -2 or k > 56: 2^k dwarfs the 1 being subtracted back out.
-    let y_big = 1.0 - (e - xr);
-    let r_big = f32::from_bits(y_big.to_bits().wrapping_add(scale)) - 1.0;
+    let y_big = one - (e - xr);
+    let r_big = F32x8::from_bits(y_big.to_bits().wrapping_add(scale)) - one;
     // 2 <= k < 23: y = (1 - 2^-k) - (e - x).
-    let kc = k.clamp(0, 31) as u32;
-    let t_mid = f32::from_bits(0x3F80_0000u32.wrapping_sub(0x0100_0000u32 >> kc));
+    let t_mid = F32x8::from_bits(
+        I32x8::splat(0x3F80_0000)
+            .wrapping_sub(I32x8::splat(0x0100_0000).shr_logical_var(k.clamp(0, 31))),
+    );
     let y_mid = t_mid - (e - xr);
-    let r_mid = f32::from_bits(y_mid.to_bits().wrapping_add(scale));
+    let r_mid = F32x8::from_bits(y_mid.to_bits().wrapping_add(scale));
     // 23 <= k <= 56: y = (x - (e + 2^-k)) + 1.
-    let t_hi = f32::from_bits(((0x7f - k) as u32).wrapping_shl(23));
-    let mut y_hi = xr - (e + t_hi);
-    y_hi += 1.0;
-    let r_hi = f32::from_bits(y_hi.to_bits().wrapping_add(scale));
+    let t_hi = F32x8::from_bits(I32x8::splat(0x7f).wrapping_sub(k).shl_uniform(23));
+    let y_hi = (xr - (e + t_hi)) + one;
+    let r_hi = F32x8::from_bits(y_hi.to_bits().wrapping_add(scale));
 
-    let r_scaled = sel(!(-1..=56).contains(&k), r_big, sel(k < 23, r_mid, r_hi));
-    sel(
-        k == 0,
+    let in_window = k
+        .lt(I32x8::splat(-1))
+        .not()
+        .and(k.gt(I32x8::splat(56)).not());
+    let r_scaled = in_window
+        .not()
+        .select(r_big, k.lt(I32x8::splat(23)).select(r_mid, r_hi));
+    k.eq(I32x8::splat(0)).select(
         r_k0,
-        sel(k == -1, r_km1, sel(k == 1, r_k1, r_scaled)),
+        k.eq(I32x8::splat(-1))
+            .select(r_km1, k.eq(I32x8::splat(1)).select(r_k1, r_scaled)),
     )
 }
 
-/// Branchless select: LLVM if-converts this into a `select`, which is what
-/// lets the expm1/tanh lane kernels vectorize despite the fdlibm branch
-/// structure. Both arms are always computed; callers must make sure unused
-/// arms cannot trap (clamped shifts, no panics).
+/// The `expm1f` rational core over all lanes at once — the exact scalar op
+/// order of [`scalar::expm1_poly`], expressed in [`F32x8`] arithmetic so
+/// the polynomial and (crucially) the divide lower to vector instructions.
 #[inline(always)]
-fn sel<T: Copy>(cond: bool, a: T, b: T) -> T {
-    if cond {
-        a
-    } else {
-        b
-    }
-}
-
-/// The `expm1f` rational core over all lanes at once — element-wise `f32`
-/// ops in the exact scalar order ([`scalar::expm1_poly`] per lane), so
-/// LLVM can vectorize the polynomial and (crucially) the divide.
-#[inline(always)]
-fn vexpm1_poly(xr: &[f32; LANES]) -> ([f32; LANES], [f32; LANES]) {
-    let mut e = [0.0f32; LANES];
-    let mut hxs = [0.0f32; LANES];
-    for l in 0..LANES {
-        let (el, hl) = scalar::expm1_poly(xr[l]);
-        e[l] = el;
-        hxs[l] = hl;
-    }
+fn vexpm1_poly(xr: F32x8) -> (F32x8, F32x8) {
+    const Q1: f32 = f32::from_bits(0xBD08_8889);
+    const Q2: f32 = f32::from_bits(0x3AD0_0D01);
+    const Q3: f32 = f32::from_bits(0xB8A6_70CD);
+    const Q4: f32 = f32::from_bits(0x3686_7E54);
+    const Q5: f32 = f32::from_bits(0xB457_EDBB);
+    let one = F32x8::splat(1.0);
+    let hfx = F32x8::splat(0.5) * xr;
+    let hxs = xr * hfx;
+    let r1 = one
+        + hxs
+            * (F32x8::splat(Q1)
+                + hxs
+                    * (F32x8::splat(Q2)
+                        + hxs
+                            * (F32x8::splat(Q3)
+                                + hxs * (F32x8::splat(Q4) + hxs * F32x8::splat(Q5)))));
+    let t = F32x8::splat(3.0) - r1 * hfx;
+    let e = hxs * ((r1 - t) / (F32x8::splat(6.0) - xr * t));
     (e, hxs)
 }
 
@@ -884,35 +1158,31 @@ pub fn lstm_gate_h(zx: &[f32], zh: &[f32], bias: &[f32], c: &[f32], h_out: &mut 
 pub fn vtanh(x: F32x8) -> F32x8 {
     // The two mid-range branches both funnel through expm1; lanes outside
     // them (|x| >= 22, |x| < 2^-55, zero, non-finite) take the scalar port.
-    let mut any_special = false;
-    for &v in &x.0 {
-        let ix = v.to_bits() & 0x7fff_ffff;
-        any_special |= !(0x2400_0000..0x41B0_0000).contains(&ix);
-    }
-    if any_special {
+    let bits = x.to_bits();
+    let ix = bits.and(I32x8::splat(0x7fff_ffff));
+    let in_range = ix
+        .lt(I32x8::splat(0x2400_0000))
+        .not()
+        .and(ix.lt(I32x8::splat(0x41B0_0000)));
+    if in_range.not().any() {
         let mut out = [0.0; LANES];
         for (o, &v) in out.iter_mut().zip(x.0.iter()) {
             *o = scalar::tanh(v);
         }
         return F32x8(out);
     }
-    let mut arg = [0.0f32; LANES];
-    for (a, &v) in arg.iter_mut().zip(x.0.iter()) {
-        let ax = f32::from_bits(v.to_bits() & 0x7fff_ffff);
-        *a = sel(ax >= 1.0, ax + ax, -2.0 * ax);
-    }
-    let em = vexpm1(F32x8(arg));
-    let mut out = [0.0; LANES];
-    for ((o, &v), &t) in out.iter_mut().zip(x.0.iter()).zip(em.0.iter()) {
-        // Both branches divide by t + 2; selecting the numerator first
-        // leaves one (vectorizable) divide per lane:
-        //   |x| >= 1: z = 1 - 2/(t+2),   else: z = -t/(t+2).
-        let big = v.to_bits() & 0x7fff_ffff >= 0x3F80_0000;
-        let q = sel(big, 2.0, t) / (t + 2.0);
-        let z = sel(big, 1.0 - q, -q);
-        *o = sel(v.to_bits() & 0x8000_0000 != 0, -z, z);
-    }
-    F32x8(out)
+    let ax = F32x8::from_bits(ix);
+    let big = ix.lt(I32x8::splat(0x3F80_0000)).not(); // |x| >= 1
+    let arg = big.select(ax + ax, F32x8::splat(-2.0) * ax);
+    let t = vexpm1(arg);
+    // Both branches divide by t + 2; selecting the numerator first leaves
+    // one vector divide:  |x| >= 1: z = 1 - 2/(t+2),  else: z = -t/(t+2).
+    let q = big.select(F32x8::splat(2.0), t) / (t + F32x8::splat(2.0));
+    let z = big.select(F32x8::splat(1.0) - q, -q);
+    // Reapply the input sign exactly as the scalar negation does (a
+    // sign-bit XOR — `z` is never a NaN here, and copying the sign bit
+    // from the input is the `if sign { -z }` of the fdlibm code).
+    F32x8::from_bits(z.to_bits() ^ bits.and(I32x8::splat(i32::MIN)))
 }
 
 /// Lane-wise logistic sigmoid, bit-identical per lane to
@@ -920,14 +1190,6 @@ pub fn vtanh(x: F32x8) -> F32x8 {
 #[must_use]
 #[inline(always)]
 pub fn vsigmoid(x: F32x8) -> F32x8 {
-    let mut neg = [0.0f32; LANES];
-    for (n, &v) in neg.iter_mut().zip(x.0.iter()) {
-        *n = -v;
-    }
-    let e = vexp(F32x8(neg));
-    let mut out = [0.0; LANES];
-    for (o, &ev) in out.iter_mut().zip(e.0.iter()) {
-        *o = 1.0 / (1.0 + ev);
-    }
-    F32x8(out)
+    let one = F32x8::splat(1.0);
+    one / (one + vexp(-x))
 }

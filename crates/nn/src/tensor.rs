@@ -167,23 +167,57 @@ impl Matrix {
     ///
     /// Panics if `self.cols != other.rows`.
     pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        out.rows = self.rows;
-        out.cols = other.cols;
-        out.data.clear();
-        out.data.resize(self.rows * other.cols, 0.0);
+        other.matmul_slab_into(&self.data, self.rows, self.cols, out);
+    }
 
-        if self.rows == 0 || other.cols == 0 {
+    /// `lhs * self` where `lhs` is a borrowed row-major slab of
+    /// `lhs_rows x k_dim` values — the entry point the time-major LSTM
+    /// layouts use to multiply a contiguous per-step slab without first
+    /// materializing it as a [`Matrix`]. Identical dispatch, blocking and
+    /// accumulation order to [`Matrix::matmul_into`] (which delegates
+    /// here), so results are bit-identical to the per-sample `matvec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_dim != self.rows` or `lhs` is shorter than
+    /// `lhs_rows * k_dim`.
+    pub fn matmul_slab_into(&self, lhs: &[f32], lhs_rows: usize, k_dim: usize, out: &mut Matrix) {
+        out.rows = lhs_rows;
+        out.cols = self.cols;
+        out.data.resize(lhs_rows * self.cols, 0.0);
+        self.matmul_slab_to(lhs, lhs_rows, k_dim, &mut out.data);
+    }
+
+    /// [`Matrix::matmul_slab_into`] writing into a caller-provided slice of
+    /// exactly `lhs_rows * cols` values (overwritten, not accumulated) — the
+    /// form the batched LSTM backward uses to GEMM per-step gradient slabs
+    /// straight into time-major storage it does not own as a [`Matrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_dim != self.rows`, `lhs` is shorter than
+    /// `lhs_rows * k_dim`, or `out.len() != lhs_rows * cols`.
+    pub fn matmul_slab_to(&self, lhs: &[f32], lhs_rows: usize, k_dim: usize, out: &mut [f32]) {
+        assert_eq!(
+            k_dim, self.rows,
+            "matmul shape mismatch: {lhs_rows}x{k_dim} * {}x{}",
+            self.rows, self.cols
+        );
+        assert_eq!(
+            out.len(),
+            lhs_rows * self.cols,
+            "matmul output length mismatch"
+        );
+        let lhs = &lhs[..lhs_rows * k_dim];
+        out.fill(0.0);
+
+        if lhs_rows == 0 || self.cols == 0 {
             return;
         }
 
         // Below this many multiply-adds, pool dispatch overhead dominates.
         const PAR_WORK_THRESHOLD: usize = 1 << 19;
-        let work = self.rows * self.cols * other.cols;
+        let work = lhs_rows * k_dim * self.cols;
         let tasks = if work < PAR_WORK_THRESHOLD {
             1
         } else {
@@ -192,38 +226,21 @@ impl Matrix {
             // steals another chunk instead of idling at the barrier). Each
             // output row is computed independently with a fixed op order,
             // so chunk boundaries never change a single bit of the result.
-            (rayon::current_num_threads() * rayon::TASKS_PER_THREAD).min(self.rows)
+            (rayon::current_num_threads() * rayon::TASKS_PER_THREAD).min(lhs_rows)
         };
         if tasks <= 1 {
-            matmul_rows(
-                &self.data,
-                &other.data,
-                &mut out.data,
-                0,
-                self.rows,
-                self.cols,
-                other.cols,
-            );
+            matmul_rows(lhs, &self.data, out, 0, lhs_rows, k_dim, self.cols);
             return;
         }
         use rayon::prelude::ParallelSliceMut;
-        let rows_per_chunk = self.rows.div_ceil(tasks);
-        let (k_dim, n_dim) = (self.cols, other.cols);
-        out.data
-            .par_chunks_mut(rows_per_chunk * n_dim)
+        let rows_per_chunk = lhs_rows.div_ceil(tasks);
+        let n_dim = self.cols;
+        out.par_chunks_mut(rows_per_chunk * n_dim)
             .enumerate()
             .for_each(|(chunk_index, chunk)| {
                 let row_start = chunk_index * rows_per_chunk;
                 let row_count = chunk.len() / n_dim;
-                matmul_rows(
-                    &self.data,
-                    &other.data,
-                    chunk,
-                    row_start,
-                    row_count,
-                    k_dim,
-                    n_dim,
-                );
+                matmul_rows(lhs, &self.data, chunk, row_start, row_count, k_dim, n_dim);
             });
     }
 
@@ -274,17 +291,30 @@ impl Matrix {
     /// Panics if `self.rows != v.len()`.
     #[must_use]
     pub fn matvec_transposed(&self, v: &[f32]) -> Vec<f32> {
-        assert_eq!(self.rows, v.len(), "matvec_transposed shape mismatch");
         let mut out = vec![0.0; self.cols];
-        for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(i).iter()) {
-                *o += a * vi;
-            }
-        }
+        self.matvec_transposed_into(v, &mut out);
         out
+    }
+
+    /// [`Matrix::matvec_transposed`] accumulating into a caller-provided
+    /// (zeroed) output slice — the allocation-free form the per-sample
+    /// backward passes use for input gradients. The accumulation is
+    /// **dense**: every row contributes in strictly ascending order with
+    /// separate mul/add roundings, lane-vectorized across the *output*
+    /// columns so every element keeps the scalar op order. Per output
+    /// element this is the exact `k`-ascending chain of
+    /// [`Matrix::matmul_slab_to`], which is what lets the batched backward
+    /// kernels replace a loop of these calls with one GEMM bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != rows` or `out.len() != cols`.
+    pub fn matvec_transposed_into(&self, v: &[f32], out: &mut [f32]) {
+        assert_eq!(self.rows, v.len(), "matvec_transposed shape mismatch");
+        assert_eq!(self.cols, out.len(), "matvec_transposed output mismatch");
+        for (i, &vi) in v.iter().enumerate() {
+            vecops::axpy(out, vi, self.row(i));
+        }
     }
 
     /// Transpose.
@@ -390,6 +420,11 @@ impl Matrix {
 
     /// Adds the outer product `alpha * u * v^T` to this matrix in place.
     ///
+    /// The update is **dense** — every row receives its `(alpha * u[i]) *
+    /// v[j]` term (separate mul/add roundings, never fused) even when
+    /// `u[i]` is exactly zero, so a sequence of these calls is
+    /// bit-identical to one [`Matrix::add_outer_slab`] over the same rows.
+    ///
     /// # Panics
     ///
     /// Panics if `u.len() != rows` or `v.len() != cols`.
@@ -397,13 +432,45 @@ impl Matrix {
         assert_eq!(u.len(), self.rows, "add_outer row mismatch");
         assert_eq!(v.len(), self.cols, "add_outer col mismatch");
         for (i, &ui) in u.iter().enumerate() {
-            if ui == 0.0 {
-                continue;
-            }
             let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
-            for (r, &vj) in row.iter_mut().zip(v.iter()) {
-                *r += alpha * ui * vj;
+            vecops::axpy(row, alpha * ui, v);
+        }
+    }
+
+    /// Accumulates a whole batch of outer products in one blocked GEMM:
+    /// `self[i][j] += Σ_r u[r][i] * v[r][j]` where `u` is a row-major
+    /// `k_rows x rows` slab and `v` a row-major `k_rows x cols` slab.
+    ///
+    /// Per parameter element the products accumulate strictly
+    /// `r`-ascending with separate mul/add roundings on top of the
+    /// existing value — the exact op chain of calling
+    /// [`Matrix::add_outer`]`(u.row(r), v.row(r), 1.0)` for `r = 0, 1, …`
+    /// in order, so batched weight-gradient sweeps that lay their
+    /// per-step rows out in the reference visit order are bit-identical
+    /// to the per-sample loop by construction. The lane kernel keeps
+    /// eight column accumulators in registers across an `r` block (the
+    /// latency-bound per-call `axpy` round-trips every row through memory
+    /// instead), which is where the batched backward throughput comes
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is shorter than `k_rows * rows` or `v` shorter than
+    /// `k_rows * cols`.
+    pub fn add_outer_slab(&mut self, u: &[f32], v: &[f32], k_rows: usize) {
+        let (m, n) = (self.rows, self.cols);
+        let u = &u[..k_rows * m];
+        let v = &v[..k_rows * n];
+        if crate::simd::linear_lanes_active() {
+            #[cfg(target_arch = "x86_64")]
+            if std::arch::is_x86_feature_detected!("avx") {
+                // SAFETY: AVX support was just verified at runtime.
+                unsafe { add_outer_slab_avx(&mut self.data, u, v, k_rows, m, n) };
+                return;
             }
+            add_outer_slab_lanes(&mut self.data, u, v, k_rows, m, n);
+        } else {
+            add_outer_slab_scalar(&mut self.data, u, v, k_rows, m, n);
         }
     }
 }
@@ -565,6 +632,108 @@ fn matmul_rows_scalar(
     }
 }
 
+/// AVX-compiled wrapper of [`add_outer_slab_lanes`]; identical op order, so
+/// identical bits — the `target_feature` attribute only licenses wider
+/// codegen for the portable lane type.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn add_outer_slab_avx(
+    out: &mut [f32],
+    u: &[f32],
+    v: &[f32],
+    k_rows: usize,
+    m: usize,
+    n: usize,
+) {
+    add_outer_slab_lanes(out, u, v, k_rows, m, n);
+}
+
+/// Column-lane kernel of [`Matrix::add_outer_slab`]: for each output row
+/// `i`, lane tiles of columns accumulate `u[r][i] * v[r][j]` with `r`
+/// innermost — the eight partial sums stay in registers across the `r`
+/// block instead of round-tripping through the output row per `r`. Per
+/// element the op sequence is the `r`-ascending `acc + u[r][i] * v[r][j]`
+/// chain (separate roundings), bit-identical to
+/// [`add_outer_slab_scalar`] by construction.
+#[inline(always)]
+fn add_outer_slab_lanes(out: &mut [f32], u: &[f32], v: &[f32], k_rows: usize, m: usize, n: usize) {
+    use crate::simd::{F32x8, LANES};
+    // Blocking `r` keeps an `RB x n` panel of `v` hot in cache across the
+    // output-row loop.
+    const RB: usize = 64;
+    // Four lane tiles (32 columns) advance together so the inner `r` loop
+    // carries four independent add chains.
+    const TILES: usize = 4;
+    let n_main = n - n % LANES;
+    let n_wide = n - n % (TILES * LANES);
+    let mut rb = 0;
+    while rb < k_rows {
+        let r_end = (rb + RB).min(k_rows);
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j < n_wide {
+                let mut acc0 = F32x8::load(&out_row[j..]);
+                let mut acc1 = F32x8::load(&out_row[j + LANES..]);
+                let mut acc2 = F32x8::load(&out_row[j + 2 * LANES..]);
+                let mut acc3 = F32x8::load(&out_row[j + 3 * LANES..]);
+                for r in rb..r_end {
+                    let u_val = F32x8::splat(u[r * m + i]);
+                    let v_row = &v[r * n + j..];
+                    acc0 = acc0 + u_val * F32x8::load(v_row);
+                    acc1 = acc1 + u_val * F32x8::load(&v_row[LANES..]);
+                    acc2 = acc2 + u_val * F32x8::load(&v_row[2 * LANES..]);
+                    acc3 = acc3 + u_val * F32x8::load(&v_row[3 * LANES..]);
+                }
+                acc0.store(&mut out_row[j..]);
+                acc1.store(&mut out_row[j + LANES..]);
+                acc2.store(&mut out_row[j + 2 * LANES..]);
+                acc3.store(&mut out_row[j + 3 * LANES..]);
+                j += TILES * LANES;
+            }
+            while j < n_main {
+                let mut acc = F32x8::load(&out_row[j..]);
+                for r in rb..r_end {
+                    let u_val = F32x8::splat(u[r * m + i]);
+                    acc = acc + u_val * F32x8::load(&v[r * n + j..]);
+                }
+                acc.store(&mut out_row[j..]);
+                j += LANES;
+            }
+            for j in n_main..n {
+                let mut acc = out_row[j];
+                for r in rb..r_end {
+                    acc += u[r * m + i] * v[r * n + j];
+                }
+                out_row[j] = acc;
+            }
+        }
+        rb = r_end;
+    }
+}
+
+/// Scalar reference kernel of [`Matrix::add_outer_slab`] — the
+/// `NETSYN_SIMD=0` fallback and the ground truth the lane kernel is tested
+/// against. Same `r`-blocked loop nest, same per-element chain.
+fn add_outer_slab_scalar(out: &mut [f32], u: &[f32], v: &[f32], k_rows: usize, m: usize, n: usize) {
+    const RB: usize = 64;
+    let mut rb = 0;
+    while rb < k_rows {
+        let r_end = (rb + RB).min(k_rows);
+        for i in 0..m {
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                let mut acc = out_row[j];
+                for r in rb..r_end {
+                    acc += u[r * m + i] * v[r * n + j];
+                }
+                out_row[j] = acc;
+            }
+        }
+        rb = r_end;
+    }
+}
+
 impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
@@ -584,6 +753,33 @@ impl fmt::Display for Matrix {
 
 /// Vector helpers shared by the layer implementations.
 pub mod vecops {
+    /// In-place `dst[j] += a * src[j]`, lane-vectorized eight elements at a
+    /// time with **separate** mul/add roundings (never fused). Elements are
+    /// independent, so the lane form is bit-identical to the scalar loop —
+    /// this is the row primitive under [`super::Matrix::add_outer`] and
+    /// [`super::Matrix::matvec_transposed`], whose dense per-row chains are
+    /// what the batched backward GEMMs
+    /// ([`super::Matrix::add_outer_slab`] /
+    /// [`super::Matrix::matmul_slab_to`]) replay element-for-element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is shorter than `dst`.
+    pub fn axpy(dst: &mut [f32], a: f32, src: &[f32]) {
+        use crate::simd::{F32x8, LANES};
+        let n = dst.len();
+        let main = n - n % LANES;
+        let av = F32x8::splat(a);
+        let mut j = 0;
+        while j < main {
+            (F32x8::load(&dst[j..]) + av * F32x8::load(&src[j..])).store(&mut dst[j..]);
+            j += LANES;
+        }
+        for (o, &s) in dst[main..].iter_mut().zip(src[main..n].iter()) {
+            *o += a * s;
+        }
+    }
+
     /// Element-wise sum of two slices.
     #[must_use]
     pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
@@ -782,6 +978,46 @@ mod tests {
         assert_eq!(m.data(), &[1.0, 0.0, -1.0, 2.0, 0.0, -2.0]);
         m.add_outer(&[1.0, 2.0], &[1.0, 0.0, -1.0], -1.0);
         assert_eq!(m.data(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn add_outer_slab_is_bit_identical_to_sequential_add_outer() {
+        let mut rng = ChaCha8Rng::seed_from_u64(97);
+        // Sizes straddle the lane width, the 4-tile width and the `r`
+        // block: columns hit the wide-tile, single-lane and scalar-tail
+        // paths; 150 rows span three 64-row blocks.
+        for (m, n, k) in [(5, 37, 150), (12, 8, 3), (3, 2, 1), (4, 33, 0)] {
+            let mut reference = Matrix::uniform(m, n, 1.0, &mut rng);
+            let mut batched = reference.clone();
+            let mut u = Matrix::uniform(k.max(1), m, 1.0, &mut rng);
+            let v = Matrix::uniform(k.max(1), n, 1.0, &mut rng);
+            if k > 0 {
+                // Exact zeros exercise the dense (no-skip) semantics.
+                u.set(0, 0, 0.0);
+            }
+            for r in 0..k {
+                reference.add_outer(u.row(r), v.row(r), 1.0);
+            }
+            batched.add_outer_slab(&u.data()[..k * m], &v.data()[..k * n], k);
+            for (a, b) in batched.data().iter().zip(reference.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "({m}x{n}, k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_slab_to_is_bit_identical_to_matvec_transposed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(98);
+        let w = Matrix::uniform(37, 21, 1.0, &mut rng);
+        let dz = Matrix::uniform(9, 37, 1.0, &mut rng);
+        let mut out = vec![f32::NAN; 9 * 21];
+        w.matmul_slab_to(dz.data(), 9, 37, &mut out);
+        for r in 0..9 {
+            let reference = w.matvec_transposed(dz.row(r));
+            for (a, b) in out[r * 21..(r + 1) * 21].iter().zip(reference.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+            }
+        }
     }
 
     #[test]
