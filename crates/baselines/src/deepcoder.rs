@@ -31,10 +31,11 @@ impl<G: GuidanceModel> DeepCoder<G> {
         }
     }
 
-    /// Overrides the size of the initial active function set.
+    /// Overrides the size of the initial active function set. Values larger
+    /// than the problem domain's vocabulary are clamped at synthesis time.
     #[must_use]
     pub fn with_initial_active(mut self, initial_active: usize) -> Self {
-        self.initial_active = initial_active.clamp(1, Function::COUNT);
+        self.initial_active = initial_active.max(1);
         self
     }
 
@@ -121,7 +122,7 @@ impl<G: GuidanceModel> Synthesizer for DeepCoder<G> {
         _rng: &mut dyn RngCore,
     ) -> SynthesisResult {
         let map = self.guidance.probability_map(&problem.spec);
-        let order = map.top_k(Function::COUNT);
+        let order = map.top_k(map.as_slice().len());
         let mut evaluated = 0usize;
         let mut active_size = self.initial_active.min(order.len()).max(1);
         let mut first_round = true;

@@ -13,7 +13,7 @@
 
 use crate::guidance::GuidanceModel;
 use crate::synthesizer::{SynthesisProblem, SynthesisResult, Synthesizer};
-use netsyn_dsl::{Function, IoSpec, Program};
+use netsyn_dsl::{IoSpec, Program};
 use netsyn_fitness::metrics::output_similarity;
 use netsyn_fitness::ProbabilityMap;
 use netsyn_ga::SearchBudget;
@@ -81,7 +81,7 @@ impl<G: GuidanceModel> PcCoder<G> {
         for depth in 0..problem.target_length {
             let mut extensions: Vec<(Program, f64)> = Vec::new();
             for (partial, _) in &beam {
-                for function in Function::ALL {
+                for &function in problem.domain.vocab() {
                     let mut functions = partial.functions().to_vec();
                     functions.push(function);
                     let extended = Program::new(functions);
@@ -145,7 +145,7 @@ impl<G: GuidanceModel> Synthesizer for PcCoder<G> {
 mod tests {
     use super::*;
     use crate::guidance::UniformGuidance;
-    use netsyn_dsl::{IntPredicate, MapOp, Value};
+    use netsyn_dsl::{Function, IntPredicate, MapOp, Value};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -12,7 +12,7 @@
 //! mutation.
 
 use crate::synthesizer::{SynthesisProblem, SynthesisResult, Synthesizer};
-use netsyn_dsl::{Function, Program};
+use netsyn_dsl::{DomainId, Program};
 use netsyn_fitness::{EditDistanceFitness, FitnessFunction};
 use netsyn_ga::SearchBudget;
 use rand::{Rng, RngCore};
@@ -55,9 +55,10 @@ impl PushGp {
         self
     }
 
-    fn random_program(length: usize, rng: &mut dyn RngCore) -> Program {
+    fn random_program(domain: DomainId, length: usize, rng: &mut dyn RngCore) -> Program {
+        let vocab = domain.vocab();
         (0..length)
-            .map(|_| Function::ALL[rng.gen_range(0..Function::COUNT)])
+            .map(|_| vocab[rng.gen_range(0..vocab.len())])
             .collect()
     }
 
@@ -103,7 +104,7 @@ impl Synthesizer for PushGp {
                 return SynthesisResult::not_found(evaluated);
             }
             evaluated += 1;
-            let program = Self::random_program(problem.target_length, rng);
+            let program = Self::random_program(problem.domain, problem.target_length, rng);
             if problem.spec.is_satisfied_by(&program) {
                 return SynthesisResult::found(program, evaluated);
             }
@@ -122,7 +123,8 @@ impl Synthesizer for PushGp {
                 } else if draw < self.crossover_rate + self.mutation_rate {
                     let parent = self.tournament_select(&population, rng).clone();
                     let position = rng.gen_range(0..parent.len());
-                    let replacement = Function::ALL[rng.gen_range(0..Function::COUNT)];
+                    let vocab = problem.domain.vocab();
+                    let replacement = vocab[rng.gen_range(0..vocab.len())];
                     parent.with_replaced(position, replacement)
                 } else {
                     // Straight reproduction: keep the selected parent without
@@ -153,7 +155,7 @@ impl Synthesizer for PushGp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsyn_dsl::{IntPredicate, IoSpec, MapOp, Value};
+    use netsyn_dsl::{Function, IntPredicate, IoSpec, MapOp, Value};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

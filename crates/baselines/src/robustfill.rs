@@ -12,7 +12,7 @@
 
 use crate::guidance::GuidanceModel;
 use crate::synthesizer::{SynthesisProblem, SynthesisResult, Synthesizer};
-use netsyn_dsl::{Function, Program};
+use netsyn_dsl::Program;
 use netsyn_fitness::ProbabilityMap;
 use netsyn_ga::SearchBudget;
 use rand::{Rng, RngCore};
@@ -52,7 +52,8 @@ impl<G: GuidanceModel> RobustFill<G> {
         length: usize,
         rng: &mut dyn RngCore,
     ) -> Program {
-        let mut emitted_counts = [0u32; Function::COUNT];
+        let vocab = map.domain().vocab();
+        let mut emitted_counts = vec![0u32; vocab.len()];
         let mut functions = Vec::with_capacity(length);
         for _ in 0..length {
             let weights: Vec<f64> = map
@@ -65,7 +66,7 @@ impl<G: GuidanceModel> RobustFill<G> {
                 .collect();
             let index = weighted_sample(&weights, rng);
             emitted_counts[index] += 1;
-            functions.push(Function::ALL[index]);
+            functions.push(vocab[index]);
         }
         Program::new(functions)
     }
@@ -114,7 +115,7 @@ impl<G: GuidanceModel> Synthesizer for RobustFill<G> {
 mod tests {
     use super::*;
     use crate::guidance::UniformGuidance;
-    use netsyn_dsl::{IntPredicate, IoSpec, MapOp, Value};
+    use netsyn_dsl::{Function, IntPredicate, IoSpec, MapOp, Value};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

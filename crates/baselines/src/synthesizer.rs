@@ -5,7 +5,7 @@
 //! report the same outputs, so the paper's "search space used" metric is
 //! directly comparable across methods.
 
-use netsyn_dsl::{IoSpec, Program};
+use netsyn_dsl::{DomainId, IoSpec, Program};
 use netsyn_fitness::FitnessCache;
 use netsyn_ga::SearchBudget;
 use rand::RngCore;
@@ -20,15 +20,24 @@ pub struct SynthesisProblem {
     pub spec: IoSpec,
     /// Length of the program to synthesize.
     pub target_length: usize,
+    /// The DSL domain whose operator vocabulary the synthesizer searches.
+    pub domain: DomainId,
 }
 
 impl SynthesisProblem {
-    /// Creates a problem instance.
+    /// Creates a problem instance over the list domain.
     #[must_use]
     pub fn new(spec: IoSpec, target_length: usize) -> Self {
+        SynthesisProblem::with_domain(spec, target_length, DomainId::List)
+    }
+
+    /// Creates a problem instance over an explicit domain.
+    #[must_use]
+    pub fn with_domain(spec: IoSpec, target_length: usize, domain: DomainId) -> Self {
         SynthesisProblem {
             spec,
             target_length,
+            domain,
         }
     }
 }

@@ -2,7 +2,7 @@
 //! BFS and DFS flavors over the top genes of a population.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use netsyn_dsl::{Generator, GeneratorConfig};
+use netsyn_dsl::{DomainId, Generator, GeneratorConfig};
 use netsyn_fitness::{ClosenessMetric, OracleFitness, SpecScores, TraceEncodingCache};
 use netsyn_ga::{neighborhood, NeighborhoodStrategy, SearchBudget};
 use rand::SeedableRng;
@@ -33,6 +33,7 @@ fn bench_neighborhood(c: &mut Criterion) {
                     black_box(&genes),
                     &spec,
                     strategy,
+                    DomainId::List,
                     &oracle,
                     &mut budget,
                     &SpecScores::default(),

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the string-transformation domain: program generation
+//! over the string vocabulary, string-program interpretation, and a short
+//! oracle-guided GA synthesis searching the string operator set.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netsyn_dsl::{DomainId, Generator, GeneratorConfig};
+use netsyn_fitness::{ClosenessMetric, OracleFitness};
+use netsyn_ga::{GaConfig, GeneticEngine, NeighborhoodStrategy, SearchBudget};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_string_domain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_domain");
+    group.sample_size(10);
+
+    group.bench_function("generate_task_len3", |b| {
+        let generator = Generator::new(GeneratorConfig::for_domain(DomainId::Str, 3));
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        b.iter(|| black_box(generator.task(5, &mut rng).unwrap()));
+    });
+
+    group.bench_function("spec_check_batch_128_len3", |b| {
+        let generator = Generator::new(GeneratorConfig::for_domain(DomainId::Str, 3));
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let target = generator.program(&mut rng).unwrap();
+        let spec = generator.spec_for(&target, 5, &mut rng);
+        let candidates: Vec<_> = (0..128)
+            .map(|_| generator.random_program(&mut rng))
+            .collect();
+        b.iter(|| {
+            let mut found = 0usize;
+            for candidate in &candidates {
+                if spec.is_satisfied_by(candidate) {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        });
+    });
+
+    group.bench_function("oracle_synthesis_len2", |b| {
+        let generator = Generator::new(GeneratorConfig::for_domain(DomainId::Str, 2));
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let target = generator.program(&mut rng).unwrap();
+        let spec = generator.spec_for(&target, 5, &mut rng);
+        let mut config = GaConfig::small(2);
+        config.domain = DomainId::Str;
+        config.neighborhood = NeighborhoodStrategy::Bfs;
+        let engine = GeneticEngine::new(config);
+        let oracle = OracleFitness::new(target, ClosenessMetric::CommonFunctions);
+        b.iter(|| {
+            let mut budget = SearchBudget::new(100_000);
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            black_box(engine.synthesize(&spec, &oracle, &mut budget, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_string_domain);
+criterion_main!(benches);

@@ -48,7 +48,7 @@ fn main() {
             None => "n/a".to_string(),
             Some(rate) => format!("{:.0}%", rate * 100.0),
         };
-        for (index, function) in Function::ALL.iter().enumerate() {
+        for (index, function) in suite.domain.vocab().iter().enumerate() {
             let cf = per_method
                 .iter()
                 .find(|(name, _)| name == "NetSyn_CF")

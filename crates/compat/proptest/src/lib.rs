@@ -73,6 +73,35 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Samples a value, builds a dependent strategy from it with `f`, and
+    /// samples from that (upstream `prop_flat_map`; no shrinking here, like
+    /// everything else in this shim).
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (upstream `boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (the shape upstream's `BoxedStrategy` exposes).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
 }
 
 /// The result of [`Strategy::prop_map`].
@@ -86,6 +115,29 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
 
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+// A Vec of strategies samples element-wise, like upstream proptest.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
     }
 }
 
@@ -215,7 +267,9 @@ pub mod prop {
 
 /// Everything a property test file needs.
 pub mod prelude {
-    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Strategy,
+    };
 }
 
 /// Asserts a condition inside a property, printing the failing expression.
@@ -239,7 +293,7 @@ macro_rules! prop_assert_ne {
 /// Declares deterministic property tests; see the crate docs.
 #[macro_export]
 macro_rules! proptest {
-    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
@@ -285,6 +339,32 @@ mod tests {
         let mut b = crate::TestRng::deterministic("stream");
         for _ in 0..50 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_the_sampled_value() {
+        // Pick a length, then build vectors of exactly that length.
+        let strat = (1usize..5).prop_flat_map(|n| prop::collection::vec(0u8..10, n..=n));
+        let mut rng = crate::TestRng::deterministic("flat_map");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_erase_and_compose() {
+        let strats: Vec<BoxedStrategy<i64>> = vec![
+            (0i64..10).boxed(),
+            (100i64..=100).prop_map(|x| x + 1).boxed(),
+        ];
+        let mut rng = crate::TestRng::deterministic("boxed");
+        for _ in 0..50 {
+            let v = strats.generate(&mut rng);
+            assert_eq!(v.len(), 2);
+            assert!((0..10).contains(&v[0]));
+            assert_eq!(v[1], 101);
         }
     }
 

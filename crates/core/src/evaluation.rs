@@ -129,7 +129,11 @@ pub fn evaluate_method(
         .map(|&(task_index, run_index)| {
             let task = &suite.tasks[task_index];
             let synthesizer = (method.factory)(task);
-            let problem = SynthesisProblem::new(task.spec.clone(), task.target_length());
+            let problem = SynthesisProblem::with_domain(
+                task.spec.clone(),
+                task.target_length(),
+                suite.domain,
+            );
             let mut budget = SearchBudget::new(budget_cap);
             let mut rng = ChaCha8Rng::seed_from_u64(
                 base_seed
@@ -351,12 +355,15 @@ impl MethodEvaluation {
         (mean(&singleton), mean(&list))
     }
 
-    /// Average synthesis rate of tasks containing each DSL function
-    /// (Figure 6). Functions that appear in no task report `None`.
+    /// Average synthesis rate of tasks containing each function of the
+    /// suite's domain vocabulary (Figure 6). Functions that appear in no task
+    /// report `None`.
     #[must_use]
     pub fn rate_by_function(&self, suite: &TestSuite) -> Vec<(Function, Option<f64>)> {
         let rates = self.per_task_synthesis_rate();
-        Function::ALL
+        suite
+            .domain
+            .vocab()
             .iter()
             .map(|&function| {
                 let task_rates: Vec<f64> = suite

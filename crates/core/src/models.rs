@@ -1,7 +1,7 @@
 //! Bundles of trained fitness models (CF, LCS, FP) for a program length,
 //! with training and disk caching helpers.
 
-use netsyn_dsl::DslError;
+use netsyn_dsl::{DomainId, DslError};
 use netsyn_fitness::dataset::{
     generate_dataset, generate_fp_dataset, BalanceMetric, DatasetConfig,
 };
@@ -65,6 +65,17 @@ impl BundleTrainingConfig {
             output_dim: 1,
         };
         config
+    }
+
+    /// Retargets corpus generation and token encoding at `domain`, keeping
+    /// the two in sync (a bundle trained on one domain's vocabulary is only
+    /// meaningful for specs and candidates from that same domain).
+    #[must_use]
+    pub fn for_domain(mut self, domain: DomainId) -> Self {
+        self.dataset.generator.domain = domain;
+        self.dataset.generator.input_types = domain.default_input_types().to_vec();
+        self.trainer.encoding = netsyn_fitness::EncodingConfig::for_domain(domain);
+        self
     }
 }
 
@@ -141,8 +152,13 @@ impl ModelBundle {
         serde_json::from_str(&json).map_err(std::io::Error::other)
     }
 
-    /// Loads the bundle from `path` if it exists, otherwise trains a new one
-    /// with `config` and saves it to `path`.
+    /// Loads the bundle from `path` if it exists and parses, otherwise trains
+    /// a new one with `config` and saves it to `path`.
+    ///
+    /// A cached file that no longer parses (for example one written by an
+    /// older build with a different bundle schema) is treated as absent: the
+    /// bundle is retrained from `rng` and the stale file is overwritten, so a
+    /// schema change never wedges a cache directory.
     ///
     /// # Errors
     ///
@@ -154,7 +170,15 @@ impl ModelBundle {
     ) -> std::io::Result<Self> {
         let path = path.as_ref();
         if path.exists() {
-            return Self::load_json(path);
+            match Self::load_json(path) {
+                Ok(bundle) => return Ok(bundle),
+                Err(err) => {
+                    eprintln!(
+                        "netsyn: cached model bundle {} is unreadable ({err}); retraining",
+                        path.display()
+                    );
+                }
+            }
         }
         let bundle = Self::train(config, rng).map_err(std::io::Error::other)?;
         if let Some(parent) = path.parent() {
@@ -202,6 +226,22 @@ mod tests {
         assert_eq!(trained.lcs.net, loaded.lcs.net);
         assert_eq!(trained.fp.net, loaded.fp.net);
         assert_eq!(trained.fp.kind, loaded.fp.kind);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_or_train_retrains_over_a_stale_bundle_file() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let dir = std::env::temp_dir().join("netsyn_core_stale_bundle_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle_len2.json");
+        std::fs::write(&path, r#"{"schema": "from an older build"}"#).unwrap();
+        let config = BundleTrainingConfig::tiny(2);
+        let bundle = ModelBundle::load_or_train(&path, &config, &mut rng).unwrap();
+        assert_eq!(bundle.program_length, 2);
+        // The stale file was overwritten with a parseable bundle.
+        let reloaded = ModelBundle::load_json(&path).unwrap();
+        assert_eq!(reloaded.program_length, 2);
         std::fs::remove_file(&path).ok();
     }
 }

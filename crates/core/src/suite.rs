@@ -4,7 +4,7 @@
 //! and 10): 50 producing a singleton integer and 50 producing a list, each
 //! with `m = 5` input-output examples.
 
-use netsyn_dsl::{DslError, Generator, GeneratorConfig, ProgramKind, SynthesisTask};
+use netsyn_dsl::{DomainId, DslError, Generator, GeneratorConfig, ProgramKind, SynthesisTask};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,16 @@ impl SuiteConfig {
             ..SuiteConfig::paper(program_length)
         }
     }
+
+    /// The paper-shaped suite drawn from an explicit operator-vocabulary
+    /// domain instead of the default list DSL.
+    #[must_use]
+    pub fn for_domain(domain: DomainId, program_length: usize) -> Self {
+        SuiteConfig {
+            generator: GeneratorConfig::for_domain(domain, program_length),
+            ..SuiteConfig::paper(program_length)
+        }
+    }
 }
 
 /// An evaluation suite: a list of synthesis tasks with known hidden targets.
@@ -53,6 +63,8 @@ impl SuiteConfig {
 pub struct TestSuite {
     /// Program length shared by all tasks.
     pub program_length: usize,
+    /// The operator-vocabulary domain every task's target is drawn from.
+    pub domain: DomainId,
     /// The tasks, singleton-output tasks first.
     pub tasks: Vec<SynthesisTask>,
 }
@@ -80,6 +92,7 @@ impl TestSuite {
         }
         Ok(TestSuite {
             program_length: config.program_length,
+            domain: config.generator.domain,
             tasks,
         })
     }
@@ -134,6 +147,24 @@ mod tests {
         assert_eq!(config.singleton_tasks, 50);
         assert_eq!(config.list_tasks, 50);
         assert_eq!(config.examples_per_task, 5);
+    }
+
+    #[test]
+    fn string_domain_suite_generates_both_kinds() {
+        let mut config = SuiteConfig::for_domain(DomainId::Str, 3);
+        config.singleton_tasks = 2;
+        config.list_tasks = 2;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let suite = TestSuite::generate(&config, &mut rng).unwrap();
+        assert_eq!(suite.domain, DomainId::Str);
+        assert_eq!(suite.len(), 4);
+        assert_eq!(suite.tasks_of_kind(ProgramKind::Singleton).len(), 2);
+        assert_eq!(suite.tasks_of_kind(ProgramKind::List).len(), 2);
+        for task in &suite.tasks {
+            for function in task.target.functions() {
+                assert!(DomainId::Str.vocab().contains(function));
+            }
+        }
     }
 
     #[test]

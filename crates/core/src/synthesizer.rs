@@ -150,6 +150,7 @@ impl Synthesizer for NetSyn {
     ) -> SynthesisResult {
         let mut ga_config = self.config.ga.clone();
         ga_config.program_length = problem.target_length;
+        ga_config.domain = problem.domain;
         let engine = GeneticEngine::new(ga_config);
         let fitness = self.build_fitness(&problem.spec);
         let outcome =

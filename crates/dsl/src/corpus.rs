@@ -1,0 +1,214 @@
+//! Stratified training-corpus generation.
+//!
+//! The fig5/fig6 bench harness bins synthesis results by *program kind*
+//! (singleton vs list output) and *program length*; this module generates
+//! training tasks along exactly those strata, so a learned-fitness training
+//! corpus can be balanced against the same bins the evaluation reports on
+//! (the glass-box idea: the DSL itself is the corpus source).
+//!
+//! Generation is deterministic: every stratum derives its own RNG seed from
+//! the corpus seed and the stratum's identity, so the corpus is reproducible
+//! under a fixed seed and stable against re-ordering or subsetting of the
+//! strata list.
+
+use crate::domain::DomainId;
+use crate::error::DslError;
+use crate::generator::{Generator, GeneratorConfig, SynthesisTask};
+use crate::program::ProgramKind;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One corpus stratum: a (program kind, program length) bin — the same bins
+/// the fig5 harness reports synthesis rates over (fig6's per-function bins
+/// fall out of the per-stratum function histogram, see
+/// [`StratifiedCorpus::function_histogram`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CorpusStratum {
+    /// Output kind of the stratum's programs.
+    pub kind: ProgramKind,
+    /// Length (number of statements) of the stratum's programs.
+    pub length: usize,
+}
+
+/// Configuration for stratified corpus generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// The domain tasks are drawn from.
+    pub domain: DomainId,
+    /// Program lengths to cover (one stratum per kind × length).
+    pub lengths: Vec<usize>,
+    /// Program kinds to cover.
+    pub kinds: Vec<ProgramKind>,
+    /// Number of tasks generated per stratum.
+    pub tasks_per_stratum: usize,
+    /// Number of input-output examples per task.
+    pub examples_per_task: usize,
+    /// Corpus seed; each stratum derives its own RNG stream from it.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// A small default corpus over lengths 1..=3, both kinds, for `domain`.
+    #[must_use]
+    pub fn small(domain: DomainId) -> Self {
+        CorpusConfig {
+            domain,
+            lengths: vec![1, 2, 3],
+            kinds: vec![ProgramKind::Singleton, ProgramKind::List],
+            tasks_per_stratum: 8,
+            examples_per_task: 5,
+            seed: 7,
+        }
+    }
+
+    /// The strata this configuration covers, in kind-major order.
+    #[must_use]
+    pub fn strata(&self) -> Vec<CorpusStratum> {
+        let mut strata = Vec::with_capacity(self.kinds.len() * self.lengths.len());
+        for &kind in &self.kinds {
+            for &length in &self.lengths {
+                strata.push(CorpusStratum { kind, length });
+            }
+        }
+        strata
+    }
+}
+
+/// One generated task together with the stratum it was generated for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusTask {
+    /// The stratum this task belongs to.
+    pub stratum: CorpusStratum,
+    /// The task (hidden target + specification).
+    pub task: SynthesisTask,
+}
+
+/// A stratified training corpus: tasks grouped by (kind, length) bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StratifiedCorpus {
+    config: CorpusConfig,
+    tasks: Vec<CorpusTask>,
+}
+
+impl StratifiedCorpus {
+    /// Generates the corpus described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DslError::GenerationExhausted`] if some stratum cannot be
+    /// filled within the generator's rejection-sampling budget (e.g. a kind
+    /// the domain's vocabulary cannot produce at the requested length).
+    pub fn generate(config: CorpusConfig) -> Result<StratifiedCorpus, DslError> {
+        let mut tasks = Vec::with_capacity(config.strata().len() * config.tasks_per_stratum);
+        for stratum in config.strata() {
+            let mut generator_config = GeneratorConfig::for_domain(config.domain, stratum.length);
+            generator_config.required_kind = Some(stratum.kind);
+            let generator = Generator::new(generator_config);
+            // Seed per stratum, not per corpus: the stream only depends on
+            // the stratum's identity, so adding or reordering strata never
+            // perturbs the tasks of existing ones.
+            let mut rng = ChaCha8Rng::seed_from_u64(stratum_seed(config.seed, stratum));
+            for _ in 0..config.tasks_per_stratum {
+                let task = generator.task(config.examples_per_task, &mut rng)?;
+                tasks.push(CorpusTask { stratum, task });
+            }
+        }
+        Ok(StratifiedCorpus { config, tasks })
+    }
+
+    /// The configuration the corpus was generated from.
+    #[must_use]
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Every task, grouped by stratum in `config.strata()` order.
+    #[must_use]
+    pub fn tasks(&self) -> &[CorpusTask] {
+        &self.tasks
+    }
+
+    /// The tasks of one stratum.
+    #[must_use]
+    pub fn stratum_tasks(&self, stratum: CorpusStratum) -> Vec<&CorpusTask> {
+        self.tasks.iter().filter(|t| t.stratum == stratum).collect()
+    }
+
+    /// Per-function usage counts across all target programs, indexed by the
+    /// domain's token index — the corpus-side analogue of fig6's
+    /// per-function bins (a zero entry flags an operator the corpus never
+    /// exercises).
+    #[must_use]
+    pub fn function_histogram(&self) -> Vec<usize> {
+        let domain = self.config.domain;
+        let mut histogram = vec![0; domain.vocab_len()];
+        for corpus_task in &self.tasks {
+            for f in corpus_task.task.target.functions() {
+                if let Some(i) = domain.token_index(*f) {
+                    histogram[i] += 1;
+                }
+            }
+        }
+        histogram
+    }
+}
+
+/// Mixes the corpus seed with a stratum's identity (splitmix64-style) so
+/// sibling strata get decorrelated RNG streams.
+fn stratum_seed(seed: u64, stratum: CorpusStratum) -> u64 {
+    let kind_tag = match stratum.kind {
+        ProgramKind::Singleton => 1_u64,
+        ProgramKind::List => 2_u64,
+    };
+    let mut z =
+        seed ^ (stratum.length as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (kind_tag << 32);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strata_enumerate_kind_by_length() {
+        let config = CorpusConfig::small(DomainId::List);
+        let strata = config.strata();
+        assert_eq!(strata.len(), 6);
+        assert_eq!(
+            strata[0],
+            CorpusStratum {
+                kind: ProgramKind::Singleton,
+                length: 1
+            }
+        );
+        assert_eq!(
+            strata[5],
+            CorpusStratum {
+                kind: ProgramKind::List,
+                length: 3
+            }
+        );
+    }
+
+    #[test]
+    fn stratum_seeds_differ_between_siblings() {
+        let a = CorpusStratum {
+            kind: ProgramKind::Singleton,
+            length: 2,
+        };
+        let b = CorpusStratum {
+            kind: ProgramKind::List,
+            length: 2,
+        };
+        let c = CorpusStratum {
+            kind: ProgramKind::Singleton,
+            length: 3,
+        };
+        assert_ne!(stratum_seed(7, a), stratum_seed(7, b));
+        assert_ne!(stratum_seed(7, a), stratum_seed(7, c));
+        assert_ne!(stratum_seed(7, a), stratum_seed(8, a));
+    }
+}

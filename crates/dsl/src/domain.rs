@@ -1,0 +1,301 @@
+//! The [`Domain`] abstraction: an operator vocabulary plus the conventions a
+//! synthesis pipeline needs to target it.
+//!
+//! A domain is a *view* over the global operator table
+//! ([`Function::EXTENDED`]): it selects the vocabulary available to the
+//! generator / GA / learned encoder, fixes the default program input types,
+//! and fingerprints its vocabulary so persisted caches can tell domains
+//! apart. Interpreter dispatch is shared — every [`Function`] knows its own
+//! semantics — so registering a domain never requires touching the
+//! interpreter, DCE, or the trace machinery.
+//!
+//! # Id-stability rules
+//!
+//! Token ids feed the learned encoder's embedding tables and the persisted
+//! cache headers, so they must never change meaning:
+//!
+//! 1. A domain's `vocab()` is **append-only**. Never reorder, renumber or
+//!    remove an operator — a shuffled vocabulary silently invalidates every
+//!    trained checkpoint (the property test in `crates/dsl/tests/` pins the
+//!    current tables).
+//! 2. Global ids ([`Function::id`]) are assigned once, by position in
+//!    [`Function::EXTENDED`], and are likewise append-only.
+//! 3. Per-domain *token indices* ([`DomainId::token_index`]) are positions in
+//!    the domain's own vocabulary; the list domain's indices coincide with
+//!    `Function::index()` so pre-domain checkpoints stay valid.
+//!
+//! # Adding a domain
+//!
+//! 1. Append the new operators to [`Function`] (variants, signature,
+//!    semantics, `Display`/`FromStr`) and to [`Function::EXTENDED`], after
+//!    every existing entry.
+//! 2. Add any new value types to [`Type`]/[`crate::Value`] — append-only, and
+//!    give them a `to_tokens` flattening so the similarity metrics apply.
+//! 3. Add a [`DomainId`] variant and a `Domain` impl with a `vocab()` slice
+//!    listing the new operators, then register it in [`all_domains`].
+//! 4. Done: the generator, GA, learned encoder, corpus generator and the
+//!    differential fuzzer pick the domain up through the registry.
+
+use crate::function::Function;
+use crate::value::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An operator-vocabulary domain the synthesis pipeline can target.
+///
+/// Implementations are zero-sized statics; use [`DomainId::resolve`] or
+/// [`all_domains`] to obtain one.
+pub trait Domain: Send + Sync {
+    /// The domain's stable identifier.
+    fn id(&self) -> DomainId;
+
+    /// The operator vocabulary, ordered by token index. Append-only (see the
+    /// module docs).
+    fn vocab(&self) -> &'static [Function];
+
+    /// The default program input types for generated tasks.
+    fn default_input_types(&self) -> &'static [Type];
+
+    /// Number of operators in the vocabulary — the size of the learned
+    /// encoder's function-token table for this domain.
+    fn vocab_len(&self) -> usize {
+        self.vocab().len()
+    }
+
+    /// A stable 64-bit fingerprint of the vocabulary (FNV-1a over every
+    /// operator's id and display name, in token order). Any renumbering or
+    /// renaming changes the fingerprint, which quarantines persisted caches
+    /// built against the old table.
+    fn vocab_fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for f in self.vocab() {
+            mix(f.id());
+            for b in f.to_string().bytes() {
+                mix(b);
+            }
+            mix(0);
+        }
+        hash
+    }
+}
+
+/// Identifier of a registered [`Domain`]. `Copy` and serde-serializable so it
+/// can be carried by configs the same way `MutationMode` is.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum DomainId {
+    /// The paper's 41-function list-manipulation DSL.
+    #[default]
+    List,
+    /// The 18-operator string-transformation DSL.
+    Str,
+}
+
+impl DomainId {
+    /// All registered domain ids.
+    pub const ALL: [DomainId; 2] = [DomainId::List, DomainId::Str];
+
+    /// Resolves the id to its registered domain.
+    #[must_use]
+    pub fn resolve(self) -> &'static dyn Domain {
+        match self {
+            DomainId::List => &ListDomain,
+            DomainId::Str => &StrDomain,
+        }
+    }
+
+    /// The domain's vocabulary (convenience for `resolve().vocab()`).
+    #[must_use]
+    pub fn vocab(self) -> &'static [Function] {
+        self.resolve().vocab()
+    }
+
+    /// Vocabulary size (convenience for `resolve().vocab_len()`).
+    #[must_use]
+    pub fn vocab_len(self) -> usize {
+        self.vocab().len()
+    }
+
+    /// Vocabulary fingerprint (convenience for
+    /// `resolve().vocab_fingerprint()`).
+    #[must_use]
+    pub fn vocab_fingerprint(self) -> u64 {
+        self.resolve().vocab_fingerprint()
+    }
+
+    /// Default program input types (convenience for
+    /// `resolve().default_input_types()`).
+    #[must_use]
+    pub fn default_input_types(self) -> &'static [Type] {
+        self.resolve().default_input_types()
+    }
+
+    /// The stable string name used in persisted cache headers.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DomainId::List => "list",
+            DomainId::Str => "str",
+        }
+    }
+
+    /// The token index of `function` in this domain's vocabulary, or `None`
+    /// when the function is not part of the domain. For the list domain this
+    /// coincides with [`Function::index`], which keeps pre-domain learned
+    /// checkpoints valid.
+    #[must_use]
+    pub fn token_index(self, function: Function) -> Option<usize> {
+        let global = function.index();
+        match self {
+            // Both vocabularies are contiguous id ranges, so the token index
+            // is an offset — no scan needed on the encoder's hot path.
+            DomainId::List => (global < Function::COUNT).then_some(global),
+            DomainId::Str => global.checked_sub(Function::COUNT),
+        }
+    }
+}
+
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for DomainId {
+    type Err = crate::DslError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DomainId::ALL
+            .into_iter()
+            .find(|id| id.as_str() == s.trim())
+            .ok_or_else(|| crate::DslError::UnknownFunctionName(format!("domain `{}`", s.trim())))
+    }
+}
+
+/// Every registered domain, in [`DomainId::ALL`] order.
+#[must_use]
+pub fn all_domains() -> [&'static dyn Domain; 2] {
+    [DomainId::List.resolve(), DomainId::Str.resolve()]
+}
+
+/// The paper's 41-function list-manipulation DSL as a registered domain.
+///
+/// Its vocabulary is exactly [`Function::ALL`] in paper order, so every
+/// token index, RNG draw sequence and learned checkpoint from before the
+/// domain refactor is bit-identical.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ListDomain;
+
+impl Domain for ListDomain {
+    fn id(&self) -> DomainId {
+        DomainId::List
+    }
+
+    fn vocab(&self) -> &'static [Function] {
+        &Function::ALL
+    }
+
+    fn default_input_types(&self) -> &'static [Type] {
+        &[Type::List]
+    }
+}
+
+/// The string-transformation DSL (concat/case/substr/split-join family) as a
+/// registered domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrDomain;
+
+impl Domain for StrDomain {
+    fn id(&self) -> DomainId {
+        DomainId::Str
+    }
+
+    fn vocab(&self) -> &'static [Function] {
+        &Function::STRING_OPS
+    }
+
+    fn default_input_types(&self) -> &'static [Type] {
+        &[Type::Str]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_ids() {
+        let domains = all_domains();
+        assert_eq!(domains.len(), DomainId::ALL.len());
+        for (id, domain) in DomainId::ALL.into_iter().zip(domains) {
+            assert_eq!(domain.id(), id);
+            assert_eq!(id.resolve().id(), id);
+        }
+    }
+
+    #[test]
+    fn list_domain_vocab_is_the_paper_table() {
+        let d = DomainId::List;
+        assert_eq!(d.vocab(), &Function::ALL[..]);
+        assert_eq!(d.vocab_len(), 41);
+        assert_eq!(d.default_input_types(), &[Type::List]);
+        // Token index coincides with Function::index for every operator.
+        for (i, f) in Function::ALL.iter().enumerate() {
+            assert_eq!(d.token_index(*f), Some(i));
+            assert_eq!(d.token_index(*f), Some(f.index()));
+        }
+        assert_eq!(d.token_index(Function::StrConcat), None);
+    }
+
+    #[test]
+    fn str_domain_vocab_is_contiguous_after_the_list() {
+        let d = DomainId::Str;
+        assert_eq!(d.vocab(), &Function::STRING_OPS[..]);
+        assert_eq!(d.vocab_len(), 18);
+        assert_eq!(d.default_input_types(), &[Type::Str]);
+        for (i, f) in Function::STRING_OPS.iter().enumerate() {
+            assert_eq!(d.token_index(*f), Some(i));
+            assert_eq!(f.index(), Function::COUNT + i);
+        }
+        assert_eq!(d.token_index(Function::Sort), None);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let list = DomainId::List.vocab_fingerprint();
+        let str_fp = DomainId::Str.vocab_fingerprint();
+        assert_ne!(list, str_fp);
+        // Recomputing yields the same value (pure function of the table).
+        assert_eq!(list, DomainId::List.vocab_fingerprint());
+    }
+
+    #[test]
+    fn id_string_round_trip() {
+        for id in DomainId::ALL {
+            assert_eq!(id.as_str().parse::<DomainId>().unwrap(), id);
+            assert_eq!(id.to_string(), id.as_str());
+        }
+        assert!("nope".parse::<DomainId>().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for id in DomainId::ALL {
+            let json = serde_json::to_string(&id).unwrap();
+            let back: DomainId = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, id);
+        }
+    }
+
+    #[test]
+    fn default_domain_is_list() {
+        assert_eq!(DomainId::default(), DomainId::List);
+    }
+}

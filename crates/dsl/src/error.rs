@@ -9,7 +9,7 @@ use std::fmt;
 pub enum DslError {
     /// A program with zero statements was executed or analyzed.
     EmptyProgram,
-    /// A function identifier outside `1..=41` was used.
+    /// A function identifier outside the registered id space was used.
     UnknownFunctionId(u8),
     /// A function name could not be parsed.
     UnknownFunctionName(String),
@@ -30,7 +30,7 @@ impl fmt::Display for DslError {
         match self {
             DslError::EmptyProgram => write!(f, "program has no statements"),
             DslError::UnknownFunctionId(id) => {
-                write!(f, "unknown DSL function id {id}, expected 1..=41")
+                write!(f, "unknown DSL function id {id}, expected 1..=59")
             }
             DslError::UnknownFunctionName(name) => {
                 write!(f, "unknown DSL function name `{name}`")

@@ -1,9 +1,16 @@
-//! The 41 functions of the NetSyn DSL (Appendix A of the paper).
+//! The operator vocabulary of the NetSyn DSLs.
 //!
-//! Every function takes one or two arguments of type `int` or `[int]` and
-//! returns exactly one value. Arithmetic is saturating so that programs can
-//! never panic or overflow, which keeps the whole program space valid by
-//! construction — the property the paper relies on for its genetic operators.
+//! [`Function::ALL`] holds the 41 functions of the paper's list DSL
+//! (Appendix A); [`Function::STRING_OPS`] holds the 18 operators of the
+//! string-transformation domain added on top; [`Function::EXTENDED`] is the
+//! concatenation and defines the global id space (`1..=41` list, `42..=59`
+//! string — list ids are bit-identical to the pre-domain numbering, so
+//! learned-fitness checkpoints stay valid).
+//!
+//! Every function takes one or two arguments and returns exactly one value.
+//! All semantics are total: arithmetic saturates, string indexing is
+//! char-based and clamped, so programs can never panic or overflow — the
+//! property the paper relies on for its genetic operators.
 
 use crate::error::DslError;
 use crate::value::{Type, Value};
@@ -175,6 +182,31 @@ impl BinOp {
     }
 }
 
+/// Word separators used by the `SPLIT`/`JOIN` families of the string domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Separator {
+    /// Whitespace (splitting collapses runs; joining inserts a single space).
+    Space,
+    /// A comma (splitting trims surrounding whitespace from each piece).
+    Comma,
+}
+
+impl Separator {
+    /// All separators in their id order.
+    pub const ALL: [Separator; 2] = [Separator::Space, Separator::Comma];
+
+    /// Short symbol used by [`Function`]'s `Display` impl. Deliberately
+    /// avoids a literal `,`: [`crate::Program`]'s parser splits statements
+    /// on commas.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Separator::Space => "ws",
+            Separator::Comma => "sep",
+        }
+    }
+}
+
 /// The type signature of a DSL function: argument types and return type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature {
@@ -186,10 +218,14 @@ pub struct Signature {
     pub output: Type,
 }
 
-/// One of the 41 functions of the NetSyn DSL.
+/// One operator of the NetSyn DSLs (list or string domain).
 ///
-/// The numbering used by [`Function::id`] matches the "(Function N)" labels
-/// of Appendix A, so Figure 6's x-axis can be reproduced directly.
+/// For the first 41 variants the numbering used by [`Function::id`] matches
+/// the "(Function N)" labels of Appendix A, so Figure 6's x-axis can be
+/// reproduced directly; the string-domain operators continue the id space at
+/// 42. **Ids are stable forever** — new operators are appended to
+/// [`Function::EXTENDED`], never inserted, because ids feed the learned
+/// encoder's token tables and persisted cache headers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Function {
     /// Function 1: `ACCESS n xs` — the `n`-th element of `xs`, or 0 when out of range.
@@ -228,13 +264,55 @@ pub enum Function {
     Take,
     /// Functions 37–41: `ZIPWITH op xs ys` — element-wise combination.
     ZipWith(BinOp),
+    /// Function 42: `CONCAT a b` — string concatenation.
+    StrConcat,
+    /// Function 43: `UPPER s` — uppercase every character.
+    StrUpper,
+    /// Function 44: `LOWER s` — lowercase every character.
+    StrLower,
+    /// Function 45: `TITLE s` — uppercase after whitespace/start, lowercase
+    /// elsewhere.
+    StrTitle,
+    /// Function 46: `TRIM s` — strip leading/trailing whitespace.
+    StrTrim,
+    /// Function 47: `STR.REVERSE s` — reverse the characters.
+    StrReverse,
+    /// Function 48: `STR.TAKE n s` — the first `n` characters (clamped).
+    StrTake,
+    /// Function 49: `STR.DROP n s` — without the first `n` characters (clamped).
+    StrDrop,
+    /// Function 50: `STR.LEN s` — number of characters.
+    StrLen,
+    /// Functions 51–52: `SPLIT(sep) s` — split into a word list.
+    StrSplit(Separator),
+    /// Functions 53–54: `JOIN(sep) ws` — join a word list into a string.
+    StrJoin(Separator),
+    /// Function 55: `WORDS.REVERSE ws` — reverse the word order.
+    WordsReverse,
+    /// Function 56: `WORDS.SORT ws` — sort words lexicographically.
+    WordsSort,
+    /// Function 57: `WORDS.HEAD ws` — first word or the empty string.
+    WordsHead,
+    /// Function 58: `WORDS.LAST ws` — last word or the empty string.
+    WordsLast,
+    /// Function 59: `WORDS.COUNT ws` — number of words.
+    WordsCount,
 }
 
 impl Function {
-    /// The number of functions in the DSL.
+    /// The number of functions in the paper's list DSL.
     pub const COUNT: usize = 41;
 
-    /// All 41 DSL functions ordered by their paper id (1..=41).
+    /// The number of operators in the string-transformation domain.
+    pub const STRING_COUNT: usize = 18;
+
+    /// The total number of operators across all domains
+    /// (`Function::EXTENDED.len()`).
+    pub const EXTENDED_COUNT: usize = Function::COUNT + Function::STRING_COUNT;
+
+    /// All 41 list-DSL functions ordered by their paper id (1..=41). This is
+    /// the list domain's vocabulary — its order is load-bearing for RNG draw
+    /// sequences and learned-encoder token ids, so it must never change.
     pub const ALL: [Function; Function::COUNT] = [
         Function::Access,
         Function::Count(IntPredicate::Positive),
@@ -279,28 +357,69 @@ impl Function {
         Function::ZipWith(BinOp::Max),
     ];
 
-    /// Paper id of this function (1..=41).
+    /// The 18 string-domain operators ordered by their id (42..=59).
+    pub const STRING_OPS: [Function; Function::STRING_COUNT] = [
+        Function::StrConcat,
+        Function::StrUpper,
+        Function::StrLower,
+        Function::StrTitle,
+        Function::StrTrim,
+        Function::StrReverse,
+        Function::StrTake,
+        Function::StrDrop,
+        Function::StrLen,
+        Function::StrSplit(Separator::Space),
+        Function::StrSplit(Separator::Comma),
+        Function::StrJoin(Separator::Space),
+        Function::StrJoin(Separator::Comma),
+        Function::WordsReverse,
+        Function::WordsSort,
+        Function::WordsHead,
+        Function::WordsLast,
+        Function::WordsCount,
+    ];
+
+    /// Every operator of every domain, ordered by id (1..=59). The global id
+    /// space: list ids keep the paper numbering, string ids continue at 42.
+    /// Append-only — see the type-level docs.
+    pub const EXTENDED: [Function; Function::EXTENDED_COUNT] = {
+        let mut all = [Function::Access; Function::EXTENDED_COUNT];
+        let mut i = 0;
+        while i < Function::COUNT {
+            all[i] = Function::ALL[i];
+            i += 1;
+        }
+        let mut j = 0;
+        while j < Function::STRING_COUNT {
+            all[Function::COUNT + j] = Function::STRING_OPS[j];
+            j += 1;
+        }
+        all
+    };
+
+    /// Stable id of this function (1..=41 list DSL, paper numbering;
+    /// 42..=59 string domain).
     #[must_use]
     pub fn id(self) -> u8 {
-        // Position in ALL + 1; a linear scan over 41 entries is cheap and
-        // keeps ALL the single source of truth for the numbering.
-        Function::ALL
+        // Position in EXTENDED + 1; a linear scan over 59 entries is cheap
+        // and keeps EXTENDED the single source of truth for the numbering.
+        Function::EXTENDED
             .iter()
             .position(|f| *f == self)
             .map(|i| (i + 1) as u8)
-            .expect("every Function variant is present in Function::ALL")
+            .expect("every Function variant is present in Function::EXTENDED")
     }
 
-    /// Looks a function up by its paper id.
+    /// Looks a function up by its stable id.
     ///
     /// # Errors
     ///
-    /// Returns [`DslError::UnknownFunctionId`] if `id` is not in `1..=41`.
+    /// Returns [`DslError::UnknownFunctionId`] if `id` is not in `1..=59`.
     pub fn from_id(id: u8) -> Result<Function, DslError> {
-        if id == 0 || id as usize > Function::COUNT {
+        if id == 0 || id as usize > Function::EXTENDED_COUNT {
             return Err(DslError::UnknownFunctionId(id));
         }
-        Ok(Function::ALL[id as usize - 1])
+        Ok(Function::EXTENDED[id as usize - 1])
     }
 
     /// Zero-based index of this function (`id() - 1`), handy for one-hot
@@ -313,7 +432,7 @@ impl Function {
     /// The function's type signature.
     #[must_use]
     pub fn signature(self) -> Signature {
-        use Type::{Int, List};
+        use Type::{Int, List, Str, StrList};
         let (inputs, output): (&'static [Type], Type) = match self {
             Function::Head
             | Function::Last
@@ -331,6 +450,18 @@ impl Function {
                 (&[Int, List], List)
             }
             Function::ZipWith(_) => (&[List, List], List),
+            Function::StrConcat => (&[Str, Str], Str),
+            Function::StrUpper
+            | Function::StrLower
+            | Function::StrTitle
+            | Function::StrTrim
+            | Function::StrReverse => (&[Str], Str),
+            Function::StrTake | Function::StrDrop => (&[Int, Str], Str),
+            Function::StrLen => (&[Str], Int),
+            Function::StrSplit(_) => (&[Str], StrList),
+            Function::StrJoin(_) | Function::WordsHead | Function::WordsLast => (&[StrList], Str),
+            Function::WordsReverse | Function::WordsSort => (&[StrList], StrList),
+            Function::WordsCount => (&[StrList], Int),
         };
         Signature { inputs, output }
     }
@@ -378,6 +509,12 @@ impl Function {
         let list_ref = |i: usize| args.get(i).map_or(&[][..], |v| v.as_list().unwrap_or(&[]));
         // Owned list access for functions that transform in place: one copy.
         let list_arg = |i: usize| args.get(i).map_or_else(Vec::new, |v| v.list_or_default());
+        // Read-only string / word-list access (string domain).
+        let str_ref = |i: usize| args.get(i).map_or("", |v| v.as_str_val().unwrap_or(""));
+        let words_ref = |i: usize| {
+            args.get(i)
+                .map_or(&[][..], |v| v.as_str_list().unwrap_or(&[]))
+        };
         match self {
             Function::Head => {
                 let xs = list_ref(0);
@@ -483,6 +620,73 @@ impl Function {
                         .collect(),
                 )
             }
+            Function::StrConcat => {
+                let a = str_ref(0);
+                let b = str_ref(1);
+                let mut out = String::with_capacity(a.len() + b.len());
+                out.push_str(a);
+                out.push_str(b);
+                Value::Str(out)
+            }
+            Function::StrUpper => Value::Str(str_ref(0).to_uppercase()),
+            Function::StrLower => Value::Str(str_ref(0).to_lowercase()),
+            Function::StrTitle => {
+                let s = str_ref(0);
+                let mut out = String::with_capacity(s.len());
+                let mut boundary = true;
+                for c in s.chars() {
+                    if c.is_whitespace() {
+                        boundary = true;
+                        out.push(c);
+                    } else if boundary {
+                        out.extend(c.to_uppercase());
+                        boundary = false;
+                    } else {
+                        out.extend(c.to_lowercase());
+                    }
+                }
+                Value::Str(out)
+            }
+            Function::StrTrim => Value::Str(str_ref(0).trim().to_string()),
+            Function::StrReverse => Value::Str(str_ref(0).chars().rev().collect()),
+            Function::StrTake => {
+                let n = int_arg(0).max(0) as usize;
+                Value::Str(str_ref(1).chars().take(n).collect())
+            }
+            Function::StrDrop => {
+                let n = int_arg(0).max(0) as usize;
+                Value::Str(str_ref(1).chars().skip(n).collect())
+            }
+            Function::StrLen => Value::Int(str_ref(0).chars().count() as i64),
+            Function::StrSplit(Separator::Space) => {
+                Value::StrList(str_ref(0).split_whitespace().map(str::to_string).collect())
+            }
+            Function::StrSplit(Separator::Comma) => Value::StrList(
+                str_ref(0)
+                    .split(',')
+                    .map(|piece| piece.trim().to_string())
+                    .collect(),
+            ),
+            Function::StrJoin(sep) => {
+                let glue = match sep {
+                    Separator::Space => " ",
+                    Separator::Comma => ",",
+                };
+                Value::Str(words_ref(0).join(glue))
+            }
+            Function::WordsReverse => {
+                let mut ws = words_ref(0).to_vec();
+                ws.reverse();
+                Value::StrList(ws)
+            }
+            Function::WordsSort => {
+                let mut ws = words_ref(0).to_vec();
+                ws.sort_unstable();
+                Value::StrList(ws)
+            }
+            Function::WordsHead => Value::Str(words_ref(0).first().cloned().unwrap_or_default()),
+            Function::WordsLast => Value::Str(words_ref(0).last().cloned().unwrap_or_default()),
+            Function::WordsCount => Value::Int(words_ref(0).len() as i64),
         }
     }
 
@@ -514,6 +718,22 @@ impl fmt::Display for Function {
             Function::Sort => write!(f, "SORT"),
             Function::Take => write!(f, "TAKE"),
             Function::ZipWith(op) => write!(f, "ZIPWITH({})", op.symbol()),
+            Function::StrConcat => write!(f, "CONCAT"),
+            Function::StrUpper => write!(f, "UPPER"),
+            Function::StrLower => write!(f, "LOWER"),
+            Function::StrTitle => write!(f, "TITLE"),
+            Function::StrTrim => write!(f, "TRIM"),
+            Function::StrReverse => write!(f, "STR.REVERSE"),
+            Function::StrTake => write!(f, "STR.TAKE"),
+            Function::StrDrop => write!(f, "STR.DROP"),
+            Function::StrLen => write!(f, "STR.LEN"),
+            Function::StrSplit(sep) => write!(f, "SPLIT({})", sep.symbol()),
+            Function::StrJoin(sep) => write!(f, "JOIN({})", sep.symbol()),
+            Function::WordsReverse => write!(f, "WORDS.REVERSE"),
+            Function::WordsSort => write!(f, "WORDS.SORT"),
+            Function::WordsHead => write!(f, "WORDS.HEAD"),
+            Function::WordsLast => write!(f, "WORDS.LAST"),
+            Function::WordsCount => write!(f, "WORDS.COUNT"),
         }
     }
 }
@@ -523,14 +743,14 @@ impl FromStr for Function {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let normalized = s.trim().to_uppercase().replace(' ', "");
-        for func in Function::ALL {
+        for func in Function::EXTENDED {
             if func.to_string().to_uppercase().replace(' ', "") == normalized {
                 return Ok(func);
             }
         }
         // Accept lambda symbols in their original case (e.g. "min") too.
         let lower_keep = s.trim().replace(' ', "");
-        for func in Function::ALL {
+        for func in Function::EXTENDED {
             if func
                 .to_string()
                 .replace(' ', "")
@@ -557,14 +777,25 @@ mod tests {
     }
 
     #[test]
+    fn extended_has_59_unique_functions() {
+        assert_eq!(Function::EXTENDED.len(), 59);
+        assert_eq!(Function::EXTENDED[..Function::COUNT], Function::ALL);
+        assert_eq!(Function::EXTENDED[Function::COUNT..], Function::STRING_OPS);
+        let mut seen = std::collections::HashSet::new();
+        for f in Function::EXTENDED {
+            assert!(seen.insert(f), "duplicate function {f}");
+        }
+    }
+
+    #[test]
     fn id_round_trip() {
-        for (i, f) in Function::ALL.iter().enumerate() {
+        for (i, f) in Function::EXTENDED.iter().enumerate() {
             assert_eq!(f.id() as usize, i + 1);
             assert_eq!(Function::from_id(f.id()).unwrap(), *f);
             assert_eq!(f.index(), i);
         }
         assert!(Function::from_id(0).is_err());
-        assert!(Function::from_id(42).is_err());
+        assert!(Function::from_id(60).is_err());
     }
 
     #[test]
@@ -588,6 +819,12 @@ mod tests {
             Function::from_id(41).unwrap(),
             Function::ZipWith(BinOp::Max)
         );
+        assert_eq!(Function::from_id(42).unwrap(), Function::StrConcat);
+        assert_eq!(
+            Function::from_id(51).unwrap(),
+            Function::StrSplit(Separator::Space)
+        );
+        assert_eq!(Function::from_id(59).unwrap(), Function::WordsCount);
     }
 
     #[test]
@@ -603,7 +840,7 @@ mod tests {
 
     #[test]
     fn signatures_have_valid_arity() {
-        for f in Function::ALL {
+        for f in Function::EXTENDED {
             let sig = f.signature();
             assert!(!sig.inputs.is_empty() && sig.inputs.len() <= 2);
             assert_eq!(f.arity(), sig.inputs.len());
@@ -809,12 +1046,95 @@ mod tests {
 
     #[test]
     fn display_and_parse_round_trip() {
-        for f in Function::ALL {
+        for f in Function::EXTENDED {
             let s = f.to_string();
             let parsed: Function = s.parse().unwrap();
             assert_eq!(parsed, f, "round-trip failed for {s}");
         }
         assert!("NOPE".parse::<Function>().is_err());
+    }
+
+    #[test]
+    fn string_ops_semantics_spot_checks() {
+        let s = |t: &str| Value::Str(t.to_string());
+        let ws = |items: &[&str]| Value::StrList(items.iter().map(|w| w.to_string()).collect());
+        assert_eq!(
+            Function::StrConcat.apply(&[s("foo"), s("bar")]),
+            s("foobar")
+        );
+        assert_eq!(Function::StrUpper.apply(&[s("aBc")]), s("ABC"));
+        assert_eq!(Function::StrLower.apply(&[s("aBc")]), s("abc"));
+        assert_eq!(
+            Function::StrTitle.apply(&[s("hello wORLD")]),
+            s("Hello World")
+        );
+        assert_eq!(Function::StrTrim.apply(&[s("  hi  ")]), s("hi"));
+        assert_eq!(Function::StrReverse.apply(&[s("abc")]), s("cba"));
+        assert_eq!(
+            Function::StrTake.apply(&[Value::Int(2), s("abcd")]),
+            s("ab")
+        );
+        assert_eq!(Function::StrTake.apply(&[Value::Int(-3), s("abcd")]), s(""));
+        assert_eq!(
+            Function::StrDrop.apply(&[Value::Int(2), s("abcd")]),
+            s("cd")
+        );
+        assert_eq!(Function::StrDrop.apply(&[Value::Int(99), s("abcd")]), s(""));
+        assert_eq!(Function::StrLen.apply(&[s("héllo")]), Value::Int(5));
+        assert_eq!(
+            Function::StrSplit(Separator::Space).apply(&[s("  a  b c ")]),
+            ws(&["a", "b", "c"])
+        );
+        assert_eq!(
+            Function::StrSplit(Separator::Comma).apply(&[s("a, b ,c")]),
+            ws(&["a", "b", "c"])
+        );
+        assert_eq!(
+            Function::StrSplit(Separator::Space).apply(&[s("")]),
+            ws(&[])
+        );
+        assert_eq!(
+            Function::StrSplit(Separator::Comma).apply(&[s("")]),
+            ws(&[""])
+        );
+        assert_eq!(
+            Function::StrJoin(Separator::Space).apply(&[ws(&["a", "b"])]),
+            s("a b")
+        );
+        assert_eq!(
+            Function::StrJoin(Separator::Comma).apply(&[ws(&["a", "b"])]),
+            s("a,b")
+        );
+        assert_eq!(
+            Function::WordsReverse.apply(&[ws(&["a", "b", "c"])]),
+            ws(&["c", "b", "a"])
+        );
+        assert_eq!(
+            Function::WordsSort.apply(&[ws(&["b", "a", "c"])]),
+            ws(&["a", "b", "c"])
+        );
+        assert_eq!(Function::WordsHead.apply(&[ws(&["x", "y"])]), s("x"));
+        assert_eq!(Function::WordsLast.apply(&[ws(&["x", "y"])]), s("y"));
+        assert_eq!(Function::WordsHead.apply(&[ws(&[])]), s(""));
+        assert_eq!(
+            Function::WordsCount.apply(&[ws(&["x", "y"])]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn string_ops_coerce_wrong_types_to_defaults() {
+        // List-domain values fall back to the string defaults ("" / []).
+        assert_eq!(
+            Function::StrUpper.apply(&[Value::List(vec![1, 2])]),
+            Value::Str(String::new())
+        );
+        assert_eq!(Function::StrLen.apply(&[Value::Int(7)]), Value::Int(0));
+        assert_eq!(
+            Function::WordsCount.apply(&[Value::Str("a b".to_string())]),
+            Value::Int(0)
+        );
+        assert_eq!(Function::StrConcat.apply(&[]), Value::Str(String::new()));
     }
 
     #[test]
@@ -832,7 +1152,7 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        for f in Function::ALL {
+        for f in Function::EXTENDED {
             let json = serde_json::to_string(&f).unwrap();
             let back: Function = serde_json::from_str(&json).unwrap();
             assert_eq!(back, f);

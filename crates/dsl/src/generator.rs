@@ -5,6 +5,7 @@
 //! integer and half producing a list).
 
 use crate::dce::{effective_length, has_dead_code};
+use crate::domain::DomainId;
 use crate::error::DslError;
 use crate::function::Function;
 use crate::program::{Program, ProgramKind};
@@ -16,13 +17,16 @@ use serde::{Deserialize, Serialize};
 /// Configuration for random program / input / specification generation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GeneratorConfig {
+    /// The operator-vocabulary domain programs are drawn from.
+    pub domain: DomainId,
     /// Length (number of statements) of generated programs.
     pub program_length: usize,
-    /// Inclusive range of generated input-list lengths.
+    /// Inclusive range of generated input-list lengths (and, for the string
+    /// domain, of generated word counts).
     pub list_len_range: (usize, usize),
     /// Inclusive range of generated integer values.
     pub int_range: (i64, i64),
-    /// Types of the program inputs. Defaults to a single list input.
+    /// Types of the program inputs. Defaults to the domain's default inputs.
     pub input_types: Vec<Type>,
     /// Reject candidate programs that contain dead code.
     pub require_no_dead_code: bool,
@@ -36,15 +40,23 @@ pub struct GeneratorConfig {
 }
 
 impl GeneratorConfig {
-    /// A configuration for programs of the given length with the defaults
-    /// used throughout the paper reproduction.
+    /// A list-domain configuration for programs of the given length with the
+    /// defaults used throughout the paper reproduction.
     #[must_use]
     pub fn for_length(program_length: usize) -> Self {
+        GeneratorConfig::for_domain(DomainId::List, program_length)
+    }
+
+    /// A configuration for programs of the given length drawn from `domain`,
+    /// with the domain's default input types.
+    #[must_use]
+    pub fn for_domain(domain: DomainId, program_length: usize) -> Self {
         GeneratorConfig {
+            domain,
             program_length,
             list_len_range: (4, 12),
             int_range: (-64, 64),
-            input_types: vec![Type::List],
+            input_types: domain.default_input_types().to_vec(),
             require_no_dead_code: true,
             required_kind: None,
             require_varying_output: true,
@@ -78,9 +90,12 @@ impl Generator {
         &self.config
     }
 
-    /// Samples a uniformly random DSL function.
+    /// Samples a uniformly random function from the configured domain's
+    /// vocabulary. For the list domain the draw sequence is bit-identical to
+    /// the pre-domain `Function::ALL[gen_range(0..41)]`.
     pub fn random_function<R: Rng + ?Sized>(&self, rng: &mut R) -> Function {
-        Function::ALL[rng.gen_range(0..Function::COUNT)]
+        let vocab = self.config.domain.vocab();
+        vocab[rng.gen_range(0..vocab.len())]
     }
 
     /// Samples an unconstrained random program of the configured length.
@@ -103,6 +118,21 @@ impl Generator {
         (0..len).map(|_| self.random_int(rng)).collect()
     }
 
+    /// Samples a random lowercase ASCII word of 1..=6 characters.
+    pub fn random_word<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        let len = rng.gen_range(1..=6);
+        (0..len)
+            .map(|_| char::from(b'a' + rng.gen_range(0..26_u8)))
+            .collect()
+    }
+
+    /// Samples a random word list whose length follows `list_len_range`.
+    pub fn random_words<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<String> {
+        let (lo, hi) = self.config.list_len_range;
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| self.random_word(rng)).collect()
+    }
+
     /// Samples one set of program inputs matching the configured input types.
     pub fn random_inputs<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Value> {
         self.config
@@ -111,6 +141,8 @@ impl Generator {
             .map(|ty| match ty {
                 Type::Int => Value::Int(self.random_int(rng)),
                 Type::List => Value::List(self.random_list(rng)),
+                Type::Str => Value::Str(self.random_words(rng).join(" ")),
+                Type::StrList => Value::StrList(self.random_words(rng)),
             })
             .collect()
     }
@@ -267,7 +299,7 @@ mod tests {
                     assert!(xs.len() >= 2 && xs.len() <= 4);
                     assert!(xs.iter().all(|&x| (-5..=5).contains(&x)));
                 }
-                Value::Int(_) => panic!("first input should be a list"),
+                other => panic!("first input should be a list, got {other}"),
             }
             assert!(matches!(inputs[1], Value::Int(v) if (-5..=5).contains(&v)));
         }
@@ -343,6 +375,43 @@ mod tests {
         let p3 = gen.program(&mut rng(43)).unwrap();
         assert_eq!(p1, p2);
         assert_ne!(p1, p3, "different seeds should virtually always differ");
+    }
+
+    #[test]
+    fn string_domain_generates_string_programs_and_inputs() {
+        let gen = Generator::new(GeneratorConfig::for_domain(DomainId::Str, 3));
+        let mut r = rng(9);
+        for _ in 0..20 {
+            let f = gen.random_function(&mut r);
+            assert!(
+                Function::STRING_OPS.contains(&f),
+                "{f} is not a string-domain operator"
+            );
+        }
+        let inputs = gen.random_inputs(&mut r);
+        assert_eq!(inputs.len(), 1);
+        assert!(matches!(&inputs[0], Value::Str(s) if !s.is_empty()));
+        // Constrained generation works end to end in the string domain.
+        let task = gen.task(3, &mut r).unwrap();
+        assert_eq!(task.target_length(), 3);
+        assert!(task.spec.is_satisfied_by(&task.target));
+        assert!(!has_dead_code(&task.target, &[Type::Str]));
+    }
+
+    #[test]
+    fn list_domain_sampling_is_bit_identical_to_pre_domain_draws() {
+        // The list domain's vocabulary is exactly Function::ALL, so sampling
+        // must consume the same RNG stream as the historical
+        // `Function::ALL[gen_range(0..41)]` — checkpoints and golden GA
+        // trajectories depend on it.
+        let gen = Generator::new(GeneratorConfig::for_length(5));
+        let mut a = rng(10);
+        let mut b = rng(10);
+        for _ in 0..100 {
+            let sampled = gen.random_function(&mut a);
+            let legacy = Function::ALL[b.gen_range(0..Function::COUNT)];
+            assert_eq!(sampled, legacy);
+        }
     }
 
     #[test]

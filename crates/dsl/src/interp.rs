@@ -185,6 +185,8 @@ impl TraceArena {
 /// as statics so argument resolution can work entirely with borrows.
 static DEFAULT_INT: Value = Value::Int(0);
 static DEFAULT_LIST: Value = Value::List(Vec::new());
+static DEFAULT_STR: Value = Value::Str(String::new());
+static DEFAULT_STRLIST: Value = Value::StrList(Vec::new());
 
 fn arg_ref<'a>(src: ArgSource, steps: &'a [Value], inputs: &'a [Value]) -> &'a Value {
     match src {
@@ -192,6 +194,8 @@ fn arg_ref<'a>(src: ArgSource, steps: &'a [Value], inputs: &'a [Value]) -> &'a V
         ArgSource::Input(k) => &inputs[k],
         ArgSource::Default(Type::Int) => &DEFAULT_INT,
         ArgSource::Default(Type::List) => &DEFAULT_LIST,
+        ArgSource::Default(Type::Str) => &DEFAULT_STR,
+        ArgSource::Default(Type::StrList) => &DEFAULT_STRLIST,
     }
 }
 

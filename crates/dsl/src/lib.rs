@@ -1,40 +1,68 @@
 //! # netsyn-dsl
 //!
-//! The list-manipulation domain-specific language used by the NetSyn
-//! reproduction ("Learning Fitness Functions for Machine Programming",
-//! MLSys 2021).
+//! The domain-specific languages used by the NetSyn reproduction ("Learning
+//! Fitness Functions for Machine Programming", MLSys 2021), organized around
+//! a domain-generic core.
 //!
-//! The DSL follows DeepCoder's: the only data types are integers and lists of
-//! integers, and a program is a straight-line sequence of calls to one of 41
-//! built-in functions. There are no named variables: each argument binds to
-//! the output of the most recent prior statement of the matching type,
-//! falling back to the program inputs and finally to a default value. Every
-//! function sequence is a valid program, every program terminates, and
-//! crossover/mutation of programs always yields valid programs — the
-//! properties the genetic algorithm relies on.
+//! ## The `Domain` contract
+//!
+//! A [`Domain`] is an operator vocabulary plus the conventions a synthesis
+//! pipeline needs to target it: a stable token table ([`Domain::vocab`]),
+//! default program input types, and a vocabulary fingerprint that keys
+//! persisted caches. Two domains are registered:
+//!
+//! * [`DomainId::List`] — the paper's DeepCoder-style DSL: integers and
+//!   integer lists, 41 built-in functions (Appendix A). Its vocabulary is
+//!   exactly [`Function::ALL`] in paper order, so everything trained or
+//!   persisted before the domain refactor remains bit-identical.
+//! * [`DomainId::Str`] — a string-transformation DSL (concat / case /
+//!   substring / split-join over strings and word lists), ids 42..=59.
+//!
+//! All domains share one program shape: a straight-line sequence of calls
+//! with no named variables, where each argument binds to the output of the
+//! most recent prior statement of the matching type, falling back to the
+//! program inputs and finally to a default value. Every function sequence is
+//! a valid program, every program terminates (semantics are total:
+//! arithmetic saturates, string indexing clamps), and crossover/mutation of
+//! programs always yields valid programs — the properties the genetic
+//! algorithm relies on.
+//!
+//! **Id stability is a hard rule:** token ids feed the learned encoder and
+//! persisted cache headers, so vocabularies and the global id table
+//! ([`Function::EXTENDED`]) are append-only. See the [`domain`] module docs
+//! for the full rules and the step-by-step recipe for adding a domain.
 //!
 //! The crate provides:
 //!
-//! * [`Function`], [`Program`], [`Value`] — the language itself;
-//! * [`Program::run`] / [`Execution`] — an interpreter that also records the
-//!   per-statement execution trace used by the learned fitness functions;
+//! * [`Function`], [`Program`], [`Value`] — the languages themselves;
+//! * [`Domain`] / [`DomainId`] — the operator-vocabulary registry;
+//! * [`Program::run`] / [`Execution`] — a shared interpreter that also
+//!   records the per-statement execution trace used by the learned fitness
+//!   functions;
 //! * [`dce`] — dead-code analysis ("effective length") and elimination;
 //! * [`IoSpec`] — input-output specifications and program equivalence;
 //! * [`Generator`] — random generation of programs, inputs and synthesis
-//!   tasks for training corpora and evaluation suites.
+//!   tasks, parameterized by domain;
+//! * [`StratifiedCorpus`] — deterministic training corpora stratified by the
+//!   fig5/fig6 bench bins (program kind × length).
 //!
 //! ## Example
 //!
 //! ```
-//! use netsyn_dsl::{Function, Generator, GeneratorConfig, IntPredicate, MapOp, Program, Value};
+//! use netsyn_dsl::{DomainId, Function, Generator, GeneratorConfig, Program, Value};
 //!
-//! // The length-4 program from Table 1 of the paper.
+//! // The length-4 list-domain program from Table 1 of the paper.
 //! let program: Program = "FILTER(>0), MAP(*2), SORT, REVERSE".parse()?;
 //! let execution = program.run(&[Value::List(vec![-2, 10, 3, -4, 5, 2])])?;
 //! assert_eq!(execution.output, Value::List(vec![20, 10, 6, 4]));
 //!
-//! // Random synthesis tasks for evaluation.
-//! let generator = Generator::new(GeneratorConfig::for_length(5));
+//! // A string-domain program, same machinery.
+//! let shout: Program = "TRIM; UPPER".parse()?;
+//! let out = shout.output(&[Value::Str("  hello  ".into())])?;
+//! assert_eq!(out, Value::Str("HELLO".into()));
+//!
+//! // Random synthesis tasks for evaluation, in either domain.
+//! let generator = Generator::new(GeneratorConfig::for_domain(DomainId::Str, 3));
 //! let mut rng = rand::thread_rng();
 //! let task = generator.task(5, &mut rng)?;
 //! assert!(task.spec.is_satisfied_by(&task.target));
@@ -44,7 +72,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod corpus;
 pub mod dce;
+pub mod domain;
 mod error;
 mod function;
 mod generator;
@@ -53,8 +83,10 @@ mod program;
 mod spec;
 mod value;
 
+pub use corpus::{CorpusConfig, CorpusStratum, CorpusTask, StratifiedCorpus};
+pub use domain::{all_domains, Domain, DomainId, ListDomain, StrDomain};
 pub use error::DslError;
-pub use function::{BinOp, Function, IntPredicate, MapOp, Signature};
+pub use function::{BinOp, Function, IntPredicate, MapOp, Separator, Signature};
 pub use generator::{Generator, GeneratorConfig, SynthesisTask};
 pub use interp::{resolve_arg_sources, resolve_arg_sources_into, ArgSource, Execution, TraceArena};
 pub use program::{Program, ProgramKind};

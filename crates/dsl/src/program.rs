@@ -63,11 +63,11 @@ impl Program {
         Program { functions }
     }
 
-    /// Creates a program from the paper's 1-based function ids.
+    /// Creates a program from 1-based stable function ids.
     ///
     /// # Errors
     ///
-    /// Returns [`DslError::UnknownFunctionId`] if any id is outside `1..=41`.
+    /// Returns [`DslError::UnknownFunctionId`] if any id is outside `1..=59`.
     pub fn from_ids(ids: &[u8]) -> Result<Self, DslError> {
         let functions = ids
             .iter()
@@ -136,14 +136,16 @@ impl Program {
         self.functions.last().map(|f| f.output_type())
     }
 
-    /// Whether this is a singleton-output or list-output program.
+    /// Whether this is a singleton-output or list-output program. Scalar
+    /// outputs (`int`, `str`) are singletons; sequence outputs (`[int]`,
+    /// `[str]`) are lists — the fig5 bins generalize across domains.
     ///
     /// Returns `None` for the empty program.
     #[must_use]
     pub fn kind(&self) -> Option<ProgramKind> {
         self.output_type().map(|t| match t {
-            Type::Int => ProgramKind::Singleton,
-            Type::List => ProgramKind::List,
+            Type::Int | Type::Str => ProgramKind::Singleton,
+            Type::List | Type::StrList => ProgramKind::List,
         })
     }
 

@@ -1,29 +1,40 @@
-//! Runtime values and types of the NetSyn DSL.
+//! Runtime values and types of the NetSyn DSLs.
 //!
-//! The DSL has exactly two data types: 64-bit signed integers and lists of
-//! 64-bit signed integers. Missing inputs default to `0` and the empty list
-//! respectively, mirroring the semantics described in Appendix A of the paper.
+//! The paper's list DSL has exactly two data types: 64-bit signed integers
+//! and lists of them; the string domain adds strings and word lists. Missing
+//! inputs default to the type's empty value (`0`, `[]`, `""`), mirroring the
+//! semantics described in Appendix A of the paper.
+//!
+//! The variant order of [`Type`] and [`Value`] is append-only: derived
+//! `Hash`/`Ord`/serde behavior of the original `Int`/`List` variants must
+//! stay bit-identical so list-domain caches and checkpoints keep working.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// The two value types of the DSL.
+/// The value types of the DSLs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Type {
     /// A single 64-bit signed integer.
     Int,
     /// A list of 64-bit signed integers.
     List,
+    /// A UTF-8 string (string domain).
+    Str,
+    /// A list of strings — "words" (string domain).
+    StrList,
 }
 
 impl Type {
     /// Returns the default value used by the runtime when no value of this
-    /// type is available (0 for integers, the empty list for lists).
+    /// type is available (0, empty list, empty string, empty word list).
     #[must_use]
     pub fn default_value(self) -> Value {
         match self {
             Type::Int => Value::Int(0),
             Type::List => Value::List(Vec::new()),
+            Type::Str => Value::Str(String::new()),
+            Type::StrList => Value::StrList(Vec::new()),
         }
     }
 }
@@ -33,17 +44,23 @@ impl fmt::Display for Type {
         match self {
             Type::Int => write!(f, "int"),
             Type::List => write!(f, "[int]"),
+            Type::Str => write!(f, "str"),
+            Type::StrList => write!(f, "[str]"),
         }
     }
 }
 
-/// A runtime value: either an integer or a list of integers.
+/// A runtime value of one of the DSL [`Type`]s.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// An integer value.
     Int(i64),
     /// A list-of-integers value.
     List(Vec<i64>),
+    /// A string value (string domain).
+    Str(String),
+    /// A word-list value (string domain).
+    StrList(Vec<String>),
 }
 
 impl Value {
@@ -53,6 +70,8 @@ impl Value {
         match self {
             Value::Int(_) => Type::Int,
             Value::List(_) => Type::List,
+            Value::Str(_) => Type::Str,
+            Value::StrList(_) => Type::StrList,
         }
     }
 
@@ -61,7 +80,7 @@ impl Value {
     pub fn as_int(&self) -> Option<i64> {
         match self {
             Value::Int(v) => Some(*v),
-            Value::List(_) => None,
+            _ => None,
         }
     }
 
@@ -69,47 +88,102 @@ impl Value {
     #[must_use]
     pub fn as_list(&self) -> Option<&[i64]> {
         match self {
-            Value::Int(_) => None,
             Value::List(v) => Some(v),
+            _ => None,
         }
     }
 
-    /// Extracts the integer, substituting the type's default (`0`) when the
-    /// value is a list. This mirrors the runtime's behaviour of falling back
-    /// to a default value on a type mismatch.
+    /// Returns the string if this value is a [`Value::Str`]. (Named
+    /// `as_str_val` rather than `as_str` to avoid shadowing the common
+    /// `Option`/`String` method name in user code.)
+    #[must_use]
+    pub fn as_str_val(&self) -> Option<&str> {
+        match self {
+            Value::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns a slice view of the word list if this value is a
+    /// [`Value::StrList`].
+    #[must_use]
+    pub fn as_str_list(&self) -> Option<&[String]> {
+        match self {
+            Value::StrList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extracts the integer, substituting the type's default (`0`) on a type
+    /// mismatch. This mirrors the runtime's behaviour of falling back to a
+    /// default value on a type mismatch.
     #[must_use]
     pub fn int_or_default(&self) -> i64 {
         self.as_int().unwrap_or(0)
     }
 
-    /// Extracts the list, substituting the empty list when the value is an
-    /// integer.
+    /// Extracts the list, substituting the empty list on a type mismatch.
     #[must_use]
     pub fn list_or_default(&self) -> Vec<i64> {
         match self {
-            Value::Int(_) => Vec::new(),
             Value::List(v) => v.clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Extracts the string, substituting the empty string on a type mismatch.
+    #[must_use]
+    pub fn str_or_default(&self) -> String {
+        match self {
+            Value::Str(v) => v.clone(),
+            _ => String::new(),
+        }
+    }
+
+    /// Extracts the word list, substituting the empty list on a type
+    /// mismatch.
+    #[must_use]
+    pub fn str_list_or_default(&self) -> Vec<String> {
+        match self {
+            Value::StrList(v) => v.clone(),
+            _ => Vec::new(),
         }
     }
 
     /// Returns `true` if this is the default value of its own type
-    /// (`0` or the empty list).
+    /// (`0` or an empty list/string).
     #[must_use]
     pub fn is_default(&self) -> bool {
         match self {
             Value::Int(v) => *v == 0,
             Value::List(v) => v.is_empty(),
+            Value::Str(v) => v.is_empty(),
+            Value::StrList(v) => v.is_empty(),
         }
     }
 
     /// Flattens the value into a token sequence suitable for feature
     /// encoding: an integer becomes a one-element slice, a list becomes its
-    /// elements.
+    /// elements. String-domain values flatten to their UTF-8 bytes so the
+    /// list-domain similarity metrics (common prefix, edit distance) apply
+    /// unchanged; word lists separate items with a `-1` sentinel (no UTF-8
+    /// byte is negative, so the sentinel can't collide with content).
     #[must_use]
     pub fn to_tokens(&self) -> Vec<i64> {
         match self {
             Value::Int(v) => vec![*v],
             Value::List(v) => v.clone(),
+            Value::Str(v) => v.bytes().map(i64::from).collect(),
+            Value::StrList(v) => {
+                let mut tokens = Vec::new();
+                for (i, word) in v.iter().enumerate() {
+                    if i > 0 {
+                        tokens.push(-1);
+                    }
+                    tokens.extend(word.bytes().map(i64::from));
+                }
+                tokens
+            }
         }
     }
 }
@@ -138,6 +212,24 @@ impl From<&[i64]> for Value {
     }
 }
 
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<Vec<String>> for Value {
+    fn from(v: Vec<String>) -> Self {
+        Value::StrList(v)
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -149,6 +241,17 @@ impl fmt::Display for Value {
                         write!(f, ", ")?;
                     }
                     write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Str(v) => write!(f, "{v:?}"),
+            Value::StrList(v) => {
+                write!(f, "[")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x:?}")?;
                 }
                 write!(f, "]")
             }
@@ -222,5 +325,48 @@ mod tests {
         let json = serde_json::to_string(&v).unwrap();
         let back: Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn string_values() {
+        let s = Value::Str("hi".to_string());
+        let ws = Value::StrList(vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(s.ty(), Type::Str);
+        assert_eq!(ws.ty(), Type::StrList);
+        assert_eq!(s.as_str_val(), Some("hi"));
+        assert_eq!(ws.as_str_val(), None);
+        assert_eq!(ws.as_str_list().map(<[String]>::len), Some(2));
+        assert_eq!(s.str_or_default(), "hi");
+        assert_eq!(ws.str_or_default(), "");
+        assert_eq!(s.str_list_or_default(), Vec::<String>::new());
+        assert!(Type::Str.default_value().is_default());
+        assert!(Type::StrList.default_value().is_default());
+        assert_eq!(Type::Str.to_string(), "str");
+        assert_eq!(Type::StrList.to_string(), "[str]");
+        assert_eq!(s.to_string(), "\"hi\"");
+        assert_eq!(ws.to_string(), "[\"a\", \"b\"]");
+        assert_eq!(Value::from("x"), Value::Str("x".to_string()));
+    }
+
+    #[test]
+    fn string_tokens_flatten_to_bytes() {
+        assert_eq!(Value::Str("ab".to_string()).to_tokens(), vec![97, 98]);
+        assert_eq!(
+            Value::StrList(vec!["ab".to_string(), "c".to_string()]).to_tokens(),
+            vec![97, 98, -1, 99]
+        );
+        assert_eq!(Value::StrList(vec![]).to_tokens(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn string_serde_round_trip() {
+        for v in [
+            Value::Str("héllo".to_string()),
+            Value::StrList(vec!["a".to_string(), "".to_string()]),
+        ] {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(v, back);
+        }
     }
 }

@@ -1,0 +1,117 @@
+//! Tests for the stratified corpus generator: strata membership,
+//! determinism under a fixed seed, and DCE survival of every emitted
+//! program — for both registered domains.
+
+use netsyn_dsl::dce::{eliminate_dead_code, has_dead_code};
+use netsyn_dsl::{CorpusConfig, CorpusStratum, DomainId, ProgramKind, StratifiedCorpus};
+
+fn corpus(domain: DomainId, seed: u64) -> StratifiedCorpus {
+    let mut config = CorpusConfig::small(domain);
+    config.seed = seed;
+    StratifiedCorpus::generate(config).expect("small corpus generates for every domain")
+}
+
+#[test]
+fn tasks_land_in_their_requested_strata() {
+    for domain in DomainId::ALL {
+        let corpus = corpus(domain, 7);
+        let config = corpus.config().clone();
+        assert_eq!(
+            corpus.tasks().len(),
+            config.strata().len() * config.tasks_per_stratum
+        );
+        for entry in corpus.tasks() {
+            // The fig5 bins: generated length and output kind both match the
+            // stratum the task was generated for.
+            assert_eq!(entry.task.target_length(), entry.stratum.length);
+            assert_eq!(entry.task.kind(), Some(entry.stratum.kind));
+            assert_eq!(entry.task.spec.len(), config.examples_per_task);
+        }
+        // Every stratum is populated to its quota.
+        for stratum in config.strata() {
+            assert_eq!(
+                corpus.stratum_tasks(stratum).len(),
+                config.tasks_per_stratum,
+                "stratum {stratum:?} under-filled"
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic_under_a_fixed_seed() {
+    for domain in DomainId::ALL {
+        let a = corpus(domain, 11);
+        let b = corpus(domain, 11);
+        let c = corpus(domain, 12);
+        assert_eq!(a, b, "same seed must reproduce the same corpus");
+        assert_ne!(
+            a.tasks(),
+            c.tasks(),
+            "different seeds should virtually always differ"
+        );
+    }
+}
+
+#[test]
+fn strata_are_seed_stable_under_reordering_and_subsetting() {
+    // Dropping a stratum from the config must not perturb the tasks of the
+    // remaining ones — each stratum derives its own RNG stream.
+    let full = corpus(DomainId::List, 7);
+    let mut subset_config = CorpusConfig::small(DomainId::List);
+    subset_config.lengths = vec![3, 1]; // reordered and subsetted
+    let subset = StratifiedCorpus::generate(subset_config).unwrap();
+    for stratum in subset.config().strata() {
+        let from_full: Vec<_> = full.stratum_tasks(stratum);
+        let from_subset: Vec<_> = subset.stratum_tasks(stratum);
+        assert_eq!(from_full, from_subset, "stratum {stratum:?} drifted");
+    }
+}
+
+#[test]
+fn every_emitted_program_survives_dce_non_empty() {
+    for domain in DomainId::ALL {
+        let corpus = corpus(domain, 7);
+        let input_types = domain.default_input_types();
+        for entry in corpus.tasks() {
+            let target = &entry.task.target;
+            assert!(
+                !has_dead_code(target, input_types),
+                "corpus target {target} has dead code"
+            );
+            let optimized = eliminate_dead_code(target, input_types);
+            assert!(!optimized.is_empty());
+            assert_eq!(&optimized, target, "corpus targets are already DCE-clean");
+        }
+    }
+}
+
+#[test]
+fn function_histogram_counts_every_target_token() {
+    for domain in DomainId::ALL {
+        let corpus = corpus(domain, 7);
+        let histogram = corpus.function_histogram();
+        assert_eq!(histogram.len(), domain.vocab_len());
+        let total: usize = histogram.iter().sum();
+        let expected: usize = corpus.tasks().iter().map(|t| t.task.target_length()).sum();
+        assert_eq!(total, expected, "histogram must count every statement");
+        assert!(total > 0);
+    }
+}
+
+#[test]
+fn both_kinds_are_reachable_in_both_domains() {
+    // Sanity for the string domain specifically: its vocabulary has scalar
+    // producers (STR.LEN, WORDS.COUNT, JOIN, ...) and sequence producers
+    // (SPLIT, WORDS.SORT, ...), so both fig5 bins must fill.
+    for domain in DomainId::ALL {
+        let corpus = corpus(domain, 7);
+        for kind in [ProgramKind::Singleton, ProgramKind::List] {
+            let stratum = CorpusStratum { kind, length: 2 };
+            assert!(
+                !corpus.stratum_tasks(stratum).is_empty(),
+                "{domain:?} produced no {kind} programs"
+            );
+        }
+    }
+}

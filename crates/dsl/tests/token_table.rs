@@ -1,0 +1,145 @@
+//! Pins the operator token tables: id ↔ `from_str` ↔ `Display` round-trips
+//! against the registered vocabularies, plus the literal (id, name) table.
+//!
+//! Token ids feed the learned encoder's embedding rows and the persisted
+//! cache headers — silently renumbering or renaming an operator invalidates
+//! every trained checkpoint. If one of these tests fails, you almost
+//! certainly reordered a vocabulary; the fix is to restore the order, not to
+//! update the table.
+
+use netsyn_dsl::{all_domains, DomainId, Function};
+use proptest::prelude::*;
+
+/// The frozen global token table: (stable id, display name) for every
+/// operator in `Function::EXTENDED` order. Append new rows only.
+const PINNED_TABLE: &[(u8, &str)] = &[
+    (1, "ACCESS"),
+    (2, "COUNT(>0)"),
+    (3, "COUNT(<0)"),
+    (4, "COUNT(odd)"),
+    (5, "COUNT(even)"),
+    (6, "HEAD"),
+    (7, "LAST"),
+    (8, "MINIMUM"),
+    (9, "MAXIMUM"),
+    (10, "SEARCH"),
+    (11, "SUM"),
+    (12, "DELETE"),
+    (13, "DROP"),
+    (14, "FILTER(>0)"),
+    (15, "FILTER(<0)"),
+    (16, "FILTER(odd)"),
+    (17, "FILTER(even)"),
+    (18, "INSERT"),
+    (19, "MAP(+1)"),
+    (20, "MAP(-1)"),
+    (21, "MAP(*2)"),
+    (22, "MAP(*3)"),
+    (23, "MAP(*4)"),
+    (24, "MAP(/2)"),
+    (25, "MAP(/3)"),
+    (26, "MAP(/4)"),
+    (27, "MAP(*(-1))"),
+    (28, "MAP(^2)"),
+    (29, "REVERSE"),
+    (30, "SCANL1(+)"),
+    (31, "SCANL1(-)"),
+    (32, "SCANL1(*)"),
+    (33, "SCANL1(min)"),
+    (34, "SCANL1(max)"),
+    (35, "SORT"),
+    (36, "TAKE"),
+    (37, "ZIPWITH(+)"),
+    (38, "ZIPWITH(-)"),
+    (39, "ZIPWITH(*)"),
+    (40, "ZIPWITH(min)"),
+    (41, "ZIPWITH(max)"),
+    (42, "CONCAT"),
+    (43, "UPPER"),
+    (44, "LOWER"),
+    (45, "TITLE"),
+    (46, "TRIM"),
+    (47, "STR.REVERSE"),
+    (48, "STR.TAKE"),
+    (49, "STR.DROP"),
+    (50, "STR.LEN"),
+    (51, "SPLIT(ws)"),
+    (52, "SPLIT(sep)"),
+    (53, "JOIN(ws)"),
+    (54, "JOIN(sep)"),
+    (55, "WORDS.REVERSE"),
+    (56, "WORDS.SORT"),
+    (57, "WORDS.HEAD"),
+    (58, "WORDS.LAST"),
+    (59, "WORDS.COUNT"),
+];
+
+#[test]
+fn the_global_token_table_is_frozen() {
+    assert_eq!(PINNED_TABLE.len(), Function::EXTENDED.len());
+    for ((id, name), f) in PINNED_TABLE.iter().zip(Function::EXTENDED.iter()) {
+        assert_eq!(f.id(), *id, "{f} was renumbered");
+        assert_eq!(f.to_string(), *name, "operator id {id} was renamed");
+    }
+}
+
+#[test]
+fn list_domain_vocabulary_matches_the_paper_numbering() {
+    let vocab = DomainId::List.vocab();
+    assert_eq!(vocab.len(), 41);
+    for (i, f) in vocab.iter().enumerate() {
+        assert_eq!(f.id() as usize, i + 1);
+        assert_eq!(DomainId::List.token_index(*f), Some(i));
+    }
+}
+
+#[test]
+fn string_domain_vocabulary_continues_at_42() {
+    let vocab = DomainId::Str.vocab();
+    assert_eq!(vocab.len(), 18);
+    for (i, f) in vocab.iter().enumerate() {
+        assert_eq!(f.id() as usize, 42 + i);
+        assert_eq!(DomainId::Str.token_index(*f), Some(i));
+    }
+}
+
+#[test]
+fn vocab_fingerprints_are_frozen() {
+    // These constants key persisted caches: a changed fingerprint quarantines
+    // every existing cache file for the domain. They change iff the token
+    // table above changes, which is forbidden (append-only).
+    assert_eq!(DomainId::List.vocab_fingerprint(), 0x90da_5b2b_8689_86e8);
+    assert_eq!(DomainId::Str.vocab_fingerprint(), 0xbcaa_478d_e6b8_97e6);
+}
+
+proptest! {
+    /// id → Function → Display → from_str → id round-trips for the whole
+    /// global table.
+    #[test]
+    fn id_name_round_trips(pick in 0..Function::EXTENDED.len()) {
+        let f = Function::EXTENDED[pick];
+        prop_assert_eq!(Function::from_id(f.id()).unwrap(), f);
+        prop_assert_eq!(f.to_string().parse::<Function>().unwrap(), f);
+        prop_assert_eq!(f.index(), pick);
+    }
+
+    /// Parsing is insensitive to case and surrounding whitespace for every
+    /// registered operator name.
+    #[test]
+    fn parsing_is_case_and_whitespace_insensitive(pick in 0..Function::EXTENDED.len()) {
+        let f = Function::EXTENDED[pick];
+        let noisy = format!("  {}  ", f.to_string().to_lowercase());
+        prop_assert_eq!(noisy.parse::<Function>().unwrap(), f);
+    }
+
+    /// Every registered domain's token indices are dense, in-range and
+    /// consistent with the global table.
+    #[test]
+    fn token_indices_are_dense_per_domain(d in 0..DomainId::ALL.len()) {
+        let domain = all_domains()[d];
+        for (i, f) in domain.vocab().iter().enumerate() {
+            prop_assert_eq!(domain.id().token_index(*f), Some(i));
+            prop_assert!(i < domain.vocab_len());
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! represented, which balances the classifier's training labels.
 
 use crate::metrics::{common_functions, longest_common_subsequence};
-use netsyn_dsl::{DslError, Function, Generator, GeneratorConfig, IoSpec, Program};
+use netsyn_dsl::{DomainId, DslError, Function, Generator, GeneratorConfig, IoSpec, Program};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -66,12 +66,23 @@ impl DatasetConfig {
     }
 }
 
-/// The FP label for a target program: a 41-dimensional indicator vector.
+/// The FP label for a list-domain target program: a 41-dimensional indicator
+/// vector over [`DomainId::List`]'s vocabulary.
 #[must_use]
 pub fn fp_label(target: &Program) -> Vec<f32> {
-    let mut label = vec![0.0; Function::COUNT];
+    fp_label_for(DomainId::List, target)
+}
+
+/// The FP label over an explicit domain: one indicator per vocabulary entry,
+/// indexed by the domain-local token index. Target operators outside the
+/// domain's vocabulary are ignored.
+#[must_use]
+pub fn fp_label_for(domain: DomainId, target: &Program) -> Vec<f32> {
+    let mut label = vec![0.0; domain.vocab_len()];
     for f in target.functions() {
-        label[f.index()] = 1.0;
+        if let Some(i) = domain.token_index(*f) {
+            label[i] = 1.0;
+        }
     }
     label
 }
@@ -84,6 +95,22 @@ pub fn fp_label(target: &Program) -> Vec<f32> {
 /// Panics if `cf > target.len()` or `target` is empty.
 #[must_use]
 pub fn candidate_with_cf<R: Rng + ?Sized>(target: &Program, cf: usize, rng: &mut R) -> Program {
+    candidate_with_cf_in(DomainId::List, target, cf, rng)
+}
+
+/// [`candidate_with_cf`] over an explicit domain: replacement functions are
+/// drawn from `domain`'s vocabulary.
+///
+/// # Panics
+///
+/// Panics if `cf > target.len()` or `target` is empty.
+#[must_use]
+pub fn candidate_with_cf_in<R: Rng + ?Sized>(
+    domain: DomainId,
+    target: &Program,
+    cf: usize,
+    rng: &mut R,
+) -> Program {
     assert!(!target.is_empty(), "target must be non-empty");
     assert!(cf <= target.len(), "cf cannot exceed the target length");
     let length = target.len();
@@ -93,9 +120,9 @@ pub fn candidate_with_cf<R: Rng + ?Sized>(target: &Program, cf: usize, rng: &mut
         .iter()
         .map(|&i| target.get(i).expect("index in range"))
         .collect();
-    let outside = functions_outside(target);
+    let outside = functions_outside(domain, target);
     for _ in cf..length {
-        functions.push(*outside.choose(rng).expect("the DSL has 41 functions"));
+        functions.push(*outside.choose(rng).expect("the vocabulary is non-empty"));
     }
     functions.shuffle(rng);
     Program::new(functions)
@@ -109,6 +136,22 @@ pub fn candidate_with_cf<R: Rng + ?Sized>(target: &Program, cf: usize, rng: &mut
 /// Panics if `lcs > target.len()` or `target` is empty.
 #[must_use]
 pub fn candidate_with_lcs<R: Rng + ?Sized>(target: &Program, lcs: usize, rng: &mut R) -> Program {
+    candidate_with_lcs_in(DomainId::List, target, lcs, rng)
+}
+
+/// [`candidate_with_lcs`] over an explicit domain: filler functions are drawn
+/// from `domain`'s vocabulary.
+///
+/// # Panics
+///
+/// Panics if `lcs > target.len()` or `target` is empty.
+#[must_use]
+pub fn candidate_with_lcs_in<R: Rng + ?Sized>(
+    domain: DomainId,
+    target: &Program,
+    lcs: usize,
+    rng: &mut R,
+) -> Program {
     assert!(!target.is_empty(), "target must be non-empty");
     assert!(lcs <= target.len(), "lcs cannot exceed the target length");
     let length = target.len();
@@ -123,9 +166,9 @@ pub fn candidate_with_lcs<R: Rng + ?Sized>(target: &Program, lcs: usize, rng: &m
     let mut slots: Vec<usize> = destination_positions[..lcs].to_vec();
     slots.sort_unstable();
 
-    let outside = functions_outside(target);
+    let outside = functions_outside(domain, target);
     let mut functions: Vec<Function> = (0..length)
-        .map(|_| *outside.choose(rng).expect("the DSL has 41 functions"))
+        .map(|_| *outside.choose(rng).expect("the vocabulary is non-empty"))
         .collect();
     for (slot, src) in slots.iter().zip(chosen.iter()) {
         functions[*slot] = target.get(*src).expect("index in range");
@@ -133,15 +176,16 @@ pub fn candidate_with_lcs<R: Rng + ?Sized>(target: &Program, lcs: usize, rng: &m
     Program::new(functions)
 }
 
-fn functions_outside(target: &Program) -> Vec<Function> {
-    let outside: Vec<Function> = Function::ALL
+fn functions_outside(domain: DomainId, target: &Program) -> Vec<Function> {
+    let vocab = domain.vocab();
+    let outside: Vec<Function> = vocab
         .iter()
         .copied()
         .filter(|f| !target.functions().contains(f))
         .collect();
     if outside.is_empty() {
-        // Degenerate (target uses all 41 functions); fall back to the full set.
-        Function::ALL.to_vec()
+        // Degenerate (target uses the whole vocabulary); fall back to it.
+        vocab.to_vec()
     } else {
         outside
     }
@@ -159,17 +203,20 @@ pub fn generate_dataset<R: Rng + ?Sized>(
     balance: BalanceMetric,
     rng: &mut R,
 ) -> Result<Vec<FitnessSample>, DslError> {
+    let domain = config.generator.domain;
     let generator = Generator::new(config.generator.clone());
     let mut samples = Vec::new();
     for _ in 0..config.num_target_programs {
         let task = generator.task(config.examples_per_program, rng)?;
-        let label = fp_label(&task.target);
+        let label = fp_label_for(domain, &task.target);
         for value in 0..=config.program_length {
             for _ in 0..config.candidates_per_value {
                 let candidate = match balance {
-                    BalanceMetric::CommonFunctions => candidate_with_cf(&task.target, value, rng),
+                    BalanceMetric::CommonFunctions => {
+                        candidate_with_cf_in(domain, &task.target, value, rng)
+                    }
                     BalanceMetric::LongestCommonSubsequence => {
-                        candidate_with_lcs(&task.target, value, rng)
+                        candidate_with_lcs_in(domain, &task.target, value, rng)
                     }
                 };
                 samples.push(FitnessSample {
@@ -198,13 +245,14 @@ pub fn generate_fp_dataset<R: Rng + ?Sized>(
     config: &DatasetConfig,
     rng: &mut R,
 ) -> Result<Vec<FitnessSample>, DslError> {
+    let domain = config.generator.domain;
     let generator = Generator::new(config.generator.clone());
     let mut samples = Vec::with_capacity(config.num_target_programs);
     for _ in 0..config.num_target_programs {
         let task = generator.task(config.examples_per_program, rng)?;
         let candidate = generator.random_program(rng);
         samples.push(FitnessSample {
-            fp_target: fp_label(&task.target),
+            fp_target: fp_label_for(domain, &task.target),
             cf: common_functions(&candidate, &task.target),
             lcs: longest_common_subsequence(&candidate, &task.target),
             spec: task.spec.clone(),

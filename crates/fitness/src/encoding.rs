@@ -4,8 +4,14 @@
 //!
 //! Integers are clamped to a symmetric range and shifted into a dense token
 //! vocabulary; a separator token marks the boundary between a program input
-//! and its output. DSL functions are encoded by their zero-based index
-//! (`Function::index()`), exactly one token per statement.
+//! and its output. Strings encode as their UTF-8 bytes and word lists as the
+//! words' bytes joined by the separator token, so every domain's values land
+//! in the same dense vocabulary. DSL operators are encoded by their
+//! *domain-local* token index ([`netsyn_dsl::DomainId::token_index`]), exactly
+//! one token per statement — the encoding travels with the trained model via
+//! [`EncodingConfig::domain`], and for the list domain the indices coincide
+//! with the historical `Function::index()` numbering, so existing list-domain
+//! checkpoints and caches are unaffected.
 //!
 //! ## Zero-copy split
 //!
@@ -23,7 +29,7 @@
 //! to be re-deduplicated out of them).
 
 use crate::sync::lock_recovering;
-use netsyn_dsl::{Function, IoExample, IoSpec, Program, TraceArena, Value};
+use netsyn_dsl::{DomainId, IoExample, IoSpec, Program, TraceArena, Value};
 use netsyn_nn::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -33,6 +39,9 @@ use std::sync::{Arc, Mutex};
 /// Configuration of the token encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EncodingConfig {
+    /// The operator domain whose vocabulary sizes the function-token table.
+    /// Statement tokens are domain-local indices into this vocabulary.
+    pub domain: DomainId,
     /// Integers are clamped to `[-max_abs_value, max_abs_value]`.
     pub max_abs_value: i64,
     /// Lists are truncated to at most this many tokens.
@@ -40,13 +49,31 @@ pub struct EncodingConfig {
 }
 
 impl EncodingConfig {
-    /// Default configuration: values in `[-128, 128]`, lists up to 16 tokens.
+    /// Default configuration: the list domain, values in `[-128, 128]`,
+    /// lists up to 16 tokens.
     #[must_use]
     pub fn new() -> Self {
         EncodingConfig {
+            domain: DomainId::List,
             max_abs_value: 128,
             max_list_tokens: 16,
         }
+    }
+
+    /// The default configuration retargeted at another operator domain.
+    #[must_use]
+    pub fn for_domain(domain: DomainId) -> Self {
+        EncodingConfig {
+            domain,
+            ..EncodingConfig::new()
+        }
+    }
+
+    /// Size of the function-token vocabulary (one token per operator of the
+    /// configured domain).
+    #[must_use]
+    pub fn function_vocab_size(&self) -> usize {
+        self.domain.vocab_len()
     }
 
     /// Size of the value-token vocabulary (all clamped integers plus the
@@ -93,6 +120,30 @@ impl EncodingConfig {
                     .take(self.max_list_tokens)
                     .map(|&v| self.encode_int(v)),
             ),
+            Value::Str(s) => tokens.extend(
+                s.bytes()
+                    .take(self.max_list_tokens)
+                    .map(|b| self.encode_int(i64::from(b))),
+            ),
+            Value::StrList(words) => {
+                // Words' bytes joined by the separator token, under the same
+                // total truncation budget as lists.
+                let limit = tokens.len() + self.max_list_tokens;
+                for (i, word) in words.iter().enumerate() {
+                    if i > 0 && tokens.len() < limit {
+                        tokens.push(self.separator_token());
+                    }
+                    for b in word.bytes() {
+                        if tokens.len() >= limit {
+                            return;
+                        }
+                        tokens.push(self.encode_int(i64::from(b)));
+                    }
+                    if tokens.len() >= limit {
+                        return;
+                    }
+                }
+            }
         }
     }
 
@@ -115,11 +166,13 @@ impl Default for EncodingConfig {
     }
 }
 
-/// One encoded trace step: the statement's function index and the tokens of
+/// One encoded trace step: the statement's function token and the tokens of
 /// the value it produced.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EncodedStep {
-    /// `Function::index()` of the statement (0..41).
+    /// Domain-local token index of the statement's operator
+    /// (`0..domain.vocab_len()`; equal to `Function::index()` in the list
+    /// domain).
     pub function: usize,
     /// Tokens of the statement's output value.
     pub value_tokens: Vec<usize>,
@@ -255,7 +308,10 @@ fn encode_candidate_with(
                         .iter()
                         .zip(execution.steps.iter())
                         .map(|(func, value)| EncodedStep {
-                            function: func.index(),
+                            function: config
+                                .domain
+                                .token_index(*func)
+                                .expect("candidate operators belong to the encoding's domain"),
                             value_tokens: config.encode_value(value),
                         })
                         .collect()
@@ -573,16 +629,10 @@ impl SpecEncodingMap {
     }
 }
 
-/// The size of the function vocabulary (one token per DSL function).
-#[must_use]
-pub fn function_vocab_size() -> usize {
-    Function::COUNT
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsyn_dsl::{IntPredicate, MapOp};
+    use netsyn_dsl::{Function, IntPredicate, MapOp};
 
     fn config() -> EncodingConfig {
         EncodingConfig::new()
@@ -654,7 +704,7 @@ mod tests {
             assert!(candidate
                 .trace(example)
                 .iter()
-                .all(|s| s.function < function_vocab_size()));
+                .all(|s| s.function < c.function_vocab_size()));
             assert!(!spec_encoding.io_tokens()[example].is_empty());
         }
         // The first step of the first example is FILTER(>0) and its trace
@@ -813,9 +863,60 @@ mod tests {
 
     #[test]
     fn all_function_indices_fit_the_function_vocab() {
-        assert_eq!(function_vocab_size(), 41);
+        let list = EncodingConfig::new();
+        assert_eq!(list.domain, DomainId::List);
+        assert_eq!(list.function_vocab_size(), 41);
         for f in Function::ALL {
-            assert!(f.index() < function_vocab_size());
+            assert_eq!(DomainId::List.token_index(f), Some(f.index()));
         }
+        let string = EncodingConfig::for_domain(DomainId::Str);
+        assert_eq!(string.function_vocab_size(), 18);
+        for (i, f) in DomainId::Str.vocab().iter().enumerate() {
+            assert_eq!(DomainId::Str.token_index(*f), Some(i));
+        }
+    }
+
+    #[test]
+    fn string_values_encode_as_bytes_with_word_separators() {
+        let c = config();
+        // "ab" → byte tokens shifted by max_abs_value.
+        let ab = c.encode_value(&Value::Str("ab".to_string()));
+        assert_eq!(ab, vec![c.encode_int(97), c.encode_int(98)]);
+        assert!(ab.iter().all(|&t| t < c.value_vocab_size()));
+        // Word lists join with the separator token.
+        let words = c.encode_value(&Value::StrList(vec!["ab".into(), "c".into()]));
+        assert_eq!(
+            words,
+            vec![
+                c.encode_int(97),
+                c.encode_int(98),
+                c.separator_token(),
+                c.encode_int(99)
+            ]
+        );
+        // Truncation budget applies across the whole word list.
+        let mut tight = c;
+        tight.max_list_tokens = 3;
+        let truncated = tight.encode_value(&Value::StrList(vec!["ab".into(), "cd".into()]));
+        assert_eq!(truncated.len(), 3);
+        let long_str = tight.encode_value(&Value::Str("abcdefgh".to_string()));
+        assert_eq!(long_str.len(), 3);
+    }
+
+    #[test]
+    fn string_domain_candidates_encode_with_domain_local_tokens() {
+        let c = EncodingConfig::for_domain(DomainId::Str);
+        let target = Program::new(vec![Function::StrUpper, Function::StrReverse]);
+        let spec = IoSpec::from_program(&target, &[vec![Value::Str("hello world".into())]]);
+        let candidate = encode_candidate(&c, &spec, &target);
+        assert_eq!(candidate.traces().len(), 1);
+        let steps = candidate.trace(0);
+        assert_eq!(steps.len(), 2);
+        assert_eq!(
+            steps[0].function,
+            DomainId::Str.token_index(Function::StrUpper).unwrap()
+        );
+        assert!(steps.iter().all(|s| s.function < c.function_vocab_size()));
+        assert!(steps.iter().all(|s| !s.value_tokens.is_empty()));
     }
 }

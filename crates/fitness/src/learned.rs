@@ -217,16 +217,19 @@ impl LearnedProbabilityModel {
         &self.model
     }
 
-    /// Predicts the probability map for a specification.
+    /// Predicts the probability map for a specification. The map covers the
+    /// vocabulary of the domain the model was trained on
+    /// (`EncodingConfig::domain`).
     #[must_use]
     pub fn probability_map(&self, spec: &IoSpec) -> ProbabilityMap {
+        let domain = self.model.net.encoding().domain;
         let encoded = encode_spec(self.model.net.encoding(), spec);
         match self.model.net.predict_spec(&encoded) {
             Ok(logits) => {
                 let probs: Vec<f64> = logits.iter().map(|&z| f64::from(sigmoid(z))).collect();
-                ProbabilityMap::new(probs)
+                ProbabilityMap::new_for(domain, probs)
             }
-            Err(_) => ProbabilityMap::uniform(),
+            Err(_) => ProbabilityMap::uniform_for(domain),
         }
     }
 }

@@ -13,9 +13,7 @@
 //! * FP — 41 sigmoid outputs, one per DSL function (the trace inputs are
 //!   simply absent).
 
-use crate::encoding::{
-    function_vocab_size, CandidateEncoding, EncodingConfig, SpecEncoding, TraceEncodingCache,
-};
+use crate::encoding::{CandidateEncoding, EncodingConfig, SpecEncoding, TraceEncodingCache};
 use netsyn_nn::{
     Activation, Embedding, FxHashMap, Lstm, LstmBatchCache, LstmCache, Matrix, Mlp, MlpBatchCache,
     MlpCache, NnError, Param, Parameterized, SequenceBatch, SequenceEncoder,
@@ -136,8 +134,11 @@ impl FitnessNet {
             config.encoder_hidden_dim,
             rng,
         );
-        let function_embedding =
-            Embedding::new(function_vocab_size(), config.function_embed_dim, rng);
+        let function_embedding = Embedding::new(
+            encoding.function_vocab_size(),
+            config.function_embed_dim,
+            rng,
+        );
         let trace_lstm = Lstm::new(
             config.function_embed_dim + config.encoder_hidden_dim,
             config.trace_hidden_dim,

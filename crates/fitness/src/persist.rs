@@ -16,8 +16,11 @@
 //! **bit-exactly** (NaN payloads included) — the foundation of the
 //! warm-restart determinism guarantee. Every file opens with the
 //! `netsyn_persist` log header whose application payload is
-//! `kind ‖ codec_version ‖ function_count`; a file whose header names a
-//! different kind, codec or DSL vocabulary is not trusted (see below).
+//! `kind ‖ codec_version ‖ domain_name ‖ vocab_fingerprint`; a file whose
+//! header names a different kind, codec, domain, or DSL vocabulary
+//! fingerprint is not trusted (see below). In particular, caches persisted
+//! under one domain quarantine to cold when the directory is reopened for
+//! another.
 //! Cross-checkpoint aliasing is impossible by construction: the
 //! `fitness_key` inside every record embeds the model's weight
 //! fingerprint, exactly like the in-memory shard keys.
@@ -48,7 +51,7 @@
 use crate::cache::{FitnessCache, SpecScores};
 use crate::encoding::{TraceEncodingCache, TraceEntry};
 use crate::sync::lock_recovering;
-use netsyn_dsl::{Function, IoSpec, Program, Value};
+use netsyn_dsl::{DomainId, IoSpec, Program, Value};
 use netsyn_persist::{
     decode_log, dir as persist_dir, ByteReader, ByteWriter, FaultPlan, FaultyFile, FileStorage,
     LogError, LogWriter,
@@ -70,8 +73,10 @@ const SCORES_KIND: &str = "netsyn-fitness/scores";
 const TRACES_KIND: &str = "netsyn-fitness/traces";
 
 /// Version of the record payload codec (bumped on any payload change;
-/// readers quarantine files with any other value).
-const CODEC_VERSION: u32 = 1;
+/// readers quarantine files with any other value). Version 2 replaced the
+/// baked-in function count in the header with the domain name and its
+/// vocabulary fingerprint, and added string value tags to the value codec.
+const CODEC_VERSION: u32 = 2;
 
 /// Environment variable selecting the cache directory (opt-in durability).
 pub const CACHE_DIR_ENV: &str = "NETSYN_CACHE_DIR";
@@ -87,6 +92,10 @@ pub struct DurableOptions {
     /// Fault plan injected into newly opened log writers — test-only
     /// machinery for proving the degradation contract.
     pub fault: Option<FaultPlan>,
+    /// The DSL domain whose caches this directory holds. Written into every
+    /// log header (name + vocabulary fingerprint); a file persisted under a
+    /// different domain is quarantined and the cache starts cold.
+    pub domain: DomainId,
 }
 
 impl Default for DurableOptions {
@@ -99,6 +108,7 @@ impl Default for DurableOptions {
         DurableOptions {
             flush_every,
             fault: None,
+            domain: DomainId::List,
         }
     }
 }
@@ -150,6 +160,7 @@ pub(crate) struct DurableStore {
     dir: PathBuf,
     flush_every: usize,
     fault: Option<FaultPlan>,
+    domain: DomainId,
     tick: AtomicUsize,
     /// Set on the first flush I/O error: the store degrades to
     /// memory-only for the rest of the process.
@@ -171,7 +182,12 @@ impl DurableStore {
         let mut report = LoadReport::default();
         let mut inner = StoreInner::default();
 
-        for record in load_log_file(&dir.join(SCORES_FILE), SCORES_KIND, &mut report) {
+        for record in load_log_file(
+            &dir.join(SCORES_FILE),
+            SCORES_KIND,
+            options.domain,
+            &mut report,
+        ) {
             match decode_scores_record(&record) {
                 Ok((key, spec, entries)) => {
                     let shard = cache.shard(&key, &spec);
@@ -192,7 +208,12 @@ impl DurableStore {
             }
         }
 
-        for record in load_log_file(&dir.join(TRACES_FILE), TRACES_KIND, &mut report) {
+        for record in load_log_file(
+            &dir.join(TRACES_FILE),
+            TRACES_KIND,
+            options.domain,
+            &mut report,
+        ) {
             match decode_traces_record(&record) {
                 Ok((key, entries)) => {
                     let shard = cache.trace_shard(&key);
@@ -225,6 +246,7 @@ impl DurableStore {
             dir: dir.to_path_buf(),
             flush_every: options.flush_every.max(1),
             fault: options.fault,
+            domain: options.domain,
             tick: AtomicUsize::new(0),
             broken: AtomicBool::new(false),
             inner: Mutex::new(inner),
@@ -298,6 +320,7 @@ impl DurableStore {
                 &mut inner.scores_writer,
                 &self.dir.join(SCORES_FILE),
                 SCORES_KIND,
+                self.domain,
                 self.fault,
             )?;
             writer.append(&record)?;
@@ -327,6 +350,7 @@ impl DurableStore {
                 &mut inner.traces_writer,
                 &self.dir.join(TRACES_FILE),
                 TRACES_KIND,
+                self.domain,
                 self.fault,
             )?;
             writer.append(&record)?;
@@ -378,7 +402,8 @@ impl DurableStore {
         inner.scores_writer = None;
         inner.traces_writer = None;
 
-        let mut scores_bytes = netsyn_persist::log::encode_header(&encode_app_header(SCORES_KIND));
+        let mut scores_bytes =
+            netsyn_persist::log::encode_header(&encode_app_header(SCORES_KIND, self.domain));
         let mut persisted_scores: HashMap<(String, IoSpec), HashSet<Program>> = HashMap::new();
         for (key, spec, shard) in scores {
             let exported = shard.export();
@@ -394,7 +419,8 @@ impl DurableStore {
         }
         persist_dir::atomic_replace(&self.dir.join(SCORES_FILE), &scores_bytes)?;
 
-        let mut traces_bytes = netsyn_persist::log::encode_header(&encode_app_header(TRACES_KIND));
+        let mut traces_bytes =
+            netsyn_persist::log::encode_header(&encode_app_header(TRACES_KIND, self.domain));
         let mut persisted_traces: HashMap<String, HashSet<Box<[usize]>>> = HashMap::new();
         for (key, shard) in traces {
             let exported = shard.export();
@@ -427,10 +453,11 @@ fn open_writer<'a>(
     slot: &'a mut Option<LogWriter>,
     path: &Path,
     kind: &str,
+    domain: DomainId,
     fault: Option<FaultPlan>,
 ) -> io::Result<&'a mut LogWriter> {
     if slot.is_none() {
-        let header = encode_app_header(kind);
+        let header = encode_app_header(kind, domain);
         let writer = match fault {
             Some(plan) => LogWriter::new(Box::new(FaultyFile::create(path, plan)), header)?,
             None => LogWriter::new(Box::new(FileStorage::open(path)?), header)?,
@@ -442,7 +469,12 @@ fn open_writer<'a>(
 
 /// Load one log file: quarantine what cannot be trusted, compact away
 /// damaged suffixes, and return the surviving record payloads.
-fn load_log_file(path: &Path, kind: &str, report: &mut LoadReport) -> Vec<Vec<u8>> {
+fn load_log_file(
+    path: &Path,
+    kind: &str,
+    domain: DomainId,
+    report: &mut LoadReport,
+) -> Vec<Vec<u8>> {
     let bytes = match std::fs::read(path) {
         Ok(bytes) => bytes,
         Err(err) if err.kind() == io::ErrorKind::NotFound => return Vec::new(),
@@ -465,7 +497,7 @@ fn load_log_file(path: &Path, kind: &str, report: &mut LoadReport) -> Vec<Vec<u8
         // Zero-length file: a crash between create and first write.
         return Vec::new();
     };
-    if let Err(reason) = check_app_header(&header, kind) {
+    if let Err(reason) = check_app_header(&header, kind, domain) {
         quarantine_file(path, &reason, report);
         return Vec::new();
     }
@@ -480,7 +512,7 @@ fn load_log_file(path: &Path, kind: &str, report: &mut LoadReport) -> Vec<Vec<u8
         warn(report.damage.last().expect("just pushed"));
         // Rewrite the file clean so the damage is not re-reported forever
         // and the append offset is consistent.
-        let mut clean = netsyn_persist::log::encode_header(&encode_app_header(kind));
+        let mut clean = netsyn_persist::log::encode_header(&encode_app_header(kind, domain));
         for record in &loaded.records {
             clean.extend_from_slice(&netsyn_persist::log::encode_record(record));
         }
@@ -516,15 +548,16 @@ fn quarantine_file(path: &Path, reason: &str, report: &mut LoadReport) {
 // Codec: application header and record payloads.
 // ---------------------------------------------------------------------------
 
-fn encode_app_header(kind: &str) -> Vec<u8> {
+fn encode_app_header(kind: &str, domain: DomainId) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_str(kind);
     w.put_u32(CODEC_VERSION);
-    w.put_u32(Function::COUNT as u32);
+    w.put_str(domain.as_str());
+    w.put_u64(domain.vocab_fingerprint());
     w.into_bytes()
 }
 
-fn check_app_header(header: &[u8], kind: &str) -> Result<(), String> {
+fn check_app_header(header: &[u8], kind: &str, domain: DomainId) -> Result<(), String> {
     let mut r = ByteReader::new(header);
     let found_kind = r.get_str().map_err(|_| "truncated header".to_string())?;
     if found_kind != kind {
@@ -536,11 +569,18 @@ fn check_app_header(header: &[u8], kind: &str) -> Result<(), String> {
             "codec version {codec}, this build reads {CODEC_VERSION}"
         ));
     }
-    let functions = r.get_u32().map_err(|_| "truncated header".to_string())?;
-    if functions != Function::COUNT as u32 {
+    let found_domain = r.get_str().map_err(|_| "truncated header".to_string())?;
+    if found_domain != domain.as_str() {
         return Err(format!(
-            "DSL vocabulary of {functions} functions, this build has {}",
-            Function::COUNT
+            "domain {found_domain:?}, this cache is opened for {:?}",
+            domain.as_str()
+        ));
+    }
+    let fingerprint = r.get_u64().map_err(|_| "truncated header".to_string())?;
+    if fingerprint != domain.vocab_fingerprint() {
+        return Err(format!(
+            "vocabulary fingerprint {fingerprint:#018x}, this build has {:#018x}",
+            domain.vocab_fingerprint()
         ));
     }
     Ok(())
@@ -559,6 +599,17 @@ fn encode_value(w: &mut ByteWriter, value: &Value) {
                 w.put_i64(v);
             }
         }
+        Value::Str(s) => {
+            w.put_u8(2);
+            w.put_str(s);
+        }
+        Value::StrList(words) => {
+            w.put_u8(3);
+            w.put_u32(words.len() as u32);
+            for word in words {
+                w.put_str(word);
+            }
+        }
     }
 }
 
@@ -575,6 +626,20 @@ fn decode_value(r: &mut ByteReader<'_>) -> Result<Value, String> {
                 items.push(r.get_i64().map_err(|_| "truncated list item")?);
             }
             Ok(Value::List(items))
+        }
+        2 => Ok(Value::Str(
+            r.get_str().map_err(|_| "truncated string")?.to_string(),
+        )),
+        3 => {
+            let len = r.get_u32().map_err(|_| "truncated word count")? as usize;
+            if len > r.remaining() {
+                return Err("word count overruns record".to_string());
+            }
+            let mut words = Vec::with_capacity(len);
+            for _ in 0..len {
+                words.push(r.get_str().map_err(|_| "truncated word")?.to_string());
+            }
+            Ok(Value::StrList(words))
         }
         tag => Err(format!("unknown value tag {tag}")),
     }
@@ -775,15 +840,37 @@ mod tests {
 
     #[test]
     fn header_checks_reject_foreign_files() {
-        let scores = encode_app_header(SCORES_KIND);
-        assert!(check_app_header(&scores, SCORES_KIND).is_ok());
-        // The wrong-fingerprint case: a traces header in the scores slot.
-        assert!(check_app_header(&scores, TRACES_KIND).is_err());
-        // A header claiming a different DSL vocabulary is not trusted.
+        let scores = encode_app_header(SCORES_KIND, DomainId::List);
+        assert!(check_app_header(&scores, SCORES_KIND, DomainId::List).is_ok());
+        // The wrong-kind case: a traces header in the scores slot.
+        assert!(check_app_header(&scores, TRACES_KIND, DomainId::List).is_err());
+        // The cross-domain case: a list-domain file opened for the string
+        // domain (and vice versa) is never trusted.
+        assert!(check_app_header(&scores, SCORES_KIND, DomainId::Str).is_err());
+        let str_scores = encode_app_header(SCORES_KIND, DomainId::Str);
+        assert!(check_app_header(&str_scores, SCORES_KIND, DomainId::Str).is_ok());
+        assert!(check_app_header(&str_scores, SCORES_KIND, DomainId::List).is_err());
+        // A header claiming the right domain name but a different
+        // vocabulary fingerprint is not trusted either.
         let mut w = ByteWriter::new();
         w.put_str(SCORES_KIND);
         w.put_u32(CODEC_VERSION);
-        w.put_u32(Function::COUNT as u32 + 1);
-        assert!(check_app_header(&w.into_bytes(), SCORES_KIND).is_err());
+        w.put_str(DomainId::List.as_str());
+        w.put_u64(DomainId::List.vocab_fingerprint() ^ 1);
+        assert!(check_app_header(&w.into_bytes(), SCORES_KIND, DomainId::List).is_err());
+    }
+
+    #[test]
+    fn string_values_round_trip_through_the_codec() {
+        let spec = IoSpec::new(vec![netsyn_dsl::IoExample::new(
+            vec![Value::Str("hello world".to_string())],
+            Value::StrList(vec!["hello".to_string(), String::new()]),
+        )]);
+        let entries = vec![(Program::from_ids(&[42]).unwrap(), 0.25)];
+        let record = encode_scores_record("nn-CF#str", &spec, &entries);
+        let (key, spec_back, back) = decode_scores_record(&record).unwrap();
+        assert_eq!(key, "nn-CF#str");
+        assert_eq!(spec_back, spec);
+        assert_eq!(back, entries);
     }
 }

@@ -5,62 +5,101 @@
 //! input-output examples. The map is used both to score candidate programs
 //! and to bias the mutation operator (`Mutation_FP` in Table 2).
 
-use netsyn_dsl::{Function, Program};
+use netsyn_dsl::{DomainId, Function, Program};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A probability (or non-negative weight) per DSL function.
+/// A probability (or non-negative weight) per operator of one domain's
+/// vocabulary, indexed by the domain-local token index
+/// ([`DomainId::token_index`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProbabilityMap {
+    domain: DomainId,
     probs: Vec<f64>,
 }
 
 impl ProbabilityMap {
-    /// Creates a map from 41 per-function probabilities.
+    /// Creates a list-domain map from 41 per-function probabilities.
     ///
     /// # Panics
     ///
     /// Panics if `probs.len() != 41` or any entry is negative or non-finite.
     #[must_use]
     pub fn new(probs: Vec<f64>) -> Self {
+        ProbabilityMap::new_for(DomainId::List, probs)
+    }
+
+    /// Creates a map over `domain` from one probability per vocabulary entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != domain.vocab_len()` or any entry is negative
+    /// or non-finite.
+    #[must_use]
+    pub fn new_for(domain: DomainId, probs: Vec<f64>) -> Self {
         assert_eq!(
             probs.len(),
-            Function::COUNT,
+            domain.vocab_len(),
             "expected one entry per DSL function"
         );
         assert!(
             probs.iter().all(|&p| p.is_finite() && p >= 0.0),
             "probabilities must be non-negative and finite"
         );
-        ProbabilityMap { probs }
+        ProbabilityMap { domain, probs }
     }
 
-    /// The uniform map assigning 0.5 to every function.
+    /// The uniform list-domain map assigning 0.5 to every function.
     #[must_use]
     pub fn uniform() -> Self {
+        ProbabilityMap::uniform_for(DomainId::List)
+    }
+
+    /// The uniform map over `domain` assigning 0.5 to every operator.
+    #[must_use]
+    pub fn uniform_for(domain: DomainId) -> Self {
         ProbabilityMap {
-            probs: vec![0.5; Function::COUNT],
+            domain,
+            probs: vec![0.5; domain.vocab_len()],
         }
     }
 
-    /// The "oracle" map: probability 1.0 for functions present in `target`,
-    /// a small floor elsewhere.
+    /// The list-domain "oracle" map: probability 1.0 for functions present in
+    /// `target`, a small floor elsewhere.
     #[must_use]
     pub fn from_target(target: &Program, floor: f64) -> Self {
-        let mut probs = vec![floor; Function::COUNT];
-        for f in target.functions() {
-            probs[f.index()] = 1.0;
-        }
-        ProbabilityMap { probs }
+        ProbabilityMap::from_target_in(DomainId::List, target, floor)
     }
 
-    /// Probability assigned to `function`.
+    /// [`ProbabilityMap::from_target`] over an explicit domain; `target`
+    /// operators outside the domain's vocabulary are ignored.
+    #[must_use]
+    pub fn from_target_in(domain: DomainId, target: &Program, floor: f64) -> Self {
+        let mut probs = vec![floor; domain.vocab_len()];
+        for f in target.functions() {
+            if let Some(i) = domain.token_index(*f) {
+                probs[i] = 1.0;
+            }
+        }
+        ProbabilityMap { domain, probs }
+    }
+
+    /// The domain whose vocabulary this map covers.
+    #[must_use]
+    pub fn domain(&self) -> DomainId {
+        self.domain
+    }
+
+    /// Probability assigned to `function` (0.0 for operators outside the
+    /// map's domain).
     #[must_use]
     pub fn prob(&self, function: Function) -> f64 {
-        self.probs[function.index()]
+        self.domain
+            .token_index(function)
+            .map_or(0.0, |i| self.probs[i])
     }
 
-    /// All probabilities indexed by `Function::index()`.
+    /// All probabilities indexed by the domain-local token index.
     #[must_use]
     pub fn as_slice(&self) -> &[f64] {
         &self.probs
@@ -77,34 +116,37 @@ impl ProbabilityMap {
     /// (Roulette-Wheel over the map). Falls back to a uniform draw when the
     /// total mass is zero.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Function {
+        let vocab = self.domain.vocab();
         let total: f64 = self.probs.iter().sum();
         if total <= 0.0 {
-            return Function::ALL[rng.gen_range(0..Function::COUNT)];
+            return vocab[rng.gen_range(0..vocab.len())];
         }
         let mut threshold = rng.gen_range(0.0..total);
         for (i, &p) in self.probs.iter().enumerate() {
             if threshold < p {
-                return Function::ALL[i];
+                return vocab[i];
             }
             threshold -= p;
         }
-        Function::ALL[Function::COUNT - 1]
+        vocab[vocab.len() - 1]
     }
 
     /// Samples a function different from `exclude` (used by the FP-guided
     /// mutation operator, which must change the gene).
     pub fn sample_excluding<R: Rng + ?Sized>(&self, rng: &mut R, exclude: Function) -> Function {
+        let vocab = self.domain.vocab();
+        let exclude_index = self.domain.token_index(exclude);
         // Zero out the excluded function's mass and sample from the rest.
         let total: f64 = self
             .probs
             .iter()
             .enumerate()
-            .filter(|(i, _)| *i != exclude.index())
+            .filter(|(i, _)| Some(*i) != exclude_index)
             .map(|(_, &p)| p)
             .sum();
         if total <= 0.0 {
             loop {
-                let f = Function::ALL[rng.gen_range(0..Function::COUNT)];
+                let f = vocab[rng.gen_range(0..vocab.len())];
                 if f != exclude {
                     return f;
                 }
@@ -112,35 +154,32 @@ impl ProbabilityMap {
         }
         let mut threshold = rng.gen_range(0.0..total);
         for (i, &p) in self.probs.iter().enumerate() {
-            if i == exclude.index() {
+            if Some(i) == exclude_index {
                 continue;
             }
             if threshold < p {
-                return Function::ALL[i];
+                return vocab[i];
             }
             threshold -= p;
         }
         // Floating-point fallthrough: return the last non-excluded function.
-        *Function::ALL
+        *vocab
             .iter()
             .rev()
             .find(|f| **f != exclude)
-            .expect("there is more than one DSL function")
+            .expect("every domain vocabulary has more than one operator")
     }
 
     /// The `k` functions with the highest probability, in decreasing order.
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<Function> {
+        let vocab = self.domain.vocab();
         let mut indexed: Vec<(usize, f64)> = self.probs.iter().copied().enumerate().collect();
         // total_cmp: a NaN probability takes a deterministic extreme
         // position (positive NaN first, negative last) instead of leaving
         // the ranking to iteration order.
         indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
-        indexed
-            .into_iter()
-            .take(k)
-            .map(|(i, _)| Function::ALL[i])
-            .collect()
+        indexed.into_iter().take(k).map(|(i, _)| vocab[i]).collect()
     }
 }
 

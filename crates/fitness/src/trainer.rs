@@ -6,7 +6,6 @@ use crate::encoding::{
     encode_candidate, CandidateEncoding, EncodingConfig, SpecEncoding, SpecEncodingMap,
 };
 use crate::model::{FitnessNet, FitnessNetConfig};
-use netsyn_dsl::Function;
 use netsyn_nn::loss::{argmax, binary_cross_entropy_with_logits, softmax_cross_entropy};
 use netsyn_nn::metrics::thresholded_accuracy;
 use netsyn_nn::{Adam, ConfusionMatrix, Parameterized};
@@ -246,7 +245,7 @@ fn train_fitness_model_impl<R: Rng + ?Sized>(
     batched: bool,
 ) -> TrainedFitnessModel {
     let output_dim = match kind {
-        FitnessModelKind::FunctionProbability => Function::COUNT,
+        FitnessModelKind::FunctionProbability => config.encoding.function_vocab_size(),
         _ => program_length + 1,
     };
     let mut net_config = config.net;

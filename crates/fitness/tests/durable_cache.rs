@@ -189,7 +189,7 @@ fn bit_flip_mid_log_never_yields_a_wrong_score() {
     // Flip one bit at every offset past the file header in turn: whatever
     // the reopened cache serves must be one of the original scores —
     // corruption may shrink the cache, never corrupt a value.
-    let header_end = 53; // MAGIC(8) + version(4) + hlen(4) + hdata(33) + crc(4)
+    let header_end = 65; // MAGIC(8) + version(4) + hlen(4) + hdata(45) + crc(4)
     for offset in header_end..original.len() {
         let mut damaged = original.clone();
         damaged[offset] ^= 1 << (offset % 8);
@@ -279,7 +279,7 @@ fn wrong_version_file_is_quarantined() {
 fn swapped_files_fail_the_kind_check_and_start_cold() {
     // scores.nsl renamed to traces.nsl — e.g. a user shuffling files around.
     // The app-level kind header catches it; the same check rejects logs
-    // whose embedded vocabulary size (Function::COUNT) disagrees.
+    // whose embedded domain name or vocabulary fingerprint disagrees.
     let dir = scratch("swapped");
     seed_scores(&dir, 3);
     std::fs::rename(dir.join(SCORES_FILE), dir.join(TRACES_FILE)).expect("swap");
@@ -297,13 +297,47 @@ fn swapped_files_fail_the_kind_check_and_start_cold() {
 }
 
 #[test]
+fn cross_domain_reopen_quarantines_and_starts_cold() {
+    // Caches persisted under one domain must never be served to another:
+    // the header's domain name + vocabulary fingerprint quarantine the
+    // file and the cache starts cold.
+    let dir = scratch("cross_domain");
+    seed_scores(&dir, 5); // list-domain by default
+
+    let str_options = DurableOptions {
+        domain: netsyn_dsl::DomainId::Str,
+        ..DurableOptions::default()
+    };
+    let cache = FitnessCache::durable_with(&dir, str_options).expect("open for str domain");
+    let report = cache.load_report().expect("report");
+    assert_eq!(
+        report.quarantined.len(),
+        1,
+        "the list-domain score log must be quarantined, not read"
+    );
+    assert_eq!(report.score_entries, 0);
+    assert!(cache.shard(KEY, &spec()).is_empty(), "cold, never aliased");
+    // The quarantined file survives on disk for inspection.
+    assert!(report.quarantined[0].exists());
+
+    // The string-domain cache is fully usable in the same directory, and a
+    // same-domain reopen comes back warm.
+    cache.shard(KEY, &spec()).insert(programs(1).remove(0), 7.5);
+    assert_eq!(cache.flush().expect("flush").score_entries, 1);
+    drop(cache);
+    let reopened = FitnessCache::durable_with(&dir, str_options).expect("reopen str domain");
+    assert_eq!(reopened.load_report().expect("report").score_entries, 1);
+}
+
+#[test]
 fn enospc_mid_flush_degrades_to_memory_only() {
     let dir = scratch("enospc");
-    // Fail the write early in the first record: the header (53 bytes) goes
+    // Fail the write early in the first record: the header (65 bytes) goes
     // through, the record append errors like a full disk.
     let options = DurableOptions {
         flush_every: usize::MAX,
-        fault: Some(FaultPlan::enospc(60)),
+        fault: Some(FaultPlan::enospc(70)),
+        ..DurableOptions::default()
     };
     let cache = FitnessCache::durable_with(&dir, options).expect("open");
     let memo = cache.shard(KEY, &spec());
@@ -338,6 +372,7 @@ fn torn_write_loses_the_tail_but_recovery_keeps_the_prefix() {
     let options = DurableOptions {
         flush_every: usize::MAX,
         fault: Some(FaultPlan::torn_write(base_len + 9)),
+        ..DurableOptions::default()
     };
     let cache = FitnessCache::durable_with(&dir, options).expect("open");
     let memo = cache.shard(KEY, &spec());
@@ -371,6 +406,7 @@ fn concurrent_scoring_and_periodic_flushes_lose_nothing() {
             DurableOptions {
                 flush_every: 2,
                 fault: None,
+                ..DurableOptions::default()
             },
         )
         .expect("open");

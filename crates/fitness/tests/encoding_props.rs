@@ -12,6 +12,7 @@ fn arb_config() -> impl Strategy<Value = EncodingConfig> {
     (1_i64..=512, 0_usize..=32).prop_map(|(max_abs_value, max_list_tokens)| EncodingConfig {
         max_abs_value,
         max_list_tokens,
+        ..EncodingConfig::new()
     })
 }
 
@@ -89,7 +90,7 @@ proptest! {
         let candidate = encode_candidate(&config, &spec, &program);
         for trace in candidate.traces() {
             for step in trace {
-                prop_assert!(step.function < netsyn_fitness::encoding::function_vocab_size());
+                prop_assert!(step.function < config.function_vocab_size());
                 for &token in &step.value_tokens {
                     prop_assert!(token < config.value_vocab_size());
                     prop_assert_ne!(token, config.separator_token());

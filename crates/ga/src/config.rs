@@ -4,6 +4,7 @@
 //! (elite) genes per generation, at most 30,000 generations, 40% crossover
 //! rate and 30% mutation rate.
 
+use netsyn_dsl::DomainId;
 use serde::{Deserialize, Serialize};
 
 /// How the mutation operator chooses the replacement function.
@@ -33,6 +34,9 @@ pub enum NeighborhoodStrategy {
 /// Hyper-parameters of the genetic algorithm.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
+    /// The DSL domain whose operator vocabulary the engine samples, mutates
+    /// and searches over.
+    pub domain: DomainId,
     /// Length of candidate programs (the assumed target length `L`).
     pub program_length: usize,
     /// Number of genes in the pool (`T`).
@@ -64,6 +68,7 @@ impl GaConfig {
     #[must_use]
     pub fn paper_defaults(program_length: usize) -> Self {
         GaConfig {
+            domain: DomainId::List,
             program_length,
             population_size: 100,
             elite_count: 5,

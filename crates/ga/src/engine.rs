@@ -12,7 +12,7 @@ use crate::neighborhood;
 use crate::saturation::SaturationDetector;
 use crate::selection;
 use netsyn_dsl::dce::has_dead_code;
-use netsyn_dsl::{Function, IoSpec, Program, Type};
+use netsyn_dsl::{IoSpec, Program, Type};
 use netsyn_fitness::cache::{resolve_batch, SpecScores};
 use netsyn_fitness::{FitnessCache, FitnessFunction, ProbabilityMap, TraceEncodingCache};
 use rand::Rng;
@@ -118,7 +118,7 @@ impl GeneticEngine {
         R: Rng + ?Sized,
     {
         let input_types = if spec.is_empty() {
-            vec![Type::List]
+            self.config.domain.default_input_types().to_vec()
         } else {
             spec.input_types()
         };
@@ -187,6 +187,7 @@ impl GeneticEngine {
                     &top,
                     spec,
                     self.config.neighborhood,
+                    self.config.domain,
                     fitness,
                     budget,
                     &memo,
@@ -346,8 +347,9 @@ impl GeneticEngine {
     }
 
     fn unconstrained_random_program<R: Rng + ?Sized>(&self, rng: &mut R) -> Program {
+        let vocab = self.config.domain.vocab();
         (0..self.config.program_length)
-            .map(|_| Function::ALL[rng.gen_range(0..Function::COUNT)])
+            .map(|_| vocab[rng.gen_range(0..vocab.len())])
             .collect()
     }
 
@@ -437,14 +439,24 @@ impl GeneticEngine {
     ) -> Program {
         let index = selection::roulette_wheel(weights, rng);
         let parent = &population.genes()[index].program;
-        let mut last =
-            mutation::point_mutation(parent, self.config.mutation_mode, probability_map, rng);
+        let mut last = mutation::point_mutation(
+            parent,
+            self.config.mutation_mode,
+            probability_map,
+            self.config.domain,
+            rng,
+        );
         for _ in 0..self.config.dead_code_retries {
             if !has_dead_code(&last, input_types) {
                 return last;
             }
-            last =
-                mutation::point_mutation(parent, self.config.mutation_mode, probability_map, rng);
+            last = mutation::point_mutation(
+                parent,
+                self.config.mutation_mode,
+                probability_map,
+                self.config.domain,
+                rng,
+            );
         }
         last
     }
@@ -460,7 +472,7 @@ enum BreedResult {
 mod tests {
     use super::*;
     use crate::config::MutationMode;
-    use netsyn_dsl::{IntPredicate, MapOp, Value};
+    use netsyn_dsl::{Function, IntPredicate, MapOp, Value};
     use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

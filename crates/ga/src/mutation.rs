@@ -7,11 +7,12 @@
 //! map considers unlikely — the least promising parts of the gene.
 
 use crate::config::MutationMode;
-use netsyn_dsl::{Function, Program};
+use netsyn_dsl::{DomainId, Function, Program};
 use netsyn_fitness::ProbabilityMap;
 use rand::Rng;
 
-/// Mutates one position of `program`, returning a new program.
+/// Mutates one position of `program`, returning a new program. Uniform
+/// replacements are drawn from `domain`'s operator vocabulary.
 ///
 /// `map` is consulted only in [`MutationMode::ProbabilityGuided`] mode; when
 /// it is `None` the mutation falls back to uniform sampling.
@@ -23,6 +24,7 @@ pub fn point_mutation<R: Rng + ?Sized>(
     program: &Program,
     mode: MutationMode,
     map: Option<&ProbabilityMap>,
+    domain: DomainId,
     rng: &mut R,
 ) -> Program {
     assert!(!program.is_empty(), "cannot mutate an empty program");
@@ -33,15 +35,21 @@ pub fn point_mutation<R: Rng + ?Sized>(
     let current = program.get(position).expect("position is in range");
     let replacement = match (mode, map) {
         (MutationMode::ProbabilityGuided, Some(map)) => map.sample_excluding(rng, current),
-        _ => uniform_excluding(current, rng),
+        _ => uniform_excluding(current, domain, rng),
     };
     program.with_replaced(position, replacement)
 }
 
-/// Samples a uniformly random function different from `exclude`.
-fn uniform_excluding<R: Rng + ?Sized>(exclude: Function, rng: &mut R) -> Function {
+/// Samples a uniformly random function of the domain's vocabulary different
+/// from `exclude`.
+fn uniform_excluding<R: Rng + ?Sized>(
+    exclude: Function,
+    domain: DomainId,
+    rng: &mut R,
+) -> Function {
+    let vocab = domain.vocab();
     loop {
-        let candidate = Function::ALL[rng.gen_range(0..Function::COUNT)];
+        let candidate = vocab[rng.gen_range(0..vocab.len())];
         if candidate != exclude {
             return candidate;
         }
@@ -87,8 +95,13 @@ mod tests {
     fn mutation_changes_exactly_one_position() {
         let mut r = rng(1);
         for _ in 0..100 {
-            let mutated =
-                point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
+            let mutated = point_mutation(
+                &base_program(),
+                MutationMode::UniformRandom,
+                None,
+                DomainId::List,
+                &mut r,
+            );
             assert_eq!(mutated.len(), 4);
             let differences = base_program()
                 .functions()
@@ -105,8 +118,13 @@ mod tests {
         let mut r = rng(2);
         let mut positions = std::collections::HashSet::new();
         for _ in 0..300 {
-            let mutated =
-                point_mutation(&base_program(), MutationMode::UniformRandom, None, &mut r);
+            let mutated = point_mutation(
+                &base_program(),
+                MutationMode::UniformRandom,
+                None,
+                DomainId::List,
+                &mut r,
+            );
             let pos = base_program()
                 .functions()
                 .iter()
@@ -141,6 +159,7 @@ mod tests {
                 &candidate,
                 MutationMode::ProbabilityGuided,
                 Some(&map),
+                DomainId::List,
                 &mut r,
             );
             let pos = candidate
@@ -173,6 +192,7 @@ mod tests {
             &base_program(),
             MutationMode::ProbabilityGuided,
             None,
+            DomainId::List,
             &mut r,
         );
         assert_ne!(mutated, base_program());
@@ -185,6 +205,7 @@ mod tests {
             &Program::default(),
             MutationMode::UniformRandom,
             None,
+            DomainId::List,
             &mut rng(5),
         );
     }

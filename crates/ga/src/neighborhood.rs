@@ -8,7 +8,7 @@
 
 use crate::budget::SearchBudget;
 use crate::config::NeighborhoodStrategy;
-use netsyn_dsl::{Function, IoSpec, Program};
+use netsyn_dsl::{DomainId, IoSpec, Program};
 use netsyn_fitness::cache::{resolve_batch, SpecScores};
 use netsyn_fitness::{FitnessCache, FitnessFunction, TraceEncodingCache};
 
@@ -51,6 +51,7 @@ pub fn search<F: FitnessFunction + ?Sized>(
     genes: &[Program],
     spec: &IoSpec,
     strategy: NeighborhoodStrategy,
+    domain: DomainId,
     fitness: &F,
     budget: &mut SearchBudget,
     memo: &SpecScores,
@@ -62,9 +63,9 @@ pub fn search<F: FitnessFunction + ?Sized>(
             solution: None,
             candidates_evaluated: 0,
         },
-        NeighborhoodStrategy::Bfs => bfs_search(genes, spec, budget),
+        NeighborhoodStrategy::Bfs => bfs_search(genes, spec, domain, budget),
         NeighborhoodStrategy::Dfs => {
-            dfs_search(genes, spec, fitness, budget, memo, traces, persist)
+            dfs_search(genes, spec, domain, fitness, budget, memo, traces, persist)
         }
     }
 }
@@ -88,12 +89,17 @@ fn neighbor_score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
     }
 }
 
-fn bfs_search(genes: &[Program], spec: &IoSpec, budget: &mut SearchBudget) -> NeighborhoodOutcome {
+fn bfs_search(
+    genes: &[Program],
+    spec: &IoSpec,
+    domain: DomainId,
+    budget: &mut SearchBudget,
+) -> NeighborhoodOutcome {
     let mut evaluated = 0usize;
     for gene in genes {
         for position in 0..gene.len() {
             let current = gene.get(position).expect("position in range");
-            for replacement in Function::ALL {
+            for &replacement in domain.vocab() {
                 if replacement == current {
                     continue;
                 }
@@ -124,6 +130,7 @@ fn bfs_search(genes: &[Program], spec: &IoSpec, budget: &mut SearchBudget) -> Ne
 fn dfs_search<F: FitnessFunction + ?Sized>(
     genes: &[Program],
     spec: &IoSpec,
+    domain: DomainId,
     fitness: &F,
     budget: &mut SearchBudget,
     memo: &SpecScores,
@@ -131,7 +138,7 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
     persist: Option<&FitnessCache>,
 ) -> NeighborhoodOutcome {
     let mut evaluated = 0usize;
-    let mut neighbors: Vec<Program> = Vec::with_capacity(Function::ALL.len());
+    let mut neighbors: Vec<Program> = Vec::with_capacity(domain.vocab_len());
     for gene in genes {
         let mut current_gene = gene.clone();
         for position in 0..current_gene.len() {
@@ -140,7 +147,7 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
             // satisfaction along the way), then rank it with one batched
             // fitness call instead of ~|Σ| single-candidate network passes.
             neighbors.clear();
-            for replacement in Function::ALL {
+            for &replacement in domain.vocab() {
                 if replacement == current {
                     continue;
                 }
@@ -162,8 +169,8 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
             }
             let scores = rank_neighbors(&neighbors, spec, fitness, memo, traces);
             // First-strictly-greatest wins, matching the original
-            // one-at-a-time comparison order over Function::ALL; NaN scores
-            // rank last (see `neighbor_score_cmp`).
+            // one-at-a-time comparison order over the domain vocabulary; NaN
+            // scores rank last (see `neighbor_score_cmp`).
             let mut best: Option<(usize, f64)> = None;
             for (index, &score) in scores.iter().enumerate() {
                 if best.is_none_or(|(_, best_score)| {
@@ -216,7 +223,7 @@ fn rank_neighbors<F: FitnessFunction + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsyn_dsl::{IntPredicate, MapOp, Value};
+    use netsyn_dsl::{Function, IntPredicate, MapOp, Value};
     use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
     use std::sync::Mutex;
 
@@ -233,6 +240,7 @@ mod tests {
             genes,
             spec,
             strategy,
+            DomainId::List,
             fitness,
             budget,
             &SpecScores::default(),
@@ -522,6 +530,7 @@ mod tests {
             &genes,
             &spec(),
             NeighborhoodStrategy::Dfs,
+            DomainId::List,
             &fitness,
             &mut cold_budget,
             &memo,
@@ -537,6 +546,7 @@ mod tests {
             &genes,
             &spec(),
             NeighborhoodStrategy::Dfs,
+            DomainId::List,
             &fitness,
             &mut warm_budget,
             &memo,

@@ -9,7 +9,7 @@
 //! cargo run --release --example neighborhood_rescue
 //! ```
 
-use netsyn_dsl::{IoSpec, Program, Value};
+use netsyn_dsl::{DomainId, IoSpec, Program, Value};
 use netsyn_fitness::{ClosenessMetric, OracleFitness, SpecScores, TraceEncodingCache};
 use netsyn_ga::{neighborhood, GaConfig, GeneticEngine, NeighborhoodStrategy, SearchBudget};
 use rand::SeedableRng;
@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         std::slice::from_ref(&approximately_correct),
         &spec,
         NeighborhoodStrategy::Bfs,
+        DomainId::List,
         &oracle,
         &mut budget,
         &SpecScores::default(),
