@@ -3,20 +3,19 @@
 //! PCCoder (Zohar & Wolf, NeurIPS 2018) extends a partial program one
 //! statement at a time, ranking extensions with a learned model of the
 //! current program state, and widens its beam when the search fails
-//! (complete anytime beam search, CAB). This re-implementation keeps the
-//! search structure — stepwise extension, state-aware scoring, iterative beam
-//! widening — on the NetSyn DSL. Extensions are scored by combining the
-//! guidance model's per-function probability with a state heuristic that
-//! measures how similar the partial program's current outputs are to the
-//! expected outputs. PCCoder's garbage collection of dead variables is
-//! implicit here because the DSL has no named variables at all.
+//! (complete anytime beam search, CAB). The search engine itself lives in
+//! [`netsyn_ga::BeamSearch`] so the portfolio orchestrator can race the
+//! same state machine against the GA islands; this baseline wraps it with
+//! a guidance model and drives it to completion. Extensions are scored by
+//! combining the guidance model's per-function probability with a state
+//! heuristic that measures how similar the partial program's current
+//! outputs are to the expected outputs. PCCoder's garbage collection of
+//! dead variables is implicit here because the DSL has no named variables
+//! at all.
 
 use crate::guidance::GuidanceModel;
 use crate::synthesizer::{SynthesisProblem, SynthesisResult, Synthesizer};
-use netsyn_dsl::{IoSpec, Program};
-use netsyn_fitness::metrics::output_similarity;
-use netsyn_fitness::ProbabilityMap;
-use netsyn_ga::SearchBudget;
+use netsyn_ga::{BeamConfig, BeamSearch, SearchBudget};
 use rand::RngCore;
 
 /// PCCoder-style synthesizer.
@@ -50,65 +49,6 @@ impl<G: GuidanceModel> PcCoder<G> {
         self.max_beam_width = width.max(1);
         self
     }
-
-    /// Scores a partial program: guidance mass of its functions plus the
-    /// average similarity between its current outputs and the expected
-    /// outputs (the "state" heuristic).
-    fn score_partial(partial: &Program, spec: &IoSpec, map: &ProbabilityMap) -> f64 {
-        let guidance_score = map.score(partial);
-        let state_score: f64 = spec
-            .iter()
-            .map(|example| {
-                partial
-                    .output(&example.inputs)
-                    .map(|out| output_similarity(&out, &example.output))
-                    .unwrap_or(0.0)
-            })
-            .sum::<f64>()
-            / spec.len().max(1) as f64;
-        guidance_score + state_score
-    }
-
-    fn beam_search(
-        &self,
-        problem: &SynthesisProblem,
-        map: &ProbabilityMap,
-        beam_width: usize,
-        budget: &mut SearchBudget,
-        evaluated: &mut usize,
-    ) -> Option<Program> {
-        let mut beam: Vec<(Program, f64)> = vec![(Program::default(), 0.0)];
-        for depth in 0..problem.target_length {
-            let mut extensions: Vec<(Program, f64)> = Vec::new();
-            for (partial, _) in &beam {
-                for &function in problem.domain.vocab() {
-                    let mut functions = partial.functions().to_vec();
-                    functions.push(function);
-                    let extended = Program::new(functions);
-                    if !budget.try_consume() {
-                        return None;
-                    }
-                    *evaluated += 1;
-                    if depth + 1 == problem.target_length && problem.spec.is_satisfied_by(&extended)
-                    {
-                        return Some(extended);
-                    }
-                    let score = Self::score_partial(&extended, &problem.spec, map);
-                    extensions.push((extended, score));
-                }
-            }
-            // total_cmp: a NaN guidance score takes a deterministic
-            // extreme position in the beam (positive NaN first, negative
-            // last) instead of scrambling the ranking run to run.
-            extensions.sort_by(|a, b| b.1.total_cmp(&a.1));
-            extensions.truncate(beam_width);
-            if extensions.is_empty() {
-                return None;
-            }
-            beam = extensions;
-        }
-        None
-    }
 }
 
 impl<G: GuidanceModel> Synthesizer for PcCoder<G> {
@@ -123,20 +63,19 @@ impl<G: GuidanceModel> Synthesizer for PcCoder<G> {
         _rng: &mut dyn RngCore,
     ) -> SynthesisResult {
         let map = self.guidance.probability_map(&problem.spec);
-        let mut evaluated = 0usize;
-        let mut beam_width = self.initial_beam_width;
-        // Complete anytime beam search: retry with a doubled beam width until
-        // the budget runs out or the beam cannot grow further.
-        loop {
-            if let Some(solution) =
-                self.beam_search(problem, &map, beam_width, budget, &mut evaluated)
-            {
-                return SynthesisResult::found(solution, evaluated);
-            }
-            if budget.is_exhausted() || beam_width >= self.max_beam_width {
-                return SynthesisResult::not_found(evaluated);
-            }
-            beam_width = (beam_width * 2).min(self.max_beam_width);
+        let mut search = BeamSearch::new(
+            &problem.spec,
+            problem.domain,
+            problem.target_length,
+            map,
+            BeamConfig {
+                initial_width: self.initial_beam_width,
+                max_width: self.max_beam_width,
+            },
+        );
+        match search.run(budget, None) {
+            Some(solution) => SynthesisResult::found(solution, search.evaluated()),
+            None => SynthesisResult::not_found(search.evaluated()),
         }
     }
 }
@@ -145,7 +84,7 @@ impl<G: GuidanceModel> Synthesizer for PcCoder<G> {
 mod tests {
     use super::*;
     use crate::guidance::UniformGuidance;
-    use netsyn_dsl::{Function, IntPredicate, MapOp, Value};
+    use netsyn_dsl::{Function, IntPredicate, IoSpec, MapOp, Program, Value};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 

@@ -39,6 +39,7 @@ fn bench_neighborhood(c: &mut Criterion) {
                     &SpecScores::default(),
                     &TraceEncodingCache::new(),
                     None,
+                    None,
                 ))
             });
         });

@@ -146,15 +146,35 @@ mod pool {
         static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
     }
 
+    /// The pool size: a strictly parsed `NETSYN_POOL_THREADS` override, or
+    /// `available_parallelism`. An invalid override — not an integer, zero,
+    /// or non-unicode — is not silently swallowed: one warning line naming
+    /// the rejected value and the default used is printed to stderr (the
+    /// pool is built once per process, so the warning fires at most once).
     fn configured_threads() -> usize {
         let default =
             || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
         match std::env::var("NETSYN_POOL_THREADS") {
             Ok(value) => match value.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => n,
-                _ => default(),
+                _ => {
+                    let fallback = default();
+                    eprintln!(
+                        "netsyn: ignoring invalid NETSYN_POOL_THREADS={value:?} \
+                         (expected an integer >= 1); using {fallback} threads"
+                    );
+                    fallback
+                }
             },
-            Err(_) => default(),
+            Err(std::env::VarError::NotPresent) => default(),
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                let fallback = default();
+                eprintln!(
+                    "netsyn: ignoring non-unicode NETSYN_POOL_THREADS={raw:?} \
+                     (expected an integer >= 1); using {fallback} threads"
+                );
+                fallback
+            }
         }
     }
 
@@ -730,6 +750,65 @@ mod tests {
         let (a, b) = join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    /// Subprocess entry point: under `NETSYN_POOL_WARN_CHILD=1` (set only
+    /// by the parent test below) this forces pool construction so an
+    /// invalid `NETSYN_POOL_THREADS` value hits `configured_threads`.
+    #[test]
+    fn pool_warn_child_builds_the_pool() {
+        if std::env::var("NETSYN_POOL_WARN_CHILD").is_err() {
+            return;
+        }
+        let _ = current_num_threads();
+    }
+
+    #[test]
+    fn invalid_pool_threads_env_warns_and_falls_back() {
+        // The pool is built once per process, so the invalid value must be
+        // seen at first use: run in a subprocess.
+        let exe = std::env::current_exe().expect("test binary path");
+        let output = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "tests::pool_warn_child_builds_the_pool",
+                "--nocapture",
+            ])
+            .env("NETSYN_POOL_WARN_CHILD", "1")
+            .env("NETSYN_POOL_THREADS", "not-a-number")
+            .output()
+            .expect("spawn warn child");
+        assert!(output.status.success());
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("invalid NETSYN_POOL_THREADS") && stderr.contains("not-a-number"),
+            "the warning must name the rejected value; stderr:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("using"),
+            "the warning must name the default used; stderr:\n{stderr}"
+        );
+    }
+
+    #[test]
+    fn valid_pool_threads_env_stays_silent() {
+        let exe = std::env::current_exe().expect("test binary path");
+        let output = std::process::Command::new(&exe)
+            .args([
+                "--exact",
+                "tests::pool_warn_child_builds_the_pool",
+                "--nocapture",
+            ])
+            .env("NETSYN_POOL_WARN_CHILD", "1")
+            .env("NETSYN_POOL_THREADS", "2")
+            .output()
+            .expect("spawn warn child");
+        assert!(output.status.success());
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            !stderr.contains("NETSYN_POOL_THREADS"),
+            "a valid override must not warn; stderr:\n{stderr}"
+        );
     }
 
     #[test]

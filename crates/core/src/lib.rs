@@ -54,6 +54,7 @@
 mod config;
 pub mod evaluation;
 mod models;
+pub mod portfolio;
 pub mod report;
 mod suite;
 mod synthesizer;
@@ -61,6 +62,7 @@ mod synthesizer;
 pub use config::{FitnessChoice, NetSynConfig};
 pub use evaluation::{evaluate_method, MethodEvaluation, MethodSpec, MethodSummary, RunRecord};
 pub use models::{BundleTrainingConfig, ModelBundle};
+pub use portfolio::{race, PortfolioOutcome, PortfolioSynthesizer, StrategyReport};
 pub use report::Table;
 pub use suite::{SuiteConfig, TestSuite};
 pub use synthesizer::NetSyn;
@@ -69,7 +71,7 @@ pub use synthesizer::NetSyn;
 pub mod prelude {
     pub use crate::{
         evaluate_method, BundleTrainingConfig, FitnessChoice, MethodEvaluation, MethodSpec,
-        ModelBundle, NetSyn, NetSynConfig, SuiteConfig, Table, TestSuite,
+        ModelBundle, NetSyn, NetSynConfig, PortfolioSynthesizer, SuiteConfig, Table, TestSuite,
     };
     pub use netsyn_baselines::{
         DeepCoder, PcCoder, PushGp, RobustFill, SynthesisProblem, SynthesisResult, Synthesizer,

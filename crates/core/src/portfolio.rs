@@ -1,0 +1,352 @@
+//! The portfolio orchestrator: heterogeneous search strategies racing under
+//! one shared budget with first-solution cancellation.
+//!
+//! [`race`] steps a set of [`SearchStrategy`] values concurrently (one pool
+//! worker per strategy), all drawing candidates from a single
+//! [`SharedBudget`]. The first strategy to report
+//! [`StepStatus::Solved`](netsyn_ga::StepStatus) fires the shared
+//! [`CancelToken`]; every rival observes the token at its next step boundary
+//! — between GA generations, between DFS positions, before a beam level —
+//! and stops within that one unit of work. The total candidates drawn never
+//! exceed the budget cap (the shared atomic counter enforces it), but the
+//! admission *order* across strategies is whatever the race produces, so a
+//! portfolio run is not deterministic run-to-run. Deterministic evaluation
+//! paths use [`NetSyn`]'s island engine instead.
+//!
+//! [`PortfolioSynthesizer`] wraps a [`NetSyn`] configuration as a
+//! [`Synthesizer`]: each synthesis races the GA islands, a DFS neighborhood
+//! walk over random seed programs, and a guided beam search, reusing the
+//! same fitness function, probability map and shared [`FitnessCache`] the
+//! plain engine would use.
+
+use crate::synthesizer::NetSyn;
+use netsyn_baselines::{SynthesisProblem, SynthesisResult, Synthesizer};
+use netsyn_dsl::Program;
+use netsyn_fitness::{FitnessCache, FitnessFunction, ProbabilityMap};
+use netsyn_ga::{
+    random_seed_programs, BeamConfig, BeamSearch, CancelToken, DfsSearchStrategy, GaSearchStrategy,
+    SearchBudget, SearchStrategy, SharedBudget, StepStatus,
+};
+use rand::RngCore;
+use rayon::prelude::*;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Probability floor of the oracle-derived beam guidance map.
+const ORACLE_MAP_FLOOR: f64 = 0.05;
+
+/// Per-strategy accounting of one portfolio race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategyReport {
+    /// The strategy's stable name (`"ga-islands"`, `"dfs-neighborhood"`,
+    /// `"beam"`, ...).
+    pub name: String,
+    /// Candidates this strategy drew from the shared budget.
+    pub candidates_evaluated: usize,
+    /// Whether this strategy found a satisfying program.
+    pub solved: bool,
+}
+
+/// Result of one [`race`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioOutcome {
+    /// The winning program, if any strategy solved the problem.
+    pub solution: Option<Program>,
+    /// Name of the strategy whose solution won the cancellation race.
+    pub winner: Option<String>,
+    /// Total candidates drawn from the shared budget by all strategies.
+    pub candidates_evaluated: usize,
+    /// The shared-budget reading at the moment the winner fired the token
+    /// (equal to [`PortfolioOutcome::candidates_evaluated`] when no one
+    /// solved). The difference between the two bounds the work losers did
+    /// after the solution existed: at most one step per rival.
+    pub evaluated_at_cancellation: usize,
+    /// One report per strategy, in the order they were passed to [`race`].
+    pub reports: Vec<StrategyReport>,
+}
+
+struct Slot<'s> {
+    index: usize,
+    strategy: &'s mut (dyn SearchStrategy + Send),
+    solution: Option<Program>,
+}
+
+/// Races `strategies` to the first solution under one shared budget.
+///
+/// Each strategy runs on its own pool worker, stepping until it solves, runs
+/// out of work, or observes `cancel`. The first solver fires `cancel` (and
+/// any external holder of the token may fire it too, stopping the whole
+/// race). When several strategies solve concurrently — each stepped into a
+/// solution before observing the token — the one that won the atomic
+/// compare-exchange is the winner; the others' solutions still appear in
+/// their [`StrategyReport`]s.
+///
+/// # Panics
+///
+/// If a strategy panics mid-race, the token is fired so every rival stops,
+/// and the panic payload (the lowest-indexed one, if several) is re-raised
+/// on the caller once all workers have stopped — a losing strategy's panic
+/// is never silently swallowed.
+pub fn race(
+    strategies: &mut [&mut (dyn SearchStrategy + Send)],
+    budget: &SharedBudget,
+    cancel: &CancelToken,
+) -> PortfolioOutcome {
+    let winner = AtomicUsize::new(usize::MAX);
+    let at_cancellation = AtomicUsize::new(usize::MAX);
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
+    let mut slots: Vec<Slot<'_>> = strategies
+        .iter_mut()
+        .enumerate()
+        .map(|(index, strategy)| Slot {
+            index,
+            strategy: &mut **strategy,
+            solution: None,
+        })
+        .collect();
+    slots.par_chunks_mut(1).for_each(|chunk| {
+        let slot = &mut chunk[0];
+        let outcome = catch_unwind(AssertUnwindSafe(|| loop {
+            if cancel.is_cancelled() {
+                break;
+            }
+            match slot.strategy.step(budget, cancel) {
+                StepStatus::Solved(program) => {
+                    if winner
+                        .compare_exchange(
+                            usize::MAX,
+                            slot.index,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                        .is_ok()
+                    {
+                        // Snapshot before firing so rivals that observe the
+                        // token always see the snapshot as well.
+                        at_cancellation.store(budget.evaluated(), Ordering::SeqCst);
+                        cancel.cancel();
+                    }
+                    slot.solution = Some(program);
+                    break;
+                }
+                StepStatus::Continue => {}
+                StepStatus::Done => break,
+            }
+        }));
+        if let Err(payload) = outcome {
+            cancel.cancel();
+            panics
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((slot.index, payload));
+        }
+    });
+    let mut panics = panics
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if !panics.is_empty() {
+        panics.sort_by_key(|(index, _)| *index);
+        resume_unwind(panics.swap_remove(0).1);
+    }
+    let reports: Vec<StrategyReport> = slots
+        .iter()
+        .map(|slot| StrategyReport {
+            name: slot.strategy.name().to_string(),
+            candidates_evaluated: slot.strategy.candidates_evaluated(),
+            solved: slot.solution.is_some(),
+        })
+        .collect();
+    let candidates_evaluated = budget.evaluated();
+    let winner_index = winner.load(Ordering::SeqCst);
+    let (solution, winner) = match slots.iter_mut().find(|slot| slot.index == winner_index) {
+        Some(slot) => (slot.solution.take(), Some(slot.strategy.name().to_string())),
+        None => (None, None),
+    };
+    let evaluated_at_cancellation = match at_cancellation.load(Ordering::SeqCst) {
+        usize::MAX => candidates_evaluated,
+        snapshot => snapshot,
+    };
+    PortfolioOutcome {
+        solution,
+        winner,
+        candidates_evaluated,
+        evaluated_at_cancellation,
+        reports,
+    }
+}
+
+/// A [`Synthesizer`] racing NetSyn's GA islands against a DFS neighborhood
+/// walk and a guided beam search, under one shared budget with
+/// first-solution cancellation.
+pub struct PortfolioSynthesizer {
+    netsyn: NetSyn,
+    dfs_seed_count: usize,
+    beam: BeamConfig,
+    name: String,
+}
+
+impl PortfolioSynthesizer {
+    /// Wraps a [`NetSyn`] configuration as a racing portfolio.
+    #[must_use]
+    pub fn new(netsyn: NetSyn) -> Self {
+        let name = format!("Portfolio_{}", netsyn.name());
+        PortfolioSynthesizer {
+            netsyn,
+            dfs_seed_count: 4,
+            beam: BeamConfig::default(),
+            name,
+        }
+    }
+
+    /// Overrides the display name.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Overrides the number of random seed programs the DFS strategy walks.
+    #[must_use]
+    pub fn with_dfs_seed_count(mut self, count: usize) -> Self {
+        self.dfs_seed_count = count.max(1);
+        self
+    }
+
+    /// Overrides the beam width schedule.
+    #[must_use]
+    pub fn with_beam_config(mut self, beam: BeamConfig) -> Self {
+        self.beam = beam;
+        self
+    }
+
+    /// The beam's guidance map: the fitness function's own probability map
+    /// when it has one (the learned FP model), else a map sharpened toward
+    /// the oracle target, else uniform over the domain vocabulary.
+    fn beam_map(
+        &self,
+        problem: &SynthesisProblem,
+        fitness: &dyn FitnessFunction,
+    ) -> ProbabilityMap {
+        fitness
+            .probability_map(&problem.spec)
+            .or_else(|| {
+                self.netsyn.oracle_target().map(|target| {
+                    ProbabilityMap::from_target_in(problem.domain, target, ORACLE_MAP_FLOOR)
+                })
+            })
+            .unwrap_or_else(|| ProbabilityMap::uniform_for(problem.domain))
+    }
+}
+
+impl Synthesizer for PortfolioSynthesizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn synthesize(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+    ) -> SynthesisResult {
+        self.synthesize_cached(problem, budget, rng, &FitnessCache::new())
+    }
+
+    fn synthesize_cached(
+        &self,
+        problem: &SynthesisProblem,
+        budget: &mut SearchBudget,
+        rng: &mut dyn RngCore,
+        cache: &FitnessCache,
+    ) -> SynthesisResult {
+        let mut ga_config = self.netsyn.config().ga.clone();
+        ga_config.program_length = problem.target_length;
+        ga_config.domain = problem.domain;
+        let fitness = self.netsyn.build_fitness(&problem.spec);
+        let map = self.beam_map(problem, fitness.as_ref());
+        let ga_seed = rng.next_u64();
+        let dfs_seed = rng.next_u64();
+        let seeds = random_seed_programs(&ga_config, &problem.spec, self.dfs_seed_count, dfs_seed);
+        let mut ga = GaSearchStrategy::new(&ga_config, &problem.spec, &fitness, cache, ga_seed);
+        let mut dfs = DfsSearchStrategy::new(&ga_config, &problem.spec, &fitness, cache, seeds);
+        let mut beam = BeamSearch::new(
+            &problem.spec,
+            problem.domain,
+            problem.target_length,
+            map,
+            self.beam,
+        );
+        let mut strategies: [&mut (dyn SearchStrategy + Send); 3] = [&mut ga, &mut dfs, &mut beam];
+        let shared = SharedBudget::new(budget.remaining());
+        let cancel = CancelToken::new();
+        let outcome = race(&mut strategies, &shared, &cancel);
+        let charged = budget.try_consume_many(outcome.candidates_evaluated);
+        debug_assert_eq!(
+            charged, outcome.candidates_evaluated,
+            "the shared budget was sliced from the master's remainder, so the master \
+             must be able to absorb every candidate the race drew"
+        );
+        SynthesisResult {
+            solution: outcome.solution,
+            candidates_evaluated: outcome.candidates_evaluated,
+            generations: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FitnessChoice, NetSynConfig};
+    use netsyn_dsl::{Function, IntPredicate, IoSpec, Value};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn target() -> Program {
+        Program::new(vec![
+            Function::Filter(IntPredicate::Positive),
+            Function::Sort,
+        ])
+    }
+
+    fn spec() -> IoSpec {
+        IoSpec::from_program(
+            &target(),
+            &[
+                vec![Value::List(vec![-2, 10, 3, -4, 5, 2])],
+                vec![Value::List(vec![1, -5, 7, 2])],
+                vec![Value::List(vec![4, 4, -1, 0, 9])],
+            ],
+        )
+    }
+
+    #[test]
+    fn portfolio_solves_the_oracle_smoke_problem_within_budget() {
+        let config = NetSynConfig::small(FitnessChoice::OracleCommonFunctions, 2);
+        let netsyn = NetSyn::new(config, None).with_oracle_target(target());
+        let portfolio = PortfolioSynthesizer::new(netsyn);
+        assert_eq!(portfolio.name(), "Portfolio_Oracle_CF");
+        let problem = SynthesisProblem::new(spec(), 2);
+        let cap = 150_000;
+        let mut budget = SearchBudget::new(cap);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let result = portfolio.synthesize(&problem, &mut budget, &mut rng);
+        assert!(result.is_success(), "some strategy finds the 2-step target");
+        assert!(spec().is_satisfied_by(&result.solution.unwrap()));
+        assert!(result.candidates_evaluated <= cap);
+        assert_eq!(result.candidates_evaluated, budget.evaluated());
+    }
+
+    #[test]
+    fn empty_race_returns_an_empty_outcome() {
+        let budget = SharedBudget::new(100);
+        let cancel = CancelToken::new();
+        let outcome = race(&mut [], &budget, &cancel);
+        assert_eq!(outcome.solution, None);
+        assert_eq!(outcome.winner, None);
+        assert_eq!(outcome.candidates_evaluated, 0);
+        assert_eq!(outcome.evaluated_at_cancellation, 0);
+        assert!(outcome.reports.is_empty());
+    }
+}

@@ -71,12 +71,17 @@ impl NetSyn {
         &self.config
     }
 
+    /// The hidden oracle target, if one was set.
+    pub(crate) fn oracle_target(&self) -> Option<&Program> {
+        self.oracle_target.as_ref()
+    }
+
     /// Builds the fitness function for one synthesis problem.
     ///
     /// # Panics
     ///
     /// Panics if an oracle fitness is requested without an oracle target.
-    fn build_fitness(&self, spec: &IoSpec) -> Box<dyn FitnessFunction> {
+    pub(crate) fn build_fitness(&self, spec: &IoSpec) -> Box<dyn FitnessFunction> {
         let program_length = self.config.ga.program_length;
         let mutation_map = if self.config.ga.mutation_mode == MutationMode::ProbabilityGuided {
             self.models

@@ -1,0 +1,208 @@
+//! Portfolio racing end-to-end: the heterogeneous strategy race solves
+//! evaluation suites in both registered domains through the shared harness,
+//! first-solution cancellation stops losers within one step, and a losing
+//! strategy's panic is never swallowed.
+
+use netsyn_core::{
+    evaluate_method, race, FitnessChoice, MethodSpec, NetSyn, NetSynConfig, PortfolioSynthesizer,
+    SuiteConfig, TestSuite,
+};
+use netsyn_dsl::{DomainId, Function, Program, SynthesisTask};
+use netsyn_ga::{CancelToken, SearchStrategy, SharedBudget, StepStatus};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn suite_for(domain: DomainId, length: usize, per_kind: usize, seed: u64) -> TestSuite {
+    let mut config = SuiteConfig::for_domain(domain, length);
+    config.singleton_tasks = per_kind;
+    config.list_tasks = per_kind;
+    TestSuite::generate(&config, &mut ChaCha8Rng::seed_from_u64(seed)).unwrap()
+}
+
+fn portfolio_method(name: &str) -> MethodSpec<'_> {
+    MethodSpec::new(name, |task: &SynthesisTask| {
+        let config = NetSynConfig::small(FitnessChoice::OracleCommonFunctions, task.target.len());
+        let netsyn = NetSyn::new(config, None).with_oracle_target(task.target.clone());
+        Box::new(PortfolioSynthesizer::new(netsyn)) as Box<dyn netsyn_baselines::Synthesizer>
+    })
+}
+
+#[test]
+fn portfolio_solves_the_list_domain_smoke_suite_within_budget() {
+    let suite = suite_for(DomainId::List, 2, 2, 11);
+    let cap = 50_000;
+    let evaluation = evaluate_method(&portfolio_method("Portfolio_Oracle_CF"), &suite, cap, 2, 7);
+    assert_eq!(evaluation.records.len(), suite.len() * 2);
+    for record in &evaluation.records {
+        assert!(
+            record.candidates_evaluated <= cap,
+            "a race drew {} candidates past the {cap} cap",
+            record.candidates_evaluated
+        );
+    }
+    assert!(
+        evaluation.percent_synthesized() >= 0.5,
+        "the oracle-guided portfolio should solve most length-2 list tasks, solved {}",
+        evaluation.percent_synthesized()
+    );
+}
+
+#[test]
+fn portfolio_solves_the_string_domain_smoke_suite_within_budget() {
+    let suite = suite_for(DomainId::Str, 2, 2, 21);
+    assert_eq!(suite.domain, DomainId::Str);
+    let cap = 50_000;
+    let evaluation = evaluate_method(&portfolio_method("Portfolio_Oracle_CF"), &suite, cap, 2, 3);
+    assert_eq!(evaluation.records.len(), suite.len() * 2);
+    for record in &evaluation.records {
+        assert!(record.candidates_evaluated <= cap);
+    }
+    assert!(
+        evaluation.percent_synthesized() >= 0.5,
+        "the oracle-guided portfolio should solve most length-2 string tasks, solved {}",
+        evaluation.percent_synthesized()
+    );
+}
+
+/// A scripted strategy: draws `per_step` candidates each step and solves
+/// after `solve_after_steps` steps (never, if `None`).
+struct Scripted {
+    name: &'static str,
+    per_step: usize,
+    solve_after_steps: Option<usize>,
+    steps_taken: usize,
+    evaluated: usize,
+    panic_after_steps: Option<usize>,
+}
+
+impl Scripted {
+    fn drone(name: &'static str, per_step: usize) -> Self {
+        Scripted {
+            name,
+            per_step,
+            solve_after_steps: None,
+            steps_taken: 0,
+            evaluated: 0,
+            panic_after_steps: None,
+        }
+    }
+
+    fn solver(name: &'static str, per_step: usize, solve_after_steps: usize) -> Self {
+        Scripted {
+            solve_after_steps: Some(solve_after_steps),
+            ..Scripted::drone(name, per_step)
+        }
+    }
+
+    fn panicker(name: &'static str, per_step: usize, panic_after_steps: usize) -> Self {
+        Scripted {
+            panic_after_steps: Some(panic_after_steps),
+            ..Scripted::drone(name, per_step)
+        }
+    }
+}
+
+impl SearchStrategy for Scripted {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn step(&mut self, budget: &SharedBudget, cancel: &CancelToken) -> StepStatus {
+        if cancel.is_cancelled() {
+            return StepStatus::Done;
+        }
+        self.steps_taken += 1;
+        if self.panic_after_steps == Some(self.steps_taken) {
+            panic!("scripted mid-race failure");
+        }
+        for _ in 0..self.per_step {
+            if !budget.try_consume() {
+                return StepStatus::Done;
+            }
+            self.evaluated += 1;
+        }
+        if self.solve_after_steps == Some(self.steps_taken) {
+            return StepStatus::Solved(Program::new(vec![Function::Sort]));
+        }
+        StepStatus::Continue
+    }
+
+    fn candidates_evaluated(&self) -> usize {
+        self.evaluated
+    }
+
+    fn best_so_far(&self) -> Option<Program> {
+        None
+    }
+}
+
+#[test]
+fn the_first_solution_cancels_every_loser_within_one_step() {
+    // The fast solver wins on its third step; the drones would otherwise
+    // grind through the whole budget.
+    let mut solver = Scripted::solver("fast-beam", 10, 3);
+    let mut drone_a = Scripted::drone("slow-ga", 25);
+    let mut drone_b = Scripted::drone("slow-dfs", 25);
+    let budget = SharedBudget::new(1_000_000);
+    let cancel = CancelToken::new();
+    let mut strategies: [&mut (dyn SearchStrategy + Send); 3] =
+        [&mut solver, &mut drone_a, &mut drone_b];
+    let outcome = race(&mut strategies, &budget, &cancel);
+    assert!(cancel.is_cancelled(), "the winner fires the token");
+    assert_eq!(outcome.winner.as_deref(), Some("fast-beam"));
+    assert!(outcome.solution.is_some());
+    // Budget accounting bounds the losers' overshoot: each rival completes
+    // at most the one step it had already begun when the token fired, so
+    // the final count exceeds the cancellation snapshot by at most one
+    // step's draw per loser.
+    let max_overshoot = 2 * 25;
+    assert!(
+        outcome.candidates_evaluated <= outcome.evaluated_at_cancellation + max_overshoot,
+        "losers kept drawing after cancellation: {} evaluated, {} at cancellation",
+        outcome.candidates_evaluated,
+        outcome.evaluated_at_cancellation
+    );
+    assert_eq!(
+        outcome.candidates_evaluated,
+        outcome
+            .reports
+            .iter()
+            .map(|r| r.candidates_evaluated)
+            .sum::<usize>(),
+        "the shared budget count equals the sum of per-strategy draws"
+    );
+    assert!(outcome.candidates_evaluated < 1_000_000);
+}
+
+#[test]
+fn a_panicking_strategy_fires_the_token_and_reraises_on_the_caller() {
+    let budget = SharedBudget::new(1_000_000);
+    let cancel = CancelToken::new();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut panicker = Scripted::panicker("flaky", 10, 2);
+        let mut drone = Scripted::drone("steady", 10);
+        let mut strategies: [&mut (dyn SearchStrategy + Send); 2] = [&mut panicker, &mut drone];
+        race(&mut strategies, &budget, &cancel)
+    }));
+    let payload = caught.expect_err("the loser's panic must reach the caller");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .map(str::to_string)
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        message.contains("scripted mid-race failure"),
+        "the original payload is re-raised, got: {message}"
+    );
+    assert!(
+        cancel.is_cancelled(),
+        "a panic fires the token so rivals stop instead of racing a corpse"
+    );
+    // The drone observed the token: it stopped far short of the budget.
+    let drone_evaluated = budget.evaluated();
+    assert!(
+        drone_evaluated < 1_000_000,
+        "the surviving strategy must stop after the panic, drew {drone_evaluated}"
+    );
+}

@@ -161,7 +161,6 @@ impl DomainId {
     }
 }
 
-
 impl fmt::Display for DomainId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())

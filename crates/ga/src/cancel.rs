@@ -1,0 +1,58 @@
+//! Cooperative cancellation for racing search strategies.
+//!
+//! A [`CancelToken`] is a cloneable flag the portfolio orchestrator hands to
+//! every strategy in a race. The first strategy to find a solution fires the
+//! token; the others observe it at their next check point — the engine checks
+//! between generations, the DFS neighborhood search between positions, the
+//! beam search between expansions — and stop within that one unit of work.
+//! Cancellation is purely cooperative: nothing is interrupted mid-kernel, so
+//! cache shards and claim guards are always left in a consistent state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cloneable, thread-safe cancellation flag.
+///
+/// Clones share one flag; once fired it stays fired. The token is
+/// level-triggered — checking it is cheap (one atomic load), so search loops
+/// check it at every step boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates an un-fired token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token has been fired.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_observe_the_same_flag() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        // Idempotent.
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+}

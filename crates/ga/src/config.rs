@@ -61,6 +61,18 @@ pub struct GaConfig {
     /// Number of attempts to regenerate a gene whose offspring contains dead
     /// code before accepting it anyway.
     pub dead_code_retries: usize,
+    /// Number of island populations the synthesis shards into (`K`). With
+    /// `K = 1` the engine runs the classic panmictic loop; with `K > 1` each
+    /// island evolves `population_size` genes on its own deterministic RNG
+    /// stream and budget slice, migrating elites on a fixed schedule (see
+    /// the crate docs for the determinism contract). The `NETSYN_ISLANDS`
+    /// environment variable overrides this field at engine construction.
+    pub islands: usize,
+    /// Number of generations each island evolves between migrations.
+    pub migration_interval: usize,
+    /// Number of top genes each island sends around the ring at every
+    /// migration point.
+    pub migration_size: usize,
 }
 
 impl GaConfig {
@@ -80,6 +92,9 @@ impl GaConfig {
             neighborhood_top_n: 5,
             saturation_window: 10,
             dead_code_retries: 10,
+            islands: 1,
+            migration_interval: 8,
+            migration_size: 2,
         }
     }
 
@@ -118,6 +133,15 @@ impl GaConfig {
         assert!(
             self.saturation_window > 0,
             "saturation_window must be positive"
+        );
+        assert!(self.islands > 0, "islands must be positive");
+        assert!(
+            self.migration_interval > 0,
+            "migration_interval must be positive"
+        );
+        assert!(
+            self.migration_size <= self.population_size,
+            "migration_size cannot exceed population_size"
         );
     }
 }
@@ -171,5 +195,29 @@ mod tests {
         let json = serde_json::to_string(&config).unwrap();
         let back: GaConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, config);
+    }
+
+    #[test]
+    fn defaults_run_a_single_panmictic_island() {
+        let config = GaConfig::paper_defaults(5);
+        assert_eq!(config.islands, 1);
+        assert!(config.migration_interval > 0);
+        assert!(config.migration_size <= config.population_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "islands must be positive")]
+    fn validate_rejects_zero_islands() {
+        let mut config = GaConfig::small(3);
+        config.islands = 0;
+        config.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "migration_size")]
+    fn validate_rejects_oversized_migration() {
+        let mut config = GaConfig::small(3);
+        config.migration_size = config.population_size + 1;
+        config.validate();
     }
 }

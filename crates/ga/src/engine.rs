@@ -1,41 +1,56 @@
-//! The genetic-algorithm engine: population initialization, fitness-ranked
-//! evolution with elitism, crossover and (optionally FP-guided) mutation,
-//! dead-code-aware offspring generation, saturation-triggered neighborhood
-//! search and search-space accounting.
+//! The genetic-algorithm engine: the public synthesis entry point over the
+//! island layer.
+//!
+//! The evolution itself — population initialization, fitness-ranked breeding
+//! with elitism, crossover and (optionally FP-guided) mutation, dead-code-
+//! aware offspring generation and the saturation-triggered neighborhood
+//! search — lives in [`crate::island`]. The engine decides how a synthesis
+//! call maps onto islands:
+//!
+//! * `islands == 1` (the default): one island driven directly by the
+//!   caller's RNG and budget. This is draw-for-draw identical to the
+//!   historical panmictic engine; the serialized [`GaOutcome`] is pinned
+//!   byte-for-byte by golden-bytes tests.
+//! * `islands > 1`: the budget is partitioned into fixed per-island slices,
+//!   each island evolves on its own RNG stream seeded from the caller's RNG
+//!   in index order, and elites migrate around a ring on a fixed generation
+//!   schedule. Islands run on separate pool workers between migration
+//!   points; all merges are index-ordered, so the outcome is a pure
+//!   function of `(config, spec, fitness, seed)` — independent of
+//!   `NETSYN_POOL_THREADS` and `NETSYN_SIMD`.
+//!
+//! The `NETSYN_ISLANDS` environment variable overrides the configured
+//! island count at engine construction (strictly parsed; an invalid value
+//! warns once on stderr and is ignored).
 
 use crate::budget::SearchBudget;
-use crate::config::{GaConfig, NeighborhoodStrategy};
-use crate::crossover;
-use crate::gene::{Gene, Population};
-use crate::mutation;
-use crate::neighborhood;
-use crate::saturation::SaturationDetector;
-use crate::selection;
-use netsyn_dsl::dce::has_dead_code;
-use netsyn_dsl::{IoSpec, Program, Type};
-use netsyn_fitness::cache::{resolve_batch, SpecScores};
-use netsyn_fitness::{FitnessCache, FitnessFunction, ProbabilityMap, TraceEncodingCache};
+use crate::config::GaConfig;
+use crate::island::{self, SynthesisContext};
+use netsyn_dsl::{IoSpec, Program};
+use netsyn_fitness::{FitnessCache, FitnessFunction};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Result of one synthesis attempt.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GaOutcome {
     /// The program satisfying the specification, if one was found.
     pub solution: Option<Program>,
-    /// Number of completed generations.
+    /// Number of completed generations. For a multi-island run this is the
+    /// maximum over islands (generations advance in lockstep between
+    /// migration points, so it is also the global generation count).
     pub generations: usize,
     /// Number of candidate programs evaluated (the paper's search-space
     /// metric), including initial population, offspring and neighborhood
-    /// candidates.
+    /// candidates, summed over all islands.
     pub candidates_evaluated: usize,
     /// Whether the solution was discovered by the neighborhood search rather
     /// than the evolutionary loop.
     pub found_by_neighborhood: bool,
-    /// Average population fitness per generation.
+    /// Average population fitness per generation. For a multi-island run,
+    /// the mean over the islands still evolving at that generation.
     pub average_fitness_history: Vec<f64>,
-    /// Best population fitness per generation.
+    /// Best population fitness per generation (maximum over islands).
     pub best_fitness_history: Vec<f64>,
 }
 
@@ -56,11 +71,18 @@ pub struct GeneticEngine {
 impl GeneticEngine {
     /// Creates an engine from a validated configuration.
     ///
+    /// The `NETSYN_ISLANDS` environment variable, when set to a valid
+    /// integer `>= 1`, overrides `config.islands`; an invalid value emits
+    /// one warning naming the rejected value and the configured fallback.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see [`GaConfig::validate`]).
     #[must_use]
-    pub fn new(config: GaConfig) -> Self {
+    pub fn new(mut config: GaConfig) -> Self {
+        if let Some(islands) = island::islands_from_env() {
+            config.islands = islands;
+        }
         config.validate();
         GeneticEngine { config }
     }
@@ -105,6 +127,8 @@ impl GeneticEngine {
     /// only skips fitness evaluations. The evaluation harness threads one
     /// cache per task through its `K` repetitions; iterative synthesis
     /// loops that re-attempt a fixed specification benefit the same way.
+    /// All islands of one call share the same shard, so a program scored on
+    /// one island is never re-scored on another.
     pub fn synthesize_with_cache<F, R>(
         &self,
         spec: &IoSpec,
@@ -117,361 +141,19 @@ impl GeneticEngine {
         F: FitnessFunction + ?Sized,
         R: Rng + ?Sized,
     {
-        let input_types = if spec.is_empty() {
-            self.config.domain.default_input_types().to_vec()
+        let ctx = SynthesisContext::new(&self.config, spec, fitness, cache, None);
+        if self.config.islands == 1 {
+            island::synthesize_single(&ctx, budget, rng)
         } else {
-            spec.input_types()
-        };
-        let probability_map = fitness.probability_map(spec);
-        // Fitness memo keyed by program: duplicate offspring (reproduction
-        // copies, re-discovered programs) are never re-scored. The shard is
-        // spec-keyed, so entries stay valid across runs of the same task.
-        let memo = cache.shard(&fitness.cache_key(), spec);
-        // Trace-value encoding shard: every batched scoring call — the
-        // per-generation population pass and the DFS neighborhood search —
-        // reuses the step-encoder hidden states of values already seen in
-        // earlier generations or earlier runs sharing the cache.
-        let traces = cache.trace_shard(&fitness.cache_key());
-        let mut detector = SaturationDetector::new(self.config.saturation_window);
-        let mut average_history = Vec::new();
-        let mut best_history = Vec::new();
-        let start_evaluated = budget.evaluated();
-
-        // Initial population of random, dead-code-free genes.
-        let mut population = Population::default();
-        for _ in 0..self.config.population_size {
-            let program = self.random_program(&input_types, rng);
-            if !budget.try_consume() {
-                return self.outcome(
-                    None,
-                    0,
-                    budget.evaluated() - start_evaluated,
-                    false,
-                    average_history,
-                    best_history,
-                );
-            }
-            if spec.is_satisfied_by(&program) {
-                return self.outcome(
-                    Some(program),
-                    0,
-                    budget.evaluated() - start_evaluated,
-                    false,
-                    average_history,
-                    best_history,
-                );
-            }
-            population.genes_mut().push(Gene::new(program));
-        }
-
-        for generation in 1..=self.config.max_generations {
-            Self::evaluate_population(&mut population, fitness, spec, &memo, &traces);
-            // One durable-flush tick per generation: a no-op for in-memory
-            // caches, an occasional async append for durable ones.
-            cache.maybe_periodic_flush();
-            let average = population.average_fitness();
-            let best = population.best_fitness().unwrap_or(0.0);
-            average_history.push(average);
-            best_history.push(best);
-            detector.record(average);
-
-            // Saturation-triggered restricted local neighborhood search.
-            if detector.is_saturated() && self.config.neighborhood != NeighborhoodStrategy::Disabled
-            {
-                let top: Vec<Program> = population
-                    .top_genes(self.config.neighborhood_top_n)
-                    .into_iter()
-                    .map(|g| g.program)
-                    .collect();
-                let ns = neighborhood::search(
-                    &top,
-                    spec,
-                    self.config.neighborhood,
-                    self.config.domain,
-                    fitness,
-                    budget,
-                    &memo,
-                    &traces,
-                    Some(cache),
-                );
-                detector.reset();
-                if let Some(solution) = ns.solution {
-                    return self.outcome(
-                        Some(solution),
-                        generation,
-                        budget.evaluated() - start_evaluated,
-                        true,
-                        average_history,
-                        best_history,
-                    );
-                }
-                if budget.is_exhausted() {
-                    return self.outcome(
-                        None,
-                        generation,
-                        budget.evaluated() - start_evaluated,
-                        false,
-                        average_history,
-                        best_history,
-                    );
-                }
-            }
-
-            // Breed the next generation.
-            match self.breed(
-                &population,
-                spec,
-                &input_types,
-                probability_map.as_ref(),
-                budget,
-                rng,
-            ) {
-                BreedResult::Solution(program) => {
-                    return self.outcome(
-                        Some(program),
-                        generation,
-                        budget.evaluated() - start_evaluated,
-                        false,
-                        average_history,
-                        best_history,
-                    );
-                }
-                BreedResult::Exhausted => {
-                    return self.outcome(
-                        None,
-                        generation,
-                        budget.evaluated() - start_evaluated,
-                        false,
-                        average_history,
-                        best_history,
-                    );
-                }
-                BreedResult::Next(next) => population = next,
-            }
-        }
-
-        self.outcome(
-            None,
-            self.config.max_generations,
-            budget.evaluated() - start_evaluated,
-            false,
-            average_history,
-            best_history,
-        )
-    }
-
-    fn outcome(
-        &self,
-        solution: Option<Program>,
-        generations: usize,
-        candidates_evaluated: usize,
-        found_by_neighborhood: bool,
-        average_fitness_history: Vec<f64>,
-        best_fitness_history: Vec<f64>,
-    ) -> GaOutcome {
-        GaOutcome {
-            solution,
-            generations,
-            candidates_evaluated,
-            found_by_neighborhood,
-            average_fitness_history,
-            best_fitness_history,
+            island::synthesize_islands(&ctx, self.config.islands, budget, rng)
         }
     }
-
-    /// Evaluates the fitness of every not-yet-scored gene.
-    ///
-    /// Previously-seen programs — from earlier generations *or* earlier runs
-    /// sharing the cache shard — are served from `memo`; the remaining
-    /// *unique* programs are scored with a single
-    /// [`FitnessFunction::score_batch_cached`] call (reusing the trace-value
-    /// encodings memoized in `traces`), so a learned fitness runs one
-    /// batched network pass per generation instead of one forward pass per
-    /// gene. Scores land by candidate index, independent of scheduling:
-    /// each distinct program resolves to exactly one `f64`, and genes are
-    /// filled from those per-index slots, so the ranking — and the whole
-    /// trajectory — is identical however many threads the pool runs.
-    ///
-    /// No shard lock is held while scoring, and concurrent runs of the same
-    /// task avoid scoring the same program twice: this run *claims* its
-    /// unscored programs first (`SpecScores::claim_many`); programs another
-    /// run is already scoring are awaited instead of recomputed (except in
-    /// the rare no-block recompute escape documented on
-    /// `netsyn_fitness::cache::resolve_score`), and a claimant that panics
-    /// abandons its claims so waiters re-claim rather than hang. Cached,
-    /// awaited and freshly computed scores are all bit-identical by the
-    /// batched-scoring contract, so the trajectory is unaffected either
-    /// way. See [`netsyn_fitness::cache::resolve_batch`].
-    fn evaluate_population<F>(
-        population: &mut Population,
-        fitness: &F,
-        spec: &IoSpec,
-        memo: &SpecScores,
-        traces: &TraceEncodingCache,
-    ) where
-        F: FitnessFunction + ?Sized,
-    {
-        // Distinct programs still needing a score, in first-seen order.
-        let mut needed: Vec<Program> = Vec::new();
-        let mut index_of: HashMap<Program, usize> = HashMap::new();
-        for gene in population.genes() {
-            if gene.fitness.is_none() && !index_of.contains_key(&gene.program) {
-                index_of.insert(gene.program.clone(), needed.len());
-                needed.push(gene.program.clone());
-            }
-        }
-        if needed.is_empty() {
-            return;
-        }
-        let resolved = resolve_batch(memo, &needed, |batch| {
-            fitness.score_batch_cached(batch, spec, traces)
-        });
-        for gene in population.genes_mut().iter_mut() {
-            if gene.fitness.is_none() {
-                gene.fitness = Some(resolved[index_of[&gene.program]]);
-            }
-        }
-    }
-
-    /// Samples a random program of the configured length without dead code
-    /// (best effort within `dead_code_retries`).
-    fn random_program<R: Rng + ?Sized>(&self, input_types: &[Type], rng: &mut R) -> Program {
-        let mut last = self.unconstrained_random_program(rng);
-        for _ in 0..self.config.dead_code_retries {
-            if !has_dead_code(&last, input_types) {
-                return last;
-            }
-            last = self.unconstrained_random_program(rng);
-        }
-        last
-    }
-
-    fn unconstrained_random_program<R: Rng + ?Sized>(&self, rng: &mut R) -> Program {
-        let vocab = self.config.domain.vocab();
-        (0..self.config.program_length)
-            .map(|_| vocab[rng.gen_range(0..vocab.len())])
-            .collect()
-    }
-
-    fn breed<R: Rng + ?Sized>(
-        &self,
-        population: &Population,
-        spec: &IoSpec,
-        input_types: &[Type],
-        probability_map: Option<&ProbabilityMap>,
-        budget: &mut SearchBudget,
-        rng: &mut R,
-    ) -> BreedResult {
-        let weights = population.fitness_weights();
-        let mut next: Vec<Gene> = population.top_genes(self.config.elite_count);
-        while next.len() < self.config.population_size {
-            let draw: f64 = rng.gen();
-            if draw < self.config.crossover_rate {
-                let offspring = self.crossover_offspring(population, &weights, input_types, rng);
-                if !budget.try_consume() {
-                    return BreedResult::Exhausted;
-                }
-                if spec.is_satisfied_by(&offspring) {
-                    return BreedResult::Solution(offspring);
-                }
-                next.push(Gene::new(offspring));
-            } else if draw < self.config.crossover_rate + self.config.mutation_rate {
-                let offspring = self.mutation_offspring(
-                    population,
-                    &weights,
-                    input_types,
-                    probability_map,
-                    rng,
-                );
-                if !budget.try_consume() {
-                    return BreedResult::Exhausted;
-                }
-                if spec.is_satisfied_by(&offspring) {
-                    return BreedResult::Solution(offspring);
-                }
-                next.push(Gene::new(offspring));
-            } else {
-                // Reproduction: copy a selected gene unchanged (not a new
-                // candidate program, so it does not consume search budget).
-                let index = selection::roulette_wheel(&weights, rng);
-                next.push(population.genes()[index].clone());
-            }
-        }
-        BreedResult::Next(Population::new(next))
-    }
-
-    fn crossover_offspring<R: Rng + ?Sized>(
-        &self,
-        population: &Population,
-        weights: &[f64],
-        input_types: &[Type],
-        rng: &mut R,
-    ) -> Program {
-        let mut last = {
-            let (a, b) = selection::roulette_wheel_pair(weights, rng);
-            crossover::single_point(
-                &population.genes()[a].program,
-                &population.genes()[b].program,
-                rng,
-            )
-        };
-        for _ in 0..self.config.dead_code_retries {
-            if !has_dead_code(&last, input_types) {
-                return last;
-            }
-            let (a, b) = selection::roulette_wheel_pair(weights, rng);
-            last = crossover::single_point(
-                &population.genes()[a].program,
-                &population.genes()[b].program,
-                rng,
-            );
-        }
-        last
-    }
-
-    fn mutation_offspring<R: Rng + ?Sized>(
-        &self,
-        population: &Population,
-        weights: &[f64],
-        input_types: &[Type],
-        probability_map: Option<&ProbabilityMap>,
-        rng: &mut R,
-    ) -> Program {
-        let index = selection::roulette_wheel(weights, rng);
-        let parent = &population.genes()[index].program;
-        let mut last = mutation::point_mutation(
-            parent,
-            self.config.mutation_mode,
-            probability_map,
-            self.config.domain,
-            rng,
-        );
-        for _ in 0..self.config.dead_code_retries {
-            if !has_dead_code(&last, input_types) {
-                return last;
-            }
-            last = mutation::point_mutation(
-                parent,
-                self.config.mutation_mode,
-                probability_map,
-                self.config.domain,
-                rng,
-            );
-        }
-        last
-    }
-}
-
-enum BreedResult {
-    Solution(Program),
-    Exhausted,
-    Next(Population),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::MutationMode;
+    use crate::config::{MutationMode, NeighborhoodStrategy};
     use netsyn_dsl::{Function, IntPredicate, MapOp, Value};
     use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
     use rand::SeedableRng;
@@ -628,5 +310,46 @@ mod tests {
         let mut budget = SearchBudget::new(100_000);
         let outcome = engine.synthesize(&tiny_spec, &Constant, &mut budget, &mut rng(8));
         assert!(outcome.is_success());
+    }
+
+    #[test]
+    fn island_sharded_search_is_deterministic_and_charges_the_master_budget() {
+        let mut config = GaConfig::small(3);
+        config.islands = 3;
+        let engine = GeneticEngine::new(config);
+        let oracle = OracleFitness::new(target(), ClosenessMetric::LongestCommonSubsequence);
+        let mut budget_a = SearchBudget::new(60_000);
+        let mut budget_b = SearchBudget::new(60_000);
+        let a = engine.synthesize(&spec(), &oracle, &mut budget_a, &mut rng(7));
+        let b = engine.synthesize(&spec(), &oracle, &mut budget_b, &mut rng(7));
+        assert_eq!(a, b);
+        assert_eq!(a.candidates_evaluated, budget_a.evaluated());
+        assert!(budget_a.evaluated() <= 60_000);
+    }
+
+    #[test]
+    fn island_sharded_search_finds_the_target() {
+        let mut config = GaConfig::small(3);
+        config.islands = 2;
+        let engine = GeneticEngine::new(config);
+        let oracle = OracleFitness::new(target(), ClosenessMetric::CommonFunctions);
+        let mut budget = SearchBudget::new(200_000);
+        let outcome = engine.synthesize(&spec(), &oracle, &mut budget, &mut rng(1));
+        assert!(outcome.is_success(), "outcome: {outcome:?}");
+        assert!(spec().is_satisfied_by(&outcome.solution.unwrap()));
+        assert_eq!(outcome.candidates_evaluated, budget.evaluated());
+    }
+
+    #[test]
+    fn island_sharded_zero_budget_returns_immediately() {
+        let mut config = GaConfig::small(3);
+        config.islands = 4;
+        let engine = GeneticEngine::new(config);
+        let fitness = EditDistanceFitness::new();
+        let mut budget = SearchBudget::new(0);
+        let outcome = engine.synthesize(&spec(), &fitness, &mut budget, &mut rng(3));
+        assert!(!outcome.is_success());
+        assert_eq!(outcome.candidates_evaluated, 0);
+        assert_eq!(outcome.generations, 0);
     }
 }

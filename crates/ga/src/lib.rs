@@ -1,19 +1,77 @@
 //! # netsyn-ga
 //!
-//! The genetic-algorithm engine of the NetSyn reproduction ("Learning Fitness
-//! Functions for Machine Programming", MLSys 2021).
+//! The search core of the NetSyn reproduction ("Learning Fitness Functions
+//! for Machine Programming", MLSys 2021): an island-model genetic algorithm
+//! plus the steppable search strategies a portfolio orchestrator can race
+//! against it.
 //!
-//! Candidate programs are value-encoded genes (one DSL function per
-//! position). Each generation, genes are ranked by a pluggable
-//! [`FitnessFunction`](netsyn_fitness::FitnessFunction), the top genes are
-//! carried over unchanged, and the rest of the pool is refilled by
-//! Roulette-Wheel-selected crossover, (optionally FP-guided) point mutation
-//! and reproduction. Offspring containing dead code are regenerated so the
-//! effective program length matches the target length. When the population's
-//! average fitness saturates, the restricted local neighborhood of the top
-//! genes is searched exhaustively (BFS or DFS flavored, Algorithm 1 of the
-//! paper). Every candidate evaluation is drawn from a [`SearchBudget`] so the
-//! paper's "search space used" metric is directly measurable.
+//! ## Three layers
+//!
+//! **Island layer** ([`GeneticEngine`] over `island`). Candidate programs
+//! are value-encoded genes (one DSL function per position). Each synthesis
+//! shards into `K = GaConfig::islands` island populations (overridable via
+//! the `NETSYN_ISLANDS` environment variable). Within an island, each
+//! generation ranks genes by a pluggable
+//! [`FitnessFunction`](netsyn_fitness::FitnessFunction), carries the top
+//! genes over unchanged, and refills the pool by Roulette-Wheel-selected
+//! crossover, (optionally FP-guided) point mutation and reproduction;
+//! offspring containing dead code are regenerated. When an island's average
+//! fitness saturates, the restricted local neighborhood of its top genes is
+//! searched (BFS or DFS flavored, Algorithm 1 of the paper). Every candidate
+//! evaluation is drawn from a [`SearchBudget`] so the paper's "search space
+//! used" metric is directly measurable.
+//!
+//! **Strategy layer** ([`SearchStrategy`]). A uniform step/budget/
+//! best-so-far interface over heterogeneous searches: [`GaSearchStrategy`]
+//! (one generation across all islands per step), [`DfsSearchStrategy`] (one
+//! DFS `(gene, position)` neighborhood per step) and [`BeamSearch`] (one
+//! guided beam depth level per step, lifted out of the PCCoder baseline).
+//! Strategies draw from a [`SharedBudget`] — an atomic counter whose cap is
+//! never exceeded however a race interleaves.
+//!
+//! **Portfolio orchestration** lives above this crate (in `netsyn-core`):
+//! strategies race on separate pool workers under one shared budget with
+//! cooperative first-solution cancellation via [`CancelToken`].
+//!
+//! ## Determinism contract
+//!
+//! Serialized [`GaOutcome`]s are byte-identical for a fixed
+//! `(config, spec, fitness, seed)` at **any** `K` × `NETSYN_POOL_THREADS` ×
+//! `NETSYN_SIMD` combination, because nothing an island computes ever
+//! depends on scheduling:
+//!
+//! * `K = 1` drives a single island with the caller's RNG and budget —
+//!   draw-for-draw identical to the historical panmictic engine (pinned by
+//!   golden bytes in `tests/warm_cache_determinism.rs`).
+//! * `K > 1` seeds one RNG stream per island from the caller's RNG in index
+//!   order and partitions the budget into fixed per-island slices up front
+//!   (`total/K` each, the first `total%K` getting one extra; never
+//!   rebalanced).
+//! * Islands evolve epochs of `migration_interval` generations on separate
+//!   pool workers, then synchronize: island `i` sends clones of its
+//!   `migration_size` fittest genes to `(i+1) % K`, replacing the
+//!   receiver's worst-ranked genes. Emigrants are snapshotted from every
+//!   island before any island is mutated and merges apply in island-index
+//!   order.
+//! * The solved island with the lowest index wins; merged histories are
+//!   index-ordered folds (mean/max per generation).
+//! * Islands share the striped `SpecScores`/`TraceEncodingCache` shards, so
+//!   a program scored on one island is never re-scored on another — safe
+//!   because batched scores are bit-identical to per-candidate scores
+//!   whichever worker computes them first.
+//!
+//! Portfolio races are the deliberate exception: rival strategies admit
+//! candidates from one [`SharedBudget`] first-come first-served, so the
+//! *winner* may vary run to run while the budget cap and the validity of
+//! any reported solution never do.
+//!
+//! ## Cancellation semantics
+//!
+//! A [`CancelToken`] is level-triggered and purely cooperative: the island
+//! loop checks it between generations, the DFS search between positions,
+//! the beam between depth levels — so a fired token stops every strategy
+//! within one step's worth of work, and no cache shard or claim guard is
+//! ever left inconsistent.
 //!
 //! ## Example
 //!
@@ -40,22 +98,31 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod beam;
 mod budget;
+mod cancel;
 mod config;
 pub mod crossover;
 mod engine;
 mod gene;
+mod island;
 pub mod mutation;
 pub mod neighborhood;
 mod saturation;
 pub mod selection;
+mod strategy;
 
-pub use budget::SearchBudget;
+pub use beam::{guided_partial_score, BeamConfig, BeamSearch, BeamStep};
+pub use budget::{BudgetSource, SearchBudget, SharedBudget};
+pub use cancel::CancelToken;
 pub use config::{GaConfig, MutationMode, NeighborhoodStrategy};
 pub use engine::{GaOutcome, GeneticEngine};
 pub use gene::{Gene, Population};
 pub use neighborhood::NeighborhoodOutcome;
 pub use saturation::SaturationDetector;
+pub use strategy::{
+    random_seed_programs, DfsSearchStrategy, GaSearchStrategy, SearchStrategy, StepStatus,
+};
 
 #[cfg(test)]
 mod tests {
@@ -68,6 +135,8 @@ mod tests {
         assert_send_sync::<GeneticEngine>();
         assert_send_sync::<GaOutcome>();
         assert_send_sync::<SearchBudget>();
+        assert_send_sync::<SharedBudget>();
+        assert_send_sync::<CancelToken>();
         assert_send_sync::<Population>();
     }
 }

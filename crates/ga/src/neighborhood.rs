@@ -6,7 +6,8 @@
 //! its cost is `O(N · len(ζ) · |Σ_DSL|)` candidate programs, dramatically
 //! smaller than an unrestricted breadth-first search of the program space.
 
-use crate::budget::SearchBudget;
+use crate::budget::BudgetSource;
+use crate::cancel::CancelToken;
 use crate::config::NeighborhoodStrategy;
 use netsyn_dsl::{DomainId, IoSpec, Program};
 use netsyn_fitness::cache::{resolve_batch, SpecScores};
@@ -46,28 +47,43 @@ pub struct NeighborhoodOutcome {
 /// ticks its periodic-flush clock after each explored position, so a long
 /// saturation-triggered search keeps the durable tier as current as the
 /// generation loop does (a no-op for in-memory caches).
+///
+/// `budget` may be a locally owned [`crate::SearchBudget`] (the
+/// deterministic engine path) or a cross-strategy [`crate::SharedBudget`]
+/// (a portfolio race). `cancel`, when given, is checked between positions:
+/// a fired token stops the search within one position's neighborhood and
+/// reports the candidates evaluated so far.
 #[allow(clippy::too_many_arguments)]
-pub fn search<F: FitnessFunction + ?Sized>(
+pub fn search<F, B>(
     genes: &[Program],
     spec: &IoSpec,
     strategy: NeighborhoodStrategy,
     domain: DomainId,
     fitness: &F,
-    budget: &mut SearchBudget,
+    budget: &mut B,
     memo: &SpecScores,
     traces: &TraceEncodingCache,
     persist: Option<&FitnessCache>,
-) -> NeighborhoodOutcome {
+    cancel: Option<&CancelToken>,
+) -> NeighborhoodOutcome
+where
+    F: FitnessFunction + ?Sized,
+    B: BudgetSource + ?Sized,
+{
     match strategy {
         NeighborhoodStrategy::Disabled => NeighborhoodOutcome {
             solution: None,
             candidates_evaluated: 0,
         },
-        NeighborhoodStrategy::Bfs => bfs_search(genes, spec, domain, budget),
-        NeighborhoodStrategy::Dfs => {
-            dfs_search(genes, spec, domain, fitness, budget, memo, traces, persist)
-        }
+        NeighborhoodStrategy::Bfs => bfs_search(genes, spec, domain, budget, cancel),
+        NeighborhoodStrategy::Dfs => dfs_search(
+            genes, spec, domain, fitness, budget, memo, traces, persist, cancel,
+        ),
     }
+}
+
+fn is_cancelled(cancel: Option<&CancelToken>) -> bool {
+    cancel.is_some_and(CancelToken::is_cancelled)
 }
 
 /// Descending-preference comparison for neighbor scores with a total,
@@ -89,15 +105,22 @@ fn neighbor_score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
     }
 }
 
-fn bfs_search(
+fn bfs_search<B: BudgetSource + ?Sized>(
     genes: &[Program],
     spec: &IoSpec,
     domain: DomainId,
-    budget: &mut SearchBudget,
+    budget: &mut B,
+    cancel: Option<&CancelToken>,
 ) -> NeighborhoodOutcome {
     let mut evaluated = 0usize;
     for gene in genes {
         for position in 0..gene.len() {
+            if is_cancelled(cancel) {
+                return NeighborhoodOutcome {
+                    solution: None,
+                    candidates_evaluated: evaluated,
+                };
+            }
             let current = gene.get(position).expect("position in range");
             for &replacement in domain.vocab() {
                 if replacement == current {
@@ -127,62 +150,55 @@ fn bfs_search(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn dfs_search<F: FitnessFunction + ?Sized>(
+fn dfs_search<F, B>(
     genes: &[Program],
     spec: &IoSpec,
     domain: DomainId,
     fitness: &F,
-    budget: &mut SearchBudget,
+    budget: &mut B,
     memo: &SpecScores,
     traces: &TraceEncodingCache,
     persist: Option<&FitnessCache>,
-) -> NeighborhoodOutcome {
+    cancel: Option<&CancelToken>,
+) -> NeighborhoodOutcome
+where
+    F: FitnessFunction + ?Sized,
+    B: BudgetSource + ?Sized,
+{
     let mut evaluated = 0usize;
-    let mut neighbors: Vec<Program> = Vec::with_capacity(domain.vocab_len());
     for gene in genes {
         let mut current_gene = gene.clone();
         for position in 0..current_gene.len() {
-            let current = current_gene.get(position).expect("position in range");
-            // Collect the whole position's neighborhood first (checking
-            // satisfaction along the way), then rank it with one batched
-            // fitness call instead of ~|Σ| single-candidate network passes.
-            neighbors.clear();
-            for &replacement in domain.vocab() {
-                if replacement == current {
-                    continue;
+            if is_cancelled(cancel) {
+                return NeighborhoodOutcome {
+                    solution: None,
+                    candidates_evaluated: evaluated,
+                };
+            }
+            match explore_position(
+                &current_gene,
+                position,
+                spec,
+                domain,
+                fitness,
+                budget,
+                memo,
+                traces,
+                &mut evaluated,
+            ) {
+                PositionOutcome::Solved(solution) => {
+                    return NeighborhoodOutcome {
+                        solution: Some(solution),
+                        candidates_evaluated: evaluated,
+                    };
                 }
-                if !budget.try_consume() {
+                PositionOutcome::Exhausted => {
                     return NeighborhoodOutcome {
                         solution: None,
                         candidates_evaluated: evaluated,
                     };
                 }
-                evaluated += 1;
-                let neighbor = current_gene.with_replaced(position, replacement);
-                if spec.is_satisfied_by(&neighbor) {
-                    return NeighborhoodOutcome {
-                        solution: Some(neighbor),
-                        candidates_evaluated: evaluated,
-                    };
-                }
-                neighbors.push(neighbor);
-            }
-            let scores = rank_neighbors(&neighbors, spec, fitness, memo, traces);
-            // First-strictly-greatest wins, matching the original
-            // one-at-a-time comparison order over the domain vocabulary; NaN
-            // scores rank last (see `neighbor_score_cmp`).
-            let mut best: Option<(usize, f64)> = None;
-            for (index, &score) in scores.iter().enumerate() {
-                if best.is_none_or(|(_, best_score)| {
-                    neighbor_score_cmp(score, best_score) == std::cmp::Ordering::Greater
-                }) {
-                    best = Some((index, score));
-                }
-            }
-            // The paper's DFS variant replaces ζ with the best-scoring gene
-            // of the neighborhood before descending to the next position.
-            if let Some((index, _)) = best {
-                current_gene = neighbors.swap_remove(index);
+                PositionOutcome::Committed(descended) => current_gene = descended,
             }
             if let Some(cache) = persist {
                 cache.maybe_periodic_flush();
@@ -192,6 +208,78 @@ fn dfs_search<F: FitnessFunction + ?Sized>(
     NeighborhoodOutcome {
         solution: None,
         candidates_evaluated: evaluated,
+    }
+}
+
+/// What exploring one position's neighborhood produced.
+pub(crate) enum PositionOutcome {
+    /// A neighbor satisfied the specification.
+    Solved(Program),
+    /// The budget ran dry mid-neighborhood.
+    Exhausted,
+    /// No solution; the gene committed to the best-scoring neighbor (or
+    /// stayed unchanged when the position has no neighbors).
+    Committed(Program),
+}
+
+/// Explores a single `(gene, position)` DFS neighborhood: checks every
+/// single-function replacement at `position` against the specification, then
+/// commits the gene to the best-scoring neighbor (the paper's per-level
+/// commitment). This is the DFS search's unit of work — the engine's
+/// saturation path runs it in a loop, and the portfolio's DFS strategy runs
+/// exactly one call per [`crate::SearchStrategy::step`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore_position<F, B>(
+    current_gene: &Program,
+    position: usize,
+    spec: &IoSpec,
+    domain: DomainId,
+    fitness: &F,
+    budget: &mut B,
+    memo: &SpecScores,
+    traces: &TraceEncodingCache,
+    evaluated: &mut usize,
+) -> PositionOutcome
+where
+    F: FitnessFunction + ?Sized,
+    B: BudgetSource + ?Sized,
+{
+    let current = current_gene.get(position).expect("position in range");
+    // Collect the whole position's neighborhood first (checking
+    // satisfaction along the way), then rank it with one batched
+    // fitness call instead of ~|Σ| single-candidate network passes.
+    let mut neighbors: Vec<Program> = Vec::with_capacity(domain.vocab_len());
+    for &replacement in domain.vocab() {
+        if replacement == current {
+            continue;
+        }
+        if !budget.try_consume() {
+            return PositionOutcome::Exhausted;
+        }
+        *evaluated += 1;
+        let neighbor = current_gene.with_replaced(position, replacement);
+        if spec.is_satisfied_by(&neighbor) {
+            return PositionOutcome::Solved(neighbor);
+        }
+        neighbors.push(neighbor);
+    }
+    let scores = rank_neighbors(&neighbors, spec, fitness, memo, traces);
+    // First-strictly-greatest wins, matching the original
+    // one-at-a-time comparison order over the domain vocabulary; NaN
+    // scores rank last (see `neighbor_score_cmp`).
+    let mut best: Option<(usize, f64)> = None;
+    for (index, &score) in scores.iter().enumerate() {
+        if best.is_none_or(|(_, best_score)| {
+            neighbor_score_cmp(score, best_score) == std::cmp::Ordering::Greater
+        }) {
+            best = Some((index, score));
+        }
+    }
+    // The paper's DFS variant replaces ζ with the best-scoring gene
+    // of the neighborhood before descending to the next position.
+    match best {
+        Some((index, _)) => PositionOutcome::Committed(neighbors.swap_remove(index)),
+        None => PositionOutcome::Committed(current_gene.clone()),
     }
 }
 
@@ -223,6 +311,7 @@ fn rank_neighbors<F: FitnessFunction + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::SearchBudget;
     use netsyn_dsl::{Function, IntPredicate, MapOp, Value};
     use netsyn_fitness::{ClosenessMetric, EditDistanceFitness, OracleFitness};
     use std::sync::Mutex;
@@ -245,6 +334,7 @@ mod tests {
             budget,
             &SpecScores::default(),
             &TraceEncodingCache::new(),
+            None,
             None,
         )
     }
@@ -536,6 +626,7 @@ mod tests {
             &memo,
             &traces,
             None,
+            None,
         );
         let cold_scored = *fitness.scored.lock().unwrap();
         assert!(cold_scored > 0, "the cold search must score neighbors");
@@ -551,6 +642,7 @@ mod tests {
             &mut warm_budget,
             &memo,
             &traces,
+            None,
             None,
         );
         assert_eq!(

@@ -1,0 +1,97 @@
+//! Strict parsing of the `NETSYN_ISLANDS` environment override.
+//!
+//! A valid value (integer `>= 1`) overrides `GaConfig::islands` at engine
+//! construction; an invalid value is rejected with one warning line on
+//! stderr naming the rejected value and the configured fallback — never
+//! silently swallowed. Each case runs in a subprocess because the
+//! warn-once guard and the environment are process-global.
+
+use netsyn_ga::{GaConfig, GeneticEngine};
+
+/// Subprocess entry point: under `NETSYN_ISLANDS_CHILD=1` (set only by the
+/// parents below) this constructs an engine and prints the resolved island
+/// count.
+#[test]
+fn islands_env_child_reports_resolved_count() {
+    if std::env::var("NETSYN_ISLANDS_CHILD").is_err() {
+        return;
+    }
+    let engine = GeneticEngine::new(GaConfig::small(3));
+    println!("RESOLVED_ISLANDS:{}", engine.config().islands);
+}
+
+fn run_child(islands_env: Option<&str>) -> (usize, String) {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut command = std::process::Command::new(&exe);
+    command
+        .args([
+            "--exact",
+            "islands_env_child_reports_resolved_count",
+            "--nocapture",
+        ])
+        .env("NETSYN_ISLANDS_CHILD", "1");
+    match islands_env {
+        Some(value) => command.env("NETSYN_ISLANDS", value),
+        None => command.env_remove("NETSYN_ISLANDS"),
+    };
+    let output = command.output().expect("spawn islands env child");
+    assert!(
+        output.status.success(),
+        "child failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("child stdout is utf-8");
+    let resolved = stdout
+        .lines()
+        .find_map(|line| {
+            line.find("RESOLVED_ISLANDS:")
+                .map(|at| line[at + "RESOLVED_ISLANDS:".len()..].trim().parse())
+        })
+        .expect("child prints the resolved count")
+        .expect("resolved count parses");
+    (
+        resolved,
+        String::from_utf8_lossy(&output.stderr).to_string(),
+    )
+}
+
+#[test]
+fn valid_islands_env_overrides_the_config_silently() {
+    let (resolved, stderr) = run_child(Some("4"));
+    assert_eq!(resolved, 4, "a valid NETSYN_ISLANDS must win over config");
+    assert!(
+        !stderr.contains("NETSYN_ISLANDS"),
+        "a valid override must not warn; stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn unset_islands_env_keeps_the_configured_count() {
+    let (resolved, stderr) = run_child(None);
+    assert_eq!(resolved, 1, "GaConfig::small defaults to one island");
+    assert!(!stderr.contains("NETSYN_ISLANDS"));
+}
+
+#[test]
+fn invalid_islands_env_warns_and_keeps_the_config() {
+    let (resolved, stderr) = run_child(Some("three"));
+    assert_eq!(
+        resolved, 1,
+        "an invalid override must fall back to the configured count"
+    );
+    assert!(
+        stderr.contains("invalid NETSYN_ISLANDS") && stderr.contains("three"),
+        "the warning must name the rejected value; stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("configured island count"),
+        "the warning must name the fallback; stderr:\n{stderr}"
+    );
+}
+
+#[test]
+fn zero_islands_env_warns_and_keeps_the_config() {
+    let (resolved, stderr) = run_child(Some("0"));
+    assert_eq!(resolved, 1);
+    assert!(stderr.contains("invalid NETSYN_ISLANDS"));
+}

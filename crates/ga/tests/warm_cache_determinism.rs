@@ -255,6 +255,107 @@ fn ga_outcome_bytes_identical_across_thread_counts_and_simd_modes() {
     }
 }
 
+/// Serialized pre-refactor `GaOutcome` of the matrix workload, captured from
+/// the panmictic engine as of PR 8 (NETSYN_POOL_THREADS=1, verified
+/// byte-identical under both SIMD modes at capture time).
+const GOLDEN_K1: &str = include_str!("golden/ga_outcome_k1.json");
+
+/// The K=1 island engine must reproduce the pre-refactor engine exactly:
+/// the serialized outcome of the matrix workload is pinned byte-for-byte to
+/// the golden fixture captured before the island refactor. Any change to
+/// the K=1 draw order, budget accounting, history recording or neighborhood
+/// hand-off shows up here as a byte diff.
+#[test]
+fn k1_outcome_matches_the_pre_refactor_golden_bytes() {
+    if std::env::var("NETSYN_ISLANDS").is_ok() {
+        // The island matrix re-runs this binary with K>1; the golden pin
+        // only applies to the default single-island engine.
+        return;
+    }
+    let fitness = trained_fitness();
+    let outcome = run(&fitness, &FitnessCache::new(), 5);
+    assert_eq!(
+        serde_json::to_string(&outcome).expect("outcome serializes"),
+        GOLDEN_K1.trim_end(),
+        "K=1 must stay byte-identical to the pre-refactor golden outcome"
+    );
+}
+
+/// The island determinism matrix: serialized [`GaOutcome`] byte-identical
+/// across `NETSYN_POOL_THREADS ∈ {1, 8}` × `NETSYN_SIMD ∈ {0, 1}` for every
+/// island count `K ∈ {1, 2, 4}`, with the K=1 cells additionally pinned to
+/// the pre-refactor golden bytes.
+///
+/// K-independence is *not* expected (different K means different RNG
+/// streams and budget slices by design); what the island layer guarantees
+/// is that for a fixed K, the outcome is a pure function of
+/// `(config, spec, fitness, seed)` — islands evolve on their own RNG
+/// streams and budget slices, and every merge (migration, solution pick,
+/// history fold) is index-ordered. Each cell runs in a subprocess because
+/// the pool size and kernel family are fixed at first use per process.
+#[test]
+fn ga_outcome_bytes_identical_across_island_pool_simd_matrix() {
+    if std::env::var("NETSYN_SKIP_ISLAND_MATRIX").is_ok() {
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    for islands in ["1", "2", "4"] {
+        let mut outcomes: Vec<(String, String)> = Vec::new();
+        for threads in ["1", "8"] {
+            for simd in ["0", "1"] {
+                let output = std::process::Command::new(&exe)
+                    .args([
+                        "--exact",
+                        "determinism_matrix_child_emits_outcome",
+                        "--nocapture",
+                        "--test-threads=1",
+                    ])
+                    .env("NETSYN_DETERMINISM_CHILD", "1")
+                    .env("NETSYN_ISLANDS", islands)
+                    .env("NETSYN_POOL_THREADS", threads)
+                    .env("NETSYN_SIMD", simd)
+                    .output()
+                    .expect("spawn island matrix child");
+                assert!(
+                    output.status.success(),
+                    "island matrix child (islands={islands}, threads={threads}, \
+                     simd={simd}) failed:\n{}",
+                    String::from_utf8_lossy(&output.stderr)
+                );
+                let stdout = String::from_utf8(output.stdout).expect("child stdout is utf-8");
+                let bytes = stdout
+                    .lines()
+                    .find_map(|line| {
+                        line.find(OUTCOME_MARKER)
+                            .map(|at| line[at + OUTCOME_MARKER.len()..].to_string())
+                    })
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "child (islands={islands}, threads={threads}, simd={simd}) \
+                             printed no outcome:\n{stdout}"
+                        )
+                    });
+                outcomes.push((format!("threads={threads} simd={simd}"), bytes));
+            }
+        }
+        let (ref baseline_cell, ref baseline) = outcomes[0];
+        for (cell, bytes) in &outcomes[1..] {
+            assert_eq!(
+                bytes, baseline,
+                "serialized GaOutcome must be byte-identical across the pool/kernel \
+                 matrix at K={islands} ({cell} differs from {baseline_cell})"
+            );
+        }
+        if islands == "1" {
+            assert_eq!(
+                baseline,
+                GOLDEN_K1.trim_end(),
+                "the K=1 matrix baseline must equal the pre-refactor golden bytes"
+            );
+        }
+    }
+}
+
 /// Subprocess entry point of the restart matrix: under
 /// `NETSYN_RESTART_CHILD=cold|warm` (set only by the parent test below) this
 /// opens the **durable** cache named by `NETSYN_CACHE_DIR`, runs the same

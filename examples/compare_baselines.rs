@@ -66,6 +66,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Box::new(NetSyn::new(config, None).with_oracle_target(task.target.clone()))
                 as Box<dyn Synthesizer>
         }),
+        MethodSpec::new("Portfolio (GA+DFS+Beam)", move |task: &SynthesisTask| {
+            let config =
+                NetSynConfig::paper_defaults(FitnessChoice::OracleCommonFunctions, program_length);
+            let netsyn = NetSyn::new(config, None).with_oracle_target(task.target.clone());
+            Box::new(PortfolioSynthesizer::new(netsyn).with_name("Portfolio (GA+DFS+Beam)"))
+                as Box<dyn Synthesizer>
+        }),
     ];
 
     let mut table = Table::new(
