@@ -1,0 +1,152 @@
+//! The exploration driver: iterate the checked closure under every schedule
+//! reachable within the configured bounds.
+
+use crate::rt::{Choice, Execution, Failure, IterationAbort};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Exploration configuration.
+///
+/// The defaults bound the search the way CHESS does: depth-first over
+/// scheduling decisions with at most [`Builder::preemption_bound`]
+/// *involuntary* context switches per execution (forced switches at blocking
+/// points are free). Empirically almost all real concurrency bugs manifest
+/// within two preemptions, so `Some(2)` gives high coverage at a tiny
+/// fraction of the unbounded tree; set `None` for exhaustive exploration of
+/// small models.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum involuntary preemptions per execution; `None` = unbounded.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules; exploration stops (incomplete) once
+    /// reached. Guards CI time, not correctness.
+    pub max_iterations: usize,
+    /// Hard cap on scheduling decisions within one execution; exceeding it
+    /// is reported as a livelock.
+    pub max_branches: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder::new()
+    }
+}
+
+/// What an exploration did. Returned by [`Builder::check`] so suites can
+/// assert both that invariants held *and* that the space was fully covered.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub iterations: usize,
+    /// `true` if the bounded schedule space was exhausted; `false` if the
+    /// iteration cap stopped exploration early.
+    pub complete: bool,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            preemption_bound: Some(2),
+            max_iterations: 50_000,
+            max_branches: 5_000,
+        }
+    }
+
+    /// Runs `f` under every schedule within the bounds. Panics (re-raising
+    /// the closure's own panic, or a deadlock/livelock diagnosis with the
+    /// offending schedule prefix) on the first failing schedule.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            crate::rt_current_is_none(),
+            "loom::model may not be nested inside a model run"
+        );
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut path: Vec<Choice> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            let exec = Execution::new(path, self.preemption_bound, self.max_branches);
+            run_iteration(&exec, Arc::clone(&f));
+            let digest = exec.schedule_digest();
+            let (recorded, failure) = exec.into_outcome();
+            match failure {
+                Some(Failure::Panic(payload)) => {
+                    eprintln!(
+                        "loom: schedule {digest} failed after {iterations} \
+                         iteration(s); re-raising the model thread's panic"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+                Some(Failure::Deadlock(msg)) | Some(Failure::Livelock(msg)) => {
+                    panic!("loom: {msg} (schedule {digest}, iteration {iterations})");
+                }
+                None => {}
+            }
+            path = recorded;
+            if !advance(&mut path) {
+                return Report {
+                    iterations,
+                    complete: true,
+                };
+            }
+            if iterations >= self.max_iterations {
+                eprintln!(
+                    "loom: iteration cap {} reached before exhausting the \
+                     schedule space; exploration is incomplete",
+                    self.max_iterations
+                );
+                return Report {
+                    iterations,
+                    complete: false,
+                };
+            }
+        }
+    }
+}
+
+/// Runs one schedule: spawn the root model thread, wait for the execution to
+/// quiesce (all model threads exited, normally or via teardown), reap OS
+/// threads.
+fn run_iteration(exec: &Arc<Execution>, f: Arc<dyn Fn() + Send + Sync>) {
+    let exec2 = Arc::clone(exec);
+    let root = std::thread::Builder::new()
+        .name("loom-model-0".to_owned())
+        .spawn(move || {
+            crate::rt::set_current(Arc::clone(&exec2), 0);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                exec2.wait_initial(0);
+                f();
+            }));
+            match outcome {
+                Ok(()) => exec2.finish_thread(0),
+                Err(p) if p.is::<IterationAbort>() => exec2.finish_thread(0),
+                Err(p) => exec2.thread_panicked(0, p),
+            }
+            crate::rt::clear_current();
+            exec2.thread_exited();
+        })
+        .expect("failed to spawn model root thread");
+    exec.store_handle(root);
+    exec.wait_quiesced();
+    exec.join_os_threads();
+}
+
+/// Depth-first advance: back up to the deepest decision with an untried
+/// alternative, take it, and truncate the suffix. Returns `false` when the
+/// whole (bounded) tree has been explored.
+fn advance(path: &mut Vec<Choice>) -> bool {
+    while let Some(mut choice) = path.pop() {
+        if !choice.untried.is_empty() {
+            let next = choice.untried.remove(0);
+            path.push(Choice {
+                chosen: next,
+                untried: choice.untried,
+            });
+            return true;
+        }
+    }
+    false
+}

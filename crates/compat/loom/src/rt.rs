@@ -1,0 +1,467 @@
+//! The execution runtime: cooperative scheduling of real OS threads.
+//!
+//! One [`Execution`] lives for one iteration of the model. Every model
+//! thread (including the root closure) runs on a real OS thread, but at most
+//! one is ever *active*: all others are parked on the execution's condvar
+//! waiting for their turn. Control transfers only at *scheduling points* —
+//! every atomic operation, mutex acquire, condvar wait/notify, spawn, join
+//! and yield. Between two scheduling points a thread runs uninterrupted, so
+//! an interleaving is fully described by the sequence of scheduling
+//! decisions, which the driver records as a path of [`Choice`]s and replays
+//! and extends depth-first.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One scheduling decision: which thread was chosen, and which enabled
+/// alternatives have not been explored yet at this point of the tree.
+#[derive(Debug, Clone)]
+pub(crate) struct Choice {
+    pub(crate) chosen: usize,
+    pub(crate) untried: Vec<usize>,
+}
+
+/// Why an iteration was torn down early.
+pub(crate) enum Failure {
+    /// A model thread panicked with this payload (assertion failure in the
+    /// checked closure). The driver re-raises it.
+    Panic(Box<dyn std::any::Any + Send + 'static>),
+    /// No thread can make progress but not all threads have finished.
+    Deadlock(String),
+    /// The execution exceeded the branch cap — almost always a spin loop
+    /// that never becomes disabled (livelock under the modelled schedules).
+    Livelock(String),
+}
+
+/// Sentinel panic payload used to unwind model threads when an iteration
+/// aborts (deadlock, livelock, or another thread's panic). Never shown to
+/// the user; the thread wrapper catches it.
+pub(crate) struct IterationAbort;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Called `yield_now`: not eligible until some *other* thread has been
+    /// scheduled once (this is what bounds spin-wait loops).
+    Yielded,
+    /// Waiting to acquire the mutex identified by this address.
+    BlockedMutex(usize),
+    /// Waiting on the condvar identified by this address.
+    BlockedCondvar(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct ExecState {
+    statuses: Vec<Status>,
+    active: usize,
+    /// Recorded/replayed schedule. `cursor` is the next decision index; while
+    /// `cursor < path.len()` we are replaying a prefix from a prior iteration.
+    path: Vec<Choice>,
+    cursor: usize,
+    preemptions: usize,
+    /// Model state of every `loom::sync::Mutex` touched this iteration,
+    /// keyed by address: the id of the holding thread, if any.
+    mutex_holders: HashMap<usize, Option<usize>>,
+    /// FIFO waiter queues per condvar address.
+    cv_waiters: HashMap<usize, Vec<usize>>,
+    failure: Option<Failure>,
+    done: bool,
+    /// Number of model threads whose OS wrapper has fully exited. The driver
+    /// waits for this to reach `statuses.len()` before joining handles.
+    exited: usize,
+}
+
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    /// Woken on every scheduling decision and on teardown; model threads and
+    /// the driver all wait here.
+    turn: Condvar,
+    preemption_bound: Option<usize>,
+    max_branches: usize,
+    /// OS handles of spawned model threads, joined by the driver at teardown.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Execution {
+    pub(crate) fn new(
+        path: Vec<Choice>,
+        preemption_bound: Option<usize>,
+        max_branches: usize,
+    ) -> Arc<Execution> {
+        Arc::new(Execution {
+            state: Mutex::new(ExecState {
+                statuses: vec![Status::Runnable], // thread 0 = root closure
+                active: 0,
+                path,
+                cursor: 0,
+                preemptions: 0,
+                mutex_holders: HashMap::new(),
+                cv_waiters: HashMap::new(),
+                failure: None,
+                done: false,
+                exited: 0,
+            }),
+            turn: Condvar::new(),
+            preemption_bound,
+            max_branches,
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    // ---- scheduling core -------------------------------------------------
+
+    /// Picks the next active thread. Must be called with the state lock held
+    /// and with `me`'s status already updated for this decision. Returns
+    /// `false` if no thread can run (deadlock recorded, unless all finished).
+    fn pick_next(&self, st: &mut ExecState, me: usize) -> bool {
+        let runnable: Vec<usize> = (0..st.statuses.len())
+            .filter(|&t| st.statuses[t] == Status::Runnable)
+            .collect();
+        let yielded: Vec<usize> = (0..st.statuses.len())
+            .filter(|&t| st.statuses[t] == Status::Yielded)
+            .collect();
+        // A yielded thread is only eligible when nothing else is runnable:
+        // yielding means "let someone else go first if anyone can".
+        let candidates = if runnable.is_empty() {
+            &yielded
+        } else {
+            &runnable
+        };
+        if candidates.is_empty() {
+            if st.statuses.iter().all(|&s| s == Status::Finished) {
+                st.done = true;
+            } else {
+                let snapshot: Vec<String> = st
+                    .statuses
+                    .iter()
+                    .enumerate()
+                    .map(|(t, s)| format!("thread {t}: {s:?}"))
+                    .collect();
+                st.failure = Some(Failure::Deadlock(format!(
+                    "deadlock: no runnable thread ({})",
+                    snapshot.join(", ")
+                )));
+            }
+            return false;
+        }
+
+        let chosen = if st.cursor < st.path.len() {
+            let c = st.path[st.cursor].chosen;
+            assert!(
+                candidates.contains(&c),
+                "loom internal error: schedule replay diverged (thread {c} not \
+                 enabled at decision {}; checked closure must be deterministic \
+                 apart from scheduling)",
+                st.cursor
+            );
+            c
+        } else {
+            if st.path.len() >= self.max_branches {
+                st.failure = Some(Failure::Livelock(format!(
+                    "livelock: execution exceeded {} scheduling decisions \
+                     without terminating",
+                    self.max_branches
+                )));
+                return false;
+            }
+            // Deterministic order: the current thread first (run-to-block
+            // default keeps paths short), then ascending thread id.
+            let mut order = candidates.clone();
+            order.sort_unstable();
+            if let Some(pos) = order.iter().position(|&t| t == me) {
+                order.remove(pos);
+                order.insert(0, me);
+            }
+            // Preemption bound: once the budget is spent, a thread that is
+            // still enabled at its own scheduling point must keep running —
+            // we only branch on forced switches (me disabled).
+            let me_enabled = order.first() == Some(&me);
+            if me_enabled && self.preemption_bound.is_some_and(|b| st.preemptions >= b) {
+                order.truncate(1);
+            }
+            let chosen = order[0];
+            st.path.push(Choice {
+                chosen,
+                untried: order[1..].to_vec(),
+            });
+            chosen
+        };
+        st.cursor += 1;
+        // A preemption is an involuntary switch away from a thread that was
+        // still enabled at its own scheduling point. Yields and blocking
+        // switches are voluntary/forced and cost nothing.
+        if chosen != me && st.statuses[me] == Status::Runnable {
+            st.preemptions += 1;
+        }
+        // Every yielded thread other than the chosen one has now "let one
+        // decision pass" and becomes eligible again.
+        for t in 0..st.statuses.len() {
+            if t != chosen && st.statuses[t] == Status::Yielded {
+                st.statuses[t] = Status::Runnable;
+            }
+        }
+        if st.statuses[chosen] == Status::Yielded {
+            st.statuses[chosen] = Status::Runnable;
+        }
+        st.active = chosen;
+        true
+    }
+
+    /// Parks until `me` is the active runnable thread. Panics with
+    /// [`IterationAbort`] if the iteration is being torn down.
+    fn wait_for_turn(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(IterationAbort);
+            }
+            if st.active == me && st.statuses[me] == Status::Runnable {
+                return;
+            }
+            st = self.turn.wait(st).unwrap();
+        }
+    }
+
+    /// A full scheduling point: set `me`'s status, pick the next thread,
+    /// and park until scheduled again.
+    fn reschedule(&self, me: usize, status: Status) {
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(IterationAbort);
+            }
+            st.statuses[me] = status;
+            self.pick_next(&mut st, me);
+            self.turn.notify_all();
+        }
+        self.wait_for_turn(me);
+    }
+
+    /// Scheduling point before an atomic / lock-acquire / notify operation:
+    /// the thread stays runnable, but any other enabled thread may be
+    /// scheduled first.
+    pub(crate) fn schedule_op(&self, me: usize) {
+        self.reschedule(me, Status::Runnable);
+    }
+
+    pub(crate) fn yield_now(&self, me: usize) {
+        self.reschedule(me, Status::Yielded);
+    }
+
+    // ---- mutexes ---------------------------------------------------------
+
+    /// Attempts to acquire the model mutex at `addr`. On success the caller
+    /// may take the underlying std lock (guaranteed uncontended). On failure
+    /// the caller blocks via [`Execution::block_on_mutex`] and retries.
+    pub(crate) fn try_acquire_mutex(&self, me: usize, addr: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let holder = st.mutex_holders.entry(addr).or_insert(None);
+        match holder {
+            None => {
+                *holder = Some(me);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    pub(crate) fn block_on_mutex(&self, me: usize, addr: usize) {
+        self.reschedule(me, Status::BlockedMutex(addr));
+    }
+
+    /// Releases the model mutex and wakes every thread blocked on it (they
+    /// race for it at their next turn, like real wakeups). Not a scheduling
+    /// point: a release merges with the releasing thread's next operation,
+    /// which is sound because model state is only observed at operations.
+    pub(crate) fn release_mutex(&self, _me: usize, addr: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.mutex_holders.insert(addr, None);
+        for t in 0..st.statuses.len() {
+            if st.statuses[t] == Status::BlockedMutex(addr) {
+                st.statuses[t] = Status::Runnable;
+            }
+        }
+        self.turn.notify_all();
+    }
+
+    // ---- condvars --------------------------------------------------------
+
+    /// Atomically: registers `me` on the condvar's waiter queue, releases the
+    /// model mutex, and schedules away. The caller must have physically
+    /// unlocked the std mutex first (it is still the active thread, so no
+    /// other thread can race the window) and reacquires it on return.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_addr: usize, mutex_addr: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.failure.is_some() {
+                drop(st);
+                std::panic::panic_any(IterationAbort);
+            }
+            st.cv_waiters.entry(cv_addr).or_default().push(me);
+            st.statuses[me] = Status::BlockedCondvar(cv_addr);
+            st.mutex_holders.insert(mutex_addr, None);
+            for t in 0..st.statuses.len() {
+                if st.statuses[t] == Status::BlockedMutex(mutex_addr) {
+                    st.statuses[t] = Status::Runnable;
+                }
+            }
+            self.pick_next(&mut st, me);
+            self.turn.notify_all();
+        }
+        self.wait_for_turn(me);
+    }
+
+    /// `notify_one` / `notify_all`. The notify itself is a scheduling point
+    /// (so the model explores notify-before-wait orderings); a wakeup with no
+    /// waiter is lost, exactly like the real primitive.
+    pub(crate) fn notify(&self, me: usize, cv_addr: usize, all: bool) {
+        self.schedule_op(me);
+        let mut st = self.state.lock().unwrap();
+        let waiters = st.cv_waiters.entry(cv_addr).or_default();
+        let woken: Vec<usize> = if all {
+            std::mem::take(waiters)
+        } else if waiters.is_empty() {
+            Vec::new()
+        } else {
+            vec![waiters.remove(0)]
+        };
+        for t in woken {
+            st.statuses[t] = Status::Runnable;
+        }
+        self.turn.notify_all();
+    }
+
+    // ---- threads ---------------------------------------------------------
+
+    /// Registers a new model thread (status runnable) and returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    }
+
+    pub(crate) fn store_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.handles.lock().unwrap().push(h);
+    }
+
+    /// Entry point of a freshly spawned model thread: park until first
+    /// scheduled.
+    pub(crate) fn wait_initial(&self, me: usize) {
+        self.wait_for_turn(me);
+    }
+
+    /// Blocks until `target` finishes.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        loop {
+            {
+                let st = self.state.lock().unwrap();
+                if st.failure.is_some() {
+                    drop(st);
+                    std::panic::panic_any(IterationAbort);
+                }
+                if st.statuses[target] == Status::Finished {
+                    return;
+                }
+            }
+            self.reschedule(me, Status::BlockedJoin(target));
+        }
+    }
+
+    /// Marks `me` finished, wakes joiners, hands off the schedule. Never
+    /// panics (safe to call from an unwinding wrapper).
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.statuses[me] = Status::Finished;
+        for t in 0..st.statuses.len() {
+            if st.statuses[t] == Status::BlockedJoin(me) {
+                st.statuses[t] = Status::Runnable;
+            }
+        }
+        if st.failure.is_none() {
+            self.pick_next(&mut st, me);
+        }
+        self.turn.notify_all();
+    }
+
+    /// Records a user panic (first one wins) and begins teardown.
+    pub(crate) fn thread_panicked(
+        &self,
+        me: usize,
+        payload: Box<dyn std::any::Any + Send + 'static>,
+    ) {
+        let mut st = self.state.lock().unwrap();
+        st.statuses[me] = Status::Finished;
+        if st.failure.is_none() {
+            st.failure = Some(Failure::Panic(payload));
+        }
+        self.turn.notify_all();
+    }
+
+    /// Called by every thread wrapper as its very last act.
+    pub(crate) fn thread_exited(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.exited += 1;
+        self.turn.notify_all();
+    }
+
+    // ---- driver side -----------------------------------------------------
+
+    /// Blocks the driver until the iteration has fully quiesced: every model
+    /// thread's wrapper has exited (normally or via [`IterationAbort`]).
+    pub(crate) fn wait_quiesced(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !((st.done || st.failure.is_some()) && st.exited == st.statuses.len()) {
+            st = self.turn.wait(st).unwrap();
+        }
+    }
+
+    /// Joins all OS threads; call after [`Execution::wait_quiesced`].
+    pub(crate) fn join_os_threads(&self) {
+        for h in self.handles.lock().unwrap().drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Tears the iteration apart: the recorded schedule and the failure, if
+    /// any.
+    pub(crate) fn into_outcome(self: Arc<Self>) -> (Vec<Choice>, Option<Failure>) {
+        let exec = Arc::try_unwrap(self)
+            .unwrap_or_else(|_| panic!("loom internal error: execution still shared at teardown"));
+        let st = exec.state.into_inner().unwrap();
+        (st.path, st.failure)
+    }
+
+    /// Renders the schedule prefix for failure messages.
+    pub(crate) fn schedule_digest(&self) -> String {
+        let st = self.state.lock().unwrap();
+        let ids: Vec<String> = st.path.iter().map(|c| c.chosen.to_string()).collect();
+        format!("[{}]", ids.join(", "))
+    }
+}
+
+// ---- thread-local current execution -------------------------------------
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The execution/thread-id pair for the calling thread, if it is a model
+/// thread of an active `loom::model` run. All primitives consult this to
+/// decide between modelled and plain-std behaviour.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(exec: Arc<Execution>, id: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec, id)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}

@@ -1,0 +1,224 @@
+//! Model-aware atomics. Every operation is a scheduling point inside a
+//! model run; outside one they delegate straight to `std::sync::atomic`.
+//!
+//! The model treats all atomics as sequentially consistent regardless of the
+//! `Ordering` argument — a sound over-approximation for detecting the
+//! workspace's invariant violations, all of which are already expressed
+//! against `SeqCst` code. `fetch_update` is implemented as the documented
+//! load/compare-exchange loop so the model explores CAS-retry interleavings.
+
+#![forbid(unsafe_code)]
+
+use crate::rt;
+use std::sync::atomic::Ordering::SeqCst;
+
+pub use std::sync::atomic::Ordering;
+
+fn schedule_point() {
+    if let Some((exec, me)) = rt::current() {
+        exec.schedule_op(me);
+    }
+}
+
+macro_rules! atomic_int {
+    ($name:ident, $std:ty, $prim:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> $prim {
+                schedule_point();
+                self.inner.load(SeqCst)
+            }
+
+            pub fn store(&self, v: $prim, _order: Ordering) {
+                schedule_point();
+                self.inner.store(v, SeqCst);
+            }
+
+            pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                schedule_point();
+                self.inner.swap(v, SeqCst)
+            }
+
+            pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                schedule_point();
+                self.inner.fetch_add(v, SeqCst)
+            }
+
+            pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                schedule_point();
+                self.inner.fetch_sub(v, SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                schedule_point();
+                self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                // The model never fails spuriously: weak == strong here.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// The documented load + compare-exchange loop. Each retry is a
+            /// separate scheduling point, so interleavings where a rival
+            /// changes the value mid-update are explored.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: F,
+            ) -> Result<$prim, $prim>
+            where
+                F: FnMut($prim) -> Option<$prim>,
+            {
+                let mut prev = self.load(fetch_order);
+                while let Some(next) = f(prev) {
+                    match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                        Ok(x) => return Ok(x),
+                        Err(actual) => prev = actual,
+                    }
+                }
+                Err(prev)
+            }
+
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> $name {
+                $name::new(v)
+            }
+        }
+    };
+}
+
+atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+
+/// Model-aware `AtomicBool`.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        schedule_point();
+        self.inner.load(SeqCst)
+    }
+
+    pub fn store(&self, v: bool, _order: Ordering) {
+        schedule_point();
+        self.inner.store(v, SeqCst);
+    }
+
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        schedule_point();
+        self.inner.swap(v, SeqCst)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        schedule_point();
+        self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+    }
+
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.inner.get_mut()
+    }
+}
+
+/// Model-aware `AtomicPtr`.
+#[derive(Debug)]
+pub struct AtomicPtr<T> {
+    inner: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr {
+            inner: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> *mut T {
+        schedule_point();
+        self.inner.load(SeqCst)
+    }
+
+    pub fn store(&self, p: *mut T, _order: Ordering) {
+        schedule_point();
+        self.inner.store(p, SeqCst);
+    }
+
+    pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+        schedule_point();
+        self.inner.swap(p, SeqCst)
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        _success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        schedule_point();
+        self.inner.compare_exchange(current, new, SeqCst, SeqCst)
+    }
+
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.inner.get_mut()
+    }
+
+    pub fn into_inner(self) -> *mut T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> AtomicPtr<T> {
+        AtomicPtr::new(std::ptr::null_mut())
+    }
+}

@@ -1,0 +1,104 @@
+//! Model-aware `std::thread` subset: `spawn`, `JoinHandle`, `yield_now`.
+//!
+//! Inside a model run, spawned closures become model threads scheduled by
+//! the execution; outside one they are real `std::thread::spawn` threads.
+
+use crate::rt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned thread; `join` returns the closure's result exactly
+/// like `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<rt::Execution>,
+        id: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Std(h) => h.join(),
+            Imp::Model { exec, id, result } => {
+                let (_, me) = rt::current().expect("model JoinHandle joined outside the model");
+                exec.join_thread(me, id);
+                result
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("loom internal error: joined thread left no result")
+            }
+        }
+    }
+}
+
+/// Spawns a thread. On a model thread the child joins the current
+/// execution's schedule exploration; the spawn itself is a scheduling point
+/// (the child may run before the parent's next operation).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle {
+            imp: Imp::Std(std::thread::spawn(f)),
+        },
+        Some((exec, me)) => {
+            let id = exec.register_thread();
+            let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+            let result2 = Arc::clone(&result);
+            let exec2 = Arc::clone(&exec);
+            let os = std::thread::Builder::new()
+                .name(format!("loom-model-{id}"))
+                .spawn(move || {
+                    rt::set_current(Arc::clone(&exec2), id);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        exec2.wait_initial(id);
+                        f()
+                    }));
+                    match outcome {
+                        Ok(v) => {
+                            *result2.lock().unwrap() = Some(Ok(v));
+                            exec2.finish_thread(id);
+                        }
+                        Err(p) if p.is::<rt::IterationAbort>() => {
+                            // Teardown in progress: just get out of the way.
+                            exec2.finish_thread(id);
+                        }
+                        Err(p) => {
+                            // A real panic in a model thread fails the whole
+                            // model immediately (loom semantics) — it is
+                            // never deferred to join().
+                            exec2.thread_panicked(id, p);
+                        }
+                    }
+                    rt::clear_current();
+                    exec2.thread_exited();
+                })
+                .expect("failed to spawn model thread");
+            exec.store_handle(os);
+            exec.schedule_op(me);
+            JoinHandle {
+                imp: Imp::Model { exec, id, result },
+            }
+        }
+    }
+}
+
+/// Yields. Under the model the calling thread is descheduled until another
+/// thread has been scheduled once — this is what makes bounded spin-wait
+/// loops (e.g. a hazard-cell drain) explorable without livelock.
+pub fn yield_now() {
+    match rt::current() {
+        None => std::thread::yield_now(),
+        Some((exec, me)) => exec.yield_now(me),
+    }
+}

@@ -1,0 +1,249 @@
+//! Self-tests for the model checker: correct protocols pass with a complete
+//! bounded exploration, and the classic bug in each primitive family is
+//! *found* (the checker panics with a diagnosis).
+
+use loom::model::Builder;
+use loom::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+use loom::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn catches<F: Fn() + Send + Sync + 'static>(f: F) -> String {
+    let err = catch_unwind(AssertUnwindSafe(move || {
+        Builder::new().check(f);
+    }))
+    .expect_err("model should have caught the seeded bug");
+    if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+#[test]
+fn mutex_counter_is_exact() {
+    let report = Builder::new().check(|| {
+        let n = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    *n.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+    assert!(report.complete, "bounded space should be exhausted");
+    assert!(report.iterations > 1, "must explore more than one schedule");
+}
+
+#[test]
+fn finds_lost_update_in_unsynchronised_rmw() {
+    // load-then-store increment: the textbook lost update. The model must
+    // find the interleaving where both threads read 0.
+    let msg = catches(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    let v = n.load(SeqCst);
+                    n.store(v + 1, SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(SeqCst), 2, "lost update");
+    });
+    assert!(msg.contains("lost update"), "diagnosis was: {msg}");
+}
+
+#[test]
+fn fetch_add_has_no_lost_update() {
+    let report = Builder::new().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    n.fetch_add(1, SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(SeqCst), 2);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn finds_lost_wakeup_when_flag_is_set_outside_the_lock() {
+    // Classic lost wakeup: the consumer checks the flag and waits under two
+    // *separate* lock acquisitions, so the producer's set+notify can land in
+    // the window between them; the notify finds no registered waiter and is
+    // lost, and the consumer waits forever. The model must report deadlock.
+    let msg = catches(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut g = lock.lock().unwrap();
+                *g = true;
+                cv.notify_one();
+                drop(g);
+            })
+        };
+        let (lock, cv) = &*pair;
+        // BUG (seeded): the check-then-wait is not atomic.
+        let ready = *lock.lock().unwrap();
+        if !ready {
+            let g = lock.lock().unwrap();
+            let _woken = cv.wait(g).unwrap();
+        }
+        producer.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "diagnosis was: {msg}");
+}
+
+#[test]
+fn notify_under_lock_has_no_lost_wakeup() {
+    let report = Builder::new().check(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let producer = {
+            let pair = Arc::clone(&pair);
+            loom::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut g = lock.lock().unwrap();
+                *g = true;
+                // Notify while holding the lock: the waiter is either not
+                // yet in wait (it holds the lock) or already registered.
+                cv.notify_one();
+                drop(g);
+            })
+        };
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock().unwrap();
+        while !*done {
+            done = cv.wait(done).unwrap();
+        }
+        drop(done);
+        producer.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn cas_loop_is_exact_under_contention() {
+    let report = Builder::new().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                loom::thread::spawn(move || {
+                    // cap at 3: fetch_update CAS loop
+                    let _ = n.fetch_update(SeqCst, SeqCst, |v| (v < 3).then_some(v + 1));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(n.load(SeqCst) <= 3);
+        assert_eq!(n.load(SeqCst), 2);
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn yield_makes_spin_wait_terminate() {
+    let report = Builder::new().check(|| {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let setter = {
+            let flag = Arc::clone(&flag);
+            loom::thread::spawn(move || {
+                flag.store(1, SeqCst);
+            })
+        };
+        // Spin with yield: the model disables the spinner each round until
+        // the setter has run, so this terminates in every schedule.
+        while flag.load(SeqCst) == 0 {
+            loom::thread::yield_now();
+        }
+        setter.join().unwrap();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn finds_deadlock_on_lock_order_inversion() {
+    let msg = catches(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let t = {
+            let a = Arc::clone(&a);
+            let b = Arc::clone(&b);
+            loom::thread::spawn(move || {
+                let ga = a.lock().unwrap();
+                let gb = b.lock().unwrap();
+                drop((ga, gb));
+            })
+        };
+        let gb = b.lock().unwrap();
+        let ga = a.lock().unwrap();
+        drop((ga, gb));
+        t.join().unwrap();
+    });
+    assert!(msg.contains("deadlock"), "diagnosis was: {msg}");
+}
+
+#[test]
+fn join_passes_values_and_preemption_bound_zero_is_serial() {
+    let report = Builder {
+        preemption_bound: Some(0),
+        ..Builder::new()
+    }
+    .check(|| {
+        let h = loom::thread::spawn(|| 41usize + 1);
+        assert_eq!(h.join().unwrap(), 42);
+    });
+    // With no preemptions allowed and no blocking, there is exactly one
+    // schedule: run-to-completion in spawn order.
+    assert!(report.complete);
+    assert_eq!(report.iterations, 1);
+}
+
+#[test]
+fn primitives_work_outside_the_model() {
+    // std-fallback path: no execution is active, everything behaves as std.
+    let m = Mutex::new(5);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+    let n = AtomicUsize::new(1);
+    assert_eq!(n.fetch_add(1, SeqCst), 1);
+    let h = loom::thread::spawn(|| 7);
+    assert_eq!(h.join().unwrap(), 7);
+    let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+    let p2 = std::sync::Arc::clone(&pair);
+    let t = loom::thread::spawn(move || {
+        let (l, c) = &*p2;
+        *l.lock().unwrap() = true;
+        c.notify_all();
+    });
+    let (l, c) = &*pair;
+    let mut g = l.lock().unwrap();
+    while !*g {
+        g = c.wait(g).unwrap();
+    }
+    drop(g);
+    t.join().unwrap();
+}

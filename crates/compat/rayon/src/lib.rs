@@ -61,6 +61,36 @@
 //! Supported surface: `par_iter().map(..).collect()`, `par_iter().for_each`,
 //! `par_iter_mut().filter(..).for_each`, `par_chunks_mut(..).enumerate()
 //! .for_each`, and [`join`].
+//!
+//! ## Concurrency invariants (model-checked)
+//!
+//! The scheduler's load-bearing protocol — sleeper park/unpark — is
+//! extracted into [`sleep::Sleepers`] and verified by a loom-style model
+//! checker (`tests/sleeper_model.rs`, compiled under `--cfg loom` by the CI
+//! `model-check` job, which swaps the pool's mutex/condvar/counter for
+//! model-aware primitives via `sync_select`). The checked invariants:
+//!
+//! * **No lost wakeup** — for every schedule (within the documented
+//!   preemption bound): if a producer queues a job while a consumer is
+//!   parking, either the consumer's pending re-check under the sleeper lock
+//!   sees the job, or the producer's wake sees the registered sleeper. A
+//!   seeded bug that parks without the re-check is caught as a deadlock.
+//! * **Pending counter is conservative** — jobs are counted under the queue
+//!   lock before any consumer can pop them, so `pending == 0` implies the
+//!   queues are empty and parking is safe.
+//! * **Scope-completion wakeups reach helping callers** — a caller parked in
+//!   the shared sleeper pool is woken when its scope's last task finishes
+//!   (`wake_all_if_any`), so `run_scoped` cannot sleep through its own
+//!   completion.
+//!
+//! The erased-job lifetime contract (see `ErasedJob` in `pool`) is enforced
+//! structurally: `run_scoped` never returns before its latch reports every
+//! job executed, and popped jobs are always run, never dropped unexecuted.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod sleep;
+pub(crate) mod sync_select;
 
 /// Below this many items per task, parallel calls run inline.
 pub const MIN_ITEMS_PER_THREAD: usize = 2;
@@ -111,28 +141,85 @@ mod pool {
     //! The work-stealing pool behind every parallel call (see the crate
     //! docs for the design).
 
+    use crate::sleep::Sleepers;
+    use crate::sync_select::{AtomicUsize, Mutex, Ordering};
     use std::any::Any;
     use std::cell::Cell;
     use std::collections::VecDeque;
     use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+    use std::sync::{Arc, OnceLock};
 
-    type Job = Box<dyn FnOnce() + Send + 'static>;
+    /// A queued unit of work with its borrow lifetime erased.
+    ///
+    /// `run_scoped` accepts closures borrowing from its caller's stack
+    /// (`'scope`), but jobs sit in process-global queues that cannot name
+    /// that lifetime. The erasure is a raw pointer to the boxed closure,
+    /// sound under a contract the scheduler upholds structurally:
+    ///
+    /// * `run_scoped` does not return until its scope latch reports every
+    ///   one of its jobs executed, so the `'scope` borrows strictly outlive
+    ///   every execution;
+    /// * every job that enters a queue is eventually popped and [run]
+    ///   exactly once — workers and helping callers only ever execute popped
+    ///   jobs, never drop them unexecuted, and the queues themselves live in
+    ///   a never-torn-down process-global pool;
+    /// * `ErasedJob` has no `Drop` impl: leaking one (which would skip the
+    ///   closure's destructor but touch no borrow) is the failure mode if
+    ///   the contract were broken, not a use-after-free.
+    ///
+    /// [run]: ErasedJob::run
+    struct ErasedJob {
+        /// Owned `Box<dyn FnOnce() + Send + 'scope>` with `'scope` erased to
+        /// `'static`; reboxed exactly once, in [`ErasedJob::run`].
+        ptr: *mut (dyn FnOnce() + Send + 'static),
+    }
+
+    // SAFETY: the closure is `Send` (required by `ErasedJob::new`'s bound)
+    // and ownership moves wholesale to whichever thread pops and runs the
+    // job; the raw pointer is never aliased.
+    unsafe impl Send for ErasedJob {}
+
+    impl ErasedJob {
+        /// Erases `'scope`. Caller contract: the job must be executed before
+        /// `'scope` ends — `run_scoped` enforces this by blocking on its
+        /// scope latch until every job it pushed has run.
+        fn new<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> ErasedJob {
+            let ptr: *mut (dyn FnOnce() + Send + 'scope) = Box::into_raw(job);
+            // SAFETY: transmuting a raw trait-object pointer to erase only
+            // its lifetime bound — data pointer and vtable are unchanged.
+            // The 'static claim is never acted on beyond what the struct
+            // contract guarantees: the job runs (and is reboxed) strictly
+            // before 'scope ends.
+            let ptr = unsafe {
+                std::mem::transmute::<
+                    *mut (dyn FnOnce() + Send + 'scope),
+                    *mut (dyn FnOnce() + Send + 'static),
+                >(ptr)
+            };
+            ErasedJob { ptr }
+        }
+
+        /// Runs the job, consuming it.
+        fn run(self) {
+            // SAFETY: `ptr` came from `Box::into_raw` in `new` and `run`
+            // consumes `self` (no Drop impl), so the box is reconstructed
+            // exactly once; the contract above guarantees the closure's
+            // borrows are still live.
+            let job = unsafe { Box::from_raw(self.ptr) };
+            job();
+        }
+    }
 
     struct Shared {
         /// `queues[0]` is the global injector; `queues[1 + w]` is worker
         /// `w`'s deque. Owners push/pop the back (LIFO); stealers and the
         /// injector pop the front (FIFO), taking the oldest — and with
         /// span-splitting callers, typically coarsest — work first.
-        queues: Vec<Mutex<VecDeque<Job>>>,
-        /// Queued-but-not-yet-taken jobs; the cheap "is there anything to
-        /// do" signal checked before scanning queues or parking.
-        pending: AtomicUsize,
-        /// Parked workers, guarded by a mutex so a push can never race a
-        /// park decision (parkers re-check `pending` under this lock).
-        sleepers: Mutex<usize>,
-        wakeup: Condvar,
+        queues: Vec<Mutex<VecDeque<ErasedJob>>>,
+        /// Pending-work counter + parked-worker bookkeeping; the park/wake
+        /// protocol lives in [`Sleepers`] so the loom model suite can check
+        /// it in isolation.
+        sleepers: Sleepers,
         workers: usize,
     }
 
@@ -190,9 +277,7 @@ mod pool {
             }
             let shared = Arc::new(Shared {
                 queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-                pending: AtomicUsize::new(0),
-                sleepers: Mutex::new(0),
-                wakeup: Condvar::new(),
+                sleepers: Sleepers::new(),
                 workers,
             });
             for worker in 0..workers {
@@ -211,32 +296,23 @@ mod pool {
         WORKER.with(|w| w.set(Some(me)));
         loop {
             if let Some(job) = find_work(shared, Some(me)) {
-                job();
+                job.run();
             } else {
-                park(shared);
+                // Park until a job is pushed. The `pending` re-check under
+                // the sleeper lock (inside `park_unless`) closes the race
+                // with `push_jobs`: a push either sees this sleeper and
+                // notifies, or the parker sees the push's `pending`
+                // increment and never sleeps.
+                shared.sleepers.park_unless(|| false);
             }
         }
-    }
-
-    /// Parks until a job is pushed. The `pending` re-check under the
-    /// sleeper lock closes the race with `push_job`: a push either sees
-    /// this sleeper and notifies, or the parker sees the push's `pending`
-    /// increment and never sleeps.
-    fn park(shared: &Shared) {
-        let mut sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
-        if shared.pending.load(Ordering::SeqCst) > 0 {
-            return;
-        }
-        *sleepers += 1;
-        let mut sleepers = shared.wakeup.wait(sleepers).expect("rayon shim park");
-        *sleepers -= 1;
     }
 
     /// Takes one queued job: the local deque newest-first (when called from
     /// a worker), then the injector, then every other worker's deque
     /// oldest-first.
-    fn find_work(shared: &Shared, me: Option<usize>) -> Option<Job> {
-        if shared.pending.load(Ordering::SeqCst) == 0 {
+    fn find_work(shared: &Shared, me: Option<usize>) -> Option<ErasedJob> {
+        if shared.sleepers.pending() == 0 {
             return None;
         }
         if let Some(w) = me {
@@ -262,7 +338,7 @@ mod pool {
         None
     }
 
-    fn take(shared: &Shared, queue: usize, newest_first: bool) -> Option<Job> {
+    fn take(shared: &Shared, queue: usize, newest_first: bool) -> Option<ErasedJob> {
         let mut jobs = shared.queues[queue].lock().expect("rayon shim queue lock");
         let job = if newest_first {
             jobs.pop_back()
@@ -270,7 +346,7 @@ mod pool {
             jobs.pop_front()
         };
         if job.is_some() {
-            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            shared.sleepers.take_one();
         }
         job
     }
@@ -278,7 +354,7 @@ mod pool {
     /// Pushes a whole scope's jobs under one queue-lock acquisition and
     /// wakes at most one sleeper per job in one pass — far cheaper than a
     /// lock + notify round-trip per job when scopes carry many small tasks.
-    fn push_jobs(shared: &Shared, jobs: Vec<Job>) {
+    fn push_jobs(shared: &Shared, jobs: Vec<ErasedJob>) {
         let count = jobs.len();
         let queue = WORKER.with(Cell::get).map_or(0, |w| 1 + w);
         {
@@ -288,13 +364,9 @@ mod pool {
             // hold this lock to pop, so no thread can ever pop a job that is
             // not yet reflected in `pending` (which would transiently drive
             // the counter through zero and let workers park on queued work).
-            shared.pending.fetch_add(count, Ordering::SeqCst);
+            shared.sleepers.add_pending(count);
         }
-        let sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
-        let wake = count.min(*sleepers);
-        for _ in 0..wake {
-            shared.wakeup.notify_one();
-        }
+        shared.sleepers.wake(count);
     }
 
     /// Completion latch of one `run_scoped` call, carrying the first panic
@@ -327,10 +399,7 @@ mod pool {
         /// sleeper pool (see `run_scoped`) and must observe completion.
         fn complete_one(&self, shared: &Shared) {
             if self.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                let sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
-                if *sleepers > 0 {
-                    shared.wakeup.notify_all();
-                }
+                shared.sleepers.wake_all_if_any();
             }
         }
 
@@ -371,23 +440,19 @@ mod pool {
             return;
         }
         let latch = Arc::new(ScopeLatch::new(tasks.len()));
-        let jobs: Vec<Job> = tasks
+        let jobs: Vec<ErasedJob> = tasks
             .into_iter()
             .map(|task| {
                 let latch = Arc::clone(&latch);
-                let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                // The 'scope → 'static erasure and its soundness contract
+                // live in `ErasedJob`; the latch wait below is what upholds
+                // the contract's "executed before 'scope ends" obligation.
+                ErasedJob::new(Box::new(move || {
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
                         latch.record_panic(payload);
                     }
                     latch.complete_one(shared);
-                });
-                // SAFETY: this function does not return until the scope
-                // latch reports every job finished, so all borrows captured
-                // by the job ('scope) strictly outlive its execution;
-                // widening the lifetime to 'static never lets a job observe
-                // a dangling reference. (Helping below only runs jobs, it
-                // never drops unexecuted ones.)
-                unsafe { std::mem::transmute::<_, Job>(job) }
+                }))
             })
             .collect();
         push_jobs(shared, jobs);
@@ -400,7 +465,7 @@ mod pool {
                 // The job may belong to another scope; executing it is
                 // still sound (its own latch keeps its borrows alive) and
                 // keeps every waiting thread productive.
-                job();
+                job.run();
                 continue;
             }
             // Nothing runnable right now and the scope is not finished:
@@ -410,14 +475,9 @@ mod pool {
             // blocked inside a nested scope of its own), so the sleep must
             // be interruptible by any push — `push_jobs` wakes sleepers,
             // and `complete_one` wakes them when a scope finishes. The
-            // re-checks under the sleeper lock close both races.
-            let mut sleepers = shared.sleepers.lock().expect("rayon shim sleeper lock");
-            if latch.is_done() || shared.pending.load(Ordering::SeqCst) > 0 {
-                continue;
-            }
-            *sleepers += 1;
-            let mut sleepers = shared.wakeup.wait(sleepers).expect("rayon shim latch park");
-            *sleepers -= 1;
+            // re-checks under the sleeper lock (inside `park_unless`) close
+            // both races.
+            shared.sleepers.park_unless(|| latch.is_done());
         }
         if let Some(payload) = latch.take_panic() {
             resume_unwind(payload);

@@ -1,0 +1,108 @@
+//! The pool's sleeper/wakeup protocol, extracted into one type so the loom
+//! model suite (`tests/sleeper_model.rs`, run under `--cfg loom`) can drive
+//! it with model threads and exhaustively check the no-lost-wakeup
+//! invariant.
+//!
+//! # Protocol
+//!
+//! A [`Sleepers`] pairs a `pending` job counter with a mutex-guarded sleeper
+//! count and a condvar:
+//!
+//! * A **producer** counts new jobs with [`Sleepers::add_pending`] *while
+//!   still holding the queue lock it pushed under* (so no consumer can pop a
+//!   job that is not yet counted), then calls [`Sleepers::wake`], which
+//!   takes the sleeper lock and notifies at most `min(count, sleepers)`
+//!   parked threads.
+//! * A **consumer** that found nothing to do calls
+//!   [`Sleepers::park_unless`], which re-checks `pending` (and the caller's
+//!   own done-predicate) *under the sleeper lock* before sleeping.
+//!
+//! # Invariant: no lost wakeup
+//!
+//! Because the producer's `pending` increment happens-before its `wake`
+//! takes the sleeper lock, and the consumer's final `pending` check happens
+//! under that same lock, every push/park race resolves safely: either the
+//! parker sees the new `pending` count and never sleeps, or it is already
+//! registered in `sleepers` when `wake` counts — so it is notified. Dropping
+//! the re-check (the seeded bug in the model suite) deadlocks a consumer
+//! whose wakeup raced its park decision; the model checker finds that
+//! schedule within a two-preemption bound.
+
+use crate::sync_select::{AtomicUsize, Condvar, Mutex, Ordering};
+
+/// Sleeper bookkeeping for a work-stealing pool: a pending-work counter,
+/// a parked-thread count, and the condvar they rendezvous on.
+#[derive(Debug, Default)]
+pub struct Sleepers {
+    /// Queued-but-not-yet-taken jobs; the cheap "is there anything to do"
+    /// signal checked before scanning queues or parking.
+    pending: AtomicUsize,
+    /// Parked threads, guarded by a mutex so a push can never race a park
+    /// decision (parkers re-check `pending` under this lock).
+    sleepers: Mutex<usize>,
+    wakeup: Condvar,
+}
+
+impl Sleepers {
+    #[must_use]
+    pub fn new() -> Sleepers {
+        Sleepers::default()
+    }
+
+    /// Records `count` newly queued jobs. Must be called before the matching
+    /// [`Sleepers::wake`] and — to keep the counter conservative — while
+    /// still holding the lock of the queue the jobs were pushed under, so no
+    /// consumer can pop a job that is not yet counted (which would
+    /// transiently drive the counter through zero and let workers park on
+    /// queued work).
+    pub fn add_pending(&self, count: usize) {
+        self.pending.fetch_add(count, Ordering::SeqCst);
+    }
+
+    /// Records that one queued job was taken. Call while holding the queue
+    /// lock the job was popped under.
+    pub fn take_one(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Queued-but-not-yet-taken job count.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Wakes up to `count` parked threads (one notify per job, capped at the
+    /// number actually parked).
+    pub fn wake(&self, count: usize) {
+        let sleepers = self.sleepers.lock().expect("rayon shim sleeper lock");
+        let wake = count.min(*sleepers);
+        for _ in 0..wake {
+            self.wakeup.notify_one();
+        }
+    }
+
+    /// Wakes every parked thread if any are parked. Used on scope
+    /// completion: the scope's caller may be parked in the shared sleeper
+    /// pool and must observe that its latch is done.
+    pub fn wake_all_if_any(&self) {
+        let sleepers = self.sleepers.lock().expect("rayon shim sleeper lock");
+        if *sleepers > 0 {
+            self.wakeup.notify_all();
+        }
+    }
+
+    /// Parks the calling thread for one wakeup — unless work is pending or
+    /// `done` already holds, both re-checked *under the sleeper lock*, which
+    /// is what makes the park decision race-free against
+    /// [`Sleepers::add_pending`] + [`Sleepers::wake`]. Returns after one
+    /// notification (or spuriously, per condvar semantics); callers loop.
+    pub fn park_unless<F: FnOnce() -> bool>(&self, done: F) {
+        let mut sleepers = self.sleepers.lock().expect("rayon shim sleeper lock");
+        if done() || self.pending.load(Ordering::SeqCst) > 0 {
+            return;
+        }
+        *sleepers += 1;
+        let mut sleepers = self.wakeup.wait(sleepers).expect("rayon shim park");
+        *sleepers -= 1;
+    }
+}

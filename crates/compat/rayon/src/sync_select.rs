@@ -1,0 +1,19 @@
+//! `cfg(loom)`-switched synchronization primitives.
+//!
+//! Compiled with `--cfg loom` (the CI `model-check` job), the pool's mutex,
+//! condvar and pending counter come from the workspace's loom shim, whose
+//! primitives are scheduling points inside a `loom::model` run and plain std
+//! wrappers outside one. A normal build uses `std::sync` directly, so the
+//! production scheduler is byte-identical to the pre-model-checking code.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::AtomicUsize;
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::AtomicUsize;
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex};
+
+pub(crate) use std::sync::atomic::Ordering;

@@ -145,6 +145,7 @@ pub fn evaluate_method(
             // model fingerprint + spec, so tasks never alias); otherwise
             // each task keeps its own in-memory cache.
             let cache = durable.as_ref().unwrap_or(&caches[task_index]);
+            // netsyn-lint: allow(wall-clock) — wall-time is reported in RunRecord only; it never feeds search decisions or serialized comparisons
             let start = Instant::now();
             let result = synthesizer.synthesize_cached(&problem, &mut budget, &mut rng, cache);
             let wall_time_secs = start.elapsed().as_secs_f64();

@@ -57,6 +57,7 @@ mod models;
 pub mod portfolio;
 pub mod report;
 mod suite;
+pub(crate) mod sync_select;
 mod synthesizer;
 
 pub use config::{FitnessChoice, NetSynConfig};

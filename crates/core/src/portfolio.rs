@@ -19,6 +19,7 @@
 //! same fitness function, probability map and shared [`FitnessCache`] the
 //! plain engine would use.
 
+use crate::sync_select::{AtomicUsize, Ordering};
 use crate::synthesizer::NetSyn;
 use netsyn_baselines::{SynthesisProblem, SynthesisResult, Synthesizer};
 use netsyn_dsl::Program;
@@ -30,7 +31,6 @@ use netsyn_ga::{
 use rand::RngCore;
 use rayon::prelude::*;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Probability floor of the oracle-derived beam guidance map.

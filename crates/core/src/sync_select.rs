@@ -1,0 +1,13 @@
+//! `cfg(loom)`-switched atomics for the portfolio's winner election.
+//!
+//! Under `--cfg loom` (the CI `model-check` job) the winner slot and
+//! evaluation snapshot run on model-aware atomics, so
+//! `tests/portfolio_model.rs` can exhaustively schedule the
+//! first-solution-wins election; outside a model run (and in all normal
+//! builds) these are the std atomics with identical behavior.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicUsize, Ordering};

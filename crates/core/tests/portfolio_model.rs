@@ -1,0 +1,192 @@
+//! Loom model suite for the portfolio winner election and first-solution
+//! cancellation bound (see `netsyn_core::portfolio::race`).
+//!
+//! Invariants checked: **exactly one winner** — two strategies that both
+//! solve race a `compare_exchange(usize::MAX, index)` election and the
+//! loser's solution never overwrites the winner's — and **a fired token
+//! bounds rival draws**: the winner snapshots the budget *before* firing
+//! the token, so a rival that checks the token before each draw admits at
+//! most one candidate past the snapshot.
+//!
+//! The protocol shapes here mirror the body of `race()` (the election and
+//! cancellation sequence around its `par_chunks_mut` loop) with the
+//! strategy `step` reduced to a single budget draw — the real function's
+//! thread pool cannot run inside a model iteration, the protocol is what
+//! is load-bearing. Seeded-bug tests remove one step each and assert the
+//! checker reports the violation.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p netsyn-core --test
+//! portfolio_model --release`.
+#![cfg(loom)]
+
+use loom::model::Builder;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use netsyn_ga::{CancelToken, SharedBudget};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Runs `f` under the model checker expecting a failure; returns the
+/// panic message.
+fn catches(f: impl Fn() + Send + Sync + 'static) -> String {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Builder::new().check(f);
+    }));
+    let payload = result.expect_err("model checker should have found a failure");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// Both strategies solve and race the election: in every interleaving
+/// exactly one `compare_exchange` succeeds and the winner index is one of
+/// the contenders, never clobbered.
+#[test]
+fn winner_election_crowns_exactly_one() {
+    let report = Builder::new().check(|| {
+        let winner = Arc::new(AtomicUsize::new(usize::MAX));
+        let token = CancelToken::new();
+        let elect = |winner: &AtomicUsize, index: usize| -> bool {
+            winner
+                .compare_exchange(usize::MAX, index, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        };
+        let rival = {
+            let winner = Arc::clone(&winner);
+            let token = token.clone();
+            loom::thread::spawn(move || {
+                let won = elect(&winner, 1);
+                if won {
+                    token.cancel();
+                }
+                won
+            })
+        };
+        let mine = elect(&winner, 0);
+        if mine {
+            token.cancel();
+        }
+        let theirs = rival.join().unwrap();
+        assert!(mine ^ theirs, "exactly one strategy must win the election");
+        let crowned = winner.load(Ordering::SeqCst);
+        assert_eq!(crowned, if mine { 0 } else { 1 });
+        assert!(token.is_cancelled(), "the winner always fires the token");
+    });
+    assert!(report.complete, "schedule space must be fully explored");
+    assert!(report.iterations > 1, "protocol must actually interleave");
+}
+
+/// A fired token admits at most one more rival draw: a draw needs its
+/// guarding check to pass, rival draws are sequential, and two draws past
+/// `cancel()` would put the second check after the firing — where the
+/// level-triggered SeqCst token must be visible. So the budget reading the
+/// winner takes right *after* firing can be exceeded by at most the one
+/// in-flight draw.
+#[test]
+fn fired_token_admits_at_most_one_inflight_rival_draw() {
+    let report = Builder::new().check(|| {
+        let budget = SharedBudget::new(10);
+        let at_cancellation = Arc::new(AtomicUsize::new(usize::MAX));
+        let token = CancelToken::new();
+        let winner = {
+            let budget = budget.clone();
+            let token = token.clone();
+            let at_cancellation = Arc::clone(&at_cancellation);
+            loom::thread::spawn(move || {
+                assert!(budget.try_consume()); // the solving step's draw
+                at_cancellation.store(budget.evaluated(), Ordering::SeqCst);
+                token.cancel();
+                budget.evaluated() // floor: all draws after this raced the fired token
+            })
+        };
+        // Rival: mirrors the `race()` loop — token checked before every
+        // step, each step draws once.
+        for _ in 0..2 {
+            if token.is_cancelled() {
+                break;
+            }
+            let _ = budget.try_consume();
+        }
+        let post_fire_floor = winner.join().unwrap();
+        let snapshot = at_cancellation.load(Ordering::SeqCst);
+        assert_ne!(snapshot, usize::MAX, "winner always snapshots");
+        assert!(
+            budget.evaluated() <= post_fire_floor + 1,
+            "rival admitted more than one draw after the token fired: \
+             evaluated={} floor={}",
+            budget.evaluated(),
+            post_fire_floor
+        );
+    });
+    assert!(report.complete, "schedule space must be fully explored");
+    assert!(report.iterations > 1, "protocol must actually interleave");
+}
+
+/// Seeded bug: election by load-then-store instead of compare-exchange.
+/// Both racers can observe `usize::MAX` and both believe they won — the
+/// checker must find the double crown.
+#[test]
+fn finds_double_winner_with_load_then_store_election() {
+    let message = catches(|| {
+        let winner = Arc::new(AtomicUsize::new(usize::MAX));
+        let elect_buggy = |winner: &AtomicUsize, index: usize| -> bool {
+            // BUG (seeded): check and claim are separate operations.
+            // `race()` uses compare_exchange to make them one.
+            if winner.load(Ordering::SeqCst) == usize::MAX {
+                winner.store(index, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        };
+        let rival = {
+            let winner = Arc::clone(&winner);
+            loom::thread::spawn(move || elect_buggy(&winner, 1))
+        };
+        let mine = elect_buggy(&winner, 0);
+        let theirs = rival.join().unwrap();
+        assert!(!(mine && theirs), "two strategies were both crowned winner");
+    });
+    assert!(
+        message.contains("both crowned"),
+        "expected the double-winner assertion, got: {message}"
+    );
+}
+
+/// Seeded bug: the winner fires the token *before* storing the snapshot.
+/// A rival can observe the fired token, finish, and the outcome reader
+/// then loads an unset snapshot while the token is already cancelled —
+/// the ordering `race()` documents as load-bearing.
+#[test]
+fn finds_unset_snapshot_when_cancel_precedes_store() {
+    let message = catches(|| {
+        let at_cancellation = Arc::new(AtomicUsize::new(usize::MAX));
+        let token = CancelToken::new();
+        let winner = {
+            let token = token.clone();
+            let at_cancellation = Arc::clone(&at_cancellation);
+            loom::thread::spawn(move || {
+                // BUG (seeded): fire first, snapshot after. `race()`
+                // stores the snapshot before `cancel()` precisely so a
+                // rival that sees the token also sees the snapshot.
+                token.cancel();
+                at_cancellation.store(7, Ordering::SeqCst);
+            })
+        };
+        if token.is_cancelled() {
+            assert_ne!(
+                at_cancellation.load(Ordering::SeqCst),
+                usize::MAX,
+                "observed a fired token with no snapshot stored"
+            );
+        }
+        winner.join().unwrap();
+    });
+    assert!(
+        message.contains("no snapshot"),
+        "expected the unset-snapshot assertion, got: {message}"
+    );
+}

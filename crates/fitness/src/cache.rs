@@ -55,12 +55,13 @@ use crate::persist::{
     DurableOptions, DurableStore, FlushStats, LoadReport, ScoreSnapshot, TraceSnapshot,
 };
 use crate::sync::{lock_recovering, read_recovering, wait_recovering, write_recovering};
+use crate::sync::{Condvar, Mutex};
 use netsyn_dsl::{IoSpec, Program};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::Path;
-use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Number of independently locked stripes in a [`SpecScores`] shard.
 /// A power of two so the stripe index is a mask of the hash.

@@ -29,12 +29,13 @@
 //! to be re-deduplicated out of them).
 
 use crate::sync::lock_recovering;
+use crate::sync::Mutex;
 use netsyn_dsl::{DomainId, IoExample, IoSpec, Program, TraceArena, Value};
 use netsyn_nn::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Configuration of the token encoding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -490,7 +491,10 @@ impl TraceEncodingCache {
     /// Cached hidden states for a whole batch of token sequences, taking
     /// each stripe lock at most once. Slot `i` of the result corresponds to
     /// `keys[i]`.
-    pub(crate) fn get_many(&self, keys: &[&[usize]]) -> Vec<Option<Arc<[f32]>>> {
+    ///
+    /// Public so the loom model suite can drive the striped first-write-wins
+    /// protocol directly; production callers go through the batch encoder.
+    pub fn get_many(&self, keys: &[&[usize]]) -> Vec<Option<Arc<[f32]>>> {
         let mut out = vec![None; keys.len()];
         let mut by_stripe: Vec<Vec<usize>> = vec![Vec::new(); TRACE_STRIPES];
         for (index, key) in keys.iter().enumerate() {
@@ -512,7 +516,10 @@ impl TraceEncodingCache {
     /// each stripe lock at most once. Returns the *canonical* hidden state
     /// per key — the stored one if another thread published first — in
     /// input order, so callers always consume the shared buffer.
-    pub(crate) fn publish_many(&self, entries: Vec<(&[usize], Arc<[f32]>)>) -> Vec<Arc<[f32]>> {
+    ///
+    /// Public so the loom model suite can drive the striped first-write-wins
+    /// protocol directly; production callers go through the batch encoder.
+    pub fn publish_many(&self, entries: Vec<(&[usize], Arc<[f32]>)>) -> Vec<Arc<[f32]>> {
         let mut out: Vec<Option<Arc<[f32]>>> = vec![None; entries.len()];
         let mut by_stripe: Vec<Vec<usize>> = vec![Vec::new(); TRACE_STRIPES];
         for (index, (key, _)) in entries.iter().enumerate() {

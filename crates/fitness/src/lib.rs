@@ -105,6 +105,33 @@
 //! cache locks for later users (scores are first-write-wins idempotent,
 //! so recovering the guard is safe). See [`persist`] for the on-disk
 //! format specification and the full crash-consistency contract.
+//!
+//! ## Concurrency invariants (model-checked)
+//!
+//! The cache tier's cross-thread protocols are exercised under a loom-style
+//! schedule-exploring model checker (the workspace `loom` shim; CI job
+//! `model-check`, suite `tests/cache_model.rs`). The invariants the suite
+//! proves over every bounded interleaving:
+//!
+//! * **Exactly-once compute under claims** — when several threads race
+//!   [`SpecScores::claim`] on one candidate, exactly one observes
+//!   [`Claim::Claimed`] and computes; the rest hit the published score or
+//!   [`SpecScores::wait`] for it. The claim slot (`InFlight` marker) is
+//!   inserted atomically with the claim decision under the stripe lock.
+//! * **No leaked claims** — a worker that panics mid-compute abandons its
+//!   claims via [`ClaimGuard`]'s drop *before* the unwind leaves the
+//!   scoring call; `wait` then returns `None` and another thread re-claims.
+//!   No interleaving strands a waiter or loses the slot.
+//! * **First-write-wins convergence** — racing
+//!   [`TraceEncodingCache::publish_many`] calls on one key converge on a
+//!   single canonical `Arc` (both publishers are handed the stored buffer),
+//!   so downstream batches share memory and bytes are identical whichever
+//!   thread won.
+//!
+//! Under `--cfg loom` the `Mutex`/`Condvar` behind the striped caches come
+//! from the model-checker shim (see [`mod@cache`] and the crate-private
+//! `sync` module); normal builds use `std::sync` types with identical
+//! behavior, so the production binary is unchanged.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -123,7 +150,7 @@ mod sync;
 pub mod trainer;
 mod traits;
 
-pub use cache::{FitnessCache, SpecScores};
+pub use cache::{Claim, ClaimGuard, FitnessCache, SpecScores};
 pub use edit::EditDistanceFitness;
 pub use encoding::{
     CandidateEncoding, EncodedStep, EncodingConfig, SpecEncoding, SpecEncodingCache,

@@ -51,6 +51,7 @@
 use crate::cache::{FitnessCache, SpecScores};
 use crate::encoding::{TraceEncodingCache, TraceEntry};
 use crate::sync::lock_recovering;
+use crate::sync::Mutex;
 use netsyn_dsl::{DomainId, IoSpec, Program, Value};
 use netsyn_persist::{
     decode_log, dir as persist_dir, ByteReader, ByteWriter, FaultPlan, FaultyFile, FileStorage,
@@ -60,7 +61,7 @@ use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// File name of the score log inside a cache directory.
 pub const SCORES_FILE: &str = "scores.nsl";

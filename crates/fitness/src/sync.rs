@@ -1,4 +1,5 @@
-//! Poison-recovering lock acquisition.
+//! Poison-recovering lock acquisition, and the crate's `cfg(loom)` switch
+//! point for synchronization primitives.
 //!
 //! A worker panic while holding a cache lock poisons the `Mutex`/`RwLock`;
 //! with plain `.expect(..)` every later user of the cache then aborts too,
@@ -9,8 +10,21 @@
 //! cleaned up by `ClaimGuard` *before* the panic unwinds through the lock —
 //! so these helpers simply take the guard out of the `PoisonError` and
 //! carry on.
+//!
+//! Under `--cfg loom` (the CI `model-check` job) the `Mutex`/`Condvar`
+//! behind the striped caches come from the loom shim, making every
+//! claim/publish/wait/abandon step a scheduling point inside a
+//! `loom::model` run; outside a model run (and in all normal builds) they
+//! are `std::sync` primitives with identical behavior. `RwLock` is
+//! deliberately *not* switched: the shard-map locks are not part of the
+//! modelled claim protocols.
 
-use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
+
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Lock a mutex, recovering the guard if a panicking thread poisoned it.
 pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {

@@ -20,8 +20,8 @@
 //! The [`BudgetSource`] trait abstracts over both so the engine internals,
 //! the neighborhood search and the beam search can run against either.
 
+use crate::sync_select::{AtomicUsize, Ordering};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// A counter of candidate programs evaluated against a hard cap.

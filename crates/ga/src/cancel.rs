@@ -8,7 +8,7 @@
 //! Cancellation is purely cooperative: nothing is interrupted mid-kernel, so
 //! cache shards and claim guards are always left in a consistent state.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sync_select::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// A cloneable, thread-safe cancellation flag.

@@ -40,6 +40,7 @@ fn score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
+        // netsyn-lint: allow(partial-cmp-unwrap) — the match arms above dispatch every NaN combination, so both operands are non-NaN here
         (false, false) => a.partial_cmp(&b).expect("both scores are non-NaN"),
     }
 }

@@ -111,6 +111,7 @@ pub mod neighborhood;
 mod saturation;
 pub mod selection;
 mod strategy;
+pub(crate) mod sync_select;
 
 pub use beam::{guided_partial_score, BeamConfig, BeamSearch, BeamStep};
 pub use budget::{BudgetSource, SearchBudget, SharedBudget};

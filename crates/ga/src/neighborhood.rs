@@ -101,6 +101,7 @@ fn neighbor_score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
         (true, true) => a.total_cmp(&b),
         (true, false) => Ordering::Less,
         (false, true) => Ordering::Greater,
+        // netsyn-lint: allow(partial-cmp-unwrap) — the match arms above dispatch every NaN combination, so both operands are non-NaN here
         (false, false) => a.partial_cmp(&b).expect("both scores are non-NaN"),
     }
 }

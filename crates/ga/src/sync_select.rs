@@ -1,0 +1,14 @@
+//! `cfg(loom)`-switched atomics for [`crate::SharedBudget`] and
+//! [`crate::CancelToken`].
+//!
+//! Under `--cfg loom` (the CI `model-check` job) the budget's CAS cap and
+//! the cancellation flag run on model-aware atomics, so `tests/budget_model.rs`
+//! can exhaustively schedule concurrent `try_consume`/`cancel` races;
+//! outside a model run (and in all normal builds) these are the std
+//! atomics with identical behavior.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

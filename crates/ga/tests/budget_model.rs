@@ -1,0 +1,180 @@
+//! Loom model suite for [`SharedBudget`] and [`CancelToken`].
+//!
+//! Invariants checked: **the budget cap is never exceeded** however racing
+//! strategies interleave their draws — admission is a single CAS loop, so
+//! the sum of admitted candidates across threads equals exactly
+//! `min(cap, attempts)` — and **a fired cancel token never admits a later
+//! draw** in a strategy that checks the token before each draw.
+//!
+//! The seeded-bug test rebuilds admission as the classic racy
+//! read-check-write and asserts the checker finds the cap overshoot.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p netsyn-ga --test
+//! budget_model --release`.
+#![cfg(loom)]
+
+use loom::model::Builder;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use netsyn_ga::{CancelToken, SharedBudget};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Runs `f` under the model checker expecting a failure; returns the
+/// panic message.
+fn catches(f: impl Fn() + Send + Sync + 'static) -> String {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Builder::new().check(f);
+    }));
+    let payload = result.expect_err("model checker should have found a failure");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// Two strategies draw two candidates each from a cap of three. In every
+/// interleaving exactly three draws are admitted and `evaluated` never
+/// passes the cap.
+#[test]
+fn shared_budget_never_exceeds_the_cap() {
+    let report = Builder::new().check(|| {
+        let budget = SharedBudget::new(3);
+        let racer = {
+            let budget = budget.clone();
+            loom::thread::spawn(move || {
+                let mut admitted = 0usize;
+                for _ in 0..2 {
+                    if budget.try_consume() {
+                        admitted += 1;
+                    }
+                    assert!(budget.evaluated() <= 3, "cap exceeded");
+                }
+                admitted
+            })
+        };
+        let mut admitted = 0usize;
+        for _ in 0..2 {
+            if budget.try_consume() {
+                admitted += 1;
+            }
+            assert!(budget.evaluated() <= 3, "cap exceeded");
+        }
+        admitted += racer.join().unwrap();
+        assert_eq!(admitted, 3, "exactly cap-many draws are admitted");
+        assert_eq!(budget.evaluated(), 3);
+        assert!(budget.is_exhausted());
+        assert!(!budget.try_consume());
+    });
+    assert!(report.complete, "schedule space must be fully explored");
+    assert!(report.iterations > 1, "protocol must actually interleave");
+}
+
+/// Seeded bug: admission as load → check → store on a shared counter. Two
+/// racers through the read-check-write window both admit the last slot —
+/// the checker must find the overshoot.
+#[test]
+fn finds_cap_overshoot_with_racy_read_check_write() {
+    let message = catches(|| {
+        let evaluated = Arc::new(AtomicUsize::new(0));
+        let cap = 1usize;
+        let try_consume_buggy = move |evaluated: &AtomicUsize| -> bool {
+            // BUG (seeded): non-atomic admission. `SharedBudget` uses a
+            // fetch_update CAS loop precisely to close this window.
+            let n = evaluated.load(Ordering::SeqCst);
+            if n < cap {
+                evaluated.store(n + 1, Ordering::SeqCst);
+                true
+            } else {
+                false
+            }
+        };
+        let racer = {
+            let evaluated = Arc::clone(&evaluated);
+            loom::thread::spawn(move || try_consume_buggy(&evaluated))
+        };
+        let mine = try_consume_buggy(&evaluated);
+        let theirs = racer.join().unwrap();
+        let admitted = usize::from(mine) + usize::from(theirs);
+        assert!(admitted <= cap, "budget admitted more than the cap");
+    });
+    assert!(
+        message.contains("more than the cap"),
+        "expected the overshoot assertion, got: {message}"
+    );
+}
+
+/// First-solution cancellation: the winner fires the token after its own
+/// final draw; a loser that checks the token before *each* draw admits at
+/// most one more candidate after the snapshot the winner observed.
+#[test]
+fn fired_token_admits_at_most_one_inflight_draw() {
+    let report = Builder::new().check(|| {
+        let budget = SharedBudget::new(10);
+        let token = CancelToken::new();
+        let winner = {
+            let budget = budget.clone();
+            let token = token.clone();
+            loom::thread::spawn(move || {
+                assert!(budget.try_consume());
+                let at_cancellation = budget.evaluated();
+                token.cancel();
+                at_cancellation
+            })
+        };
+        // Loser: token check guards every draw, so at most one draw can
+        // be in flight when the token fires.
+        let mut drawn_after_check = 0usize;
+        for _ in 0..2 {
+            if token.is_cancelled() {
+                break;
+            }
+            if budget.try_consume() {
+                drawn_after_check += 1;
+            }
+        }
+        let at_cancellation = winner.join().unwrap();
+        assert!(
+            budget.evaluated() <= at_cancellation + drawn_after_check.min(1) + 1,
+            "a checked loser admits at most one draw past the winner's snapshot"
+        );
+        assert!(token.is_cancelled());
+    });
+    assert!(report.complete, "schedule space must be fully explored");
+}
+
+/// Seeded bug: a loser that only checks the token every second draw. The
+/// checker must find the interleaving where two draws land after the
+/// token fired — the bound the per-draw check is there to enforce.
+#[test]
+fn finds_extra_draws_when_token_check_is_amortized() {
+    let message = catches(|| {
+        let drained = Arc::new(AtomicUsize::new(0));
+        let token = CancelToken::new();
+        let winner = {
+            let token = token.clone();
+            loom::thread::spawn(move || {
+                token.cancel();
+            })
+        };
+        // BUG (seeded): one token check admits a *batch* of two draws, so
+        // both can land after cancellation.
+        if !token.is_cancelled() {
+            drained.fetch_add(1, Ordering::SeqCst);
+            drained.fetch_add(1, Ordering::SeqCst);
+        }
+        winner.join().unwrap();
+        if token.is_cancelled() {
+            assert!(
+                drained.load(Ordering::SeqCst) <= 1,
+                "amortized token check admitted a whole batch after cancel"
+            );
+        }
+    });
+    assert!(
+        message.contains("after cancel"),
+        "expected the batched-draw assertion, got: {message}"
+    );
+}

@@ -1,0 +1,663 @@
+//! # netsyn-lint
+//!
+//! A workspace-local static-analysis pass over the determinism-critical
+//! core. It is deliberately `syn`-free: a line/token-level scanner over
+//! comment- and string-stripped source, cheap enough to run as a CI gate
+//! (`cargo run -p netsyn-lint`) on every push.
+//!
+//! ## Rule reference
+//!
+//! | Rule | What it rejects | Why |
+//! |------|-----------------|-----|
+//! | `partial-cmp-unwrap` | `partial_cmp(..)` chained into `.unwrap()` / `.expect(..)` | A NaN score turns a ranking into a panic deep inside the GA loop. Use a total order (`total_cmp`) or handle the `None` arm; annotate call sites that structurally exclude NaN. |
+//! | `thread-spawn` | `std::thread::spawn` / `std::thread::Builder` outside the pool and flusher modules | Ad-hoc threads bypass the worker pool's deterministic partitioning and the sleeper protocol's accounting. |
+//! | `hashmap-iter-serialized` | Iterating a `HashMap`/`HashSet` in the same statement that writes serialized output | Hash iteration order is randomized per process; feeding it to a writer makes artifacts non-reproducible. Collect and sort first. |
+//! | `wall-clock` | `Instant::now()` / `SystemTime::now()` outside benchmarking crates | Wall-clock reads in search or scoring paths break run-to-run reproducibility. |
+//! | `unsafe-safety-comment` | An `unsafe {` block or `unsafe impl` with no `// SAFETY:` comment immediately above (or trailing) | Every unsafe site must state the invariant that makes it sound. |
+//!
+//! ## Escape hatch
+//!
+//! A finding can be suppressed with an annotation on the offending line or
+//! the line directly above:
+//!
+//! ```text
+//! // netsyn-lint: allow(wall-clock) — wall-time reporting only, never feeds search decisions
+//! ```
+//!
+//! The reason after the dash is mandatory; an `allow(..)` without one is
+//! itself reported (`allow-missing-reason`). Module-level allowlists for
+//! the pool/flusher (`thread-spawn`) and the benchmarking crates
+//! (`wall-clock`) live in this file next to the rules they scope.
+//!
+//! ## Scope
+//!
+//! The scanner walks every `*.rs` under `crates/**/src` and the top-level
+//! `src/`, skipping `#[cfg(test)]` regions (tests may time things and spawn
+//! threads at will). It strips comments, string literals and char literals
+//! before matching, so rule names or patterns inside strings never
+//! self-trigger.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding: a rule violation at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (usable in `allow(..)`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Rule identifiers, in reporting order.
+pub const RULES: &[&str] = &[
+    "partial-cmp-unwrap",
+    "thread-spawn",
+    "hashmap-iter-serialized",
+    "wall-clock",
+    "unsafe-safety-comment",
+];
+
+/// `thread-spawn` allowlist: the worker pool itself and the durable-cache
+/// background flusher are the two sanctioned thread owners (the loom shim
+/// spawns model threads by design).
+const THREAD_SPAWN_ALLOW: &[&str] = &[
+    "crates/compat/rayon/src/",
+    "crates/compat/loom/src/",
+    "crates/fitness/src/persist.rs",
+];
+
+/// `wall-clock` allowlist: benchmarking and the compat shims that exist to
+/// wrap time (criterion's timer, rand's entropy fallback).
+const WALL_CLOCK_ALLOW: &[&str] = &[
+    "crates/compat/criterion/src/",
+    "crates/compat/rand/src/",
+    "crates/bench/src/",
+];
+
+/// A source line split into executable code and comment text, with string
+/// and char literal contents blanked out of the code.
+#[derive(Debug, Default, Clone)]
+struct StrippedLine {
+    code: String,
+    comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Splits source into per-line (code, comment) with literals blanked.
+/// Handles nested block comments, raw strings, char literals vs.
+/// lifetimes, and escape sequences.
+fn strip(source: &str) -> Vec<StrippedLine> {
+    let mut lines: Vec<StrippedLine> = vec![StrippedLine::default()];
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    macro_rules! cur {
+        () => {
+            lines.last_mut().expect("at least one line")
+        };
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(StrippedLine::default());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur!().code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
+                    // Possible raw string r"..." / r#"..."#; count hashes.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        cur!().code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur!().code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal or lifetime: `'\n'` and `'a'` are
+                    // literals; `'a` followed by non-quote is a lifetime.
+                    if next == Some('\\') {
+                        cur!().code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                    } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        cur!().code.push_str("''");
+                        i += 3;
+                    } else {
+                        cur!().code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cur!().code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur!().comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur!().comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur!().code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        cur!().code.push('"');
+                        state = State::Code;
+                        i = j;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    cur!().code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Marks lines inside `#[cfg(test)]` items (the attribute itself and the
+/// whole braced item that follows), by brace-depth tracking on stripped
+/// code.
+fn test_region_mask(lines: &[StrippedLine]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut region_floor: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let in_region = region_floor.is_some();
+        if !in_region && (code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test")) {
+            pending_attr = true;
+        }
+        if in_region || pending_attr {
+            mask[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr {
+                        region_floor = Some(depth);
+                        pending_attr = false;
+                        mask[idx] = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = region_floor {
+                        if depth <= floor {
+                            region_floor = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    mask
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Whether `needle` occurs in `hay` bounded by non-identifier characters.
+fn contains_token(hay: &str, needle: &str) -> bool {
+    find_token(hay, needle).is_some()
+}
+
+fn find_token(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1] as char);
+        let end = at + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + needle.len().max(1);
+    }
+    None
+}
+
+/// Identifiers bound to `HashMap`/`HashSet` values in this file: `let`
+/// bindings, struct fields and typed parameters.
+fn hash_container_idents(lines: &[StrippedLine]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in lines {
+        let code = &line.code;
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name ... = HashMap::...` / `let name: HashMap<...>`
+        if let Some(let_pos) = find_token(code, "let") {
+            let rest = code[let_pos + 3..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty()
+                && (code.contains("= HashMap::")
+                    || code.contains("= HashSet::")
+                    || code.contains(": HashMap<")
+                    || code.contains(": HashSet<"))
+            {
+                idents.push(name);
+                continue;
+            }
+        }
+        // `name: HashMap<...>` fields / params.
+        for marker in [": HashMap<", ": HashSet<"] {
+            if let Some(pos) = code.find(marker) {
+                let head = &code[..pos];
+                let name: String = head
+                    .chars()
+                    .rev()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect::<String>()
+                    .chars()
+                    .rev()
+                    .collect();
+                if !name.is_empty() {
+                    idents.push(name);
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// Joins `lines[start..]` into one statement-ish window: stops after the
+/// first line past `start` containing `;`, or after `max` lines.
+fn statement_window(lines: &[StrippedLine], start: usize, max: usize) -> String {
+    let mut joined = String::new();
+    for (offset, line) in lines[start..].iter().take(max).enumerate() {
+        joined.push_str(&line.code);
+        joined.push(' ');
+        if offset > 0 && line.code.contains(';') {
+            break;
+        }
+    }
+    joined
+}
+
+/// Tokens that turn a hash-iteration statement into serialized output.
+const SINK_TOKENS: &[&str] = &[
+    "write!",
+    "writeln!",
+    "serialize",
+    "to_writer",
+    "push_str",
+    "format!",
+    "to_string",
+];
+
+/// Parsed `netsyn-lint: allow(..)` annotation.
+struct Allow {
+    rule: String,
+    has_reason: bool,
+}
+
+fn parse_allow(comment: &str) -> Option<Allow> {
+    let start = comment.find("netsyn-lint:")?;
+    let rest = comment[start + "netsyn-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let tail = rest[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '-', ' ']);
+    Some(Allow {
+        rule,
+        has_reason: !tail.trim().is_empty(),
+    })
+}
+
+fn path_in(path: &str, allowlist: &[&str]) -> bool {
+    let normalized = path.replace('\\', "/");
+    allowlist.iter().any(|prefix| normalized.contains(prefix))
+}
+
+/// Lints one file's source text. `path` is used for diagnostics and the
+/// per-rule module allowlists, so pass it workspace-relative.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let lines = strip(source);
+    let mask = test_region_mask(&lines);
+    let hash_idents = hash_container_idents(&lines);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let diag = |line: usize, rule: &'static str, message: String| Diagnostic {
+        path: path.to_string(),
+        line: line + 1,
+        rule,
+        message,
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        if mask[idx] {
+            continue;
+        }
+        let code = &line.code;
+
+        // partial-cmp-unwrap -------------------------------------------------
+        if let Some(pos) = code.find("partial_cmp") {
+            let window = statement_window(&lines, idx, 4);
+            let after = &window[pos..];
+            if after.contains(".unwrap") || after.contains(".expect") {
+                raw.push(diag(
+                    idx,
+                    "partial-cmp-unwrap",
+                    "partial_cmp chained into unwrap/expect panics on NaN; use total_cmp \
+                     or handle the None arm"
+                        .to_string(),
+                ));
+            }
+        }
+
+        // thread-spawn -------------------------------------------------------
+        if !path_in(path, THREAD_SPAWN_ALLOW) {
+            for pattern in ["thread::spawn", "thread::Builder"] {
+                if let Some(pos) = code.find(pattern) {
+                    let before = &code[..pos];
+                    if !before.ends_with("loom::") {
+                        raw.push(diag(
+                            idx,
+                            "thread-spawn",
+                            format!(
+                                "{pattern} outside the worker pool / flusher modules bypasses \
+                                 deterministic work partitioning"
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // hashmap-iter-serialized --------------------------------------------
+        let mut iterates_hash = false;
+        for ident in &hash_idents {
+            if let Some(pos) = find_token(code, ident) {
+                let after = &code[pos + ident.len()..];
+                let iter_call = [".iter()", ".keys()", ".values()", ".drain(", ".into_iter()"]
+                    .iter()
+                    .any(|call| after.starts_with(call));
+                let for_in = contains_token(code, "for")
+                    && find_token(code, "in").map(|p| p < pos).unwrap_or(false);
+                if iter_call || for_in {
+                    iterates_hash = true;
+                    break;
+                }
+            }
+        }
+        if iterates_hash {
+            let window = statement_window(&lines, idx, 6);
+            if SINK_TOKENS.iter().any(|sink| window.contains(sink)) {
+                raw.push(diag(
+                    idx,
+                    "hashmap-iter-serialized",
+                    "HashMap/HashSet iteration order is randomized; sort before feeding \
+                     serialized output"
+                        .to_string(),
+                ));
+            }
+        }
+
+        // wall-clock ---------------------------------------------------------
+        if !path_in(path, WALL_CLOCK_ALLOW)
+            && (code.contains("Instant::now") || code.contains("SystemTime::now"))
+        {
+            raw.push(diag(
+                idx,
+                "wall-clock",
+                "wall-clock reads break run-to-run reproducibility in deterministic paths"
+                    .to_string(),
+            ));
+        }
+
+        // unsafe-safety-comment ----------------------------------------------
+        if let Some(pos) = find_token(code, "unsafe") {
+            let after = code[pos + "unsafe".len()..].trim_start();
+            let is_block_or_impl = after.starts_with('{') || after.starts_with("impl");
+            if is_block_or_impl && !has_safety_comment(&lines, idx) {
+                raw.push(diag(
+                    idx,
+                    "unsafe-safety-comment",
+                    "unsafe block/impl without a preceding // SAFETY: comment stating the \
+                     soundness invariant"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+
+    // Apply allow annotations (same line or directly above).
+    let mut out = Vec::new();
+    for d in raw {
+        let idx = d.line - 1;
+        let mut allowed = false;
+        let mut missing_reason = false;
+        for look in [idx, idx.saturating_sub(1)] {
+            if let Some(allow) = lines.get(look).and_then(|l| parse_allow(&l.comment)) {
+                if allow.rule == d.rule {
+                    if allow.has_reason {
+                        allowed = true;
+                    } else {
+                        missing_reason = true;
+                    }
+                }
+            }
+        }
+        if allowed {
+            continue;
+        }
+        if missing_reason {
+            out.push(Diagnostic {
+                path: d.path.clone(),
+                line: d.line,
+                rule: "allow-missing-reason",
+                message: format!(
+                    "allow({}) annotation must carry a reason after a dash",
+                    d.rule
+                ),
+            });
+            continue;
+        }
+        out.push(d);
+    }
+    out
+}
+
+/// True when the contiguous comment/attribute block above `idx` (or the
+/// trailing comment on the line itself) contains `SAFETY:`.
+fn has_safety_comment(lines: &[StrippedLine], idx: usize) -> bool {
+    if lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    let mut look = idx;
+    while look > 0 {
+        look -= 1;
+        let line = &lines[look];
+        if line.comment.contains("SAFETY:") {
+            return true;
+        }
+        let code = line.code.trim();
+        let is_pass_through = code.is_empty() || code.starts_with("#[");
+        if !is_pass_through {
+            return false;
+        }
+    }
+    false
+}
+
+/// Recursively collects `*.rs` files under `dir`.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The default scan set: every `crates/**/src/**/*.rs` plus the top-level
+/// `src/`, relative to `root`.
+pub fn default_scan_set(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut all = Vec::new();
+    walk(&root.join("crates"), &mut all);
+    files.extend(
+        all.into_iter()
+            .filter(|p| p.to_string_lossy().replace('\\', "/").contains("/src/")),
+    );
+    walk(&root.join("src"), &mut files);
+    files.sort();
+    files
+}
+
+/// Lints every file in `files`; paths are reported relative to `root`.
+pub fn run_files(root: &Path, files: &[PathBuf]) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for file in files {
+        let Ok(source) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        diagnostics.extend(lint_source(&rel, &source));
+    }
+    diagnostics
+}
+
+/// CLI entry point: lints the workspace (or explicit paths passed as
+/// arguments) and returns the process exit code — 0 when clean, 1 when
+/// any diagnostic fired.
+pub fn run_cli() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let files = if args.is_empty() {
+        default_scan_set(&root)
+    } else {
+        let mut files = Vec::new();
+        for arg in &args {
+            let path = PathBuf::from(arg);
+            if path.is_dir() {
+                walk(&path, &mut files);
+            } else {
+                files.push(path);
+            }
+        }
+        files
+    };
+    let diagnostics = run_files(&root, &files);
+    for d in &diagnostics {
+        eprintln!("{d}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("netsyn-lint: {} files clean", files.len());
+        0
+    } else {
+        eprintln!("netsyn-lint: {} finding(s)", diagnostics.len());
+        1
+    }
+}

@@ -1,0 +1,270 @@
+//! Fixture tests for every `netsyn-lint` rule: each rule must fire on its
+//! violating fixture, stay quiet on the clean variant, respect the
+//! `allow(..)` annotation and the module allowlists, and skip
+//! `#[cfg(test)]` regions and string/comment occurrences.
+
+use netsyn_lint::{lint_source, Diagnostic};
+
+fn rules_fired(path: &str, source: &str) -> Vec<&'static str> {
+    lint_source(path, source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+// -- partial-cmp-unwrap ----------------------------------------------------
+
+#[test]
+fn partial_cmp_unwrap_fires() {
+    let diags = lint_source(
+        "crates/x/src/lib.rs",
+        "fn f(a: f64, b: f64) {\n    let _ = a.partial_cmp(&b).unwrap();\n}\n",
+    );
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "partial-cmp-unwrap");
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn partial_cmp_expect_fires_across_wrapped_lines() {
+    let src = "fn f(a: f64, b: f64) {\n    let _ = a\n        .partial_cmp(&b)\n        .expect(\"no NaN\");\n}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["partial-cmp-unwrap"]
+    );
+}
+
+#[test]
+fn partial_cmp_with_handled_none_is_clean() {
+    let src = "fn f(a: f64, b: f64) {\n    let _ = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);\n}\n";
+    // unwrap_or is still an `.unwrap` prefix — the rule intentionally
+    // flags it; the genuinely clean spelling is total_cmp or match.
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["partial-cmp-unwrap"]
+    );
+    let clean = "fn f(a: f64, b: f64) {\n    let _ = a.total_cmp(&b);\n    let _ = match a.partial_cmp(&b) { Some(o) => o, None => std::cmp::Ordering::Equal };\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", clean).is_empty());
+}
+
+#[test]
+fn partial_cmp_allow_with_reason_suppresses() {
+    let src = "fn f(a: f64, b: f64) {\n    // netsyn-lint: allow(partial-cmp-unwrap) — NaN filtered above\n    let _ = a.partial_cmp(&b).unwrap();\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn allow_without_reason_is_reported() {
+    let src = "fn f(a: f64, b: f64) {\n    // netsyn-lint: allow(partial-cmp-unwrap)\n    let _ = a.partial_cmp(&b).unwrap();\n}\n";
+    let diags = lint_source("crates/x/src/lib.rs", src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, "allow-missing-reason");
+}
+
+#[test]
+fn allow_for_a_different_rule_does_not_suppress() {
+    let src = "fn f(a: f64, b: f64) {\n    // netsyn-lint: allow(wall-clock) — wrong rule\n    let _ = a.partial_cmp(&b).unwrap();\n}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["partial-cmp-unwrap"]
+    );
+}
+
+// -- thread-spawn ----------------------------------------------------------
+
+#[test]
+fn thread_spawn_fires_outside_allowlist() {
+    let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    assert_eq!(
+        rules_fired("crates/ga/src/engine.rs", src),
+        ["thread-spawn"]
+    );
+    let builder = "fn f() {\n    let _ = std::thread::Builder::new();\n}\n";
+    assert_eq!(
+        rules_fired("crates/ga/src/engine.rs", builder),
+        ["thread-spawn"]
+    );
+}
+
+#[test]
+fn thread_spawn_allowlisted_modules_are_clean() {
+    let src = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+    assert!(rules_fired("crates/compat/rayon/src/lib.rs", src).is_empty());
+    assert!(rules_fired("crates/fitness/src/persist.rs", src).is_empty());
+    assert!(rules_fired("crates/compat/loom/src/thread.rs", src).is_empty());
+}
+
+#[test]
+fn loom_thread_spawn_is_not_std_spawn() {
+    let src = "fn f() {\n    loom::thread::spawn(|| {});\n}\n";
+    assert!(rules_fired("crates/ga/src/engine.rs", src).is_empty());
+}
+
+// -- hashmap-iter-serialized -----------------------------------------------
+
+#[test]
+fn hashmap_iteration_feeding_writer_fires() {
+    let src = "use std::collections::HashMap;\nfn f(out: &mut String) {\n    let scores: HashMap<String, f64> = HashMap::new();\n    for (k, v) in scores.iter() {\n        out.push_str(&format!(\"{k}={v}\"));\n    }\n}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["hashmap-iter-serialized"]
+    );
+}
+
+#[test]
+fn hashmap_keys_into_writeln_fires() {
+    let src = "use std::collections::HashMap;\nstruct S { index: HashMap<u64, u64> }\nimpl S {\n    fn dump(&self, w: &mut dyn std::io::Write) {\n        for k in self.index.keys() {\n            writeln!(w, \"{k}\").unwrap();\n        }\n    }\n}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["hashmap-iter-serialized"]
+    );
+}
+
+#[test]
+fn sorted_collection_then_write_is_clean() {
+    let src = "use std::collections::HashMap;\nfn f(out: &mut String) {\n    let scores: HashMap<String, f64> = HashMap::new();\n    let mut rows: Vec<_> = scores.iter().collect();\n    rows.sort();\n    for (k, v) in rows {\n        out.push_str(&format!(\"{k}={v}\"));\n    }\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn hashmap_iteration_without_sink_is_clean() {
+    let src = "use std::collections::HashMap;\nfn f() -> usize {\n    let scores: HashMap<String, f64> = HashMap::new();\n    scores.values().count()\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+// -- wall-clock ------------------------------------------------------------
+
+#[test]
+fn wall_clock_fires_outside_bench_crates() {
+    let src = "fn f() {\n    let _ = std::time::Instant::now();\n}\n";
+    assert_eq!(rules_fired("crates/ga/src/engine.rs", src), ["wall-clock"]);
+    let sys = "fn f() {\n    let _ = std::time::SystemTime::now();\n}\n";
+    assert_eq!(rules_fired("crates/dsl/src/interp.rs", sys), ["wall-clock"]);
+}
+
+#[test]
+fn wall_clock_allowlisted_crates_are_clean() {
+    let src = "fn f() {\n    let _ = std::time::Instant::now();\n}\n";
+    assert!(rules_fired("crates/compat/criterion/src/lib.rs", src).is_empty());
+    assert!(rules_fired("crates/compat/rand/src/lib.rs", src).is_empty());
+    assert!(rules_fired("crates/bench/src/main.rs", src).is_empty());
+}
+
+// -- unsafe-safety-comment -------------------------------------------------
+
+#[test]
+fn unsafe_block_without_safety_comment_fires() {
+    let src = "fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["unsafe-safety-comment"]
+    );
+}
+
+#[test]
+fn unsafe_impl_without_safety_comment_fires() {
+    let src = "struct T(*mut u8);\nunsafe impl Send for T {}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["unsafe-safety-comment"]
+    );
+}
+
+#[test]
+fn safety_comment_above_satisfies_the_rule() {
+    let src = "fn f(p: *mut u8) {\n    // SAFETY: caller guarantees p is valid and exclusive.\n    unsafe { *p = 0 };\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn safety_comment_across_attributes_and_long_blocks_is_found() {
+    let src = "// SAFETY: the target_feature contract is upheld because the\n// dispatcher verified avx2 support at runtime before calling.\n#[cfg(target_arch = \"x86_64\")]\n#[target_feature(enable = \"avx2\")]\nunsafe fn g() {}\nfn f() {\n    // SAFETY: g's contract was checked above.\n    unsafe { g() };\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn unrelated_code_between_comment_and_unsafe_breaks_the_link() {
+    let src = "fn f(p: *mut u8) {\n    // SAFETY: stale comment for something else.\n    let q = p;\n    unsafe { *q = 0 };\n}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["unsafe-safety-comment"]
+    );
+}
+
+#[test]
+fn unsafe_fn_declaration_alone_is_not_flagged() {
+    // Declaring an unsafe contract is not using one; callers are where the
+    // obligation lands (and `unsafe_op_in_unsafe_fn` covers bodies).
+    let src = "unsafe fn g(p: *mut u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(
+        rules_fired("crates/x/src/lib.rs", src),
+        ["unsafe-safety-comment"],
+        "the body block still needs its own SAFETY comment"
+    );
+    let decl_only = "pub unsafe fn g();\n";
+    assert!(rules_fired("crates/x/src/lib.rs", decl_only).is_empty());
+}
+
+// -- scanner hygiene -------------------------------------------------------
+
+#[test]
+fn cfg_test_regions_are_skipped() {
+    let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let _ = std::time::Instant::now();\n        std::thread::spawn(|| {});\n    }\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn code_after_a_cfg_test_region_is_still_scanned() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn prod() {\n    let _ = std::time::Instant::now();\n}\n";
+    assert_eq!(rules_fired("crates/x/src/lib.rs", src), ["wall-clock"]);
+}
+
+#[test]
+fn strings_and_comments_do_not_trigger_rules() {
+    let src = "fn f() {\n    // std::thread::spawn in a comment, Instant::now too\n    let _ = \"std::thread::spawn and Instant::now and partial_cmp().unwrap()\";\n    let _ = r#\"SystemTime::now()\"#;\n}\n";
+    assert!(rules_fired("crates/x/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_derail_stripping() {
+    let src = "fn f<'a>(s: &'a str) -> char {\n    let q = '\"';\n    let _ = s;\n    let _ = std::time::Instant::now();\n    q\n}\n";
+    assert_eq!(rules_fired("crates/x/src/lib.rs", src), ["wall-clock"]);
+}
+
+#[test]
+fn diagnostics_render_with_path_line_and_rule() {
+    let d = Diagnostic {
+        path: "crates/x/src/lib.rs".into(),
+        line: 7,
+        rule: "wall-clock",
+        message: "msg".into(),
+    };
+    assert_eq!(d.to_string(), "crates/x/src/lib.rs:7: [wall-clock] msg");
+}
+
+#[test]
+fn workspace_scan_is_clean() {
+    // The CI gate: the real tree must produce zero findings. Walk up from
+    // the crate dir to the workspace root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap();
+    let files = netsyn_lint::default_scan_set(root);
+    assert!(
+        files.len() > 50,
+        "scan set unexpectedly small: {}",
+        files.len()
+    );
+    let diags = netsyn_lint::run_files(root, &files);
+    assert!(
+        diags.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -148,6 +148,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(rust_2018_idioms)]
 
 pub mod activation;
@@ -164,6 +165,7 @@ mod mlp;
 mod optim;
 mod param;
 pub mod simd;
+pub(crate) mod sync_select;
 mod tensor;
 
 pub use activation::Activation;

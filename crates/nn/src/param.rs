@@ -1,11 +1,11 @@
 //! Trainable parameters: a value matrix paired with its gradient accumulator
 //! and a lazily cached transpose of the values for the batched forward paths.
 
+use crate::sync_select::{AtomicPtr, AtomicU64, AtomicUsize, Mutex, Ordering};
 use crate::tensor::Matrix;
 use serde::{Deserialize, Serialize};
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Lock-free published handle to the memoized transpose.
 ///
@@ -95,7 +95,7 @@ impl TransposeCell {
         // window, so read windows never chain; a snapshot/epoch scheme
         // would buy nothing here but complexity.
         while self.readers.load(Ordering::SeqCst) != 0 {
-            std::thread::yield_now();
+            crate::sync_select::yield_now();
         }
         // SAFETY: `old` was published via `Arc::into_raw` with the cell
         // owning one strong count; it is unpublished now and no reader is

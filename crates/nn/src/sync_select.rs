@@ -1,0 +1,22 @@
+//! `cfg(loom)`-switched synchronization primitives for the `Param`
+//! transpose hazard cell.
+//!
+//! Under `--cfg loom` (the CI `model-check` job) `param.rs` runs on the
+//! loom shim's model-aware atomics/mutex, so `tests/param_model.rs` can
+//! exhaustively schedule the reader-counted `AtomicPtr` protocol; outside a
+//! model run (and in all normal builds) these are the std primitives with
+//! identical behavior.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::Mutex;
+#[cfg(loom)]
+pub(crate) use loom::thread::yield_now;
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::Mutex;
+#[cfg(not(loom))]
+pub(crate) use std::thread::yield_now;

@@ -1,0 +1,182 @@
+//! Loom model suite for the `Param` transpose hazard cell.
+//!
+//! Invariant checked: **no use-after-free in the hazard cell** — a reader
+//! that grabbed the published transpose pointer always holds a valid
+//! `Arc`, because readers announce themselves (`readers.fetch_add`)
+//! *before* loading the pointer and the retiring writer spin-drains the
+//! reader count before dropping the old buffer. Every handle a reader
+//! obtains — including across a concurrent `invalidate_transpose` — must
+//! be a correct transpose of the parameter value.
+//!
+//! The seeded-bug test rebuilds the cell as a safe mirror (ids in a table
+//! instead of raw pointers, so the bug manifests as a failed lookup rather
+//! than UB) and removes the reader drain; the checker must catch the
+//! reclaimed-while-referenced state.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p netsyn-nn --test
+//! param_model --release`.
+#![cfg(loom)]
+
+use loom::model::Builder;
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Mutex;
+use netsyn_nn::{Matrix, Param};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Runs `f` under the model checker expecting a failure; returns the
+/// panic message.
+fn catches(f: impl Fn() + Send + Sync + 'static) -> String {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        Builder::new().check(f);
+    }));
+    let payload = result.expect_err("model checker should have found a failure");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+fn assert_is_transpose(value: &Matrix, t: &Matrix) {
+    assert_eq!(t.rows(), value.cols());
+    assert_eq!(t.cols(), value.rows());
+    for r in 0..value.rows() {
+        for c in 0..value.cols() {
+            assert_eq!(t.get(c, r), value.get(r, c), "transpose mismatch");
+        }
+    }
+}
+
+/// A reader repeatedly takes transpose handles while another thread
+/// invalidates the cache. Every handle must be a valid transpose and no
+/// interleaving may deadlock or livelock (the writer's spin-drain and the
+/// reader's retry loop both terminate under the model's yield semantics).
+#[test]
+fn reader_handles_stay_valid_across_invalidation() {
+    let mut builder = Builder::new();
+    // The retry/spin loops make the full space large; a preemption bound
+    // of 2 still drives the reader through mid-retirement windows.
+    builder.preemption_bound = Some(2);
+    let report = builder.check(|| {
+        let param = Arc::new(Param::new(Matrix::from_vec(1, 2, vec![1.0, 2.0])));
+        let writer = {
+            let param = Arc::clone(&param);
+            loom::thread::spawn(move || {
+                param.invalidate_transpose();
+            })
+        };
+        let first = param.transposed();
+        assert_is_transpose(&param.value, &first);
+        let second = param.transposed();
+        assert_is_transpose(&param.value, &second);
+        writer.join().unwrap();
+        let after = param.transposed();
+        assert_is_transpose(&param.value, &after);
+    });
+    assert!(report.iterations > 1, "protocol must actually interleave");
+}
+
+/// Safe mirror of the hazard cell: the "pointer" is an id into a table, so
+/// reclaiming a buffer still referenced by a reader shows up as a failed
+/// table lookup instead of undefined behavior. `drain_readers` is the
+/// load-bearing step under test.
+struct MirrorCell {
+    published: AtomicUsize,
+    readers: AtomicUsize,
+    table: Mutex<HashMap<usize, Arc<usize>>>,
+}
+
+impl MirrorCell {
+    fn new(id: usize) -> Self {
+        let mut table = HashMap::new();
+        table.insert(id, Arc::new(id));
+        MirrorCell {
+            published: AtomicUsize::new(id),
+            readers: AtomicUsize::new(0),
+            table: Mutex::new(table),
+        }
+    }
+
+    /// Reader protocol: announce, load, resolve, release — exactly the
+    /// shape of `TransposeCell::get`.
+    fn get(&self) -> Option<Arc<usize>> {
+        self.readers.fetch_add(1, Ordering::SeqCst);
+        let id = self.published.load(Ordering::SeqCst);
+        let resolved = self.table.lock().unwrap().get(&id).map(Arc::clone);
+        self.readers.fetch_sub(1, Ordering::SeqCst);
+        resolved
+    }
+
+    /// Writer protocol with the drain: swap in the new id, wait for the
+    /// reader count to hit zero, then reclaim the old buffer.
+    fn retire_correct(&self, new_id: usize) {
+        self.table.lock().unwrap().insert(new_id, Arc::new(new_id));
+        let old = self.published.swap(new_id, Ordering::SeqCst);
+        while self.readers.load(Ordering::SeqCst) != 0 {
+            loom::thread::yield_now();
+        }
+        self.table.lock().unwrap().remove(&old);
+    }
+
+    /// BUG (seeded): reclaim immediately after the swap, without draining
+    /// readers. A reader that loaded the old id before the swap now
+    /// resolves against a reclaimed entry.
+    fn retire_buggy(&self, new_id: usize) {
+        self.table.lock().unwrap().insert(new_id, Arc::new(new_id));
+        let old = self.published.swap(new_id, Ordering::SeqCst);
+        self.table.lock().unwrap().remove(&old);
+    }
+}
+
+/// With the drain in place, a racing reader always resolves its id: the
+/// writer cannot reclaim a buffer while the reader is inside the protocol.
+#[test]
+fn drained_retirement_never_reclaims_under_a_reader() {
+    let report = Builder::new().check(|| {
+        let cell = Arc::new(MirrorCell::new(1));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || {
+                cell.retire_correct(2);
+            })
+        };
+        let handle = cell.get();
+        assert!(
+            handle.is_some(),
+            "reader inside the protocol must never observe a reclaimed buffer"
+        );
+        writer.join().unwrap();
+    });
+    assert!(report.complete, "schedule space must be fully explored");
+    assert!(report.iterations > 1, "protocol must actually interleave");
+}
+
+/// Seeded bug: retirement without the reader drain. The model checker
+/// must find the interleaving where the reader's loaded id is reclaimed
+/// before resolution — the use-after-free, surfaced as a failed lookup.
+#[test]
+fn finds_use_after_free_when_retirement_skips_reader_drain() {
+    let message = catches(|| {
+        let cell = Arc::new(MirrorCell::new(1));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || {
+                cell.retire_buggy(2);
+            })
+        };
+        let handle = cell.get();
+        assert!(
+            handle.is_some(),
+            "reader inside the protocol must never observe a reclaimed buffer"
+        );
+        writer.join().unwrap();
+    });
+    assert!(
+        message.contains("reclaimed buffer"),
+        "expected the use-after-free assertion, got: {message}"
+    );
+}
